@@ -1,0 +1,378 @@
+//! The movable AOD (acousto-optic deflector) grid holding flying ancillas.
+//!
+//! A 2D AOD is the product of two 1D AODs: one sets the `x` coordinate of
+//! every column, the other the `y` coordinate of every row. Atoms sit at
+//! (a subset of) the row/column crossings. Two hard rules from the paper:
+//!
+//! * rows and columns move as whole units, and
+//! * **rows/columns must never cross** — their coordinate order is fixed
+//!   for the lifetime of the grid (trap overlap would scramble atoms).
+//!
+//! [`AodGrid`] models the grid state and enforces the ordering rule on
+//! every move; [`AodMove`] records a move for cost evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Position;
+
+/// Errors raised by [`AodGrid`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AodError {
+    /// Row or column coordinates were not strictly increasing.
+    OrderViolation {
+        /// `"row"` or `"col"`.
+        axis: &'static str,
+        /// Index of the first out-of-order entry.
+        index: usize,
+    },
+    /// Wrong number of coordinates supplied for a move.
+    DimensionMismatch {
+        /// `"row"` or `"col"`.
+        axis: &'static str,
+        /// Expected count.
+        expected: usize,
+        /// Received count.
+        got: usize,
+    },
+    /// Referenced a row/column/cross outside the grid.
+    OutOfRange {
+        /// Description of the offending reference.
+        what: String,
+    },
+}
+
+impl fmt::Display for AodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AodError::OrderViolation { axis, index } => {
+                write!(f, "aod {axis} coordinates not strictly increasing at index {index}")
+            }
+            AodError::DimensionMismatch { axis, expected, got } => {
+                write!(f, "aod {axis} move expected {expected} coordinates, got {got}")
+            }
+            AodError::OutOfRange { what } => write!(f, "aod reference out of range: {what}"),
+        }
+    }
+}
+
+impl Error for AodError {}
+
+/// A recorded AOD reconfiguration: the previous and new coordinates of every
+/// row and column. Produced by [`AodGrid::move_to`] for cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AodMove {
+    /// Row y coordinates before the move.
+    pub old_row_y: Vec<f64>,
+    /// Row y coordinates after the move.
+    pub new_row_y: Vec<f64>,
+    /// Column x coordinates before the move.
+    pub old_col_x: Vec<f64>,
+    /// Column x coordinates after the move.
+    pub new_col_x: Vec<f64>,
+}
+
+impl AodMove {
+    /// Euclidean displacement of the atom (if any) at cross `(row, col)`.
+    pub fn displacement(&self, row: usize, col: usize) -> f64 {
+        let old = Position::new(self.old_col_x[col], self.old_row_y[row]);
+        let new = Position::new(self.new_col_x[col], self.new_row_y[row]);
+        old.distance(&new)
+    }
+
+    /// The largest per-atom displacement over the given occupied crosses.
+    /// This is the `D_i` entering the paper's Eq. 5 for the stage.
+    pub fn max_displacement<'a>(
+        &self,
+        occupied: impl IntoIterator<Item = &'a (usize, usize)>,
+    ) -> f64 {
+        occupied
+            .into_iter()
+            .map(|&(r, c)| self.displacement(r, c))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The state of a 2D AOD grid: per-row `y`, per-column `x`, and which
+/// crossings currently hold an atom.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_arch::AodGrid;
+///
+/// let mut aod = AodGrid::new(vec![0.0, 10.0], vec![0.0, 10.0]).unwrap();
+/// aod.load(0, 0).unwrap();
+/// let mv = aod.move_to(vec![5.0, 12.0], vec![1.0, 11.0]).unwrap();
+/// assert!(mv.displacement(0, 0) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AodGrid {
+    row_y: Vec<f64>,
+    col_x: Vec<f64>,
+    occupied: Vec<bool>, // row-major n_rows x n_cols
+}
+
+fn check_strictly_increasing(axis: &'static str, coords: &[f64]) -> Result<(), AodError> {
+    for (i, w) in coords.windows(2).enumerate() {
+        if w[1] <= w[0] {
+            return Err(AodError::OrderViolation { axis, index: i + 1 });
+        }
+    }
+    Ok(())
+}
+
+impl AodGrid {
+    /// Creates a grid with the given initial row/column coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AodError::OrderViolation`] if either coordinate list is not
+    /// strictly increasing.
+    pub fn new(row_y: Vec<f64>, col_x: Vec<f64>) -> Result<Self, AodError> {
+        check_strictly_increasing("row", &row_y)?;
+        check_strictly_increasing("col", &col_x)?;
+        let occupied = vec![false; row_y.len() * col_x.len()];
+        Ok(AodGrid {
+            row_y,
+            col_x,
+            occupied,
+        })
+    }
+
+    /// Creates an `n × n` grid aligned with the first `n` rows/columns of an
+    /// SLM array of pitch `spacing_um`, which is the router's standard
+    /// starting configuration.
+    pub fn aligned_square(n: usize, spacing_um: f64) -> Self {
+        let coords: Vec<f64> = (0..n).map(|i| i as f64 * spacing_um).collect();
+        AodGrid::new(coords.clone(), coords).expect("aligned coordinates are increasing")
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.row_y.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.col_x.len()
+    }
+
+    /// Current row y coordinates.
+    pub fn row_y(&self) -> &[f64] {
+        &self.row_y
+    }
+
+    /// Current column x coordinates.
+    pub fn col_x(&self) -> &[f64] {
+        &self.col_x
+    }
+
+    fn idx(&self, row: usize, col: usize) -> Result<usize, AodError> {
+        if row >= self.num_rows() || col >= self.num_cols() {
+            return Err(AodError::OutOfRange {
+                what: format!(
+                    "cross ({row}, {col}) on {}x{} grid",
+                    self.num_rows(),
+                    self.num_cols()
+                ),
+            });
+        }
+        Ok(row * self.num_cols() + col)
+    }
+
+    /// Returns `true` if the cross holds an atom.
+    pub fn is_occupied(&self, row: usize, col: usize) -> bool {
+        self.idx(row, col).map(|i| self.occupied[i]).unwrap_or(false)
+    }
+
+    /// Loads an atom into the cross (atom transfer from a reservoir/SLM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AodError::OutOfRange`] for an invalid cross.
+    pub fn load(&mut self, row: usize, col: usize) -> Result<(), AodError> {
+        let i = self.idx(row, col)?;
+        self.occupied[i] = true;
+        Ok(())
+    }
+
+    /// Removes the atom at the cross (transfer back / discard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AodError::OutOfRange`] for an invalid cross.
+    pub fn unload(&mut self, row: usize, col: usize) -> Result<(), AodError> {
+        let i = self.idx(row, col)?;
+        self.occupied[i] = false;
+        Ok(())
+    }
+
+    /// Removes every atom from the grid.
+    pub fn unload_all(&mut self) {
+        self.occupied.iter_mut().for_each(|o| *o = false);
+    }
+
+    /// Occupied crosses as `(row, col)` pairs in row-major order.
+    pub fn occupied_crosses(&self) -> Vec<(usize, usize)> {
+        let nc = self.num_cols();
+        self.occupied
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(|(i, _)| (i / nc, i % nc))
+            .collect()
+    }
+
+    /// Physical position of a cross.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cross is out of range.
+    pub fn position(&self, row: usize, col: usize) -> Position {
+        Position::new(self.col_x[col], self.row_y[row])
+    }
+
+    /// Moves every row and column to new coordinates, returning the recorded
+    /// move.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AodError::DimensionMismatch`] on wrong counts and
+    /// [`AodError::OrderViolation`] if the new coordinates would make
+    /// rows/columns cross.
+    pub fn move_to(
+        &mut self,
+        new_row_y: Vec<f64>,
+        new_col_x: Vec<f64>,
+    ) -> Result<AodMove, AodError> {
+        if new_row_y.len() != self.num_rows() {
+            return Err(AodError::DimensionMismatch {
+                axis: "row",
+                expected: self.num_rows(),
+                got: new_row_y.len(),
+            });
+        }
+        if new_col_x.len() != self.num_cols() {
+            return Err(AodError::DimensionMismatch {
+                axis: "col",
+                expected: self.num_cols(),
+                got: new_col_x.len(),
+            });
+        }
+        check_strictly_increasing("row", &new_row_y)?;
+        check_strictly_increasing("col", &new_col_x)?;
+        let mv = AodMove {
+            old_row_y: std::mem::replace(&mut self.row_y, new_row_y),
+            old_col_x: std::mem::replace(&mut self.col_x, new_col_x),
+            new_row_y: self.row_y.clone(),
+            new_col_x: self.col_x.clone(),
+        };
+        Ok(mv)
+    }
+}
+
+impl fmt::Display for AodGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aod[{}x{}, {} atoms]",
+            self.num_rows(),
+            self.num_cols(),
+            self.occupied.iter().filter(|&&o| o).count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_unsorted_rows() {
+        let err = AodGrid::new(vec![0.0, 0.0], vec![0.0, 1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            AodError::OrderViolation {
+                axis: "row",
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn aligned_square_matches_pitch() {
+        let aod = AodGrid::aligned_square(3, 10.0);
+        assert_eq!(aod.row_y(), &[0.0, 10.0, 20.0]);
+        assert_eq!(aod.col_x(), &[0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn load_unload_tracks_occupancy() {
+        let mut aod = AodGrid::aligned_square(2, 10.0);
+        aod.load(0, 1).unwrap();
+        aod.load(1, 0).unwrap();
+        assert!(aod.is_occupied(0, 1));
+        assert_eq!(aod.occupied_crosses(), vec![(0, 1), (1, 0)]);
+        aod.unload(0, 1).unwrap();
+        assert!(!aod.is_occupied(0, 1));
+        aod.unload_all();
+        assert!(aod.occupied_crosses().is_empty());
+    }
+
+    #[test]
+    fn load_out_of_range_errors() {
+        let mut aod = AodGrid::aligned_square(2, 10.0);
+        assert!(matches!(aod.load(2, 0), Err(AodError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn move_preserving_order_succeeds() {
+        let mut aod = AodGrid::aligned_square(2, 10.0);
+        let mv = aod.move_to(vec![5.0, 25.0], vec![-3.0, 8.0]).unwrap();
+        assert_eq!(aod.row_y(), &[5.0, 25.0]);
+        assert_eq!(mv.old_row_y, vec![0.0, 10.0]);
+    }
+
+    #[test]
+    fn crossing_move_rejected() {
+        let mut aod = AodGrid::aligned_square(2, 10.0);
+        let err = aod.move_to(vec![10.0, 0.0], vec![0.0, 10.0]).unwrap_err();
+        assert!(matches!(err, AodError::OrderViolation { axis: "row", .. }));
+        // State unchanged after the failed move.
+        assert_eq!(aod.row_y(), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut aod = AodGrid::aligned_square(2, 10.0);
+        let err = aod.move_to(vec![0.0], vec![0.0, 10.0]).unwrap_err();
+        assert!(matches!(err, AodError::DimensionMismatch { axis: "row", .. }));
+    }
+
+    #[test]
+    fn displacement_accounts_both_axes() {
+        let mut aod = AodGrid::aligned_square(2, 10.0);
+        aod.load(0, 0).unwrap();
+        let mv = aod.move_to(vec![3.0, 10.0], vec![4.0, 10.0]).unwrap();
+        assert!((mv.displacement(0, 0) - 5.0).abs() < 1e-12);
+        let occ = [(0usize, 0usize)];
+        assert!((mv.max_displacement(occ.iter()) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_coordinates_rejected() {
+        let mut aod = AodGrid::aligned_square(2, 10.0);
+        let err = aod.move_to(vec![0.0, 10.0], vec![5.0, 5.0]).unwrap_err();
+        assert!(matches!(err, AodError::OrderViolation { axis: "col", .. }));
+    }
+
+    #[test]
+    fn display_reports_atoms() {
+        let mut aod = AodGrid::aligned_square(2, 10.0);
+        aod.load(0, 0).unwrap();
+        assert_eq!(aod.to_string(), "aod[2x2, 1 atoms]");
+    }
+}

@@ -1,0 +1,227 @@
+//! Static coupling graphs for fixed-topology baseline devices.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An undirected coupling graph over physical qubits.
+///
+/// Two-qubit gates on a fixed-topology device may only act on adjacent
+/// vertices; the baseline compilers insert SWAPs to satisfy this.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_arch::CouplingGraph;
+///
+/// let line = CouplingGraph::from_edges("line3", 3, [(0, 1), (1, 2)]);
+/// assert!(line.is_adjacent(0, 1));
+/// assert!(!line.is_adjacent(0, 2));
+/// assert_eq!(line.distance(0, 2), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CouplingGraph {
+    name: String,
+    num_qubits: usize,
+    adjacency: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl CouplingGraph {
+    /// Builds a graph from an edge list. Edges are deduplicated and stored
+    /// with the smaller endpoint first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or endpoints `>= num_qubits`.
+    pub fn from_edges(
+        name: impl Into<String>,
+        num_qubits: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        let mut normalized: Vec<(usize, usize)> = Vec::new();
+        for (a, b) in edges {
+            assert!(a != b, "self-loop on qubit {a}");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a}, {b}) outside 0..{num_qubits}"
+            );
+            let e = (a.min(b), a.max(b));
+            if !normalized.contains(&e) {
+                normalized.push(e);
+                adjacency[e.0].push(e.1);
+                adjacency[e.1].push(e.0);
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        CouplingGraph {
+            name: name.into(),
+            num_qubits,
+            adjacency,
+            edges: normalized,
+        }
+    }
+
+    /// Device name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The edge list, smaller endpoint first.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbours of qubit `q`, sorted.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Degree of qubit `q`.
+    pub fn degree(&self, q: usize) -> usize {
+        self.adjacency[q].len()
+    }
+
+    /// Returns `true` if `a` and `b` are coupled.
+    pub fn is_adjacent(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// BFS distance between two qubits, or `None` if disconnected.
+    pub fn distance(&self, from: usize, to: usize) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.num_qubits];
+        dist[from] = 0;
+        let mut queue = VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    if v == to {
+                        return Some(dist[v]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Single-source BFS distances (disconnected vertices get `usize::MAX`).
+    pub fn distances_from(&self, from: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_qubits];
+        dist[from] = 0;
+        let mut queue = VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs BFS distance matrix. O(V·E); fine for ≤ few hundred qubits.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        (0..self.num_qubits).map(|q| self.distances_from(q)).collect()
+    }
+
+    /// Returns `true` if the graph is connected (or empty).
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        self.distances_from(0).iter().all(|&d| d != usize::MAX)
+    }
+}
+
+impl fmt::Display for CouplingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} qubits, {} edges]",
+            self.name,
+            self.num_qubits,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> CouplingGraph {
+        CouplingGraph::from_edges("ring", n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn edges_are_normalized_and_deduped() {
+        let g = CouplingGraph::from_edges("g", 3, [(1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        CouplingGraph::from_edges("g", 2, [(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_edge_rejected() {
+        CouplingGraph::from_edges("g", 2, [(0, 2)]);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = ring(4);
+        assert!(g.is_adjacent(0, 3));
+        assert!(!g.is_adjacent(0, 2));
+        assert_eq!(g.neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    fn bfs_distances_on_ring() {
+        let g = ring(6);
+        assert_eq!(g.distance(0, 3), Some(3));
+        assert_eq!(g.distance(0, 5), Some(1));
+        assert_eq!(g.distance(2, 2), Some(0));
+    }
+
+    #[test]
+    fn disconnected_distance_is_none() {
+        let g = CouplingGraph::from_edges("two", 4, [(0, 1), (2, 3)]);
+        assert_eq!(g.distance(0, 3), None);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric() {
+        let g = ring(5);
+        let m = g.distance_matrix();
+        for (i, row) in m.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                assert_eq!(d, m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_of_ring() {
+        assert!(ring(8).is_connected());
+    }
+}

@@ -1,0 +1,218 @@
+//! Baseline device topologies used in the paper's evaluation (§4.1):
+//!
+//! * the 127-qubit IBM-Washington-style **heavy-hex** graph,
+//! * a 16×16 **square lattice** of fixed atoms (4 neighbours), and
+//! * a 16×16 **triangular lattice** of fixed atoms (6 neighbours),
+//!
+//! plus parameterised generators so tests can use small instances.
+//!
+//! The heavy-hex generator follows IBM's Eagle r1 structure: seven long
+//! east-west rows (15 qubits each; the first and last rows drop one end
+//! site, giving 14) joined by rows of four bridge qubits whose attachment
+//! columns alternate between `{0,4,8,12}` and `{2,6,10,14}`. This
+//! reproduces the 127-qubit, degree-≤3 heavy-hexagon topology class of the
+//! real machine (exact IBM qubit numbering is not preserved; only the
+//! topology matters for routing).
+
+use crate::CouplingGraph;
+
+/// Square lattice of `rows × cols` atoms, 4-neighbour connectivity.
+pub fn square_lattice(rows: usize, cols: usize) -> CouplingGraph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    CouplingGraph::from_edges(
+        format!("square-{rows}x{cols}"),
+        rows * cols,
+        edges,
+    )
+}
+
+/// Triangular lattice of `rows × cols` atoms: square lattice plus one
+/// diagonal per cell, giving interior degree 6.
+pub fn triangular_lattice(rows: usize, cols: usize) -> CouplingGraph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                edges.push((idx(r, c), idx(r + 1, c + 1)));
+            }
+        }
+    }
+    CouplingGraph::from_edges(
+        format!("triangular-{rows}x{cols}"),
+        rows * cols,
+        edges,
+    )
+}
+
+/// The 16×16 square fixed-atom-array baseline from the paper.
+pub fn faa_square_16x16() -> CouplingGraph {
+    square_lattice(16, 16)
+}
+
+/// The 16×16 triangular fixed-atom-array baseline from the paper.
+pub fn faa_triangular_16x16() -> CouplingGraph {
+    triangular_lattice(16, 16)
+}
+
+/// Parameterised heavy-hex generator.
+///
+/// `long_rows` is the number of east-west qubit rows; `row_len` their
+/// nominal length. Bridge rows with `row_len.div_ceil(4)` qubits sit
+/// between consecutive long rows at alternating column offsets 0 and 2.
+/// The first long row drops its last column and the final long row drops
+/// its first column, matching the Eagle boundary.
+pub fn heavy_hex(long_rows: usize, row_len: usize) -> CouplingGraph {
+    assert!(long_rows >= 2, "heavy-hex needs at least two long rows");
+    assert!(row_len >= 3, "heavy-hex rows must have >= 3 columns");
+
+    // Columns present in each long row.
+    let row_cols: Vec<Vec<usize>> = (0..long_rows)
+        .map(|r| {
+            if r == 0 {
+                (0..row_len - 1).collect()
+            } else if r == long_rows - 1 {
+                (1..row_len).collect()
+            } else {
+                (0..row_len).collect()
+            }
+        })
+        .collect();
+
+    // Assign ids in reading order: long row 0, bridges 0, long row 1, ...
+    let mut id_of: Vec<std::collections::HashMap<usize, usize>> = Vec::new();
+    let mut next_id = 0usize;
+    let mut bridge_ids: Vec<Vec<(usize, usize)>> = Vec::new(); // (col, id)
+    for r in 0..long_rows {
+        let mut map = std::collections::HashMap::new();
+        for &c in &row_cols[r] {
+            map.insert(c, next_id);
+            next_id += 1;
+        }
+        id_of.push(map);
+        if r + 1 < long_rows {
+            let offset = if r % 2 == 0 { 0 } else { 2 };
+            let mut bridges = Vec::new();
+            let mut c = offset;
+            while c < row_len {
+                // Only place a bridge where both rows have the column.
+                if id_of[r].contains_key(&c) && row_cols[r + 1].contains(&c) {
+                    bridges.push((c, next_id));
+                    next_id += 1;
+                }
+                c += 4;
+            }
+            bridge_ids.push(bridges);
+        }
+    }
+
+    let mut edges = Vec::new();
+    // Horizontal edges along long rows.
+    for (r, cols) in row_cols.iter().enumerate() {
+        for w in cols.windows(2) {
+            if w[1] == w[0] + 1 {
+                edges.push((id_of[r][&w[0]], id_of[r][&w[1]]));
+            }
+        }
+    }
+    // Bridge edges.
+    for (r, bridges) in bridge_ids.iter().enumerate() {
+        for &(c, id) in bridges {
+            edges.push((id_of[r][&c], id));
+            edges.push((id, id_of[r + 1][&c]));
+        }
+    }
+    CouplingGraph::from_edges(format!("heavy-hex-{next_id}"), next_id, edges)
+}
+
+/// The 127-qubit IBM-Washington-style heavy-hex baseline.
+pub fn ibm_washington() -> CouplingGraph {
+    let g = heavy_hex(7, 15);
+    debug_assert_eq!(g.num_qubits(), 127);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_lattice_degree_and_count() {
+        let g = square_lattice(4, 4);
+        assert_eq!(g.num_qubits(), 16);
+        assert_eq!(g.edges().len(), 2 * 4 * 3); // 24
+        assert_eq!(g.degree(5), 4); // interior
+        assert_eq!(g.degree(0), 2); // corner
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn triangular_lattice_degree() {
+        let g = triangular_lattice(4, 4);
+        assert_eq!(g.degree(5), 6); // interior
+        assert!(g.is_connected());
+        // edges: square 24 + diagonals 9 = 33
+        assert_eq!(g.edges().len(), 33);
+    }
+
+    #[test]
+    fn faa_baselines_are_16x16() {
+        assert_eq!(faa_square_16x16().num_qubits(), 256);
+        assert_eq!(faa_triangular_16x16().num_qubits(), 256);
+    }
+
+    #[test]
+    fn washington_has_127_qubits() {
+        let g = ibm_washington();
+        assert_eq!(g.num_qubits(), 127);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn washington_is_heavy_hex_degree_bounded() {
+        let g = ibm_washington();
+        for q in 0..g.num_qubits() {
+            assert!(g.degree(q) <= 3, "qubit {q} has degree {}", g.degree(q));
+        }
+        // Eagle has 144 edges.
+        assert_eq!(g.edges().len(), 144);
+    }
+
+    #[test]
+    fn heavy_hex_small_instance() {
+        let g = heavy_hex(3, 5);
+        // Long rows: cols 0..=3 (4), 0..=4 (5), 1..=4 (4) = 13 qubits.
+        // Bridges row0-1 at offset 0 -> col 0 only; row1-2 at offset 2 ->
+        // col 2 only: 2 bridge qubits.
+        assert_eq!(g.num_qubits(), 15);
+        assert!(g.is_connected());
+        for q in 0..g.num_qubits() {
+            assert!(g.degree(q) <= 3);
+        }
+    }
+
+    #[test]
+    fn bridges_alternate_offsets() {
+        let g = heavy_hex(3, 15);
+        // 14 + 15 + 14 long-row qubits... rows: 0 -> 14, 1 -> 15, 2 -> 14;
+        // bridges row0-1 at {0,4,8,12}: 4, row1-2 at {2,6,10,14}: 4.
+        assert_eq!(g.num_qubits(), 14 + 15 + 14 + 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Planar geometry primitives shared by the FPQA models.
+
+use std::fmt;
+
+/// A 2D position in micrometres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Position {
+    /// Horizontal coordinate (µm).
+    pub x: f64,
+    /// Vertical coordinate (µm).
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other` (µm).
+    pub fn distance(&self, other: &Position) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance (µm²), avoiding the square root.
+    pub fn distance_sq(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A `(row, col)` coordinate on a rectangular grid of sites.
+///
+/// Rows grow downwards and columns to the right, matching the paper's
+/// reading-order qubit mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GridCoord {
+    /// Row index (0-based, top row first).
+    pub row: usize,
+    /// Column index (0-based, leftmost first).
+    pub col: usize,
+}
+
+impl GridCoord {
+    /// Creates a grid coordinate.
+    pub const fn new(row: usize, col: usize) -> Self {
+        GridCoord { row, col }
+    }
+
+    /// Returns `true` if `other` lies weakly to the lower-right of `self`
+    /// (the partial order underlying the quantum-simulation router's
+    /// compatibility DAG, Alg. 2).
+    pub fn dominates_weakly(&self, other: &GridCoord) -> bool {
+        other.row >= self.row && other.col >= self.col
+    }
+
+    /// Manhattan distance in grid steps.
+    pub fn manhattan(&self, other: &GridCoord) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+}
+
+impl fmt::Display for GridCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[r{}, c{}]", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(1.5, -2.0);
+        let b = Position::new(-0.5, 7.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn weak_domination() {
+        let a = GridCoord::new(1, 1);
+        assert!(a.dominates_weakly(&GridCoord::new(1, 1)));
+        assert!(a.dominates_weakly(&GridCoord::new(2, 1)));
+        assert!(a.dominates_weakly(&GridCoord::new(1, 3)));
+        assert!(!a.dominates_weakly(&GridCoord::new(0, 3)));
+        assert!(!a.dominates_weakly(&GridCoord::new(2, 0)));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(GridCoord::new(0, 0).manhattan(&GridCoord::new(2, 3)), 5);
+        assert_eq!(GridCoord::new(2, 3).manhattan(&GridCoord::new(0, 0)), 5);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Position::new(1.0, 2.0).to_string(), "(1.00, 2.00)");
+        assert_eq!(GridCoord::new(1, 2).to_string(), "[r1, c2]");
+    }
+}

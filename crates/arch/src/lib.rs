@@ -1,0 +1,34 @@
+//! Hardware models for the Q-Pilot compiler.
+//!
+//! Two families of devices appear in the paper:
+//!
+//! 1. The **FPQA** (field programmable qubit array): a fixed grid of SLM
+//!    traps holding data atoms plus a movable 2D AOD grid holding ancilla
+//!    atoms. AOD rows and columns move as units and must never cross
+//!    ([`AodGrid`] enforces this). Two-qubit gates happen wherever two atoms
+//!    sit within the Rydberg radius when the global Rydberg laser fires
+//!    ([`RydbergModel`]).
+//! 2. **Fixed-coupling baselines**: the 127-qubit IBM-Washington-style
+//!    heavy-hex graph, and 16×16 square / triangular fixed-atom lattices
+//!    ([`CouplingGraph`] and [`devices`]).
+//!
+//! Physical constants (movement model, gate fidelities, coherence time) live
+//! in [`PhysicalParams`] and follow the values used in the paper's Eq. 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aod;
+mod coupling;
+pub mod devices;
+mod geometry;
+mod params;
+mod rydberg;
+mod slm;
+
+pub use aod::{AodError, AodGrid, AodMove};
+pub use coupling::CouplingGraph;
+pub use geometry::{GridCoord, Position};
+pub use params::PhysicalParams;
+pub use rydberg::{InteractionCheck, RydbergModel};
+pub use slm::SlmArray;

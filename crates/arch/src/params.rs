@@ -1,0 +1,131 @@
+//! Physical parameters of the FPQA platform.
+//!
+//! Values follow the paper's Eq. 5 evaluation setup (which itself follows
+//! Tan et al. [61] and Bluvstein et al. [11]): 1Q fidelity 99.9%, 2Q (CZ)
+//! fidelity 99.5% (Evered et al. [19]), coherence time `T2 = 1.5 s`, and
+//! characteristic movement time `T0 = 300 µs`. The time to move a distance
+//! `d` follows the constant-jerk profile used in [61]:
+//! `t_move(d) = T0 · sqrt(d / d0)` with `d0` the array pitch, which lands
+//! typical long moves at the ~0.15 m/s average speed reported in Fig. 9.
+
+use std::fmt;
+
+/// Physical constants of an FPQA machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhysicalParams {
+    /// Trap array pitch (µm).
+    pub site_spacing_um: f64,
+    /// Single-qubit gate fidelity `f1`.
+    pub fidelity_1q: f64,
+    /// Two-qubit gate fidelity `f2`.
+    pub fidelity_2q: f64,
+    /// Qubit coherence time `T2` (s).
+    pub t2_s: f64,
+    /// Characteristic atom-movement time `T0` (s).
+    pub t0_s: f64,
+    /// Duration of a (Raman) 1Q gate layer (s).
+    pub t_1q_s: f64,
+    /// Duration of a (global Rydberg) 2Q gate pulse (s).
+    pub t_2q_s: f64,
+    /// Duration of one atom-transfer operation (s).
+    pub t_transfer_s: f64,
+}
+
+impl Default for PhysicalParams {
+    fn default() -> Self {
+        PhysicalParams {
+            site_spacing_um: 10.0,
+            fidelity_1q: 0.999,
+            fidelity_2q: 0.995,
+            t2_s: 1.5,
+            t0_s: 300e-6,
+            t_1q_s: 1e-6,
+            t_2q_s: 0.5e-6,
+            t_transfer_s: 50e-6,
+        }
+    }
+}
+
+impl PhysicalParams {
+    /// Time (s) to move an atom a distance of `distance_um`, using the
+    /// square-root profile `T0 · sqrt(d / pitch)`.
+    pub fn move_time_s(&self, distance_um: f64) -> f64 {
+        if distance_um <= 0.0 {
+            return 0.0;
+        }
+        self.t0_s * (distance_um / self.site_spacing_um).sqrt()
+    }
+
+    /// Average speed (m/s) of a move spanning `distance_um`.
+    pub fn move_speed_m_per_s(&self, distance_um: f64) -> f64 {
+        let t = self.move_time_s(distance_um);
+        if t == 0.0 {
+            0.0
+        } else {
+            (distance_um * 1e-6) / t
+        }
+    }
+
+    /// Returns a copy with a different two-qubit fidelity (used by the
+    /// Fig. 15a sweep over 2Q error rates).
+    pub fn with_fidelity_2q(mut self, f2: f64) -> Self {
+        self.fidelity_2q = f2;
+        self
+    }
+}
+
+impl fmt::Display for PhysicalParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "params[f1={:.4}, f2={:.4}, T2={:.2}s, T0={:.0}us, pitch={:.1}um]",
+            self.fidelity_1q,
+            self.fidelity_2q,
+            self.t2_s,
+            self.t0_s * 1e6,
+            self.site_spacing_um
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_time_scales_with_sqrt_distance() {
+        let p = PhysicalParams::default();
+        let t1 = p.move_time_s(10.0);
+        let t4 = p.move_time_s(40.0);
+        assert!((t4 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_pitch_move_takes_t0() {
+        let p = PhysicalParams::default();
+        assert!((p.move_time_s(10.0) - 300e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_is_free() {
+        let p = PhysicalParams::default();
+        assert_eq!(p.move_time_s(0.0), 0.0);
+        assert_eq!(p.move_speed_m_per_s(0.0), 0.0);
+    }
+
+    #[test]
+    fn long_moves_reach_realistic_speeds() {
+        // Fig. 9 reports typical ~0.15 m/s average speeds.
+        let p = PhysicalParams::default();
+        let v = p.move_speed_m_per_s(200.0); // 20 sites across a 100q array
+        assert!(v > 0.10 && v < 0.25, "speed {v} m/s out of expected band");
+    }
+
+    #[test]
+    fn with_fidelity_2q_overrides() {
+        let p = PhysicalParams::default().with_fidelity_2q(0.9);
+        assert_eq!(p.fidelity_2q, 0.9);
+        assert_eq!(p.fidelity_1q, 0.999);
+    }
+}

@@ -1,0 +1,180 @@
+//! The global Rydberg laser interaction model.
+//!
+//! When the Rydberg laser fires, **every** pair of atoms within the blockade
+//! radius `r_b` executes a CZ. Atoms that must not interact have to be
+//! separated by more than `safety_factor × r_b` (2.5 in the paper). The
+//! router must therefore place atoms so that exactly the intended pairs are
+//! close, and the [`RydbergModel`] lets a validator recompute the coupled
+//! pairs from raw positions and compare them against the intent.
+
+use std::fmt;
+
+use crate::Position;
+
+/// Rydberg interaction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RydbergModel {
+    /// Blockade radius `r_b` (µm): pairs closer than this interact.
+    pub radius_um: f64,
+    /// Non-interacting atoms must be farther than `safety_factor * radius_um`.
+    pub safety_factor: f64,
+}
+
+impl Default for RydbergModel {
+    fn default() -> Self {
+        RydbergModel {
+            radius_um: 2.0,
+            safety_factor: 2.5,
+        }
+    }
+}
+
+/// A list of atom index pairs, as returned by [`RydbergModel::coupled_pairs`].
+pub type PairList = Vec<(usize, usize)>;
+
+/// Classification of an atom pair at Rydberg pulse time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionCheck {
+    /// Within `r_b`: a CZ executes on this pair.
+    Interacting,
+    /// Beyond `safety_factor × r_b`: fully decoupled.
+    Safe,
+    /// In the grey zone between the two radii: the pulse outcome is
+    /// non-deterministic — always a compilation error.
+    Hazard,
+}
+
+impl RydbergModel {
+    /// Creates a model with the given blockade radius and safety factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `radius_um > 0` and `safety_factor >= 1`.
+    pub fn new(radius_um: f64, safety_factor: f64) -> Self {
+        assert!(radius_um > 0.0, "blockade radius must be positive");
+        assert!(safety_factor >= 1.0, "safety factor must be >= 1");
+        RydbergModel {
+            radius_um,
+            safety_factor,
+        }
+    }
+
+    /// Classifies the pair at distance `a`–`b`.
+    pub fn classify(&self, a: &Position, b: &Position) -> InteractionCheck {
+        let d = a.distance(b);
+        if d <= self.radius_um {
+            InteractionCheck::Interacting
+        } else if d > self.safety_factor * self.radius_um {
+            InteractionCheck::Safe
+        } else {
+            InteractionCheck::Hazard
+        }
+    }
+
+    /// Returns `true` if the pair interacts under a pulse.
+    pub fn interacts(&self, a: &Position, b: &Position) -> bool {
+        self.classify(a, b) == InteractionCheck::Interacting
+    }
+
+    /// Computes every interacting pair among `positions` (O(n²) sweep) and
+    /// whether any pair sits in the hazard zone.
+    ///
+    /// Returns `(interacting index pairs, hazard index pairs)`.
+    pub fn coupled_pairs(&self, positions: &[Position]) -> (PairList, PairList) {
+        let mut interacting = Vec::new();
+        let mut hazards = Vec::new();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                match self.classify(&positions[i], &positions[j]) {
+                    InteractionCheck::Interacting => interacting.push((i, j)),
+                    InteractionCheck::Hazard => hazards.push((i, j)),
+                    InteractionCheck::Safe => {}
+                }
+            }
+        }
+        (interacting, hazards)
+    }
+
+    /// Offset (µm) at which a flying ancilla parks next to its partner:
+    /// comfortably inside `r_b` while keeping every other grid atom safe.
+    pub fn interaction_offset_um(&self) -> f64 {
+        self.radius_um * 0.5
+    }
+}
+
+impl fmt::Display for RydbergModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rydberg[r_b={:.2}um, safe>{:.2}um]",
+            self.radius_um,
+            self.radius_um * self.safety_factor
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Position {
+        Position::new(x, y)
+    }
+
+    #[test]
+    fn classification_zones() {
+        let m = RydbergModel::default(); // r_b = 2, safe > 5
+        assert_eq!(m.classify(&p(0.0, 0.0), &p(1.0, 0.0)), InteractionCheck::Interacting);
+        assert_eq!(m.classify(&p(0.0, 0.0), &p(3.0, 0.0)), InteractionCheck::Hazard);
+        assert_eq!(m.classify(&p(0.0, 0.0), &p(6.0, 0.0)), InteractionCheck::Safe);
+    }
+
+    #[test]
+    fn boundary_is_interacting() {
+        let m = RydbergModel::default();
+        assert!(m.interacts(&p(0.0, 0.0), &p(2.0, 0.0)));
+    }
+
+    #[test]
+    fn coupled_pairs_finds_all() {
+        let m = RydbergModel::default();
+        let pos = vec![p(0.0, 0.0), p(1.0, 0.0), p(20.0, 0.0), p(21.0, 0.0)];
+        let (pairs, hazards) = m.coupled_pairs(&pos);
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+        assert!(hazards.is_empty());
+    }
+
+    #[test]
+    fn hazards_are_reported() {
+        let m = RydbergModel::default();
+        let pos = vec![p(0.0, 0.0), p(4.0, 0.0)];
+        let (pairs, hazards) = m.coupled_pairs(&pos);
+        assert!(pairs.is_empty());
+        assert_eq!(hazards, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn grid_neighbours_are_safe_at_default_pitch() {
+        // 10 um pitch with r_b = 2 um: neighbours at 10 um > 5 um.
+        let m = RydbergModel::default();
+        assert_eq!(m.classify(&p(0.0, 0.0), &p(10.0, 0.0)), InteractionCheck::Safe);
+    }
+
+    #[test]
+    fn parked_ancilla_interacts_with_partner_only() {
+        let m = RydbergModel::default();
+        let offset = m.interaction_offset_um();
+        // Ancilla next to site (0,0); next site at 10 um.
+        let pos = vec![p(0.0, 0.0), p(offset, 0.0), p(10.0, 0.0)];
+        let (pairs, hazards) = m.coupled_pairs(&pos);
+        assert_eq!(pairs, vec![(0, 1)]);
+        assert!(hazards.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_radius_rejected() {
+        RydbergModel::new(0.0, 2.5);
+    }
+}

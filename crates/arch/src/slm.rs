@@ -1,0 +1,188 @@
+//! The fixed SLM trap array holding data atoms.
+
+use std::fmt;
+
+use crate::{GridCoord, Position};
+
+/// A rectangular array of SLM (spatial light modulator) traps.
+///
+/// Data qubits are mapped onto sites in *reading order* (row-major), the
+/// mapping the paper fixes throughout (§3.1). The array also fixes the
+/// physical pitch between neighbouring sites.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_arch::SlmArray;
+///
+/// let slm = SlmArray::new(3, 4, 10.0);
+/// assert_eq!(slm.num_sites(), 12);
+/// let c = slm.coord_of(5); // qubit 5 -> row 1, col 1
+/// assert_eq!((c.row, c.col), (1, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SlmArray {
+    rows: usize,
+    cols: usize,
+    spacing_um: f64,
+}
+
+impl SlmArray {
+    /// Creates an array of `rows × cols` traps at the given pitch (µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`, `cols` are zero or the spacing is not positive.
+    pub fn new(rows: usize, cols: usize, spacing_um: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "SLM array must be non-empty");
+        assert!(spacing_um > 0.0, "SLM spacing must be positive");
+        SlmArray {
+            rows,
+            cols,
+            spacing_um,
+        }
+    }
+
+    /// Smallest array of the given width that fits `n` qubits.
+    pub fn with_capacity_for(n: usize, cols: usize) -> Self {
+        let rows = n.div_ceil(cols).max(1);
+        SlmArray::new(rows, cols, 10.0)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Trap pitch in micrometres.
+    pub fn spacing_um(&self) -> f64 {
+        self.spacing_um
+    }
+
+    /// Total number of trap sites.
+    pub fn num_sites(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Grid coordinate of the site holding qubit `q` under reading-order
+    /// mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= num_sites()`.
+    pub fn coord_of(&self, q: usize) -> GridCoord {
+        assert!(q < self.num_sites(), "qubit {q} beyond SLM capacity");
+        GridCoord::new(q / self.cols, q % self.cols)
+    }
+
+    /// Inverse of [`SlmArray::coord_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the array.
+    pub fn site_at(&self, coord: GridCoord) -> usize {
+        assert!(
+            coord.row < self.rows && coord.col < self.cols,
+            "coordinate {coord} outside {self}"
+        );
+        coord.row * self.cols + coord.col
+    }
+
+    /// Physical position of a grid coordinate.
+    pub fn position(&self, coord: GridCoord) -> Position {
+        Position::new(
+            coord.col as f64 * self.spacing_um,
+            coord.row as f64 * self.spacing_um,
+        )
+    }
+
+    /// Physical position of qubit `q`.
+    pub fn position_of(&self, q: usize) -> Position {
+        self.position(self.coord_of(q))
+    }
+
+    /// Physical x coordinate of column `col`.
+    pub fn col_x(&self, col: usize) -> f64 {
+        col as f64 * self.spacing_um
+    }
+
+    /// Physical y coordinate of row `row`.
+    pub fn row_y(&self, row: usize) -> f64 {
+        row as f64 * self.spacing_um
+    }
+
+    /// Iterates over all `(site, coord)` pairs in reading order.
+    pub fn iter_sites(&self) -> impl Iterator<Item = (usize, GridCoord)> + '_ {
+        (0..self.num_sites()).map(|s| (s, self.coord_of(s)))
+    }
+}
+
+impl fmt::Display for SlmArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slm[{}x{} @ {:.1}um]",
+            self.rows, self.cols, self.spacing_um
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reading_order_roundtrip() {
+        let slm = SlmArray::new(3, 4, 10.0);
+        for q in 0..slm.num_sites() {
+            assert_eq!(slm.site_at(slm.coord_of(q)), q);
+        }
+    }
+
+    #[test]
+    fn coordinates_follow_reading_order() {
+        let slm = SlmArray::new(2, 3, 10.0);
+        assert_eq!(slm.coord_of(0), GridCoord::new(0, 0));
+        assert_eq!(slm.coord_of(2), GridCoord::new(0, 2));
+        assert_eq!(slm.coord_of(3), GridCoord::new(1, 0));
+    }
+
+    #[test]
+    fn positions_scale_with_spacing() {
+        let slm = SlmArray::new(2, 2, 5.0);
+        let p = slm.position_of(3);
+        assert_eq!((p.x, p.y), (5.0, 5.0));
+    }
+
+    #[test]
+    fn with_capacity_rounds_up() {
+        let slm = SlmArray::with_capacity_for(10, 4);
+        assert_eq!(slm.rows(), 3);
+        assert!(slm.num_sites() >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond SLM capacity")]
+    fn coord_of_checks_range() {
+        SlmArray::new(2, 2, 10.0).coord_of(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_rows_rejected() {
+        SlmArray::new(0, 2, 10.0);
+    }
+
+    #[test]
+    fn iter_sites_covers_all() {
+        let slm = SlmArray::new(2, 2, 10.0);
+        let sites: Vec<usize> = slm.iter_sites().map(|(s, _)| s).collect();
+        assert_eq!(sites, vec![0, 1, 2, 3]);
+    }
+}

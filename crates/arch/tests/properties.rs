@@ -1,0 +1,129 @@
+//! Property-based invariants of the hardware models.
+
+use proptest::prelude::*;
+
+use qpilot_arch::{devices, AodGrid, CouplingGraph, Position, RydbergModel, SlmArray};
+
+/// Strictly increasing coordinate vectors.
+fn arb_coords(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..20.0, len).prop_map(|steps| {
+        let mut acc = 0.0;
+        steps
+            .into_iter()
+            .map(|s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn aod_accepts_any_order_preserving_move(
+        a in arb_coords(4),
+        b in arb_coords(4),
+        c in arb_coords(4),
+        d in arb_coords(4),
+    ) {
+        let mut grid = AodGrid::new(a, b).expect("increasing");
+        let mv = grid.move_to(c.clone(), d.clone()).expect("increasing move");
+        prop_assert_eq!(mv.new_row_y, c.clone());
+        prop_assert_eq!(grid.row_y(), &c[..]);
+        prop_assert_eq!(grid.col_x(), &d[..]);
+    }
+
+    #[test]
+    fn aod_rejects_any_inversion(
+        base in arb_coords(4),
+        swap_at in 0usize..3,
+    ) {
+        let mut bad = base.clone();
+        bad.swap(swap_at, swap_at + 1);
+        prop_assume!(bad != base);
+        let mut grid = AodGrid::new(base.clone(), base.clone()).expect("increasing");
+        prop_assert!(grid.move_to(bad, base).is_err());
+    }
+
+    #[test]
+    fn displacement_is_euclidean(
+        a in arb_coords(2),
+        b in arb_coords(2),
+        c in arb_coords(2),
+        d in arb_coords(2),
+    ) {
+        let mut grid = AodGrid::new(a.clone(), b.clone()).expect("increasing");
+        grid.load(0, 0).expect("in range");
+        let mv = grid.move_to(c.clone(), d.clone()).expect("increasing");
+        let expect = Position::new(b[0], a[0]).distance(&Position::new(d[0], c[0]));
+        prop_assert!((mv.displacement(0, 0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rydberg_zones_are_exhaustive_and_symmetric(
+        x1 in -50.0f64..50.0, y1 in -50.0f64..50.0,
+        x2 in -50.0f64..50.0, y2 in -50.0f64..50.0,
+    ) {
+        let m = RydbergModel::new(1.5, 2.5);
+        let (a, b) = (Position::new(x1, y1), Position::new(x2, y2));
+        prop_assert_eq!(m.classify(&a, &b), m.classify(&b, &a));
+        // Interacting implies within radius; safe implies beyond safety.
+        use qpilot_arch::InteractionCheck::*;
+        match m.classify(&a, &b) {
+            Interacting => prop_assert!(a.distance(&b) <= 1.5),
+            Safe => prop_assert!(a.distance(&b) > 1.5 * 2.5),
+            Hazard => {
+                let d = a.distance(&b);
+                prop_assert!(d > 1.5 && d <= 3.75);
+            }
+        }
+    }
+
+    #[test]
+    fn slm_reading_order_bijection(rows in 1usize..8, cols in 1usize..8) {
+        let slm = SlmArray::new(rows, cols, 10.0);
+        for site in 0..slm.num_sites() {
+            prop_assert_eq!(slm.site_at(slm.coord_of(site)), site);
+        }
+    }
+
+    #[test]
+    fn lattice_distance_triangle_inequality(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        a in 0usize..25,
+        b in 0usize..25,
+        c in 0usize..25,
+    ) {
+        let g = devices::square_lattice(rows, cols);
+        let n = g.num_qubits();
+        let (a, b, c) = (a % n, b % n, c % n);
+        let d = |x: usize, y: usize| g.distance(x, y).expect("connected lattice");
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c));
+        prop_assert_eq!(d(a, b), d(b, a));
+    }
+
+    #[test]
+    fn heavy_hex_degrees_bounded(rows in 2usize..6, len in 4usize..12) {
+        let g = devices::heavy_hex(rows, len);
+        for q in 0..g.num_qubits() {
+            prop_assert!(g.degree(q) <= 3);
+        }
+    }
+
+    #[test]
+    fn coupling_graph_edges_match_adjacency(
+        edges in prop::collection::vec((0usize..10, 0usize..10), 0..25),
+    ) {
+        let clean: Vec<(usize, usize)> =
+            edges.into_iter().filter(|(a, b)| a != b).collect();
+        let g = CouplingGraph::from_edges("rand", 10, clean);
+        for &(a, b) in g.edges() {
+            prop_assert!(g.is_adjacent(a, b));
+            prop_assert!(g.is_adjacent(b, a));
+            prop_assert!(g.neighbors(a).contains(&b));
+        }
+        let degree_sum: usize = (0..10).map(|q| g.degree(q)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edges().len());
+    }
+}

@@ -1,0 +1,165 @@
+//! The end-to-end baseline compilation pipeline.
+//!
+//! Mirrors what the paper does with Qiskit at optimisation level 3:
+//! decompose to the device's native 2Q basis (CZ; `ZZ(θ)` costs two CZs on
+//! fixed-coupling hardware), route with SABRE from the trivial layout,
+//! expand SWAPs (3 CX each), run peephole cancellation, and report the
+//! paper's two metrics: native 2Q gate count and parallel-2Q depth.
+
+use qpilot_arch::CouplingGraph;
+use qpilot_circuit::{decompose, optimize, Circuit};
+
+use crate::sabre::{BaselineError, SabreOptions, SabreRouter};
+
+/// Compiled-baseline metrics for one (circuit, device) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Device name.
+    pub device: String,
+    /// Native two-qubit gates after routing and cleanup.
+    pub two_qubit_gates: usize,
+    /// Parallel two-qubit layers.
+    pub two_qubit_depth: usize,
+    /// One-qubit gates after cleanup.
+    pub one_qubit_gates: usize,
+    /// SWAPs the router inserted (before expansion).
+    pub swaps: usize,
+}
+
+/// Compiles `circuit` onto the fixed-coupling `device`.
+///
+/// # Errors
+///
+/// Propagates [`BaselineError`] from routing (width/connectivity).
+///
+/// # Example
+///
+/// ```
+/// use qpilot_arch::devices;
+/// use qpilot_baselines::compile_to_device;
+/// use qpilot_circuit::Circuit;
+///
+/// let mut c = Circuit::new(4);
+/// c.h(0).cx(0, 3);
+/// let report = compile_to_device(&c, &devices::square_lattice(2, 2)).unwrap();
+/// assert!(report.two_qubit_gates >= 1);
+/// ```
+pub fn compile_to_device(
+    circuit: &Circuit,
+    device: &CouplingGraph,
+) -> Result<BaselineReport, BaselineError> {
+    compile_with_options(circuit, device, SabreOptions::default())
+}
+
+/// [`compile_to_device`] with explicit router options.
+///
+/// # Errors
+///
+/// See [`compile_to_device`].
+pub fn compile_with_options(
+    circuit: &Circuit,
+    device: &CouplingGraph,
+    options: SabreOptions,
+) -> Result<BaselineReport, BaselineError> {
+    // Fixed-coupling hardware has no native ZZ(θ): expand everything.
+    let native = decompose::to_native(
+        circuit,
+        decompose::DecomposeOptions { keep_zz: false },
+    );
+    let routed = SabreRouter::with_options(device.clone(), options).route(&native)?;
+    // Expand SWAPs into CX chains, lower to CZ basis, clean up.
+    let lowered = decompose::to_native(
+        &routed.circuit,
+        decompose::DecomposeOptions { keep_zz: false },
+    );
+    let (clean, _) = optimize::peephole(&lowered);
+    Ok(BaselineReport {
+        device: device.name().to_string(),
+        two_qubit_gates: clean.two_qubit_count(),
+        two_qubit_depth: clean.two_qubit_depth(),
+        one_qubit_gates: clean.single_qubit_count(),
+        swaps: routed.swaps,
+    })
+}
+
+/// Compiles and also returns the final physical circuit (used by
+/// equivalence tests).
+///
+/// # Errors
+///
+/// See [`compile_to_device`].
+pub fn compile_returning_circuit(
+    circuit: &Circuit,
+    device: &CouplingGraph,
+) -> Result<(BaselineReport, Circuit, Vec<usize>), BaselineError> {
+    let native = decompose::to_native(
+        circuit,
+        decompose::DecomposeOptions { keep_zz: false },
+    );
+    let routed = SabreRouter::new(device.clone()).route(&native)?;
+    let lowered = decompose::to_native(
+        &routed.circuit,
+        decompose::DecomposeOptions { keep_zz: false },
+    );
+    let (clean, _) = optimize::peephole(&lowered);
+    let report = BaselineReport {
+        device: device.name().to_string(),
+        two_qubit_gates: clean.two_qubit_count(),
+        two_qubit_depth: clean.two_qubit_depth(),
+        one_qubit_gates: clean.single_qubit_count(),
+        swaps: routed.swaps,
+    };
+    Ok((report, clean, routed.final_layout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpilot_arch::devices;
+
+    #[test]
+    fn local_circuit_is_cheap() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1);
+        let r = compile_to_device(&c, &devices::square_lattice(2, 2)).unwrap();
+        assert_eq!(r.two_qubit_gates, 1);
+        assert_eq!(r.two_qubit_depth, 1);
+        assert_eq!(r.swaps, 0);
+    }
+
+    #[test]
+    fn distant_gate_costs_swaps() {
+        let mut c = Circuit::new(9);
+        c.cz(0, 8);
+        let r = compile_to_device(&c, &devices::square_lattice(3, 3)).unwrap();
+        assert!(r.swaps >= 2);
+        // Each swap is 3 CZ after expansion (minus peephole savings).
+        assert!(r.two_qubit_gates > 2 * r.swaps);
+    }
+
+    #[test]
+    fn zz_gates_cost_two_cz_on_fixed_hardware() {
+        let mut c = Circuit::new(2);
+        c.zz(0, 1, 0.5);
+        let r = compile_to_device(&c, &devices::square_lattice(1, 2)).unwrap();
+        assert_eq!(r.two_qubit_gates, 2);
+    }
+
+    #[test]
+    fn triangular_beats_square_on_diagonals() {
+        // Diagonal neighbours are adjacent on the triangular lattice only.
+        let mut c = Circuit::new(16);
+        c.cz(0, 5).cz(5, 10).cz(10, 15);
+        let sq = compile_to_device(&c, &devices::square_lattice(4, 4)).unwrap();
+        let tri = compile_to_device(&c, &devices::triangular_lattice(4, 4)).unwrap();
+        assert!(tri.swaps < sq.swaps);
+        assert!(tri.two_qubit_gates <= sq.two_qubit_gates);
+    }
+
+    #[test]
+    fn report_names_device() {
+        let c = Circuit::new(2);
+        let r = compile_to_device(&c, &devices::ibm_washington()).unwrap();
+        assert!(r.device.starts_with("heavy-hex"));
+    }
+}

@@ -1,0 +1,459 @@
+//! A deterministic SABRE-style lookahead SWAP router.
+//!
+//! This is the routing algorithm behind Qiskit's higher optimisation
+//! levels (Li, Ding, Xie — ASPLOS'19): keep the dependency front layer,
+//! execute whatever is adjacent, and otherwise insert the SWAP minimising a
+//! distance heuristic over the front layer plus a discounted *extended set*
+//! of upcoming gates, with per-qubit decay factors to avoid ping-ponging.
+//! Tie-breaks are deterministic (edge order), so routing is reproducible.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use qpilot_arch::CouplingGraph;
+use qpilot_circuit::{Circuit, Frontier, Gate, Operands, Qubit};
+
+/// Tunables for [`SabreRouter`]; defaults follow the SABRE paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SabreOptions {
+    /// Number of look-ahead gates in the extended set.
+    pub extended_set_size: usize,
+    /// Weight of the extended-set term.
+    pub extended_weight: f64,
+    /// Decay increment applied to swapped qubits.
+    pub decay_delta: f64,
+    /// Swaps between decay resets.
+    pub decay_reset_interval: usize,
+}
+
+impl Default for SabreOptions {
+    fn default() -> Self {
+        SabreOptions {
+            extended_set_size: 20,
+            extended_weight: 0.5,
+            decay_delta: 0.001,
+            decay_reset_interval: 5,
+        }
+    }
+}
+
+/// Routing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The circuit needs more qubits than the device offers.
+    CircuitTooWide {
+        /// Logical qubits required.
+        required: u32,
+        /// Physical qubits available.
+        available: usize,
+    },
+    /// The device graph cannot connect two logical qubits (disconnected).
+    Unroutable {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::CircuitTooWide { required, available } => {
+                write!(f, "circuit needs {required} qubits, device has {available}")
+            }
+            BaselineError::Unroutable { a, b } => {
+                write!(f, "no path between physical qubits {a} and {b}")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+/// Output of a routing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SabreResult {
+    /// The physical circuit: original gates remapped to physical qubits,
+    /// with explicit `SWAP`s inserted.
+    pub circuit: Circuit,
+    /// Number of SWAPs inserted.
+    pub swaps: usize,
+    /// Final logical → physical layout.
+    pub final_layout: Vec<usize>,
+}
+
+/// The router, bound to one device graph.
+#[derive(Debug, Clone)]
+pub struct SabreRouter {
+    graph: CouplingGraph,
+    dist: Vec<Vec<usize>>,
+    options: SabreOptions,
+}
+
+impl SabreRouter {
+    /// Creates a router for the device.
+    pub fn new(graph: CouplingGraph) -> Self {
+        Self::with_options(graph, SabreOptions::default())
+    }
+
+    /// Creates a router with explicit options.
+    pub fn with_options(graph: CouplingGraph, options: SabreOptions) -> Self {
+        let dist = graph.distance_matrix();
+        SabreRouter {
+            graph,
+            dist,
+            options,
+        }
+    }
+
+    /// The device graph.
+    pub fn graph(&self) -> &CouplingGraph {
+        &self.graph
+    }
+
+    /// Routes `circuit` starting from the trivial layout (logical `i` on
+    /// physical `i`).
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::CircuitTooWide`] or [`BaselineError::Unroutable`]
+    /// on disconnected devices.
+    pub fn route(&self, circuit: &Circuit) -> Result<SabreResult, BaselineError> {
+        let n_phys = self.graph.num_qubits();
+        let n_log = circuit.num_qubits() as usize;
+        if n_log > n_phys {
+            return Err(BaselineError::CircuitTooWide {
+                required: circuit.num_qubits(),
+                available: n_phys,
+            });
+        }
+
+        let mut layout: Vec<usize> = (0..n_log).collect(); // logical -> physical
+        let mut out = Circuit::with_capacity(n_phys as u32, circuit.len() * 2);
+        let mut frontier = Frontier::new(circuit);
+        let gates = circuit.gates();
+        let mut decay = vec![1.0f64; n_phys];
+        let mut swaps = 0usize;
+        let mut swaps_since_reset = 0usize;
+        let mut stuck_rounds = 0usize;
+
+        while !frontier.is_done() {
+            // Execute everything executable.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                let ready: Vec<usize> = frontier.front_layer().to_vec();
+                for id in ready {
+                    let g = &gates[id];
+                    let executable = match g.operands() {
+                        Operands::One(_) => true,
+                        Operands::Two(a, b) => {
+                            self.graph.is_adjacent(layout[a.index()], layout[b.index()])
+                        }
+                    };
+                    if executable {
+                        out.push_unchecked(g.map_qubits(|q| Qubit::from(layout[q.index()])));
+                        frontier.execute(id);
+                        progressed = true;
+                    }
+                }
+            }
+            if frontier.is_done() {
+                break;
+            }
+
+            // Blocked: score candidate swaps around the front layer.
+            let front: Vec<(usize, usize)> = frontier
+                .front_layer()
+                .iter()
+                .filter_map(|&id| match gates[id].operands() {
+                    Operands::Two(a, b) => Some((layout[a.index()], layout[b.index()])),
+                    Operands::One(_) => None,
+                })
+                .collect();
+            debug_assert!(!front.is_empty(), "blocked frontier must have 2Q gates");
+            for &(a, b) in &front {
+                if self.dist[a][b] == usize::MAX {
+                    return Err(BaselineError::Unroutable { a, b });
+                }
+            }
+            let extended = self.extended_set(circuit, &frontier, &layout);
+
+            let mut involved = vec![false; n_phys];
+            for &(a, b) in &front {
+                involved[a] = true;
+                involved[b] = true;
+            }
+            let mut best: Option<(f64, (usize, usize))> = None;
+            for &(p, q) in self.graph.edges() {
+                if !involved[p] && !involved[q] {
+                    continue;
+                }
+                let score = self.swap_score(p, q, &front, &extended, &decay);
+                if best.map(|(s, _)| score < s).unwrap_or(true) {
+                    best = Some((score, (p, q)));
+                }
+            }
+            let (p, q) = match best {
+                Some((_, e)) => e,
+                None => {
+                    // Anti-livelock: walk the first blocked pair together.
+                    let (a, b) = front[0];
+                    self.step_towards(a, b)?
+                }
+            };
+
+            out.push_unchecked(Gate::Swap(Qubit::from(p), Qubit::from(q)));
+            swaps += 1;
+            swaps_since_reset += 1;
+            stuck_rounds += 1;
+            apply_swap(&mut layout, p, q);
+            decay[p] += self.options.decay_delta;
+            decay[q] += self.options.decay_delta;
+            if swaps_since_reset >= self.options.decay_reset_interval {
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                swaps_since_reset = 0;
+            }
+            // Forced-progress fallback if the heuristic cycles: walk the
+            // first blocked gate's operands together along a shortest path.
+            if stuck_rounds > 4 * n_phys {
+                if let Some(&id) = frontier
+                    .front_layer()
+                    .iter()
+                    .find(|&&id| gates[id].is_two_qubit())
+                {
+                    loop {
+                        let (pa, pb) = match gates[id].operands() {
+                            Operands::Two(a, b) => (layout[a.index()], layout[b.index()]),
+                            Operands::One(_) => unreachable!("filtered to 2Q"),
+                        };
+                        if self.graph.is_adjacent(pa, pb) {
+                            break;
+                        }
+                        let (sp, sq) = self.step_towards(pa, pb)?;
+                        out.push_unchecked(Gate::Swap(Qubit::from(sp), Qubit::from(sq)));
+                        swaps += 1;
+                        apply_swap(&mut layout, sp, sq);
+                    }
+                }
+                stuck_rounds = 0;
+            }
+            // Any execution resets the stuck counter next loop iteration.
+            let any_ready = frontier.front_layer().iter().any(|&id| {
+                match gates[id].operands() {
+                    Operands::One(_) => true,
+                    Operands::Two(a, b) => {
+                        self.graph.is_adjacent(layout[a.index()], layout[b.index()])
+                    }
+                }
+            });
+            if any_ready {
+                stuck_rounds = 0;
+            }
+        }
+
+        Ok(SabreResult {
+            circuit: out,
+            swaps,
+            final_layout: layout,
+        })
+    }
+
+    /// First hop of a shortest path from `a` towards `b` (both physical).
+    fn step_towards(&self, a: usize, b: usize) -> Result<(usize, usize), BaselineError> {
+        let next = self
+            .graph
+            .neighbors(a)
+            .iter()
+            .copied()
+            .min_by_key(|&n| self.dist[n][b])
+            .ok_or(BaselineError::Unroutable { a, b })?;
+        if self.dist[next][b] == usize::MAX {
+            return Err(BaselineError::Unroutable { a, b });
+        }
+        Ok((a, next))
+    }
+
+    fn swap_score(
+        &self,
+        p: usize,
+        q: usize,
+        front: &[(usize, usize)],
+        extended: &[(usize, usize)],
+        decay: &[f64],
+    ) -> f64 {
+        let remap = |x: usize| -> usize {
+            if x == p {
+                q
+            } else if x == q {
+                p
+            } else {
+                x
+            }
+        };
+        let front_cost: f64 = front
+            .iter()
+            .map(|&(a, b)| self.dist[remap(a)][remap(b)] as f64)
+            .sum::<f64>()
+            / front.len() as f64;
+        let ext_cost = if extended.is_empty() {
+            0.0
+        } else {
+            extended
+                .iter()
+                .map(|&(a, b)| self.dist[remap(a)][remap(b)] as f64)
+                .sum::<f64>()
+                / extended.len() as f64
+        };
+        decay[p].max(decay[q]) * (front_cost + self.options.extended_weight * ext_cost)
+    }
+
+    /// Collects upcoming 2Q gates (BFS over DAG successors of the front
+    /// layer), mapped to current physical pairs.
+    fn extended_set(
+        &self,
+        circuit: &Circuit,
+        frontier: &Frontier,
+        layout: &[usize],
+    ) -> Vec<(usize, usize)> {
+        let gates = circuit.gates();
+        let dag = frontier.dag();
+        let mut queue: VecDeque<usize> = frontier.front_layer().iter().copied().collect();
+        let mut seen: Vec<usize> = Vec::new();
+        let mut result = Vec::new();
+        while let Some(id) = queue.pop_front() {
+            if result.len() >= self.options.extended_set_size {
+                break;
+            }
+            for &s in dag.successors(id) {
+                if seen.contains(&s) {
+                    continue;
+                }
+                seen.push(s);
+                if let Operands::Two(a, b) = gates[s].operands() {
+                    result.push((layout[a.index()], layout[b.index()]));
+                }
+                queue.push_back(s);
+            }
+        }
+        result
+    }
+}
+
+fn apply_swap(layout: &mut [usize], p: usize, q: usize) {
+    for slot in layout.iter_mut() {
+        if *slot == p {
+            *slot = q;
+        } else if *slot == q {
+            *slot = p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpilot_arch::devices;
+
+    fn line(n: usize) -> CouplingGraph {
+        CouplingGraph::from_edges("line", n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 1).cz(1, 2);
+        let r = SabreRouter::new(line(3)).route(&c).unwrap();
+        assert_eq!(r.swaps, 0);
+        assert_eq!(r.circuit.two_qubit_count(), 2);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 3);
+        let r = SabreRouter::new(line(4)).route(&c).unwrap();
+        assert!(r.swaps >= 2, "swaps = {}", r.swaps);
+        // SWAP(3) each + CZ(1) executed.
+        assert_eq!(r.circuit.two_qubit_count(), r.swaps + 1);
+    }
+
+    #[test]
+    fn one_qubit_gates_pass_through() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(1).cz(0, 1);
+        let r = SabreRouter::new(line(2)).route(&c).unwrap();
+        assert_eq!(r.circuit.len(), 3);
+        assert_eq!(r.swaps, 0);
+    }
+
+    #[test]
+    fn layout_tracks_swaps() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 2);
+        let r = SabreRouter::new(line(3)).route(&c).unwrap();
+        // One swap suffices on a 3-line; layout must be a permutation.
+        let mut sorted = r.final_layout.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(r.swaps, 1);
+    }
+
+    #[test]
+    fn too_wide_circuit_rejected() {
+        let c = Circuit::new(5);
+        let err = SabreRouter::new(line(3)).route(&c).unwrap_err();
+        assert!(matches!(err, BaselineError::CircuitTooWide { .. }));
+    }
+
+    #[test]
+    fn disconnected_device_rejected() {
+        let g = CouplingGraph::from_edges("disc", 4, [(0, 1), (2, 3)]);
+        let mut c = Circuit::new(4);
+        c.cz(0, 2);
+        let err = SabreRouter::new(g).route(&c).unwrap_err();
+        assert!(matches!(err, BaselineError::Unroutable { .. }));
+    }
+
+    #[test]
+    fn routes_on_heavy_hex() {
+        let mut c = Circuit::new(20);
+        for q in 0..10 {
+            c.cz(q, q + 10);
+        }
+        let r = SabreRouter::new(devices::ibm_washington()).route(&c).unwrap();
+        assert_eq!(
+            r.circuit.iter().filter(|g| matches!(g, Gate::Cz(_, _))).count(),
+            10
+        );
+        assert!(r.swaps > 0);
+    }
+
+    #[test]
+    fn routed_gates_are_always_adjacent() {
+        let g = devices::square_lattice(4, 4);
+        let mut c = Circuit::new(16);
+        c.cz(0, 15).cz(3, 12).cz(5, 10).cz(1, 14);
+        let r = SabreRouter::new(g.clone()).route(&c).unwrap();
+        for gate in r.circuit.iter() {
+            if let Operands::Two(a, b) = gate.operands() {
+                assert!(
+                    g.is_adjacent(a.index(), b.index()),
+                    "gate {gate} not executable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let g = devices::square_lattice(3, 3);
+        let mut c = Circuit::new(9);
+        c.cz(0, 8).cz(2, 6).cz(1, 7);
+        let r1 = SabreRouter::new(g.clone()).route(&c).unwrap();
+        let r2 = SabreRouter::new(g).route(&c).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

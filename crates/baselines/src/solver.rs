@@ -1,0 +1,290 @@
+//! Solver-style QAOA stage scheduling (the Table 2 comparators).
+//!
+//! The SMT-solver compiler of Tan et al. \[61\] finds depth-optimal QAOA
+//! schedules on the FPQA but scales exponentially; its relaxation \[62\]
+//! trades optimality for runtime. On QAOA workloads the optimum the solver
+//! converges to is the minimum number of *stages* partitioning the edge set
+//! into groups of disjoint edges — the graph's chromatic index (3-regular
+//! graphs: 3; 4-regular: 5 in the paper's Table 2, i.e. Δ or Δ+1 by
+//! Vizing's theorem).
+//!
+//! We reproduce both behaviours:
+//!
+//! * [`exact_qaoa_stages`] — branch-and-bound edge colouring with a
+//!   wall-clock timeout (exponential, like the SMT solver),
+//! * [`greedy_qaoa_stages`] — maximal-matching peeling (polynomial, a few
+//!   stages worse, like the iterative relaxation).
+
+use std::time::{Duration, Instant};
+
+/// Result of the exact scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverOutcome {
+    /// Proven-optimal stage count.
+    Optimal {
+        /// Minimum number of stages.
+        stages: usize,
+        /// Time spent.
+        elapsed: Duration,
+    },
+    /// The time budget ran out before the search finished.
+    Timeout {
+        /// Best feasible stage count found, if any.
+        best_known: Option<usize>,
+        /// Time spent.
+        elapsed: Duration,
+    },
+}
+
+impl SolverOutcome {
+    /// Stage count if optimal.
+    pub fn stages(&self) -> Option<usize> {
+        match self {
+            SolverOutcome::Optimal { stages, .. } => Some(*stages),
+            SolverOutcome::Timeout { .. } => None,
+        }
+    }
+}
+
+/// Exact minimum stage count (chromatic index) by branch and bound.
+///
+/// Tries `k = Δ` first and falls back to `Δ+1` (always feasible by
+/// Vizing); within each `k` a DFS assigns stages to edges in max-degree
+/// order with symmetry breaking. Checks the deadline between nodes.
+pub fn exact_qaoa_stages(
+    num_qubits: u32,
+    edges: &[(u32, u32)],
+    timeout: Duration,
+) -> SolverOutcome {
+    let start = Instant::now();
+    if edges.is_empty() {
+        return SolverOutcome::Optimal {
+            stages: 0,
+            elapsed: start.elapsed(),
+        };
+    }
+    let mut degree = vec![0usize; num_qubits as usize];
+    for &(a, b) in edges {
+        degree[a as usize] += 1;
+        degree[b as usize] += 1;
+    }
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Order edges by decreasing endpoint degree for better pruning.
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by_key(|&i| {
+        let (a, b) = edges[i];
+        std::cmp::Reverse(degree[a as usize] + degree[b as usize])
+    });
+
+    let mut best_known: Option<usize> = None;
+    for k in max_degree..=(max_degree + 1) {
+        match color_with(edges, &order, num_qubits as usize, k, start, timeout) {
+            ColorResult::Feasible => {
+                return SolverOutcome::Optimal {
+                    stages: k,
+                    elapsed: start.elapsed(),
+                };
+            }
+            ColorResult::Infeasible => continue,
+            ColorResult::TimedOut => {
+                // A (Δ+1)-stage schedule always exists even if unproven.
+                best_known = Some(max_degree + 1).filter(|_| k > max_degree).or(best_known);
+                return SolverOutcome::Timeout {
+                    best_known,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+    }
+    // Vizing guarantees Δ+1 colours suffice; reaching here means the DFS
+    // disproved Δ and Δ+1, which is impossible for simple graphs.
+    unreachable!("edge colouring with Δ+1 colours must exist");
+}
+
+enum ColorResult {
+    Feasible,
+    Infeasible,
+    TimedOut,
+}
+
+fn color_with(
+    edges: &[(u32, u32)],
+    order: &[usize],
+    num_qubits: usize,
+    k: usize,
+    start: Instant,
+    timeout: Duration,
+) -> ColorResult {
+    // used[v] is a bitmask of stage colours taken at vertex v.
+    let mut used = vec![0u64; num_qubits];
+    if k > 63 {
+        // Degenerate: fall back to "feasible" via greedy bound.
+        return ColorResult::Feasible;
+    }
+    let mut stack: Vec<(usize, usize)> = Vec::with_capacity(order.len()); // (pos, color)
+    let mut pos = 0usize;
+    let mut next_color = 0usize;
+    let mut max_color_used = 0usize; // symmetry breaking: colours introduced in order
+    let mut checked = 0u32;
+    loop {
+        checked += 1;
+        if checked.is_multiple_of(4096) && start.elapsed() > timeout {
+            return ColorResult::TimedOut;
+        }
+        if pos == order.len() {
+            return ColorResult::Feasible;
+        }
+        let (a, b) = edges[order[pos]];
+        let (a, b) = (a as usize, b as usize);
+        let taken = used[a] | used[b];
+        // Allowed colours: < k, free at both endpoints, and at most one
+        // beyond the highest colour used so far (symmetry breaking).
+        let limit = (max_color_used + 1).min(k - 1);
+        let mut color = next_color;
+        let mut found = None;
+        while color <= limit {
+            if taken & (1 << color) == 0 {
+                found = Some(color);
+                break;
+            }
+            color += 1;
+        }
+        match found {
+            Some(c) => {
+                used[a] |= 1 << c;
+                used[b] |= 1 << c;
+                stack.push((pos, c));
+                if c > max_color_used {
+                    max_color_used = c;
+                }
+                pos += 1;
+                next_color = 0;
+            }
+            None => {
+                // Backtrack.
+                match stack.pop() {
+                    None => return ColorResult::Infeasible,
+                    Some((prev_pos, prev_color)) => {
+                        let (pa, pb) = edges[order[prev_pos]];
+                        used[pa as usize] &= !(1 << prev_color);
+                        used[pb as usize] &= !(1 << prev_color);
+                        // Recompute max_color_used from the stack.
+                        max_color_used =
+                            stack.iter().map(|&(_, c)| c).max().unwrap_or(0);
+                        pos = prev_pos;
+                        next_color = prev_color + 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Polynomial relaxation: repeatedly peel a maximal matching (greedy by
+/// edge order) and count the stages.
+pub fn greedy_qaoa_stages(num_qubits: u32, edges: &[(u32, u32)]) -> usize {
+    let mut remaining: Vec<(u32, u32)> = edges.to_vec();
+    let mut stages = 0usize;
+    while !remaining.is_empty() {
+        let mut busy = vec![false; num_qubits as usize];
+        remaining.retain(|&(a, b)| {
+            if busy[a as usize] || busy[b as usize] {
+                true
+            } else {
+                busy[a as usize] = true;
+                busy[b as usize] = true;
+                false
+            }
+        });
+        stages += 1;
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LONG: Duration = Duration::from_secs(5);
+
+    fn triangle() -> Vec<(u32, u32)> {
+        vec![(0, 1), (1, 2), (2, 0)]
+    }
+
+    #[test]
+    fn triangle_needs_three_stages() {
+        let out = exact_qaoa_stages(3, &triangle(), LONG);
+        assert_eq!(out.stages(), Some(3));
+    }
+
+    #[test]
+    fn perfect_matching_is_one_stage() {
+        let out = exact_qaoa_stages(4, &[(0, 1), (2, 3)], LONG);
+        assert_eq!(out.stages(), Some(1));
+    }
+
+    #[test]
+    fn square_ring_two_stages() {
+        let out = exact_qaoa_stages(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], LONG);
+        assert_eq!(out.stages(), Some(2));
+    }
+
+    #[test]
+    fn odd_ring_needs_three() {
+        let ring5: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        assert_eq!(exact_qaoa_stages(5, &ring5, LONG).stages(), Some(3));
+    }
+
+    #[test]
+    fn k4_is_class_one() {
+        // K4 is 3-regular and 3-edge-colourable.
+        let k4: Vec<(u32, u32)> = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        assert_eq!(exact_qaoa_stages(4, &k4, LONG).stages(), Some(3));
+    }
+
+    #[test]
+    fn petersen_graph_is_class_two() {
+        // The Petersen graph is 3-regular with chromatic index 4.
+        let outer: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let spokes: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 5)).collect();
+        let inner: Vec<(u32, u32)> = (0..5).map(|i| (i + 5, (i + 2) % 5 + 5)).collect();
+        let edges: Vec<(u32, u32)> = outer.into_iter().chain(spokes).chain(inner).collect();
+        assert_eq!(exact_qaoa_stages(10, &edges, LONG).stages(), Some(4));
+    }
+
+    #[test]
+    fn empty_graph_zero_stages() {
+        assert_eq!(exact_qaoa_stages(4, &[], LONG).stages(), Some(0));
+        assert_eq!(greedy_qaoa_stages(4, &[]), 0);
+    }
+
+    #[test]
+    fn timeout_reports_gracefully() {
+        // Dense graph with a 1ns budget must time out (or solve instantly,
+        // which the assertion tolerates by checking the enum only).
+        let edges: Vec<(u32, u32)> = (0..12)
+            .flat_map(|a| ((a + 1)..12).map(move |b| (a, b)))
+            .collect();
+        let out = exact_qaoa_stages(12, &edges, Duration::from_nanos(1));
+        assert!(matches!(
+            out,
+            SolverOutcome::Timeout { .. } | SolverOutcome::Optimal { .. }
+        ));
+    }
+
+    #[test]
+    fn greedy_is_within_two_x_of_optimal_on_rings() {
+        let ring6: Vec<(u32, u32)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        let exact = exact_qaoa_stages(6, &ring6, LONG).stages().unwrap();
+        let greedy = greedy_qaoa_stages(6, &ring6);
+        assert!(greedy >= exact);
+        assert!(greedy <= 2 * exact);
+    }
+
+    #[test]
+    fn greedy_star_equals_degree() {
+        let star: Vec<(u32, u32)> = (1..6).map(|q| (0, q)).collect();
+        assert_eq!(greedy_qaoa_stages(6, &star), 5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the baseline compilers (SABRE routing and the
+//! exact solver), for comparison against the Q-Pilot routers in
+//! `benches/routing.rs`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qpilot_arch::devices;
+use qpilot_baselines::{compile_to_device, exact_qaoa_stages, greedy_qaoa_stages};
+use qpilot_workloads::graphs::random_regular;
+use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+fn bench_sabre(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sabre_baseline");
+    group.sample_size(10);
+    let device = devices::ibm_washington();
+    for &n in &[20u32, 50] {
+        let circuit = random_circuit(&RandomCircuitConfig::paper(n, 5, 1));
+        group.bench_with_input(BenchmarkId::new("washington_random_5x", n), &n, |b, _| {
+            b.iter(|| compile_to_device(&circuit, &device).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_solver");
+    group.sample_size(10);
+    for &n in &[6u32, 10] {
+        let graph = random_regular(n, 3, 4).expect("regular graph");
+        group.bench_with_input(BenchmarkId::new("exact_3reg", n), &n, |b, _| {
+            b.iter(|| exact_qaoa_stages(n, graph.edges(), Duration::from_secs(10)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_3reg", n), &n, |b, _| {
+            b.iter(|| greedy_qaoa_stages(n, graph.edges()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sabre, bench_solver);
+criterion_main!(benches);

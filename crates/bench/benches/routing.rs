@@ -1,0 +1,64 @@
+//! Criterion benchmarks of Q-Pilot's routers: compile-time throughput on
+//! the paper's workload families (the basis of Table 2's runtime rows and
+//! the §4.3 scalability study).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_core::qsim::QsimRouter;
+use qpilot_core::FpqaConfig;
+use qpilot_workloads::graphs::random_regular;
+use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+fn bench_generic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generic_router");
+    group.sample_size(10);
+    for &n in &[20u32, 50, 100] {
+        let circuit = random_circuit(&RandomCircuitConfig::paper(n, 5, 1));
+        let cfg = FpqaConfig::square_for(n);
+        group.bench_with_input(BenchmarkId::new("random_5x", n), &n, |b, _| {
+            b.iter(|| GenericRouter::new().route(&circuit, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_qsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsim_router");
+    group.sample_size(10);
+    for &n in &[20usize, 50, 100] {
+        let strings = random_pauli_strings(&PauliWorkloadConfig {
+            num_qubits: n,
+            num_strings: 20,
+            pauli_probability: 0.3,
+            seed: 2,
+        });
+        let cfg = FpqaConfig::square_for(n as u32);
+        group.bench_with_input(BenchmarkId::new("pauli_p0.3_20s", n), &n, |b, _| {
+            b.iter(|| QsimRouter::new().route_strings(&strings, 0.4, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_qaoa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_router");
+    group.sample_size(10);
+    for &n in &[20u32, 50, 100] {
+        let graph = random_regular(n, 3, 4).expect("regular graph");
+        let cfg = FpqaConfig::square_for(n);
+        group.bench_with_input(BenchmarkId::new("3_regular", n), &n, |b, _| {
+            b.iter(|| {
+                QaoaRouter::new()
+                    .route_edges(n, graph.edges(), 0.7, &cfg)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generic, bench_qsim, bench_qaoa);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Fig. 9: movement spatiotemporal patterns of a 100-qubit QAOA circuit —
+//! per-step displacement of every AOD atom, plus histograms of movement
+//! counts, total travelled distance (normalised by the atom pitch) and
+//! average speeds.
+//!
+//! Usage: `fig09_movement [--qubits 100] [--edge-prob 0.3] [--seed 9]`
+
+use qpilot_bench::{arg_num, fpqa_config, Histogram};
+use qpilot_core::evaluator::movement_trace;
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_workloads::graphs::erdos_renyi;
+
+fn main() {
+    let n = arg_num("--qubits", 100u32);
+    let p: f64 = arg_num("--edge-prob", 0.3f64);
+    let seed = arg_num("--seed", 9u64);
+
+    let graph = erdos_renyi(n, p, seed);
+    let cfg = fpqa_config(n);
+    let program = QaoaRouter::new()
+        .route_edges(n, graph.edges(), 0.7, &cfg)
+        .expect("routing");
+    let trace = movement_trace(program.schedule(), &cfg);
+    let params = cfg.params();
+    let pitch = cfg.pitch_um();
+
+    println!("== Fig. 9: movement patterns (QAOA {n}q, edge prob {p}) ==");
+    println!(
+        "movement steps: {}   atoms: {}   stages: {}",
+        trace.num_steps(),
+        program.schedule().num_ancillas,
+        program.stats().two_qubit_depth
+    );
+
+    // Movement count per atom.
+    let per_atom = trace.movements_per_atom();
+    let max_moves = per_atom.iter().map(|&(_, c)| c).max().unwrap_or(1) as f64;
+    let mut moves_hist = Histogram::new(0.0, max_moves + 1.0, 12);
+    for &(_, c) in &per_atom {
+        moves_hist.add(c as f64);
+    }
+    println!("\nnumber of movements per AOD atom:");
+    print!("{}", moves_hist.render());
+
+    // Total distance per atom (normalised by pitch).
+    let mut totals: Vec<f64> = per_atom
+        .iter()
+        .map(|&(a, _)| trace.total_distance_um(a) / pitch)
+        .collect();
+    totals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let max_total = totals.last().copied().unwrap_or(1.0);
+    let mut dist_hist = Histogram::new(0.0, max_total + 1.0, 12);
+    for &t in &totals {
+        dist_hist.add(t);
+    }
+    println!("total movement distance per atom (units of atom pitch):");
+    print!("{}", dist_hist.render());
+
+    // Speed per movement.
+    let mut speed_hist = Histogram::new(0.0, 0.3, 12);
+    let mut speeds = Vec::new();
+    for step in &trace.steps {
+        for mv in step {
+            let d = mv.distance_um();
+            if d > 1e-9 {
+                let v = params.move_speed_m_per_s(d);
+                speeds.push(v);
+                speed_hist.add(v);
+            }
+        }
+    }
+    let mean_speed = speeds.iter().sum::<f64>() / speeds.len().max(1) as f64;
+    println!("movement speed (m/s):");
+    print!("{}", speed_hist.render());
+    println!(
+        "mean speed {mean_speed:.3} m/s  (paper: typical speed ~0.15 m/s)"
+    );
+}

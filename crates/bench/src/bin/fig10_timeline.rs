@@ -1,0 +1,67 @@
+//! Fig. 10: execution-time breakdown (movement / 2Q gates / 1Q gates) of
+//! compiled programs: QAOA-40, QSIM-10 and BV-70.
+//!
+//! Usage: `fig10_timeline [--seed 5]`
+
+use qpilot_bench::{arg_num, fpqa_config, Table};
+use qpilot_core::evaluator::evaluate;
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_core::qsim::QsimRouter;
+use qpilot_workloads::bv::bernstein_vazirani_random;
+use qpilot_workloads::graphs::erdos_renyi;
+use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+
+fn main() {
+    let seed = arg_num("--seed", 5u64);
+    let mut table = Table::new(&[
+        "program", "total (ms)", "movement (ms)", "2Q (ms)", "1Q (ms)", "transfer (ms)",
+        "movement %",
+    ]);
+
+    // QAOA-40.
+    {
+        let n = 40;
+        let graph = erdos_renyi(n, 0.3, seed);
+        let cfg = fpqa_config(n);
+        let program = QaoaRouter::new()
+            .route_edges(n, graph.edges(), 0.7, &cfg)
+            .expect("routing");
+        push_row(&mut table, "QAOA-40", &evaluate(program.schedule(), &cfg));
+    }
+    // QSIM-10.
+    {
+        let strings = random_pauli_strings(&PauliWorkloadConfig::paper(10, 0.3, seed));
+        let cfg = fpqa_config(10);
+        let program = QsimRouter::new()
+            .route_strings(&strings, 0.31, &cfg)
+            .expect("routing");
+        push_row(&mut table, "QSIM-10", &evaluate(program.schedule(), &cfg));
+    }
+    // BV-70 (70 secret bits + oracle target).
+    {
+        let circuit = bernstein_vazirani_random(70, seed);
+        let cfg = fpqa_config(circuit.num_qubits());
+        let program = GenericRouter::new()
+            .route(&circuit, &cfg)
+            .expect("routing");
+        push_row(&mut table, "BV-70", &evaluate(program.schedule(), &cfg));
+    }
+
+    println!("== Fig. 10: execution timeline breakdown ==");
+    table.print();
+    println!("(paper: movements are the largest part of the timeline)");
+}
+
+fn push_row(table: &mut qpilot_bench::Table, name: &str, r: &qpilot_core::evaluator::PerformanceReport) {
+    let ms = 1e3;
+    table.row(vec![
+        name.into(),
+        format!("{:.3}", r.total_time_s() * ms),
+        format!("{:.3}", r.movement_time_s * ms),
+        format!("{:.3}", r.rydberg_time_s * ms),
+        format!("{:.3}", r.raman_time_s * ms),
+        format!("{:.3}", r.transfer_time_s * ms),
+        format!("{:.1}%", 100.0 * r.movement_time_s / r.total_time_s()),
+    ]);
+}

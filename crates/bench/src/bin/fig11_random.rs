@@ -1,0 +1,78 @@
+//! Fig. 11: random circuits — compiled 2Q gate count and circuit depth,
+//! Q-Pilot (FPQA) vs the three fixed-topology baselines.
+//!
+//! Usage: `fig11_random [--sizes 5,10,20,50,100] [--factors 2,10] [--seed 7]`
+
+use qpilot_bench::{arg_list, arg_num, compile_on_baselines, fpqa_config, geomean_ratio, Table,
+                   BASELINE_LABELS};
+use qpilot_core::generic::GenericRouter;
+use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+fn main() {
+    let sizes = arg_list("--sizes", &[5, 10, 20, 50, 100]);
+    let factors = arg_list("--factors", &[2, 10]);
+    let seed = arg_num("--seed", 7u64);
+
+    for &factor in &factors {
+        println!("\n== Fig. 11: random circuits, #2Q = {factor} x #qubits ==");
+        let mut table = Table::new(&[
+            "qubits", "FPQA 2Q", "FPQA depth",
+            "rect 2Q", "rect depth",
+            "tri 2Q", "tri depth",
+            "IBM 2Q", "IBM depth",
+        ]);
+        let mut ours_depth = Vec::new();
+        let mut ours_gates = Vec::new();
+        let mut best_base_depth = Vec::new();
+        let mut best_base_gates = Vec::new();
+
+        for &n in &sizes {
+            let circuit = random_circuit(&RandomCircuitConfig::paper(n, factor as usize, seed));
+            let cfg = fpqa_config(n);
+            let program = GenericRouter::new()
+                .route(&circuit, &cfg)
+                .expect("fpqa routing");
+            let stats = program.stats();
+            let baselines = compile_on_baselines(&circuit);
+
+            let mut row = vec![
+                n.to_string(),
+                stats.two_qubit_gates.to_string(),
+                stats.two_qubit_depth.to_string(),
+            ];
+            let mut depths = Vec::new();
+            let mut gates = Vec::new();
+            for b in &baselines {
+                match b {
+                    Some(r) => {
+                        row.push(r.two_qubit_gates.to_string());
+                        row.push(r.two_qubit_depth.to_string());
+                        gates.push(r.two_qubit_gates as f64);
+                        depths.push(r.two_qubit_depth as f64);
+                    }
+                    None => {
+                        row.push("-".into());
+                        row.push("-".into());
+                    }
+                }
+            }
+            table.row(row);
+            if let (Some(bd), Some(bg)) = (
+                depths.iter().copied().reduce(f64::min),
+                gates.iter().copied().reduce(f64::min),
+            ) {
+                ours_depth.push(stats.two_qubit_depth as f64);
+                ours_gates.push(stats.two_qubit_gates as f64);
+                best_base_depth.push(bd);
+                best_base_gates.push(bg);
+            }
+        }
+        table.print();
+        println!(
+            "geomean vs best baseline: depth {:.2}x, 2Q gates {:.2}x  (paper: depth 1.4x, gates 4.2x at factor 10 / 1.5x, 3.9x at factor 2)",
+            geomean_ratio(&ours_depth, &best_base_depth),
+            geomean_ratio(&ours_gates, &best_base_gates),
+        );
+        let _ = BASELINE_LABELS;
+    }
+}

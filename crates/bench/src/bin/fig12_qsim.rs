@@ -1,0 +1,95 @@
+//! Fig. 12: quantum-simulation circuits (random Pauli strings) — compiled
+//! 2Q gate count and depth, Q-Pilot's quantum-simulation router vs the
+//! three baselines compiling the reference ladder circuits.
+//!
+//! Usage: `fig12_qsim [--sizes 5,10,20,50,100] [--probs 0.1,0.5]
+//!                    [--strings 100] [--seed 3]`
+
+use qpilot_bench::{arg_list, arg_num, arg_value, compile_on_baselines, fpqa_config,
+                   geomean_ratio, Table};
+use qpilot_circuit::Circuit;
+use qpilot_core::qsim::QsimRouter;
+use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+
+fn main() {
+    let sizes = arg_list("--sizes", &[5, 10, 20, 50, 100]);
+    let probs: Vec<f64> = arg_value("--probs")
+        .map(|v| v.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|| vec![0.1, 0.5]);
+    let num_strings = arg_num("--strings", 100usize);
+    let seed = arg_num("--seed", 3u64);
+    let theta = 0.31;
+
+    for &p in &probs {
+        println!("\n== Fig. 12: quantum simulation, Pauli prob = {p} ({num_strings} strings) ==");
+        let mut table = Table::new(&[
+            "qubits", "FPQA 2Q", "FPQA depth",
+            "rect 2Q", "rect depth",
+            "tri 2Q", "tri depth",
+            "IBM 2Q", "IBM depth",
+        ]);
+        let mut ours_depth = Vec::new();
+        let mut ours_gates = Vec::new();
+        let mut best_base_depth = Vec::new();
+        let mut best_base_gates = Vec::new();
+
+        for &n in &sizes {
+            let strings = random_pauli_strings(&PauliWorkloadConfig {
+                num_qubits: n as usize,
+                num_strings,
+                pauli_probability: p,
+                seed,
+            });
+            let cfg = fpqa_config(n);
+            let program = QsimRouter::new()
+                .route_strings(&strings, theta, &cfg)
+                .expect("fpqa routing");
+            let stats = program.stats();
+
+            // Reference circuit for the baselines: the textbook ladders.
+            let mut reference = Circuit::new(n);
+            for s in &strings {
+                reference.extend_from(&s.evolution_circuit(theta).remapped(n, |q| q));
+            }
+            let baselines = compile_on_baselines(&reference);
+
+            let mut row = vec![
+                n.to_string(),
+                stats.two_qubit_gates.to_string(),
+                stats.two_qubit_depth.to_string(),
+            ];
+            let mut depths = Vec::new();
+            let mut gates = Vec::new();
+            for b in &baselines {
+                match b {
+                    Some(r) => {
+                        row.push(r.two_qubit_gates.to_string());
+                        row.push(r.two_qubit_depth.to_string());
+                        gates.push(r.two_qubit_gates as f64);
+                        depths.push(r.two_qubit_depth as f64);
+                    }
+                    None => {
+                        row.push("-".into());
+                        row.push("-".into());
+                    }
+                }
+            }
+            table.row(row);
+            if let (Some(bd), Some(bg)) = (
+                depths.iter().copied().reduce(f64::min),
+                gates.iter().copied().reduce(f64::min),
+            ) {
+                ours_depth.push(stats.two_qubit_depth as f64);
+                ours_gates.push(stats.two_qubit_gates as f64);
+                best_base_depth.push(bd);
+                best_base_gates.push(bg);
+            }
+        }
+        table.print();
+        println!(
+            "geomean vs best baseline: depth {:.2}x, 2Q gates {:.2}x  (paper at 100q: depth 27.7x, gates 6.9x for p=0.5; gates 6.3x for p=0.1)",
+            geomean_ratio(&ours_depth, &best_base_depth),
+            geomean_ratio(&ours_gates, &best_base_gates),
+        );
+    }
+}

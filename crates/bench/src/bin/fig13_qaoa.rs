@@ -1,0 +1,100 @@
+//! Fig. 13: Max-Cut QAOA circuits (4-regular graphs and Erdős–Rényi with
+//! edge probability 0.3) — compiled 2Q gate count and depth, Q-Pilot's
+//! QAOA router vs the three baselines.
+//!
+//! Usage: `fig13_qaoa [--sizes 6,10,20,50,100] [--edge-prob 0.3] [--seed 11]`
+
+use qpilot_bench::{arg_list, arg_num, compile_on_baselines, fpqa_config, geomean_ratio, Table};
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_workloads::graphs::{erdos_renyi, random_regular, Graph};
+
+fn run_family(name: &str, graphs: &[(u32, Graph)], paper_note: &str) {
+    println!("\n== Fig. 13: QAOA, {name} ==");
+    let mut table = Table::new(&[
+        "qubits", "edges", "FPQA 2Q", "FPQA depth",
+        "rect 2Q", "rect depth",
+        "tri 2Q", "tri depth",
+        "IBM 2Q", "IBM depth",
+    ]);
+    let (gamma, beta) = (0.7, 0.3);
+    let mut ours_depth = Vec::new();
+    let mut ours_gates = Vec::new();
+    let mut best_base_depth = Vec::new();
+    let mut best_base_gates = Vec::new();
+
+    for (n, graph) in graphs {
+        let cfg = fpqa_config(*n);
+        let program = QaoaRouter::new()
+            .route_edges(*n, graph.edges(), gamma, &cfg)
+            .expect("fpqa routing");
+        let stats = program.stats();
+        let reference = graph.qaoa_circuit(&[gamma], &[beta]);
+        let baselines = compile_on_baselines(&reference);
+
+        let mut row = vec![
+            n.to_string(),
+            graph.num_edges().to_string(),
+            stats.two_qubit_gates.to_string(),
+            stats.two_qubit_depth.to_string(),
+        ];
+        let mut depths = Vec::new();
+        let mut gates = Vec::new();
+        for b in &baselines {
+            match b {
+                Some(r) => {
+                    row.push(r.two_qubit_gates.to_string());
+                    row.push(r.two_qubit_depth.to_string());
+                    gates.push(r.two_qubit_gates as f64);
+                    depths.push(r.two_qubit_depth as f64);
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        table.row(row);
+        if let (Some(bd), Some(bg)) = (
+            depths.iter().copied().reduce(f64::min),
+            gates.iter().copied().reduce(f64::min),
+        ) {
+            ours_depth.push(stats.two_qubit_depth as f64);
+            ours_gates.push(stats.two_qubit_gates as f64);
+            best_base_depth.push(bd);
+            best_base_gates.push(bg);
+        }
+    }
+    table.print();
+    println!(
+        "geomean vs best baseline: depth {:.2}x, 2Q gates {:.2}x  ({paper_note})",
+        geomean_ratio(&ours_depth, &best_base_depth),
+        geomean_ratio(&ours_gates, &best_base_gates),
+    );
+}
+
+fn main() {
+    let sizes = arg_list("--sizes", &[6, 10, 20, 50, 100]);
+    let edge_prob: f64 = arg_num("--edge-prob", 0.3f64);
+    let seed = arg_num("--seed", 11u64);
+
+    let regular: Vec<(u32, Graph)> = sizes
+        .iter()
+        .filter_map(|&n| random_regular(n, 4, seed).ok().map(|g| (n, g)))
+        .collect();
+    run_family(
+        "4-regular graphs",
+        &regular,
+        "paper: depth 5.7x, gates 7.7x",
+    );
+
+    let random: Vec<(u32, Graph)> = sizes
+        .iter()
+        .map(|&n| (n, erdos_renyi(n, edge_prob, seed)))
+        .filter(|(_, g)| g.num_edges() > 0)
+        .collect();
+    run_family(
+        &format!("random graphs, edge prob = {edge_prob}"),
+        &random,
+        "paper: depth 6.7x, gates 10.0x",
+    );
+}

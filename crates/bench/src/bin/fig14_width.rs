@@ -1,0 +1,89 @@
+//! Fig. 14: compiled circuit depth vs SLM/AOD array width for the three
+//! workload families at 50 and 100 qubits. A `*` marks the optimal width.
+//!
+//! Usage: `fig14_width [--sizes 50,100] [--widths 8,16,32,64,128] [--seed 6]`
+
+use qpilot_bench::{arg_list, arg_num, Table};
+use qpilot_circuit::Circuit;
+use qpilot_core::dse::{best_width, sweep_widths, WidthResult};
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_core::qsim::QsimRouter;
+use qpilot_workloads::graphs::erdos_renyi;
+use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+fn print_family(name: &str, widths: &[u32], results_per_variant: Vec<(String, Vec<WidthResult>)>) {
+    println!("\n-- {name} --");
+    let mut header: Vec<String> = vec!["variant".into()];
+    header.extend(widths.iter().map(|w| format!("w={w}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    for (variant, results) in results_per_variant {
+        let best = best_width(&results).map(|r| r.width);
+        let mut row = vec![variant];
+        for &w in widths {
+            match results.iter().find(|r| r.width == w as usize) {
+                Some(r) => {
+                    let star = if Some(r.width) == best { "*" } else { "" };
+                    row.push(format!("{}{star}", r.report.two_qubit_depth));
+                }
+                None => row.push("-".into()),
+            }
+        }
+        table.row(row);
+    }
+    table.print();
+}
+
+fn main() {
+    let sizes = arg_list("--sizes", &[50, 100]);
+    let widths = arg_list("--widths", &[8, 16, 32, 64, 128]);
+    let seed = arg_num("--seed", 6u64);
+    let widths_usize: Vec<usize> = widths.iter().map(|&w| w as usize).collect();
+
+    for &n in &sizes {
+        println!("\n== Fig. 14: depth vs array width, {n} qubits ==");
+
+        // Random circuits at 10x / 20x / 50x 2Q gates.
+        let mut variants = Vec::new();
+        for factor in [10usize, 20, 50] {
+            let circuit = random_circuit(&RandomCircuitConfig::paper(n, factor, seed));
+            let results = sweep_widths(n, &widths_usize, |cfg| {
+                GenericRouter::new().route(&circuit, cfg)
+            });
+            variants.push((format!("#2Q = {factor}x"), results));
+        }
+        print_family("random circuits", &widths, variants);
+
+        // Quantum simulation at pauli prob 0.2 / 0.3 / 0.5.
+        let mut variants = Vec::new();
+        for p in [0.2, 0.3, 0.5] {
+            let strings = random_pauli_strings(&PauliWorkloadConfig {
+                num_qubits: n as usize,
+                num_strings: 100,
+                pauli_probability: p,
+                seed,
+            });
+            let results = sweep_widths(n, &widths_usize, |cfg| {
+                QsimRouter::new().route_strings(&strings, 0.31, cfg)
+            });
+            variants.push((format!("pauli p = {p}"), results));
+        }
+        print_family("quantum simulation", &widths, variants);
+
+        // QAOA at edge prob 0.2 / 0.3 / 0.5.
+        let mut variants = Vec::new();
+        for p in [0.2, 0.3, 0.5] {
+            let graph = erdos_renyi(n, p, seed);
+            let edges = graph.edges().to_vec();
+            let results = sweep_widths(n, &widths_usize, |cfg| {
+                QaoaRouter::new().route_edges(n, &edges, 0.7, cfg)
+            });
+            variants.push((format!("edge p = {p}"), results));
+        }
+        print_family("QAOA", &widths, variants);
+    }
+    let _ = Circuit::new(1);
+    println!("\n(paper: QAOA prefers the widest arrays; random/qsim peak at moderate widths)");
+}

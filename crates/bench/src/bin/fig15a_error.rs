@@ -1,0 +1,72 @@
+//! Fig. 15(a): overall circuit error rate (Eq. 5) vs two-qubit gate error
+//! rate, for three small workloads: a random 6Q circuit (two 2Q gates per
+//! qubit), QAOA on a random 3-regular graph, and 5Q quantum simulation
+//! with 100 Pauli strings at p = 0.1.
+//!
+//! Usage: `fig15a_error [--seed 8]`
+
+use qpilot_bench::{arg_num, fpqa_config, Table};
+use qpilot_core::evaluator::evaluate;
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_core::qsim::QsimRouter;
+use qpilot_core::{CompiledProgram, FpqaConfig};
+use qpilot_workloads::graphs::random_regular;
+use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+fn main() {
+    let seed = arg_num("--seed", 8u64);
+
+    // Compile the three programs once.
+    let programs: Vec<(&str, FpqaConfig, CompiledProgram)> = vec![
+        {
+            let c = random_circuit(&RandomCircuitConfig::paper(6, 2, seed));
+            let cfg = fpqa_config(6);
+            let p = GenericRouter::new().route(&c, &cfg).expect("routing");
+            ("random 6Q (2x 2Q/qubit)", cfg, p)
+        },
+        {
+            let g = random_regular(6, 3, seed).expect("regular graph");
+            let cfg = fpqa_config(6);
+            let p = QaoaRouter::new()
+                .route_edges(6, g.edges(), 0.7, &cfg)
+                .expect("routing");
+            ("QAOA 3-regular 6Q", cfg, p)
+        },
+        {
+            let strings = random_pauli_strings(&PauliWorkloadConfig::paper(5, 0.1, seed));
+            let cfg = fpqa_config(5);
+            let p = QsimRouter::new()
+                .route_strings(&strings, 0.31, &cfg)
+                .expect("routing");
+            ("qsim 5Q, 100 strings p=0.1", cfg, p)
+        },
+    ];
+
+    println!("== Fig. 15(a): circuit error rate vs 2Q gate error rate ==");
+    let mut table = Table::new(&[
+        "2Q error", "random 6Q", "QAOA 3-reg", "qsim 5Q",
+    ]);
+    for exp in (1..=6).rev() {
+        let err2q = 10f64.powi(-exp);
+        let mut row = vec![format!("1e-{exp}")];
+        for (_, cfg, program) in &programs {
+            let noisy = cfg
+                .clone()
+                .with_params(cfg.params().with_fidelity_2q(1.0 - err2q));
+            let report = evaluate(program.schedule(), &noisy);
+            row.push(format!("{:.4}", report.error_rate()));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!("(paper: error rates below 0.5 once the 2Q error rate is below 1e-3)");
+    for (name, cfg, program) in &programs {
+        let r = evaluate(program.schedule(), cfg);
+        println!(
+            "  {name}: {} 2Q gates, depth {}, {} atoms",
+            r.two_qubit_gates, r.two_qubit_depth, r.atoms_used
+        );
+    }
+}

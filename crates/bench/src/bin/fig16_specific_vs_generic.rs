@@ -1,0 +1,102 @@
+//! Fig. 16: advantage of the application-specific routers over the generic
+//! router, for quantum simulation and QAOA.
+//!
+//! Usage: `fig16_specific_vs_generic [--sizes 5,10,20,50,100]
+//!                                   [--strings 100] [--seed 13]`
+
+use qpilot_bench::{arg_list, arg_num, fpqa_config, geomean_ratio, Table};
+use qpilot_circuit::Circuit;
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_core::qsim::QsimRouter;
+use qpilot_workloads::graphs::erdos_renyi;
+use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+
+fn main() {
+    let sizes = arg_list("--sizes", &[5, 10, 20, 50, 100]);
+    let num_strings = arg_num("--strings", 100usize);
+    let seed = arg_num("--seed", 13u64);
+    let theta = 0.31;
+
+    // Quantum simulation: specific router vs generic router on ladders.
+    println!("== Fig. 16: quantum simulation (pauli p = 0.3, {num_strings} strings) ==");
+    let mut table = Table::new(&[
+        "qubits", "specific 2Q", "specific depth", "generic 2Q", "generic depth",
+    ]);
+    let (mut sd, mut sg, mut gd, mut gg) = (vec![], vec![], vec![], vec![]);
+    for &n in &sizes {
+        let strings = random_pauli_strings(&PauliWorkloadConfig {
+            num_qubits: n as usize,
+            num_strings,
+            pauli_probability: 0.3,
+            seed,
+        });
+        let cfg = fpqa_config(n);
+        let specific = QsimRouter::new()
+            .route_strings(&strings, theta, &cfg)
+            .expect("routing");
+        let mut ladder = Circuit::new(n);
+        for s in &strings {
+            ladder.extend_from(&s.evolution_circuit(theta).remapped(n, |q| q));
+        }
+        let generic = GenericRouter::new().route(&ladder, &cfg).expect("routing");
+        table.row(vec![
+            n.to_string(),
+            specific.stats().two_qubit_gates.to_string(),
+            specific.stats().two_qubit_depth.to_string(),
+            generic.stats().two_qubit_gates.to_string(),
+            generic.stats().two_qubit_depth.to_string(),
+        ]);
+        sd.push(specific.stats().two_qubit_depth as f64);
+        sg.push(specific.stats().two_qubit_gates as f64);
+        gd.push(generic.stats().two_qubit_depth as f64);
+        gg.push(generic.stats().two_qubit_gates as f64);
+    }
+    table.print();
+    println!(
+        "geomean advantage: depth {:.2}x, 2Q gates {:.2}x  (paper: 8.8x depth, 1.5x gates)",
+        geomean_ratio(&sd, &gd),
+        geomean_ratio(&sg, &gg),
+    );
+
+    // QAOA: specific router vs generic router on the ZZ circuit.
+    println!("\n== Fig. 16: QAOA (edge prob = 0.3) ==");
+    let mut table = Table::new(&[
+        "qubits", "specific 2Q", "specific depth", "generic 2Q", "generic depth",
+    ]);
+    let (mut sd, mut sg, mut gd, mut gg) = (vec![], vec![], vec![], vec![]);
+    for &n in &sizes {
+        let graph = erdos_renyi(n, 0.3, seed);
+        if graph.num_edges() == 0 {
+            continue;
+        }
+        let cfg = fpqa_config(n);
+        let specific = QaoaRouter::new()
+            .route_edges(n, graph.edges(), 0.7, &cfg)
+            .expect("routing");
+        let mut zz_circuit = Circuit::new(n);
+        for &(a, b) in graph.edges() {
+            zz_circuit.zz(a, b, 0.7);
+        }
+        let generic = GenericRouter::new()
+            .route(&zz_circuit, &cfg)
+            .expect("routing");
+        table.row(vec![
+            n.to_string(),
+            specific.stats().two_qubit_gates.to_string(),
+            specific.stats().two_qubit_depth.to_string(),
+            generic.stats().two_qubit_gates.to_string(),
+            generic.stats().two_qubit_depth.to_string(),
+        ]);
+        sd.push(specific.stats().two_qubit_depth as f64);
+        sg.push(specific.stats().two_qubit_gates as f64);
+        gd.push(generic.stats().two_qubit_depth as f64);
+        gg.push(generic.stats().two_qubit_gates as f64);
+    }
+    table.print();
+    println!(
+        "geomean advantage: depth {:.2}x, 2Q gates {:.2}x  (paper: 10.1x depth, 2.8x gates)",
+        geomean_ratio(&sd, &gd),
+        geomean_ratio(&sg, &gg),
+    );
+}

@@ -1,0 +1,61 @@
+//! §6 outlook: surface-code syndrome extraction on the FPQA.
+//!
+//! Routes one syndrome round of the rotated surface code at several code
+//! distances with the generic flying-ancilla router and compares against
+//! the fixed-topology baselines (where the combined data+stabilizer
+//! register fits).
+//!
+//! Usage: `qec_round [--distances 3,5,7,9]`
+
+use qpilot_bench::{arg_list, compile_on_baselines, Table};
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::FpqaConfig;
+use qpilot_workloads::qec::SurfaceCode;
+
+fn main() {
+    let distances = arg_list("--distances", &[3, 5, 7, 9]);
+    let mut table = Table::new(&[
+        "distance", "qubits", "2Q gates in",
+        "FPQA 2Q", "FPQA depth",
+        "rect 2Q", "rect depth",
+        "tri 2Q", "tri depth",
+        "IBM 2Q", "IBM depth",
+    ]);
+
+    for &d in &distances {
+        let code = SurfaceCode::new(d as usize);
+        let circuit = code.syndrome_circuit();
+        // Lay the combined register out on a near-square FPQA.
+        let cfg = FpqaConfig::square_for(code.num_qubits());
+        let program = GenericRouter::new()
+            .route(&circuit, &cfg)
+            .expect("fpqa routing");
+        let mut row = vec![
+            d.to_string(),
+            code.num_qubits().to_string(),
+            circuit.two_qubit_count().to_string(),
+            program.stats().two_qubit_gates.to_string(),
+            program.stats().two_qubit_depth.to_string(),
+        ];
+        for b in compile_on_baselines(&circuit) {
+            match b {
+                Some(r) => {
+                    row.push(r.two_qubit_gates.to_string());
+                    row.push(r.two_qubit_depth.to_string());
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        table.row(row);
+    }
+
+    println!("== Surface-code syndrome extraction (paper §6 outlook) ==");
+    table.print();
+    println!(
+        "(interleaved data/ancilla reading-order layout; a QEC-aware mapper \
+         would co-locate each stabilizer with its plaquette)"
+    );
+}

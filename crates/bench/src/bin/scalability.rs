@@ -1,0 +1,84 @@
+//! §4.3 scalability: compile time at 500 / 1000 / 2000 qubits for QAOA
+//! (edge prob 0.5), quantum simulation (100 random Pauli strings) and
+//! random circuits of depth 10.
+//!
+//! Usage: `scalability [--sizes 500,1000,2000] [--families qaoa,qsim,random]`
+//!
+//! The QAOA 2000q instance has ~1M edges; expect minutes, as in the paper
+//! (129.5 s reported).
+
+use qpilot_bench::{arg_list, arg_value, timed, Table};
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_core::qsim::QsimRouter;
+use qpilot_core::FpqaConfig;
+use qpilot_workloads::graphs::erdos_renyi;
+use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+use qpilot_workloads::random::random_circuit_with_depth;
+
+fn main() {
+    let sizes = arg_list("--sizes", &[500, 1000, 2000]);
+    let families: Vec<String> = arg_value("--families")
+        .map(|v| v.split(',').map(|s| s.trim().to_lowercase()).collect())
+        .unwrap_or_else(|| vec!["qaoa".into(), "qsim".into(), "random".into()]);
+    let seed = 1u64;
+
+    println!("== Scalability: compile time (s) ==");
+    let mut table = Table::new(&["family", "qubits", "work items", "compile (s)", "2Q depth"]);
+
+    for &n in &sizes {
+        let cfg = FpqaConfig::square_for(n);
+        if families.iter().any(|f| f == "qaoa") {
+            let graph = erdos_renyi(n, 0.5, seed);
+            let (program, secs) = timed(|| {
+                QaoaRouter::new()
+                    .route_edges(n, graph.edges(), 0.7, &cfg)
+                    .expect("routing")
+            });
+            table.row(vec![
+                "QAOA p=0.5".into(),
+                n.to_string(),
+                format!("{} edges", graph.num_edges()),
+                format!("{secs:.2}"),
+                program.stats().two_qubit_depth.to_string(),
+            ]);
+        }
+        if families.iter().any(|f| f == "qsim") {
+            let strings = random_pauli_strings(&PauliWorkloadConfig {
+                num_qubits: n as usize,
+                num_strings: 100,
+                pauli_probability: 0.1,
+                seed,
+            });
+            let (program, secs) = timed(|| {
+                QsimRouter::new()
+                    .route_strings(&strings, 0.31, &cfg)
+                    .expect("routing")
+            });
+            table.row(vec![
+                "qsim 100 strings".into(),
+                n.to_string(),
+                "100 strings".into(),
+                format!("{secs:.2}"),
+                program.stats().two_qubit_depth.to_string(),
+            ]);
+        }
+        if families.iter().any(|f| f == "random") {
+            let circuit = random_circuit_with_depth(n, 10, seed);
+            let (program, secs) = timed(|| {
+                GenericRouter::new().route(&circuit, &cfg).expect("routing")
+            });
+            table.row(vec![
+                "random depth 10".into(),
+                n.to_string(),
+                format!("{} gates", circuit.len()),
+                format!("{secs:.2}"),
+                program.stats().two_qubit_depth.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "(paper: QAOA 1.51/10.75/129.50 s, qsim 6.91/14.28/30.48 s, random 2.64/8.70/32.31 s)"
+    );
+}

@@ -1,0 +1,67 @@
+//! Table 2: Q-Pilot vs the solver-based compilers on 3-/4-regular QAOA —
+//! compile runtime and compiled depth.
+//!
+//! The exact branch-and-bound scheduler stands in for the SMT solver \[61\]
+//! (optimal stage count, exponential runtime, honours a timeout); greedy
+//! matching-peeling stands in for the iterative relaxation \[62\]. Q-Pilot's
+//! depth counts its create/recycle pulses (+2), matching the paper.
+//!
+//! Usage: `table2_solver [--sizes 6,10,20,50,100] [--timeout 10] [--seed 4]`
+
+use std::time::Duration;
+
+use qpilot_bench::{arg_list, arg_num, fpqa_config, timed, Table};
+use qpilot_baselines::{exact_qaoa_stages, greedy_qaoa_stages, SolverOutcome};
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_workloads::graphs::random_regular;
+
+fn main() {
+    let sizes = arg_list("--sizes", &[6, 10, 20, 50, 100]);
+    let timeout = Duration::from_secs_f64(arg_num("--timeout", 10.0f64));
+    let seed = arg_num("--seed", 4u64);
+
+    for &degree in &[3u32, 4] {
+        println!("\n== Table 2: {degree}-regular graphs (timeout {timeout:?}) ==");
+        let mut table = Table::new(&[
+            "qubits", "edges",
+            "solver t(s)", "solver depth",
+            "greedy t(s)", "greedy depth",
+            "ours t(s)", "ours depth",
+        ]);
+        for &n in &sizes {
+            let Ok(graph) = random_regular(n, degree, seed) else {
+                continue;
+            };
+            let (exact, exact_t) = timed(|| exact_qaoa_stages(n, graph.edges(), timeout));
+            let (solver_depth, solver_time) = match exact {
+                SolverOutcome::Optimal { stages, .. } => {
+                    (stages.to_string(), format!("{exact_t:.3}"))
+                }
+                SolverOutcome::Timeout { .. } => ("-".into(), "timeout".into()),
+            };
+            let (greedy_depth, greedy_t) = timed(|| greedy_qaoa_stages(n, graph.edges()));
+
+            let cfg = fpqa_config(n);
+            let (program, ours_t) = timed(|| {
+                QaoaRouter::new()
+                    .route_edges(n, graph.edges(), 0.7, &cfg)
+                    .expect("fpqa routing")
+            });
+            table.row(vec![
+                n.to_string(),
+                graph.num_edges().to_string(),
+                solver_time,
+                solver_depth,
+                format!("{greedy_t:.4}"),
+                greedy_depth.to_string(),
+                format!("{ours_t:.4}"),
+                program.stats().two_qubit_depth.to_string(),
+            ]);
+        }
+        table.print();
+    }
+    println!(
+        "\n(paper: solver depths 3/3/3 (3-reg) and 5/5 (4-reg) before timing out; \
+         Q-Pilot compiles every size in <1s within ~4x of optimal depth)"
+    );
+}

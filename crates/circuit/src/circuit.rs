@@ -1,0 +1,498 @@
+//! The [`Circuit`] container.
+
+use std::fmt;
+
+use crate::{CircuitError, Gate, Operands, Qubit};
+
+/// An ordered list of gates over a fixed-width qubit register.
+///
+/// `Circuit` is the unit of work handed to routers and simulators. Gates are
+/// stored in program order; dependency structure is derived on demand via
+/// [`DependencyDag`](crate::DependencyDag).
+///
+/// Builder-style helpers (`h`, `cx`, `cz`, …) take raw `u32` indices for
+/// ergonomics and panic on invalid operands; the checked [`Circuit::push`]
+/// returns a [`CircuitError`] instead.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0);
+/// bell.cx(0, 1);
+/// assert_eq!(bell.len(), 2);
+/// assert_eq!(bell.two_qubit_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Circuit {
+    num_qubits: u32,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates an empty circuit with capacity reserved for `capacity` gates.
+    pub fn with_capacity(num_qubits: u32, capacity: usize) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a circuit from parts, validating every gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if any gate references a qubit at or beyond
+    /// `num_qubits`, or a two-qubit gate has duplicate operands.
+    pub fn from_gates(
+        num_qubits: u32,
+        gates: impl IntoIterator<Item = Gate>,
+    ) -> Result<Self, CircuitError> {
+        let mut c = Circuit::new(num_qubits);
+        for g in gates {
+            c.push(g)?;
+        }
+        Ok(c)
+    }
+
+    /// The register width.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of gates in the circuit.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Validates a gate against this circuit's register.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::from_gates`].
+    pub fn validate(&self, gate: &Gate) -> Result<(), CircuitError> {
+        match gate.operands() {
+            Operands::One(q) => {
+                if q.raw() >= self.num_qubits {
+                    return Err(CircuitError::QubitOutOfRange {
+                        qubit: q,
+                        num_qubits: self.num_qubits,
+                    });
+                }
+            }
+            Operands::Two(a, b) => {
+                for q in [a, b] {
+                    if q.raw() >= self.num_qubits {
+                        return Err(CircuitError::QubitOutOfRange {
+                            qubit: q,
+                            num_qubits: self.num_qubits,
+                        });
+                    }
+                }
+                if a == b {
+                    return Err(CircuitError::DuplicateOperands { qubit: a });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a gate after validation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::from_gates`].
+    pub fn push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        self.validate(&gate)?;
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends a gate, panicking on invalid operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate fails [`Circuit::validate`].
+    pub fn push_unchecked(&mut self, gate: Gate) {
+        self.push(gate).expect("invalid gate");
+    }
+
+    /// Appends all gates of `other` (which must have the same width or
+    /// narrower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` references qubits beyond this circuit's width.
+    pub fn extend_from(&mut self, other: &Circuit) {
+        for g in other.iter() {
+            self.push_unchecked(*g);
+        }
+    }
+
+    /// Returns the circuit that applies this circuit's inverse.
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::with_capacity(self.num_qubits, self.len());
+        for g in self.gates.iter().rev() {
+            inv.gates.push(g.inverse());
+        }
+        inv
+    }
+
+    /// Number of two-qubit gates.
+    pub fn two_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Number of single-qubit gates.
+    pub fn single_qubit_count(&self) -> usize {
+        self.len() - self.two_qubit_count()
+    }
+
+    /// Circuit depth counting only two-qubit gates, i.e. the number of
+    /// parallel two-qubit layers — the paper's primary depth metric.
+    ///
+    /// Single-qubit gates are transparent: they neither add depth nor
+    /// synchronise qubits.
+    pub fn two_qubit_depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits as usize];
+        let mut depth = 0;
+        for g in &self.gates {
+            if let Operands::Two(a, b) = g.operands() {
+                let d = level[a.index()].max(level[b.index()]) + 1;
+                level[a.index()] = d;
+                level[b.index()] = d;
+                depth = depth.max(d);
+            }
+        }
+        depth
+    }
+
+    /// Full circuit depth where every gate (1Q and 2Q) occupies one layer on
+    /// its operands.
+    pub fn total_depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits as usize];
+        let mut depth = 0;
+        for g in &self.gates {
+            let d = g
+                .operands()
+                .into_iter()
+                .map(|q| level[q.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in g.operands() {
+                level[q.index()] = d;
+            }
+            depth = depth.max(d);
+        }
+        depth
+    }
+
+    /// Groups gates into ASAP layers: each gate is placed in the earliest
+    /// layer after all gates it depends on. Returns gate indices per layer.
+    pub fn asap_layers(&self) -> Vec<Vec<usize>> {
+        let mut level = vec![0usize; self.num_qubits as usize];
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        for (i, g) in self.gates.iter().enumerate() {
+            let d = g
+                .operands()
+                .into_iter()
+                .map(|q| level[q.index()])
+                .max()
+                .unwrap_or(0);
+            for q in g.operands() {
+                level[q.index()] = d + 1;
+            }
+            if layers.len() <= d {
+                layers.resize_with(d + 1, Vec::new);
+            }
+            layers[d].push(i);
+        }
+        layers
+    }
+
+    /// Returns the set of qubits touched by at least one gate, sorted.
+    pub fn used_qubits(&self) -> Vec<Qubit> {
+        let mut used = vec![false; self.num_qubits as usize];
+        for g in &self.gates {
+            for q in g.operands() {
+                used[q.index()] = true;
+            }
+        }
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| Qubit::from(i))
+            .collect()
+    }
+
+    /// Embeds this circuit into a register of `num_qubits` width by
+    /// remapping operands through `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any remapped operand is out of range.
+    pub fn remapped(&self, num_qubits: u32, mut f: impl FnMut(Qubit) -> Qubit) -> Circuit {
+        let mut out = Circuit::with_capacity(num_qubits, self.len());
+        for g in &self.gates {
+            out.push_unchecked(g.map_qubits(&mut f));
+        }
+        out
+    }
+}
+
+/// Builder-style helpers. Each takes raw indices and panics on invalid
+/// operands, which keeps test and generator code concise.
+impl Circuit {
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(Gate::H(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a Pauli-X.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(Gate::X(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a Pauli-Y.
+    pub fn y(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(Gate::Y(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a Pauli-Z.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(Gate::Z(Qubit::new(q)));
+        self
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(Gate::S(Qubit::new(q)));
+        self
+    }
+
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(Gate::Sdg(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(Gate::T(Qubit::new(q)));
+        self
+    }
+
+    /// Appends a T† gate.
+    pub fn tdg(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(Gate::Tdg(Qubit::new(q)));
+        self
+    }
+
+    /// Appends an Rx rotation.
+    pub fn rx(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push_unchecked(Gate::Rx(Qubit::new(q), theta));
+        self
+    }
+
+    /// Appends an Ry rotation.
+    pub fn ry(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push_unchecked(Gate::Ry(Qubit::new(q), theta));
+        self
+    }
+
+    /// Appends an Rz rotation.
+    pub fn rz(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push_unchecked(Gate::Rz(Qubit::new(q), theta));
+        self
+    }
+
+    /// Appends a CX with `(control, target)`.
+    pub fn cx(&mut self, c: u32, t: u32) -> &mut Self {
+        self.push_unchecked(Gate::Cx(Qubit::new(c), Qubit::new(t)));
+        self
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push_unchecked(Gate::Cz(Qubit::new(a), Qubit::new(b)));
+        self
+    }
+
+    /// Appends a ZZ interaction `exp(-i θ/2 Z⊗Z)`.
+    pub fn zz(&mut self, a: u32, b: u32, theta: f64) -> &mut Self {
+        self.push_unchecked(Gate::Zz(Qubit::new(a), Qubit::new(b), theta));
+        self
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push_unchecked(Gate::Swap(Qubit::new(a), Qubit::new(b)));
+        self
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_range() {
+        let mut c = Circuit::new(2);
+        assert!(c.push(Gate::H(Qubit::new(1))).is_ok());
+        assert_eq!(
+            c.push(Gate::H(Qubit::new(2))),
+            Err(CircuitError::QubitOutOfRange {
+                qubit: Qubit::new(2),
+                num_qubits: 2
+            })
+        );
+    }
+
+    #[test]
+    fn push_rejects_duplicate_operands() {
+        let mut c = Circuit::new(2);
+        assert_eq!(
+            c.push(Gate::Cz(Qubit::new(0), Qubit::new(0))),
+            Err(CircuitError::DuplicateOperands { qubit: Qubit::new(0) })
+        );
+    }
+
+    #[test]
+    fn two_qubit_depth_ignores_single_qubit_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        c.cx(0, 1);
+        c.h(1);
+        c.cx(1, 2);
+        assert_eq!(c.two_qubit_depth(), 2);
+        assert_eq!(c.total_depth(), 4); // h, cx, h, cx chain on q1
+    }
+
+    #[test]
+    fn parallel_gates_share_a_layer() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3);
+        assert_eq!(c.two_qubit_depth(), 1);
+        c.cz(1, 2);
+        assert_eq!(c.two_qubit_depth(), 2);
+    }
+
+    #[test]
+    fn asap_layers_group_independent_gates() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(2, 3).cx(1, 2);
+        let layers = c.asap_layers();
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0], vec![0, 2]); // h q0 and cx q2,q3
+        assert_eq!(layers[1], vec![1]);
+        assert_eq!(layers[2], vec![3]);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.s(0).cx(0, 1);
+        let inv = c.inverse();
+        assert_eq!(inv.gates()[0], Gate::Cx(Qubit::new(0), Qubit::new(1)));
+        assert_eq!(inv.gates()[1], Gate::Sdg(Qubit::new(0)));
+    }
+
+    #[test]
+    fn counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(2, 0.1).cz(1, 2);
+        assert_eq!(c.two_qubit_count(), 2);
+        assert_eq!(c.single_qubit_count(), 2);
+    }
+
+    #[test]
+    fn used_qubits_reports_touched_only() {
+        let mut c = Circuit::new(5);
+        c.h(0).cz(3, 4);
+        assert_eq!(
+            c.used_qubits(),
+            vec![Qubit::new(0), Qubit::new(3), Qubit::new(4)]
+        );
+    }
+
+    #[test]
+    fn remapped_shifts_register() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let r = c.remapped(4, |q| Qubit::new(q.raw() + 2));
+        assert_eq!(r.gates()[0], Gate::Cx(Qubit::new(2), Qubit::new(3)));
+    }
+
+    #[test]
+    fn from_gates_validates() {
+        let gs = vec![Gate::H(Qubit::new(0)), Gate::Cx(Qubit::new(0), Qubit::new(3))];
+        assert!(Circuit::from_gates(2, gs).is_err());
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = c.to_string();
+        assert!(s.contains("h q0"));
+        assert!(s.contains("cx q0, q1"));
+    }
+
+    #[test]
+    fn empty_circuit_metrics() {
+        let c = Circuit::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.two_qubit_depth(), 0);
+        assert_eq!(c.total_depth(), 0);
+        assert!(c.asap_layers().is_empty());
+    }
+}

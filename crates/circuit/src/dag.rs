@@ -1,0 +1,338 @@
+//! Gate dependency DAG and front-layer extraction.
+//!
+//! Routers consume circuits layer by layer: at every step they ask for the
+//! *front layer* — the set of not-yet-executed gates none of whose
+//! predecessors (earlier gates sharing a qubit) are pending. [`Frontier`]
+//! maintains that set incrementally in O(1) amortised per executed gate.
+
+use std::fmt;
+
+use crate::{Circuit, Gate};
+
+/// Identifier of a gate inside a [`Circuit`]: its index in program order.
+pub type GateId = usize;
+
+/// Static dependency DAG of a circuit.
+///
+/// Gate `a` precedes gate `b` iff `a` appears earlier in program order and
+/// they share at least one qubit *with no intervening gate on that qubit*
+/// (the DAG stores the transitive reduction along each qubit's wire).
+#[derive(Debug, Clone)]
+pub struct DependencyDag {
+    preds: Vec<Vec<GateId>>,
+    succs: Vec<Vec<GateId>>,
+}
+
+impl DependencyDag {
+    /// Builds the dependency DAG of `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        let mut last_on: Vec<Option<GateId>> = vec![None; circuit.num_qubits() as usize];
+        for (i, g) in circuit.iter().enumerate() {
+            for q in g.operands() {
+                if let Some(p) = last_on[q.index()] {
+                    // A two-qubit gate may meet the same predecessor through
+                    // both wires; dedupe.
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+                last_on[q.index()] = Some(i);
+            }
+        }
+        DependencyDag { preds, succs }
+    }
+
+    /// Number of gates (nodes).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Returns `true` if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Direct predecessors of gate `id`.
+    pub fn predecessors(&self, id: GateId) -> &[GateId] {
+        &self.preds[id]
+    }
+
+    /// Direct successors of gate `id`.
+    pub fn successors(&self, id: GateId) -> &[GateId] {
+        &self.succs[id]
+    }
+
+    /// The source layer: gates with no predecessors.
+    pub fn sources(&self) -> Vec<GateId> {
+        (0..self.len()).filter(|&i| self.preds[i].is_empty()).collect()
+    }
+
+    /// Longest-path depth of each gate (source gates have depth 0).
+    ///
+    /// Because gate ids are in program order (a topological order), one
+    /// forward sweep suffices.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.len()];
+        for i in 0..self.len() {
+            for &p in &self.preds[i] {
+                depth[i] = depth[i].max(depth[p] + 1);
+            }
+        }
+        depth
+    }
+}
+
+/// Incremental front-layer tracker over a [`DependencyDag`].
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::{Circuit, Frontier};
+///
+/// let mut c = Circuit::new(3);
+/// c.cz(0, 1).cz(1, 2).cz(0, 2);
+/// let mut fr = Frontier::new(&c);
+/// assert_eq!(fr.front_layer(), &[0]);
+/// fr.execute(0);
+/// assert_eq!(fr.front_layer(), &[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    dag: DependencyDag,
+    pending_preds: Vec<usize>,
+    executed: Vec<bool>,
+    front: Vec<GateId>,
+    remaining: usize,
+}
+
+impl Frontier {
+    /// Builds a frontier over the circuit's dependency DAG.
+    pub fn new(circuit: &Circuit) -> Self {
+        Self::from_dag(DependencyDag::new(circuit))
+    }
+
+    /// Builds a frontier from an existing DAG.
+    pub fn from_dag(dag: DependencyDag) -> Self {
+        let n = dag.len();
+        let pending_preds: Vec<usize> = (0..n).map(|i| dag.predecessors(i).len()).collect();
+        let mut front: Vec<GateId> =
+            (0..n).filter(|&i| pending_preds[i] == 0).collect();
+        front.sort_unstable();
+        Frontier {
+            dag,
+            pending_preds,
+            executed: vec![false; n],
+            front,
+            remaining: n,
+        }
+    }
+
+    /// The current front layer (gates ready to execute), in program order.
+    pub fn front_layer(&self) -> &[GateId] {
+        &self.front
+    }
+
+    /// Number of gates not yet executed.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Returns `true` once every gate has been executed.
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Returns `true` if `id` has been executed.
+    pub fn is_executed(&self, id: GateId) -> bool {
+        self.executed[id]
+    }
+
+    /// Marks `id` as executed, promoting newly-ready successors into the
+    /// front layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not currently in the front layer (executing a gate
+    /// whose dependencies are pending would corrupt the schedule).
+    pub fn execute(&mut self, id: GateId) {
+        let pos = self
+            .front
+            .iter()
+            .position(|&g| g == id)
+            .expect("gate executed out of dependency order");
+        self.front.remove(pos);
+        self.executed[id] = true;
+        self.remaining -= 1;
+        let succs: Vec<GateId> = self.dag.successors(id).to_vec();
+        for s in succs {
+            self.pending_preds[s] -= 1;
+            if self.pending_preds[s] == 0 {
+                let insert_at = self.front.partition_point(|&g| g < s);
+                self.front.insert(insert_at, s);
+            }
+        }
+    }
+
+    /// Executes every gate currently in the front layer, returning them.
+    pub fn execute_front(&mut self) -> Vec<GateId> {
+        let layer = self.front.clone();
+        for &id in &layer {
+            self.execute(id);
+        }
+        layer
+    }
+
+    /// Borrow the underlying DAG.
+    pub fn dag(&self) -> &DependencyDag {
+        &self.dag
+    }
+}
+
+impl fmt::Display for Frontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frontier[{} remaining, front = {:?}]",
+            self.remaining, self.front
+        )
+    }
+}
+
+/// Splits the current front layer of `circuit` into single- and two-qubit
+/// gate ids — the shape routers want (1Q gates run on the Raman laser first,
+/// 2Q gates are scheduled onto Rydberg stages).
+pub fn split_front_layer(circuit: &Circuit, front: &[GateId]) -> (Vec<GateId>, Vec<GateId>) {
+    let gates = circuit.gates();
+    let mut one_q = Vec::new();
+    let mut two_q = Vec::new();
+    for &id in front {
+        if gates[id].is_two_qubit() {
+            two_q.push(id);
+        } else {
+            one_q.push(id);
+        }
+    }
+    (one_q, two_q)
+}
+
+/// Convenience: the gate objects of a layer.
+pub fn layer_gates<'c>(circuit: &'c Circuit, layer: &[GateId]) -> Vec<&'c Gate> {
+    layer.iter().map(|&id| &circuit.gates()[id]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.cz(0, 1).cz(1, 2).cz(2, 0);
+        c
+    }
+
+    #[test]
+    fn dag_edges_follow_wires() {
+        let c = triangle();
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.predecessors(0), &[] as &[GateId]);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1, 0]);
+        assert_eq!(dag.successors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn dag_dedupes_shared_predecessor() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(0, 1);
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn sources_and_depths() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3).cz(1, 2);
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.sources(), vec![0, 1]);
+        assert_eq!(dag.depths(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn frontier_walks_triangle() {
+        let c = triangle();
+        let mut fr = Frontier::new(&c);
+        assert_eq!(fr.front_layer(), &[0]);
+        fr.execute(0);
+        assert_eq!(fr.front_layer(), &[1]);
+        fr.execute(1);
+        assert_eq!(fr.front_layer(), &[2]);
+        fr.execute(2);
+        assert!(fr.is_done());
+    }
+
+    #[test]
+    fn frontier_parallel_layers() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3).cz(1, 2);
+        let mut fr = Frontier::new(&c);
+        assert_eq!(fr.front_layer(), &[0, 1]);
+        let executed = fr.execute_front();
+        assert_eq!(executed, vec![0, 1]);
+        assert_eq!(fr.front_layer(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dependency order")]
+    fn frontier_rejects_out_of_order_execution() {
+        let c = triangle();
+        let mut fr = Frontier::new(&c);
+        fr.execute(2);
+    }
+
+    #[test]
+    fn split_front_layer_partitions() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(1, 2);
+        let fr = Frontier::new(&c);
+        let (one_q, two_q) = split_front_layer(&c, fr.front_layer());
+        assert_eq!(one_q, vec![0]);
+        assert_eq!(two_q, vec![1]);
+    }
+
+    #[test]
+    fn frontier_front_stays_sorted() {
+        let mut c = Circuit::new(6);
+        c.cz(0, 1).cz(0, 2).cz(4, 5).cz(2, 3);
+        let mut fr = Frontier::new(&c);
+        assert_eq!(fr.front_layer(), &[0, 2]);
+        fr.execute(0);
+        assert_eq!(fr.front_layer(), &[1, 2]);
+        fr.execute(2);
+        fr.execute(1);
+        assert_eq!(fr.front_layer(), &[3]);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let c = triangle();
+        let mut fr = Frontier::new(&c);
+        assert_eq!(fr.remaining(), 3);
+        fr.execute(0);
+        assert_eq!(fr.remaining(), 2);
+        assert!(fr.is_executed(0));
+        assert!(!fr.is_executed(1));
+    }
+
+    #[test]
+    fn empty_circuit_frontier_is_done() {
+        let c = Circuit::new(2);
+        let fr = Frontier::new(&c);
+        assert!(fr.is_done());
+        assert!(fr.front_layer().is_empty());
+    }
+}

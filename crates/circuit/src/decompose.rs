@@ -1,0 +1,153 @@
+//! Lowering circuits to the FPQA-native `CZ + 1Q` universal set.
+//!
+//! The FPQA executes two-qubit entangling gates via a global Rydberg pulse
+//! that applies `CZ` to every coupled atom pair (§1 of the paper), so the
+//! router works on circuits whose only two-qubit gate is `CZ` (the `ZZ`
+//! interaction, being diagonal, is also admitted natively by the
+//! flying-ancilla theorem and is optionally preserved).
+//!
+//! Identities used:
+//!
+//! * `CX(c,t)   = H(t) · CZ(c,t) · H(t)`
+//! * `SWAP(a,b) = CX(a,b) · CX(b,a) · CX(a,b)`
+//! * `ZZ(θ)     = CX(a,b) · Rz(b,θ) · CX(a,b)` (when not kept native)
+
+use crate::{Circuit, Gate};
+
+/// Options controlling [`to_native`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecomposeOptions {
+    /// Keep `ZZ(θ)` as a native diagonal two-qubit interaction instead of
+    /// expanding it into `2 × CZ + 1Q`. The paper's QAOA accounting treats a
+    /// routed edge as a single native two-qubit gate, so this defaults to
+    /// `true`.
+    pub keep_zz: bool,
+}
+
+impl Default for DecomposeOptions {
+    fn default() -> Self {
+        DecomposeOptions { keep_zz: true }
+    }
+}
+
+/// Decomposes `circuit` into the native set `{CZ} + 1Q` (plus `ZZ` when
+/// [`DecomposeOptions::keep_zz`] is set).
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::{Circuit, decompose};
+///
+/// let mut c = Circuit::new(2);
+/// c.cx(0, 1);
+/// let native = decompose::to_native(&c, decompose::DecomposeOptions::default());
+/// // CX -> H CZ H
+/// assert_eq!(native.len(), 3);
+/// assert_eq!(native.two_qubit_count(), 1);
+/// ```
+pub fn to_native(circuit: &Circuit, opts: DecomposeOptions) -> Circuit {
+    let mut out = Circuit::with_capacity(circuit.num_qubits(), circuit.len() * 2);
+    for g in circuit.iter() {
+        lower_gate(&mut out, g, opts);
+    }
+    out
+}
+
+/// Decomposes with default options.
+pub fn to_cz_basis(circuit: &Circuit) -> Circuit {
+    to_native(circuit, DecomposeOptions::default())
+}
+
+fn lower_gate(out: &mut Circuit, g: &Gate, opts: DecomposeOptions) {
+    match *g {
+        Gate::Cx(c, t) => {
+            out.push_unchecked(Gate::H(t));
+            out.push_unchecked(Gate::Cz(c, t));
+            out.push_unchecked(Gate::H(t));
+        }
+        Gate::Swap(a, b) => {
+            for (c, t) in [(a, b), (b, a), (a, b)] {
+                lower_gate(out, &Gate::Cx(c, t), opts);
+            }
+        }
+        Gate::Zz(a, b, theta) => {
+            if opts.keep_zz {
+                out.push_unchecked(*g);
+            } else {
+                lower_gate(out, &Gate::Cx(a, b), opts);
+                out.push_unchecked(Gate::Rz(b, theta));
+                lower_gate(out, &Gate::Cx(a, b), opts);
+            }
+        }
+        _ => out.push_unchecked(*g),
+    }
+}
+
+/// Returns `true` if every gate of `circuit` is in the native set.
+pub fn is_native(circuit: &Circuit, opts: DecomposeOptions) -> bool {
+    circuit.iter().all(|g| match g {
+        Gate::Cz(_, _) => true,
+        Gate::Zz(_, _, _) => opts.keep_zz,
+        Gate::Cx(_, _) | Gate::Swap(_, _) => false,
+        _ => true, // all 1Q gates are native (Raman laser)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn cx_becomes_h_cz_h() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let n = to_cz_basis(&c);
+        let kinds: Vec<GateKind> = n.iter().map(|g| g.kind()).collect();
+        assert_eq!(kinds, vec![GateKind::H, GateKind::Cz, GateKind::H]);
+        assert!(is_native(&n, DecomposeOptions::default()));
+    }
+
+    #[test]
+    fn swap_costs_three_cz() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let n = to_cz_basis(&c);
+        assert_eq!(n.two_qubit_count(), 3);
+        assert!(is_native(&n, DecomposeOptions::default()));
+    }
+
+    #[test]
+    fn zz_kept_native_by_default() {
+        let mut c = Circuit::new(2);
+        c.zz(0, 1, 0.7);
+        let n = to_cz_basis(&c);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.gates()[0].kind(), GateKind::Zz);
+    }
+
+    #[test]
+    fn zz_expanded_when_requested() {
+        let mut c = Circuit::new(2);
+        c.zz(0, 1, 0.7);
+        let n = to_native(&c, DecomposeOptions { keep_zz: false });
+        assert_eq!(n.two_qubit_count(), 2); // two CZs
+        assert!(n.iter().any(|g| g.kind() == GateKind::Rz));
+        assert!(is_native(&n, DecomposeOptions { keep_zz: false }));
+    }
+
+    #[test]
+    fn one_qubit_gates_pass_through() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).rz(0, 0.3);
+        let n = to_cz_basis(&c);
+        assert_eq!(n.gates(), c.gates());
+    }
+
+    #[test]
+    fn is_native_flags_cx() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        assert!(!is_native(&c, DecomposeOptions::default()));
+    }
+}

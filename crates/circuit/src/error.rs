@@ -1,0 +1,54 @@
+//! Error type for circuit construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Qubit;
+
+/// Errors produced when building or transforming a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a qubit index at or beyond the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// The circuit width.
+        num_qubits: u32,
+    },
+    /// A two-qubit gate used the same qubit for both operands.
+    DuplicateOperands {
+        /// The duplicated qubit.
+        qubit: Qubit,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for circuit of {num_qubits} qubits")
+            }
+            CircuitError::DuplicateOperands { qubit } => {
+                write!(f, "two-qubit gate uses qubit {qubit} for both operands")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: Qubit::new(5),
+            num_qubits: 4,
+        };
+        assert_eq!(e.to_string(), "qubit q5 out of range for circuit of 4 qubits");
+        let e = CircuitError::DuplicateOperands { qubit: Qubit::new(2) };
+        assert_eq!(e.to_string(), "two-qubit gate uses qubit q2 for both operands");
+    }
+}

@@ -1,0 +1,423 @@
+//! The gate set used throughout the Q-Pilot compiler.
+
+use std::fmt;
+
+use crate::Qubit;
+
+/// A quantum gate acting on one or two qubits.
+///
+/// The set covers what the Q-Pilot flow needs end to end: arbitrary 1-qubit
+/// rotations plus the Cliffords emitted by decomposition, and the two-qubit
+/// interactions appearing in the paper's workloads (`CX`, `CZ`, `SWAP`, and
+/// the parameterised `ZZ` used by QAOA cost layers).
+///
+/// Two-qubit gates store `(control, target)` for `CX` and symmetric operand
+/// pairs for `CZ`/`ZZ`/`SWAP`; symmetry is respected by
+/// [`Gate::same_operation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Gate {
+    /// Hadamard.
+    H(Qubit),
+    /// Pauli-X.
+    X(Qubit),
+    /// Pauli-Y.
+    Y(Qubit),
+    /// Pauli-Z.
+    Z(Qubit),
+    /// Phase gate `S = diag(1, i)`.
+    S(Qubit),
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg(Qubit),
+    /// T gate `diag(1, e^{iπ/4})`.
+    T(Qubit),
+    /// Inverse T gate.
+    Tdg(Qubit),
+    /// Rotation about X by the given angle (radians).
+    Rx(Qubit, f64),
+    /// Rotation about Y by the given angle (radians).
+    Ry(Qubit, f64),
+    /// Rotation about Z by the given angle (radians).
+    Rz(Qubit, f64),
+    /// Controlled-X with `(control, target)`.
+    Cx(Qubit, Qubit),
+    /// Controlled-Z (symmetric).
+    Cz(Qubit, Qubit),
+    /// Ising interaction `exp(-i θ/2 · Z⊗Z)` (symmetric).
+    Zz(Qubit, Qubit, f64),
+    /// SWAP (symmetric); used by baseline routers, not FPQA-native.
+    Swap(Qubit, Qubit),
+}
+
+/// Discriminant-only view of a [`Gate`], convenient for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate.
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T gate.
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// X rotation.
+    Rx,
+    /// Y rotation.
+    Ry,
+    /// Z rotation.
+    Rz,
+    /// Controlled-X.
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Ising ZZ interaction.
+    Zz,
+    /// SWAP.
+    Swap,
+}
+
+/// The operands of a gate: one or two qubits.
+///
+/// Returned by [`Gate::operands`]; iterate it or destructure it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operands {
+    /// A single-qubit gate's operand.
+    One(Qubit),
+    /// A two-qubit gate's operands, in gate order.
+    Two(Qubit, Qubit),
+}
+
+impl Operands {
+    /// Number of operands (1 or 2).
+    pub fn len(&self) -> usize {
+        match self {
+            Operands::One(_) => 1,
+            Operands::Two(_, _) => 2,
+        }
+    }
+
+    /// Always `false`; provided for clippy-friendly symmetry with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `q` is among the operands.
+    pub fn contains(&self, q: Qubit) -> bool {
+        match *self {
+            Operands::One(a) => a == q,
+            Operands::Two(a, b) => a == q || b == q,
+        }
+    }
+
+    /// Iterates over the operands.
+    pub fn iter(&self) -> OperandIter {
+        OperandIter {
+            ops: *self,
+            next: 0,
+        }
+    }
+}
+
+impl IntoIterator for Operands {
+    type Item = Qubit;
+    type IntoIter = OperandIter;
+
+    fn into_iter(self) -> OperandIter {
+        OperandIter { ops: self, next: 0 }
+    }
+}
+
+/// Iterator over the operands of a gate. See [`Operands::iter`].
+#[derive(Debug, Clone)]
+pub struct OperandIter {
+    ops: Operands,
+    next: u8,
+}
+
+impl Iterator for OperandIter {
+    type Item = Qubit;
+
+    fn next(&mut self) -> Option<Qubit> {
+        let item = match (self.ops, self.next) {
+            (Operands::One(a), 0) => Some(a),
+            (Operands::Two(a, _), 0) => Some(a),
+            (Operands::Two(_, b), 1) => Some(b),
+            _ => None,
+        };
+        if item.is_some() {
+            self.next += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.ops.len().saturating_sub(self.next as usize);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for OperandIter {}
+
+impl Gate {
+    /// Returns the gate's operands.
+    pub fn operands(&self) -> Operands {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _) => Operands::One(q),
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Zz(a, b, _) | Gate::Swap(a, b) => {
+                Operands::Two(a, b)
+            }
+        }
+    }
+
+    /// Returns the discriminant of this gate.
+    pub fn kind(&self) -> GateKind {
+        match self {
+            Gate::H(_) => GateKind::H,
+            Gate::X(_) => GateKind::X,
+            Gate::Y(_) => GateKind::Y,
+            Gate::Z(_) => GateKind::Z,
+            Gate::S(_) => GateKind::S,
+            Gate::Sdg(_) => GateKind::Sdg,
+            Gate::T(_) => GateKind::T,
+            Gate::Tdg(_) => GateKind::Tdg,
+            Gate::Rx(_, _) => GateKind::Rx,
+            Gate::Ry(_, _) => GateKind::Ry,
+            Gate::Rz(_, _) => GateKind::Rz,
+            Gate::Cx(_, _) => GateKind::Cx,
+            Gate::Cz(_, _) => GateKind::Cz,
+            Gate::Zz(_, _, _) => GateKind::Zz,
+            Gate::Swap(_, _) => GateKind::Swap,
+        }
+    }
+
+    /// Returns `true` for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self.operands(), Operands::Two(_, _))
+    }
+
+    /// Returns `true` for single-qubit gates.
+    pub fn is_single_qubit(&self) -> bool {
+        !self.is_two_qubit()
+    }
+
+    /// Returns `true` if the gate is diagonal in the computational basis.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::Z(_)
+                | Gate::S(_)
+                | Gate::Sdg(_)
+                | Gate::T(_)
+                | Gate::Tdg(_)
+                | Gate::Rz(_, _)
+                | Gate::Cz(_, _)
+                | Gate::Zz(_, _, _)
+        )
+    }
+
+    /// Returns `true` if `other` denotes the same physical operation,
+    /// honouring operand symmetry of `CZ`, `ZZ` and `SWAP`.
+    ///
+    /// ```
+    /// use qpilot_circuit::{Gate, Qubit};
+    /// let a = Qubit::new(0);
+    /// let b = Qubit::new(1);
+    /// assert!(Gate::Cz(a, b).same_operation(&Gate::Cz(b, a)));
+    /// assert!(!Gate::Cx(a, b).same_operation(&Gate::Cx(b, a)));
+    /// ```
+    pub fn same_operation(&self, other: &Gate) -> bool {
+        if self == other {
+            return true;
+        }
+        match (*self, *other) {
+            (Gate::Cz(a, b), Gate::Cz(c, d)) | (Gate::Swap(a, b), Gate::Swap(c, d)) => {
+                (a, b) == (d, c)
+            }
+            (Gate::Zz(a, b, t1), Gate::Zz(c, d, t2)) => (a, b) == (d, c) && t1 == t2,
+            _ => false,
+        }
+    }
+
+    /// Returns the inverse gate.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(q),
+            Gate::X(q) => Gate::X(q),
+            Gate::Y(q) => Gate::Y(q),
+            Gate::Z(q) => Gate::Z(q),
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::T(q) => Gate::Tdg(q),
+            Gate::Tdg(q) => Gate::T(q),
+            Gate::Rx(q, t) => Gate::Rx(q, -t),
+            Gate::Ry(q, t) => Gate::Ry(q, -t),
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            Gate::Cx(a, b) => Gate::Cx(a, b),
+            Gate::Cz(a, b) => Gate::Cz(a, b),
+            Gate::Zz(a, b, t) => Gate::Zz(a, b, -t),
+            Gate::Swap(a, b) => Gate::Swap(a, b),
+        }
+    }
+
+    /// Remaps every operand through `f`, returning the remapped gate.
+    ///
+    /// Used when embedding a circuit into a larger register or applying a
+    /// qubit layout.
+    pub fn map_qubits(&self, mut f: impl FnMut(Qubit) -> Qubit) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::T(q) => Gate::T(f(q)),
+            Gate::Tdg(q) => Gate::Tdg(f(q)),
+            Gate::Rx(q, t) => Gate::Rx(f(q), t),
+            Gate::Ry(q, t) => Gate::Ry(f(q), t),
+            Gate::Rz(q, t) => Gate::Rz(f(q), t),
+            Gate::Cx(a, b) => Gate::Cx(f(a), f(b)),
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+            Gate::Zz(a, b, t) => Gate::Zz(f(a), f(b), t),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+        }
+    }
+
+    /// Lower-case mnemonic used by the QASM exporter and `Display`.
+    pub fn mnemonic(&self) -> &'static str {
+        match self.kind() {
+            GateKind::H => "h",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Rx => "rx",
+            GateKind::Ry => "ry",
+            GateKind::Rz => "rz",
+            GateKind::Cx => "cx",
+            GateKind::Cz => "cz",
+            GateKind::Zz => "rzz",
+            GateKind::Swap => "swap",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::Rx(q, t) | Gate::Ry(q, t) | Gate::Rz(q, t) => {
+                write!(f, "{}({t:.6}) {q}", self.mnemonic())
+            }
+            Gate::Zz(a, b, t) => write!(f, "rzz({t:.6}) {a}, {b}"),
+            _ => match self.operands() {
+                Operands::One(q) => write!(f, "{} {q}", self.mnemonic()),
+                Operands::Two(a, b) => write!(f, "{} {a}, {b}", self.mnemonic()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn operands_of_single_qubit_gates() {
+        assert_eq!(Gate::H(q(3)).operands(), Operands::One(q(3)));
+        assert_eq!(Gate::Rz(q(1), 0.5).operands(), Operands::One(q(1)));
+        assert!(Gate::H(q(3)).is_single_qubit());
+    }
+
+    #[test]
+    fn operands_of_two_qubit_gates() {
+        assert_eq!(Gate::Cx(q(0), q(1)).operands(), Operands::Two(q(0), q(1)));
+        assert!(Gate::Cz(q(0), q(1)).is_two_qubit());
+    }
+
+    #[test]
+    fn operand_iteration() {
+        let ops: Vec<Qubit> = Gate::Cx(q(2), q(5)).operands().into_iter().collect();
+        assert_eq!(ops, vec![q(2), q(5)]);
+        let ops: Vec<Qubit> = Gate::X(q(9)).operands().into_iter().collect();
+        assert_eq!(ops, vec![q(9)]);
+    }
+
+    #[test]
+    fn operand_iter_is_exact_size() {
+        let mut it = Gate::Cz(q(0), q(1)).operands().iter();
+        assert_eq!(it.len(), 2);
+        it.next();
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_equality() {
+        assert!(Gate::Cz(q(0), q(1)).same_operation(&Gate::Cz(q(1), q(0))));
+        assert!(Gate::Swap(q(0), q(1)).same_operation(&Gate::Swap(q(1), q(0))));
+        assert!(Gate::Zz(q(0), q(1), 0.3).same_operation(&Gate::Zz(q(1), q(0), 0.3)));
+        assert!(!Gate::Zz(q(0), q(1), 0.3).same_operation(&Gate::Zz(q(1), q(0), 0.4)));
+        assert!(!Gate::Cx(q(0), q(1)).same_operation(&Gate::Cx(q(1), q(0))));
+    }
+
+    #[test]
+    fn inverse_pairs() {
+        assert_eq!(Gate::S(q(0)).inverse(), Gate::Sdg(q(0)));
+        assert_eq!(Gate::Rz(q(0), 1.5).inverse(), Gate::Rz(q(0), -1.5));
+        assert_eq!(Gate::Cx(q(0), q(1)).inverse(), Gate::Cx(q(0), q(1)));
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::Cz(q(0), q(1)).is_diagonal());
+        assert!(Gate::Zz(q(0), q(1), 0.2).is_diagonal());
+        assert!(Gate::Rz(q(0), 0.2).is_diagonal());
+        assert!(!Gate::Cx(q(0), q(1)).is_diagonal());
+        assert!(!Gate::H(q(0)).is_diagonal());
+    }
+
+    #[test]
+    fn map_qubits_shifts_operands() {
+        let g = Gate::Cx(q(0), q(1)).map_qubits(|x| Qubit::new(x.raw() + 10));
+        assert_eq!(g, Gate::Cx(q(10), q(11)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::H(q(0)).to_string(), "h q0");
+        assert_eq!(Gate::Cx(q(0), q(1)).to_string(), "cx q0, q1");
+        assert!(Gate::Rz(q(2), 0.25).to_string().starts_with("rz(0.25"));
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let ops = Gate::Cz(q(1), q(4)).operands();
+        assert!(ops.contains(q(1)));
+        assert!(ops.contains(q(4)));
+        assert!(!ops.contains(q(2)));
+    }
+}

@@ -1,0 +1,51 @@
+//! Quantum-circuit intermediate representation for the Q-Pilot FPQA compiler.
+//!
+//! This crate is the circuit substrate shared by every other Q-Pilot crate.
+//! It provides:
+//!
+//! * [`Qubit`] — a typed qubit index,
+//! * [`Gate`] — the gate set used throughout the compiler (1-qubit rotations
+//!   and Cliffords, plus the two-qubit `CX`, `CZ`, `SWAP` and parameterised
+//!   `ZZ` interactions),
+//! * [`Circuit`] — an ordered gate list with validation and builder helpers,
+//! * [`DependencyDag`] — the gate dependency graph with front-layer
+//!   extraction, the workhorse of the routers,
+//! * depth metrics (`two_qubit_depth`, ASAP layering) matching the paper's
+//!   definition of circuit depth as the number of parallel two-qubit layers,
+//! * [`decompose`] — lowering to the FPQA-native `CZ + 1Q` universal set,
+//! * [`optimize`] — peephole cancellation used by the baseline compilers,
+//! * [`pauli`] — Pauli operators and Pauli strings for quantum-simulation
+//!   workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use qpilot_circuit::{Circuit, Gate, Qubit};
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0);
+//! c.cx(0, 1);
+//! c.cz(1, 2);
+//! assert_eq!(c.two_qubit_depth(), 2);
+//! assert_eq!(c.two_qubit_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod dag;
+pub mod decompose;
+mod error;
+mod gate;
+pub mod optimize;
+pub mod pauli;
+mod qasm;
+mod qubit;
+
+pub use circuit::Circuit;
+pub use dag::{layer_gates, split_front_layer, DependencyDag, Frontier, GateId};
+pub use error::CircuitError;
+pub use gate::{Gate, GateKind, Operands};
+pub use pauli::{Pauli, PauliString};
+pub use qubit::Qubit;

@@ -1,0 +1,326 @@
+//! Peephole optimisation passes.
+//!
+//! These implement the gate-level cleanups a production transpiler (e.g.
+//! Qiskit at optimisation level 3) performs after routing, and are used by
+//! the baseline compilers so that baseline gate counts are not inflated by
+//! trivially-cancellable gates:
+//!
+//! * cancellation of adjacent self-inverse pairs (`H·H`, `CX·CX`, `CZ·CZ`,
+//!   `X·X`, …) with commutation through disjoint gates,
+//! * merging of adjacent rotations about the same axis (`Rz·Rz → Rz`),
+//! * removal of rotations with angle ≡ 0 (mod 4π).
+
+use crate::{Circuit, Gate, Operands};
+
+/// Result statistics of an optimisation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Gates removed by pair cancellation.
+    pub cancelled: usize,
+    /// Rotations merged into a predecessor.
+    pub merged: usize,
+    /// Identity rotations dropped.
+    pub dropped_identities: usize,
+}
+
+/// Angle below which a rotation is treated as identity.
+const EPS: f64 = 1e-12;
+
+/// Repeatedly applies `cancel_pairs_once` and rotation merging until a
+/// fixed point, returning the optimised circuit and statistics.
+pub fn peephole(circuit: &Circuit) -> (Circuit, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let mut current = circuit.clone();
+    loop {
+        let (next, s) = pass_once(&current);
+        stats.cancelled += s.cancelled;
+        stats.merged += s.merged;
+        stats.dropped_identities += s.dropped_identities;
+        let changed = s.cancelled + s.merged + s.dropped_identities > 0;
+        current = next;
+        if !changed {
+            return (current, stats);
+        }
+    }
+}
+
+/// Single optimisation pass (one linear scan per rule family).
+fn pass_once(circuit: &Circuit) -> (Circuit, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let n_qubits = circuit.num_qubits();
+    // `kept` holds indices (into circuit.gates()) still alive; per-qubit
+    // stacks track, for each wire, the most recent alive gate touching it.
+    let gates = circuit.gates();
+    let mut alive = vec![true; gates.len()];
+    let mut last_on: Vec<Option<usize>> = vec![None; n_qubits as usize];
+    let mut merged_angles: Vec<f64> = gates
+        .iter()
+        .map(|g| match *g {
+            Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) | Gate::Zz(_, _, t) => t,
+            _ => 0.0,
+        })
+        .collect();
+
+    for i in 0..gates.len() {
+        let g = gates[i];
+        // Find the previous alive gate(s) on this gate's wires.
+        let prev: Option<usize> = match g.operands() {
+            Operands::One(q) => last_on[q.index()],
+            Operands::Two(a, b) => {
+                let pa = last_on[a.index()];
+                let pb = last_on[b.index()];
+                // Both wires must point at the same immediate predecessor
+                // for a 2Q-2Q cancellation to be sound.
+                if pa == pb {
+                    pa
+                } else {
+                    None
+                }
+            }
+        };
+
+        if let Some(p) = prev {
+            if alive[p] {
+                let pg = reangled(gates[p], merged_angles[p]);
+                // Inverse-pair cancellation (covers self-inverse gates like
+                // H/CX/CZ and proper pairs like S·S†, T·T†).
+                if pg.inverse().same_operation(&g) && is_cancellable(&g) {
+                    alive[p] = false;
+                    alive[i] = false;
+                    stats.cancelled += 2;
+                    clear_wires(&g, &mut last_on, p);
+                    continue;
+                }
+                // Rotation merging (same axis, same operands).
+                if let Some(sum) = mergeable(&pg, &g, merged_angles[p], &merged_angles, i) {
+                    merged_angles[p] = sum;
+                    alive[i] = false;
+                    stats.merged += 1;
+                    if sum.abs() < EPS {
+                        alive[p] = false;
+                        stats.dropped_identities += 1;
+                        clear_wires(&g, &mut last_on, p);
+                    }
+                    continue;
+                }
+            }
+        }
+
+        // Identity rotation dropping.
+        if is_rotation(&g) && merged_angles[i].abs() < EPS {
+            alive[i] = false;
+            stats.dropped_identities += 1;
+            continue;
+        }
+
+        for q in g.operands() {
+            last_on[q.index()] = Some(i);
+        }
+    }
+
+    let mut out = Circuit::with_capacity(n_qubits, gates.len());
+    for i in 0..gates.len() {
+        if alive[i] {
+            out.push_unchecked(reangled(gates[i], merged_angles[i]));
+        }
+    }
+    (out, stats)
+}
+
+fn is_rotation(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::Rx(_, _) | Gate::Ry(_, _) | Gate::Rz(_, _) | Gate::Zz(_, _, _)
+    )
+}
+
+fn is_cancellable(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::H(_)
+            | Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::S(_)
+            | Gate::Sdg(_)
+            | Gate::T(_)
+            | Gate::Tdg(_)
+            | Gate::Cx(_, _)
+            | Gate::Cz(_, _)
+            | Gate::Swap(_, _)
+    )
+}
+
+fn mergeable(
+    prev: &Gate,
+    cur: &Gate,
+    prev_angle: f64,
+    angles: &[f64],
+    cur_idx: usize,
+) -> Option<f64> {
+    let cur_angle = angles[cur_idx];
+    match (*prev, *cur) {
+        (Gate::Rx(a, _), Gate::Rx(b, _)) if a == b => Some(prev_angle + cur_angle),
+        (Gate::Ry(a, _), Gate::Ry(b, _)) if a == b => Some(prev_angle + cur_angle),
+        (Gate::Rz(a, _), Gate::Rz(b, _)) if a == b => Some(prev_angle + cur_angle),
+        (Gate::Zz(a, b, _), Gate::Zz(c, d, _)) if (a, b) == (c, d) || (a, b) == (d, c) => {
+            Some(prev_angle + cur_angle)
+        }
+        _ => None,
+    }
+}
+
+fn reangled(g: Gate, angle: f64) -> Gate {
+    match g {
+        Gate::Rx(q, _) => Gate::Rx(q, angle),
+        Gate::Ry(q, _) => Gate::Ry(q, angle),
+        Gate::Rz(q, _) => Gate::Rz(q, angle),
+        Gate::Zz(a, b, _) => Gate::Zz(a, b, angle),
+        other => other,
+    }
+}
+
+fn clear_wires(g: &Gate, last_on: &mut [Option<usize>], expected: usize) {
+    for q in g.operands() {
+        if last_on[q.index()] == Some(expected) {
+            last_on[q.index()] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_h_pair_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let (opt, stats) = peephole(&c);
+        assert!(opt.is_empty());
+        assert_eq!(stats.cancelled, 2);
+    }
+
+    #[test]
+    fn adjacent_cx_pair_cancels() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        let (opt, _) = peephole(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn reversed_cx_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        let (opt, _) = peephole(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn reversed_cz_cancels() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(1, 0);
+        let (opt, _) = peephole(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn interleaved_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(1, 0.5).cx(0, 1);
+        let (opt, _) = peephole(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_gate_does_not_block() {
+        // h q2 between the CXs acts on an unrelated wire.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).h(2).cx(0, 1);
+        let (opt, _) = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.gates()[0], Gate::H(crate::Qubit::new(2)));
+    }
+
+    #[test]
+    fn rz_chain_merges() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.25).rz(0, 0.5).rz(0, 0.25);
+        let (opt, stats) = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(stats.merged, 2);
+        match opt.gates()[0] {
+            Gate::Rz(_, t) => assert!((t - 1.0).abs() < 1e-12),
+            ref g => panic!("expected rz, got {g}"),
+        }
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.7).rz(0, -0.7);
+        let (opt, _) = peephole(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn zero_rotation_dropped() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.0);
+        let (opt, stats) = peephole(&c);
+        assert!(opt.is_empty());
+        assert_eq!(stats.dropped_identities, 1);
+    }
+
+    #[test]
+    fn zz_merge_is_symmetric() {
+        let mut c = Circuit::new(2);
+        c.zz(0, 1, 0.3).zz(1, 0, 0.2);
+        let (opt, _) = peephole(&c);
+        assert_eq!(opt.len(), 1);
+        match opt.gates()[0] {
+            Gate::Zz(_, _, t) => assert!((t - 0.5).abs() < 1e-12),
+            ref g => panic!("expected zz, got {g}"),
+        }
+    }
+
+    #[test]
+    fn partial_overlap_blocks_two_qubit_cancellation() {
+        // cz(0,1) cz(1,2) cz(0,1): middle gate shares q1, so no cancel.
+        let mut c = Circuit::new(3);
+        c.cz(0, 1).cz(1, 2).cz(0, 1);
+        let (opt, _) = peephole(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn s_sdg_pair_cancels() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0);
+        let (opt, _) = peephole(&c);
+        assert!(opt.is_empty());
+        let mut c = Circuit::new(1);
+        c.tdg(0).t(0);
+        let (opt, _) = peephole(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn s_s_pair_does_not_cancel() {
+        let mut c = Circuit::new(1);
+        c.s(0).s(0);
+        let (opt, _) = peephole(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn fixed_point_chain() {
+        // h h h h collapses fully, needing two passes.
+        let mut c = Circuit::new(1);
+        c.h(0).h(0).h(0).h(0);
+        let (opt, stats) = peephole(&c);
+        assert!(opt.is_empty());
+        assert_eq!(stats.cancelled, 4);
+    }
+}

@@ -1,0 +1,330 @@
+//! Pauli operators and Pauli strings.
+//!
+//! Quantum-simulation workloads (§3.3, Fig. 12, Table 1) are lists of Pauli
+//! strings; each string drives one invocation of the customised
+//! quantum-simulation router.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Circuit, Qubit};
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// The non-identity Paulis, in conventional order.
+    pub const NON_IDENTITY: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns `true` for `I`.
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+impl TryFrom<char> for Pauli {
+    type Error = ParsePauliError;
+
+    fn try_from(c: char) -> Result<Self, ParsePauliError> {
+        match c.to_ascii_uppercase() {
+            'I' => Ok(Pauli::I),
+            'X' => Ok(Pauli::X),
+            'Y' => Ok(Pauli::Y),
+            'Z' => Ok(Pauli::Z),
+            _ => Err(ParsePauliError { found: c }),
+        }
+    }
+}
+
+/// Error from parsing a Pauli character or string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// The character that failed to parse.
+    pub found: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pauli character {:?}", self.found)
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+/// A Pauli string over `n` qubits, e.g. `XIZZY`.
+///
+/// Position `i` in the string is the Pauli acting on qubit `i`.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::PauliString;
+///
+/// let p: PauliString = "XIZ".parse().unwrap();
+/// assert_eq!(p.num_qubits(), 3);
+/// assert_eq!(p.weight(), 2);
+/// assert_eq!(p.support().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PauliString {
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Creates a string from explicit per-qubit Paulis.
+    pub fn new(paulis: Vec<Pauli>) -> Self {
+        PauliString { paulis }
+    }
+
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            paulis: vec![Pauli::I; n],
+        }
+    }
+
+    /// Builds a string of width `n` from `(qubit, pauli)` pairs; unlisted
+    /// qubits are `I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is `>= n`.
+    pub fn from_sparse(n: usize, terms: impl IntoIterator<Item = (usize, Pauli)>) -> Self {
+        let mut paulis = vec![Pauli::I; n];
+        for (q, p) in terms {
+            assert!(q < n, "qubit index {q} out of range for width {n}");
+            paulis[q] = p;
+        }
+        PauliString { paulis }
+    }
+
+    /// Number of qubits (width) of the string.
+    pub fn num_qubits(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// The per-qubit Paulis.
+    pub fn paulis(&self) -> &[Pauli] {
+        &self.paulis
+    }
+
+    /// The Pauli acting on qubit `q`.
+    pub fn pauli(&self, q: usize) -> Pauli {
+        self.paulis[q]
+    }
+
+    /// Number of non-identity positions.
+    pub fn weight(&self) -> usize {
+        self.paulis.iter().filter(|p| !p.is_identity()).count()
+    }
+
+    /// Returns `true` if every position is `I`.
+    pub fn is_identity(&self) -> bool {
+        self.weight() == 0
+    }
+
+    /// Qubits with non-identity Paulis, in increasing index order.
+    pub fn support(&self) -> Vec<Qubit> {
+        self.paulis
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_identity())
+            .map(|(i, _)| Qubit::from(i))
+            .collect()
+    }
+
+    /// Emits the basis-change layer mapping this string to Z-basis: `H` for
+    /// `X`, `Sdg·H` for `Y` (so that `H S† · Y · S H† = ...` conjugates `Y`
+    /// onto `Z`), nothing for `Z`/`I`. Appends onto `circuit`.
+    ///
+    /// The inverse layer is produced by [`PauliString::append_basis_change_inverse`].
+    pub fn append_basis_change(&self, circuit: &mut Circuit) {
+        for (i, p) in self.paulis.iter().enumerate() {
+            let q = i as u32;
+            match p {
+                Pauli::X => {
+                    circuit.h(q);
+                }
+                Pauli::Y => {
+                    // Z = S H · Y · H S†  ⇒ pre-rotation is H·S† applied as
+                    // gates Sdg then H in circuit order.
+                    circuit.sdg(q);
+                    circuit.h(q);
+                }
+                Pauli::I | Pauli::Z => {}
+            }
+        }
+    }
+
+    /// Emits the inverse of [`PauliString::append_basis_change`].
+    pub fn append_basis_change_inverse(&self, circuit: &mut Circuit) {
+        for (i, p) in self.paulis.iter().enumerate() {
+            let q = i as u32;
+            match p {
+                Pauli::X => {
+                    circuit.h(q);
+                }
+                Pauli::Y => {
+                    circuit.h(q);
+                    circuit.s(q);
+                }
+                Pauli::I | Pauli::Z => {}
+            }
+        }
+    }
+
+    /// Reference circuit for `exp(-i θ/2 · P)` using the textbook CNOT
+    /// ladder: basis change, CX chain into the last support qubit, `Rz(θ)`,
+    /// un-chain, inverse basis change.
+    ///
+    /// This is the ground-truth construction the simulator compares router
+    /// output against, and the circuit the baseline devices compile.
+    ///
+    /// Returns an empty circuit for identity strings.
+    pub fn evolution_circuit(&self, theta: f64) -> Circuit {
+        let n = self.num_qubits() as u32;
+        let mut c = Circuit::new(n);
+        let support = self.support();
+        if support.is_empty() {
+            return c;
+        }
+        self.append_basis_change(&mut c);
+        let root = *support.last().expect("non-empty support");
+        for w in support.windows(2) {
+            c.cx(w[0].raw(), w[1].raw());
+        }
+        c.rz(root.raw(), theta);
+        for w in support.windows(2).rev() {
+            c.cx(w[0].raw(), w[1].raw());
+        }
+        self.append_basis_change_inverse(&mut c);
+        c
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.paulis {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, ParsePauliError> {
+        let paulis: Result<Vec<Pauli>, ParsePauliError> =
+            s.chars().map(Pauli::try_from).collect();
+        Ok(PauliString { paulis: paulis? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p: PauliString = "XIZY".parse().unwrap();
+        assert_eq!(p.to_string(), "XIZY");
+        assert_eq!(p.pauli(0), Pauli::X);
+        assert_eq!(p.pauli(1), Pauli::I);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "XQ".parse::<PauliString>().unwrap_err();
+        assert_eq!(err.found, 'Q');
+    }
+
+    #[test]
+    fn weight_and_support() {
+        let p: PauliString = "IXIYZ".parse().unwrap();
+        assert_eq!(p.weight(), 3);
+        assert_eq!(
+            p.support(),
+            vec![Qubit::new(1), Qubit::new(3), Qubit::new(4)]
+        );
+    }
+
+    #[test]
+    fn from_sparse_builds_width() {
+        let p = PauliString::from_sparse(5, [(0, Pauli::X), (4, Pauli::Z)]);
+        assert_eq!(p.to_string(), "XIIIZ");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_sparse_checks_range() {
+        PauliString::from_sparse(2, [(2, Pauli::X)]);
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(PauliString::identity(4).is_identity());
+        let p: PauliString = "IIZ".parse().unwrap();
+        assert!(!p.is_identity());
+    }
+
+    #[test]
+    fn evolution_circuit_shape() {
+        let p: PauliString = "ZZ".parse().unwrap();
+        let c = p.evolution_circuit(0.5);
+        // cx, rz, cx
+        assert_eq!(c.two_qubit_count(), 2);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn evolution_circuit_basis_changes() {
+        let p: PauliString = "XY".parse().unwrap();
+        let c = p.evolution_circuit(0.5);
+        // 1(h) + 2(sdg,h) pre + cx rz cx + post 1(h) + 2(h,s) = 9
+        assert_eq!(c.len(), 9);
+        assert_eq!(c.two_qubit_count(), 2);
+    }
+
+    #[test]
+    fn identity_string_evolves_trivially() {
+        let p = PauliString::identity(3);
+        assert!(p.evolution_circuit(1.0).is_empty());
+    }
+
+    #[test]
+    fn basis_change_inverse_cancels() {
+        let p: PauliString = "XYZ".parse().unwrap();
+        let mut c = Circuit::new(3);
+        p.append_basis_change(&mut c);
+        p.append_basis_change_inverse(&mut c);
+        let (opt, _) = crate::optimize::peephole(&c);
+        // h·h cancels; sdg·h·h·s cancels in two passes.
+        assert!(opt.is_empty(), "residual gates: {opt}");
+    }
+}

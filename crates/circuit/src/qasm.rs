@@ -1,0 +1,81 @@
+//! Minimal OpenQASM 2.0 export, for debugging and interchange.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, Gate};
+
+impl Circuit {
+    /// Renders the circuit as OpenQASM 2.0 source.
+    ///
+    /// `rzz` is emitted via its standard `cx`/`rz` expansion since it is not
+    /// part of `qelib1`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qpilot_circuit::Circuit;
+    /// let mut c = Circuit::new(2);
+    /// c.h(0).cx(0, 1);
+    /// let qasm = c.to_qasm();
+    /// assert!(qasm.contains("h q[0];"));
+    /// assert!(qasm.contains("cx q[0], q[1];"));
+    /// ```
+    pub fn to_qasm(&self) -> String {
+        let mut out = String::new();
+        out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+        let _ = writeln!(out, "qreg q[{}];", self.num_qubits());
+        for g in self.iter() {
+            match *g {
+                Gate::Rx(q, t) | Gate::Ry(q, t) | Gate::Rz(q, t) => {
+                    let _ = writeln!(out, "{}({}) q[{}];", g.mnemonic(), t, q.index());
+                }
+                Gate::Zz(a, b, t) => {
+                    let _ = writeln!(out, "cx q[{}], q[{}];", a.index(), b.index());
+                    let _ = writeln!(out, "rz({}) q[{}];", t, b.index());
+                    let _ = writeln!(out, "cx q[{}], q[{}];", a.index(), b.index());
+                }
+                Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => {
+                    let _ = writeln!(out, "{} q[{}], q[{}];", g.mnemonic(), a.index(), b.index());
+                }
+                _ => {
+                    let q = g
+                        .operands()
+                        .into_iter()
+                        .next()
+                        .expect("1Q gate has an operand");
+                    let _ = writeln!(out, "{} q[{}];", g.mnemonic(), q.index());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_register() {
+        let c = Circuit::new(3);
+        let q = c.to_qasm();
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+    }
+
+    #[test]
+    fn rotation_gates_carry_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.5);
+        assert!(c.to_qasm().contains("rz(0.5) q[0];"));
+    }
+
+    #[test]
+    fn rzz_expands() {
+        let mut c = Circuit::new(2);
+        c.zz(0, 1, 0.25);
+        let q = c.to_qasm();
+        assert_eq!(q.matches("cx q[0], q[1];").count(), 2);
+        assert!(q.contains("rz(0.25) q[1];"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Typed qubit indices.
+
+use std::fmt;
+
+/// A logical qubit index within a [`Circuit`](crate::Circuit).
+///
+/// `Qubit` is a thin newtype over `u32` providing static distinction from
+/// other integer quantities (rows, columns, gate ids) that circulate through
+/// the compiler.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::Qubit;
+///
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(format!("{q}"), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit with the given index.
+    pub const fn new(index: u32) -> Self {
+        Qubit(index)
+    }
+
+    /// Returns the raw index as a `usize`, convenient for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as a `u32`.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(index: u32) -> Self {
+        Qubit(index)
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(index: usize) -> Self {
+        Qubit(u32::try_from(index).expect("qubit index exceeds u32::MAX"))
+    }
+}
+
+impl From<Qubit> for usize {
+    fn from(q: Qubit) -> usize {
+        q.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let q = Qubit::from(7u32);
+        assert_eq!(q.raw(), 7);
+        assert_eq!(q.index(), 7);
+    }
+
+    #[test]
+    fn roundtrip_usize() {
+        let q = Qubit::from(11usize);
+        assert_eq!(usize::from(q), 11);
+    }
+
+    #[test]
+    fn display_is_q_prefixed() {
+        assert_eq!(Qubit::new(0).to_string(), "q0");
+        assert_eq!(Qubit::new(42).to_string(), "q42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Qubit::new(1) < Qubit::new(2));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based invariants of the circuit IR.
+
+use proptest::prelude::*;
+
+use qpilot_circuit::{decompose, optimize, Circuit, DependencyDag, Frontier, Gate, Qubit};
+
+const N: u32 = 6;
+
+/// Strategy: an arbitrary gate over `N` qubits.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    let q = 0..N;
+    let angle = -3.2f64..3.2f64;
+    prop_oneof![
+        q.clone().prop_map(|a| Gate::H(Qubit::new(a))),
+        q.clone().prop_map(|a| Gate::X(Qubit::new(a))),
+        q.clone().prop_map(|a| Gate::S(Qubit::new(a))),
+        q.clone().prop_map(|a| Gate::Tdg(Qubit::new(a))),
+        (q.clone(), angle.clone()).prop_map(|(a, t)| Gate::Rz(Qubit::new(a), t)),
+        (q.clone(), angle.clone()).prop_map(|(a, t)| Gate::Ry(Qubit::new(a), t)),
+        two_qubits().prop_map(|(a, b)| Gate::Cx(a, b)),
+        two_qubits().prop_map(|(a, b)| Gate::Cz(a, b)),
+        (two_qubits(), angle).prop_map(|((a, b), t)| Gate::Zz(a, b, t)),
+        two_qubits().prop_map(|(a, b)| Gate::Swap(a, b)),
+    ]
+}
+
+fn two_qubits() -> impl Strategy<Value = (Qubit, Qubit)> {
+    (0..N, 0..N - 1).prop_map(|(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        (Qubit::new(a), Qubit::new(b))
+    })
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(), 0..40)
+        .prop_map(|gates| Circuit::from_gates(N, gates).expect("strategy emits valid gates"))
+}
+
+proptest! {
+    #[test]
+    fn two_qubit_depth_bounded_by_count(c in arb_circuit()) {
+        prop_assert!(c.two_qubit_depth() <= c.two_qubit_count());
+        prop_assert!(c.two_qubit_depth() <= c.total_depth());
+    }
+
+    #[test]
+    fn asap_layers_partition_gates(c in arb_circuit()) {
+        let layers = c.asap_layers();
+        let mut seen: Vec<usize> = layers.concat();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..c.len()).collect();
+        prop_assert_eq!(seen, expect);
+        // No two gates in a layer share a qubit.
+        for layer in &layers {
+            let mut used = vec![false; N as usize];
+            for &id in layer {
+                for q in c.gates()[id].operands() {
+                    prop_assert!(!used[q.index()], "layer shares qubit {q}");
+                    used[q.index()] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_inverse_is_identity(c in arb_circuit()) {
+        prop_assert_eq!(c.inverse().inverse(), c);
+    }
+
+    #[test]
+    fn decompose_emits_native_gates_only(c in arb_circuit()) {
+        let native = decompose::to_cz_basis(&c);
+        prop_assert!(decompose::is_native(&native, decompose::DecomposeOptions::default()));
+        // 2Q accounting: CX -> 1, SWAP -> 3, CZ/ZZ -> 1.
+        let expected: usize = c.iter().map(|g| match g {
+            Gate::Swap(_, _) => 3,
+            g if g.is_two_qubit() => 1,
+            _ => 0,
+        }).sum();
+        prop_assert_eq!(native.two_qubit_count(), expected);
+    }
+
+    #[test]
+    fn peephole_never_grows_the_circuit(c in arb_circuit()) {
+        let (opt, _) = optimize::peephole(&c);
+        prop_assert!(opt.len() <= c.len());
+        prop_assert!(opt.two_qubit_count() <= c.two_qubit_count());
+        // Idempotent: a second pass changes nothing.
+        let (again, stats) = optimize::peephole(&opt);
+        prop_assert_eq!(again, opt);
+        prop_assert_eq!(stats.cancelled + stats.merged + stats.dropped_identities, 0);
+    }
+
+    #[test]
+    fn frontier_executes_every_gate_in_dependency_order(c in arb_circuit()) {
+        let mut fr = Frontier::new(&c);
+        let mut executed: Vec<usize> = Vec::new();
+        while !fr.is_done() {
+            let layer = fr.execute_front();
+            prop_assert!(!layer.is_empty());
+            executed.extend(layer);
+        }
+        prop_assert_eq!(executed.len(), c.len());
+        // Dependency order: each gate after all its DAG predecessors.
+        let dag = DependencyDag::new(&c);
+        let mut pos = vec![0usize; c.len()];
+        for (i, &g) in executed.iter().enumerate() {
+            pos[g] = i;
+        }
+        for g in 0..c.len() {
+            for &p in dag.predecessors(g) {
+                prop_assert!(pos[p] < pos[g]);
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_and_inverse_have_equal_metrics(c in arb_circuit()) {
+        let inv = c.inverse();
+        prop_assert_eq!(c.two_qubit_count(), inv.two_qubit_count());
+        prop_assert_eq!(c.two_qubit_depth(), inv.two_qubit_depth());
+        prop_assert_eq!(c.total_depth(), inv.total_depth());
+    }
+
+    #[test]
+    fn qasm_export_mentions_every_gate(c in arb_circuit()) {
+        let qasm = c.to_qasm();
+        // Gate lines = total gates, with rzz expanding to 3 and counting
+        // header lines exactly.
+        let expected_lines = 3 + c.iter().map(|g| match g {
+            Gate::Zz(_, _, _) => 3,
+            _ => 1,
+        }).sum::<usize>();
+        prop_assert_eq!(qasm.lines().count(), expected_lines);
+    }
+}

@@ -1,0 +1,219 @@
+//! FPQA machine configuration handed to the routers.
+
+use std::fmt;
+
+use qpilot_arch::{GridCoord, PhysicalParams, Position, RydbergModel, SlmArray};
+
+/// An FPQA instance: the SLM data array, the AOD grid dimensions, the
+/// Rydberg interaction model and physical constants.
+///
+/// Data qubits map to SLM sites in reading order (§3.1 of the paper: "we
+/// simply map qubits in reading order throughout").
+///
+/// # Example
+///
+/// ```
+/// use qpilot_core::FpqaConfig;
+///
+/// let cfg = FpqaConfig::for_qubits(10, 4); // 4 columns -> 3x4 SLM array
+/// assert_eq!(cfg.slm().rows(), 3);
+/// assert_eq!(cfg.num_data(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpqaConfig {
+    num_data: u32,
+    slm: SlmArray,
+    aod_rows: usize,
+    aod_cols: usize,
+    rydberg: RydbergModel,
+    params: PhysicalParams,
+}
+
+impl FpqaConfig {
+    /// Builds a configuration for `num_data` qubits on an SLM array of the
+    /// given width (columns), with a matching AOD grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0` or `num_data == 0`.
+    pub fn for_qubits(num_data: u32, cols: usize) -> Self {
+        assert!(num_data > 0, "need at least one data qubit");
+        let params = PhysicalParams::default();
+        let rows = (num_data as usize).div_ceil(cols).max(1);
+        let mut slm = SlmArray::new(rows, cols, params.site_spacing_um);
+        // Rydberg blockade at 1.5 um with 2.5x safety keeps grid neighbours
+        // (one pitch apart) fully decoupled while allowing ancillas to park
+        // in row/column gaps; see qpilot-arch::RydbergModel.
+        let rydberg = RydbergModel::new(1.5, 2.5);
+        if slm.num_sites() < num_data as usize {
+            slm = SlmArray::new(rows + 1, cols, params.site_spacing_um);
+        }
+        FpqaConfig {
+            num_data,
+            aod_rows: slm.rows(),
+            aod_cols: slm.cols(),
+            slm,
+            rydberg,
+            params,
+        }
+    }
+
+    /// Square configuration: smallest `w × w` SLM array holding `num_data`
+    /// qubits.
+    pub fn square_for(num_data: u32) -> Self {
+        let w = (num_data as f64).sqrt().ceil() as usize;
+        Self::for_qubits(num_data, w.max(1))
+    }
+
+    /// A `n×n`-site configuration for exactly `n*n` data qubits.
+    pub fn square(n: usize) -> Self {
+        Self::for_qubits((n * n) as u32, n)
+    }
+
+    /// Number of data qubits.
+    pub fn num_data(&self) -> u32 {
+        self.num_data
+    }
+
+    /// The SLM array.
+    pub fn slm(&self) -> &SlmArray {
+        &self.slm
+    }
+
+    /// AOD grid rows.
+    pub fn aod_rows(&self) -> usize {
+        self.aod_rows
+    }
+
+    /// AOD grid columns.
+    pub fn aod_cols(&self) -> usize {
+        self.aod_cols
+    }
+
+    /// Overrides the AOD grid dimensions.
+    pub fn with_aod_grid(mut self, rows: usize, cols: usize) -> Self {
+        self.aod_rows = rows;
+        self.aod_cols = cols;
+        self
+    }
+
+    /// The Rydberg interaction model.
+    pub fn rydberg(&self) -> &RydbergModel {
+        &self.rydberg
+    }
+
+    /// Physical constants.
+    pub fn params(&self) -> &PhysicalParams {
+        &self.params
+    }
+
+    /// Replaces the physical parameters (e.g. for fidelity sweeps).
+    pub fn with_params(mut self, params: PhysicalParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Grid coordinate of data qubit `q` (reading order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside the data register.
+    pub fn coord_of(&self, q: u32) -> GridCoord {
+        assert!(q < self.num_data, "qubit {q} outside data register");
+        self.slm.coord_of(q as usize)
+    }
+
+    /// Physical position of data qubit `q`.
+    pub fn position_of(&self, q: u32) -> Position {
+        self.slm.position(self.coord_of(q))
+    }
+
+    /// Data qubit at coordinate `coord`, if the site is mapped.
+    pub fn qubit_at(&self, coord: GridCoord) -> Option<u32> {
+        if coord.row >= self.slm.rows() || coord.col >= self.slm.cols() {
+            return None;
+        }
+        let site = self.slm.site_at(coord) as u32;
+        (site < self.num_data).then_some(site)
+    }
+
+    /// Offset (µm) at which an ancilla parks next to an interaction partner.
+    pub fn interaction_offset_um(&self) -> f64 {
+        self.rydberg.interaction_offset_um()
+    }
+
+    /// The SLM pitch (µm).
+    pub fn pitch_um(&self) -> f64 {
+        self.slm.spacing_um()
+    }
+}
+
+impl fmt::Display for FpqaConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fpqa[{} data qubits on {}, aod {}x{}, {}]",
+            self.num_data,
+            self.slm,
+            self.aod_rows,
+            self.aod_cols,
+            self.rydberg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_qubits_sizes_array() {
+        let cfg = FpqaConfig::for_qubits(10, 4);
+        assert_eq!(cfg.slm().rows(), 3);
+        assert_eq!(cfg.slm().cols(), 4);
+        assert!(cfg.slm().num_sites() >= 10);
+    }
+
+    #[test]
+    fn square_for_rounds_up() {
+        let cfg = FpqaConfig::square_for(10);
+        assert_eq!(cfg.slm().cols(), 4);
+        assert!(cfg.slm().num_sites() >= 10);
+    }
+
+    #[test]
+    fn reading_order_mapping() {
+        let cfg = FpqaConfig::for_qubits(6, 3);
+        assert_eq!(cfg.coord_of(4), GridCoord::new(1, 1));
+        assert_eq!(cfg.qubit_at(GridCoord::new(1, 1)), Some(4));
+        assert_eq!(cfg.qubit_at(GridCoord::new(1, 2)), Some(5));
+        assert_eq!(cfg.qubit_at(GridCoord::new(5, 0)), None);
+    }
+
+    #[test]
+    fn unmapped_sites_are_none() {
+        let cfg = FpqaConfig::for_qubits(5, 3); // 2x3 array, site 5 unmapped
+        assert_eq!(cfg.qubit_at(GridCoord::new(1, 2)), None);
+    }
+
+    #[test]
+    fn positions_follow_pitch() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let p = cfg.position_of(3);
+        assert_eq!((p.x, p.y), (10.0, 10.0));
+    }
+
+    #[test]
+    fn safety_radius_below_half_pitch() {
+        // Required so ancillas can park in row/column gaps (see qaoa.rs).
+        let cfg = FpqaConfig::for_qubits(9, 3);
+        let safety = cfg.rydberg().radius_um * cfg.rydberg().safety_factor;
+        assert!(safety < cfg.pitch_um() / 2.0);
+    }
+
+    #[test]
+    fn with_aod_grid_overrides() {
+        let cfg = FpqaConfig::for_qubits(9, 3).with_aod_grid(5, 7);
+        assert_eq!((cfg.aod_rows(), cfg.aod_cols()), (5, 7));
+    }
+}

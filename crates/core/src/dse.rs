@@ -1,0 +1,81 @@
+//! Router-in-the-loop design-space exploration (§3.1, Fig. 14).
+//!
+//! The paper organises qubits into rectangular arrays of varying widths
+//! (8–128 columns) and compiles the same workload onto each candidate,
+//! picking the width with the smallest compiled depth. [`sweep_widths`]
+//! runs that loop for any routing closure.
+
+use crate::evaluator::{evaluate, PerformanceReport};
+use crate::{CompiledProgram, FpqaConfig, RouteError};
+
+/// Outcome of compiling one candidate array width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidthResult {
+    /// SLM/AOD array width (columns).
+    pub width: usize,
+    /// Full cost report at this width.
+    pub report: PerformanceReport,
+}
+
+/// The paper's Fig. 14 sweep widths.
+pub const PAPER_WIDTHS: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// Compiles the workload at each width and returns per-width reports.
+///
+/// `route` receives a configuration for `num_qubits` data qubits at the
+/// candidate width; widths whose routing fails are skipped.
+pub fn sweep_widths<F>(num_qubits: u32, widths: &[usize], mut route: F) -> Vec<WidthResult>
+where
+    F: FnMut(&FpqaConfig) -> Result<CompiledProgram, RouteError>,
+{
+    let mut results = Vec::new();
+    for &width in widths {
+        let config = FpqaConfig::for_qubits(num_qubits, width);
+        if let Ok(program) = route(&config) {
+            let report = evaluate(program.schedule(), &config);
+            results.push(WidthResult { width, report });
+        }
+    }
+    results
+}
+
+/// Returns the width with the smallest compiled two-qubit depth (ties break
+/// toward the smaller width), or `None` if every width failed.
+pub fn best_width(results: &[WidthResult]) -> Option<&WidthResult> {
+    results.iter().min_by_key(|r| (r.report.two_qubit_depth, r.width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::GenericRouter;
+    use qpilot_circuit::Circuit;
+
+    #[test]
+    fn sweep_covers_all_widths() {
+        let mut c = Circuit::new(12);
+        c.cz(0, 5).cz(3, 9).cz(1, 2).cz(7, 11);
+        let results = sweep_widths(12, &[2, 4, 6], |cfg| GenericRouter::new().route(&c, cfg));
+        assert_eq!(results.len(), 3);
+        let widths: Vec<usize> = results.iter().map(|r| r.width).collect();
+        assert_eq!(widths, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn best_width_minimises_depth() {
+        let mut c = Circuit::new(16);
+        for q in 0..8 {
+            c.cz(q, q + 8);
+        }
+        let results = sweep_widths(16, &[2, 4, 8], |cfg| GenericRouter::new().route(&c, cfg));
+        let best = best_width(&results).expect("at least one width succeeds");
+        for r in &results {
+            assert!(best.report.two_qubit_depth <= r.report.two_qubit_depth);
+        }
+    }
+
+    #[test]
+    fn empty_results_have_no_best() {
+        assert!(best_width(&[]).is_none());
+    }
+}

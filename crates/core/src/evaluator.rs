@@ -1,0 +1,339 @@
+//! The fast performance evaluator (§3.1) and the Eq. 5 error model.
+//!
+//! [`evaluate`] replays a schedule's motion and produces every cost metric
+//! the paper reports: two-qubit depth and gate counts, movement distances
+//! and times, the execution-time breakdown of Fig. 10, the per-stage
+//! parallelism histogram of Fig. 15(b), and the circuit fidelity of Eq. 5:
+//!
+//! ```text
+//! ε = 1 − f2^{G2} · f1^{G1} · exp(−N · Σ_i T0·sqrt(D_i/d0) / T2)
+//! ```
+//!
+//! with `G1`/`G2` the gate counts, `N` the number of atoms used (SLM data
+//! plus peak AOD ancillas), `D_i` the largest atom displacement of move
+//! stage `i`, `d0` the array pitch, and `T0`, `T2` from
+//! [`PhysicalParams`](qpilot_arch::PhysicalParams). [`movement_trace`]
+//! exposes the raw per-atom motion data behind Fig. 9.
+
+use std::collections::HashMap;
+
+use qpilot_arch::{AodGrid, Position};
+
+use crate::{AncillaId, FpqaConfig, Schedule, Stage};
+
+/// Complete cost report for a compiled schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceReport {
+    /// Two-qubit depth (number of Rydberg pulses).
+    pub two_qubit_depth: usize,
+    /// Native two-qubit gate count.
+    pub two_qubit_gates: usize,
+    /// One-qubit gate count.
+    pub one_qubit_gates: usize,
+    /// Number of AOD reconfigurations.
+    pub moves: usize,
+    /// Atom-transfer operations.
+    pub transfers: usize,
+    /// Largest displacement per move stage (µm).
+    pub per_move_max_um: Vec<f64>,
+    /// Total over stages of the per-stage max displacement (µm).
+    pub total_move_um: f64,
+    /// Parallel 2Q gates per Rydberg stage (Fig. 15b histogram input).
+    pub per_stage_parallelism: Vec<usize>,
+    /// Time spent moving atoms (s).
+    pub movement_time_s: f64,
+    /// Time spent in 1Q (Raman) stages (s).
+    pub raman_time_s: f64,
+    /// Time spent in 2Q (Rydberg) pulses (s).
+    pub rydberg_time_s: f64,
+    /// Time spent on atom transfers (s).
+    pub transfer_time_s: f64,
+    /// Atoms used: data qubits + peak simultaneous ancillas.
+    pub atoms_used: usize,
+    /// Eq. 5 circuit fidelity estimate.
+    pub fidelity: f64,
+}
+
+impl PerformanceReport {
+    /// Total wall-clock execution time (s).
+    pub fn total_time_s(&self) -> f64 {
+        self.movement_time_s + self.raman_time_s + self.rydberg_time_s + self.transfer_time_s
+    }
+
+    /// Eq. 5 overall error rate `ε = 1 − fidelity`.
+    pub fn error_rate(&self) -> f64 {
+        1.0 - self.fidelity
+    }
+
+    /// Mean 2Q parallelism over Rydberg stages.
+    pub fn mean_parallelism(&self) -> f64 {
+        if self.per_stage_parallelism.is_empty() {
+            return 0.0;
+        }
+        self.per_stage_parallelism.iter().sum::<usize>() as f64
+            / self.per_stage_parallelism.len() as f64
+    }
+}
+
+/// Evaluates `schedule` under `config`'s physical parameters.
+pub fn evaluate(schedule: &Schedule, config: &FpqaConfig) -> PerformanceReport {
+    let params = config.params();
+    let stats = schedule.stats();
+    let mut aod = initial_grid(schedule, config);
+    let mut loaded: HashMap<AncillaId, (usize, usize)> = HashMap::new();
+
+    let mut per_move_max = Vec::new();
+    let mut per_stage_parallelism = Vec::new();
+    let mut movement_time = 0.0;
+    let mut raman_time = 0.0;
+    let mut rydberg_time = 0.0;
+    let mut transfer_time = 0.0;
+
+    for stage in &schedule.stages {
+        match stage {
+            Stage::Move { row_y, col_x } => {
+                let mv = aod
+                    .move_to(row_y.clone(), col_x.clone())
+                    .expect("evaluated schedule must have legal moves");
+                let occ: Vec<(usize, usize)> = loaded.values().copied().collect();
+                let d = mv.max_displacement(occ.iter());
+                per_move_max.push(d);
+                movement_time += params.move_time_s(d);
+            }
+            Stage::Transfer(ops) => {
+                for op in ops {
+                    if op.load {
+                        loaded.insert(op.ancilla, (op.row, op.col));
+                    } else {
+                        loaded.remove(&op.ancilla);
+                    }
+                }
+                // Transfers within one stage happen in parallel.
+                if !ops.is_empty() {
+                    transfer_time += params.t_transfer_s;
+                }
+            }
+            Stage::Raman(gates) => {
+                if !gates.is_empty() {
+                    raman_time += params.t_1q_s;
+                }
+            }
+            Stage::Rydberg(ops) => {
+                per_stage_parallelism.push(ops.len());
+                rydberg_time += params.t_2q_s;
+            }
+        }
+    }
+
+    let atoms_used = schedule.num_data as usize + stats.peak_ancillas;
+    let decoherence: f64 = (-(atoms_used as f64) * movement_time / params.t2_s).exp();
+    let fidelity = params.fidelity_2q.powi(stats.two_qubit_gates as i32)
+        * params.fidelity_1q.powi(stats.one_qubit_gates as i32)
+        * decoherence;
+
+    PerformanceReport {
+        two_qubit_depth: stats.two_qubit_depth,
+        two_qubit_gates: stats.two_qubit_gates,
+        one_qubit_gates: stats.one_qubit_gates,
+        moves: stats.moves,
+        transfers: stats.transfers,
+        total_move_um: per_move_max.iter().sum(),
+        per_move_max_um: per_move_max,
+        per_stage_parallelism,
+        movement_time_s: movement_time,
+        raman_time_s: raman_time,
+        rydberg_time_s: rydberg_time,
+        transfer_time_s: transfer_time,
+        atoms_used,
+        fidelity,
+    }
+}
+
+/// One atom's displacement during one move step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomMove {
+    /// Which ancilla moved.
+    pub ancilla: AncillaId,
+    /// Position before the move.
+    pub from: Position,
+    /// Position after the move.
+    pub to: Position,
+}
+
+impl AtomMove {
+    /// Distance travelled (µm).
+    pub fn distance_um(&self) -> f64 {
+        self.from.distance(&self.to)
+    }
+}
+
+/// Raw movement data for Fig. 9: for each move stage, the displacement of
+/// every loaded ancilla.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MovementTrace {
+    /// Per move stage, the per-atom moves.
+    pub steps: Vec<Vec<AtomMove>>,
+}
+
+impl MovementTrace {
+    /// Number of move steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total distance travelled by `ancilla` (µm).
+    pub fn total_distance_um(&self, ancilla: AncillaId) -> f64 {
+        self.steps
+            .iter()
+            .flatten()
+            .filter(|m| m.ancilla == ancilla)
+            .map(|m| m.distance_um())
+            .sum()
+    }
+
+    /// Number of nonzero movements per ancilla, as `(ancilla, count)`.
+    pub fn movements_per_atom(&self) -> Vec<(AncillaId, usize)> {
+        let mut counts: HashMap<AncillaId, usize> = HashMap::new();
+        for m in self.steps.iter().flatten() {
+            if m.distance_um() > 1e-9 {
+                *counts.entry(m.ancilla).or_default() += 1;
+            }
+        }
+        let mut v: Vec<(AncillaId, usize)> = counts.into_iter().collect();
+        v.sort_by_key(|&(a, _)| a);
+        v
+    }
+}
+
+/// Replays the schedule recording every ancilla displacement (Fig. 9 data).
+pub fn movement_trace(schedule: &Schedule, config: &FpqaConfig) -> MovementTrace {
+    let mut aod = initial_grid(schedule, config);
+    let mut loaded: HashMap<AncillaId, (usize, usize)> = HashMap::new();
+    let mut trace = MovementTrace::default();
+    for stage in &schedule.stages {
+        match stage {
+            Stage::Move { row_y, col_x } => {
+                let mv = aod
+                    .move_to(row_y.clone(), col_x.clone())
+                    .expect("traced schedule must have legal moves");
+                let mut step = Vec::new();
+                for (&anc, &(r, c)) in &loaded {
+                    step.push(AtomMove {
+                        ancilla: anc,
+                        from: Position::new(mv.old_col_x[c], mv.old_row_y[r]),
+                        to: Position::new(mv.new_col_x[c], mv.new_row_y[r]),
+                    });
+                }
+                step.sort_by_key(|m| m.ancilla);
+                trace.steps.push(step);
+            }
+            Stage::Transfer(ops) => {
+                for op in ops {
+                    if op.load {
+                        loaded.insert(op.ancilla, (op.row, op.col));
+                    } else {
+                        loaded.remove(&op.ancilla);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    trace
+}
+
+fn initial_grid(schedule: &Schedule, config: &FpqaConfig) -> AodGrid {
+    let pitch = config.pitch_um();
+    let slm = config.slm();
+    let rows: Vec<f64> = (0..schedule.aod_rows)
+        .map(|r| (slm.rows() + 1 + r) as f64 * pitch)
+        .collect();
+    let cols: Vec<f64> = (0..schedule.aod_cols)
+        .map(|c| (slm.cols() + 1 + c) as f64 * pitch)
+        .collect();
+    AodGrid::new(rows, cols).expect("parked coordinates are increasing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::GenericRouter;
+    use qpilot_circuit::Circuit;
+
+    fn compiled() -> (Schedule, FpqaConfig) {
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 2).cz(1, 3);
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let p = GenericRouter::new().route(&c, &cfg).unwrap();
+        (p.into_schedule(), cfg)
+    }
+
+    #[test]
+    fn report_matches_schedule_stats() {
+        let (s, cfg) = compiled();
+        let stats = s.stats();
+        let report = evaluate(&s, &cfg);
+        assert_eq!(report.two_qubit_depth, stats.two_qubit_depth);
+        assert_eq!(report.two_qubit_gates, stats.two_qubit_gates);
+        assert_eq!(report.moves, stats.moves);
+        assert_eq!(report.per_move_max_um.len(), stats.moves);
+    }
+
+    #[test]
+    fn fidelity_is_probability() {
+        let (s, cfg) = compiled();
+        let report = evaluate(&s, &cfg);
+        assert!(report.fidelity > 0.0 && report.fidelity <= 1.0);
+        assert!(report.error_rate() >= 0.0 && report.error_rate() < 1.0);
+    }
+
+    #[test]
+    fn lower_2q_fidelity_lowers_circuit_fidelity() {
+        let (s, cfg) = compiled();
+        let good = evaluate(&s, &cfg);
+        let noisy_cfg = cfg
+            .clone()
+            .with_params(cfg.params().with_fidelity_2q(0.9));
+        let bad = evaluate(&s, &noisy_cfg);
+        assert!(bad.fidelity < good.fidelity);
+    }
+
+    #[test]
+    fn movement_dominates_time() {
+        // The paper's Fig. 10: movement is the largest timeline component.
+        let (s, cfg) = compiled();
+        let report = evaluate(&s, &cfg);
+        assert!(report.movement_time_s > report.rydberg_time_s);
+        assert!(report.total_time_s() > report.movement_time_s);
+    }
+
+    #[test]
+    fn parallelism_histogram_counts_ops() {
+        let (s, cfg) = compiled();
+        let report = evaluate(&s, &cfg);
+        assert_eq!(report.per_stage_parallelism.len(), report.two_qubit_depth);
+        assert!(report.mean_parallelism() >= 1.0);
+    }
+
+    #[test]
+    fn trace_records_each_loaded_atom() {
+        let (s, cfg) = compiled();
+        let trace = movement_trace(&s, &cfg);
+        assert_eq!(trace.num_steps(), s.stats().moves);
+        // Both gates share a stage -> two ancillas moving together.
+        assert!(trace.steps.iter().any(|step| step.len() == 2));
+        let total: f64 = trace.total_distance_um(AncillaId(0));
+        assert!(total > 0.0);
+        assert!(!trace.movements_per_atom().is_empty());
+    }
+
+    #[test]
+    fn empty_schedule_report() {
+        let cfg = FpqaConfig::for_qubits(2, 2);
+        let s = Schedule::new(2, 2, 2);
+        let report = evaluate(&s, &cfg);
+        assert_eq!(report.two_qubit_depth, 0);
+        assert_eq!(report.total_time_s(), 0.0);
+        assert!((report.fidelity - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,446 @@
+//! The generic high-parallelism router for arbitrary circuits (Alg. 1).
+//!
+//! The input circuit is decomposed to the native `CZ/ZZ + 1Q` set, then
+//! consumed front-layer by front-layer:
+//!
+//! 1. ready 1Q gates run immediately on the Raman laser;
+//! 2. from the ready 2Q gates (sorted by first-qubit index) a maximal
+//!    *legal subset* is selected greedily under the AOD order-compatibility
+//!    rule ([`crate::legality`]);
+//! 3. the subset executes as one flying-ancilla stage: one fresh ancilla
+//!    per gate is transferred into the AOD, copies the first operand's
+//!    state (transversal CNOT), flies to the second operand, interacts
+//!    under a global Rydberg pulse, flies back and is recycled.
+//!
+//! Each stage therefore contributes 3 two-qubit layers (create, interact,
+//! recycle) and `3·|S|` native 2Q gates — exactly the cost model of §2.1
+//! ("the new approach only increases depth by 2").
+
+use qpilot_circuit::{decompose, Circuit, Gate, Operands, Qubit};
+
+use crate::error::RouteError;
+use crate::legality::{axis_ranks, GatePlacement};
+use crate::motion::{axis_coords, park_col_base, park_row_base};
+use crate::schedule::{AtomRef, CompiledProgram, RydbergKind, RydbergOp, Schedule, Stage,
+                      TransferOp};
+use crate::FpqaConfig;
+
+/// Options for [`GenericRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GenericRouterOptions {
+    /// Upper bound on gates per stage (defaults to the AOD grid size).
+    pub stage_cap: Option<usize>,
+}
+
+/// The generic flying-ancilla router (Alg. 1 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::Circuit;
+/// use qpilot_core::{generic::GenericRouter, FpqaConfig};
+///
+/// let mut c = Circuit::new(4);
+/// c.cz(0, 1).cz(2, 3).cz(1, 2);
+/// let cfg = FpqaConfig::for_qubits(4, 2);
+/// let program = GenericRouter::new().route(&c, &cfg).unwrap();
+/// // cz(0,1) and cz(2,3) share a stage; cz(1,2) needs a second one.
+/// assert_eq!(program.stats().two_qubit_depth, 6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GenericRouter {
+    options: GenericRouterOptions,
+}
+
+impl GenericRouter {
+    /// Creates a router with default options.
+    pub fn new() -> Self {
+        GenericRouter::default()
+    }
+
+    /// Creates a router with explicit options.
+    pub fn with_options(options: GenericRouterOptions) -> Self {
+        GenericRouter { options }
+    }
+
+    /// Routes `circuit` onto the FPQA, producing a validated-shape schedule.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::TooManyQubits`] if the circuit is wider than the SLM
+    ///   data register,
+    /// * [`RouteError::AodTooSmall`] if the AOD grid has no lines at all.
+    pub fn route(
+        &self,
+        circuit: &Circuit,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, RouteError> {
+        if circuit.num_qubits() > config.num_data() {
+            return Err(RouteError::TooManyQubits {
+                required: circuit.num_qubits(),
+                available: config.num_data(),
+            });
+        }
+        let native = decompose::to_cz_basis(circuit);
+        let cap_geom = config.aod_rows().min(config.aod_cols());
+        if cap_geom == 0 && native.two_qubit_count() > 0 {
+            return Err(RouteError::AodTooSmall {
+                required: 1,
+                available: 0,
+            });
+        }
+        let cap = self
+            .options
+            .stage_cap
+            .map(|c| c.min(cap_geom))
+            .unwrap_or(cap_geom)
+            .max(1);
+
+        let mut schedule = Schedule::new(
+            config.num_data(),
+            config.aod_rows(),
+            config.aod_cols(),
+        );
+        let mut frontier = qpilot_circuit::Frontier::new(&native);
+        let gates = native.gates();
+
+        while !frontier.is_done() {
+            // Drain ready 1Q gates onto the Raman laser.
+            loop {
+                let ready_1q: Vec<usize> = frontier
+                    .front_layer()
+                    .iter()
+                    .copied()
+                    .filter(|&id| gates[id].is_single_qubit())
+                    .collect();
+                if ready_1q.is_empty() {
+                    break;
+                }
+                let layer: Vec<Gate> = ready_1q.iter().map(|&id| gates[id]).collect();
+                schedule.push(Stage::Raman(layer));
+                for id in ready_1q {
+                    frontier.execute(id);
+                }
+            }
+            if frontier.is_done() {
+                break;
+            }
+
+            // Select a maximal legal subset of the 2Q front layer.
+            let mut candidates: Vec<usize> = frontier.front_layer().to_vec();
+            candidates.sort_by_key(|&id| operand_key(&gates[id]));
+            let placements: Vec<GatePlacement> = candidates
+                .iter()
+                .map(|&id| placement_of(&gates[id], config))
+                .collect();
+            let mut subset: Vec<usize> = Vec::new(); // indices into candidates
+            for (i, cand) in placements.iter().enumerate() {
+                if subset.len() >= cap {
+                    break;
+                }
+                if subset
+                    .iter()
+                    .all(|&j| crate::legality::pair_compatible(&placements[j], cand))
+                {
+                    subset.push(i);
+                }
+            }
+            debug_assert!(!subset.is_empty(), "front layer gate must be schedulable alone");
+
+            let staged: Vec<StagedGate> = subset
+                .iter()
+                .map(|&i| {
+                    let id = candidates[i];
+                    let (q1, q2) = two_qubit_operands(&gates[id]);
+                    StagedGate {
+                        placement: placements[i],
+                        q1,
+                        q2,
+                        kind: match gates[id] {
+                            Gate::Zz(_, _, theta) => RydbergKind::Zz(theta),
+                            _ => RydbergKind::Cz,
+                        },
+                    }
+                })
+                .collect();
+            emit_stage(&mut schedule, config, &staged);
+            for &i in &subset {
+                frontier.execute(candidates[i]);
+            }
+        }
+        Ok(CompiledProgram::new(schedule))
+    }
+}
+
+/// One gate selected into a stage.
+#[derive(Debug, Clone, Copy)]
+struct StagedGate {
+    placement: GatePlacement,
+    q1: Qubit,
+    q2: Qubit,
+    kind: RydbergKind,
+}
+
+fn operand_key(g: &Gate) -> (u32, u32) {
+    match g.operands() {
+        Operands::Two(a, b) => (a.raw(), b.raw()),
+        Operands::One(a) => (a.raw(), a.raw()),
+    }
+}
+
+fn two_qubit_operands(g: &Gate) -> (Qubit, Qubit) {
+    match g.operands() {
+        Operands::Two(a, b) => (a, b),
+        Operands::One(_) => unreachable!("2Q stage received a 1Q gate"),
+    }
+}
+
+fn placement_of(g: &Gate, config: &FpqaConfig) -> GatePlacement {
+    let (a, b) = two_qubit_operands(g);
+    GatePlacement::new(config.coord_of(a.raw()), config.coord_of(b.raw()))
+}
+
+/// Emits the full three-phase flying-ancilla stage for a legal subset.
+fn emit_stage(schedule: &mut Schedule, config: &FpqaConfig, staged: &[StagedGate]) {
+    let n = staged.len();
+    let placements: Vec<GatePlacement> = staged.iter().map(|s| s.placement).collect();
+    let row_rank = axis_ranks(&placements, true);
+    let col_rank = axis_ranks(&placements, false);
+
+    // Ancilla per gate, pinned to cross (row_rank, col_rank).
+    let ancillas: Vec<crate::AncillaId> = staged.iter().map(|_| schedule.fresh_ancilla()).collect();
+
+    // Per-rank SLM targets for both phases.
+    let mut create_rows = vec![0usize; n];
+    let mut exec_rows = vec![0usize; n];
+    let mut create_cols = vec![0usize; n];
+    let mut exec_cols = vec![0usize; n];
+    for (i, s) in staged.iter().enumerate() {
+        create_rows[row_rank[i]] = s.placement.source.row;
+        exec_rows[row_rank[i]] = s.placement.target.row;
+        create_cols[col_rank[i]] = s.placement.source.col;
+        exec_cols[col_rank[i]] = s.placement.target.col;
+    }
+
+    let pitch = config.pitch_um();
+    let (rows_total, cols_total) = (schedule.aod_rows, schedule.aod_cols);
+    let create_y = axis_coords(&create_rows, rows_total, pitch, park_row_base(config));
+    let create_x = axis_coords(&create_cols, cols_total, pitch, park_col_base(config));
+    let exec_y = axis_coords(&exec_rows, rows_total, pitch, park_row_base(config));
+    let exec_x = axis_coords(&exec_cols, cols_total, pitch, park_col_base(config));
+
+    // Load ancillas.
+    schedule.push(Stage::Transfer(
+        (0..n)
+            .map(|i| TransferOp {
+                ancilla: ancillas[i],
+                row: row_rank[i],
+                col: col_rank[i],
+                load: true,
+            })
+            .collect(),
+    ));
+
+    // Phase 1: copy states (transversal CNOT q1 -> ancilla).
+    schedule.push(Stage::Move {
+        row_y: create_y.clone(),
+        col_x: create_x.clone(),
+    });
+    let h_layer: Vec<Gate> = ancillas
+        .iter()
+        .map(|&a| Gate::H(schedule.ancilla_qubit(a)))
+        .collect();
+    schedule.push(Stage::Raman(h_layer.clone()));
+    schedule.push(Stage::Rydberg(
+        staged
+            .iter()
+            .enumerate()
+            .map(|(i, s)| RydbergOp::cz(AtomRef::Data(s.q1.raw()), AtomRef::Ancilla(ancillas[i])))
+            .collect(),
+    ));
+    schedule.push(Stage::Raman(h_layer.clone()));
+
+    // Phase 2: fly to targets and interact.
+    schedule.push(Stage::Move {
+        row_y: exec_y,
+        col_x: exec_x,
+    });
+    schedule.push(Stage::Rydberg(
+        staged
+            .iter()
+            .enumerate()
+            .map(|(i, s)| RydbergOp {
+                a: AtomRef::Ancilla(ancillas[i]),
+                b: AtomRef::Data(s.q2.raw()),
+                kind: s.kind,
+            })
+            .collect(),
+    ));
+
+    // Phase 3: fly back and recycle (transversal CNOT again).
+    schedule.push(Stage::Move {
+        row_y: create_y,
+        col_x: create_x,
+    });
+    schedule.push(Stage::Raman(h_layer.clone()));
+    schedule.push(Stage::Rydberg(
+        staged
+            .iter()
+            .enumerate()
+            .map(|(i, s)| RydbergOp::cz(AtomRef::Data(s.q1.raw()), AtomRef::Ancilla(ancillas[i])))
+            .collect(),
+    ));
+    schedule.push(Stage::Raman(h_layer));
+
+    // Return the atoms.
+    schedule.push(Stage::Transfer(
+        (0..n)
+            .map(|i| TransferOp {
+                ancilla: ancillas[i],
+                row: row_rank[i],
+                col: col_rank[i],
+                load: false,
+            })
+            .collect(),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_schedule;
+
+    fn route(c: &Circuit, cfg: &FpqaConfig) -> CompiledProgram {
+        GenericRouter::new().route(c, cfg).expect("routing failed")
+    }
+
+    #[test]
+    fn single_cz_costs_three_layers() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 3);
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let p = route(&c, &cfg);
+        assert_eq!(p.stats().two_qubit_depth, 3);
+        assert_eq!(p.stats().two_qubit_gates, 3);
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+    }
+
+    #[test]
+    fn compatible_gates_share_a_stage() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3);
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let p = route(&c, &cfg);
+        // One stage of two gates: depth 3, gates 6.
+        assert_eq!(p.stats().two_qubit_depth, 3);
+        assert_eq!(p.stats().two_qubit_gates, 6);
+        assert_eq!(p.schedule().num_ancillas, 2);
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+    }
+
+    #[test]
+    fn dependent_gates_serialise() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 1).cz(1, 2);
+        let cfg = FpqaConfig::for_qubits(3, 3);
+        let p = route(&c, &cfg);
+        assert_eq!(p.stats().two_qubit_depth, 6);
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+    }
+
+    #[test]
+    fn one_qubit_gates_run_on_raman() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(1).cz(0, 1).h(1);
+        let cfg = FpqaConfig::for_qubits(2, 2);
+        let p = route(&c, &cfg);
+        let stats = p.stats();
+        // 2 circuit 1Q + trailing h + 4 ancilla H per stage.
+        assert_eq!(stats.one_qubit_gates, 3 + 4);
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+    }
+
+    #[test]
+    fn cx_is_decomposed_then_routed() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let cfg = FpqaConfig::for_qubits(2, 2);
+        let p = route(&c, &cfg);
+        assert_eq!(p.stats().two_qubit_gates, 3);
+        // The two H's from CX decomposition run as Raman stages.
+        assert!(p.stats().one_qubit_gates >= 2);
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+    }
+
+    #[test]
+    fn zz_gates_keep_their_angle() {
+        let mut c = Circuit::new(4);
+        c.zz(0, 2, 0.321);
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let p = route(&c, &cfg);
+        let has_zz = p.schedule().rydberg_stages().any(|ops| {
+            ops.iter()
+                .any(|op| matches!(op.kind, RydbergKind::Zz(t) if (t - 0.321).abs() < 1e-12))
+        });
+        assert!(has_zz);
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+    }
+
+    #[test]
+    fn fig5_example_subsets() {
+        // 12 qubits on a 3x4 grid, gates g0..g3 of Fig. 5.
+        let mut c = Circuit::new(12);
+        c.cz(0, 2).cz(5, 10).cz(6, 8).cz(9, 11);
+        let cfg = FpqaConfig::for_qubits(12, 4);
+        let p = route(&c, &cfg);
+        // g0, g1, g3 share a stage; g2 gets its own: 2 stages = depth 6.
+        assert_eq!(p.stats().two_qubit_depth, 6);
+        assert_eq!(p.stats().two_qubit_gates, 12);
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+    }
+
+    #[test]
+    fn stage_cap_limits_parallelism() {
+        let mut c = Circuit::new(8);
+        c.cz(0, 1).cz(2, 3).cz(4, 5).cz(6, 7);
+        let cfg = FpqaConfig::for_qubits(8, 4);
+        let capped = GenericRouter::with_options(GenericRouterOptions { stage_cap: Some(1) })
+            .route(&c, &cfg)
+            .unwrap();
+        assert_eq!(capped.stats().two_qubit_depth, 12); // 4 stages
+        let free = route(&c, &cfg);
+        assert!(free.stats().two_qubit_depth < capped.stats().two_qubit_depth);
+    }
+
+    #[test]
+    fn too_wide_circuit_rejected() {
+        let c = Circuit::new(10);
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        assert_eq!(
+            GenericRouter::new().route(&c, &cfg).unwrap_err(),
+            RouteError::TooManyQubits {
+                required: 10,
+                available: 4
+            }
+        );
+    }
+
+    #[test]
+    fn empty_circuit_empty_schedule() {
+        let c = Circuit::new(3);
+        let cfg = FpqaConfig::for_qubits(3, 3);
+        let p = route(&c, &cfg);
+        assert_eq!(p.stats().two_qubit_depth, 0);
+        assert!(p.schedule().stages.is_empty());
+    }
+
+    #[test]
+    fn all_ancillas_recycled() {
+        let mut c = Circuit::new(6);
+        c.cz(0, 5).cz(1, 4).cz(2, 3).cz(0, 1).cz(4, 5);
+        let cfg = FpqaConfig::for_qubits(6, 3);
+        let p = route(&c, &cfg);
+        let report = validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        assert_eq!(report.leftover_ancillas, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The order-compatibility (legality) rule of the generic router (Fig. 5).
+//!
+//! A set of two-qubit gates can share one flying-ancilla stage iff there is
+//! an assignment of ancillas to AOD crosses such that, between the creation
+//! placement (each ancilla adjacent to its gate's first qubit) and the
+//! execution placement (adjacent to the second qubit), **no AOD row or
+//! column needs to cross another**. Because AOD rows and columns are
+//! ordered independently, the condition decomposes per axis:
+//!
+//! > for every pair of gates `a`, `b` and each axis, the strict orders of
+//! > their first-qubit coordinates and second-qubit coordinates must not be
+//! > opposite.
+//!
+//! Ties are compatible with anything on that axis: two ancillas may hover
+//! next to the same SLM row/column at distinct fractional offsets. A short
+//! argument shows pairwise compatibility implies a global assignment: every
+//! constraint edge weakly increases both the creation and execution
+//! coordinates, so the union of constraints is acyclic and any topological
+//! order yields valid strictly-increasing AOD coordinates.
+
+use qpilot_arch::GridCoord;
+
+/// The creation/execution footprint of one routed two-qubit gate: the grid
+/// coordinates of its first (ancilla-source) and second (target) qubits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatePlacement {
+    /// Coordinate of the qubit whose state the ancilla copies.
+    pub source: GridCoord,
+    /// Coordinate of the qubit the ancilla flies to.
+    pub target: GridCoord,
+}
+
+impl GatePlacement {
+    /// Creates a placement.
+    pub fn new(source: GridCoord, target: GridCoord) -> Self {
+        GatePlacement { source, target }
+    }
+}
+
+/// Returns `true` if gates `a` and `b` can share one stage.
+pub fn pair_compatible(a: &GatePlacement, b: &GatePlacement) -> bool {
+    axis_compatible(
+        a.source.row as i64 - b.source.row as i64,
+        a.target.row as i64 - b.target.row as i64,
+    ) && axis_compatible(
+        a.source.col as i64 - b.source.col as i64,
+        a.target.col as i64 - b.target.col as i64,
+    )
+}
+
+#[allow(clippy::nonminimal_bool)] // the symmetric form mirrors the prose rule
+fn axis_compatible(d_source: i64, d_target: i64) -> bool {
+    !(d_source > 0 && d_target < 0) && !(d_source < 0 && d_target > 0)
+}
+
+/// Returns `true` if the whole set is mutually compatible (pairwise check,
+/// which is sufficient — see module docs).
+pub fn set_compatible(placements: &[GatePlacement]) -> bool {
+    for (i, a) in placements.iter().enumerate() {
+        for b in &placements[i + 1..] {
+            if !pair_compatible(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Greedily selects a maximal legal subset of `candidates`, in the paper's
+/// order (candidates are pre-sorted by the caller, typically by first-qubit
+/// index): each gate is added iff it stays compatible with everything
+/// already accepted. Returns the indices of accepted candidates.
+pub fn greedy_legal_subset(candidates: &[GatePlacement]) -> Vec<usize> {
+    let mut accepted: Vec<usize> = Vec::new();
+    for (i, cand) in candidates.iter().enumerate() {
+        if accepted
+            .iter()
+            .all(|&j| pair_compatible(&candidates[j], cand))
+        {
+            accepted.push(i);
+        }
+    }
+    accepted
+}
+
+/// Ranks of each accepted gate's ancilla along one axis: a permutation
+/// placing ancillas in strictly increasing AOD coordinates consistent with
+/// both the source and target weak orders.
+///
+/// Gates are ranked by `(source_coord, target_coord)` lexicographically,
+/// which is a valid linear extension for a compatible set.
+pub fn axis_ranks(placements: &[GatePlacement], rows: bool) -> Vec<usize> {
+    let key = |p: &GatePlacement| -> (usize, usize) {
+        if rows {
+            (p.source.row, p.target.row)
+        } else {
+            (p.source.col, p.target.col)
+        }
+    };
+    let mut order: Vec<usize> = (0..placements.len()).collect();
+    order.sort_by_key(|&i| (key(&placements[i]), i));
+    let mut rank = vec![0usize; placements.len()];
+    for (r, &i) in order.iter().enumerate() {
+        rank[i] = r;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(sr: usize, sc: usize, tr: usize, tc: usize) -> GatePlacement {
+        GatePlacement::new(GridCoord::new(sr, sc), GridCoord::new(tr, tc))
+    }
+
+    /// The paper's Fig. 5 example: gates g0..g3 on a 3x4 grid.
+    /// g0 = (q0 -> q2): (0,0) -> (0,2); g1 = (q5 -> q10): (1,1) -> (2,2);
+    /// g2 = (q6 -> q8): (1,2) -> (2,0); g3 = (q9 -> q11): (2,1) -> (2,3).
+    fn fig5() -> Vec<GatePlacement> {
+        vec![
+            p(0, 0, 0, 2),
+            p(1, 1, 2, 2),
+            p(1, 2, 2, 0),
+            p(2, 1, 2, 3),
+        ]
+    }
+
+    #[test]
+    fn fig5_g0_g1_compatible() {
+        let g = fig5();
+        assert!(pair_compatible(&g[0], &g[1]));
+    }
+
+    #[test]
+    fn fig5_g2_conflicts() {
+        let g = fig5();
+        // Column order: sources g0(0) <= g1(1) <= g2(2) but targets
+        // g2(0) <= g0(2) <= g1(2): inversion against both.
+        assert!(!pair_compatible(&g[0], &g[2]));
+        assert!(!pair_compatible(&g[1], &g[2]));
+    }
+
+    #[test]
+    fn fig5_greedy_selects_g0_g1_g3() {
+        let g = fig5();
+        assert_eq!(greedy_legal_subset(&g), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn ties_are_compatible_when_targets_agree() {
+        // Same source row, targets in the same row: fine.
+        let a = p(0, 0, 1, 0);
+        let b = p(0, 1, 1, 1);
+        assert!(pair_compatible(&a, &b));
+    }
+
+    #[test]
+    fn tie_with_strict_target_order_is_fine() {
+        // Sources tie on rows; execution imposes the order.
+        let a = p(0, 0, 2, 0);
+        let b = p(0, 1, 1, 1);
+        assert!(pair_compatible(&a, &b));
+    }
+
+    #[test]
+    fn strict_inversion_is_illegal() {
+        let a = p(0, 0, 1, 1);
+        let b = p(1, 1, 0, 0); // rows: a above b at creation, below at exec
+        assert!(!pair_compatible(&a, &b));
+    }
+
+    #[test]
+    fn column_inversion_is_illegal() {
+        let a = p(0, 0, 0, 3);
+        let b = p(0, 1, 0, 2); // cols: a left of b at creation, right at exec
+        assert!(!pair_compatible(&a, &b));
+    }
+
+    #[test]
+    fn set_compatible_matches_pairwise() {
+        let g = fig5();
+        assert!(set_compatible(&[g[0], g[1], g[3]]));
+        assert!(!set_compatible(&g));
+    }
+
+    #[test]
+    fn greedy_takes_first_when_all_conflict() {
+        let a = p(0, 0, 1, 1);
+        let b = p(1, 1, 0, 0);
+        assert_eq!(greedy_legal_subset(&[a, b]), vec![0]);
+    }
+
+    #[test]
+    fn axis_ranks_respect_both_orders() {
+        let g = vec![p(0, 0, 0, 2), p(1, 1, 2, 2), p(2, 1, 2, 3)];
+        let rows = axis_ranks(&g, true);
+        assert_eq!(rows, vec![0, 1, 2]);
+        let cols = axis_ranks(&g, false);
+        // source cols: 0, 1, 1; target cols: 2, 2, 3 -> order g0, g1, g2.
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn axis_ranks_break_source_ties_by_target() {
+        let g = vec![p(0, 0, 2, 0), p(0, 0, 1, 0)];
+        let rows = axis_ranks(&g, true);
+        assert_eq!(rows, vec![1, 0]); // second gate executes higher
+    }
+
+    #[test]
+    fn empty_set_is_compatible() {
+        assert!(set_compatible(&[]));
+        assert!(greedy_legal_subset(&[]).is_empty());
+    }
+}

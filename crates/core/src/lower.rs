@@ -1,0 +1,122 @@
+//! Lowering a [`Schedule`] to a plain [`Circuit`] over data ⊗ ancilla
+//! qubits, so the state-vector simulator can verify compiled programs.
+//!
+//! The register layout is: data qubits `0..num_data`, then one qubit per
+//! [`AncillaId`](crate::AncillaId) at `num_data + id`. Moves and transfers are classical
+//! control and do not appear in the circuit; Raman gates and Rydberg ops do,
+//! in stage order.
+
+use qpilot_circuit::{Circuit, Gate, Qubit};
+
+use crate::{AtomRef, RydbergKind, Schedule, Stage};
+
+impl Schedule {
+    /// Register qubit of an atom reference.
+    pub fn qubit_of(&self, atom: AtomRef) -> Qubit {
+        match atom {
+            AtomRef::Data(q) => Qubit::new(q),
+            AtomRef::Ancilla(a) => self.ancilla_qubit(a),
+        }
+    }
+
+    /// Lowers the schedule to a circuit over `total_qubits()` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Raman stage contains a two-qubit gate (scheduler bug) or
+    /// any reference is out of range.
+    pub fn to_circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.total_qubits());
+        for stage in &self.stages {
+            match stage {
+                Stage::Raman(gates) => {
+                    for g in gates {
+                        assert!(
+                            g.is_single_qubit(),
+                            "raman stage contains two-qubit gate {g}"
+                        );
+                        c.push_unchecked(*g);
+                    }
+                }
+                Stage::Rydberg(ops) => {
+                    for op in ops {
+                        let a = self.qubit_of(op.a);
+                        let b = self.qubit_of(op.b);
+                        match op.kind {
+                            RydbergKind::Cz => c.push_unchecked(Gate::Cz(a, b)),
+                            RydbergKind::Zz(theta) => c.push_unchecked(Gate::Zz(a, b, theta)),
+                            RydbergKind::CxInto { target_b } => {
+                                let (ctrl, tgt) = if target_b { (a, b) } else { (b, a) };
+                                c.push_unchecked(Gate::H(tgt));
+                                c.push_unchecked(Gate::Cz(ctrl, tgt));
+                                c.push_unchecked(Gate::H(tgt));
+                            }
+                        }
+                    }
+                }
+                Stage::Transfer(_) | Stage::Move { .. } => {}
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RydbergOp, TransferOp};
+
+    #[test]
+    fn lowering_expands_cx_kind() {
+        let mut s = Schedule::new(1, 1, 1);
+        let a = s.fresh_ancilla();
+        s.push(Stage::Rydberg(vec![RydbergOp::cx(
+            AtomRef::Data(0),
+            AtomRef::Ancilla(a),
+        )]));
+        let c = s.to_circuit();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.len(), 3); // H CZ H
+        assert_eq!(c.two_qubit_count(), 1);
+    }
+
+    #[test]
+    fn lowering_orders_stages() {
+        let mut s = Schedule::new(2, 1, 1);
+        let a = s.fresh_ancilla();
+        s.push(Stage::Raman(vec![Gate::H(Qubit::new(2))]));
+        s.push(Stage::Transfer(vec![TransferOp {
+            ancilla: a,
+            row: 0,
+            col: 0,
+            load: true,
+        }]));
+        s.push(Stage::Rydberg(vec![RydbergOp::cz(
+            AtomRef::Data(1),
+            AtomRef::Ancilla(a),
+        )]));
+        let c = s.to_circuit();
+        assert_eq!(c.gates()[0], Gate::H(Qubit::new(2)));
+        assert_eq!(c.gates()[1], Gate::Cz(Qubit::new(1), Qubit::new(2)));
+    }
+
+    #[test]
+    fn zz_lowered_with_angle() {
+        let mut s = Schedule::new(2, 1, 1);
+        s.push(Stage::Rydberg(vec![RydbergOp::zz(
+            AtomRef::Data(0),
+            AtomRef::Data(1),
+            0.4,
+        )]));
+        let c = s.to_circuit();
+        assert_eq!(c.gates()[0], Gate::Zz(Qubit::new(0), Qubit::new(1), 0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "two-qubit gate")]
+    fn raman_rejects_two_qubit_gates() {
+        let mut s = Schedule::new(2, 1, 1);
+        s.push(Stage::Raman(vec![Gate::Cz(Qubit::new(0), Qubit::new(1))]));
+        s.to_circuit();
+    }
+}

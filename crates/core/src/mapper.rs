@@ -1,0 +1,260 @@
+//! Search-based qubit mapping (the paper's §6 outlook).
+//!
+//! Q-Pilot fixes the qubit mapping to reading order and routes everything
+//! with flying ancillas; the paper closes by asking for "a more general
+//! search framework where one can trade time for even higher solution
+//! quality". This module provides that knob: a deterministic hill-climbing
+//! search over mapping permutations with the router in the loop, scoring
+//! each candidate by compiled two-qubit depth, then native gate count,
+//! then total movement (the Eq. 5 decoherence driver).
+//!
+//! The search is router-agnostic: callers provide a closure that routes
+//! under a candidate mapping (logical qubit → SLM slot) and the search
+//! returns the best mapping plus its compiled program.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qpilot_circuit::{Circuit, Qubit};
+
+use crate::error::RouteError;
+use crate::evaluator::evaluate;
+use crate::generic::GenericRouter;
+use crate::CompiledProgram;
+use crate::FpqaConfig;
+
+/// Options for [`search_mapping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingSearchOptions {
+    /// Candidate mappings to try (each one full routing run).
+    pub iterations: usize,
+    /// Pair swaps applied per move (1 = adjacent search, more = jumps).
+    pub swaps_per_move: usize,
+    /// RNG seed (search is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for MappingSearchOptions {
+    fn default() -> Self {
+        MappingSearchOptions {
+            iterations: 64,
+            swaps_per_move: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// A mapping search outcome.
+#[derive(Debug, Clone)]
+pub struct MappedProgram {
+    /// `mapping[logical] = slot`: the SLM slot (reading-order index) each
+    /// logical qubit is placed on.
+    pub mapping: Vec<u32>,
+    /// The compiled program under that mapping.
+    pub program: CompiledProgram,
+    /// Depth of the identity (reading-order) mapping, for comparison.
+    pub identity_depth: usize,
+    /// Total movement (µm) under the identity mapping, for comparison.
+    pub identity_move_um: f64,
+}
+
+/// Candidate ordering: depth, then native 2Q gates, then total movement
+/// (micrometres, rounded) — movement feeds the Eq. 5 decoherence term, so
+/// mappings that shorten flights win ties.
+fn score(p: &CompiledProgram, config: &FpqaConfig) -> (usize, usize, u64) {
+    let report = evaluate(p.schedule(), config);
+    (
+        report.two_qubit_depth,
+        report.two_qubit_gates,
+        report.total_move_um.round() as u64,
+    )
+}
+
+/// Hill-climbing search over mapping permutations.
+///
+/// `route` receives a candidate mapping and must compile the (caller's)
+/// workload under it, typically by relabelling workload qubits before
+/// handing them to one of the routers. Candidates failing to route are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns the first routing error if even the identity mapping fails.
+pub fn search_mapping<F>(
+    num_qubits: u32,
+    config: &FpqaConfig,
+    options: MappingSearchOptions,
+    mut route: F,
+) -> Result<MappedProgram, RouteError>
+where
+    F: FnMut(&[u32]) -> Result<CompiledProgram, RouteError>,
+{
+    let identity: Vec<u32> = (0..num_qubits).collect();
+    let base = route(&identity)?;
+    let identity_report = evaluate(base.schedule(), config);
+    let identity_depth = identity_report.two_qubit_depth;
+    let identity_move_um = identity_report.total_move_um;
+    let mut best_mapping = identity.clone();
+    let mut best_score = score(&base, config);
+    let mut best_program = base;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    let mut current_mapping = best_mapping.clone();
+    let mut current_score = best_score;
+    for _ in 0..options.iterations {
+        let mut candidate = current_mapping.clone();
+        for _ in 0..options.swaps_per_move.max(1) {
+            let a = rng.gen_range(0..num_qubits as usize);
+            let b = rng.gen_range(0..num_qubits as usize);
+            candidate.swap(a, b);
+        }
+        let Ok(program) = route(&candidate) else {
+            continue;
+        };
+        let s = score(&program, config);
+        if s <= current_score {
+            // Accept sideways moves to escape plateaus.
+            current_mapping = candidate;
+            current_score = s;
+            if s < best_score {
+                best_mapping = current_mapping.clone();
+                best_score = s;
+                best_program = program;
+            }
+        }
+    }
+    Ok(MappedProgram {
+        mapping: best_mapping,
+        program: best_program,
+        identity_depth,
+        identity_move_um,
+    })
+}
+
+/// Convenience: mapping search for an arbitrary circuit through the
+/// generic router. The returned program is compiled from the circuit with
+/// its qubits relabelled through the mapping.
+///
+/// # Errors
+///
+/// See [`search_mapping`].
+pub fn search_circuit_mapping(
+    circuit: &Circuit,
+    config: &FpqaConfig,
+    options: MappingSearchOptions,
+) -> Result<MappedProgram, RouteError> {
+    let router = GenericRouter::new();
+    search_mapping(circuit.num_qubits(), config, options, |mapping| {
+        let remapped = circuit.remapped(config.num_data(), |q| {
+            Qubit::new(mapping[q.index()])
+        });
+        router.route(&remapped, config)
+    })
+}
+
+/// Convenience: mapping search for a QAOA edge list through the QAOA
+/// router.
+///
+/// # Errors
+///
+/// See [`search_mapping`].
+pub fn search_qaoa_mapping(
+    num_qubits: u32,
+    edges: &[(u32, u32)],
+    gamma: f64,
+    config: &FpqaConfig,
+    options: MappingSearchOptions,
+) -> Result<MappedProgram, RouteError> {
+    let router = crate::qaoa::QaoaRouter::new();
+    search_mapping(num_qubits, config, options, |mapping| {
+        let remapped: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(a, b)| (mapping[a as usize], mapping[b as usize]))
+            .collect();
+        router.route_edges(config.num_data(), &remapped, gamma, config)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A circuit whose reading-order mapping is deliberately bad: qubit i
+    /// talks only to qubit i + n/2 (opposite ends of the array).
+    fn bipartite_circuit(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for _ in 0..3 {
+            for i in 0..n / 2 {
+                c.cz(i, i + n / 2);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn search_never_worse_than_identity() {
+        let c = bipartite_circuit(8);
+        let cfg = FpqaConfig::for_qubits(8, 4);
+        let result = search_circuit_mapping(&c, &cfg, MappingSearchOptions::default()).unwrap();
+        assert!(result.program.stats().two_qubit_depth <= result.identity_depth);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let c = bipartite_circuit(8);
+        let cfg = FpqaConfig::for_qubits(8, 4);
+        let opts = MappingSearchOptions::default();
+        let a = search_circuit_mapping(&c, &cfg, opts).unwrap();
+        let b = search_circuit_mapping(&c, &cfg, opts).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.program.stats(), b.program.stats());
+    }
+
+    #[test]
+    fn mapping_is_a_permutation() {
+        let c = bipartite_circuit(10);
+        let cfg = FpqaConfig::for_qubits(10, 5);
+        let result = search_circuit_mapping(&c, &cfg, MappingSearchOptions::default()).unwrap();
+        let mut sorted = result.mapping.clone();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..10).collect();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn qaoa_mapping_search_runs() {
+        let edges = [(0u32, 5u32), (1, 6), (2, 7), (3, 8), (0, 7)];
+        let cfg = FpqaConfig::for_qubits(9, 3);
+        let result = search_qaoa_mapping(
+            9,
+            &edges,
+            0.7,
+            &cfg,
+            MappingSearchOptions {
+                iterations: 24,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(result.program.stats().two_qubit_depth <= result.identity_depth);
+        // 2n + |E| native gates regardless of mapping.
+        assert_eq!(result.program.stats().two_qubit_gates, 2 * 9 + 5);
+    }
+
+    #[test]
+    fn zero_iterations_returns_identity_mapping() {
+        let c = bipartite_circuit(6);
+        let cfg = FpqaConfig::for_qubits(6, 3);
+        let result = search_circuit_mapping(
+            &c,
+            &cfg,
+            MappingSearchOptions {
+                iterations: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let expect: Vec<u32> = (0..6).collect();
+        assert_eq!(result.mapping, expect);
+    }
+}

@@ -1,0 +1,211 @@
+//! Shared AOD motion planning helpers for the routers.
+//!
+//! All routers face the same sub-problem per axis: given the first `k` AOD
+//! rows (or columns) in rank order, each wanting to hover next to a known
+//! SLM row (weakly increasing in rank), produce strictly increasing
+//! physical coordinates, with every unused row parked safely below (to the
+//! right of) the array.
+//!
+//! Rows sharing an SLM target receive distinct fractional offsets inside
+//! `(OFFSET_MIN, OFFSET_MAX)`; both bounds stay well inside the blockade
+//! radius (so each ancilla couples to its partner) while the distance to
+//! every *other* grid atom exceeds the safety radius.
+
+use crate::FpqaConfig;
+
+/// Smallest hover offset from the partner's coordinate (µm).
+pub(crate) const OFFSET_MIN: f64 = 0.15;
+/// Largest hover offset (µm). `sqrt(2) · OFFSET_MAX` must stay below the
+/// blockade radius.
+pub(crate) const OFFSET_MAX: f64 = 0.9;
+
+/// Produces strictly increasing coordinates for one axis.
+///
+/// `targets[rank]` is the SLM row/col index the rank-th active AOD line
+/// hovers at; the slice must be weakly increasing (guaranteed by the
+/// legality rule). `total` is the AOD line count; lines `targets.len()..`
+/// park beyond `park_from` at one-pitch intervals.
+pub(crate) fn axis_coords(
+    targets: &[usize],
+    total: usize,
+    pitch: f64,
+    park_from: f64,
+) -> Vec<f64> {
+    debug_assert!(targets.windows(2).all(|w| w[0] <= w[1]), "targets must be sorted");
+    debug_assert!(targets.len() <= total, "more active lines than AOD lines");
+    let mut coords = Vec::with_capacity(total);
+    let mut i = 0;
+    while i < targets.len() {
+        // Size of the run of equal targets.
+        let run_end = targets[i..]
+            .iter()
+            .position(|&t| t != targets[i])
+            .map(|p| i + p)
+            .unwrap_or(targets.len());
+        let run = run_end - i;
+        for j in 0..run {
+            let frac = (j + 1) as f64 / (run + 1) as f64;
+            let offset = OFFSET_MIN + (OFFSET_MAX - OFFSET_MIN) * frac;
+            coords.push(targets[i] as f64 * pitch + offset);
+        }
+        i = run_end;
+    }
+    for k in targets.len()..total {
+        coords.push(park_from + (k - targets.len() + 1) as f64 * pitch);
+    }
+    coords
+}
+
+/// Coordinate (µm) beyond which parked AOD rows live for this config.
+pub(crate) fn park_row_base(config: &FpqaConfig) -> f64 {
+    (config.slm().rows() + 1) as f64 * config.pitch_um()
+}
+
+/// Coordinate (µm) beyond which parked AOD columns live.
+pub(crate) fn park_col_base(config: &FpqaConfig) -> f64 {
+    (config.slm().cols() + 1) as f64 * config.pitch_um()
+}
+
+/// The canonical initial AOD position: rows parked below the array,
+/// columns parked to its right. The validator and evaluator replay
+/// schedules from this state, so routers must plan from it too.
+pub(crate) fn initial_coords(
+    aod_rows: usize,
+    aod_cols: usize,
+    config: &FpqaConfig,
+) -> (Vec<f64>, Vec<f64>) {
+    let pitch = config.pitch_um();
+    let slm = config.slm();
+    let rows = (0..aod_rows)
+        .map(|r| (slm.rows() + 1 + r) as f64 * pitch)
+        .collect();
+    let cols = (0..aod_cols)
+        .map(|c| (slm.cols() + 1 + c) as f64 * pitch)
+        .collect();
+    (rows, cols)
+}
+
+/// Builds strictly increasing coordinates from sparse anchors.
+///
+/// `anchors` maps line indices to required coordinates (indices and values
+/// both strictly increasing). Lines between two anchors interpolate
+/// linearly; lines before the first / after the last anchor extend outward
+/// at one-pitch intervals. Used where some AOD lines are pinned (active
+/// ancillas) and the rest are unloaded or merely need legal positions.
+pub(crate) fn anchored_coords(anchors: &[(usize, f64)], total: usize, pitch: f64) -> Vec<f64> {
+    debug_assert!(
+        anchors.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+        "anchors must be strictly increasing: {anchors:?}"
+    );
+    if anchors.is_empty() {
+        return (0..total).map(|i| i as f64 * pitch).collect();
+    }
+    let mut coords = vec![0.0; total];
+    let (first_idx, first_val) = anchors[0];
+    for (offset, coord) in coords.iter_mut().enumerate().take(first_idx) {
+        *coord = first_val - (first_idx - offset) as f64 * pitch;
+    }
+    for w in anchors.windows(2) {
+        let (i0, v0) = w[0];
+        let (i1, v1) = w[1];
+        coords[i0] = v0;
+        let span = (i1 - i0) as f64;
+        for (i, coord) in coords.iter_mut().enumerate().take(i1).skip(i0 + 1) {
+            *coord = v0 + (v1 - v0) * (i - i0) as f64 / span;
+        }
+    }
+    let (last_idx, last_val) = *anchors.last().expect("non-empty anchors");
+    coords[last_idx] = last_val;
+    for (i, coord) in coords.iter_mut().enumerate().skip(last_idx + 1) {
+        *coord = last_val + (i - last_idx) as f64 * pitch;
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_targets_get_pitch_spacing() {
+        let c = axis_coords(&[0, 1, 3], 3, 10.0, 50.0);
+        assert_eq!(c.len(), 3);
+        assert!(c[0] > 0.0 && c[0] < 1.0);
+        assert!(c[1] > 10.0 && c[1] < 11.0);
+        assert!(c[2] > 30.0 && c[2] < 31.0);
+    }
+
+    #[test]
+    fn tied_targets_get_increasing_offsets() {
+        let c = axis_coords(&[2, 2, 2], 3, 10.0, 50.0);
+        assert!(c[0] < c[1] && c[1] < c[2]);
+        for &y in &c {
+            assert!(y > 20.0 + OFFSET_MIN - 1e-12 && y < 20.0 + OFFSET_MAX + 1e-12);
+        }
+    }
+
+    #[test]
+    fn parked_lines_go_beyond_base() {
+        let c = axis_coords(&[0], 4, 10.0, 60.0);
+        assert_eq!(c.len(), 4);
+        assert_eq!(&c[1..], &[70.0, 80.0, 90.0]);
+    }
+
+    #[test]
+    fn result_is_strictly_increasing() {
+        let c = axis_coords(&[0, 0, 1, 1, 1, 4], 8, 10.0, 100.0);
+        for w in c.windows(2) {
+            assert!(w[0] < w[1], "{c:?}");
+        }
+    }
+
+    #[test]
+    fn offsets_stay_within_blockade_budget() {
+        // sqrt(2) * OFFSET_MAX must be < r_b = 1.5 so a diagonal hover still
+        // couples; OFFSET_MIN must be > 0 so lines never collide.
+        const { assert!(OFFSET_MAX * std::f64::consts::SQRT_2 < 1.5) };
+        const { assert!(OFFSET_MIN > 0.0) };
+    }
+
+    #[test]
+    fn empty_targets_all_park() {
+        let c = axis_coords(&[], 2, 10.0, 40.0);
+        assert_eq!(c, vec![50.0, 60.0]);
+    }
+
+    #[test]
+    fn anchored_coords_interpolate_between() {
+        let c = anchored_coords(&[(1, 10.0), (4, 40.0)], 6, 10.0);
+        assert_eq!(c, vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn anchored_coords_tight_anchors() {
+        let c = anchored_coords(&[(0, 100.0), (4, 100.5)], 5, 10.0);
+        assert_eq!(c[0], 100.0);
+        assert_eq!(c[4], 100.5);
+        for w in c.windows(2) {
+            assert!(w[0] < w[1], "{c:?}");
+        }
+    }
+
+    #[test]
+    fn anchored_coords_extend_before_and_after() {
+        let c = anchored_coords(&[(2, 5.0)], 5, 10.0);
+        assert_eq!(c, vec![-15.0, -5.0, 5.0, 15.0, 25.0]);
+    }
+
+    #[test]
+    fn anchored_coords_no_anchors() {
+        let c = anchored_coords(&[], 3, 10.0);
+        assert_eq!(c, vec![0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn initial_coords_park_off_array() {
+        let cfg = FpqaConfig::for_qubits(4, 2); // 2x2 slm
+        let (rows, cols) = initial_coords(3, 3, &cfg);
+        assert_eq!(rows, vec![30.0, 40.0, 50.0]);
+        assert_eq!(cols, vec![30.0, 40.0, 50.0]);
+    }
+}

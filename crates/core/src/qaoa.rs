@@ -1,0 +1,782 @@
+//! The customised QAOA router (Alg. 3).
+//!
+//! QAOA cost layers apply one `ZZ(γ)` per graph edge. Unlike the generic
+//! router, Q-Pilot creates **one persistent ancilla per qubit** (not per
+//! gate), recycled only after the whole graph is done. Each stage:
+//!
+//! 1. picks the remaining edge with the smallest first endpoint; its
+//!    ancilla's AOD row becomes the stage's first active row, and the
+//!    matching fixes one AOD-column displacement;
+//! 2. greedily matches more edges within the same (AOD row, SLM row) pair,
+//!    adding active columns while their home/target orders stay aligned
+//!    and parked columns still fit in the gaps between targets;
+//! 3. walks the remaining AOD rows downward, choosing for each the SLM row
+//!    that executes the most edges with **zero undesired interactions**
+//!    (every occupied cross must be a remaining edge); rows that cannot
+//!    match park on row midpoints, which the 2.5·r_b rule keeps silent;
+//! 4. fires the global Rydberg pulse, executing every matched edge.
+//!
+//! Parked lines sit on grid midpoints (`pitch/2` away from any SLM line),
+//! which is safe because the safety radius (2.5 × 1.5 µm) is below half the
+//! 10 µm pitch — the geometric precondition called out in
+//! [`FpqaConfig`].
+
+use std::collections::{BTreeSet, HashSet};
+
+use qpilot_circuit::Gate;
+use qpilot_arch::GridCoord;
+
+use crate::error::RouteError;
+use crate::motion::{axis_coords, park_col_base, park_row_base, OFFSET_MIN};
+use crate::schedule::{AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, Stage,
+                      TransferOp};
+use crate::FpqaConfig;
+
+/// Options for [`QaoaRouter`] (ablation knobs; defaults reproduce the
+/// paper's algorithm with this crate's refinements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QaoaRouterOptions {
+    /// How many of the densest (AOD row, SLM row) buckets to evaluate as
+    /// stage anchors. `1` approximates the paper's plain "smallest first
+    /// edge" rule; larger values search harder for parallel stages.
+    pub anchor_candidates: usize,
+    /// Whether to grow the column pattern after the row sweep.
+    pub column_extension: bool,
+}
+
+impl Default for QaoaRouterOptions {
+    fn default() -> Self {
+        QaoaRouterOptions {
+            anchor_candidates: 8,
+            column_extension: true,
+        }
+    }
+}
+
+/// The QAOA flying-ancilla router (Alg. 3 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use qpilot_core::{qaoa::QaoaRouter, FpqaConfig};
+///
+/// let cfg = FpqaConfig::for_qubits(4, 2);
+/// let edges = [(0, 1), (1, 2), (2, 3), (0, 3)];
+/// let p = QaoaRouter::new().route_edges(4, &edges, 0.7, &cfg).unwrap();
+/// // 2 qubits-worth of create/recycle CNOTs plus one op per edge.
+/// assert_eq!(p.stats().two_qubit_gates, 2 * 4 + 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QaoaRouter {
+    options: QaoaRouterOptions,
+}
+
+impl QaoaRouter {
+    /// Creates a router with default options.
+    pub fn new() -> Self {
+        QaoaRouter::default()
+    }
+
+    /// Creates a router with explicit options.
+    pub fn with_options(options: QaoaRouterOptions) -> Self {
+        QaoaRouter { options }
+    }
+
+    /// Routes one QAOA cost layer: `ZZ(γ)` on every edge, with per-qubit
+    /// ancillas created first and recycled last.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::TooManyQubits`] if `num_qubits` exceeds the array,
+    /// * [`RouteError::InvalidEdge`] on self loops / out-of-range edges,
+    /// * [`RouteError::AodTooSmall`] if the AOD grid cannot host one
+    ///   ancilla per qubit.
+    pub fn route_edges(
+        &self,
+        num_qubits: u32,
+        edges: &[(u32, u32)],
+        gamma: f64,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, RouteError> {
+        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
+        Ok(CompiledProgram::new(schedule))
+    }
+
+    /// Routes a full depth-1 QAOA round: Hadamard layer, routed cost layer,
+    /// `Rx(β)` mixer — directly comparable against
+    /// `Graph::qaoa_circuit(&[γ], &[β])` in simulation.
+    ///
+    /// # Errors
+    ///
+    /// See [`QaoaRouter::route_edges`].
+    pub fn route_qaoa_round(
+        &self,
+        num_qubits: u32,
+        edges: &[(u32, u32)],
+        gamma: f64,
+        beta: f64,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, RouteError> {
+        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        schedule.push(Stage::Raman(
+            (0..num_qubits)
+                .map(|q| Gate::H(qpilot_circuit::Qubit::new(q)))
+                .collect(),
+        ));
+        self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
+        schedule.push(Stage::Raman(
+            (0..num_qubits)
+                .map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta))
+                .collect(),
+        ));
+        Ok(CompiledProgram::new(schedule))
+    }
+
+    /// Routes a depth-`p` QAOA program: Hadamard layer, then `p` rounds of
+    /// routed cost layer + `Rx(betaK)` mixer. Ancillas are re-created per
+    /// round — the mixer invalidates the Z-basis copies, so each cost
+    /// layer needs fresh fan-outs (create/recycle appears `2p` times in
+    /// the native gate count).
+    ///
+    /// # Errors
+    ///
+    /// See [`QaoaRouter::route_edges`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gammas.len() != betas.len()`.
+    pub fn route_qaoa_rounds(
+        &self,
+        num_qubits: u32,
+        edges: &[(u32, u32)],
+        gammas: &[f64],
+        betas: &[f64],
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, RouteError> {
+        assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
+        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        schedule.push(Stage::Raman(
+            (0..num_qubits)
+                .map(|q| Gate::H(qpilot_circuit::Qubit::new(q)))
+                .collect(),
+        ));
+        for (&gamma, &beta) in gammas.iter().zip(betas) {
+            self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
+            schedule.push(Stage::Raman(
+                (0..num_qubits)
+                    .map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta))
+                    .collect(),
+            ));
+        }
+        Ok(CompiledProgram::new(schedule))
+    }
+
+    fn append_cost_layer(
+        &self,
+        schedule: &mut Schedule,
+        num_qubits: u32,
+        edges: &[(u32, u32)],
+        gamma: f64,
+        config: &FpqaConfig,
+    ) -> Result<(), RouteError> {
+        if num_qubits > config.num_data() {
+            return Err(RouteError::TooManyQubits {
+                required: num_qubits,
+                available: config.num_data(),
+            });
+        }
+        let mut remaining: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for &(a, b) in edges {
+            if a == b || a >= num_qubits || b >= num_qubits {
+                return Err(RouteError::InvalidEdge { a, b });
+            }
+            remaining.insert((a.min(b), a.max(b)));
+        }
+        if remaining.is_empty() {
+            return Ok(());
+        }
+
+        let slm = config.slm();
+        let used_rows = (num_qubits as usize).div_ceil(slm.cols());
+        let used_cols = slm.cols().min(num_qubits as usize);
+        if schedule.aod_rows < used_rows || schedule.aod_cols < used_cols {
+            return Err(RouteError::AodTooSmall {
+                required: used_rows.max(used_cols),
+                available: schedule.aod_rows.min(schedule.aod_cols),
+            });
+        }
+
+        // One ancilla per qubit, pinned to the qubit's own cross.
+        let ancillas: Vec<AncillaId> = (0..num_qubits).map(|_| schedule.fresh_ancilla()).collect();
+        let home = |q: u32| -> GridCoord { config.coord_of(q) };
+
+        schedule.push(Stage::Transfer(
+            (0..num_qubits)
+                .map(|q| TransferOp {
+                    ancilla: ancillas[q as usize],
+                    row: home(q).row,
+                    col: home(q).col,
+                    load: true,
+                })
+                .collect(),
+        ));
+
+        // Aligned position: every ancilla hovers next to its home qubit.
+        let aligned_rows: Vec<usize> = (0..used_rows).collect();
+        let aligned_cols: Vec<usize> = (0..used_cols).collect();
+        let pitch = config.pitch_um();
+        let aligned = (
+            axis_coords(&aligned_rows, schedule.aod_rows, pitch, park_row_base(config)),
+            axis_coords(&aligned_cols, schedule.aod_cols, pitch, park_col_base(config)),
+        );
+        schedule.push(Stage::Move {
+            row_y: aligned.0.clone(),
+            col_x: aligned.1.clone(),
+        });
+        let h_layer: Vec<Gate> = (0..num_qubits)
+            .map(|q| Gate::H(schedule.ancilla_qubit(ancillas[q as usize])))
+            .collect();
+        let create_ops: Vec<RydbergOp> = (0..num_qubits)
+            .map(|q| RydbergOp::cz(AtomRef::Data(q), AtomRef::Ancilla(ancillas[q as usize])))
+            .collect();
+        schedule.push(Stage::Raman(h_layer.clone()));
+        schedule.push(Stage::Rydberg(create_ops.clone()));
+        schedule.push(Stage::Raman(h_layer.clone()));
+
+        // Stage loop.
+        while !remaining.is_empty() {
+            let solution = solve_stage(
+                &remaining, config, num_qubits, used_rows, used_cols, &self.options,
+            );
+            debug_assert!(!solution.matched.is_empty(), "stage must match >= 1 edge");
+            for &(u, v) in &solution.matched {
+                remaining.remove(&(u.min(v), u.max(v)));
+            }
+            let (row_y, col_x) = stage_coords(&solution, schedule, config, used_rows, used_cols);
+            schedule.push(Stage::Move { row_y, col_x });
+            schedule.push(Stage::Rydberg(
+                solution
+                    .matched
+                    .iter()
+                    .map(|&(src, tgt)| {
+                        RydbergOp::zz(
+                            AtomRef::Ancilla(ancillas[src as usize]),
+                            AtomRef::Data(tgt),
+                            gamma,
+                        )
+                    })
+                    .collect(),
+            ));
+        }
+
+        // Recycle: fly home, uncopy, unload.
+        schedule.push(Stage::Move {
+            row_y: aligned.0,
+            col_x: aligned.1,
+        });
+        schedule.push(Stage::Raman(h_layer.clone()));
+        schedule.push(Stage::Rydberg(create_ops));
+        schedule.push(Stage::Raman(h_layer));
+        schedule.push(Stage::Transfer(
+            (0..num_qubits)
+                .map(|q| TransferOp {
+                    ancilla: ancillas[q as usize],
+                    row: home(q).row,
+                    col: home(q).col,
+                    load: false,
+                })
+                .collect(),
+        ));
+        Ok(())
+    }
+}
+
+/// A solved stage: which AOD columns/rows are active and which edges fire.
+#[derive(Debug, Clone, Default)]
+struct StageSolution {
+    /// `(home AOD column, target SLM column)`, strictly increasing in both.
+    active_cols: Vec<(usize, usize)>,
+    /// `(home AOD row, target SLM row)`, strictly increasing in both.
+    active_rows: Vec<(usize, usize)>,
+    /// Matched edges as `(ancilla-owner qubit, SLM target qubit)`.
+    matched: Vec<(u32, u32)>,
+}
+
+/// Greedy stage construction following Alg. 3, with the paper's "maximum
+/// matching on the first row" refinement: among the densest (AOD row, SLM
+/// row) buckets of remaining edges, build candidate stages (dense and
+/// sparse column seeds, plus a post-sweep column-extension pass) and keep
+/// the one executing the most edges.
+fn solve_stage(
+    remaining: &BTreeSet<(u32, u32)>,
+    config: &FpqaConfig,
+    num_qubits: u32,
+    used_rows: usize,
+    used_cols: usize,
+    options: &QaoaRouterOptions,
+) -> StageSolution {
+    let coord = |q: u32| config.coord_of(q);
+
+    // Bucket remaining edges by (ancilla home row, target SLM row) in both
+    // orientations.
+    let mut buckets: std::collections::HashMap<(usize, usize), Vec<(u32, u32)>> =
+        std::collections::HashMap::new();
+    for &(u, v) in remaining.iter() {
+        for (src, tgt) in [(u, v), (v, u)] {
+            buckets
+                .entry((coord(src).row, coord(tgt).row))
+                .or_default()
+                .push((src, tgt));
+        }
+    }
+    // Candidate anchors: the densest buckets, plus the bucket holding the
+    // globally smallest edge (the paper's e0) as a deterministic fallback.
+    let &(a0, b0) = remaining.iter().next().expect("non-empty edge set");
+    let mut keys: Vec<(usize, usize)> = buckets.keys().copied().collect();
+    keys.sort_by_key(|k| (std::cmp::Reverse(buckets[k].len()), k.0, k.1));
+    keys.truncate(options.anchor_candidates.max(1));
+    let e0_key = (coord(a0).row, coord(b0).row);
+    if !keys.contains(&e0_key) {
+        keys.push(e0_key);
+    }
+
+    let mut best: Option<StageSolution> = None;
+    for key in keys {
+        for seed_all in [true, false] {
+            let candidate = solve_stage_at(
+                remaining, config, num_qubits, used_rows, key.0, key.1, &buckets[&key], seed_all,
+                options,
+            );
+            if best
+                .as_ref()
+                .map(|b| candidate.matched.len() > b.matched.len())
+                .unwrap_or(true)
+            {
+                best = Some(candidate);
+            }
+        }
+    }
+    let sol = best.expect("at least the e0 bucket yields a stage");
+    debug_assert!(!sol.matched.is_empty());
+    let _ = used_cols;
+    sol
+}
+
+/// Builds one candidate stage anchored at AOD row `r0` targeting SLM row
+/// `y0`. With `seed_all` the first row greedily takes every insertable
+/// bucket edge (maximum first-row matching); otherwise only the bucket's
+/// first edge seeds the column pattern, which often lets *more rows* match
+/// on sparse graphs. A final pass tries to grow the column pattern against
+/// the committed rows.
+#[allow(clippy::too_many_arguments)]
+fn solve_stage_at(
+    remaining: &BTreeSet<(u32, u32)>,
+    config: &FpqaConfig,
+    num_qubits: u32,
+    used_rows: usize,
+    r0: usize,
+    y0: usize,
+    bucket: &[(u32, u32)],
+    seed_all: bool,
+    options: &QaoaRouterOptions,
+) -> StageSolution {
+    let coord = |q: u32| config.coord_of(q);
+    let norm = |u: u32, v: u32| (u.min(v), u.max(v));
+    let qubit_at = |row: usize, col: usize| -> Option<u32> {
+        config
+            .qubit_at(GridCoord::new(row, col))
+            .filter(|&q| q < num_qubits)
+    };
+    let mut sol = StageSolution::default();
+
+    // First-row matching: greedy column insertion over the bucket's edges
+    // in sorted order. Each (normalised) edge may seed one orientation only
+    // -- both at once would execute it twice in the same pulse.
+    let mut seeds: Vec<(u32, u32)> = bucket.to_vec();
+    seeds.sort_unstable();
+    let mut seeded: HashSet<(u32, u32)> = HashSet::new();
+    for &(src, tgt) in &seeds {
+        let e = norm(src, tgt);
+        if seeded.contains(&e) {
+            continue;
+        }
+        let (hc, tc) = (coord(src).col, coord(tgt).col);
+        if try_insert_col(&mut sol.active_cols, hc, tc) {
+            seeded.insert(e);
+            if !seed_all {
+                break;
+            }
+        }
+    }
+
+    // Row sweep. Matched set is tracked to reject double execution.
+    let mut stage_matched: HashSet<(u32, u32)> = HashSet::new();
+
+    // Commit the anchor row's matches.
+    sol.active_rows.push((r0, y0));
+    for &(hc, tc) in &sol.active_cols {
+        if let (Some(u), Some(v)) = (qubit_at(r0, hc), qubit_at(y0, tc)) {
+            stage_matched.insert(norm(u, v));
+            sol.matched.push((u, v));
+        }
+    }
+
+    let slm_rows = config.slm().rows();
+    // Scores a candidate (aod_row, y) placement: Some(count) iff every
+    // occupied cross is a fresh remaining edge.
+    let score = |aod_row: usize, y: usize, cols: &[(usize, usize)], matched: &HashSet<(u32, u32)>| -> Option<usize> {
+        let mut count = 0usize;
+        for &(hc, tc) in cols {
+            if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
+                let e = norm(u, v);
+                if remaining.contains(&e) && !matched.contains(&e) {
+                    count += 1;
+                } else {
+                    return None;
+                }
+            }
+        }
+        Some(count)
+    };
+    let commit = |sol: &mut StageSolution,
+                      matched: &mut HashSet<(u32, u32)>,
+                      aod_row: usize,
+                      y: usize,
+                      front: bool| {
+        if front {
+            sol.active_rows.insert(0, (aod_row, y));
+        } else {
+            sol.active_rows.push((aod_row, y));
+        }
+        for &(hc, tc) in &sol.active_cols {
+            if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
+                matched.insert(norm(u, v));
+                sol.matched.push((u, v));
+            }
+        }
+    };
+
+    // Downward sweep: AOD rows below the anchor map to SLM rows below y0.
+    let mut last_y = y0;
+    let mut parked_since = 0usize;
+    for aod_row in (r0 + 1)..used_rows {
+        let min_y = last_y + parked_since.max(1);
+        let mut best: Option<(usize, usize)> = None; // (count, y)
+        for y in min_y..slm_rows {
+            if let Some(count) = score(aod_row, y, &sol.active_cols, &stage_matched) {
+                if count > 0 && best.map(|(c, _)| count > c).unwrap_or(true) {
+                    best = Some((count, y));
+                }
+            }
+        }
+        if let Some((_, y)) = best {
+            commit(&mut sol, &mut stage_matched, aod_row, y, false);
+            last_y = y;
+            parked_since = 0;
+        } else {
+            parked_since += 1;
+        }
+    }
+
+    // Upward sweep: AOD rows above the anchor map to SLM rows above y0,
+    // with the mirrored gap-capacity rule for parked rows.
+    let mut first_y = y0 as isize;
+    let mut parked_above = 0isize;
+    for aod_row in (0..r0).rev() {
+        let max_y = first_y - parked_above.max(1);
+        let mut best: Option<(usize, usize)> = None;
+        let mut y = max_y;
+        while y >= 0 {
+            if let Some(count) = score(aod_row, y as usize, &sol.active_cols, &stage_matched) {
+                if count > 0 && best.map(|(c, _)| count > c).unwrap_or(true) {
+                    best = Some((count, y as usize));
+                }
+            }
+            y -= 1;
+        }
+        if let Some((_, y)) = best {
+            commit(&mut sol, &mut stage_matched, aod_row, y, true);
+            first_y = y as isize;
+            parked_above = 0;
+        } else {
+            parked_above += 1;
+        }
+    }
+
+    // Column extension: with the rows fixed, try to grow the column
+    // pattern. A new column pair is legal iff every committed row's cross
+    // lands on a fresh remaining edge (or on a missing atom).
+    if !options.column_extension {
+        return sol;
+    }
+    let mut candidates: Vec<(u32, u32)> = remaining
+        .iter()
+        .flat_map(|&(u, v)| [(u, v), (v, u)])
+        .filter(|&(src, tgt)| !stage_matched.contains(&norm(src, tgt)))
+        .collect();
+    candidates.sort_unstable();
+    for (src, tgt) in candidates {
+        let (hc, tc) = (coord(src).col, coord(tgt).col);
+        if !can_insert_col(&sol.active_cols, hc, tc) {
+            continue;
+        }
+        let mut new_matches: Vec<(u32, u32)> = Vec::new();
+        let mut ok = true;
+        for &(aod_row, y) in &sol.active_rows {
+            if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
+                let e = norm(u, v);
+                if remaining.contains(&e)
+                    && !stage_matched.contains(&e)
+                    && !new_matches.iter().any(|&(a, b)| norm(a, b) == e)
+                {
+                    new_matches.push((u, v));
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && !new_matches.is_empty() {
+            let inserted = try_insert_col(&mut sol.active_cols, hc, tc);
+            debug_assert!(inserted, "can_insert_col pre-checked");
+            for &(u, v) in &new_matches {
+                stage_matched.insert(norm(u, v));
+                sol.matched.push((u, v));
+            }
+        }
+    }
+    sol
+}
+
+/// Non-mutating feasibility check mirroring [`try_insert_col`].
+fn can_insert_col(active: &[(usize, usize)], home: usize, target: usize) -> bool {
+    if active.iter().any(|&(h, t)| h == home || t == target) {
+        return false;
+    }
+    let pos = active.partition_point(|&(h, _)| h < home);
+    if pos > 0 {
+        let (lh, lt) = active[pos - 1];
+        if target <= lt || home - lh - 1 > target - lt {
+            return false;
+        }
+    }
+    if pos < active.len() {
+        let (rh, rt) = active[pos];
+        if target >= rt || rh - home - 1 > rt - target {
+            return false;
+        }
+    }
+    true
+}
+
+/// Tries to insert an active column pair keeping both orders strict and
+/// leaving enough midpoint slots for the parked columns in between.
+fn try_insert_col(active: &mut Vec<(usize, usize)>, home: usize, target: usize) -> bool {
+    if active.iter().any(|&(h, t)| h == home || t == target) {
+        return false;
+    }
+    let pos = active.partition_point(|&(h, _)| h < home);
+    // Order consistency.
+    if pos > 0 {
+        let (lh, lt) = active[pos - 1];
+        if target <= lt || home - lh - 1 > target - lt {
+            return false;
+        }
+    }
+    if pos < active.len() {
+        let (rh, rt) = active[pos];
+        if target >= rt || rh - home - 1 > rt - target {
+            return false;
+        }
+    }
+    active.insert(pos, (home, target));
+    true
+}
+
+/// Physical coordinates for a solved stage: active lines at `target + off`,
+/// parked lines on midpoints (leading / in-between / trailing).
+fn stage_coords(
+    sol: &StageSolution,
+    schedule: &Schedule,
+    config: &FpqaConfig,
+    used_rows: usize,
+    used_cols: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let pitch = config.pitch_um();
+    let off = OFFSET_MIN + 0.35;
+    let half = pitch / 2.0;
+
+    let build = |active: &[(usize, usize)], used: usize, total: usize| -> Vec<f64> {
+        let mut coords = vec![f64::NAN; total];
+        for &(h, t) in active {
+            coords[h] = t as f64 * pitch + off;
+        }
+        // Leading parked lines: midpoints walking up/left from the first
+        // active target.
+        let first_active_home = active.first().map(|&(h, _)| h).unwrap_or(used);
+        let first_active_target = active.first().map(|&(_, t)| t).unwrap_or(0);
+        for (i, coord) in coords.iter_mut().enumerate().take(first_active_home) {
+            let steps = first_active_home - i;
+            *coord = first_active_target as f64 * pitch - half - (steps - 1) as f64 * pitch;
+        }
+        // In-between parked lines: midpoints after the left neighbour.
+        for w in 0..active.len().saturating_sub(1) {
+            let (lh, lt) = active[w];
+            let (rh, _) = active[w + 1];
+            for (j, i) in ((lh + 1)..rh).enumerate() {
+                coords[i] = lt as f64 * pitch + half + j as f64 * pitch;
+            }
+        }
+        // Trailing lines (parked and beyond `used`).
+        let (last_home, last_target) = active
+            .last()
+            .copied()
+            .unwrap_or((0, 0));
+        let mut j = 0;
+        for coord in coords.iter_mut().take(total).skip(last_home + 1) {
+            if coord.is_nan() {
+                *coord = last_target as f64 * pitch + half + (j + 1) as f64 * pitch;
+                j += 1;
+            }
+        }
+        debug_assert!(coords.iter().all(|c| !c.is_nan()));
+        debug_assert!(coords.windows(2).all(|w| w[0] < w[1]), "{coords:?}");
+        coords
+    };
+
+    (
+        build(&sol.active_rows, used_rows, schedule.aod_rows),
+        build(&sol.active_cols, used_cols, schedule.aod_cols),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_schedule;
+
+    #[test]
+    fn try_insert_col_orders() {
+        let mut active = vec![(1usize, 2usize)];
+        // Left of (1 -> 2): home 0, target must be < 2.
+        assert!(try_insert_col(&mut active, 0, 0));
+        assert_eq!(active, vec![(0, 0), (1, 2)]);
+        // Inversion rejected.
+        assert!(!try_insert_col(&mut active, 2, 1));
+        // Append right.
+        assert!(try_insert_col(&mut active, 3, 3));
+        assert_eq!(active.len(), 3);
+    }
+
+    #[test]
+    fn try_insert_col_gap_capacity() {
+        let mut active = vec![(0usize, 0usize)];
+        // home 3 leaves 2 parked columns between; target 1 offers only
+        // 1 midpoint slot -> reject.
+        assert!(!try_insert_col(&mut active, 3, 1));
+        // target 3 offers 3 slots -> accept.
+        assert!(try_insert_col(&mut active, 3, 3));
+    }
+
+    #[test]
+    fn route_ring_graph() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let edges = [(0, 1), (1, 2), (2, 3), (0, 3)];
+        let p = QaoaRouter::new().route_edges(4, &edges, 0.5, &cfg).unwrap();
+        let report = validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        assert_eq!(report.leftover_ancillas, 0);
+        // 2n create/recycle + one per edge.
+        assert_eq!(p.stats().two_qubit_gates, 8 + 4);
+        assert_eq!(p.schedule().num_ancillas, 4);
+    }
+
+    #[test]
+    fn fig7_example_parallelism() {
+        // Fig. 7: 12 qubits on 3x4; first stage executes 4 edges in
+        // parallel: (0,1), (1,3), (4,9), (5,11).
+        let cfg = FpqaConfig::for_qubits(12, 4);
+        let edges = [(0u32, 1u32), (1, 3), (4, 9), (5, 11)];
+        let p = QaoaRouter::new().route_edges(12, &edges, 0.3, &cfg).unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        // create + 1 stage + recycle = 3 pulses.
+        assert_eq!(
+            p.stats().two_qubit_depth,
+            3,
+            "expected single-stage execution: {}",
+            p.schedule()
+        );
+    }
+
+    #[test]
+    fn all_edges_execute_exactly_once() {
+        let cfg = FpqaConfig::for_qubits(9, 3);
+        let edges = [(0, 1), (0, 2), (1, 2), (3, 4), (4, 8), (2, 5), (6, 7)];
+        let p = QaoaRouter::new().route_edges(9, &edges, 0.4, &cfg).unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        let zz_count: usize = p
+            .schedule()
+            .rydberg_stages()
+            .map(|ops| {
+                ops.iter()
+                    .filter(|o| matches!(o.kind, crate::RydbergKind::Zz(_)))
+                    .count()
+            })
+            .sum();
+        assert_eq!(zz_count, edges.len());
+    }
+
+    #[test]
+    fn depth_grows_with_conflicts() {
+        // A star graph forces serial stages: every edge shares qubit 0's
+        // SLM atom as target or its ancilla as source.
+        let cfg = FpqaConfig::for_qubits(9, 3);
+        let star: Vec<(u32, u32)> = (1..9).map(|q| (0, q)).collect();
+        let p = QaoaRouter::new().route_edges(9, &star, 0.1, &cfg).unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        assert!(p.stats().two_qubit_depth > 3);
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let r = QaoaRouter::new();
+        assert!(matches!(
+            r.route_edges(4, &[(0, 0)], 0.1, &cfg),
+            Err(RouteError::InvalidEdge { .. })
+        ));
+        assert!(matches!(
+            r.route_edges(4, &[(0, 7)], 0.1, &cfg),
+            Err(RouteError::InvalidEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let p = QaoaRouter::new().route_edges(4, &[], 0.1, &cfg).unwrap();
+        assert_eq!(p.stats().two_qubit_gates, 0);
+    }
+
+    #[test]
+    fn qaoa_round_wraps_cost_layer() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let edges = [(0, 1), (2, 3)];
+        let p = QaoaRouter::new()
+            .route_qaoa_round(4, &edges, 0.7, 0.3, &cfg)
+            .unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        // 4 H + mixers 4 RX + ancilla hadamards.
+        assert!(p.stats().one_qubit_gates >= 8);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let p = QaoaRouter::new()
+            .route_edges(4, &[(0, 1), (1, 0)], 0.2, &cfg)
+            .unwrap();
+        // Normalised: a single edge.
+        assert_eq!(p.stats().two_qubit_gates, 8 + 1);
+    }
+}

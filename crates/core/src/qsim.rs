@@ -1,0 +1,744 @@
+//! The customised quantum-simulation router (Alg. 2).
+//!
+//! For each Pauli string `P` the compiled program implements
+//! `exp(-i θ/2 · P)` with flying ancillas:
+//!
+//! 1. **basis change** — 1Q layer mapping `X`/`Y` factors onto `Z`;
+//! 2. **fan-out** — the root (smallest-index support qubit) is copied onto
+//!    `m` ancillas sitting on the AOD *diagonal*, by recursive doubling
+//!    under the movement constraints (`O(log m)` pulses, the paper's
+//!    geometric-progression fan-out);
+//! 3. **absorb** — repeatedly find the *longest chain* of remaining target
+//!    qubits in the lower-right-domination DAG (Alg. 2's compatibility
+//!    graph, solved by DP) and absorb all of its qubits in **one** pulse:
+//!    ancilla `k` flies to chain node `k` and executes `CNOT(target →
+//!    ancilla)`;
+//! 4. **combine** — an adjacent-pair CNOT ladder folds the partial
+//!    parities into the last ancilla (root parity fixed up when `m` is
+//!    even);
+//! 5. one `Rz(θ)`, then exact uncomputation of 4–2 and the inverse basis
+//!    change.
+//!
+//! The number of copies `m` is chosen per string by minimising the
+//! resulting depth estimate (≈ `2·(log₂ m + Σ⌈chainᵢ/m⌉ + m)`), which lands
+//! at `Θ(√N)` for weight-`N` strings — the paper's asymptotic.
+//!
+//! Correctness of the construction (including ancilla cleanness) is
+//! verified against reference circuits by the test-suite via `qpilot-sim`.
+
+use qpilot_circuit::{Circuit, Gate, PauliString, Qubit};
+use qpilot_arch::GridCoord;
+
+use crate::error::RouteError;
+use crate::motion::{anchored_coords, axis_coords, initial_coords, park_col_base, park_row_base,
+                    OFFSET_MIN};
+use crate::schedule::{AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, Stage,
+                      TransferOp};
+use crate::FpqaConfig;
+
+/// Options for [`QsimRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QsimRouterOptions {
+    /// Upper bound on fan-out copies per string (default: AOD grid limit).
+    pub max_copies: Option<usize>,
+}
+
+/// The quantum-simulation router (Alg. 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::PauliString;
+/// use qpilot_core::{qsim::QsimRouter, FpqaConfig};
+///
+/// let strings: Vec<PauliString> = vec!["ZIZZ".parse().unwrap()];
+/// let cfg = FpqaConfig::for_qubits(4, 2);
+/// let program = QsimRouter::new().route_strings(&strings, 0.5, &cfg).unwrap();
+/// assert!(program.stats().two_qubit_depth > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QsimRouter {
+    options: QsimRouterOptions,
+}
+
+impl QsimRouter {
+    /// Creates a router with default options.
+    pub fn new() -> Self {
+        QsimRouter::default()
+    }
+
+    /// Creates a router with explicit options.
+    pub fn with_options(options: QsimRouterOptions) -> Self {
+        QsimRouter { options }
+    }
+
+    /// Routes the evolution `Π_s exp(-i θ/2 P_s)` for a uniform angle.
+    ///
+    /// # Errors
+    ///
+    /// See [`QsimRouter::route_weighted`].
+    pub fn route_strings(
+        &self,
+        strings: &[PauliString],
+        theta: f64,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, RouteError> {
+        let weighted: Vec<(PauliString, f64)> =
+            strings.iter().map(|s| (s.clone(), theta)).collect();
+        self.route_weighted(&weighted, config)
+    }
+
+    /// Routes the evolution of each `(string, angle)` pair in order.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::TooManyQubits`] if a string is wider than the data
+    ///   register.
+    pub fn route_weighted(
+        &self,
+        strings: &[(PauliString, f64)],
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, RouteError> {
+        for (s, _) in strings {
+            if s.num_qubits() as u32 > config.num_data() {
+                return Err(RouteError::TooManyQubits {
+                    required: s.num_qubits() as u32,
+                    available: config.num_data(),
+                });
+            }
+        }
+        let cap = config
+            .aod_rows()
+            .min(config.aod_cols())
+            .min(self.options.max_copies.unwrap_or(usize::MAX))
+            .max(1);
+
+        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        let mut cur = initial_coords(schedule.aod_rows, schedule.aod_cols, config);
+        for (string, theta) in strings {
+            self.append_string(&mut schedule, &mut cur, config, string, *theta, cap)?;
+        }
+        Ok(CompiledProgram::new(schedule))
+    }
+
+    fn append_string(
+        &self,
+        schedule: &mut Schedule,
+        cur: &mut (Vec<f64>, Vec<f64>),
+        config: &FpqaConfig,
+        string: &PauliString,
+        theta: f64,
+        cap: usize,
+    ) -> Result<(), RouteError> {
+        let support = string.support();
+        if support.is_empty() {
+            return Ok(());
+        }
+
+        // Basis change (1Q, data qubits).
+        let mut pre = Circuit::new(config.num_data());
+        string.append_basis_change(&mut pre);
+        if !pre.is_empty() {
+            schedule.push(Stage::Raman(pre.gates().to_vec()));
+        }
+
+        let root = support[0];
+        if support.len() == 1 {
+            schedule.push(Stage::Raman(vec![Gate::Rz(root, theta)]));
+        } else {
+            self.append_parity_rotation(schedule, cur, config, root, &support[1..], theta, cap);
+        }
+
+        let mut post = Circuit::new(config.num_data());
+        string.append_basis_change_inverse(&mut post);
+        if !post.is_empty() {
+            schedule.push(Stage::Raman(post.gates().to_vec()));
+        }
+        Ok(())
+    }
+
+    /// Emits `exp(-i θ/2 Z_root ⊗ Z_t1 ⊗ … )` (all-Z string) with flying
+    /// ancillas.
+    #[allow(clippy::too_many_arguments)]
+    fn append_parity_rotation(
+        &self,
+        schedule: &mut Schedule,
+        cur: &mut (Vec<f64>, Vec<f64>),
+        config: &FpqaConfig,
+        root: Qubit,
+        targets: &[Qubit],
+        theta: f64,
+        cap: usize,
+    ) {
+        let coords: Vec<GridCoord> = targets.iter().map(|q| config.coord_of(q.raw())).collect();
+        let chains = chain_cover(&coords);
+        let m = choose_copies(&chains, targets.len(), cap);
+
+        // All copies live on the AOD diagonal: copy k at cross (k, k).
+        let copies: Vec<AncillaId> = (0..m).map(|_| schedule.fresh_ancilla()).collect();
+
+        let mut fwd = PhaseBuilder::new(cur.clone());
+        build_fanout(&mut fwd, schedule, config, root, &copies);
+        build_absorb(&mut fwd, schedule, config, targets, &coords, &chains, &copies);
+        build_combine(&mut fwd, schedule, config, &copies);
+        if m.is_multiple_of(2) {
+            build_root_fix(&mut fwd, schedule, config, root, &copies);
+        }
+
+        // Emit forward, rotation, mirror. Ancilla loads inside the forward
+        // phase reverse into unloads at the mirrored points, where the
+        // uncomputation has just returned those copies to |0⟩.
+        let rotation = Stage::Raman(vec![Gate::Rz(
+            schedule.ancilla_qubit(copies[m - 1]),
+            theta,
+        )]);
+        let (forward, reversed, end) = fwd.into_stages();
+        for s in forward {
+            schedule.push(s);
+        }
+        schedule.push(rotation);
+        for s in reversed {
+            schedule.push(s);
+        }
+        *cur = end;
+    }
+}
+
+/// Current `(row_y, col_x)` AOD coordinates threaded between phases.
+type AxisCoords = (Vec<f64>, Vec<f64>);
+
+/// Records forward stages and produces the exact reverse sequence (all
+/// forward pulses are CNOT/CZ layers, which are self-inverse; Raman layers
+/// are Hadamard layers).
+struct PhaseBuilder {
+    stages: Vec<Stage>,
+    /// Coordinates *before* each stage (parallel to `stages`).
+    pre: Vec<(Vec<f64>, Vec<f64>)>,
+    cur: (Vec<f64>, Vec<f64>),
+}
+
+impl PhaseBuilder {
+    fn new(cur: (Vec<f64>, Vec<f64>)) -> Self {
+        PhaseBuilder {
+            stages: Vec::new(),
+            pre: Vec::new(),
+            cur,
+        }
+    }
+
+    fn mv(&mut self, row_y: Vec<f64>, col_x: Vec<f64>) {
+        self.pre.push(self.cur.clone());
+        self.cur = (row_y.clone(), col_x.clone());
+        self.stages.push(Stage::Move { row_y, col_x });
+    }
+
+    fn raman(&mut self, gates: Vec<Gate>) {
+        self.pre.push(self.cur.clone());
+        self.stages.push(Stage::Raman(gates));
+    }
+
+    fn rydberg(&mut self, ops: Vec<RydbergOp>) {
+        self.pre.push(self.cur.clone());
+        self.stages.push(Stage::Rydberg(ops));
+    }
+
+    /// Loads fresh ancillas; the reversal emits the matching unloads at the
+    /// mirrored position (where uncomputation has reset them to `|0⟩`).
+    fn load(&mut self, ops: Vec<TransferOp>) {
+        debug_assert!(ops.iter().all(|o| o.load), "phase transfers must be loads");
+        self.pre.push(self.cur.clone());
+        self.stages.push(Stage::Transfer(ops));
+    }
+
+    /// Emits a CNOT layer `control -> target` (H · CZ · H on targets).
+    fn cnot_layer(&mut self, schedule: &Schedule, pairs: &[(AtomRef, AtomRef)]) {
+        let h: Vec<Gate> = pairs
+            .iter()
+            .map(|&(_, t)| Gate::H(schedule.qubit_of(t)))
+            .collect();
+        self.raman(h.clone());
+        self.rydberg(pairs.iter().map(|&(c, t)| RydbergOp::cz(c, t)).collect());
+        self.raman(h);
+    }
+
+    /// Returns `(forward, reversed, final_coords)`.
+    fn into_stages(self) -> (Vec<Stage>, Vec<Stage>, AxisCoords) {
+        let mut reversed = Vec::with_capacity(self.stages.len());
+        for (i, stage) in self.stages.iter().enumerate().rev() {
+            match stage {
+                Stage::Move { .. } => {
+                    let (row_y, col_x) = self.pre[i].clone();
+                    reversed.push(Stage::Move { row_y, col_x });
+                }
+                Stage::Transfer(ops) => {
+                    reversed.push(Stage::Transfer(
+                        ops.iter()
+                            .map(|o| TransferOp {
+                                load: !o.load,
+                                ..*o
+                            })
+                            .collect(),
+                    ));
+                }
+                other => reversed.push(other.clone()),
+            }
+        }
+        let end = self
+            .pre
+            .first()
+            .cloned()
+            .unwrap_or_else(|| self.cur.clone());
+        // After the reversed stages the grid is back at the position that
+        // preceded the first forward stage.
+        let end = if self.stages.iter().any(|s| matches!(s, Stage::Move { .. })) {
+            end
+        } else {
+            self.cur.clone()
+        };
+        (self.stages, reversed, end)
+    }
+}
+
+/// Greedy chain cover of the lower-right-domination DAG: repeatedly extract
+/// the longest weakly-monotone chain (O(n²) DP per round).
+pub(crate) fn chain_cover(coords: &[GridCoord]) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..coords.len()).collect();
+    // Sort once by (row, col): domination implies this order.
+    remaining.sort_by_key(|&i| (coords[i].row, coords[i].col));
+    let mut chains = Vec::new();
+    while !remaining.is_empty() {
+        let n = remaining.len();
+        let mut best_len = vec![1usize; n];
+        let mut pred = vec![usize::MAX; n];
+        for i in 0..n {
+            for j in 0..i {
+                let (a, b) = (coords[remaining[j]], coords[remaining[i]]);
+                if a.dominates_weakly(&b) && best_len[j] + 1 > best_len[i] {
+                    best_len[i] = best_len[j] + 1;
+                    pred[i] = j;
+                }
+            }
+        }
+        let mut at = (0..n).max_by_key(|&i| best_len[i]).expect("non-empty");
+        let mut chain_local = Vec::with_capacity(best_len[at]);
+        loop {
+            chain_local.push(at);
+            if pred[at] == usize::MAX {
+                break;
+            }
+            at = pred[at];
+        }
+        chain_local.reverse();
+        let chain: Vec<usize> = chain_local.iter().map(|&i| remaining[i]).collect();
+        let dead: Vec<usize> = chain_local;
+        let mut keep = Vec::with_capacity(n - dead.len());
+        for (i, &node) in remaining.iter().enumerate() {
+            if !dead.contains(&i) {
+                keep.push(node);
+            }
+        }
+        remaining = keep;
+        chains.push(chain);
+    }
+    chains
+}
+
+/// Picks the copy count minimising estimated depth (gates break ties).
+fn choose_copies(chains: &[Vec<usize>], num_targets: usize, cap: usize) -> usize {
+    let longest = chains.iter().map(|c| c.len()).max().unwrap_or(1);
+    let sqrt_m = (num_targets as f64).sqrt().ceil() as usize + 1;
+    let m_max = longest.min(sqrt_m).min(cap).max(1);
+    let mut best = (usize::MAX, usize::MAX, 1usize);
+    for m in 1..=m_max {
+        let fanout = 1 + (m as f64).log2().ceil() as usize;
+        let absorb: usize = chains.iter().map(|c| c.len().div_ceil(m)).sum();
+        let combine = m - 1 + usize::from(m % 2 == 0);
+        let depth = 2 * (fanout + absorb + combine);
+        let gates = 2 * (m + num_targets + combine);
+        if (depth, gates) < (best.0, best.1) {
+            best = (depth, gates, m);
+        }
+    }
+    best.2
+}
+
+/// Staging-row fan-out by recursive doubling: round with step `h` copies
+/// every filled multiple of `2h` onto index `+h`. Copies are transferred in
+/// right before their round, so unused crosses stay empty and no loaded
+/// atom is ever caught between a pair's tightly-squeezed coordinates.
+fn build_fanout(
+    fwd: &mut PhaseBuilder,
+    schedule: &Schedule,
+    config: &FpqaConfig,
+    root: Qubit,
+    copies: &[AncillaId],
+) {
+    let m = copies.len();
+    let pitch = config.pitch_um();
+    let off = OFFSET_MIN + 0.35;
+
+    // Seed: copy 0 flies to the root qubit.
+    fwd.load(vec![TransferOp {
+        ancilla: copies[0],
+        row: 0,
+        col: 0,
+        load: true,
+    }]);
+    let root_coord = config.coord_of(root.raw());
+    let seed_rows = anchored_coords(
+        &[(0, config.slm().row_y(root_coord.row) + off)],
+        schedule.aod_rows,
+        pitch,
+    );
+    let seed_cols = anchored_coords(
+        &[(0, config.slm().col_x(root_coord.col) + off)],
+        schedule.aod_cols,
+        pitch,
+    );
+    fwd.mv(seed_rows, seed_cols);
+    fwd.cnot_layer(
+        schedule,
+        &[(AtomRef::Data(root.raw()), AtomRef::Ancilla(copies[0]))],
+    );
+    if m == 1 {
+        return;
+    }
+
+    // Doubling rounds at a staging band below the array.
+    let stage_base_y = park_row_base(config);
+    let stage_base_x = 0.0;
+    let mut h = m.next_power_of_two() / 2;
+    while h >= 1 {
+        // Pairs (a, a+h) for a in multiples of 2h with a+h < m.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut a = 0;
+        while a + h < m {
+            pairs.push((a, a + h));
+            a += 2 * h;
+        }
+        if pairs.is_empty() {
+            h /= 2;
+            continue;
+        }
+        // Fresh copies join the grid now.
+        fwd.load(
+            pairs
+                .iter()
+                .map(|&(_, b)| TransferOp {
+                    ancilla: copies[b],
+                    row: b,
+                    col: b,
+                    load: true,
+                })
+                .collect(),
+        );
+        // Loaded set after the transfers: multiples of h (within range).
+        let loaded: Vec<usize> = (0..m).filter(|i| i % h == 0).collect();
+        // Assign slot positions: walk loaded indices; paired indices share
+        // a slot (source at s, new at s + 0.5), lone ones get their own.
+        let mut row_anchors: Vec<(usize, f64)> = Vec::new();
+        let mut slot = 0usize;
+        let mut i = 0;
+        while i < loaded.len() {
+            let idx = loaded[i];
+            let paired_with = pairs
+                .iter()
+                .find(|&&(a, b)| a == idx && loaded.get(i + 1) == Some(&b))
+                .map(|&(_, b)| b);
+            if let Some(b) = paired_with {
+                let base = stage_base_y + slot as f64 * pitch;
+                row_anchors.push((idx, base));
+                row_anchors.push((b, base + 0.5));
+                i += 2;
+            } else {
+                row_anchors.push((idx, stage_base_y + slot as f64 * pitch));
+                i += 1;
+            }
+            slot += 1;
+        }
+        let col_anchors: Vec<(usize, f64)> = row_anchors
+            .iter()
+            .map(|&(idx, y)| (idx, y - stage_base_y + stage_base_x))
+            .collect();
+        fwd.mv(
+            anchored_coords(&row_anchors, schedule.aod_rows, pitch),
+            anchored_coords(&col_anchors, schedule.aod_cols, pitch),
+        );
+        fwd.cnot_layer(
+            schedule,
+            &pairs
+                .iter()
+                .map(|&(a, b)| (AtomRef::Ancilla(copies[a]), AtomRef::Ancilla(copies[b])))
+                .collect::<Vec<_>>(),
+        );
+        if h == 1 {
+            break;
+        }
+        h /= 2;
+    }
+}
+
+/// Longest-chain absorption: one pulse per (possibly truncated) chain.
+fn build_absorb(
+    fwd: &mut PhaseBuilder,
+    schedule: &Schedule,
+    config: &FpqaConfig,
+    targets: &[Qubit],
+    coords: &[GridCoord],
+    chains: &[Vec<usize>],
+    copies: &[AncillaId],
+) {
+    let m = copies.len();
+    let pitch = config.pitch_um();
+    for chain in chains {
+        for segment in chain.chunks(m) {
+            let rows: Vec<usize> = segment.iter().map(|&t| coords[t].row).collect();
+            let cols: Vec<usize> = segment.iter().map(|&t| coords[t].col).collect();
+            let row_y = axis_coords(&rows, schedule.aod_rows, pitch, park_row_base(config));
+            let col_x = axis_coords(&cols, schedule.aod_cols, pitch, park_col_base(config));
+            fwd.mv(row_y, col_x);
+            let pairs: Vec<(AtomRef, AtomRef)> = segment
+                .iter()
+                .enumerate()
+                .map(|(k, &t)| {
+                    (
+                        AtomRef::Data(targets[t].raw()),
+                        AtomRef::Ancilla(copies[k]),
+                    )
+                })
+                .collect();
+            fwd.cnot_layer(schedule, &pairs);
+        }
+    }
+}
+
+/// Adjacent-pair CNOT ladder folding all partial parities into the last
+/// copy.
+fn build_combine(
+    fwd: &mut PhaseBuilder,
+    schedule: &Schedule,
+    config: &FpqaConfig,
+    copies: &[AncillaId],
+) {
+    let m = copies.len();
+    if m < 2 {
+        return;
+    }
+    let pitch = config.pitch_um();
+    let base_y = park_row_base(config);
+    for k in 0..(m - 1) {
+        // Everything on a one-pitch ladder; the active pair squeezed.
+        let mut row_anchors = Vec::with_capacity(m);
+        for i in 0..m {
+            let y = match i.cmp(&(k + 1)) {
+                std::cmp::Ordering::Less => base_y + i as f64 * pitch,
+                std::cmp::Ordering::Equal => base_y + k as f64 * pitch + 0.5,
+                std::cmp::Ordering::Greater => base_y + i as f64 * pitch,
+            };
+            row_anchors.push((i, y));
+        }
+        let col_anchors: Vec<(usize, f64)> =
+            row_anchors.iter().map(|&(i, y)| (i, y - base_y)).collect();
+        fwd.mv(
+            anchored_coords(&row_anchors, schedule.aod_rows, pitch),
+            anchored_coords(&col_anchors, schedule.aod_cols, pitch),
+        );
+        fwd.cnot_layer(
+            schedule,
+            &[(
+                AtomRef::Ancilla(copies[k]),
+                AtomRef::Ancilla(copies[k + 1]),
+            )],
+        );
+    }
+}
+
+/// Adds the root's own parity when `m` is even: `CNOT(root → last copy)`.
+///
+/// Spent copies (indices `< m-1`) ride along up-left of the root on grid
+/// *midpoints* (`pitch/2` off every SLM row and column), which keeps them
+/// `> 2.5·r_b` from every atom while preserving AOD order.
+fn build_root_fix(
+    fwd: &mut PhaseBuilder,
+    schedule: &Schedule,
+    config: &FpqaConfig,
+    root: Qubit,
+    copies: &[AncillaId],
+) {
+    let m = copies.len();
+    let pitch = config.pitch_um();
+    let half = pitch / 2.0;
+    let off = OFFSET_MIN + 0.35;
+    let rc = config.coord_of(root.raw());
+    let (root_y, root_x) = (
+        config.slm().row_y(rc.row),
+        config.slm().col_x(rc.col),
+    );
+    let mut row_anchors: Vec<(usize, f64)> = (0..m - 1)
+        .map(|i| (i, root_y - half - (m - 2 - i) as f64 * pitch))
+        .collect();
+    row_anchors.push((m - 1, root_y + off));
+    let mut col_anchors: Vec<(usize, f64)> = (0..m - 1)
+        .map(|i| (i, root_x - half - (m - 2 - i) as f64 * pitch))
+        .collect();
+    col_anchors.push((m - 1, root_x + off));
+    fwd.mv(
+        anchored_coords(&row_anchors, schedule.aod_rows, pitch),
+        anchored_coords(&col_anchors, schedule.aod_cols, pitch),
+    );
+    fwd.cnot_layer(
+        schedule,
+        &[(
+            AtomRef::Data(root.raw()),
+            AtomRef::Ancilla(copies[m - 1]),
+        )],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_schedule;
+
+    fn coords_of(pairs: &[(usize, usize)]) -> Vec<GridCoord> {
+        pairs.iter().map(|&(r, c)| GridCoord::new(r, c)).collect()
+    }
+
+    #[test]
+    fn chain_cover_single_chain() {
+        let coords = coords_of(&[(0, 0), (1, 1), (2, 2)]);
+        let chains = chain_cover(&coords);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].len(), 3);
+    }
+
+    #[test]
+    fn chain_cover_antichain() {
+        let coords = coords_of(&[(0, 2), (1, 1), (2, 0)]);
+        let chains = chain_cover(&coords);
+        assert_eq!(chains.len(), 3);
+    }
+
+    #[test]
+    fn chain_cover_covers_all_nodes_once() {
+        let coords = coords_of(&[(0, 1), (0, 2), (1, 0), (1, 1), (2, 1), (2, 3)]);
+        let chains = chain_cover(&coords);
+        let mut seen: Vec<usize> = chains.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn chain_cover_fig6_example() {
+        // Fig. 6: string on qubits {1,2,4,5,6,8,9,10,11} of a 3x4 grid,
+        // root 0 excluded. Longest chain has 5 nodes (1,5,6,10,11).
+        let coords = coords_of(&[
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+        ]);
+        let chains = chain_cover(&coords);
+        assert_eq!(chains[0].len(), 5);
+    }
+
+    #[test]
+    fn choose_copies_prefers_odd_small_cases() {
+        // One chain of 3: m = 1 avoids fan-out/combine overhead.
+        let chains = vec![vec![0, 1, 2]];
+        assert_eq!(choose_copies(&chains, 3, 16), 1);
+    }
+
+    #[test]
+    fn choose_copies_scales_with_targets() {
+        // 25 targets in 5 chains of 5: bigger m pays off.
+        let chains: Vec<Vec<usize>> = (0..5).map(|c| (c * 5..c * 5 + 5).collect()).collect();
+        let m = choose_copies(&chains, 25, 16);
+        assert!(m > 1, "m = {m}");
+    }
+
+    #[test]
+    fn route_single_zz_string() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let strings: Vec<PauliString> = vec!["ZZII".parse().unwrap()];
+        let p = QsimRouter::new().route_strings(&strings, 0.7, &cfg).unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        // m = 1: fanout CNOT + absorb CNOT, each twice = 4 2Q gates.
+        assert_eq!(p.stats().two_qubit_gates, 4);
+    }
+
+    #[test]
+    fn route_weight_one_string_is_pure_raman() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let strings: Vec<PauliString> = vec!["IZII".parse().unwrap()];
+        let p = QsimRouter::new().route_strings(&strings, 0.7, &cfg).unwrap();
+        assert_eq!(p.stats().two_qubit_gates, 0);
+        assert_eq!(p.schedule().num_ancillas, 0);
+    }
+
+    #[test]
+    fn route_xy_string_has_basis_changes() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let strings: Vec<PauliString> = vec!["XYII".parse().unwrap()];
+        let p = QsimRouter::new().route_strings(&strings, 0.3, &cfg).unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        // Basis change: X -> h; Y -> sdg, h; inverses: h; h, s: 6 gates
+        // plus 4 CNOT hadamards plus rz.
+        assert!(p.stats().one_qubit_gates >= 7);
+    }
+
+    #[test]
+    fn route_wide_string_uses_multiple_copies() {
+        let cfg = FpqaConfig::for_qubits(16, 4);
+        let strings: Vec<PauliString> = vec!["ZZZZZZZZZZZZZZZZ".parse().unwrap()];
+        let p = QsimRouter::new().route_strings(&strings, 0.4, &cfg).unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        assert!(p.schedule().num_ancillas > 1);
+        // All ancillas recycled.
+        let report = validate_schedule(p.schedule(), &cfg).unwrap();
+        assert_eq!(report.leftover_ancillas, 0);
+    }
+
+    #[test]
+    fn multiple_strings_compile_sequentially() {
+        let cfg = FpqaConfig::for_qubits(9, 3);
+        let strings: Vec<PauliString> = vec![
+            "ZZIIIIIII".parse().unwrap(),
+            "IIIZZIIII".parse().unwrap(),
+            "XIXIIIIIZ".parse().unwrap(),
+        ];
+        let p = QsimRouter::new().route_strings(&strings, 0.2, &cfg).unwrap();
+        let report = validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        assert_eq!(report.leftover_ancillas, 0);
+        assert!(p.stats().two_qubit_gates >= 12);
+    }
+
+    #[test]
+    fn too_wide_string_rejected() {
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let strings: Vec<PauliString> = vec!["ZZZZZZ".parse().unwrap()];
+        assert!(matches!(
+            QsimRouter::new().route_strings(&strings, 0.1, &cfg),
+            Err(RouteError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_scales_sublinearly_for_dense_strings() {
+        // Dense string on 36 qubits: depth must beat the 2(N-1) ladder.
+        let cfg = FpqaConfig::for_qubits(36, 6);
+        let s: PauliString = "Z".repeat(36).parse().unwrap();
+        let p = QsimRouter::new().route_strings(&[s], 0.5, &cfg).unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        assert!(
+            p.stats().two_qubit_depth < 2 * 35,
+            "depth {} not sublinear",
+            p.stats().two_qubit_depth
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! ASCII rendering of FPQA machine states, for debugging schedules.
+//!
+//! [`render_stage`] replays a schedule up to a given stage and draws the
+//! atom layout: SLM data atoms on their grid, flying ancillas wherever the
+//! AOD currently holds them. [`render_timeline`] strings together one frame
+//! per Rydberg pulse — handy for eyeballing a router's movement pattern:
+//!
+//! ```text
+//! ·  o  o──a
+//! ·  o  o  ·
+//! a──o  o  ·
+//! ```
+
+use std::collections::HashMap;
+
+use qpilot_arch::Position;
+
+use crate::motion::initial_coords;
+use crate::{AncillaId, FpqaConfig, Schedule, Stage};
+
+/// One renderable machine snapshot.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Index of the schedule stage this frame follows.
+    pub stage_index: usize,
+    /// Data-atom positions (index = data qubit).
+    pub data: Vec<Position>,
+    /// Loaded ancilla positions.
+    pub ancillas: Vec<(AncillaId, Position)>,
+    /// Pairs intended to interact if this frame precedes a pulse.
+    pub interacting: Vec<(Position, Position)>,
+}
+
+impl Frame {
+    /// Renders the frame on a half-pitch character grid.
+    pub fn to_ascii(&self, config: &FpqaConfig) -> String {
+        let cell = config.pitch_um() / 2.0;
+        let to_grid = |p: &Position| -> (i64, i64) {
+            ((p.x / cell).round() as i64, (p.y / cell).round() as i64)
+        };
+        let mut min_x = 0i64;
+        let mut min_y = 0i64;
+        let mut max_x = (config.slm().cols() as i64 - 1) * 2;
+        let mut max_y = (config.slm().rows() as i64 - 1) * 2;
+        for (_, p) in &self.ancillas {
+            let (x, y) = to_grid(p);
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        let width = (max_x - min_x + 1) as usize;
+        let height = (max_y - min_y + 1) as usize;
+        let mut canvas = vec![vec!['·'; width]; height];
+        for p in &self.data {
+            let (x, y) = to_grid(p);
+            canvas[(y - min_y) as usize][(x - min_x) as usize] = 'o';
+        }
+        for (_, p) in &self.ancillas {
+            let (x, y) = to_grid(p);
+            let c = &mut canvas[(y - min_y) as usize][(x - min_x) as usize];
+            *c = if *c == 'o' || *c == '@' { '@' } else { 'a' };
+        }
+        let mut out = String::with_capacity(height * (width + 1));
+        for row in canvas {
+            for ch in row {
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Replays the schedule and captures a frame after stage `stage_index`.
+///
+/// # Panics
+///
+/// Panics if `stage_index >= schedule.stages.len()`.
+pub fn render_stage(schedule: &Schedule, config: &FpqaConfig, stage_index: usize) -> Frame {
+    assert!(stage_index < schedule.stages.len(), "stage out of range");
+    let (mut row_y, mut col_x) = initial_coords(schedule.aod_rows, schedule.aod_cols, config);
+    let mut loaded: HashMap<AncillaId, (usize, usize)> = HashMap::new();
+    let mut interacting = Vec::new();
+    for (i, stage) in schedule.stages.iter().enumerate().take(stage_index + 1) {
+        match stage {
+            Stage::Move {
+                row_y: new_rows,
+                col_x: new_cols,
+            } => {
+                row_y.clone_from(new_rows);
+                col_x.clone_from(new_cols);
+            }
+            Stage::Transfer(ops) => {
+                for op in ops {
+                    if op.load {
+                        loaded.insert(op.ancilla, (op.row, op.col));
+                    } else {
+                        loaded.remove(&op.ancilla);
+                    }
+                }
+            }
+            Stage::Rydberg(ops) if i == stage_index => {
+                let pos = |atom: crate::AtomRef| -> Position {
+                    match atom {
+                        crate::AtomRef::Data(q) => config.position_of(q),
+                        crate::AtomRef::Ancilla(a) => {
+                            let (r, c) = loaded[&a];
+                            Position::new(col_x[c], row_y[r])
+                        }
+                    }
+                };
+                interacting = ops.iter().map(|op| (pos(op.a), pos(op.b))).collect();
+            }
+            _ => {}
+        }
+    }
+    let mut ancillas: Vec<(AncillaId, Position)> = loaded
+        .iter()
+        .map(|(&a, &(r, c))| (a, Position::new(col_x[c], row_y[r])))
+        .collect();
+    ancillas.sort_by_key(|&(a, _)| a);
+    Frame {
+        stage_index,
+        data: (0..schedule.num_data).map(|q| config.position_of(q)).collect(),
+        ancillas,
+        interacting,
+    }
+}
+
+/// Renders one frame per Rydberg pulse (capped at `max_frames`).
+pub fn render_timeline(
+    schedule: &Schedule,
+    config: &FpqaConfig,
+    max_frames: usize,
+) -> String {
+    let mut out = String::new();
+    let mut frames = 0;
+    for (i, stage) in schedule.stages.iter().enumerate() {
+        if let Stage::Rydberg(ops) = stage {
+            if frames >= max_frames {
+                out.push_str("...\n");
+                break;
+            }
+            let frame = render_stage(schedule, config, i);
+            out.push_str(&format!(
+                "-- pulse at stage {i} ({} ops) --\n{}",
+                ops.len(),
+                frame.to_ascii(config)
+            ));
+            frames += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::GenericRouter;
+    use qpilot_circuit::Circuit;
+
+    fn compiled() -> (Schedule, FpqaConfig) {
+        let mut c = Circuit::new(4);
+        c.cz(0, 3);
+        let cfg = FpqaConfig::for_qubits(4, 2);
+        let p = GenericRouter::new().route(&c, &cfg).unwrap();
+        (p.into_schedule(), cfg)
+    }
+
+    #[test]
+    fn frame_counts_atoms() {
+        let (s, cfg) = compiled();
+        let frame = render_stage(&s, &cfg, s.stages.len() - 1);
+        assert_eq!(frame.data.len(), 4);
+        // Last stage unloads the ancilla.
+        assert!(frame.ancillas.is_empty());
+    }
+
+    #[test]
+    fn mid_schedule_frame_shows_ancilla() {
+        let (s, cfg) = compiled();
+        // Find the first Rydberg stage: the ancilla must be loaded & near
+        // its partner.
+        let idx = s
+            .stages
+            .iter()
+            .position(|st| matches!(st, Stage::Rydberg(_)))
+            .expect("has pulses");
+        let frame = render_stage(&s, &cfg, idx);
+        assert_eq!(frame.ancillas.len(), 1);
+        assert_eq!(frame.interacting.len(), 1);
+        let (a, b) = frame.interacting[0];
+        assert!(a.distance(&b) <= cfg.rydberg().radius_um);
+    }
+
+    #[test]
+    fn ascii_contains_data_and_ancilla_marks() {
+        let (s, cfg) = compiled();
+        let idx = s
+            .stages
+            .iter()
+            .position(|st| matches!(st, Stage::Rydberg(_)))
+            .expect("has pulses");
+        let art = render_stage(&s, &cfg, idx).to_ascii(&cfg);
+        assert_eq!(art.matches('o').count() + art.matches('@').count(), 4);
+        assert!(art.contains('a') || art.contains('@'), "{art}");
+    }
+
+    #[test]
+    fn timeline_renders_each_pulse() {
+        let (s, cfg) = compiled();
+        let text = render_timeline(&s, &cfg, 10);
+        assert_eq!(text.matches("-- pulse").count(), 3); // create, cz, recycle
+    }
+
+    #[test]
+    fn timeline_caps_frames() {
+        let (s, cfg) = compiled();
+        let text = render_timeline(&s, &cfg, 1);
+        assert_eq!(text.matches("-- pulse").count(), 1);
+        assert!(text.ends_with("...\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn render_checks_stage_bounds() {
+        let (s, cfg) = compiled();
+        render_stage(&s, &cfg, s.stages.len());
+    }
+}

@@ -1,0 +1,409 @@
+//! The hardware-level schedule IR produced by every router.
+//!
+//! A [`Schedule`] is an ordered list of [`Stage`]s over two atom
+//! populations: SLM data atoms (identified by their data-qubit index) and
+//! AOD flying ancillas (identified by [`AncillaId`], each pinned to one AOD
+//! grid cross for its lifetime). The stage types map one-to-one onto the
+//! paper's Fig. 4 flow:
+//!
+//! * [`Stage::Raman`] — individually-addressed 1Q gates (Raman laser),
+//! * [`Stage::Transfer`] — atom transfer loading/unloading ancillas,
+//! * [`Stage::Move`] — an AOD reconfiguration (rows keep their order),
+//! * [`Stage::Rydberg`] — one global Rydberg pulse executing all listed
+//!   two-qubit interactions simultaneously.
+//!
+//! Gate accounting follows the paper: each [`RydbergOp`] is one native 2Q
+//! gate, each Rydberg stage is one unit of (2Q) circuit depth, and Raman
+//! gates count as 1Q gates.
+
+use std::fmt;
+
+use qpilot_circuit::{Gate, Qubit};
+
+/// Identifier of a flying ancilla, unique within one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AncillaId(pub u32);
+
+impl fmt::Display for AncillaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A reference to an atom: a fixed SLM data atom or a flying ancilla.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AtomRef {
+    /// SLM data atom holding data qubit `q`.
+    Data(u32),
+    /// AOD flying ancilla.
+    Ancilla(AncillaId),
+}
+
+impl fmt::Display for AtomRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomRef::Data(q) => write!(f, "q{q}"),
+            AtomRef::Ancilla(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// The interaction executed on one atom pair during a Rydberg pulse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RydbergKind {
+    /// A plain CZ.
+    Cz,
+    /// A CX implemented as `H(target) · CZ · H(target)`; the implicit
+    /// Hadamards are accounted as two extra 1Q gates but the op stays one
+    /// native 2Q gate and one depth unit.
+    CxInto {
+        /// Which operand is the target (`false` = `a`, `true` = `b`).
+        target_b: bool,
+    },
+    /// An Ising `ZZ(θ)` interaction (native-equivalent on neutral atoms;
+    /// the paper's QAOA accounting treats one routed edge as one 2Q gate).
+    Zz(f64),
+}
+
+/// One intended two-qubit interaction within a Rydberg stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RydbergOp {
+    /// First atom.
+    pub a: AtomRef,
+    /// Second atom.
+    pub b: AtomRef,
+    /// Interaction kind.
+    pub kind: RydbergKind,
+}
+
+impl RydbergOp {
+    /// A CZ between two atoms.
+    pub fn cz(a: AtomRef, b: AtomRef) -> Self {
+        RydbergOp {
+            a,
+            b,
+            kind: RydbergKind::Cz,
+        }
+    }
+
+    /// A CX with `control` and `target`.
+    pub fn cx(control: AtomRef, target: AtomRef) -> Self {
+        RydbergOp {
+            a: control,
+            b: target,
+            kind: RydbergKind::CxInto { target_b: true },
+        }
+    }
+
+    /// A ZZ(θ) interaction.
+    pub fn zz(a: AtomRef, b: AtomRef, theta: f64) -> Self {
+        RydbergOp {
+            a,
+            b,
+            kind: RydbergKind::Zz(theta),
+        }
+    }
+
+    /// The unordered atom pair.
+    pub fn pair(&self) -> (AtomRef, AtomRef) {
+        if self.a <= self.b {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        }
+    }
+}
+
+/// An atom-transfer operation: loading an ancilla into an AOD cross from
+/// the reservoir (`load = true`) or returning it (`load = false`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferOp {
+    /// The ancilla being moved.
+    pub ancilla: AncillaId,
+    /// AOD grid row of its cross.
+    pub row: usize,
+    /// AOD grid column of its cross.
+    pub col: usize,
+    /// `true` to load into the grid, `false` to unload.
+    pub load: bool,
+}
+
+/// One stage of a compiled schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// Parallel individually-addressed 1Q gates. Gates address the combined
+    /// register: data qubits `0..num_data`, ancilla `AncillaId(k)` at
+    /// `num_data + k`.
+    Raman(Vec<Gate>),
+    /// Atom transfers (all in parallel).
+    Transfer(Vec<TransferOp>),
+    /// AOD reconfiguration: absolute row `y` and column `x` coordinates.
+    Move {
+        /// New per-row y coordinates (strictly increasing).
+        row_y: Vec<f64>,
+        /// New per-column x coordinates (strictly increasing).
+        col_x: Vec<f64>,
+    },
+    /// One global Rydberg pulse; `ops` lists the intended interactions.
+    Rydberg(Vec<RydbergOp>),
+}
+
+/// Aggregate statistics of a schedule (the paper's cost metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScheduleStats {
+    /// Number of Rydberg pulses = compiled 2Q circuit depth.
+    pub two_qubit_depth: usize,
+    /// Native two-qubit gate count (one per [`RydbergOp`]).
+    pub two_qubit_gates: usize,
+    /// 1Q gate count (Raman gates plus 2 per CX-kind op for its implicit
+    /// Hadamards).
+    pub one_qubit_gates: usize,
+    /// Number of Move stages.
+    pub moves: usize,
+    /// Number of atom-transfer operations.
+    pub transfers: usize,
+    /// Peak number of simultaneously loaded ancillas.
+    pub peak_ancillas: usize,
+}
+
+/// A compiled FPQA program: the schedule plus identification of the data
+/// register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Number of data qubits.
+    pub num_data: u32,
+    /// Total distinct ancillas ever created.
+    pub num_ancillas: u32,
+    /// AOD grid rows.
+    pub aod_rows: usize,
+    /// AOD grid columns.
+    pub aod_cols: usize,
+    /// The stages in execution order.
+    pub stages: Vec<Stage>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new(num_data: u32, aod_rows: usize, aod_cols: usize) -> Self {
+        Schedule {
+            num_data,
+            num_ancillas: 0,
+            aod_rows,
+            aod_cols,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Register index of an ancilla in the lowered circuit.
+    pub fn ancilla_qubit(&self, a: AncillaId) -> Qubit {
+        Qubit::new(self.num_data + a.0)
+    }
+
+    /// Total register width of the lowered circuit.
+    pub fn total_qubits(&self) -> u32 {
+        self.num_data + self.num_ancillas
+    }
+
+    /// Allocates a fresh ancilla id.
+    pub fn fresh_ancilla(&mut self) -> AncillaId {
+        let id = AncillaId(self.num_ancillas);
+        self.num_ancillas += 1;
+        id
+    }
+
+    /// Appends a stage.
+    pub fn push(&mut self, stage: Stage) {
+        self.stages.push(stage);
+    }
+
+    /// Computes aggregate statistics in one pass.
+    pub fn stats(&self) -> ScheduleStats {
+        let mut s = ScheduleStats::default();
+        let mut loaded = 0usize;
+        for stage in &self.stages {
+            match stage {
+                Stage::Raman(gates) => s.one_qubit_gates += gates.len(),
+                Stage::Transfer(ops) => {
+                    s.transfers += ops.len();
+                    for op in ops {
+                        if op.load {
+                            loaded += 1;
+                        } else {
+                            loaded = loaded.saturating_sub(1);
+                        }
+                    }
+                    s.peak_ancillas = s.peak_ancillas.max(loaded);
+                }
+                Stage::Move { .. } => s.moves += 1,
+                Stage::Rydberg(ops) => {
+                    s.two_qubit_depth += 1;
+                    s.two_qubit_gates += ops.len();
+                    s.one_qubit_gates += ops
+                        .iter()
+                        .filter(|o| matches!(o.kind, RydbergKind::CxInto { .. }))
+                        .count()
+                        * 2;
+                }
+            }
+        }
+        s
+    }
+
+    /// Iterates over the Rydberg stages.
+    pub fn rydberg_stages(&self) -> impl Iterator<Item = &Vec<RydbergOp>> {
+        self.stages.iter().filter_map(|s| match s {
+            Stage::Rydberg(ops) => Some(ops),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        writeln!(
+            f,
+            "schedule[{} data + {} ancillas, {} stages, depth {}, {} 2Q gates]",
+            self.num_data,
+            self.num_ancillas,
+            self.stages.len(),
+            stats.two_qubit_depth,
+            stats.two_qubit_gates
+        )?;
+        for (i, stage) in self.stages.iter().enumerate() {
+            match stage {
+                Stage::Raman(g) => writeln!(f, "  {i:3}: raman x{}", g.len())?,
+                Stage::Transfer(t) => writeln!(f, "  {i:3}: transfer x{}", t.len())?,
+                Stage::Move { .. } => writeln!(f, "  {i:3}: move")?,
+                Stage::Rydberg(ops) => {
+                    write!(f, "  {i:3}: rydberg ")?;
+                    for (k, op) in ops.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}·{}", op.a, op.b)?;
+                    }
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A compiled program: schedule plus cached statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    schedule: Schedule,
+    stats: ScheduleStats,
+}
+
+impl CompiledProgram {
+    /// Wraps a finished schedule, computing its statistics.
+    pub fn new(schedule: Schedule) -> Self {
+        let stats = schedule.stats();
+        CompiledProgram { schedule, stats }
+    }
+
+    /// The schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Cached statistics.
+    pub fn stats(&self) -> &ScheduleStats {
+        &self.stats
+    }
+
+    /// Consumes the program, returning the schedule.
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schedule() -> Schedule {
+        let mut s = Schedule::new(2, 2, 2);
+        let a = s.fresh_ancilla();
+        s.push(Stage::Transfer(vec![TransferOp {
+            ancilla: a,
+            row: 0,
+            col: 0,
+            load: true,
+        }]));
+        s.push(Stage::Move {
+            row_y: vec![0.5, 10.0],
+            col_x: vec![0.5, 10.0],
+        });
+        s.push(Stage::Rydberg(vec![RydbergOp::cx(
+            AtomRef::Data(0),
+            AtomRef::Ancilla(a),
+        )]));
+        s.push(Stage::Raman(vec![Gate::Rz(Qubit::new(2), 0.5)]));
+        s.push(Stage::Rydberg(vec![RydbergOp::cz(
+            AtomRef::Ancilla(a),
+            AtomRef::Data(1),
+        )]));
+        s.push(Stage::Transfer(vec![TransferOp {
+            ancilla: a,
+            row: 0,
+            col: 0,
+            load: false,
+        }]));
+        s
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let s = sample_schedule();
+        let st = s.stats();
+        assert_eq!(st.two_qubit_depth, 2);
+        assert_eq!(st.two_qubit_gates, 2);
+        // 1 Raman rz + 2 implicit H for the CX.
+        assert_eq!(st.one_qubit_gates, 3);
+        assert_eq!(st.moves, 1);
+        assert_eq!(st.transfers, 2);
+        assert_eq!(st.peak_ancillas, 1);
+    }
+
+    #[test]
+    fn fresh_ancillas_are_sequential() {
+        let mut s = Schedule::new(3, 1, 1);
+        assert_eq!(s.fresh_ancilla(), AncillaId(0));
+        assert_eq!(s.fresh_ancilla(), AncillaId(1));
+        assert_eq!(s.total_qubits(), 5);
+        assert_eq!(s.ancilla_qubit(AncillaId(1)), Qubit::new(4));
+    }
+
+    #[test]
+    fn rydberg_op_pair_is_normalised() {
+        let op = RydbergOp::cz(AtomRef::Ancilla(AncillaId(0)), AtomRef::Data(3));
+        assert_eq!(
+            op.pair(),
+            (AtomRef::Data(3), AtomRef::Ancilla(AncillaId(0)))
+        );
+    }
+
+    #[test]
+    fn compiled_program_caches_stats() {
+        let p = CompiledProgram::new(sample_schedule());
+        assert_eq!(p.stats().two_qubit_gates, 2);
+        assert_eq!(p.schedule().num_ancillas, 1);
+    }
+
+    #[test]
+    fn display_lists_stages() {
+        let text = sample_schedule().to_string();
+        assert!(text.contains("rydberg q0·a0"));
+        assert!(text.contains("transfer x1"));
+    }
+
+    #[test]
+    fn rydberg_stage_iterator() {
+        let s = sample_schedule();
+        assert_eq!(s.rydberg_stages().count(), 2);
+    }
+}

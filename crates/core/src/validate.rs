@@ -1,0 +1,568 @@
+//! Geometric schedule validation.
+//!
+//! Routers never self-certify: [`validate_schedule`] replays a compiled
+//! [`Schedule`] against the machine model and independently recomputes what
+//! the hardware would do:
+//!
+//! * AOD moves must keep rows and columns strictly ordered (no crossing),
+//! * atom transfers must load empty crosses and unload loaded ones,
+//! * Raman gates must address data qubits or loaded ancillas,
+//! * at every Rydberg pulse, the set of atom pairs within the blockade
+//!   radius must equal the stage's intended ops **exactly**, and no pair may
+//!   sit in the non-deterministic hazard zone between `r_b` and
+//!   `2.5 · r_b`.
+//!
+//! Pair discovery uses a spatial hash, so validation stays near-linear in
+//! atom count and is usable even on 1000+ qubit schedules.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use qpilot_arch::{AodGrid, Position};
+
+use crate::{AtomRef, FpqaConfig, Schedule, Stage};
+
+/// A successful validation's summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ValidationReport {
+    /// Number of stages replayed.
+    pub stages: usize,
+    /// Number of Rydberg pulses checked.
+    pub rydberg_stages: usize,
+    /// Per-move maximum displacement over loaded atoms (µm).
+    pub move_max_displacements_um: Vec<f64>,
+    /// Ancillas still loaded at the end of the schedule.
+    pub leftover_ancillas: usize,
+}
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// An AOD move violated ordering or dimensions.
+    Aod {
+        /// Stage index.
+        stage: usize,
+        /// Underlying AOD error message.
+        message: String,
+    },
+    /// A transfer op was inconsistent (double load, unload of empty cross…).
+    Transfer {
+        /// Stage index.
+        stage: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A Raman gate addressed a missing atom or was not single-qubit.
+    Raman {
+        /// Stage index.
+        stage: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A Rydberg stage's intended ops reference unloaded/out-of-range atoms
+    /// or repeat an atom within the stage.
+    BadRydbergOp {
+        /// Stage index.
+        stage: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The pulse would execute a pair that is not in the intended set.
+    UnintendedInteraction {
+        /// Stage index.
+        stage: usize,
+        /// The two atoms.
+        pair: (String, String),
+        /// Their distance (µm).
+        distance_um: f64,
+    },
+    /// An intended pair is not within the blockade radius at pulse time.
+    MissedInteraction {
+        /// Stage index.
+        stage: usize,
+        /// The two atoms.
+        pair: (String, String),
+        /// Their distance (µm).
+        distance_um: f64,
+    },
+    /// A pair sits between `r_b` and the safety radius: non-deterministic.
+    Hazard {
+        /// Stage index.
+        stage: usize,
+        /// The two atoms.
+        pair: (String, String),
+        /// Their distance (µm).
+        distance_um: f64,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Aod { stage, message } => write!(f, "stage {stage}: aod: {message}"),
+            ValidateError::Transfer { stage, message } => {
+                write!(f, "stage {stage}: transfer: {message}")
+            }
+            ValidateError::Raman { stage, message } => write!(f, "stage {stage}: raman: {message}"),
+            ValidateError::BadRydbergOp { stage, message } => {
+                write!(f, "stage {stage}: rydberg op: {message}")
+            }
+            ValidateError::UnintendedInteraction { stage, pair, distance_um } => write!(
+                f,
+                "stage {stage}: unintended interaction {} - {} at {distance_um:.2}um",
+                pair.0, pair.1
+            ),
+            ValidateError::MissedInteraction { stage, pair, distance_um } => write!(
+                f,
+                "stage {stage}: intended pair {} - {} out of range at {distance_um:.2}um",
+                pair.0, pair.1
+            ),
+            ValidateError::Hazard { stage, pair, distance_um } => write!(
+                f,
+                "stage {stage}: hazard-zone pair {} - {} at {distance_um:.2}um",
+                pair.0, pair.1
+            ),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Replays `schedule` against `config`, checking every geometric rule.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] encountered, in stage order.
+pub fn validate_schedule(
+    schedule: &Schedule,
+    config: &FpqaConfig,
+) -> Result<ValidationReport, ValidateError> {
+    let pitch = config.pitch_um();
+    let slm = config.slm();
+    // Initial AOD state: rows parked below the array, columns parked to the
+    // right, so a schedule must Move before its first pulse involving
+    // ancillas near the array.
+    let init_rows: Vec<f64> = (0..schedule.aod_rows)
+        .map(|r| (slm.rows() + 1 + r) as f64 * pitch)
+        .collect();
+    let init_cols: Vec<f64> = (0..schedule.aod_cols)
+        .map(|c| (slm.cols() + 1 + c) as f64 * pitch)
+        .collect();
+    let mut aod = AodGrid::new(init_rows, init_cols).expect("parked coordinates are increasing");
+
+    let mut loaded: HashMap<crate::AncillaId, (usize, usize)> = HashMap::new();
+    let mut report = ValidationReport::default();
+
+    for (stage_idx, stage) in schedule.stages.iter().enumerate() {
+        report.stages += 1;
+        match stage {
+            Stage::Move { row_y, col_x } => {
+                let mv = aod
+                    .move_to(row_y.clone(), col_x.clone())
+                    .map_err(|e| ValidateError::Aod {
+                        stage: stage_idx,
+                        message: e.to_string(),
+                    })?;
+                let occupied: Vec<(usize, usize)> = loaded.values().copied().collect();
+                report
+                    .move_max_displacements_um
+                    .push(mv.max_displacement(occupied.iter()));
+            }
+            Stage::Transfer(ops) => {
+                for op in ops {
+                    if op.row >= schedule.aod_rows || op.col >= schedule.aod_cols {
+                        return Err(ValidateError::Transfer {
+                            stage: stage_idx,
+                            message: format!(
+                                "cross ({}, {}) outside {}x{} grid",
+                                op.row, op.col, schedule.aod_rows, schedule.aod_cols
+                            ),
+                        });
+                    }
+                    if op.load {
+                        if loaded.contains_key(&op.ancilla) {
+                            return Err(ValidateError::Transfer {
+                                stage: stage_idx,
+                                message: format!("{} loaded twice", op.ancilla),
+                            });
+                        }
+                        if loaded.values().any(|&c| c == (op.row, op.col)) {
+                            return Err(ValidateError::Transfer {
+                                stage: stage_idx,
+                                message: format!(
+                                    "cross ({}, {}) already occupied",
+                                    op.row, op.col
+                                ),
+                            });
+                        }
+                        loaded.insert(op.ancilla, (op.row, op.col));
+                    } else {
+                        match loaded.get(&op.ancilla) {
+                            Some(&c) if c == (op.row, op.col) => {
+                                loaded.remove(&op.ancilla);
+                            }
+                            Some(&c) => {
+                                return Err(ValidateError::Transfer {
+                                    stage: stage_idx,
+                                    message: format!(
+                                        "{} unloaded from ({}, {}) but is at ({}, {})",
+                                        op.ancilla, op.row, op.col, c.0, c.1
+                                    ),
+                                });
+                            }
+                            None => {
+                                return Err(ValidateError::Transfer {
+                                    stage: stage_idx,
+                                    message: format!("{} unloaded while not loaded", op.ancilla),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Stage::Raman(gates) => {
+                for g in gates {
+                    if !g.is_single_qubit() {
+                        return Err(ValidateError::Raman {
+                            stage: stage_idx,
+                            message: format!("two-qubit gate {g} in raman stage"),
+                        });
+                    }
+                    let q = g
+                        .operands()
+                        .into_iter()
+                        .next()
+                        .expect("1Q gate has an operand");
+                    let idx = q.raw();
+                    if idx >= schedule.num_data {
+                        let anc = crate::AncillaId(idx - schedule.num_data);
+                        if !loaded.contains_key(&anc) {
+                            return Err(ValidateError::Raman {
+                                stage: stage_idx,
+                                message: format!("gate {g} addresses unloaded {anc}"),
+                            });
+                        }
+                    }
+                }
+            }
+            Stage::Rydberg(ops) => {
+                report.rydberg_stages += 1;
+                check_rydberg(schedule, config, &aod, &loaded, stage_idx, ops)?;
+            }
+        }
+    }
+    report.leftover_ancillas = loaded.len();
+    Ok(report)
+}
+
+fn atom_name(a: AtomRef) -> String {
+    a.to_string()
+}
+
+fn check_rydberg(
+    schedule: &Schedule,
+    config: &FpqaConfig,
+    aod: &AodGrid,
+    loaded: &HashMap<crate::AncillaId, (usize, usize)>,
+    stage_idx: usize,
+    ops: &[crate::RydbergOp],
+) -> Result<(), ValidateError> {
+    // Collect atom positions: all data atoms + loaded ancillas.
+    let mut atoms: Vec<(AtomRef, Position)> = Vec::with_capacity(
+        schedule.num_data as usize + loaded.len(),
+    );
+    for q in 0..schedule.num_data {
+        atoms.push((AtomRef::Data(q), config.position_of(q)));
+    }
+    for (&anc, &(r, c)) in loaded {
+        atoms.push((AtomRef::Ancilla(anc), aod.position(r, c)));
+    }
+
+    // Check op well-formedness and build the intended pair set.
+    let mut intended: HashMap<(AtomRef, AtomRef), bool> = HashMap::new();
+    let mut used: Vec<AtomRef> = Vec::new();
+    for op in ops {
+        for atom in [op.a, op.b] {
+            match atom {
+                AtomRef::Data(q) if q >= schedule.num_data => {
+                    return Err(ValidateError::BadRydbergOp {
+                        stage: stage_idx,
+                        message: format!("data atom q{q} out of range"),
+                    });
+                }
+                AtomRef::Ancilla(a) if !loaded.contains_key(&a) => {
+                    return Err(ValidateError::BadRydbergOp {
+                        stage: stage_idx,
+                        message: format!("{a} not loaded"),
+                    });
+                }
+                _ => {}
+            }
+            if used.contains(&atom) {
+                return Err(ValidateError::BadRydbergOp {
+                    stage: stage_idx,
+                    message: format!("atom {atom} appears in two ops of one pulse"),
+                });
+            }
+            used.push(atom);
+        }
+        if intended.insert(op.pair(), false).is_some() {
+            return Err(ValidateError::BadRydbergOp {
+                stage: stage_idx,
+                message: format!("duplicate op on pair {} - {}", op.a, op.b),
+            });
+        }
+    }
+
+    // Spatial hash over the safety radius.
+    let rb = config.rydberg().radius_um;
+    let safety = rb * config.rydberg().safety_factor;
+    let cell = safety.max(1e-9);
+    let key = |p: &Position| -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    };
+    let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (i, (_, p)) in atoms.iter().enumerate() {
+        buckets.entry(key(p)).or_default().push(i);
+    }
+
+    for (i, (ref_a, pa)) in atoms.iter().enumerate() {
+        let (kx, ky) = key(pa);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(cellmates) = buckets.get(&(kx + dx, ky + dy)) else {
+                    continue;
+                };
+                for &j in cellmates {
+                    if j <= i {
+                        continue;
+                    }
+                    let (ref_b, pb) = &atoms[j];
+                    let d = pa.distance(pb);
+                    if d > safety {
+                        continue;
+                    }
+                    let pair = if ref_a <= ref_b {
+                        (*ref_a, *ref_b)
+                    } else {
+                        (*ref_b, *ref_a)
+                    };
+                    if d <= rb {
+                        match intended.get_mut(&pair) {
+                            Some(seen) => *seen = true,
+                            None => {
+                                return Err(ValidateError::UnintendedInteraction {
+                                    stage: stage_idx,
+                                    pair: (atom_name(*ref_a), atom_name(*ref_b)),
+                                    distance_um: d,
+                                });
+                            }
+                        }
+                    } else {
+                        return Err(ValidateError::Hazard {
+                            stage: stage_idx,
+                            pair: (atom_name(*ref_a), atom_name(*ref_b)),
+                            distance_um: d,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(((a, b), _)) = intended.iter().find(|(_, &seen)| !seen) {
+        // Recompute the distance for the error message.
+        let pos_of = |r: AtomRef| -> Position {
+            match r {
+                AtomRef::Data(q) => config.position_of(q),
+                AtomRef::Ancilla(anc) => {
+                    let (row, col) = loaded[&anc];
+                    aod.position(row, col)
+                }
+            }
+        };
+        let d = pos_of(*a).distance(&pos_of(*b));
+        return Err(ValidateError::MissedInteraction {
+            stage: stage_idx,
+            pair: (atom_name(*a), atom_name(*b)),
+            distance_um: d,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RydbergOp, TransferOp};
+
+    fn config() -> FpqaConfig {
+        FpqaConfig::for_qubits(4, 2) // 2x2 array, pitch 10
+    }
+
+    fn load(s: &mut Schedule, row: usize, col: usize) -> crate::AncillaId {
+        let a = s.fresh_ancilla();
+        s.push(Stage::Transfer(vec![TransferOp {
+            ancilla: a,
+            row,
+            col,
+            load: true,
+        }]));
+        a
+    }
+
+    #[test]
+    fn valid_single_ancilla_schedule() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        let a = load(&mut s, 0, 0);
+        // Ancilla next to data qubit 0 at (0, 0): offset 0.7 um up-left is
+        // within r_b = 1.5.
+        s.push(Stage::Move {
+            row_y: vec![0.7, 30.0],
+            col_x: vec![0.7, 30.0],
+        });
+        s.push(Stage::Rydberg(vec![RydbergOp::cz(
+            AtomRef::Data(0),
+            AtomRef::Ancilla(a),
+        )]));
+        // Fly to qubit 3 at (10, 10).
+        s.push(Stage::Move {
+            row_y: vec![10.7, 30.0],
+            col_x: vec![10.7, 30.0],
+        });
+        s.push(Stage::Rydberg(vec![RydbergOp::cz(
+            AtomRef::Ancilla(a),
+            AtomRef::Data(3),
+        )]));
+        s.push(Stage::Transfer(vec![TransferOp {
+            ancilla: a,
+            row: 0,
+            col: 0,
+            load: false,
+        }]));
+        let report = validate_schedule(&s, &cfg).expect("schedule should be valid");
+        assert_eq!(report.rydberg_stages, 2);
+        assert_eq!(report.leftover_ancillas, 0);
+        assert_eq!(report.move_max_displacements_um.len(), 2);
+        assert!(report.move_max_displacements_um[1] > 13.0); // diagonal hop
+    }
+
+    #[test]
+    fn unintended_interaction_detected() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        let _a = load(&mut s, 0, 0);
+        s.push(Stage::Move {
+            row_y: vec![0.7, 30.0],
+            col_x: vec![0.7, 30.0],
+        });
+        // Intend nothing involving the ancilla: the ancilla still couples
+        // to q0 -> unintended.
+        s.push(Stage::Rydberg(vec![]));
+        let err = validate_schedule(&s, &cfg).unwrap_err();
+        assert!(matches!(err, ValidateError::UnintendedInteraction { .. }), "{err}");
+    }
+
+    #[test]
+    fn missed_interaction_detected() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        let a = load(&mut s, 0, 0);
+        // Ancilla stays parked far away but the op claims a CZ.
+        s.push(Stage::Rydberg(vec![RydbergOp::cz(
+            AtomRef::Data(0),
+            AtomRef::Ancilla(a),
+        )]));
+        let err = validate_schedule(&s, &cfg).unwrap_err();
+        assert!(matches!(err, ValidateError::MissedInteraction { .. }), "{err}");
+    }
+
+    #[test]
+    fn hazard_zone_detected() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        let _a = load(&mut s, 0, 0);
+        // 2.0 um from q0: between r_b = 1.5 and safety 3.75.
+        s.push(Stage::Move {
+            row_y: vec![2.0, 30.0],
+            col_x: vec![0.0, 30.0],
+        });
+        s.push(Stage::Rydberg(vec![]));
+        let err = validate_schedule(&s, &cfg).unwrap_err();
+        assert!(matches!(err, ValidateError::Hazard { .. }), "{err}");
+    }
+
+    #[test]
+    fn crossing_move_rejected() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        s.push(Stage::Move {
+            row_y: vec![10.0, 0.0],
+            col_x: vec![0.0, 10.0],
+        });
+        let err = validate_schedule(&s, &cfg).unwrap_err();
+        assert!(matches!(err, ValidateError::Aod { .. }));
+    }
+
+    #[test]
+    fn double_load_rejected() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        let a = s.fresh_ancilla();
+        s.push(Stage::Transfer(vec![
+            TransferOp { ancilla: a, row: 0, col: 0, load: true },
+            TransferOp { ancilla: a, row: 0, col: 1, load: true },
+        ]));
+        let err = validate_schedule(&s, &cfg).unwrap_err();
+        assert!(matches!(err, ValidateError::Transfer { .. }));
+    }
+
+    #[test]
+    fn unload_of_unloaded_rejected() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        let a = s.fresh_ancilla();
+        s.push(Stage::Transfer(vec![TransferOp {
+            ancilla: a,
+            row: 0,
+            col: 0,
+            load: false,
+        }]));
+        assert!(validate_schedule(&s, &cfg).is_err());
+    }
+
+    #[test]
+    fn raman_on_unloaded_ancilla_rejected() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        let _ = s.fresh_ancilla();
+        s.push(Stage::Raman(vec![qpilot_circuit::Gate::H(
+            qpilot_circuit::Qubit::new(4),
+        )]));
+        let err = validate_schedule(&s, &cfg).unwrap_err();
+        assert!(matches!(err, ValidateError::Raman { .. }));
+    }
+
+    #[test]
+    fn shared_atom_in_pulse_rejected() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        s.push(Stage::Rydberg(vec![
+            RydbergOp::cz(AtomRef::Data(0), AtomRef::Data(1)),
+            RydbergOp::cz(AtomRef::Data(1), AtomRef::Data(2)),
+        ]));
+        let err = validate_schedule(&s, &cfg).unwrap_err();
+        assert!(matches!(err, ValidateError::BadRydbergOp { .. }));
+    }
+
+    #[test]
+    fn leftover_ancillas_reported() {
+        let cfg = config();
+        let mut s = Schedule::new(4, 2, 2);
+        let _a = load(&mut s, 1, 1); // parked initially: no interactions
+        let report = validate_schedule(&s, &cfg).unwrap();
+        assert_eq!(report.leftover_ancillas, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based invariants of the routers: every compiled schedule must
+//! pass the independent geometric validator, recycle all ancillas, and
+//! respect the paper's cost accounting — for arbitrary workloads.
+
+use proptest::prelude::*;
+
+use qpilot_circuit::{Circuit, PauliString};
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::legality::{greedy_legal_subset, set_compatible, GatePlacement};
+use qpilot_core::qaoa::QaoaRouter;
+use qpilot_core::qsim::QsimRouter;
+use qpilot_core::validate::validate_schedule;
+use qpilot_core::FpqaConfig;
+use qpilot_arch::GridCoord;
+
+fn arb_cz_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0..n, 0..n - 1), 1..max_gates).prop_map(move |pairs| {
+        let mut c = Circuit::new(n);
+        for (a, b) in pairs {
+            let b = if b >= a { b + 1 } else { b };
+            c.cz(a, b);
+        }
+        c
+    })
+}
+
+fn arb_pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    prop::collection::vec(0u8..4, n).prop_map(|codes| {
+        let paulis = codes
+            .iter()
+            .map(|c| match c {
+                0 => qpilot_circuit::Pauli::I,
+                1 => qpilot_circuit::Pauli::X,
+                2 => qpilot_circuit::Pauli::Y,
+                _ => qpilot_circuit::Pauli::Z,
+            })
+            .collect();
+        PauliString::new(paulis)
+    })
+}
+
+fn arb_edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n - 1), 1..max_edges).prop_map(move |pairs| {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (a, b) in pairs {
+            let b = if b >= a { b + 1 } else { b };
+            let e = (a.min(b), a.max(b));
+            if !edges.contains(&e) {
+                edges.push(e);
+            }
+        }
+        edges
+    })
+}
+
+fn arb_placements(max: usize) -> impl Strategy<Value = Vec<GatePlacement>> {
+    prop::collection::vec(((0usize..5, 0usize..5), (0usize..5, 0usize..5)), 1..max).prop_map(
+        |items| {
+            items
+                .into_iter()
+                .map(|((sr, sc), (tr, tc))| {
+                    GatePlacement::new(GridCoord::new(sr, sc), GridCoord::new(tr, tc))
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_subset_is_always_compatible(placements in arb_placements(12)) {
+        let subset = greedy_legal_subset(&placements);
+        prop_assert!(!subset.is_empty());
+        let chosen: Vec<GatePlacement> = subset.iter().map(|&i| placements[i]).collect();
+        prop_assert!(set_compatible(&chosen));
+        // Maximality: every rejected candidate conflicts with the subset.
+        for (i, p) in placements.iter().enumerate() {
+            if !subset.contains(&i) {
+                let mut extended = chosen.clone();
+                extended.push(*p);
+                prop_assert!(!set_compatible(&extended), "candidate {i} wrongly rejected");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_router_schedules_validate(c in arb_cz_circuit(9, 15), cols in 2usize..5) {
+        let cfg = FpqaConfig::for_qubits(9, cols);
+        let program = GenericRouter::new().route(&c, &cfg).expect("routing");
+        let report = validate_schedule(program.schedule(), &cfg).expect("validator");
+        prop_assert_eq!(report.leftover_ancillas, 0);
+        // Cost model: every routed CZ costs exactly 3 pulses of its stage.
+        prop_assert_eq!(program.stats().two_qubit_gates % 3, 0);
+        prop_assert_eq!(program.stats().two_qubit_depth % 3, 0);
+        prop_assert_eq!(program.stats().two_qubit_gates / 3, c.two_qubit_count());
+    }
+
+    #[test]
+    fn qsim_router_schedules_validate(
+        strings in prop::collection::vec(arb_pauli_string(6), 1..4),
+        cols in 2usize..4,
+    ) {
+        let cfg = FpqaConfig::for_qubits(6, cols);
+        let program = QsimRouter::new().route_strings(&strings, 0.4, &cfg).expect("routing");
+        let report = validate_schedule(program.schedule(), &cfg).expect("validator");
+        prop_assert_eq!(report.leftover_ancillas, 0);
+        // The uncompute mirror makes 2Q cost even, and the rotation is 1Q.
+        prop_assert_eq!(program.stats().two_qubit_gates % 2, 0);
+    }
+
+    #[test]
+    fn qaoa_router_schedules_validate(edges in arb_edges(9, 14), cols in 2usize..5) {
+        let cfg = FpqaConfig::for_qubits(9, cols);
+        let program = QaoaRouter::new().route_edges(9, &edges, 0.7, &cfg).expect("routing");
+        let report = validate_schedule(program.schedule(), &cfg).expect("validator");
+        prop_assert_eq!(report.leftover_ancillas, 0);
+        // Exactly 2n + |E| native 2Q gates (create/recycle + one per edge).
+        prop_assert_eq!(program.stats().two_qubit_gates, 2 * 9 + edges.len());
+        // Every edge fires exactly once as a ZZ op.
+        let zz: usize = program.schedule().rydberg_stages().map(|ops| ops.iter()
+            .filter(|o| matches!(o.kind, qpilot_core::RydbergKind::Zz(_))).count()).sum();
+        prop_assert_eq!(zz, edges.len());
+    }
+
+    #[test]
+    fn lowered_circuits_match_stats(c in arb_cz_circuit(6, 10)) {
+        let cfg = FpqaConfig::for_qubits(6, 3);
+        let program = GenericRouter::new().route(&c, &cfg).expect("routing");
+        let lowered = program.schedule().to_circuit();
+        prop_assert_eq!(lowered.two_qubit_count(), program.stats().two_qubit_gates);
+        // The schedule-level depth is an upper bound on the circuit-level
+        // depth (pulses are globally sequenced on hardware).
+        prop_assert!(lowered.two_qubit_depth() <= program.stats().two_qubit_depth);
+    }
+
+    #[test]
+    fn raman_gates_count_matches_lowering(c in arb_cz_circuit(6, 8)) {
+        let cfg = FpqaConfig::for_qubits(6, 3);
+        let program = GenericRouter::new().route(&c, &cfg).expect("routing");
+        let lowered = program.schedule().to_circuit();
+        prop_assert_eq!(lowered.single_qubit_count(), program.stats().one_qubit_gates);
+    }
+}

@@ -1,0 +1,292 @@
+//! Circuit equivalence checking.
+//!
+//! The flying-ancilla scheme promises (§2.2 of the paper) that a compiled
+//! circuit acting on *data ⊗ ancillas* equals the reference circuit on the
+//! data register with every ancilla returned to `|0⟩`. These helpers verify
+//! exactly that:
+//!
+//! * [`unitary_of`] / [`unitary_on_data`] reconstruct the (effective)
+//!   unitary by simulating basis-state columns,
+//! * [`verify_compiled`] compares a compiled circuit against a reference up
+//!   to one global phase and reports ancilla leakage,
+//! * [`random_state_fidelity`] is the cheap spot check used inside property
+//!   tests.
+
+use qpilot_circuit::Circuit;
+
+use crate::{Complex, StateVector};
+
+/// Tolerance for amplitude comparisons.
+pub const TOLERANCE: f64 = 1e-9;
+
+/// Returns `true` if two states are equal up to a single global phase.
+pub fn equal_up_to_global_phase(a: &StateVector, b: &StateVector, tol: f64) -> bool {
+    (a.inner(b).abs() - 1.0).abs() < tol
+}
+
+/// Applies both circuits to the same random state (seeded) and returns the
+/// fidelity between the results. 1.0 (within tolerance) for equivalent
+/// circuits; random-state collisions for inequivalent ones are measure-zero.
+///
+/// # Panics
+///
+/// Panics if the circuits have different widths.
+pub fn random_state_fidelity(c1: &Circuit, c2: &Circuit, seed: u64) -> f64 {
+    assert_eq!(c1.num_qubits(), c2.num_qubits(), "width mismatch");
+    let mut a = StateVector::random(c1.num_qubits(), seed);
+    let mut b = a.clone();
+    a.apply_circuit(c1);
+    b.apply_circuit(c2);
+    a.fidelity(&b)
+}
+
+/// Dense unitary of a circuit as column-major columns: `result[j]` is the
+/// state `U |j⟩`.
+///
+/// Cost is `2^{2n}`; keep `n` small (≤ 10).
+pub fn unitary_of(circuit: &Circuit) -> Vec<StateVector> {
+    let n = circuit.num_qubits();
+    (0..(1usize << n))
+        .map(|j| {
+            let mut sv = StateVector::basis(n, j);
+            sv.apply_circuit(circuit);
+            sv
+        })
+        .collect()
+}
+
+/// Probability mass outside the all-ancillas-`|0⟩` subspace, where the
+/// ancillas are qubits `num_data..`.
+pub fn ancilla_leakage(state: &StateVector, num_data: u32) -> f64 {
+    let data_dim = 1usize << num_data;
+    state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i / data_dim != 0)
+        .map(|(_, a)| a.abs_sq())
+        .sum()
+}
+
+/// Returns `true` if every ancilla (qubits `num_data..`) is `|0⟩`.
+pub fn ancillas_restored(state: &StateVector, num_data: u32) -> bool {
+    ancilla_leakage(state, num_data) < TOLERANCE
+}
+
+/// Effective unitary of `compiled` on the data register (qubits
+/// `0..num_data`), obtained by running every data basis state with ancillas
+/// initialised to `|0⟩`.
+///
+/// Returns `None` if any column leaks probability into the ancillas — the
+/// compiled circuit then simply is not an ancilla-clean implementation of
+/// any data unitary.
+pub fn unitary_on_data(compiled: &Circuit, num_data: u32) -> Option<Vec<StateVector>> {
+    assert!(
+        compiled.num_qubits() >= num_data,
+        "compiled circuit narrower than data register"
+    );
+    let total = compiled.num_qubits();
+    let data_dim = 1usize << num_data;
+    let mut columns = Vec::with_capacity(data_dim);
+    for j in 0..data_dim {
+        let mut sv = StateVector::basis(total, j);
+        sv.apply_circuit(compiled);
+        if !ancillas_restored(&sv, num_data) {
+            return None;
+        }
+        let col = StateVector::from_amplitudes(sv.amplitudes()[..data_dim].to_vec());
+        columns.push(col);
+    }
+    Some(columns)
+}
+
+/// Outcome of [`verify_compiled`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataEquivalence {
+    /// Whether the compiled circuit implements the reference on the data
+    /// register (up to one global phase) with clean ancillas.
+    pub equivalent: bool,
+    /// Worst-case probability mass leaked into ancillas over all columns.
+    pub max_ancilla_leakage: f64,
+    /// Worst-case deviation `max_j (1 - |⟨ref_j|compiled_j⟩|)` plus phase
+    /// consistency error across columns.
+    pub max_deviation: f64,
+}
+
+/// Verifies that `compiled` (over data + ancilla qubits, ancillas last and
+/// initialised `|0⟩`) implements `reference` (over the data register only),
+/// up to one global phase shared by all columns.
+///
+/// # Panics
+///
+/// Panics if widths are inconsistent.
+pub fn verify_compiled(compiled: &Circuit, reference: &Circuit) -> DataEquivalence {
+    let num_data = reference.num_qubits();
+    assert!(
+        compiled.num_qubits() >= num_data,
+        "compiled circuit narrower than reference"
+    );
+    let data_dim = 1usize << num_data;
+    let total = compiled.num_qubits();
+
+    let mut max_leak: f64 = 0.0;
+    let mut max_dev: f64 = 0.0;
+    let mut phase: Option<Complex> = None;
+
+    for j in 0..data_dim {
+        let mut full = StateVector::basis(total, j);
+        full.apply_circuit(compiled);
+        max_leak = max_leak.max(ancilla_leakage(&full, num_data));
+
+        let compiled_col = StateVector::from_amplitudes(full.amplitudes()[..data_dim].to_vec());
+        let mut ref_col = StateVector::basis(num_data, j);
+        ref_col.apply_circuit(reference);
+
+        // ⟨ref|compiled⟩ should be one common unit phase for all columns.
+        let ip = ref_col.inner(&compiled_col);
+        max_dev = max_dev.max((ip.abs() - 1.0).abs());
+        match phase {
+            None => phase = Some(ip),
+            Some(p) => max_dev = max_dev.max((ip - p).abs()),
+        }
+    }
+
+    DataEquivalence {
+        equivalent: max_leak < TOLERANCE && max_dev < TOLERANCE,
+        max_ancilla_leakage: max_leak,
+        max_deviation: max_dev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpilot_circuit::decompose;
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(2).cz(1, 2);
+        assert!(random_state_fidelity(&c, &c, 1) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn decomposed_circuit_matches_original() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).swap(1, 2).zz(0, 2, 0.4);
+        let native = decompose::to_cz_basis(&c);
+        assert!(random_state_fidelity(&c, &native, 2) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn different_circuits_differ() {
+        let mut a = Circuit::new(2);
+        a.cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(1, 0);
+        assert!(random_state_fidelity(&a, &b, 3) < 0.999);
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        // Rz(2π) = -I: differs from identity only by global phase.
+        let mut a = Circuit::new(1);
+        a.rz(0, std::f64::consts::TAU);
+        let b = Circuit::new(1);
+        let mut sa = StateVector::random(1, 4);
+        let mut sb = sa.clone();
+        sa.apply_circuit(&a);
+        sb.apply_circuit(&b);
+        assert!(equal_up_to_global_phase(&sa, &sb, 1e-10));
+        let res = verify_compiled(&a, &b);
+        assert!(res.equivalent, "{res:?}");
+    }
+
+    #[test]
+    fn relative_phase_is_not_ignored() {
+        // Z vs identity differ by a *relative* phase.
+        let mut a = Circuit::new(1);
+        a.z(0);
+        let b = Circuit::new(1);
+        let res = verify_compiled(&a, &b);
+        assert!(!res.equivalent);
+    }
+
+    #[test]
+    fn fanout_cz_identity_from_paper_sec_2_2() {
+        // CZ(q0, q2) == CNOT(q0->a) CZ(a, q2) CNOT(q0->a) with ancilla a.
+        let mut reference = Circuit::new(3);
+        reference.cz(0, 2);
+        let mut compiled = Circuit::new(4); // ancilla = q3
+        compiled.cx(0, 3).cz(3, 2).cx(0, 3);
+        let res = verify_compiled(&compiled, &reference);
+        assert!(res.equivalent, "{res:?}");
+    }
+
+    #[test]
+    fn fanout_zz_identity() {
+        // Same with a ZZ interaction (diagonal, so the theorem applies).
+        let mut reference = Circuit::new(3);
+        reference.zz(0, 2, 0.7);
+        let mut compiled = Circuit::new(4);
+        compiled.cx(0, 3).zz(3, 2, 0.7).cx(0, 3);
+        let res = verify_compiled(&compiled, &reference);
+        assert!(res.equivalent, "{res:?}");
+    }
+
+    #[test]
+    fn transversal_fanout_theorem_three_qubits() {
+        // Full §2.2 construction: three CZs routed through three ancillas
+        // in a single parallel step.
+        let mut reference = Circuit::new(3);
+        reference.cz(0, 1).cz(1, 2).cz(2, 0);
+        let mut compiled = Circuit::new(6);
+        // create: transversal CNOTs i -> i+3
+        compiled.cx(0, 3).cx(1, 4).cx(2, 5);
+        // interact: CZ(0+3,1), CZ(1+3,2), CZ(2+3,0) — all disjoint.
+        compiled.cz(3, 1).cz(4, 2).cz(5, 0);
+        // recycle
+        compiled.cx(0, 3).cx(1, 4).cx(2, 5);
+        let res = verify_compiled(&compiled, &reference);
+        assert!(res.equivalent, "{res:?}");
+    }
+
+    #[test]
+    fn dirty_ancilla_detected() {
+        let mut compiled = Circuit::new(2);
+        compiled.cx(0, 1); // entangles the "ancilla" q1 with data q0
+        let reference = Circuit::new(1);
+        let res = verify_compiled(&compiled, &reference);
+        assert!(!res.equivalent);
+        assert!(res.max_ancilla_leakage > 0.1);
+        assert_eq!(unitary_on_data(&compiled, 1), None);
+    }
+
+    #[test]
+    fn unitary_on_data_identity() {
+        let mut compiled = Circuit::new(3);
+        compiled.cx(0, 2).cx(0, 2); // net identity including ancilla
+        let cols = unitary_on_data(&compiled, 2).expect("clean ancillas");
+        for (j, col) in cols.iter().enumerate() {
+            assert!((col.probability(j) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unitary_of_hadamard() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let cols = unitary_of(&c);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((cols[0].amplitude(0).re - s).abs() < 1e-12);
+        assert!((cols[1].amplitude(1).re + s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ancilla_leakage_measures_mass() {
+        let mut sv = StateVector::zero(2);
+        sv.apply_circuit(Circuit::new(2).h(1));
+        assert!((ancilla_leakage(&sv, 1) - 0.5).abs() < 1e-12);
+        assert!(!ancillas_restored(&sv, 1));
+    }
+}

@@ -1,0 +1,44 @@
+//! Dense state-vector simulation for verifying Q-Pilot output.
+//!
+//! The routers in `qpilot-core` are validated end to end by simulating the
+//! compiled circuit (data qubits plus flying ancillas) and comparing its
+//! action on the data register against a reference circuit or unitary:
+//!
+//! * [`StateVector`] — a dense `2^n` amplitude vector with gate application
+//!   for the whole [`Gate`](qpilot_circuit::Gate) set,
+//! * [`equiv`] — equivalence checks: random-state fidelity, full-unitary
+//!   comparison up to global phase, and the *ancilla discipline* check that
+//!   every ancilla returns to `|0⟩`,
+//! * [`stabilizer`] — an Aaronson–Gottesman tableau for verifying Clifford
+//!   programs at the paper's full 100+ qubit scale.
+//!
+//! The simulator is deliberately simple (no SIMD, no chunked parallelism):
+//! correctness-checking circuits stay below ~20 qubits where a plain dense
+//! sweep is instant.
+//!
+//! # Example
+//!
+//! ```
+//! use qpilot_circuit::Circuit;
+//! use qpilot_sim::StateVector;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let mut sv = StateVector::zero(2);
+//! sv.apply_circuit(&bell);
+//! assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+pub mod equiv;
+pub mod stabilizer;
+mod state;
+
+pub use complex::Complex;
+pub use equiv::{ancillas_restored, equal_up_to_global_phase, random_state_fidelity, unitary_of,
+                unitary_on_data, DataEquivalence};
+pub use state::{StateVector, MAX_QUBITS};

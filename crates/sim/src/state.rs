@@ -1,0 +1,521 @@
+//! Dense state vectors and gate application.
+
+use std::fmt;
+
+use qpilot_circuit::{Circuit, Gate, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Complex;
+
+/// Maximum register width the simulator accepts (`2^24` amplitudes ≈ 268 MB
+/// would already be excessive for correctness checks).
+pub const MAX_QUBITS: u32 = 22;
+
+/// A dense state vector over `n` qubits.
+///
+/// Basis-state indexing is little-endian: bit `q` of the index is the value
+/// of [`Qubit`] `q`, so `|q1 q0⟩ = |10⟩` is index `0b10 = 2` with `q0 = 0`,
+/// `q1 = 1`.
+#[derive(Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: u32,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > MAX_QUBITS`.
+    pub fn zero(num_qubits: u32) -> Self {
+        Self::basis(num_qubits, 0)
+    }
+
+    /// The computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > MAX_QUBITS` or `index >= 2^num_qubits`.
+    pub fn basis(num_qubits: u32, index: usize) -> Self {
+        assert!(
+            num_qubits <= MAX_QUBITS,
+            "register of {num_qubits} qubits exceeds simulator limit {MAX_QUBITS}"
+        );
+        let dim = 1usize << num_qubits;
+        assert!(index < dim, "basis index {index} out of range");
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[index] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// A Haar-ish random state (i.i.d. Gaussian components, normalised),
+    /// deterministic in `seed`.
+    pub fn random(num_qubits: u32, seed: u64) -> Self {
+        assert!(num_qubits <= MAX_QUBITS, "register too wide");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 1usize << num_qubits;
+        // Box-Muller from uniform samples; avoids a distributions dependency.
+        let mut amps = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r = (-2.0 * u1.ln()).sqrt();
+            amps.push(Complex::new(r * u2.cos(), r * u2.sin()));
+        }
+        let mut sv = StateVector { num_qubits, amps };
+        sv.normalize();
+        sv
+    }
+
+    /// Builds a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two matching a register of at
+    /// most [`MAX_QUBITS`] qubits.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        let dim = amps.len();
+        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        let num_qubits = dim.trailing_zeros();
+        assert!(num_qubits <= MAX_QUBITS, "register too wide");
+        StateVector { num_qubits, amps }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The raw amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Amplitude of basis state `index`.
+    pub fn amplitude(&self, index: usize) -> Complex {
+        self.amps[index]
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].abs_sq()
+    }
+
+    /// The ℓ² norm (should be 1 for physical states).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Rescales to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalise the zero vector");
+        let inv = 1.0 / n;
+        for a in &mut self.amps {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn inner(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits, "width mismatch");
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).abs_sq()
+    }
+
+    /// Tensor product `self ⊗ |0…0⟩` over `extra` additional (higher-index)
+    /// qubits.
+    pub fn padded_with_zeros(&self, extra: u32) -> StateVector {
+        let mut out = StateVector::zero(self.num_qubits + extra);
+        out.amps[..self.dim()].copy_from_slice(&self.amps);
+        // zero() sets amplitude 1 at index 0; overwrite handled above since
+        // self.amps[0] lands there.
+        out
+    }
+
+    /// Probability that qubit `q` measures as `1`.
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        let bit = 1usize << q.index();
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.abs_sq())
+            .sum()
+    }
+
+    /// Applies a single gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is outside the register.
+    pub fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::H(q) => {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                self.apply_1q(
+                    q,
+                    [
+                        Complex::real(s),
+                        Complex::real(s),
+                        Complex::real(s),
+                        Complex::real(-s),
+                    ],
+                );
+            }
+            Gate::X(q) => self.apply_1q(q, [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO]),
+            Gate::Y(q) => self.apply_1q(
+                q,
+                [Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO],
+            ),
+            Gate::Z(q) => self.apply_phase(q, Complex::real(-1.0)),
+            Gate::S(q) => self.apply_phase(q, Complex::I),
+            Gate::Sdg(q) => self.apply_phase(q, -Complex::I),
+            Gate::T(q) => self.apply_phase(q, Complex::cis(std::f64::consts::FRAC_PI_4)),
+            Gate::Tdg(q) => self.apply_phase(q, Complex::cis(-std::f64::consts::FRAC_PI_4)),
+            Gate::Rx(q, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(
+                    q,
+                    [
+                        Complex::real(c),
+                        Complex::new(0.0, -s),
+                        Complex::new(0.0, -s),
+                        Complex::real(c),
+                    ],
+                );
+            }
+            Gate::Ry(q, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(
+                    q,
+                    [
+                        Complex::real(c),
+                        Complex::real(-s),
+                        Complex::real(s),
+                        Complex::real(c),
+                    ],
+                );
+            }
+            Gate::Rz(q, t) => {
+                let bit = self.bit(q);
+                let (p0, p1) = (Complex::cis(-t / 2.0), Complex::cis(t / 2.0));
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    *a *= if i & bit == 0 { p0 } else { p1 };
+                }
+            }
+            Gate::Cx(c, t) => {
+                let (cb, tb) = (self.bit(c), self.bit(t));
+                for i in 0..self.amps.len() {
+                    if i & cb != 0 && i & tb == 0 {
+                        self.amps.swap(i, i | tb);
+                    }
+                }
+            }
+            Gate::Cz(a, b) => {
+                let (ab, bb) = (self.bit(a), self.bit(b));
+                for (i, amp) in self.amps.iter_mut().enumerate() {
+                    if i & ab != 0 && i & bb != 0 {
+                        *amp = -*amp;
+                    }
+                }
+            }
+            Gate::Zz(a, b, t) => {
+                let (ab, bb) = (self.bit(a), self.bit(b));
+                let (even, odd) = (Complex::cis(-t / 2.0), Complex::cis(t / 2.0));
+                for (i, amp) in self.amps.iter_mut().enumerate() {
+                    let parity = ((i & ab != 0) as u8) ^ ((i & bb != 0) as u8);
+                    *amp *= if parity == 0 { even } else { odd };
+                }
+            }
+            Gate::Swap(a, b) => {
+                let (ab, bb) = (self.bit(a), self.bit(b));
+                for i in 0..self.amps.len() {
+                    if i & ab != 0 && i & bb == 0 {
+                        self.amps.swap(i, (i & !ab) | bb);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies every gate of `circuit` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the register.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit of {} qubits exceeds register of {}",
+            circuit.num_qubits(),
+            self.num_qubits
+        );
+        for g in circuit.iter() {
+            self.apply(g);
+        }
+    }
+
+    fn bit(&self, q: Qubit) -> usize {
+        assert!(
+            (q.raw()) < self.num_qubits,
+            "qubit {q} outside register of {} qubits",
+            self.num_qubits
+        );
+        1usize << q.index()
+    }
+
+    /// Generic 2×2 unitary application; `m = [m00, m01, m10, m11]`.
+    fn apply_1q(&mut self, q: Qubit, m: [Complex; 4]) {
+        let bit = self.bit(q);
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0] * a0 + m[1] * a1;
+                self.amps[j] = m[2] * a0 + m[3] * a1;
+            }
+        }
+    }
+
+    /// Diagonal 1Q gate `diag(1, phase)`.
+    fn apply_phase(&mut self, q: Qubit, phase: Complex) {
+        let bit = self.bit(q);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & bit != 0 {
+                *a *= phase;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for StateVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateVector[{} qubits; ", self.num_qubits)?;
+        let mut shown = 0;
+        for (i, a) in self.amps.iter().enumerate() {
+            if a.abs_sq() > 1e-18 {
+                if shown > 0 {
+                    write!(f, " + ")?;
+                }
+                write!(f, "({a})|{i:0width$b}⟩", width = self.num_qubits as usize)?;
+                shown += 1;
+                if shown >= 8 {
+                    write!(f, " + …")?;
+                    break;
+                }
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let sv = StateVector::zero(3);
+        assert_eq!(sv.dim(), 8);
+        assert_close(sv.probability(0), 1.0);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut sv = StateVector::zero(2);
+        sv.apply(&Gate::X(Qubit::new(1)));
+        assert_close(sv.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn h_makes_uniform() {
+        let mut sv = StateVector::zero(1);
+        sv.apply(&Gate::H(Qubit::new(0)));
+        assert_close(sv.probability(0), 0.5);
+        assert_close(sv.probability(1), 0.5);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sv = StateVector::zero(2);
+        sv.apply_circuit(&c);
+        assert_close(sv.probability(0b00), 0.5);
+        assert_close(sv.probability(0b11), 0.5);
+        assert_close(sv.probability(0b01), 0.0);
+    }
+
+    #[test]
+    fn cz_phases_only_11() {
+        let mut sv = StateVector::from_amplitudes(vec![Complex::real(0.5); 4]);
+        sv.apply(&Gate::Cz(Qubit::new(0), Qubit::new(1)));
+        assert_eq!(sv.amplitude(0b11), Complex::real(-0.5));
+        assert_eq!(sv.amplitude(0b01), Complex::real(0.5));
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut sv = StateVector::basis(2, 0b01);
+        sv.apply(&Gate::Swap(Qubit::new(0), Qubit::new(1)));
+        assert_close(sv.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn rz_phases() {
+        let mut sv = StateVector::basis(1, 1);
+        sv.apply(&Gate::Rz(Qubit::new(0), PI));
+        // e^{i pi/2} = i
+        assert!((sv.amplitude(1) - Complex::I).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_is_symmetric_and_diagonal() {
+        let mut a = StateVector::random(2, 7);
+        let mut b = a.clone();
+        a.apply(&Gate::Zz(Qubit::new(0), Qubit::new(1), 0.37));
+        b.apply(&Gate::Zz(Qubit::new(1), Qubit::new(0), 0.37));
+        assert!(a.fidelity(&b) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn zz_matches_cx_rz_cx() {
+        let theta = 0.81;
+        let mut direct = StateVector::random(2, 3);
+        let mut decomposed = direct.clone();
+        direct.apply(&Gate::Zz(Qubit::new(0), Qubit::new(1), theta));
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(1, theta).cx(0, 1);
+        decomposed.apply_circuit(&c);
+        let ip = direct.inner(&decomposed);
+        assert!((ip.abs() - 1.0).abs() < 1e-12);
+        // Exact equality of phase too: the decomposition has no global phase.
+        assert!((ip.re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_direction_matters() {
+        let mut sv = StateVector::basis(2, 0b01); // q0 = 1
+        sv.apply(&Gate::Cx(Qubit::new(0), Qubit::new(1)));
+        assert_close(sv.probability(0b11), 1.0);
+        let mut sv = StateVector::basis(2, 0b01);
+        sv.apply(&Gate::Cx(Qubit::new(1), Qubit::new(0)));
+        assert_close(sv.probability(0b01), 1.0);
+    }
+
+    #[test]
+    fn s_t_phases() {
+        let mut sv = StateVector::basis(1, 1);
+        sv.apply(&Gate::S(Qubit::new(0)));
+        assert!((sv.amplitude(1) - Complex::I).abs() < 1e-12);
+        sv.apply(&Gate::Sdg(Qubit::new(0)));
+        sv.apply(&Gate::T(Qubit::new(0)));
+        sv.apply(&Gate::T(Qubit::new(0)));
+        assert!((sv.amplitude(1) - Complex::I).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_state_is_normalised_and_deterministic() {
+        let a = StateVector::random(4, 42);
+        let b = StateVector::random(4, 42);
+        let c = StateVector::random(4, 43);
+        assert_close(a.norm(), 1.0);
+        assert_eq!(a, b);
+        assert!(a.fidelity(&c) < 0.999);
+    }
+
+    #[test]
+    fn inverse_circuit_restores_state() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cz(1, 2).ry(2, 0.3);
+        let original = StateVector::random(3, 5);
+        let mut sv = original.clone();
+        sv.apply_circuit(&c);
+        sv.apply_circuit(&c.inverse());
+        assert!(sv.fidelity(&original) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn padded_with_zeros_extends_register() {
+        let mut sv = StateVector::zero(1);
+        sv.apply(&Gate::H(Qubit::new(0)));
+        let padded = sv.padded_with_zeros(2);
+        assert_eq!(padded.num_qubits(), 3);
+        assert_close(padded.probability(0b000), 0.5);
+        assert_close(padded.probability(0b001), 0.5);
+    }
+
+    #[test]
+    fn prob_one_marginal() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let mut sv = StateVector::zero(2);
+        sv.apply_circuit(&c);
+        assert_close(sv.prob_one(Qubit::new(0)), 0.5);
+        assert_close(sv.prob_one(Qubit::new(1)), 0.0);
+    }
+
+    #[test]
+    fn hadamard_sandwich_turns_cz_into_cx() {
+        let mut direct = StateVector::random(2, 11);
+        let mut sandwich = direct.clone();
+        direct.apply(&Gate::Cx(Qubit::new(0), Qubit::new(1)));
+        let mut c = Circuit::new(2);
+        c.h(1).cz(0, 1).h(1);
+        sandwich.apply_circuit(&c);
+        let ip = direct.inner(&sandwich);
+        assert!((ip.re - 1.0).abs() < 1e-12, "inner product {ip}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside register")]
+    fn gate_outside_register_panics() {
+        let mut sv = StateVector::zero(1);
+        sv.apply(&Gate::X(Qubit::new(1)));
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = StateVector::basis(2, 0);
+        let b = StateVector::basis(2, 3);
+        assert_close(a.fidelity(&b), 0.0);
+    }
+
+    #[test]
+    fn y_gate_action() {
+        let mut sv = StateVector::zero(1);
+        sv.apply(&Gate::Y(Qubit::new(0)));
+        // Y|0> = i|1>
+        assert!((sv.amplitude(1) - Complex::I).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Bernstein–Vazirani circuits (the `BV-70` workload of Fig. 10).
+//!
+//! BV finds a secret bit-string with one oracle query. The circuit uses
+//! `n` data qubits plus one ancilla target (qubit `n`): Hadamards
+//! everywhere, `X`+`H` on the target, one `CX(i → n)` per set secret bit,
+//! and closing Hadamards. All CXs share the target qubit — a worst case for
+//! fixed-topology devices and a natural fan-out showcase for Q-Pilot.
+
+use qpilot_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the BV circuit for an explicit secret.
+///
+/// The register has `secret.len() + 1` qubits; the oracle target is the
+/// last qubit.
+pub fn bernstein_vazirani(secret: &[bool]) -> Circuit {
+    let n = secret.len() as u32;
+    let mut c = Circuit::new(n + 1);
+    // Target into |-> state.
+    c.x(n);
+    c.h(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for (i, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.cx(i as u32, n);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// Builds a BV circuit with a random secret of `n` bits (each set with
+/// probability 1/2), deterministic in `seed`.
+pub fn bernstein_vazirani_random(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let secret: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    bernstein_vazirani(&secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpilot_sim::StateVector;
+
+    #[test]
+    fn cx_count_matches_secret_weight() {
+        let c = bernstein_vazirani(&[true, false, true, true]);
+        assert_eq!(c.two_qubit_count(), 3);
+        assert_eq!(c.num_qubits(), 5);
+    }
+
+    #[test]
+    fn recovers_secret_in_one_query() {
+        let secret = [true, false, true];
+        let c = bernstein_vazirani(&secret);
+        let mut sv = StateVector::zero(4);
+        sv.apply_circuit(&c);
+        // Data register should be exactly the secret (q0=1, q1=0, q2=1).
+        for (i, &bit) in secret.iter().enumerate() {
+            let p1 = sv.prob_one(qpilot_circuit::Qubit::from(i));
+            if bit {
+                assert!(p1 > 1.0 - 1e-9, "bit {i}: p1 = {p1}");
+            } else {
+                assert!(p1 < 1e-9, "bit {i}: p1 = {p1}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_secret_deterministic() {
+        assert_eq!(
+            bernstein_vazirani_random(10, 1),
+            bernstein_vazirani_random(10, 1)
+        );
+    }
+
+    #[test]
+    fn empty_secret_queries_nothing() {
+        let c = bernstein_vazirani(&[]);
+        assert_eq!(c.two_qubit_count(), 0);
+    }
+}

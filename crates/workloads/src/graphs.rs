@@ -1,0 +1,309 @@
+//! Graph workloads for QAOA (Fig. 13, Table 2).
+//!
+//! The paper uses Erdős–Rényi random graphs (edge probability 0.1–0.5) and
+//! random 3-/4-regular graphs, all compiled as Max-Cut QAOA circuits: one
+//! `ZZ(γ)` per edge plus mixer layers.
+
+use qpilot_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected simple graph over `n` vertices, the input to the QAOA
+/// router.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_workloads::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_vertices: u32,
+    edges: Vec<(u32, u32)>,
+}
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Edge endpoint at or beyond the vertex count.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: u32,
+        /// The vertex count.
+        num_vertices: u32,
+    },
+    /// Self loop.
+    SelfLoop {
+        /// The looping vertex.
+        vertex: u32,
+    },
+    /// The same edge appeared twice.
+    DuplicateEdge {
+        /// The duplicated edge (normalised).
+        edge: (u32, u32),
+    },
+    /// A regular graph with the requested parameters does not exist or the
+    /// sampler failed to find one.
+    RegularGraphInfeasible {
+        /// Vertex count requested.
+        num_vertices: u32,
+        /// Degree requested.
+        degree: u32,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for {num_vertices} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self loop on vertex {vertex}"),
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "duplicate edge ({}, {})", edge.0, edge.1)
+            }
+            GraphError::RegularGraphInfeasible { num_vertices, degree } => {
+                write!(f, "no {degree}-regular graph on {num_vertices} vertices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Builds a graph, normalising each edge to `(min, max)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range endpoints, self-loops and duplicate edges.
+    pub fn from_edges(
+        num_vertices: u32,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Self, GraphError> {
+        let mut normalized: Vec<(u32, u32)> = Vec::new();
+        for (a, b) in edges {
+            if a == b {
+                return Err(GraphError::SelfLoop { vertex: a });
+            }
+            for v in [a, b] {
+                if v >= num_vertices {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: v,
+                        num_vertices,
+                    });
+                }
+            }
+            let e = (a.min(b), a.max(b));
+            if normalized.contains(&e) {
+                return Err(GraphError::DuplicateEdge { edge: e });
+            }
+            normalized.push(e);
+        }
+        Ok(Graph {
+            num_vertices,
+            edges: normalized,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The normalised edge list.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
+    }
+
+    /// Builds the depth-`p` Max-Cut QAOA circuit: `H` on every qubit, then
+    /// `p` rounds of `ZZ(γ_k)` per edge followed by `Rx(β_k)` mixers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gammas.len() != betas.len()`.
+    pub fn qaoa_circuit(&self, gammas: &[f64], betas: &[f64]) -> Circuit {
+        assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
+        let n = self.num_vertices;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for (&gamma, &beta) in gammas.iter().zip(betas) {
+            for &(a, b) in &self.edges {
+                c.zz(a, b, gamma);
+            }
+            for q in 0..n {
+                c.rx(q, beta);
+            }
+        }
+        c
+    }
+
+    /// Single-round QAOA circuit with standard angles, the shape the paper
+    /// compiles.
+    pub fn qaoa_circuit_p1(&self) -> Circuit {
+        self.qaoa_circuit(&[0.7], &[0.3])
+    }
+}
+
+/// Erdős–Rényi graph: each pair is an edge independently with probability
+/// `p`. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics unless `p ∈ [0, 1]`.
+pub fn erdos_renyi(num_vertices: u32, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..num_vertices {
+        for b in (a + 1)..num_vertices {
+            if rng.gen_bool(p) {
+                edges.push((a, b));
+            }
+        }
+    }
+    Graph {
+        num_vertices,
+        edges,
+    }
+}
+
+/// Random `d`-regular graph via the configuration model with restarts.
+/// Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::RegularGraphInfeasible`] if `n·d` is odd, `d ≥ n`,
+/// or sampling fails repeatedly (astronomically unlikely for feasible
+/// parameters).
+pub fn random_regular(num_vertices: u32, degree: u32, seed: u64) -> Result<Graph, GraphError> {
+    let infeasible = GraphError::RegularGraphInfeasible {
+        num_vertices,
+        degree,
+    };
+    if degree >= num_vertices || (num_vertices as u64 * degree as u64) % 2 == 1 {
+        return Err(infeasible);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    'restart: for _ in 0..1000 {
+        // Stub list: vertex v appears `degree` times.
+        let mut stubs: Vec<u32> = (0..num_vertices)
+            .flat_map(|v| std::iter::repeat_n(v, degree as usize))
+            .collect();
+        // Fisher-Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            stubs.swap(i, rng.gen_range(0..=i));
+        }
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(stubs.len() / 2);
+        for pair in stubs.chunks_exact(2) {
+            let e = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if e.0 == e.1 || edges.contains(&e) {
+                continue 'restart;
+            }
+            edges.push(e);
+        }
+        return Ok(Graph {
+            num_vertices,
+            edges,
+        });
+    }
+    Err(infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_normalises() {
+        let g = Graph::from_edges(3, [(2, 0), (1, 2)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            Graph::from_edges(2, [(0, 0)]),
+            Err(GraphError::SelfLoop { vertex: 0 })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, [(0, 2)]),
+            Err(GraphError::VertexOutOfRange { vertex: 2, .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(3, [(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { edge: (0, 1) })
+        ));
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_tracks_p() {
+        let g = erdos_renyi(50, 0.3, 7);
+        let possible = 50 * 49 / 2;
+        let expected = possible as f64 * 0.3;
+        assert!((g.num_edges() as f64 - expected).abs() < expected * 0.3);
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        assert_eq!(erdos_renyi(20, 0.5, 3), erdos_renyi(20, 0.5, 3));
+        assert_ne!(erdos_renyi(20, 0.5, 3), erdos_renyi(20, 0.5, 4));
+    }
+
+    #[test]
+    fn regular_graph_has_uniform_degree() {
+        for d in [3u32, 4] {
+            let g = random_regular(20, d, 11).unwrap();
+            for v in 0..20 {
+                assert_eq!(g.degree(v), d as usize, "vertex {v}");
+            }
+            assert_eq!(g.num_edges(), 20 * d as usize / 2);
+        }
+    }
+
+    #[test]
+    fn regular_graph_infeasible_cases() {
+        assert!(random_regular(5, 3, 0).is_err()); // n*d odd
+        assert!(random_regular(4, 4, 0).is_err()); // d >= n
+    }
+
+    #[test]
+    fn regular_graph_deterministic() {
+        assert_eq!(random_regular(10, 3, 5), random_regular(10, 3, 5));
+    }
+
+    #[test]
+    fn qaoa_circuit_structure() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let c = g.qaoa_circuit(&[0.5, 0.6], &[0.1, 0.2]);
+        // 4 H + 2 rounds x (2 ZZ + 4 RX) = 4 + 12 = 16 gates.
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.two_qubit_count(), 4);
+    }
+
+    #[test]
+    fn qaoa_p1_has_one_zz_per_edge() {
+        let g = erdos_renyi(10, 0.4, 2);
+        let c = g.qaoa_circuit_p1();
+        assert_eq!(c.two_qubit_count(), g.num_edges());
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark workload generators for the Q-Pilot evaluation.
+//!
+//! The paper evaluates three benchmark families (§4.1), all reproduced here
+//! with deterministic, seedable generators:
+//!
+//! * [`random`] — Qiskit-`random_circuit`-style circuits with a 2Q-gate
+//!   count fixed at `k × #qubits` (Fig. 11),
+//! * [`pauli`] — random Pauli strings with per-qubit non-identity
+//!   probability `p` (Fig. 12), plus [`molecules`]: UCCSD ansatz Pauli
+//!   strings for H2 / LiH / H2O / BeH2 via a real Jordan–Wigner mapping
+//!   (Table 1),
+//! * [`graphs`] — Erdős–Rényi and d-regular graphs with QAOA circuit
+//!   construction (Fig. 13, Table 2),
+//! * [`bv`] — Bernstein–Vazirani circuits (Fig. 10's `BV-70`),
+//! * [`qec`] — surface-code syndrome extraction (the paper's §6 outlook).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bv;
+pub mod graphs;
+pub mod molecules;
+pub mod pauli;
+pub mod qec;
+pub mod random;
+
+pub use graphs::Graph;

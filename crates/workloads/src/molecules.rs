@@ -1,0 +1,269 @@
+//! Molecule quantum-simulation workloads (Table 1).
+//!
+//! The paper benchmarks "Pauli strings used in some molecule simulation
+//! problems \[30\]" — the UCCSD-ansatz string sets of the Paulihedral
+//! benchmark suite. We regenerate them from first principles: for a
+//! molecule with `n` spatial orbitals and `m` electrons (closed shell,
+//! STO-3G minimal basis), the UCCSD ansatz contains all spin-conserving
+//! single and double excitations, and the Jordan–Wigner transform maps
+//!
+//! * a single excitation `i → a` to **2** Pauli strings
+//!   (`X Z…Z Y` and `Y Z…Z X` between `i` and `a`),
+//! * a double excitation `ij → ab` to **8** Pauli strings (the odd-Y-count
+//!   patterns on `{i, j, a, b}` with Z chains over `(i, j)` and `(a, b)`).
+//!
+//! Spin orbitals are interleaved (`2k` = spatial-`k` α, `2k+1` = β) and the
+//! lowest `m` spin orbitals are occupied. This yields the canonical string
+//! counts (e.g. 640 strings for LiH, 12 for H2) so routing cost statistics
+//! match the published benchmark family.
+
+use qpilot_circuit::{Pauli, PauliString};
+
+/// The four molecules of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Molecule {
+    /// Hydrogen, 2 spatial orbitals / 2 electrons → 4 qubits.
+    H2,
+    /// Lithium hydride, 6 spatial orbitals / 4 electrons → 12 qubits.
+    LiH,
+    /// Water, 7 spatial orbitals / 10 electrons → 14 qubits.
+    H2O,
+    /// Beryllium hydride, 7 spatial orbitals / 6 electrons → 14 qubits.
+    BeH2,
+}
+
+impl Molecule {
+    /// All Table 1 molecules in paper order.
+    pub const ALL: [Molecule; 4] = [Molecule::H2, Molecule::LiH, Molecule::H2O, Molecule::BeH2];
+
+    /// Display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Molecule::H2 => "H2",
+            Molecule::LiH => "LiH_UCCSD",
+            Molecule::H2O => "H2O",
+            Molecule::BeH2 => "BeH2",
+        }
+    }
+
+    /// Number of spatial orbitals in the minimal (STO-3G) basis.
+    pub fn spatial_orbitals(&self) -> usize {
+        match self {
+            Molecule::H2 => 2,
+            Molecule::LiH => 6,
+            Molecule::H2O | Molecule::BeH2 => 7,
+        }
+    }
+
+    /// Number of electrons.
+    pub fn electrons(&self) -> usize {
+        match self {
+            Molecule::H2 => 2,
+            Molecule::LiH => 4,
+            Molecule::H2O => 10,
+            Molecule::BeH2 => 6,
+        }
+    }
+
+    /// Qubit count (= spin orbitals).
+    pub fn num_qubits(&self) -> usize {
+        2 * self.spatial_orbitals()
+    }
+
+    /// The UCCSD ansatz Pauli strings for this molecule.
+    pub fn pauli_strings(&self) -> Vec<PauliString> {
+        uccsd_pauli_strings(self.spatial_orbitals(), self.electrons())
+    }
+}
+
+impl std::fmt::Display for Molecule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Spin (α/β) of an interleaved spin-orbital index.
+fn spin(so: usize) -> usize {
+    so % 2
+}
+
+/// Generates the Jordan–Wigner Pauli strings of the UCCSD ansatz for a
+/// closed-shell molecule with `n_spatial` orbitals and `n_electrons`
+/// electrons.
+///
+/// # Panics
+///
+/// Panics unless `0 < n_electrons < 2·n_spatial` and `n_electrons` is even
+/// (closed shell).
+pub fn uccsd_pauli_strings(n_spatial: usize, n_electrons: usize) -> Vec<PauliString> {
+    let n_qubits = 2 * n_spatial;
+    assert!(n_electrons > 0 && n_electrons < n_qubits, "open orbital space required");
+    assert!(n_electrons.is_multiple_of(2), "closed-shell molecules only");
+
+    let occupied: Vec<usize> = (0..n_electrons).collect();
+    let virtuals: Vec<usize> = (n_electrons..n_qubits).collect();
+    let mut strings = Vec::new();
+
+    // Single excitations i -> a, spin conserving.
+    for &i in &occupied {
+        for &a in &virtuals {
+            if spin(i) == spin(a) {
+                strings.extend(single_excitation_strings(n_qubits, i, a));
+            }
+        }
+    }
+
+    // Double excitations (i < j) -> (a < b), spin conserving (the spin
+    // multiset of the created pair matches the annihilated pair).
+    for (ii, &i) in occupied.iter().enumerate() {
+        for &j in &occupied[ii + 1..] {
+            for (ai, &a) in virtuals.iter().enumerate() {
+                for &b in &virtuals[ai + 1..] {
+                    let occ_spins = sorted_pair(spin(i), spin(j));
+                    let virt_spins = sorted_pair(spin(a), spin(b));
+                    if occ_spins == virt_spins {
+                        strings.extend(double_excitation_strings(n_qubits, i, j, a, b));
+                    }
+                }
+            }
+        }
+    }
+    strings
+}
+
+fn sorted_pair(a: usize, b: usize) -> (usize, usize) {
+    (a.min(b), a.max(b))
+}
+
+/// JW strings of `a†_a a_i − h.c.` for `i < a`: `X Z…Z Y` and `Y Z…Z X`.
+fn single_excitation_strings(n_qubits: usize, i: usize, a: usize) -> Vec<PauliString> {
+    debug_assert!(i < a);
+    [(Pauli::X, Pauli::Y), (Pauli::Y, Pauli::X)]
+        .into_iter()
+        .map(|(pi, pa)| {
+            let mut terms = vec![(i, pi), (a, pa)];
+            terms.extend(((i + 1)..a).map(|z| (z, Pauli::Z)));
+            PauliString::from_sparse(n_qubits, terms)
+        })
+        .collect()
+}
+
+/// The 8 odd-Y-count corner patterns of a JW double excitation.
+const DOUBLE_PATTERNS: [[Pauli; 4]; 8] = [
+    [Pauli::X, Pauli::X, Pauli::X, Pauli::Y],
+    [Pauli::X, Pauli::X, Pauli::Y, Pauli::X],
+    [Pauli::X, Pauli::Y, Pauli::X, Pauli::X],
+    [Pauli::Y, Pauli::X, Pauli::X, Pauli::X],
+    [Pauli::X, Pauli::Y, Pauli::Y, Pauli::Y],
+    [Pauli::Y, Pauli::X, Pauli::Y, Pauli::Y],
+    [Pauli::Y, Pauli::Y, Pauli::X, Pauli::Y],
+    [Pauli::Y, Pauli::Y, Pauli::Y, Pauli::X],
+];
+
+/// JW strings of the double excitation `ij → ab` (`i < j`, `a < b`).
+fn double_excitation_strings(
+    n_qubits: usize,
+    i: usize,
+    j: usize,
+    a: usize,
+    b: usize,
+) -> Vec<PauliString> {
+    debug_assert!(i < j && a < b && j < a, "expected ordering i < j < a < b");
+    DOUBLE_PATTERNS
+        .iter()
+        .map(|pattern| {
+            let mut terms = vec![
+                (i, pattern[0]),
+                (j, pattern[1]),
+                (a, pattern[2]),
+                (b, pattern[3]),
+            ];
+            terms.extend(((i + 1)..j).map(|z| (z, Pauli::Z)));
+            terms.extend(((a + 1)..b).map(|z| (z, Pauli::Z)));
+            PauliString::from_sparse(n_qubits, terms)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h2_has_canonical_counts() {
+        let strings = Molecule::H2.pauli_strings();
+        // 2 singles x 2 + 1 double x 8 = 12 strings on 4 qubits.
+        assert_eq!(strings.len(), 12);
+        assert!(strings.iter().all(|s| s.num_qubits() == 4));
+    }
+
+    #[test]
+    fn lih_matches_published_string_count() {
+        // 16 singles x 2 + 76 doubles x 8 = 640.
+        assert_eq!(Molecule::LiH.pauli_strings().len(), 640);
+        assert_eq!(Molecule::LiH.num_qubits(), 12);
+    }
+
+    #[test]
+    fn h2o_and_beh2_counts() {
+        assert_eq!(Molecule::H2O.pauli_strings().len(), 40 + 120 * 8);
+        assert_eq!(Molecule::BeH2.pauli_strings().len(), 48 + 180 * 8);
+        assert_eq!(Molecule::H2O.num_qubits(), 14);
+        assert_eq!(Molecule::BeH2.num_qubits(), 14);
+    }
+
+    #[test]
+    fn single_strings_have_xy_corners_and_z_chain() {
+        let s = single_excitation_strings(6, 1, 5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].to_string(), "IXZZZY");
+        assert_eq!(s[1].to_string(), "IYZZZX");
+    }
+
+    #[test]
+    fn double_strings_have_odd_y_count() {
+        let strings = double_excitation_strings(8, 0, 1, 4, 6);
+        assert_eq!(strings.len(), 8);
+        for s in &strings {
+            let y_count = s
+                .paulis()
+                .iter()
+                .filter(|&&p| p == Pauli::Y)
+                .count();
+            assert_eq!(y_count % 2, 1, "pattern {s} has even Y count");
+            // Z chain between a=4 and b=6 covers qubit 5.
+            assert_eq!(s.pauli(5), Pauli::Z);
+            // No chain between i=0, j=1 (adjacent).
+            assert_ne!(s.pauli(0), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn all_strings_are_non_identity() {
+        for m in Molecule::ALL {
+            assert!(m.pauli_strings().iter().all(|s| s.weight() >= 2));
+        }
+    }
+
+    #[test]
+    fn weights_are_bounded_by_register() {
+        for m in Molecule::ALL {
+            let n = m.num_qubits();
+            assert!(m.pauli_strings().iter().all(|s| s.weight() <= n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "closed-shell")]
+    fn odd_electron_count_rejected() {
+        uccsd_pauli_strings(4, 3);
+    }
+
+    #[test]
+    fn generic_generator_matches_h2() {
+        assert_eq!(
+            uccsd_pauli_strings(2, 2),
+            Molecule::H2.pauli_strings()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Random Pauli-string workloads (Fig. 12).
+//!
+//! "Quantum simulation circuits were formed from 100 random Pauli strings.
+//! The probability p of a qubit having a Pauli operator X, Y, or Z varies
+//! from 0.1 to 0.5." Weight-zero draws are rejected and resampled so every
+//! string does real work.
+
+use qpilot_circuit::{Pauli, PauliString};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_pauli_strings`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PauliWorkloadConfig {
+    /// Register width.
+    pub num_qubits: usize,
+    /// Number of strings (the paper uses 100).
+    pub num_strings: usize,
+    /// Per-qubit probability of a non-identity Pauli.
+    pub pauli_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PauliWorkloadConfig {
+    /// The paper's setup: 100 strings at probability `p`.
+    pub fn paper(num_qubits: usize, pauli_probability: f64, seed: u64) -> Self {
+        PauliWorkloadConfig {
+            num_qubits,
+            num_strings: 100,
+            pauli_probability,
+            seed,
+        }
+    }
+}
+
+/// Draws `num_strings` random non-identity Pauli strings.
+///
+/// # Panics
+///
+/// Panics if the probability is outside `(0, 1]` or `num_qubits == 0`.
+pub fn random_pauli_strings(config: &PauliWorkloadConfig) -> Vec<PauliString> {
+    assert!(config.num_qubits > 0, "need at least one qubit");
+    assert!(
+        config.pauli_probability > 0.0 && config.pauli_probability <= 1.0,
+        "pauli probability must be in (0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.num_strings);
+    while out.len() < config.num_strings {
+        let paulis: Vec<Pauli> = (0..config.num_qubits)
+            .map(|_| {
+                if rng.gen_bool(config.pauli_probability) {
+                    Pauli::NON_IDENTITY[rng.gen_range(0..3)]
+                } else {
+                    Pauli::I
+                }
+            })
+            .collect();
+        let s = PauliString::new(paulis);
+        if !s.is_identity() {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Summary statistics over a set of strings, used by reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PauliSetStats {
+    /// Number of strings.
+    pub count: usize,
+    /// Mean weight (non-identity positions per string).
+    pub mean_weight: f64,
+    /// Maximum weight.
+    pub max_weight: usize,
+}
+
+/// Computes [`PauliSetStats`].
+pub fn stats(strings: &[PauliString]) -> PauliSetStats {
+    let count = strings.len();
+    let total: usize = strings.iter().map(|s| s.weight()).sum();
+    PauliSetStats {
+        count,
+        mean_weight: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+        max_weight: strings.iter().map(|s| s.weight()).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_width() {
+        let cfg = PauliWorkloadConfig::paper(20, 0.3, 1);
+        let strings = random_pauli_strings(&cfg);
+        assert_eq!(strings.len(), 100);
+        assert!(strings.iter().all(|s| s.num_qubits() == 20));
+    }
+
+    #[test]
+    fn no_identity_strings() {
+        let cfg = PauliWorkloadConfig::paper(5, 0.1, 2);
+        assert!(random_pauli_strings(&cfg).iter().all(|s| s.weight() > 0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = PauliWorkloadConfig::paper(10, 0.5, 9);
+        assert_eq!(random_pauli_strings(&cfg), random_pauli_strings(&cfg));
+    }
+
+    #[test]
+    fn weight_tracks_probability() {
+        let lo = random_pauli_strings(&PauliWorkloadConfig::paper(100, 0.1, 3));
+        let hi = random_pauli_strings(&PauliWorkloadConfig::paper(100, 0.5, 3));
+        let (slo, shi) = (stats(&lo), stats(&hi));
+        assert!(slo.mean_weight > 5.0 && slo.mean_weight < 15.0);
+        assert!(shi.mean_weight > 40.0 && shi.mean_weight < 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn zero_probability_rejected() {
+        random_pauli_strings(&PauliWorkloadConfig::paper(5, 0.0, 0));
+    }
+
+    #[test]
+    fn stats_of_empty_set() {
+        let s = stats(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_weight, 0.0);
+    }
+}

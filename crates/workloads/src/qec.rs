@@ -1,0 +1,201 @@
+//! Quantum-error-correction workloads: surface-code syndrome extraction.
+//!
+//! The paper's outlook (§6) singles out "circuits involved in quantum error
+//! correction protocols" as the next domain for FPQA compilation. This
+//! module generates one syndrome-extraction round of the **rotated surface
+//! code** of distance `d`: `d²` data qubits on a grid plus `d²−1` stabilizer
+//! ancillas (half X-type, half Z-type, interior weight-4 plaquettes and
+//! boundary weight-2 half-plaquettes).
+//!
+//! The emitted circuit uses the textbook schedule: X-stabilizers are
+//! Hadamard-framed CNOT fans from the ancilla, Z-stabilizers CNOT fans into
+//! the ancilla. Data qubits are indices `0..d²` (reading order); stabilizer
+//! ancilla `k` is qubit `d² + k`.
+
+use qpilot_circuit::Circuit;
+
+/// A stabilizer of the rotated surface code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stabilizer {
+    /// `true` for X-type, `false` for Z-type.
+    pub is_x: bool,
+    /// Data-qubit indices in measurement order (2 or 4 of them).
+    pub data: Vec<u32>,
+    /// The ancilla qubit measuring this stabilizer.
+    pub ancilla: u32,
+}
+
+/// The rotated surface code of odd distance `d`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurfaceCode {
+    distance: usize,
+    stabilizers: Vec<Stabilizer>,
+}
+
+impl SurfaceCode {
+    /// Builds the distance-`d` rotated surface code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `d` is odd and `>= 2` (distance 2 is allowed for
+    /// small-scale testing even though it only detects errors).
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 2, "distance must be at least 2");
+        let n_data = (d * d) as u32;
+        let data_at = |r: i64, c: i64| -> u32 { (r as usize * d + c as usize) as u32 };
+        let mut stabilizers = Vec::new();
+        let mut next_ancilla = n_data;
+
+        // Plaquette (r, c) touches data (r, c), (r, c+1), (r+1, c),
+        // (r+1, c+1); X-type iff (r + c) is odd. Boundary half-plaquettes:
+        // X on top/bottom rows, Z on left/right columns, alternating.
+        for r in -1..(d as i64) {
+            for c in -1..(d as i64) {
+                let interior =
+                    r >= 0 && c >= 0 && r < d as i64 - 1 && c < d as i64 - 1;
+                let is_x = (r + c).rem_euclid(2) == 1;
+                let present = if interior {
+                    true
+                } else if r == -1 || r == d as i64 - 1 {
+                    // top/bottom: X half-plaquettes only, interior columns.
+                    is_x && c >= 0 && c < d as i64 - 1
+                } else if c == -1 || c == d as i64 - 1 {
+                    // left/right: Z half-plaquettes only, interior rows.
+                    !is_x && r >= 0 && r < d as i64 - 1
+                } else {
+                    false
+                };
+                if !present {
+                    continue;
+                }
+                let mut data = Vec::with_capacity(4);
+                for (dr, dc) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    let (qr, qc) = (r + dr, c + dc);
+                    if qr >= 0 && qr < d as i64 && qc >= 0 && qc < d as i64 {
+                        data.push(data_at(qr, qc));
+                    }
+                }
+                stabilizers.push(Stabilizer {
+                    is_x,
+                    data,
+                    ancilla: next_ancilla,
+                });
+                next_ancilla += 1;
+            }
+        }
+        SurfaceCode {
+            distance: d,
+            stabilizers,
+        }
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Number of data qubits (`d²`).
+    pub fn num_data(&self) -> u32 {
+        (self.distance * self.distance) as u32
+    }
+
+    /// Total qubits including stabilizer ancillas (`2d² − 1`).
+    pub fn num_qubits(&self) -> u32 {
+        self.num_data() + self.stabilizers.len() as u32
+    }
+
+    /// The stabilizers.
+    pub fn stabilizers(&self) -> &[Stabilizer] {
+        &self.stabilizers
+    }
+
+    /// One syndrome-extraction round as a circuit over
+    /// [`SurfaceCode::num_qubits`] qubits.
+    pub fn syndrome_circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.num_qubits());
+        for s in &self.stabilizers {
+            if s.is_x {
+                c.h(s.ancilla);
+                for &q in &s.data {
+                    c.cx(s.ancilla, q);
+                }
+                c.h(s.ancilla);
+            } else {
+                for &q in &s.data {
+                    c.cx(q, s.ancilla);
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d3_has_eight_stabilizers() {
+        let code = SurfaceCode::new(3);
+        assert_eq!(code.stabilizers().len(), 8);
+        assert_eq!(code.num_data(), 9);
+        assert_eq!(code.num_qubits(), 17);
+        let x_count = code.stabilizers().iter().filter(|s| s.is_x).count();
+        assert_eq!(x_count, 4);
+    }
+
+    #[test]
+    fn stabilizer_count_is_d_squared_minus_one() {
+        for d in [2usize, 3, 5, 7] {
+            let code = SurfaceCode::new(d);
+            assert_eq!(code.stabilizers().len(), d * d - 1, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn interior_stabilizers_have_weight_four() {
+        let code = SurfaceCode::new(5);
+        for s in code.stabilizers() {
+            assert!(s.data.len() == 2 || s.data.len() == 4);
+        }
+        let weight4 = code
+            .stabilizers()
+            .iter()
+            .filter(|s| s.data.len() == 4)
+            .count();
+        assert_eq!(weight4, 16); // (d-1)^2 interior plaquettes
+    }
+
+    #[test]
+    fn data_indices_in_range() {
+        let code = SurfaceCode::new(5);
+        for s in code.stabilizers() {
+            assert!(s.data.iter().all(|&q| q < code.num_data()));
+            assert!(s.ancilla >= code.num_data() && s.ancilla < code.num_qubits());
+        }
+    }
+
+    #[test]
+    fn syndrome_circuit_gate_count() {
+        let code = SurfaceCode::new(3);
+        let c = code.syndrome_circuit();
+        let total_weight: usize = code.stabilizers().iter().map(|s| s.data.len()).sum();
+        assert_eq!(c.two_qubit_count(), total_weight);
+        // 2 Hadamards per X stabilizer.
+        assert_eq!(c.single_qubit_count(), 8);
+    }
+
+    #[test]
+    fn stabilizers_commute_pairwise() {
+        // X and Z stabilizers must overlap on an even number of qubits.
+        let code = SurfaceCode::new(5);
+        for (i, a) in code.stabilizers().iter().enumerate() {
+            for b in &code.stabilizers()[i + 1..] {
+                if a.is_x != b.is_x {
+                    let overlap = a.data.iter().filter(|q| b.data.contains(q)).count();
+                    assert_eq!(overlap % 2, 0, "anticommuting stabilizers");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Qiskit-style random circuits (Fig. 11 workloads).
+//!
+//! The paper generates random circuits with Qiskit's `random_circuit`,
+//! fixing the number of CX gates at `k × #qubits` for
+//! `k ∈ {2, 5, 10, 20, 50}`. We reproduce that shape: a random interleaving
+//! of 1Q rotations/Cliffords and CX gates on uniformly random qubit pairs.
+
+use qpilot_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_circuit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomCircuitConfig {
+    /// Register width.
+    pub num_qubits: u32,
+    /// Number of CX gates (the paper's controlled knob).
+    pub two_qubit_gates: usize,
+    /// Number of 1Q gates interleaved among them.
+    pub one_qubit_gates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomCircuitConfig {
+    /// The paper's parameterisation: `two_qubit_gates = factor × num_qubits`
+    /// with an equal number of 1Q gates.
+    pub fn paper(num_qubits: u32, factor: usize, seed: u64) -> Self {
+        let two_qubit_gates = factor * num_qubits as usize;
+        RandomCircuitConfig {
+            num_qubits,
+            two_qubit_gates,
+            one_qubit_gates: two_qubit_gates,
+            seed,
+        }
+    }
+}
+
+/// Generates a random circuit per `config`. Deterministic in the seed.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2` while two-qubit gates are requested.
+pub fn random_circuit(config: &RandomCircuitConfig) -> Circuit {
+    assert!(
+        config.two_qubit_gates == 0 || config.num_qubits >= 2,
+        "two-qubit gates need at least two qubits"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_qubits;
+    let mut c = Circuit::with_capacity(n, config.two_qubit_gates + config.one_qubit_gates);
+
+    // Random interleaving: draw gate type with probability proportional to
+    // remaining budget of each type.
+    let mut rem_2q = config.two_qubit_gates;
+    let mut rem_1q = config.one_qubit_gates;
+    while rem_2q + rem_1q > 0 {
+        let pick_2q = rng.gen_range(0..rem_2q + rem_1q) < rem_2q;
+        if pick_2q {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            c.cx(a, b);
+            rem_2q -= 1;
+        } else {
+            let q = rng.gen_range(0..n);
+            match rng.gen_range(0..6) {
+                0 => c.h(q),
+                1 => c.t(q),
+                2 => c.s(q),
+                3 => c.rx(q, rng.gen_range(0.0..std::f64::consts::TAU)),
+                4 => c.ry(q, rng.gen_range(0.0..std::f64::consts::TAU)),
+                _ => c.rz(q, rng.gen_range(0.0..std::f64::consts::TAU)),
+            };
+            rem_1q -= 1;
+        }
+    }
+    c
+}
+
+/// Generates a random circuit with a *target depth* instead of a gate
+/// budget: `depth` layers, each placing a CX on every disjoint random pair
+/// (half the qubits participate per layer on average). Used by the paper's
+/// scalability study ("random circuits with a depth of 10").
+pub fn random_circuit_with_depth(num_qubits: u32, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..depth {
+        // Random perfect-ish matching: shuffle qubits, pair consecutive.
+        let mut order: Vec<u32> = (0..num_qubits).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for pair in order.chunks_exact(2) {
+            // Participate with 50% probability to vary layer density.
+            if rng.gen_bool(0.5) {
+                c.cx(pair[0], pair[1]);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_budget_is_exact() {
+        let cfg = RandomCircuitConfig::paper(10, 2, 7);
+        let c = random_circuit(&cfg);
+        assert_eq!(c.two_qubit_count(), 20);
+        assert_eq!(c.single_qubit_count(), 20);
+        assert_eq!(c.num_qubits(), 10);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomCircuitConfig::paper(8, 5, 42);
+        assert_eq!(random_circuit(&cfg), random_circuit(&cfg));
+        let other = RandomCircuitConfig { seed: 43, ..cfg };
+        assert_ne!(random_circuit(&cfg), random_circuit(&other));
+    }
+
+    #[test]
+    fn operands_are_distinct_and_in_range() {
+        let cfg = RandomCircuitConfig::paper(5, 10, 1);
+        let c = random_circuit(&cfg);
+        for g in c.iter() {
+            for q in g.operands() {
+                assert!(q.raw() < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_factors_scale() {
+        for factor in [2, 5, 10] {
+            let c = random_circuit(&RandomCircuitConfig::paper(20, factor, 3));
+            assert_eq!(c.two_qubit_count(), factor * 20);
+        }
+    }
+
+    #[test]
+    fn depth_variant_respects_target() {
+        let c = random_circuit_with_depth(16, 10, 5);
+        assert!(c.two_qubit_depth() <= 10);
+        assert!(c.two_qubit_count() > 0);
+    }
+
+    #[test]
+    fn zero_gate_budget_gives_empty_circuit() {
+        let cfg = RandomCircuitConfig {
+            num_qubits: 4,
+            two_qubit_gates: 0,
+            one_qubit_gates: 0,
+            seed: 0,
+        };
+        assert!(random_circuit(&cfg).is_empty());
+    }
+}

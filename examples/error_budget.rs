@@ -1,0 +1,56 @@
+//! Error budgeting with the Eq. 5 fidelity model: how gate fidelities and
+//! movement decoherence combine for a compiled program, and where the
+//! crossover against a SWAP-based baseline lies.
+//!
+//! Run with: `cargo run --example error_budget`
+
+use qpilot::arch::PhysicalParams;
+use qpilot::core::evaluator::evaluate;
+use qpilot::core::{qaoa::QaoaRouter, FpqaConfig};
+use qpilot::workloads::graphs::random_regular;
+
+fn main() {
+    let n = 12u32;
+    let graph = random_regular(n, 3, 3).expect("3-regular graph");
+    let config = FpqaConfig::square_for(n);
+    let program = QaoaRouter::new()
+        .route_edges(n, graph.edges(), 0.7, &config)
+        .expect("routing");
+
+    println!(
+        "QAOA {n}q, {} edges -> {} 2Q gates, depth {}",
+        graph.num_edges(),
+        program.stats().two_qubit_gates,
+        program.stats().two_qubit_depth
+    );
+
+    println!("\n2Q fidelity sweep (Eq. 5):");
+    println!("  f2        fidelity   error");
+    for f2 in [0.9999, 0.999, 0.995, 0.99, 0.95] {
+        let cfg = config
+            .clone()
+            .with_params(config.params().with_fidelity_2q(f2));
+        let r = evaluate(program.schedule(), &cfg);
+        println!("  {f2:<8}  {:8.4}   {:8.4}", r.fidelity, r.error_rate());
+    }
+
+    println!("\ncoherence-time sweep (movement decoherence term):");
+    println!("  T2 (s)    fidelity");
+    for t2 in [0.1, 0.5, 1.5, 5.0] {
+        let params = PhysicalParams {
+            t2_s: t2,
+            ..*config.params()
+        };
+        let cfg = config.clone().with_params(params);
+        let r = evaluate(program.schedule(), &cfg);
+        println!("  {t2:<8}  {:8.4}", r.fidelity);
+    }
+
+    let r = evaluate(program.schedule(), &config);
+    println!(
+        "\ndefault parameters: fidelity {:.4} | movement {:.2} ms of {:.2} ms total",
+        r.fidelity,
+        r.movement_time_s * 1e3,
+        r.total_time_s() * 1e3
+    );
+}

@@ -1,0 +1,31 @@
+//! Q-Pilot: field programmable qubit array compilation with flying ancillas.
+//!
+//! This facade crate re-exports the full Q-Pilot workspace behind one
+//! dependency. See the individual crates for details:
+//!
+//! * [`circuit`] — quantum-circuit IR (gates, DAG, depth metrics),
+//! * [`arch`] — FPQA hardware model and baseline coupling graphs,
+//! * [`sim`] — state-vector simulator used for equivalence checking,
+//! * [`workloads`] — benchmark generators (random, Pauli strings, QAOA),
+//! * [`core`] — the flying-ancilla routers and performance evaluator,
+//! * [`baselines`] — SWAP-based and solver-based comparison compilers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qpilot::circuit::Circuit;
+//! use qpilot::core::{generic::GenericRouter, FpqaConfig};
+//!
+//! let mut c = Circuit::new(4);
+//! c.cz(0, 1).cz(1, 2).cz(2, 3).cz(3, 0);
+//! let config = FpqaConfig::square(2); // 2x2 SLM array
+//! let program = GenericRouter::new().route(&c, &config).unwrap();
+//! assert!(program.stats().two_qubit_gates >= 4);
+//! ```
+
+pub use qpilot_arch as arch;
+pub use qpilot_baselines as baselines;
+pub use qpilot_circuit as circuit;
+pub use qpilot_core as core;
+pub use qpilot_sim as sim;
+pub use qpilot_workloads as workloads;

@@ -1,0 +1,73 @@
+//! The SWAP-routed baseline circuits must implement the original unitary up
+//! to the output permutation induced by the final layout.
+
+use qpilot::baselines::compile_returning_circuit;
+use qpilot::circuit::Circuit;
+use qpilot::sim::equiv::verify_compiled;
+use qpilot::arch::CouplingGraph;
+
+fn line(n: usize) -> CouplingGraph {
+    CouplingGraph::from_edges("line", n, (0..n - 1).map(|i| (i, i + 1)))
+}
+
+/// Appends SWAPs to `compiled` so the final layout returns to the trivial
+/// one, then checks equivalence against `original` padded to device width.
+fn assert_baseline_equivalent(original: &Circuit, device: &CouplingGraph) {
+    let (_, compiled, layout) = compile_returning_circuit(original, device).expect("compiles");
+    // Undo the permutation: for each logical qubit, swap its physical
+    // carrier back to the home position (selection-sort by swaps).
+    let mut restored = compiled.clone();
+    let mut layout = layout;
+    for logical in 0..layout.len() {
+        let phys = layout[logical];
+        if phys != logical {
+            restored.swap(logical as u32, phys as u32);
+            // Update: whichever logical sat on `logical` moves to `phys`.
+            for slot in layout.iter_mut() {
+                if *slot == logical {
+                    *slot = phys;
+                    break;
+                }
+            }
+            layout[logical] = logical;
+        }
+    }
+    let reference = original.remapped(device.num_qubits() as u32, |q| q);
+    let res = verify_compiled(&restored, &reference);
+    assert!(res.equivalent, "baseline routing broke the circuit: {res:?}");
+}
+
+#[test]
+fn line_device_distant_cz() {
+    let mut c = Circuit::new(4);
+    c.h(0).cz(0, 3).t(3).cx(1, 2);
+    assert_baseline_equivalent(&c, &line(4));
+}
+
+#[test]
+fn square_device_random_circuit() {
+    use qpilot::workloads::random::{random_circuit, RandomCircuitConfig};
+    let c = random_circuit(&RandomCircuitConfig {
+        num_qubits: 6,
+        two_qubit_gates: 10,
+        one_qubit_gates: 6,
+        seed: 3,
+    });
+    let device = qpilot::arch::devices::square_lattice(2, 3);
+    assert_baseline_equivalent(&c, &device);
+}
+
+#[test]
+fn zz_heavy_circuit() {
+    let mut c = Circuit::new(5);
+    c.zz(0, 4, 0.7).zz(1, 3, -0.2).cz(0, 2);
+    assert_baseline_equivalent(&c, &line(5));
+}
+
+#[test]
+fn triangular_device_qaoa_circuit() {
+    let g = qpilot::workloads::graphs::erdos_renyi(6, 0.5, 9);
+    let c = g.qaoa_circuit_p1();
+    let device = qpilot::arch::devices::triangular_lattice(2, 3);
+    assert_baseline_equivalent(&c, &device);
+}

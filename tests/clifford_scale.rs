@@ -1,0 +1,91 @@
+//! Full-scale verification: the dense simulator caps at ~20 qubits, but
+//! Clifford programs (CZ circuits, `ZZ(π/2)` QAOA layers — plus the
+//! CNOT-based create/recycle machinery) can be verified at the paper's
+//! 100-qubit scale with the stabilizer tableau.
+//!
+//! The check is `compiled · reference⁻¹ = identity` over the full
+//! data ⊗ ancilla register: the reference acts trivially on ancillas, so
+//! identity also proves every flying ancilla is returned to |0⟩ exactly.
+
+use std::f64::consts::FRAC_PI_2;
+
+use qpilot::circuit::Circuit;
+use qpilot::core::validate::validate_schedule;
+use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, qsim::QsimRouter, FpqaConfig};
+use qpilot::sim::stabilizer::clifford_verify_compiled;
+use qpilot::workloads::graphs::erdos_renyi;
+use qpilot::workloads::qec::SurfaceCode;
+
+/// Asserts the compiled program implements `reference` on the data
+/// register with all flying ancillas returned to |0⟩.
+fn assert_clifford_equivalent(compiled: &Circuit, reference: &Circuit) {
+    let ok = clifford_verify_compiled(compiled, reference).expect("Clifford circuits");
+    assert!(ok, "compiled program is not equivalent on the data register");
+}
+
+#[test]
+fn generic_router_100q_cz_circuit() {
+    // 300 random CZ gates over 100 qubits.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(31);
+    let n = 100u32;
+    let mut circuit = Circuit::new(n);
+    for _ in 0..300 {
+        let a = rng.gen_range(0..n);
+        let b = (a + rng.gen_range(1..n)) % n;
+        circuit.cz(a, b);
+    }
+    let cfg = FpqaConfig::square_for(n);
+    let program = GenericRouter::new().route(&circuit, &cfg).expect("routing");
+    validate_schedule(program.schedule(), &cfg).expect("valid schedule");
+    assert_clifford_equivalent(&program.schedule().to_circuit(), &circuit);
+}
+
+#[test]
+fn qaoa_router_100q_clifford_angle() {
+    // gamma = pi/2 makes every ZZ edge Clifford.
+    let n = 100u32;
+    let graph = erdos_renyi(n, 0.15, 23);
+    let cfg = FpqaConfig::square_for(n);
+    let program = QaoaRouter::new()
+        .route_edges(n, graph.edges(), FRAC_PI_2, &cfg)
+        .expect("routing");
+    validate_schedule(program.schedule(), &cfg).expect("valid schedule");
+    let mut reference = Circuit::new(n);
+    for &(a, b) in graph.edges() {
+        reference.zz(a, b, FRAC_PI_2);
+    }
+    assert_clifford_equivalent(&program.schedule().to_circuit(), &reference);
+}
+
+#[test]
+fn qsim_router_64q_clifford_angle() {
+    // theta = pi/2 turns exp(-i θ/2 Z…Z) Clifford; weight-14 string.
+    let n = 64u32;
+    let support = [0usize, 2, 3, 6, 10, 11, 19, 24, 31, 40, 48, 56, 60, 63];
+    let string = qpilot::circuit::PauliString::from_sparse(
+        64,
+        support.iter().map(|&q| (q, qpilot::circuit::Pauli::Z)),
+    );
+    assert_eq!(string.num_qubits(), 64);
+    let cfg = FpqaConfig::square_for(n);
+    let program = QsimRouter::new()
+        .route_strings(std::slice::from_ref(&string), FRAC_PI_2, &cfg)
+        .expect("routing");
+    validate_schedule(program.schedule(), &cfg).expect("valid schedule");
+    let reference = string.evolution_circuit(FRAC_PI_2).remapped(n, |q| q);
+    assert_clifford_equivalent(&program.schedule().to_circuit(), &reference);
+}
+
+#[test]
+fn surface_code_d5_syndrome_round_verified_at_scale() {
+    // d = 5: 49 register qubits — far beyond the dense simulator, easy for
+    // the tableau. Syndrome circuits are pure Clifford.
+    let code = SurfaceCode::new(5);
+    let circuit = code.syndrome_circuit();
+    let cfg = FpqaConfig::square_for(code.num_qubits());
+    let program = GenericRouter::new().route(&circuit, &cfg).expect("routing");
+    validate_schedule(program.schedule(), &cfg).expect("valid schedule");
+    assert_clifford_equivalent(&program.schedule().to_circuit(), &circuit);
+}

@@ -1,0 +1,137 @@
+//! Property-based end-to-end checks: random workloads, routed and then
+//! *proven* equivalent in the state-vector simulator. Case counts are kept
+//! moderate since each case runs a dense simulation.
+
+use proptest::prelude::*;
+
+use qpilot::circuit::{optimize, Circuit, Gate, Pauli, PauliString, Qubit};
+use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, qsim::QsimRouter, FpqaConfig};
+use qpilot::sim::equiv::{random_state_fidelity, verify_compiled};
+
+fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let pair = (0..n, 0..n - 1).prop_map(move |(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        (Qubit::new(a), Qubit::new(b))
+    });
+    prop_oneof![
+        q.clone().prop_map(|a| Gate::H(Qubit::new(a))),
+        q.clone().prop_map(|a| Gate::T(Qubit::new(a))),
+        (q, -3.0f64..3.0).prop_map(|(a, t)| Gate::Ry(Qubit::new(a), t)),
+        pair.clone().prop_map(|(a, b)| Gate::Cx(a, b)),
+        pair.clone().prop_map(|(a, b)| Gate::Cz(a, b)),
+        (pair, -3.0f64..3.0).prop_map(|((a, b), t)| Gate::Zz(a, b, t)),
+    ]
+}
+
+fn arb_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 1..max_gates)
+        .prop_map(move |gates| Circuit::from_gates(n, gates).expect("valid gates"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generic_router_preserves_unitary(c in arb_circuit(5, 12)) {
+        let cfg = FpqaConfig::for_qubits(5, 3);
+        let program = GenericRouter::new().route(&c, &cfg).expect("routing");
+        let res = verify_compiled(&program.schedule().to_circuit(),
+                                  &c.remapped(5, |q| q));
+        prop_assert!(res.equivalent, "{res:?}");
+    }
+
+    #[test]
+    fn qsim_router_preserves_unitary(
+        codes in prop::collection::vec(0u8..4, 5),
+        theta in -2.0f64..2.0,
+    ) {
+        let paulis: Vec<Pauli> = codes.iter().map(|c| match c {
+            0 => Pauli::I,
+            1 => Pauli::X,
+            2 => Pauli::Y,
+            _ => Pauli::Z,
+        }).collect();
+        let string = PauliString::new(paulis);
+        let cfg = FpqaConfig::for_qubits(5, 3);
+        let program = QsimRouter::new()
+            .route_strings(std::slice::from_ref(&string), theta, &cfg)
+            .expect("routing");
+        let reference = string.evolution_circuit(theta).remapped(5, |q| q);
+        let res = verify_compiled(&program.schedule().to_circuit(), &reference);
+        prop_assert!(res.equivalent, "string {string}: {res:?}");
+    }
+
+    #[test]
+    fn qaoa_router_preserves_unitary(
+        raw_edges in prop::collection::vec((0u32..5, 0u32..4), 1..8),
+        gamma in -2.0f64..2.0,
+    ) {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (a, b) in raw_edges {
+            let b = if b >= a { b + 1 } else { b };
+            let e = (a.min(b), a.max(b));
+            if !edges.contains(&e) {
+                edges.push(e);
+            }
+        }
+        let cfg = FpqaConfig::for_qubits(5, 3);
+        let program = QaoaRouter::new()
+            .route_edges(5, &edges, gamma, &cfg)
+            .expect("routing");
+        let mut reference = Circuit::new(5);
+        for &(a, b) in &edges {
+            reference.zz(a, b, gamma);
+        }
+        let res = verify_compiled(&program.schedule().to_circuit(), &reference);
+        prop_assert!(res.equivalent, "edges {edges:?}: {res:?}");
+    }
+
+    #[test]
+    fn peephole_preserves_unitary(c in arb_circuit(5, 20)) {
+        let (opt, _) = optimize::peephole(&c);
+        // Peephole only removes/merges gates; same width.
+        let fid = random_state_fidelity(&c, &opt, 99);
+        prop_assert!(fid > 1.0 - 1e-9, "fidelity {fid}");
+    }
+}
+
+/// Random Clifford circuits: the stabilizer tableau and the dense simulator
+/// must agree on circuit equivalence.
+fn arb_clifford(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = {
+        let q = 0..n;
+        let pair = (0..n, 0..n - 1).prop_map(move |(a, b)| {
+            let b = if b >= a { b + 1 } else { b };
+            (Qubit::new(a), Qubit::new(b))
+        });
+        prop_oneof![
+            q.clone().prop_map(|a| Gate::H(Qubit::new(a))),
+            q.clone().prop_map(|a| Gate::S(Qubit::new(a))),
+            q.prop_map(|a| Gate::Sdg(Qubit::new(a))),
+            pair.clone().prop_map(|(a, b)| Gate::Cx(a, b)),
+            pair.prop_map(|(a, b)| Gate::Cz(a, b)),
+        ]
+    };
+    prop::collection::vec(gate, 1..max_gates)
+        .prop_map(move |gates| Circuit::from_gates(n, gates).expect("valid gates"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tableau_and_dense_simulator_agree(
+        a in arb_clifford(4, 16),
+        tweak in proptest::option::of(0u32..4),
+    ) {
+        use qpilot::sim::stabilizer::clifford_equivalent;
+        let mut b = a.clone();
+        if let Some(q) = tweak {
+            b.z(q);
+        }
+        let tableau_eq = clifford_equivalent(&a, &b).expect("clifford");
+        let dense_eq = random_state_fidelity(&a, &b, 7) > 1.0 - 1e-9;
+        prop_assert_eq!(tableau_eq, dense_eq);
+    }
+}

@@ -1,0 +1,223 @@
+//! End-to-end correctness: every router's compiled schedule, lowered to a
+//! circuit over data ⊗ ancilla qubits, must implement the reference unitary
+//! on the data register with all ancillas returned to |0⟩ — the paper's
+//! §2.2 guarantee, checked numerically.
+
+use qpilot::circuit::{Circuit, PauliString};
+use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, qsim::QsimRouter, FpqaConfig};
+use qpilot::core::validate::validate_schedule;
+use qpilot::sim::equiv::verify_compiled;
+use qpilot::workloads::{graphs, random::RandomCircuitConfig};
+
+/// Routes with the generic router and checks unitary equivalence.
+fn assert_generic_equivalent(circuit: &Circuit, cfg: &FpqaConfig) {
+    let program = GenericRouter::new()
+        .route(circuit, cfg)
+        .expect("routing failed");
+    validate_schedule(program.schedule(), cfg).expect("invalid schedule");
+    let compiled = program.schedule().to_circuit();
+    let reference = circuit.remapped(cfg.num_data(), |q| q);
+    let res = verify_compiled(&compiled, &reference);
+    assert!(
+        res.equivalent,
+        "generic router not equivalent: {res:?}\nschedule:\n{}",
+        program.schedule()
+    );
+}
+
+#[test]
+fn generic_router_triangle() {
+    let mut c = Circuit::new(3);
+    c.cz(0, 1).cz(1, 2).cz(2, 0);
+    assert_generic_equivalent(&c, &FpqaConfig::for_qubits(3, 3));
+}
+
+#[test]
+fn generic_router_mixed_gates() {
+    let mut c = Circuit::new(4);
+    c.h(0).cx(0, 1).t(1).cz(1, 2).swap(2, 3).rz(3, 0.37).cx(3, 0);
+    assert_generic_equivalent(&c, &FpqaConfig::for_qubits(4, 2));
+}
+
+#[test]
+fn generic_router_zz_angles() {
+    let mut c = Circuit::new(4);
+    c.zz(0, 3, 0.81).h(1).zz(1, 2, -0.4).cz(0, 1);
+    assert_generic_equivalent(&c, &FpqaConfig::for_qubits(4, 2));
+}
+
+#[test]
+fn generic_router_random_circuits() {
+    for seed in 0..6 {
+        let cfg = RandomCircuitConfig {
+            num_qubits: 5,
+            two_qubit_gates: 8,
+            one_qubit_gates: 8,
+            seed,
+        };
+        let c = qpilot::workloads::random::random_circuit(&cfg);
+        assert_generic_equivalent(&c, &FpqaConfig::for_qubits(5, 3));
+    }
+}
+
+#[test]
+fn generic_router_wide_array_shapes() {
+    let mut c = Circuit::new(6);
+    c.cz(0, 5).cz(1, 4).cz(2, 3);
+    for cols in [1, 2, 3, 6] {
+        assert_generic_equivalent(&c, &FpqaConfig::for_qubits(6, cols));
+    }
+}
+
+/// Routes Pauli strings and compares against the reference ladder circuits.
+fn assert_qsim_equivalent(strings: &[PauliString], theta: f64, cfg: &FpqaConfig) {
+    let program = QsimRouter::new()
+        .route_strings(strings, theta, cfg)
+        .expect("routing failed");
+    validate_schedule(program.schedule(), cfg).expect("invalid schedule");
+    let compiled = program.schedule().to_circuit();
+    let mut reference = Circuit::new(cfg.num_data());
+    for s in strings {
+        reference.extend_from(&s.evolution_circuit(theta).remapped(cfg.num_data(), |q| q));
+    }
+    let res = verify_compiled(&compiled, &reference);
+    assert!(
+        res.equivalent,
+        "qsim router not equivalent for {strings:?}: {res:?}\nschedule:\n{}",
+        program.schedule()
+    );
+}
+
+#[test]
+fn qsim_router_single_weight2_string() {
+    let cfg = FpqaConfig::for_qubits(4, 2);
+    assert_qsim_equivalent(&["ZIZI".parse().unwrap()], 0.7, &cfg);
+}
+
+#[test]
+fn qsim_router_xyz_string() {
+    let cfg = FpqaConfig::for_qubits(4, 2);
+    assert_qsim_equivalent(&["XYZI".parse().unwrap()], 0.45, &cfg);
+}
+
+#[test]
+fn qsim_router_dense_string_with_fanout() {
+    // Weight 6 on a 2x3 array: forces multiple copies and a combine ladder.
+    let cfg = FpqaConfig::for_qubits(6, 3);
+    assert_qsim_equivalent(&["ZZZZZZ".parse().unwrap()], 0.3, &cfg);
+}
+
+#[test]
+fn qsim_router_dense_mixed_string() {
+    let cfg = FpqaConfig::for_qubits(6, 3);
+    assert_qsim_equivalent(&["XYZZYX".parse().unwrap()], -0.52, &cfg);
+}
+
+#[test]
+fn qsim_router_string_sequence() {
+    let cfg = FpqaConfig::for_qubits(5, 3);
+    let strings: Vec<PauliString> = vec![
+        "ZZIII".parse().unwrap(),
+        "IXXII".parse().unwrap(),
+        "YIIYZ".parse().unwrap(),
+        "IIIIZ".parse().unwrap(),
+    ];
+    assert_qsim_equivalent(&strings, 0.23, &cfg);
+}
+
+#[test]
+fn qsim_router_random_strings() {
+    use qpilot::workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+    let cfg = FpqaConfig::for_qubits(5, 3);
+    let strings = random_pauli_strings(&PauliWorkloadConfig {
+        num_qubits: 5,
+        num_strings: 4,
+        pauli_probability: 0.5,
+        seed: 12,
+    });
+    assert_qsim_equivalent(&strings, 0.61, &cfg);
+}
+
+/// Routes a QAOA round and compares against the reference circuit.
+fn assert_qaoa_equivalent(n: u32, edges: &[(u32, u32)], cfg: &FpqaConfig) {
+    let (gamma, beta) = (0.7, 0.3);
+    let program = QaoaRouter::new()
+        .route_qaoa_round(n, edges, gamma, beta, cfg)
+        .expect("routing failed");
+    validate_schedule(program.schedule(), cfg).expect("invalid schedule");
+    let compiled = program.schedule().to_circuit();
+    let graph = graphs::Graph::from_edges(n, edges.iter().copied()).expect("valid graph");
+    let reference = graph
+        .qaoa_circuit(&[gamma], &[beta])
+        .remapped(cfg.num_data(), |q| q);
+    let res = verify_compiled(&compiled, &reference);
+    assert!(
+        res.equivalent,
+        "qaoa router not equivalent for {edges:?}: {res:?}\nschedule:\n{}",
+        program.schedule()
+    );
+}
+
+#[test]
+fn qaoa_router_ring() {
+    let cfg = FpqaConfig::for_qubits(4, 2);
+    assert_qaoa_equivalent(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], &cfg);
+}
+
+#[test]
+fn qaoa_router_complete_graph() {
+    let cfg = FpqaConfig::for_qubits(4, 2);
+    let edges: Vec<(u32, u32)> = (0..4)
+        .flat_map(|a| ((a + 1)..4).map(move |b| (a, b)))
+        .collect();
+    assert_qaoa_equivalent(4, &edges, &cfg);
+}
+
+#[test]
+fn qaoa_router_star_graph() {
+    let cfg = FpqaConfig::for_qubits(6, 3);
+    let edges: Vec<(u32, u32)> = (1..6).map(|q| (0, q)).collect();
+    assert_qaoa_equivalent(6, &edges, &cfg);
+}
+
+#[test]
+fn qaoa_router_random_graphs() {
+    for seed in 0..4 {
+        let g = graphs::erdos_renyi(6, 0.5, seed);
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let cfg = FpqaConfig::for_qubits(6, 3);
+        assert_qaoa_equivalent(6, g.edges(), &cfg);
+    }
+}
+
+#[test]
+fn qaoa_router_3regular() {
+    let g = graphs::random_regular(6, 3, 5).expect("regular graph");
+    let cfg = FpqaConfig::for_qubits(6, 3);
+    assert_qaoa_equivalent(6, g.edges(), &cfg);
+}
+
+#[test]
+fn qaoa_router_two_rounds() {
+    // Depth-2 QAOA: each round re-creates its ancilla copies (the mixer
+    // invalidates Z-basis copies between rounds).
+    let n = 4u32;
+    let edges = [(0u32, 1u32), (1, 2), (2, 3)];
+    let (gammas, betas) = ([0.7, 0.4], [0.3, 0.9]);
+    let cfg = FpqaConfig::for_qubits(n, 2);
+    let program = QaoaRouter::new()
+        .route_qaoa_rounds(n, &edges, &gammas, &betas, &cfg)
+        .expect("routing failed");
+    validate_schedule(program.schedule(), &cfg).expect("invalid schedule");
+    let graph = graphs::Graph::from_edges(n, edges.iter().copied()).expect("valid graph");
+    let reference = graph.qaoa_circuit(&gammas, &betas);
+    let res = verify_compiled(&program.schedule().to_circuit(), &reference);
+    assert!(res.equivalent, "two-round QAOA not equivalent: {res:?}");
+    // Create/recycle cost appears once per round.
+    assert_eq!(
+        program.stats().two_qubit_gates,
+        2 * (2 * 4 + edges.len())
+    );
+}
