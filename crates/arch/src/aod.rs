@@ -46,10 +46,20 @@ impl fmt::Display for AodError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AodError::OrderViolation { axis, index } => {
-                write!(f, "aod {axis} coordinates not strictly increasing at index {index}")
+                write!(
+                    f,
+                    "aod {axis} coordinates not strictly increasing at index {index}"
+                )
             }
-            AodError::DimensionMismatch { axis, expected, got } => {
-                write!(f, "aod {axis} move expected {expected} coordinates, got {got}")
+            AodError::DimensionMismatch {
+                axis,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "aod {axis} move expected {expected} coordinates, got {got}"
+                )
             }
             AodError::OutOfRange { what } => write!(f, "aod reference out of range: {what}"),
         }
@@ -185,7 +195,9 @@ impl AodGrid {
 
     /// Returns `true` if the cross holds an atom.
     pub fn is_occupied(&self, row: usize, col: usize) -> bool {
-        self.idx(row, col).map(|i| self.occupied[i]).unwrap_or(false)
+        self.idx(row, col)
+            .map(|i| self.occupied[i])
+            .unwrap_or(false)
     }
 
     /// Loads an atom into the cross (atom transfer from a reservoir/SLM).
@@ -349,7 +361,10 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let mut aod = AodGrid::aligned_square(2, 10.0);
         let err = aod.move_to(vec![0.0], vec![0.0, 10.0]).unwrap_err();
-        assert!(matches!(err, AodError::DimensionMismatch { axis: "row", .. }));
+        assert!(matches!(
+            err,
+            AodError::DimensionMismatch { axis: "row", .. }
+        ));
     }
 
     #[test]

@@ -2,6 +2,9 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use crate::dist::DistanceMatrix;
 
 /// An undirected coupling graph over physical qubits.
 ///
@@ -18,14 +21,30 @@ use std::fmt;
 /// assert!(!line.is_adjacent(0, 2));
 /// assert_eq!(line.distance(0, 2), Some(2));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CouplingGraph {
     name: String,
     num_qubits: usize,
     adjacency: Vec<Vec<usize>>,
     edges: Vec<(usize, usize)>,
+    /// Memoized APSP matrix: computed at most once per device and shared
+    /// (via `Arc`) with every clone made afterwards. Ignored by equality.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    dist: OnceLock<Arc<DistanceMatrix>>,
 }
+
+impl PartialEq for CouplingGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The distance cache is derived state and excluded.
+        self.name == other.name
+            && self.num_qubits == other.num_qubits
+            && self.adjacency == other.adjacency
+            && self.edges == other.edges
+    }
+}
+
+impl Eq for CouplingGraph {}
 
 impl CouplingGraph {
     /// Builds a graph from an edge list. Edges are deduplicated and stored
@@ -62,6 +81,7 @@ impl CouplingGraph {
             num_qubits,
             adjacency,
             edges: normalized,
+            dist: OnceLock::new(),
         }
     }
 
@@ -133,9 +153,34 @@ impl CouplingGraph {
         dist
     }
 
-    /// All-pairs BFS distance matrix. O(V·E); fine for ≤ few hundred qubits.
+    /// The memoized all-pairs distance matrix: computed on first call
+    /// (`O(V·(V+E))`), then shared — repeated calls and clones made after
+    /// the first call return the same `Arc`.
+    pub fn distances(&self) -> Arc<DistanceMatrix> {
+        self.dist
+            .get_or_init(|| Arc::new(DistanceMatrix::compute(&self.adjacency)))
+            .clone()
+    }
+
+    /// All-pairs BFS distance matrix in the legacy nested-`Vec` shape
+    /// (`usize::MAX` marks unreachable pairs). Prefer
+    /// [`CouplingGraph::distances`], which is flat, cached and shared.
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
-        (0..self.num_qubits).map(|q| self.distances_from(q)).collect()
+        let m = self.distances();
+        (0..self.num_qubits)
+            .map(|a| {
+                m.row(a)
+                    .iter()
+                    .map(|&d| {
+                        if d == crate::dist::UNREACHABLE {
+                            usize::MAX
+                        } else {
+                            d as usize
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Returns `true` if the graph is connected (or empty).

@@ -30,11 +30,7 @@ pub fn square_lattice(rows: usize, cols: usize) -> CouplingGraph {
             }
         }
     }
-    CouplingGraph::from_edges(
-        format!("square-{rows}x{cols}"),
-        rows * cols,
-        edges,
-    )
+    CouplingGraph::from_edges(format!("square-{rows}x{cols}"), rows * cols, edges)
 }
 
 /// Triangular lattice of `rows × cols` atoms: square lattice plus one
@@ -55,11 +51,7 @@ pub fn triangular_lattice(rows: usize, cols: usize) -> CouplingGraph {
             }
         }
     }
-    CouplingGraph::from_edges(
-        format!("triangular-{rows}x{cols}"),
-        rows * cols,
-        edges,
-    )
+    CouplingGraph::from_edges(format!("triangular-{rows}x{cols}"), rows * cols, edges)
 }
 
 /// The 16×16 square fixed-atom-array baseline from the paper.

@@ -1,0 +1,116 @@
+//! Precomputed all-pairs-shortest-path distances for coupling graphs.
+//!
+//! The SABRE baseline scores every candidate SWAP against front-layer and
+//! look-ahead gate distances; with per-query BFS that dominates routing
+//! time. A [`DistanceMatrix`] runs the full APSP **once per device** and
+//! stores it as a flat row-major `u32` array (cache-friendly, 4 bytes per
+//! pair). [`crate::CouplingGraph::distances`] memoizes the matrix behind
+//! an `Arc`, so cloned graphs and every router built for the same device
+//! share one computation.
+
+use std::collections::VecDeque;
+
+/// Marker for unreachable vertex pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Flat all-pairs BFS distance matrix over physical qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    num_qubits: usize,
+    dist: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Runs BFS from every vertex of `adjacency`. `O(V·(V+E))` once.
+    pub(crate) fn compute(adjacency: &[Vec<usize>]) -> Self {
+        let n = adjacency.len();
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut queue = VecDeque::new();
+        for from in 0..n {
+            let row = &mut dist[from * n..(from + 1) * n];
+            row[from] = 0;
+            queue.clear();
+            queue.push_back(from);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adjacency[u] {
+                    if row[v] == UNREACHABLE {
+                        row[v] = row[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        DistanceMatrix {
+            num_qubits: n,
+            dist,
+        }
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Hop distance between `a` and `b`; [`UNREACHABLE`] if disconnected.
+    #[inline]
+    pub fn get(&self, a: usize, b: usize) -> u32 {
+        self.dist[a * self.num_qubits + b]
+    }
+
+    /// Distances from one vertex as a slice.
+    pub fn row(&self, from: usize) -> &[u32] {
+        &self.dist[from * self.num_qubits..(from + 1) * self.num_qubits]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CouplingGraph;
+
+    fn ring(n: usize) -> CouplingGraph {
+        CouplingGraph::from_edges("ring", n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn matches_per_query_bfs() {
+        let g = ring(7);
+        let m = g.distances();
+        for a in 0..7 {
+            for b in 0..7 {
+                assert_eq!(m.get(a, b) as usize, g.distance(a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_unreachable() {
+        let g = CouplingGraph::from_edges("two", 4, [(0, 1), (2, 3)]);
+        let m = g.distances();
+        assert_eq!(m.get(0, 3), UNREACHABLE);
+        assert_eq!(m.get(0, 1), 1);
+    }
+
+    #[test]
+    fn matrix_is_shared_between_clones() {
+        let g = ring(5);
+        let m1 = g.distances();
+        let clone = g.clone();
+        let m2 = clone.distances();
+        assert!(std::sync::Arc::ptr_eq(&m1, &m2), "clone recomputed APSP");
+    }
+
+    #[test]
+    fn repeated_calls_share_one_matrix() {
+        let g = ring(5);
+        assert!(std::sync::Arc::ptr_eq(&g.distances(), &g.distances()));
+    }
+
+    #[test]
+    fn rows_expose_single_source_distances() {
+        let g = ring(6);
+        let m = g.distances();
+        assert_eq!(m.row(0), &[0, 1, 2, 3, 2, 1]);
+        assert_eq!(m.num_qubits(), 6);
+    }
+}

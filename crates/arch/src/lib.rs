@@ -21,6 +21,7 @@
 mod aod;
 mod coupling;
 pub mod devices;
+mod dist;
 mod geometry;
 mod params;
 mod rydberg;
@@ -28,6 +29,7 @@ mod slm;
 
 pub use aod::{AodError, AodGrid, AodMove};
 pub use coupling::CouplingGraph;
+pub use dist::{DistanceMatrix, UNREACHABLE};
 pub use geometry::{GridCoord, Position};
 pub use params::PhysicalParams;
 pub use rydberg::{InteractionCheck, RydbergModel};

@@ -125,9 +125,18 @@ mod tests {
     #[test]
     fn classification_zones() {
         let m = RydbergModel::default(); // r_b = 2, safe > 5
-        assert_eq!(m.classify(&p(0.0, 0.0), &p(1.0, 0.0)), InteractionCheck::Interacting);
-        assert_eq!(m.classify(&p(0.0, 0.0), &p(3.0, 0.0)), InteractionCheck::Hazard);
-        assert_eq!(m.classify(&p(0.0, 0.0), &p(6.0, 0.0)), InteractionCheck::Safe);
+        assert_eq!(
+            m.classify(&p(0.0, 0.0), &p(1.0, 0.0)),
+            InteractionCheck::Interacting
+        );
+        assert_eq!(
+            m.classify(&p(0.0, 0.0), &p(3.0, 0.0)),
+            InteractionCheck::Hazard
+        );
+        assert_eq!(
+            m.classify(&p(0.0, 0.0), &p(6.0, 0.0)),
+            InteractionCheck::Safe
+        );
     }
 
     #[test]
@@ -158,7 +167,10 @@ mod tests {
     fn grid_neighbours_are_safe_at_default_pitch() {
         // 10 um pitch with r_b = 2 um: neighbours at 10 um > 5 um.
         let m = RydbergModel::default();
-        assert_eq!(m.classify(&p(0.0, 0.0), &p(10.0, 0.0)), InteractionCheck::Safe);
+        assert_eq!(
+            m.classify(&p(0.0, 0.0), &p(10.0, 0.0)),
+            InteractionCheck::Safe
+        );
     }
 
     #[test]

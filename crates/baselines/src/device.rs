@@ -61,12 +61,26 @@ pub fn compile_with_options(
     device: &CouplingGraph,
     options: SabreOptions,
 ) -> Result<BaselineReport, BaselineError> {
+    // Warm the caller's shared APSP cache *before* cloning so repeated
+    // compilations against the same device reuse one matrix.
+    device.distances();
+    compile_with_router(circuit, &SabreRouter::with_options(device.clone(), options))
+}
+
+/// Compiles against a pre-built router — the batch hot path: one
+/// [`SabreRouter`] (one device clone, one shared APSP matrix) serves any
+/// number of circuits.
+///
+/// # Errors
+///
+/// See [`compile_to_device`].
+pub fn compile_with_router(
+    circuit: &Circuit,
+    router: &SabreRouter,
+) -> Result<BaselineReport, BaselineError> {
     // Fixed-coupling hardware has no native ZZ(θ): expand everything.
-    let native = decompose::to_native(
-        circuit,
-        decompose::DecomposeOptions { keep_zz: false },
-    );
-    let routed = SabreRouter::with_options(device.clone(), options).route(&native)?;
+    let native = decompose::to_native(circuit, decompose::DecomposeOptions { keep_zz: false });
+    let routed = router.route(&native)?;
     // Expand SWAPs into CX chains, lower to CZ basis, clean up.
     let lowered = decompose::to_native(
         &routed.circuit,
@@ -74,7 +88,7 @@ pub fn compile_with_options(
     );
     let (clean, _) = optimize::peephole(&lowered);
     Ok(BaselineReport {
-        device: device.name().to_string(),
+        device: router.graph().name().to_string(),
         two_qubit_gates: clean.two_qubit_count(),
         two_qubit_depth: clean.two_qubit_depth(),
         one_qubit_gates: clean.single_qubit_count(),
@@ -92,10 +106,8 @@ pub fn compile_returning_circuit(
     circuit: &Circuit,
     device: &CouplingGraph,
 ) -> Result<(BaselineReport, Circuit, Vec<usize>), BaselineError> {
-    let native = decompose::to_native(
-        circuit,
-        decompose::DecomposeOptions { keep_zz: false },
-    );
+    let native = decompose::to_native(circuit, decompose::DecomposeOptions { keep_zz: false });
+    device.distances();
     let routed = SabreRouter::new(device.clone()).route(&native)?;
     let lowered = decompose::to_native(
         &routed.circuit,

@@ -23,7 +23,9 @@ pub mod device;
 pub mod sabre;
 pub mod solver;
 
-pub use device::{compile_returning_circuit, compile_to_device, compile_with_options,
-                 BaselineReport};
-pub use sabre::{BaselineError, SabreOptions, SabreRouter, SabreResult};
+pub use device::{
+    compile_returning_circuit, compile_to_device, compile_with_options, compile_with_router,
+    BaselineReport,
+};
+pub use sabre::{BaselineError, SabreOptions, SabreResult, SabreRouter};
 pub use solver::{exact_qaoa_stages, greedy_qaoa_stages, SolverOutcome};

@@ -11,7 +11,9 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
-use qpilot_arch::CouplingGraph;
+use std::sync::Arc;
+
+use qpilot_arch::{CouplingGraph, DistanceMatrix, UNREACHABLE};
 use qpilot_circuit::{Circuit, Frontier, Gate, Operands, Qubit};
 
 /// Tunables for [`SabreRouter`]; defaults follow the SABRE paper.
@@ -60,7 +62,10 @@ pub enum BaselineError {
 impl fmt::Display for BaselineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BaselineError::CircuitTooWide { required, available } => {
+            BaselineError::CircuitTooWide {
+                required,
+                available,
+            } => {
                 write!(f, "circuit needs {required} qubits, device has {available}")
             }
             BaselineError::Unroutable { a, b } => {
@@ -85,10 +90,14 @@ pub struct SabreResult {
 }
 
 /// The router, bound to one device graph.
+///
+/// The all-pairs distance matrix is taken from the device's shared cache
+/// ([`CouplingGraph::distances`]): building many routers — or routing
+/// many circuits — against one device computes APSP exactly once.
 #[derive(Debug, Clone)]
 pub struct SabreRouter {
     graph: CouplingGraph,
-    dist: Vec<Vec<usize>>,
+    dist: Arc<DistanceMatrix>,
     options: SabreOptions,
 }
 
@@ -100,7 +109,7 @@ impl SabreRouter {
 
     /// Creates a router with explicit options.
     pub fn with_options(graph: CouplingGraph, options: SabreOptions) -> Self {
-        let dist = graph.distance_matrix();
+        let dist = graph.distances();
         SabreRouter {
             graph,
             dist,
@@ -175,7 +184,7 @@ impl SabreRouter {
                 .collect();
             debug_assert!(!front.is_empty(), "blocked frontier must have 2Q gates");
             for &(a, b) in &front {
-                if self.dist[a][b] == usize::MAX {
+                if self.dist.get(a, b) == UNREACHABLE {
                     return Err(BaselineError::Unroutable { a, b });
                 }
             }
@@ -241,14 +250,15 @@ impl SabreRouter {
                 stuck_rounds = 0;
             }
             // Any execution resets the stuck counter next loop iteration.
-            let any_ready = frontier.front_layer().iter().any(|&id| {
-                match gates[id].operands() {
+            let any_ready = frontier
+                .front_layer()
+                .iter()
+                .any(|&id| match gates[id].operands() {
                     Operands::One(_) => true,
                     Operands::Two(a, b) => {
                         self.graph.is_adjacent(layout[a.index()], layout[b.index()])
                     }
-                }
-            });
+                });
             if any_ready {
                 stuck_rounds = 0;
             }
@@ -268,9 +278,9 @@ impl SabreRouter {
             .neighbors(a)
             .iter()
             .copied()
-            .min_by_key(|&n| self.dist[n][b])
+            .min_by_key(|&n| self.dist.get(n, b))
             .ok_or(BaselineError::Unroutable { a, b })?;
-        if self.dist[next][b] == usize::MAX {
+        if self.dist.get(next, b) == UNREACHABLE {
             return Err(BaselineError::Unroutable { a, b });
         }
         Ok((a, next))
@@ -295,7 +305,7 @@ impl SabreRouter {
         };
         let front_cost: f64 = front
             .iter()
-            .map(|&(a, b)| self.dist[remap(a)][remap(b)] as f64)
+            .map(|&(a, b)| self.dist.get(remap(a), remap(b)) as f64)
             .sum::<f64>()
             / front.len() as f64;
         let ext_cost = if extended.is_empty() {
@@ -303,7 +313,7 @@ impl SabreRouter {
         } else {
             extended
                 .iter()
-                .map(|&(a, b)| self.dist[remap(a)][remap(b)] as f64)
+                .map(|&(a, b)| self.dist.get(remap(a), remap(b)) as f64)
                 .sum::<f64>()
                 / extended.len() as f64
         };
@@ -423,9 +433,14 @@ mod tests {
         for q in 0..10 {
             c.cz(q, q + 10);
         }
-        let r = SabreRouter::new(devices::ibm_washington()).route(&c).unwrap();
+        let r = SabreRouter::new(devices::ibm_washington())
+            .route(&c)
+            .unwrap();
         assert_eq!(
-            r.circuit.iter().filter(|g| matches!(g, Gate::Cz(_, _))).count(),
+            r.circuit
+                .iter()
+                .filter(|g| matches!(g, Gate::Cz(_, _)))
+                .count(),
             10
         );
         assert!(r.swaps > 0);

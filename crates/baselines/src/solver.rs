@@ -89,7 +89,9 @@ pub fn exact_qaoa_stages(
             ColorResult::Infeasible => continue,
             ColorResult::TimedOut => {
                 // A (Δ+1)-stage schedule always exists even if unproven.
-                best_known = Some(max_degree + 1).filter(|_| k > max_degree).or(best_known);
+                best_known = Some(max_degree + 1)
+                    .filter(|_| k > max_degree)
+                    .or(best_known);
                 return SolverOutcome::Timeout {
                     best_known,
                     elapsed: start.elapsed(),
@@ -170,8 +172,7 @@ fn color_with(
                         used[pa as usize] &= !(1 << prev_color);
                         used[pb as usize] &= !(1 << prev_color);
                         // Recompute max_color_used from the stack.
-                        max_color_used =
-                            stack.iter().map(|&(_, c)| c).max().unwrap_or(0);
+                        max_color_used = stack.iter().map(|&(_, c)| c).max().unwrap_or(0);
                         pos = prev_pos;
                         next_color = prev_color + 1;
                     }

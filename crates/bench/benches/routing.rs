@@ -2,9 +2,10 @@
 //! the paper's workload families (the basis of Table 2's runtime rows and
 //! the §4.3 scalability study).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use qpilot_core::generic::GenericRouter;
+use qpilot_core::legality::{greedy_legal_subset, greedy_max_subset, GatePlacement, LegalitySet};
 use qpilot_core::qaoa::QaoaRouter;
 use qpilot_core::qsim::QsimRouter;
 use qpilot_core::FpqaConfig;
@@ -37,7 +38,11 @@ fn bench_qsim(c: &mut Criterion) {
         });
         let cfg = FpqaConfig::square_for(n as u32);
         group.bench_with_input(BenchmarkId::new("pauli_p0.3_20s", n), &n, |b, _| {
-            b.iter(|| QsimRouter::new().route_strings(&strings, 0.4, &cfg).unwrap());
+            b.iter(|| {
+                QsimRouter::new()
+                    .route_strings(&strings, 0.4, &cfg)
+                    .unwrap()
+            });
         });
     }
     group.finish();
@@ -60,5 +65,52 @@ fn bench_qaoa(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generic, bench_qsim, bench_qaoa);
+/// Random candidate front layers for the legality micro-benchmarks:
+/// `k` placements on a `grid × grid` array (fixed seed).
+fn random_placements(k: usize, grid: usize, seed: u64) -> Vec<GatePlacement> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = move || rng.gen_range(0..grid);
+    (0..k)
+        .map(|_| {
+            GatePlacement::new(
+                qpilot_arch::GridCoord::new(next(), next()),
+                qpilot_arch::GridCoord::new(next(), next()),
+            )
+        })
+        .collect()
+}
+
+/// The legality fast path in isolation: incremental `LegalitySet` greedy
+/// vs the pre-PR pairwise greedy, on front layers of 16/64/256 candidates
+/// (micro-regressions here are invisible in end-to-end routing times).
+fn bench_legality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legality_greedy");
+    group.sample_size(30);
+    for &k in &[16usize, 64, 256] {
+        let grid = 32usize;
+        let placements = random_placements(k, grid, 7);
+        let mut set = LegalitySet::new(grid, grid);
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, _| {
+            b.iter(|| {
+                greedy_max_subset(black_box(&placements), usize::MAX, &mut set, &mut out);
+                out.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise_reference", k), &k, |b, _| {
+            b.iter(|| greedy_legal_subset(black_box(&placements)).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_legality,
+    bench_generic,
+    bench_qsim,
+    bench_qaoa
+);
 criterion_main!(benches);

@@ -26,7 +26,10 @@ fn main() {
 
     // Generic router: stage cap ablation.
     let circuit = random_circuit(&RandomCircuitConfig::paper(n, 5, seed));
-    for (variant, cap) in [("legal-subset stages", None), ("one gate per stage", Some(1))] {
+    for (variant, cap) in [
+        ("legal-subset stages", None),
+        ("one gate per stage", Some(1)),
+    ] {
         let p = GenericRouter::with_options(GenericRouterOptions { stage_cap: cap })
             .route(&circuit, &cfg)
             .expect("routing");

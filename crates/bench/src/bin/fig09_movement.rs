@@ -72,7 +72,5 @@ fn main() {
     let mean_speed = speeds.iter().sum::<f64>() / speeds.len().max(1) as f64;
     println!("movement speed (m/s):");
     print!("{}", speed_hist.render());
-    println!(
-        "mean speed {mean_speed:.3} m/s  (paper: typical speed ~0.15 m/s)"
-    );
+    println!("mean speed {mean_speed:.3} m/s  (paper: typical speed ~0.15 m/s)");
 }

@@ -15,7 +15,12 @@ use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
 fn main() {
     let seed = arg_num("--seed", 5u64);
     let mut table = Table::new(&[
-        "program", "total (ms)", "movement (ms)", "2Q (ms)", "1Q (ms)", "transfer (ms)",
+        "program",
+        "total (ms)",
+        "movement (ms)",
+        "2Q (ms)",
+        "1Q (ms)",
+        "transfer (ms)",
         "movement %",
     ]);
 
@@ -42,9 +47,7 @@ fn main() {
     {
         let circuit = bernstein_vazirani_random(70, seed);
         let cfg = fpqa_config(circuit.num_qubits());
-        let program = GenericRouter::new()
-            .route(&circuit, &cfg)
-            .expect("routing");
+        let program = GenericRouter::new().route(&circuit, &cfg).expect("routing");
         push_row(&mut table, "BV-70", &evaluate(program.schedule(), &cfg));
     }
 
@@ -53,7 +56,11 @@ fn main() {
     println!("(paper: movements are the largest part of the timeline)");
 }
 
-fn push_row(table: &mut qpilot_bench::Table, name: &str, r: &qpilot_core::evaluator::PerformanceReport) {
+fn push_row(
+    table: &mut qpilot_bench::Table,
+    name: &str,
+    r: &qpilot_core::evaluator::PerformanceReport,
+) {
     let ms = 1e3;
     table.row(vec![
         name.into(),

@@ -3,8 +3,9 @@
 //!
 //! Usage: `fig11_random [--sizes 5,10,20,50,100] [--factors 2,10] [--seed 7]`
 
-use qpilot_bench::{arg_list, arg_num, compile_on_baselines, fpqa_config, geomean_ratio, Table,
-                   BASELINE_LABELS};
+use qpilot_bench::{
+    arg_list, arg_num, compile_on_baselines, fpqa_config, geomean_ratio, Table, BASELINE_LABELS,
+};
 use qpilot_core::generic::GenericRouter;
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
 
@@ -16,10 +17,15 @@ fn main() {
     for &factor in &factors {
         println!("\n== Fig. 11: random circuits, #2Q = {factor} x #qubits ==");
         let mut table = Table::new(&[
-            "qubits", "FPQA 2Q", "FPQA depth",
-            "rect 2Q", "rect depth",
-            "tri 2Q", "tri depth",
-            "IBM 2Q", "IBM depth",
+            "qubits",
+            "FPQA 2Q",
+            "FPQA depth",
+            "rect 2Q",
+            "rect depth",
+            "tri 2Q",
+            "tri depth",
+            "IBM 2Q",
+            "IBM depth",
         ]);
         let mut ours_depth = Vec::new();
         let mut ours_gates = Vec::new();

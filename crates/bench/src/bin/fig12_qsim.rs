@@ -5,8 +5,9 @@
 //! Usage: `fig12_qsim [--sizes 5,10,20,50,100] [--probs 0.1,0.5]
 //!                    [--strings 100] [--seed 3]`
 
-use qpilot_bench::{arg_list, arg_num, arg_value, compile_on_baselines, fpqa_config,
-                   geomean_ratio, Table};
+use qpilot_bench::{
+    arg_list, arg_num, arg_value, compile_on_baselines, fpqa_config, geomean_ratio, Table,
+};
 use qpilot_circuit::Circuit;
 use qpilot_core::qsim::QsimRouter;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
@@ -23,10 +24,15 @@ fn main() {
     for &p in &probs {
         println!("\n== Fig. 12: quantum simulation, Pauli prob = {p} ({num_strings} strings) ==");
         let mut table = Table::new(&[
-            "qubits", "FPQA 2Q", "FPQA depth",
-            "rect 2Q", "rect depth",
-            "tri 2Q", "tri depth",
-            "IBM 2Q", "IBM depth",
+            "qubits",
+            "FPQA 2Q",
+            "FPQA depth",
+            "rect 2Q",
+            "rect depth",
+            "tri 2Q",
+            "tri depth",
+            "IBM 2Q",
+            "IBM depth",
         ]);
         let mut ours_depth = Vec::new();
         let mut ours_gates = Vec::new();

@@ -11,10 +11,16 @@ use qpilot_workloads::graphs::{erdos_renyi, random_regular, Graph};
 fn run_family(name: &str, graphs: &[(u32, Graph)], paper_note: &str) {
     println!("\n== Fig. 13: QAOA, {name} ==");
     let mut table = Table::new(&[
-        "qubits", "edges", "FPQA 2Q", "FPQA depth",
-        "rect 2Q", "rect depth",
-        "tri 2Q", "tri depth",
-        "IBM 2Q", "IBM depth",
+        "qubits",
+        "edges",
+        "FPQA 2Q",
+        "FPQA depth",
+        "rect 2Q",
+        "rect depth",
+        "tri 2Q",
+        "tri depth",
+        "IBM 2Q",
+        "IBM depth",
     ]);
     let (gamma, beta) = (0.7, 0.3);
     let mut ours_depth = Vec::new();

@@ -45,9 +45,7 @@ fn main() {
     ];
 
     println!("== Fig. 15(a): circuit error rate vs 2Q gate error rate ==");
-    let mut table = Table::new(&[
-        "2Q error", "random 6Q", "QAOA 3-reg", "qsim 5Q",
-    ]);
+    let mut table = Table::new(&["2Q error", "random 6Q", "QAOA 3-reg", "qsim 5Q"]);
     for exp in (1..=6).rev() {
         let err2q = 10f64.powi(-exp);
         let mut row = vec![format!("1e-{exp}")];

@@ -21,7 +21,11 @@ fn main() {
     // Quantum simulation: specific router vs generic router on ladders.
     println!("== Fig. 16: quantum simulation (pauli p = 0.3, {num_strings} strings) ==");
     let mut table = Table::new(&[
-        "qubits", "specific 2Q", "specific depth", "generic 2Q", "generic depth",
+        "qubits",
+        "specific 2Q",
+        "specific depth",
+        "generic 2Q",
+        "generic depth",
     ]);
     let (mut sd, mut sg, mut gd, mut gg) = (vec![], vec![], vec![], vec![]);
     for &n in &sizes {
@@ -62,7 +66,11 @@ fn main() {
     // QAOA: specific router vs generic router on the ZZ circuit.
     println!("\n== Fig. 16: QAOA (edge prob = 0.3) ==");
     let mut table = Table::new(&[
-        "qubits", "specific 2Q", "specific depth", "generic 2Q", "generic depth",
+        "qubits",
+        "specific 2Q",
+        "specific depth",
+        "generic 2Q",
+        "generic depth",
     ]);
     let (mut sd, mut sg, mut gd, mut gg) = (vec![], vec![], vec![], vec![]);
     for &n in &sizes {

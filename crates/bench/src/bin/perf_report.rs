@@ -1,0 +1,353 @@
+//! Routing-performance tracker: sweeps circuit sizes, times every router,
+//! A/B-compares the generic router against the preserved pre-PR pairwise
+//! implementation, and writes `BENCH_routing.json` for trend tracking.
+//!
+//! ```text
+//! perf_report [--sizes 20,50,100] [--factor 10] [--reps 7] \
+//!             [--batch 8] [--threads N] [--out BENCH_routing.json]
+//! ```
+//!
+//! Reported per size: median wall-clock for the pre-PR reference and the
+//! incremental router (plus their heap-allocation counts, measured with a
+//! counting global allocator), schedule stats, a byte-identity check of
+//! the two schedules, and batch-compilation throughput on `--threads`
+//! workers. The qsim and QAOA routers get wall-clock/stats rows on their
+//! own workload families. Run `--sizes 10 --factor 3 --reps 2 --batch 2`
+//! as a CI smoke test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use qpilot_bench::{arg_num, arg_value, compile_batch, default_threads, Table};
+use qpilot_core::generic::{GenericRouter, GenericRouterOptions};
+use qpilot_core::generic_reference::route_reference;
+use qpilot_core::{CompiledProgram, FpqaConfig};
+use qpilot_workloads::graphs::random_regular;
+use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
+use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+/// Counts heap operations so the report can track allocation churn — the
+/// resource the incremental engine and scratch reuse actually eliminate.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+/// Median wall-clock seconds over `reps` runs.
+fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let out = f();
+            let dt = t.elapsed().as_secs_f64();
+            drop(out);
+            dt
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct GenericRow {
+    qubits: u32,
+    two_qubit_gates: usize,
+    wall_reference: f64,
+    wall_incremental: f64,
+    allocs_reference: u64,
+    allocs_incremental: u64,
+    identical: bool,
+    stages: usize,
+    rydberg_depth: usize,
+    native_two_qubit: usize,
+    batch_circuits: usize,
+    batch_threads: usize,
+    wall_batch_per_circuit: f64,
+}
+
+struct AuxRow {
+    router: &'static str,
+    qubits: u32,
+    workload: String,
+    wall: f64,
+    stages: usize,
+    rydberg_depth: usize,
+    native_two_qubit: usize,
+}
+
+fn bench_generic(n: u32, factor: usize, reps: usize, batch: usize, threads: usize) -> GenericRow {
+    let circuit = random_circuit(&RandomCircuitConfig::paper(n, factor, 1));
+    let config = FpqaConfig::square_for(n);
+    let options = GenericRouterOptions::default();
+
+    let wall_reference = median_secs(reps, || {
+        route_reference(&circuit, &config, options).expect("reference routes")
+    });
+    let wall_incremental = median_secs(reps, || {
+        GenericRouter::with_options(options)
+            .route(&circuit, &config)
+            .expect("incremental routes")
+    });
+    let (reference, allocs_reference) =
+        count_allocs(|| route_reference(&circuit, &config, options).expect("reference routes"));
+    let (program, allocs_incremental) = count_allocs(|| {
+        GenericRouter::with_options(options)
+            .route(&circuit, &config)
+            .expect("incremental routes")
+    });
+    let identical = reference == program;
+
+    // Batch throughput: `batch` distinct circuits of the same shape.
+    let batch_circuits: Vec<_> = (0..batch.max(1))
+        .map(|seed| random_circuit(&RandomCircuitConfig::paper(n, factor, seed as u64 + 1)))
+        .collect();
+    let wall_batch = median_secs(reps.min(3), || {
+        let results = compile_batch(&batch_circuits, &config, threads);
+        assert!(results.iter().all(Result::is_ok));
+        results
+    });
+
+    let stats = program.stats();
+    GenericRow {
+        qubits: n,
+        two_qubit_gates: circuit.two_qubit_count(),
+        wall_reference,
+        wall_incremental,
+        allocs_reference,
+        allocs_incremental,
+        identical,
+        stages: program.schedule().stages.len(),
+        rydberg_depth: stats.two_qubit_depth,
+        native_two_qubit: stats.two_qubit_gates,
+        batch_circuits: batch_circuits.len(),
+        batch_threads: threads,
+        wall_batch_per_circuit: wall_batch / batch_circuits.len() as f64,
+    }
+}
+
+fn aux_row(
+    router: &'static str,
+    qubits: u32,
+    workload: String,
+    wall: f64,
+    program: &CompiledProgram,
+) -> AuxRow {
+    let stats = program.stats();
+    AuxRow {
+        router,
+        qubits,
+        workload,
+        wall,
+        stages: program.schedule().stages.len(),
+        rydberg_depth: stats.two_qubit_depth,
+        native_two_qubit: stats.two_qubit_gates,
+    }
+}
+
+fn bench_qsim(n: u32, reps: usize) -> AuxRow {
+    let strings = random_pauli_strings(&PauliWorkloadConfig {
+        num_qubits: n as usize,
+        num_strings: 20,
+        pauli_probability: 0.3,
+        seed: 2,
+    });
+    let config = FpqaConfig::square_for(n);
+    let router = qpilot_core::qsim::QsimRouter::new();
+    let wall = median_secs(reps, || {
+        router
+            .route_strings(&strings, 0.4, &config)
+            .expect("qsim routes")
+    });
+    let program = router
+        .route_strings(&strings, 0.4, &config)
+        .expect("qsim routes");
+    aux_row("qsim", n, "pauli_p0.3_20s".into(), wall, &program)
+}
+
+fn bench_qaoa(n: u32, reps: usize) -> AuxRow {
+    let graph = random_regular(n, 3, 4).expect("regular graph");
+    let config = FpqaConfig::square_for(n);
+    let router = qpilot_core::qaoa::QaoaRouter::new();
+    let wall = median_secs(reps, || {
+        router
+            .route_edges(n, graph.edges(), 0.7, &config)
+            .expect("qaoa routes")
+    });
+    let program = router
+        .route_edges(n, graph.edges(), 0.7, &config)
+        .expect("qaoa routes");
+    aux_row("qaoa", n, "3_regular".into(), wall, &program)
+}
+
+fn main() {
+    let sizes: Vec<u32> = arg_value("--sizes")
+        .map(|v| v.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![20, 50, 100]);
+    if sizes.is_empty() || sizes.contains(&0) {
+        eprintln!("error: --sizes needs a comma-separated list of positive qubit counts");
+        std::process::exit(2);
+    }
+    let factor: usize = arg_num("--factor", 10);
+    let reps: usize = arg_num("--reps", 7);
+    let batch: usize = arg_num("--batch", 8);
+    let threads: usize = arg_num("--threads", default_threads());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_routing.json".to_string());
+
+    let mut generic_rows = Vec::new();
+    let mut aux_rows = Vec::new();
+    for &n in &sizes {
+        generic_rows.push(bench_generic(n, factor, reps, batch, threads));
+        aux_rows.push(bench_qsim(n, reps));
+        aux_rows.push(bench_qaoa(n, reps));
+    }
+
+    let mut table = Table::new(&[
+        "qubits",
+        "CZs",
+        "ref_ms",
+        "inc_ms",
+        "speedup",
+        "alloc_ratio",
+        "identical",
+        "batch_ms/c",
+    ]);
+    for row in &generic_rows {
+        table.row(vec![
+            row.qubits.to_string(),
+            row.two_qubit_gates.to_string(),
+            format!("{:.3}", row.wall_reference * 1e3),
+            format!("{:.3}", row.wall_incremental * 1e3),
+            format!("{:.2}", row.wall_reference / row.wall_incremental),
+            format!(
+                "{:.2}",
+                row.allocs_reference as f64 / row.allocs_incremental as f64
+            ),
+            row.identical.to_string(),
+            format!("{:.3}", row.wall_batch_per_circuit * 1e3),
+        ]);
+    }
+    println!("generic router: incremental vs pre-PR reference");
+    table.print();
+
+    let mut aux = Table::new(&["router", "qubits", "workload", "ms", "stages", "2q"]);
+    for row in &aux_rows {
+        aux.row(vec![
+            row.router.to_string(),
+            row.qubits.to_string(),
+            row.workload.clone(),
+            format!("{:.3}", row.wall * 1e3),
+            row.stages.to_string(),
+            row.native_two_qubit.to_string(),
+        ]);
+    }
+    println!("\nspecialised routers");
+    aux.print();
+
+    let json = render_json(
+        &sizes,
+        factor,
+        reps,
+        batch,
+        threads,
+        &generic_rows,
+        &aux_rows,
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    assert!(
+        generic_rows.iter().all(|r| r.identical),
+        "incremental router diverged from the reference schedule"
+    );
+}
+
+fn render_json(
+    sizes: &[u32],
+    factor: usize,
+    reps: usize,
+    batch: usize,
+    threads: usize,
+    generic_rows: &[GenericRow],
+    aux_rows: &[AuxRow],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"qpilot.bench.routing/v1\",");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{\"sizes\": {:?}, \"factor\": {factor}, \"reps\": {reps}, \"batch\": {batch}, \"threads\": {threads}}},",
+        sizes
+    );
+    s.push_str("  \"generic\": [\n");
+    for (i, r) in generic_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"qubits\": {}, \"two_qubit_gates\": {}, \
+             \"wall_s_reference\": {:.6}, \"wall_s_incremental\": {:.6}, \"speedup\": {:.3}, \
+             \"allocs_reference\": {}, \"allocs_incremental\": {}, \"alloc_ratio\": {:.3}, \
+             \"schedules_identical\": {}, \"stages\": {}, \"rydberg_depth\": {}, \
+             \"native_two_qubit\": {}, \"batch_circuits\": {}, \"batch_threads\": {}, \
+             \"wall_s_batch_per_circuit\": {:.6}}}",
+            r.qubits,
+            r.two_qubit_gates,
+            r.wall_reference,
+            r.wall_incremental,
+            r.wall_reference / r.wall_incremental,
+            r.allocs_reference,
+            r.allocs_incremental,
+            r.allocs_reference as f64 / r.allocs_incremental as f64,
+            r.identical,
+            r.stages,
+            r.rydberg_depth,
+            r.native_two_qubit,
+            r.batch_circuits,
+            r.batch_threads,
+            r.wall_batch_per_circuit,
+        );
+        s.push_str(if i + 1 < generic_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n  \"routers\": [\n");
+    for (i, r) in aux_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"router\": \"{}\", \"qubits\": {}, \"workload\": \"{}\", \
+             \"wall_s\": {:.6}, \"stages\": {}, \"rydberg_depth\": {}, \"native_two_qubit\": {}}}",
+            r.router, r.qubits, r.workload, r.wall, r.stages, r.rydberg_depth, r.native_two_qubit,
+        );
+        s.push_str(if i + 1 < aux_rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

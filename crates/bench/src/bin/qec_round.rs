@@ -15,11 +15,17 @@ use qpilot_workloads::qec::SurfaceCode;
 fn main() {
     let distances = arg_list("--distances", &[3, 5, 7, 9]);
     let mut table = Table::new(&[
-        "distance", "qubits", "2Q gates in",
-        "FPQA 2Q", "FPQA depth",
-        "rect 2Q", "rect depth",
-        "tri 2Q", "tri depth",
-        "IBM 2Q", "IBM depth",
+        "distance",
+        "qubits",
+        "2Q gates in",
+        "FPQA 2Q",
+        "FPQA depth",
+        "rect 2Q",
+        "rect depth",
+        "tri 2Q",
+        "tri depth",
+        "IBM 2Q",
+        "IBM depth",
     ]);
 
     for &d in &distances {

@@ -65,9 +65,8 @@ fn main() {
         }
         if families.iter().any(|f| f == "random") {
             let circuit = random_circuit_with_depth(n, 10, seed);
-            let (program, secs) = timed(|| {
-                GenericRouter::new().route(&circuit, &cfg).expect("routing")
-            });
+            let (program, secs) =
+                timed(|| GenericRouter::new().route(&circuit, &cfg).expect("routing"));
             table.row(vec![
                 "random depth 10".into(),
                 n.to_string(),

@@ -35,8 +35,14 @@ fn main() {
     let theta = 0.17;
 
     let mut table = Table::new(&[
-        "molecule", "qubits", "strings",
-        "device", "depth", "2Q gates", "paper depth", "paper 2Q",
+        "molecule",
+        "qubits",
+        "strings",
+        "device",
+        "depth",
+        "2Q gates",
+        "paper depth",
+        "paper 2Q",
     ]);
 
     for m in Molecule::ALL {

@@ -10,8 +10,8 @@
 
 use std::time::Duration;
 
-use qpilot_bench::{arg_list, arg_num, fpqa_config, timed, Table};
 use qpilot_baselines::{exact_qaoa_stages, greedy_qaoa_stages, SolverOutcome};
+use qpilot_bench::{arg_list, arg_num, fpqa_config, timed, Table};
 use qpilot_core::qaoa::QaoaRouter;
 use qpilot_workloads::graphs::random_regular;
 
@@ -23,10 +23,14 @@ fn main() {
     for &degree in &[3u32, 4] {
         println!("\n== Table 2: {degree}-regular graphs (timeout {timeout:?}) ==");
         let mut table = Table::new(&[
-            "qubits", "edges",
-            "solver t(s)", "solver depth",
-            "greedy t(s)", "greedy depth",
-            "ours t(s)", "ours depth",
+            "qubits",
+            "edges",
+            "solver t(s)",
+            "solver depth",
+            "greedy t(s)",
+            "greedy depth",
+            "ours t(s)",
+            "ours depth",
         ]);
         for &n in &sizes {
             let Ok(graph) = random_regular(n, degree, seed) else {

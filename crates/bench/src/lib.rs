@@ -8,6 +8,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod parallel;
+
+pub use batch::{
+    compile_batch, compile_batch_auto, compile_batch_with_options, compile_on_baselines_batch,
+};
+pub use parallel::{default_threads, parallel_map};
+
 use std::time::Instant;
 
 use qpilot_arch::{devices, CouplingGraph};
@@ -188,7 +196,11 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             let lo = self.lo + i as f64 * width;
             let bar = "#".repeat(c * 40 / max);
-            out.push_str(&format!("{:>10.3} ..{:>10.3} | {c:>6} {bar}\n", lo, lo + width));
+            out.push_str(&format!(
+                "{:>10.3} ..{:>10.3} | {c:>6} {bar}\n",
+                lo,
+                lo + width
+            ));
         }
         out
     }

@@ -363,7 +363,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]",
+            self.num_qubits,
+            self.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -402,7 +407,9 @@ mod tests {
         let mut c = Circuit::new(2);
         assert_eq!(
             c.push(Gate::Cz(Qubit::new(0), Qubit::new(0))),
-            Err(CircuitError::DuplicateOperands { qubit: Qubit::new(0) })
+            Err(CircuitError::DuplicateOperands {
+                qubit: Qubit::new(0)
+            })
         );
     }
 
@@ -474,7 +481,10 @@ mod tests {
 
     #[test]
     fn from_gates_validates() {
-        let gs = vec![Gate::H(Qubit::new(0)), Gate::Cx(Qubit::new(0), Qubit::new(3))];
+        let gs = vec![
+            Gate::H(Qubit::new(0)),
+            Gate::Cx(Qubit::new(0), Qubit::new(3)),
+        ];
         assert!(Circuit::from_gates(2, gs).is_err());
     }
 

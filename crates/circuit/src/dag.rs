@@ -17,58 +17,106 @@ pub type GateId = usize;
 /// Gate `a` precedes gate `b` iff `a` appears earlier in program order and
 /// they share at least one qubit *with no intervening gate on that qubit*
 /// (the DAG stores the transitive reduction along each qubit's wire).
+///
+/// Adjacency is stored in compressed sparse row (CSR) form — two flat
+/// arrays plus offsets per direction — so building the DAG performs four
+/// allocations total instead of two `Vec`s per gate, and neighbour lists
+/// are contiguous in memory for the routers' hot front-layer loops.
 #[derive(Debug, Clone)]
 pub struct DependencyDag {
-    preds: Vec<Vec<GateId>>,
-    succs: Vec<Vec<GateId>>,
+    num_gates: usize,
+    preds: Vec<GateId>,
+    pred_off: Vec<usize>,
+    succs: Vec<GateId>,
+    succ_off: Vec<usize>,
 }
 
 impl DependencyDag {
     /// Builds the dependency DAG of `circuit`.
     pub fn new(circuit: &Circuit) -> Self {
         let n = circuit.len();
-        let mut preds: Vec<Vec<GateId>> = vec![Vec::new(); n];
-        let mut succs: Vec<Vec<GateId>> = vec![Vec::new(); n];
         let mut last_on: Vec<Option<GateId>> = vec![None; circuit.num_qubits() as usize];
+
+        // Pass 1: count edges per gate. A gate has at most two operands,
+        // so "dedupe a predecessor met through both wires" reduces to
+        // comparing against the first wire's predecessor.
+        let mut pred_off = vec![0usize; n + 1];
+        let mut succ_off = vec![0usize; n + 1];
         for (i, g) in circuit.iter().enumerate() {
+            let mut first_pred: Option<GateId> = None;
             for q in g.operands() {
                 if let Some(p) = last_on[q.index()] {
-                    // A two-qubit gate may meet the same predecessor through
-                    // both wires; dedupe.
-                    if !preds[i].contains(&p) {
-                        preds[i].push(p);
-                        succs[p].push(i);
+                    if first_pred != Some(p) {
+                        pred_off[i + 1] += 1;
+                        succ_off[p + 1] += 1;
+                        first_pred.get_or_insert(p);
                     }
                 }
                 last_on[q.index()] = Some(i);
             }
         }
-        DependencyDag { preds, succs }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+            succ_off[i + 1] += succ_off[i];
+        }
+
+        // Pass 2: fill. Iterating gates in program order reproduces the
+        // per-list orders of the naive construction (predecessors in
+        // operand order, successors in ascending gate id).
+        let mut preds = vec![0 as GateId; pred_off[n]];
+        let mut succs = vec![0 as GateId; succ_off[n]];
+        let mut pred_cur = pred_off.clone();
+        let mut succ_cur = succ_off.clone();
+        last_on.fill(None);
+        for (i, g) in circuit.iter().enumerate() {
+            let mut first_pred: Option<GateId> = None;
+            for q in g.operands() {
+                if let Some(p) = last_on[q.index()] {
+                    if first_pred != Some(p) {
+                        preds[pred_cur[i]] = p;
+                        pred_cur[i] += 1;
+                        succs[succ_cur[p]] = i;
+                        succ_cur[p] += 1;
+                        first_pred.get_or_insert(p);
+                    }
+                }
+                last_on[q.index()] = Some(i);
+            }
+        }
+        DependencyDag {
+            num_gates: n,
+            preds,
+            pred_off,
+            succs,
+            succ_off,
+        }
     }
 
     /// Number of gates (nodes).
     pub fn len(&self) -> usize {
-        self.preds.len()
+        self.num_gates
     }
 
     /// Returns `true` if the DAG has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.preds.is_empty()
+        self.num_gates == 0
     }
 
     /// Direct predecessors of gate `id`.
     pub fn predecessors(&self, id: GateId) -> &[GateId] {
-        &self.preds[id]
+        &self.preds[self.pred_off[id]..self.pred_off[id + 1]]
     }
 
     /// Direct successors of gate `id`.
     pub fn successors(&self, id: GateId) -> &[GateId] {
-        &self.succs[id]
+        &self.succs[self.succ_off[id]..self.succ_off[id + 1]]
     }
 
     /// The source layer: gates with no predecessors.
     pub fn sources(&self) -> Vec<GateId> {
-        (0..self.len()).filter(|&i| self.preds[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.predecessors(i).is_empty())
+            .collect()
     }
 
     /// Longest-path depth of each gate (source gates have depth 0).
@@ -78,7 +126,7 @@ impl DependencyDag {
     pub fn depths(&self) -> Vec<usize> {
         let mut depth = vec![0usize; self.len()];
         for i in 0..self.len() {
-            for &p in &self.preds[i] {
+            for &p in self.predecessors(i) {
                 depth[i] = depth[i].max(depth[p] + 1);
             }
         }
@@ -119,8 +167,7 @@ impl Frontier {
     pub fn from_dag(dag: DependencyDag) -> Self {
         let n = dag.len();
         let pending_preds: Vec<usize> = (0..n).map(|i| dag.predecessors(i).len()).collect();
-        let mut front: Vec<GateId> =
-            (0..n).filter(|&i| pending_preds[i] == 0).collect();
+        let mut front: Vec<GateId> = (0..n).filter(|&i| pending_preds[i] == 0).collect();
         front.sort_unstable();
         Frontier {
             dag,
@@ -167,13 +214,82 @@ impl Frontier {
         self.front.remove(pos);
         self.executed[id] = true;
         self.remaining -= 1;
-        let succs: Vec<GateId> = self.dag.successors(id).to_vec();
-        for s in succs {
-            self.pending_preds[s] -= 1;
-            if self.pending_preds[s] == 0 {
-                let insert_at = self.front.partition_point(|&g| g < s);
-                self.front.insert(insert_at, s);
+        // Disjoint field borrows: the successor slice lives in `dag` while
+        // `pending_preds` and `front` are updated, so no copy is needed.
+        let Frontier {
+            dag,
+            pending_preds,
+            front,
+            ..
+        } = self;
+        for &s in dag.successors(id) {
+            pending_preds[s] -= 1;
+            if pending_preds[s] == 0 {
+                let insert_at = front.partition_point(|&g| g < s);
+                front.insert(insert_at, s);
             }
+        }
+    }
+
+    /// Executes a batch of front-layer gates in one pass, appending the
+    /// newly-ready successors to `promoted` (cleared first, returned in
+    /// ascending id order).
+    ///
+    /// Equivalent to calling [`Frontier::execute`] for each id, but the
+    /// front layer is compacted once instead of per gate and no
+    /// intermediate lookups re-scan it — the routers' batch hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is not an ascending subset of the current front
+    /// layer.
+    pub fn execute_batch(&mut self, ids: &[GateId], promoted: &mut Vec<GateId>) {
+        promoted.clear();
+        if ids.is_empty() {
+            return;
+        }
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "batch must be ascending"
+        );
+        // Remove the batch from the (sorted) front with one two-pointer
+        // compaction pass.
+        let mut batch_at = 0usize;
+        let mut kept = 0usize;
+        for read in 0..self.front.len() {
+            let g = self.front[read];
+            if batch_at < ids.len() && ids[batch_at] == g {
+                batch_at += 1;
+            } else {
+                self.front[kept] = g;
+                kept += 1;
+            }
+        }
+        assert!(
+            batch_at == ids.len(),
+            "gate executed out of dependency order"
+        );
+        self.front.truncate(kept);
+        self.remaining -= ids.len();
+        let Frontier {
+            dag,
+            pending_preds,
+            executed,
+            ..
+        } = self;
+        for &id in ids {
+            executed[id] = true;
+            for &s in dag.successors(id) {
+                pending_preds[s] -= 1;
+                if pending_preds[s] == 0 {
+                    promoted.push(s);
+                }
+            }
+        }
+        promoted.sort_unstable();
+        for &s in promoted.iter() {
+            let insert_at = self.front.partition_point(|&g| g < s);
+            self.front.insert(insert_at, s);
         }
     }
 
@@ -315,6 +431,49 @@ mod tests {
         fr.execute(2);
         fr.execute(1);
         assert_eq!(fr.front_layer(), &[3]);
+    }
+
+    #[test]
+    fn execute_batch_matches_sequential_execution() {
+        let mut c = Circuit::new(6);
+        c.cz(0, 1).cz(2, 3).cz(4, 5).cz(1, 2).cz(3, 4).h(0).cz(0, 5);
+        let mut seq = Frontier::new(&c);
+        let mut batch = Frontier::new(&c);
+        let mut promoted = Vec::new();
+        while !seq.is_done() {
+            let layer: Vec<GateId> = seq.front_layer().to_vec();
+            for &id in &layer {
+                seq.execute(id);
+            }
+            batch.execute_batch(&layer, &mut promoted);
+            assert_eq!(seq.front_layer(), batch.front_layer());
+            assert_eq!(seq.remaining(), batch.remaining());
+            // Promotions are exactly the change in the front layer.
+            for &p in &promoted {
+                assert!(batch.front_layer().contains(&p));
+            }
+        }
+        assert!(batch.is_done());
+    }
+
+    #[test]
+    fn execute_batch_of_subset_promotes_in_order() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3).cz(1, 2);
+        let mut fr = Frontier::new(&c);
+        let mut promoted = Vec::new();
+        fr.execute_batch(&[0, 1], &mut promoted);
+        assert_eq!(promoted, vec![2]);
+        assert_eq!(fr.front_layer(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dependency order")]
+    fn execute_batch_rejects_non_front_gates() {
+        let c = triangle();
+        let mut fr = Frontier::new(&c);
+        let mut promoted = Vec::new();
+        fr.execute_batch(&[2], &mut promoted);
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for circuit of {num_qubits} qubits")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for circuit of {num_qubits} qubits"
+                )
             }
             CircuitError::DuplicateOperands { qubit } => {
                 write!(f, "two-qubit gate uses qubit {qubit} for both operands")
@@ -47,8 +50,16 @@ mod tests {
             qubit: Qubit::new(5),
             num_qubits: 4,
         };
-        assert_eq!(e.to_string(), "qubit q5 out of range for circuit of 4 qubits");
-        let e = CircuitError::DuplicateOperands { qubit: Qubit::new(2) };
-        assert_eq!(e.to_string(), "two-qubit gate uses qubit q2 for both operands");
+        assert_eq!(
+            e.to_string(),
+            "qubit q5 out of range for circuit of 4 qubits"
+        );
+        let e = CircuitError::DuplicateOperands {
+            qubit: Qubit::new(2),
+        };
+        assert_eq!(
+            e.to_string(),
+            "two-qubit gate uses qubit q2 for both operands"
+        );
     }
 }

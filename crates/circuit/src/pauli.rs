@@ -240,8 +240,7 @@ impl FromStr for PauliString {
     type Err = ParsePauliError;
 
     fn from_str(s: &str) -> Result<Self, ParsePauliError> {
-        let paulis: Result<Vec<Pauli>, ParsePauliError> =
-            s.chars().map(Pauli::try_from).collect();
+        let paulis: Result<Vec<Pauli>, ParsePauliError> = s.chars().map(Pauli::try_from).collect();
         Ok(PauliString { paulis: paulis? })
     }
 }

@@ -153,11 +153,7 @@ impl fmt::Display for FpqaConfig {
         write!(
             f,
             "fpqa[{} data qubits on {}, aod {}x{}, {}]",
-            self.num_data,
-            self.slm,
-            self.aod_rows,
-            self.aod_cols,
-            self.rydberg
+            self.num_data, self.slm, self.aod_rows, self.aod_cols, self.rydberg
         )
     }
 }

@@ -42,7 +42,9 @@ where
 /// Returns the width with the smallest compiled two-qubit depth (ties break
 /// toward the smaller width), or `None` if every width failed.
 pub fn best_width(results: &[WidthResult]) -> Option<&WidthResult> {
-    results.iter().min_by_key(|r| (r.report.two_qubit_depth, r.width))
+    results
+        .iter()
+        .min_by_key(|r| (r.report.two_qubit_depth, r.width))
 }
 
 #[cfg(test)]

@@ -37,13 +37,19 @@ pub enum RouteError {
 impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RouteError::TooManyQubits { required, available } => {
+            RouteError::TooManyQubits {
+                required,
+                available,
+            } => {
                 write!(f, "problem needs {required} qubits, FPQA holds {available}")
             }
             RouteError::UnsupportedGate { gate } => {
                 write!(f, "gate {gate} is not FPQA-native after decomposition")
             }
-            RouteError::AodTooSmall { required, available } => {
+            RouteError::AodTooSmall {
+                required,
+                available,
+            } => {
                 write!(f, "stage needs {required} AOD lines, grid has {available}")
             }
             RouteError::InvalidEdge { a, b } => {

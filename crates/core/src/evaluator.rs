@@ -291,9 +291,7 @@ mod tests {
     fn lower_2q_fidelity_lowers_circuit_fidelity() {
         let (s, cfg) = compiled();
         let good = evaluate(&s, &cfg);
-        let noisy_cfg = cfg
-            .clone()
-            .with_params(cfg.params().with_fidelity_2q(0.9));
+        let noisy_cfg = cfg.clone().with_params(cfg.params().with_fidelity_2q(0.9));
         let bad = evaluate(&s, &noisy_cfg);
         assert!(bad.fidelity < good.fidelity);
     }

@@ -15,14 +15,27 @@
 //! Each stage therefore contributes 3 two-qubit layers (create, interact,
 //! recycle) and `3·|S|` native 2Q gates — exactly the cost model of §2.1
 //! ("the new approach only increases depth by 2").
+//!
+//! # Performance
+//!
+//! Subset selection runs on the incremental [`LegalitySet`] (`O(log grid)`
+//! per candidate instead of a pairwise re-scan) and the whole route loop
+//! reuses one set of scratch buffers across stages, so compiling a
+//! circuit allocates per *emitted stage payload*, not per considered
+//! candidate. The pre-PR implementation is preserved verbatim in
+//! [`crate::generic_reference`] for A/B benchmarking (`perf_report`) and
+//! differential testing; both produce byte-identical schedules.
+
+use std::sync::Arc;
 
 use qpilot_circuit::{decompose, Circuit, Gate, Operands, Qubit};
 
 use crate::error::RouteError;
-use crate::legality::{axis_ranks, GatePlacement};
+use crate::legality::{axis_ranks_into, greedy_max_subset, GatePlacement, LegalitySet};
 use crate::motion::{axis_coords, park_col_base, park_row_base};
-use crate::schedule::{AtomRef, CompiledProgram, RydbergKind, RydbergOp, Schedule, Stage,
-                      TransferOp};
+use crate::schedule::{
+    AtomRef, CompiledProgram, RydbergKind, RydbergOp, Schedule, Stage, TransferOp,
+};
 use crate::FpqaConfig;
 
 /// Options for [`GenericRouter`].
@@ -96,138 +109,289 @@ impl GenericRouter {
             .unwrap_or(cap_geom)
             .max(1);
 
-        let mut schedule = Schedule::new(
-            config.num_data(),
-            config.aod_rows(),
-            config.aod_cols(),
-        );
+        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
         let mut frontier = qpilot_circuit::Frontier::new(&native);
         let gates = native.gates();
+        let mut scratch = RouteScratch::new(config);
+        schedule.stages.reserve(4 * native.len());
 
-        while !frontier.is_done() {
-            // Drain ready 1Q gates onto the Raman laser.
-            loop {
-                let ready_1q: Vec<usize> = frontier
-                    .front_layer()
-                    .iter()
-                    .copied()
-                    .filter(|&id| gates[id].is_single_qubit())
-                    .collect();
-                if ready_1q.is_empty() {
-                    break;
+        // Per-gate immutables, computed once: the candidate sort key and,
+        // for 2Q gates, the grid placement. The pre-PR loop re-derived
+        // both for every gate of every front layer.
+        let keys: Vec<(u32, u32)> = gates.iter().map(operand_key).collect();
+        let placement_by_id: Vec<GatePlacement> = gates
+            .iter()
+            .map(|g| {
+                if g.is_two_qubit() {
+                    placement_of(g, config)
+                } else {
+                    GatePlacement::new(
+                        qpilot_arch::GridCoord::new(0, 0),
+                        qpilot_arch::GridCoord::new(0, 0),
+                    )
                 }
-                let layer: Vec<Gate> = ready_1q.iter().map(|&id| gates[id]).collect();
-                schedule.push(Stage::Raman(layer));
-                for id in ready_1q {
-                    frontier.execute(id);
+            })
+            .collect();
+
+        // The front layer is maintained *incrementally* as two router-side
+        // lists instead of being re-scanned and re-sorted per stage:
+        // `ready_1q` (ascending id — the front-layer order) and
+        // `candidates` (2Q gates, stably ordered by operand key). Batch
+        // execution reports exactly the promoted successors, so each
+        // stage only touches the gates that changed.
+        for &id in frontier.front_layer() {
+            if gates[id].is_single_qubit() {
+                scratch.ready_1q.push(id);
+            } else {
+                scratch.candidates.push(id);
+            }
+        }
+        scratch.candidates.sort_by_key(|&id| keys[id]);
+
+        loop {
+            // Drain ready 1Q gates onto the Raman laser, one stage per
+            // wave (newly promoted 1Q gates form the next wave).
+            while !scratch.ready_1q.is_empty() {
+                scratch.gate_buf.clear();
+                scratch
+                    .gate_buf
+                    .extend(scratch.ready_1q.iter().map(|&id| gates[id]));
+                schedule.push(Stage::Raman(Arc::from(scratch.gate_buf.as_slice())));
+                frontier.execute_batch(&scratch.ready_1q, &mut scratch.promoted);
+                scratch.ready_1q.clear();
+                for &p in &scratch.promoted {
+                    if gates[p].is_single_qubit() {
+                        scratch.ready_1q.push(p);
+                    } else {
+                        insert_candidate(&mut scratch.candidates, &keys, p);
+                    }
                 }
+                // Promotions arrive sorted, so `ready_1q` stays ascending.
             }
             if frontier.is_done() {
                 break;
             }
 
             // Select a maximal legal subset of the 2Q front layer.
-            let mut candidates: Vec<usize> = frontier.front_layer().to_vec();
-            candidates.sort_by_key(|&id| operand_key(&gates[id]));
-            let placements: Vec<GatePlacement> = candidates
-                .iter()
-                .map(|&id| placement_of(&gates[id], config))
-                .collect();
-            let mut subset: Vec<usize> = Vec::new(); // indices into candidates
-            for (i, cand) in placements.iter().enumerate() {
-                if subset.len() >= cap {
-                    break;
-                }
-                if subset
-                    .iter()
-                    .all(|&j| crate::legality::pair_compatible(&placements[j], cand))
-                {
-                    subset.push(i);
-                }
-            }
-            debug_assert!(!subset.is_empty(), "front layer gate must be schedulable alone");
+            scratch.placements.clear();
+            scratch
+                .placements
+                .extend(scratch.candidates.iter().map(|&id| placement_by_id[id]));
+            greedy_max_subset(
+                &scratch.placements,
+                cap,
+                &mut scratch.legality,
+                &mut scratch.subset,
+            );
+            debug_assert!(
+                !scratch.subset.is_empty(),
+                "front layer gate must be schedulable alone"
+            );
 
-            let staged: Vec<StagedGate> = subset
-                .iter()
-                .map(|&i| {
-                    let id = candidates[i];
-                    let (q1, q2) = two_qubit_operands(&gates[id]);
-                    StagedGate {
-                        placement: placements[i],
-                        q1,
-                        q2,
-                        kind: match gates[id] {
-                            Gate::Zz(_, _, theta) => RydbergKind::Zz(theta),
-                            _ => RydbergKind::Cz,
-                        },
-                    }
-                })
-                .collect();
-            emit_stage(&mut schedule, config, &staged);
-            for &i in &subset {
-                frontier.execute(candidates[i]);
+            scratch.staged.clear();
+            for &i in &scratch.subset {
+                let id = scratch.candidates[i];
+                let (q1, q2) = two_qubit_operands(&gates[id]);
+                scratch.staged.push(StagedGate {
+                    placement: scratch.placements[i],
+                    q1,
+                    q2,
+                    kind: match gates[id] {
+                        Gate::Zz(_, _, theta) => RydbergKind::Zz(theta),
+                        _ => RydbergKind::Cz,
+                    },
+                });
+            }
+            emit_stage(&mut schedule, config, &scratch.staged, &mut scratch.emit);
+
+            // Execute the subset in one batch and fold the promoted
+            // successors into the two ready lists.
+            scratch.exec_ids.clear();
+            scratch
+                .exec_ids
+                .extend(scratch.subset.iter().map(|&i| scratch.candidates[i]));
+            scratch.exec_ids.sort_unstable();
+            remove_selected(&mut scratch.candidates, &scratch.subset);
+            frontier.execute_batch(&scratch.exec_ids, &mut scratch.promoted);
+            for &p in &scratch.promoted {
+                if gates[p].is_single_qubit() {
+                    scratch.ready_1q.push(p);
+                } else {
+                    insert_candidate(&mut scratch.candidates, &keys, p);
+                }
             }
         }
+        debug_assert!(scratch.candidates.is_empty());
         Ok(CompiledProgram::new(schedule))
     }
 }
 
-/// One gate selected into a stage.
-#[derive(Debug, Clone, Copy)]
-struct StagedGate {
-    placement: GatePlacement,
-    q1: Qubit,
-    q2: Qubit,
-    kind: RydbergKind,
+/// Inserts a promoted 2Q gate into the candidate list, preserving the
+/// stable-by-operand-key order the pre-PR full sort produced: position by
+/// `(key, id)`, since the front layer is ascending in id.
+fn insert_candidate(candidates: &mut Vec<usize>, keys: &[(u32, u32)], id: usize) {
+    let at = candidates.partition_point(|&c| (keys[c], c) < (keys[id], id));
+    candidates.insert(at, id);
 }
 
-fn operand_key(g: &Gate) -> (u32, u32) {
+/// Removes the selected positions (ascending) from `candidates` in one
+/// compaction pass.
+fn remove_selected(candidates: &mut Vec<usize>, selected: &[usize]) {
+    let mut sel_at = 0usize;
+    let mut kept = 0usize;
+    for read in 0..candidates.len() {
+        if sel_at < selected.len() && selected[sel_at] == read {
+            sel_at += 1;
+        } else {
+            candidates[kept] = candidates[read];
+            kept += 1;
+        }
+    }
+    candidates.truncate(kept);
+}
+
+/// One gate selected into a stage.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StagedGate {
+    pub(crate) placement: GatePlacement,
+    pub(crate) q1: Qubit,
+    pub(crate) q2: Qubit,
+    pub(crate) kind: RydbergKind,
+}
+
+/// Reusable buffers for one `route` call: every stage reuses these instead
+/// of re-allocating, which removes the per-stage temporary churn the
+/// pre-PR implementation paid.
+#[derive(Debug)]
+struct RouteScratch {
+    ready_1q: Vec<usize>,
+    gate_buf: Vec<Gate>,
+    candidates: Vec<usize>,
+    placements: Vec<GatePlacement>,
+    subset: Vec<usize>,
+    exec_ids: Vec<usize>,
+    promoted: Vec<usize>,
+    staged: Vec<StagedGate>,
+    legality: LegalitySet,
+    emit: EmitScratch,
+}
+
+impl RouteScratch {
+    fn new(config: &FpqaConfig) -> Self {
+        RouteScratch {
+            ready_1q: Vec::new(),
+            gate_buf: Vec::new(),
+            candidates: Vec::new(),
+            placements: Vec::new(),
+            subset: Vec::new(),
+            exec_ids: Vec::new(),
+            promoted: Vec::new(),
+            staged: Vec::new(),
+            legality: LegalitySet::new(config.slm().rows(), config.slm().cols()),
+            emit: EmitScratch::default(),
+        }
+    }
+}
+
+/// Reusable buffers for [`emit_stage`].
+#[derive(Debug, Default)]
+pub(crate) struct EmitScratch {
+    placements: Vec<GatePlacement>,
+    row_rank: Vec<usize>,
+    col_rank: Vec<usize>,
+    order: Vec<usize>,
+    ancillas: Vec<crate::AncillaId>,
+    create_rows: Vec<usize>,
+    exec_rows: Vec<usize>,
+    create_cols: Vec<usize>,
+    exec_cols: Vec<usize>,
+    h_layer: Vec<Gate>,
+}
+
+pub(crate) fn operand_key(g: &Gate) -> (u32, u32) {
     match g.operands() {
         Operands::Two(a, b) => (a.raw(), b.raw()),
         Operands::One(a) => (a.raw(), a.raw()),
     }
 }
 
-fn two_qubit_operands(g: &Gate) -> (Qubit, Qubit) {
+pub(crate) fn two_qubit_operands(g: &Gate) -> (Qubit, Qubit) {
     match g.operands() {
         Operands::Two(a, b) => (a, b),
         Operands::One(_) => unreachable!("2Q stage received a 1Q gate"),
     }
 }
 
-fn placement_of(g: &Gate, config: &FpqaConfig) -> GatePlacement {
+pub(crate) fn placement_of(g: &Gate, config: &FpqaConfig) -> GatePlacement {
     let (a, b) = two_qubit_operands(g);
     GatePlacement::new(config.coord_of(a.raw()), config.coord_of(b.raw()))
 }
 
 /// Emits the full three-phase flying-ancilla stage for a legal subset.
-fn emit_stage(schedule: &mut Schedule, config: &FpqaConfig, staged: &[StagedGate]) {
+pub(crate) fn emit_stage(
+    schedule: &mut Schedule,
+    config: &FpqaConfig,
+    staged: &[StagedGate],
+    scratch: &mut EmitScratch,
+) {
     let n = staged.len();
-    let placements: Vec<GatePlacement> = staged.iter().map(|s| s.placement).collect();
-    let row_rank = axis_ranks(&placements, true);
-    let col_rank = axis_ranks(&placements, false);
+    scratch.placements.clear();
+    scratch
+        .placements
+        .extend(staged.iter().map(|s| s.placement));
+    axis_ranks_into(
+        &scratch.placements,
+        true,
+        &mut scratch.order,
+        &mut scratch.row_rank,
+    );
+    axis_ranks_into(
+        &scratch.placements,
+        false,
+        &mut scratch.order,
+        &mut scratch.col_rank,
+    );
+    let (row_rank, col_rank) = (&scratch.row_rank, &scratch.col_rank);
 
     // Ancilla per gate, pinned to cross (row_rank, col_rank).
-    let ancillas: Vec<crate::AncillaId> = staged.iter().map(|_| schedule.fresh_ancilla()).collect();
+    scratch.ancillas.clear();
+    scratch
+        .ancillas
+        .extend(staged.iter().map(|_| schedule.fresh_ancilla()));
+    let ancillas = &scratch.ancillas;
 
     // Per-rank SLM targets for both phases.
-    let mut create_rows = vec![0usize; n];
-    let mut exec_rows = vec![0usize; n];
-    let mut create_cols = vec![0usize; n];
-    let mut exec_cols = vec![0usize; n];
+    scratch.create_rows.clear();
+    scratch.create_rows.resize(n, 0);
+    scratch.exec_rows.clear();
+    scratch.exec_rows.resize(n, 0);
+    scratch.create_cols.clear();
+    scratch.create_cols.resize(n, 0);
+    scratch.exec_cols.clear();
+    scratch.exec_cols.resize(n, 0);
     for (i, s) in staged.iter().enumerate() {
-        create_rows[row_rank[i]] = s.placement.source.row;
-        exec_rows[row_rank[i]] = s.placement.target.row;
-        create_cols[col_rank[i]] = s.placement.source.col;
-        exec_cols[col_rank[i]] = s.placement.target.col;
+        scratch.create_rows[row_rank[i]] = s.placement.source.row;
+        scratch.exec_rows[row_rank[i]] = s.placement.target.row;
+        scratch.create_cols[col_rank[i]] = s.placement.source.col;
+        scratch.exec_cols[col_rank[i]] = s.placement.target.col;
     }
 
     let pitch = config.pitch_um();
     let (rows_total, cols_total) = (schedule.aod_rows, schedule.aod_cols);
-    let create_y = axis_coords(&create_rows, rows_total, pitch, park_row_base(config));
-    let create_x = axis_coords(&create_cols, cols_total, pitch, park_col_base(config));
-    let exec_y = axis_coords(&exec_rows, rows_total, pitch, park_row_base(config));
-    let exec_x = axis_coords(&exec_cols, cols_total, pitch, park_col_base(config));
+    let create_y = axis_coords(
+        &scratch.create_rows,
+        rows_total,
+        pitch,
+        park_row_base(config),
+    );
+    let create_x = axis_coords(
+        &scratch.create_cols,
+        cols_total,
+        pitch,
+        park_col_base(config),
+    );
+    let exec_y = axis_coords(&scratch.exec_rows, rows_total, pitch, park_row_base(config));
+    let exec_x = axis_coords(&scratch.exec_cols, cols_total, pitch, park_col_base(config));
 
     // Load ancillas.
     schedule.push(Stage::Transfer(
@@ -241,15 +405,18 @@ fn emit_stage(schedule: &mut Schedule, config: &FpqaConfig, staged: &[StagedGate
             .collect(),
     ));
 
-    // Phase 1: copy states (transversal CNOT q1 -> ancilla).
+    // Phase 1: copy states (transversal CNOT q1 -> ancilla). The Hadamard
+    // layer is identical for all four Raman stages of the flow, so it is
+    // built once and shared (the pre-PR code cloned the whole Vec thrice).
     schedule.push(Stage::Move {
         row_y: create_y.clone(),
         col_x: create_x.clone(),
     });
-    let h_layer: Vec<Gate> = ancillas
-        .iter()
-        .map(|&a| Gate::H(schedule.ancilla_qubit(a)))
-        .collect();
+    scratch.h_layer.clear();
+    scratch
+        .h_layer
+        .extend(ancillas.iter().map(|&a| Gate::H(schedule.ancilla_qubit(a))));
+    let h_layer: Arc<[Gate]> = Arc::from(scratch.h_layer.as_slice());
     schedule.push(Stage::Raman(h_layer.clone()));
     schedule.push(Stage::Rydberg(
         staged
@@ -442,5 +609,34 @@ mod tests {
         let p = route(&c, &cfg);
         let report = validate_schedule(p.schedule(), &cfg).expect("valid schedule");
         assert_eq!(report.leftover_ancillas, 0);
+    }
+
+    #[test]
+    fn matches_reference_router_exactly() {
+        // Byte-identical schedules against the preserved pre-PR router on
+        // a workload mixing 1Q layers, CX decomposition and ZZ angles.
+        let mut c = Circuit::new(9);
+        c.h(0)
+            .cz(0, 4)
+            .cx(2, 7)
+            .zz(1, 8, 0.5)
+            .t(3)
+            .cz(3, 5)
+            .cz(6, 2)
+            .cz(4, 8)
+            .cx(5, 1)
+            .h(7)
+            .cz(0, 8);
+        for cols in 2..5 {
+            let cfg = FpqaConfig::for_qubits(9, cols);
+            let ours = GenericRouter::new().route(&c, &cfg).unwrap();
+            let reference = crate::generic_reference::route_reference(
+                &c,
+                &cfg,
+                GenericRouterOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(ours, reference, "divergence at cols = {cols}");
+        }
     }
 }

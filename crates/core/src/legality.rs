@@ -83,6 +83,361 @@ pub fn greedy_legal_subset(candidates: &[GatePlacement]) -> Vec<usize> {
     accepted
 }
 
+/// An incremental legality engine: maintains per-axis order state for a
+/// growing set of mutually compatible placements so that "is candidate `g`
+/// compatible with everything accepted so far?" is answered without any
+/// pairwise re-scan.
+///
+/// # How it works
+///
+/// The pairwise rule decomposes per axis: candidate `g` conflicts with an
+/// accepted placement `s` on an axis iff their source order and target
+/// order are *strictly opposite*. Over a whole set that reduces to two
+/// aggregate conditions per axis:
+///
+/// * `max { s.target : s.source < g.source } <= g.target`, and
+/// * `min { s.target : s.source > g.source } >= g.target`
+///
+/// (sources tied with `g` impose nothing). The engine keeps those four
+/// aggregates — `(prefix-max, suffix-min)` for rows and columns — in
+/// Fenwick trees indexed by the source coordinate, so a query or an
+/// insert costs `O(log R)` for an `R × C` SLM grid, independent of how
+/// many placements were accepted. A linear single-pass fallback
+/// ([`LegalitySet::admits_scan`]) covers callers that prefer not to bound
+/// coordinates; both answer identically.
+///
+/// [`clear`](LegalitySet::clear) is `O(1)` (epoch stamping), so one set
+/// can be reused across every stage of a route with zero re-allocation.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_arch::GridCoord;
+/// use qpilot_core::legality::{GatePlacement, LegalitySet};
+///
+/// let mut set = LegalitySet::new(3, 4);
+/// let g0 = GatePlacement::new(GridCoord::new(0, 0), GridCoord::new(0, 2));
+/// let g2 = GatePlacement::new(GridCoord::new(1, 2), GridCoord::new(2, 0));
+/// assert!(set.try_insert(&g0));
+/// assert!(!set.admits(&g2)); // column orders invert
+/// ```
+#[derive(Debug, Clone)]
+pub struct LegalitySet {
+    row_left_max: MaxTree,
+    row_right_min: MinTree,
+    col_left_max: MaxTree,
+    col_right_min: MinTree,
+    members: Vec<GatePlacement>,
+}
+
+impl LegalitySet {
+    /// Creates an engine for placements on a grid of `rows × cols`
+    /// (coordinates must stay below these bounds).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        LegalitySet {
+            row_left_max: MaxTree::new(rows),
+            row_right_min: MinTree::new(rows),
+            col_left_max: MaxTree::new(cols),
+            col_right_min: MinTree::new(cols),
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of accepted placements.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if nothing has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The accepted placements, in insertion order.
+    pub fn members(&self) -> &[GatePlacement] {
+        &self.members
+    }
+
+    /// Empties the set in `O(1)` without releasing memory.
+    pub fn clear(&mut self) {
+        self.row_left_max.clear();
+        self.row_right_min.clear();
+        self.col_left_max.clear();
+        self.col_right_min.clear();
+        self.members.clear();
+    }
+
+    /// Indexed fast path: `O(log grid)` compatibility check against the
+    /// whole accepted set.
+    pub fn admits(&self, p: &GatePlacement) -> bool {
+        self.axis_admits(p.source.row, p.target.row, true)
+            && self.axis_admits(p.source.col, p.target.col, false)
+    }
+
+    fn axis_admits(&self, source: usize, target: usize, rows: bool) -> bool {
+        let (left, right) = if rows {
+            (&self.row_left_max, &self.row_right_min)
+        } else {
+            (&self.col_left_max, &self.col_right_min)
+        };
+        left.max_below(source).is_none_or(|m| m <= target)
+            && right.min_above(source).is_none_or(|m| m >= target)
+    }
+
+    /// Single-pass `O(k)` fallback over the accepted members; answers
+    /// exactly like [`LegalitySet::admits`] without touching the index.
+    pub fn admits_scan(&self, p: &GatePlacement) -> bool {
+        self.members.iter().all(|m| pair_compatible(m, p))
+    }
+
+    /// Accepts a placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the placement conflicts with the set or
+    /// its coordinates exceed the grid bounds.
+    pub fn insert(&mut self, p: &GatePlacement) {
+        debug_assert!(self.admits(p), "inserting incompatible placement");
+        self.row_left_max.update(p.source.row, p.target.row);
+        self.row_right_min.update(p.source.row, p.target.row);
+        self.col_left_max.update(p.source.col, p.target.col);
+        self.col_right_min.update(p.source.col, p.target.col);
+        self.members.push(*p);
+    }
+
+    /// Inserts `p` iff it is compatible; returns whether it was accepted.
+    pub fn try_insert(&mut self, p: &GatePlacement) -> bool {
+        if self.admits(p) {
+            self.insert(p);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Greedily selects a maximal legal subset of `candidates` (the paper's
+/// order: the caller pre-sorts) using the incremental engine: `O(n log R)`
+/// total instead of the reference's `O(n · k)` pairwise re-scan. At most
+/// `cap` gates are accepted. Indices of accepted candidates are appended
+/// to `out` (cleared first); `set` is cleared and left holding the chosen
+/// subset. Produces exactly the same subset as [`greedy_legal_subset`].
+pub fn greedy_max_subset(
+    candidates: &[GatePlacement],
+    cap: usize,
+    set: &mut LegalitySet,
+    out: &mut Vec<usize>,
+) {
+    set.clear();
+    out.clear();
+    for (i, cand) in candidates.iter().enumerate() {
+        if out.len() >= cap {
+            break;
+        }
+        if set.try_insert(cand) {
+            out.push(i);
+        }
+    }
+}
+
+/// Fenwick tree answering "max stored value at positions `< i`" with
+/// `O(1)` epoch-based clearing.
+#[derive(Debug, Clone)]
+struct MaxTree {
+    vals: Vec<usize>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl MaxTree {
+    fn new(size: usize) -> Self {
+        MaxTree {
+            vals: vec![0; size + 1],
+            stamps: vec![0; size + 1],
+            // Stamps start at 0, so the first epoch must be non-zero or
+            // untouched nodes would read as live.
+            epoch: 1,
+        }
+    }
+
+    fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.epoch = 1;
+            self.stamps.fill(0);
+            self.vals.fill(0);
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    fn update(&mut self, pos: usize, value: usize) {
+        let mut idx = pos + 1;
+        debug_assert!(idx < self.vals.len(), "coordinate beyond grid bound");
+        while idx < self.vals.len() {
+            if self.stamps[idx] != self.epoch {
+                self.stamps[idx] = self.epoch;
+                self.vals[idx] = value;
+            } else {
+                self.vals[idx] = self.vals[idx].max(value);
+            }
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Max value stored at positions strictly below `pos`.
+    fn max_below(&self, pos: usize) -> Option<usize> {
+        let mut idx = pos.min(self.vals.len() - 1);
+        let mut best: Option<usize> = None;
+        while idx > 0 {
+            if self.stamps[idx] == self.epoch {
+                let v = self.vals[idx];
+                best = Some(best.map_or(v, |b: usize| b.max(v)));
+            }
+            idx -= idx & idx.wrapping_neg();
+        }
+        best
+    }
+}
+
+/// Fenwick tree answering "min stored value at positions `> i`": a
+/// [`MaxTree`] over mirrored coordinates and negated values.
+#[derive(Debug, Clone)]
+struct MinTree {
+    vals: Vec<usize>,
+    stamps: Vec<u32>,
+    epoch: u32,
+    size: usize,
+}
+
+impl MinTree {
+    fn new(size: usize) -> Self {
+        MinTree {
+            vals: vec![0; size + 1],
+            stamps: vec![0; size + 1],
+            epoch: 1,
+            size,
+        }
+    }
+
+    fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.epoch = 1;
+            self.stamps.fill(0);
+            self.vals.fill(0);
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    fn update(&mut self, pos: usize, value: usize) {
+        debug_assert!(pos < self.size, "coordinate beyond grid bound");
+        let mut idx = self.size - pos; // mirror: larger pos -> smaller index
+        while idx < self.vals.len() {
+            if self.stamps[idx] != self.epoch {
+                self.stamps[idx] = self.epoch;
+                self.vals[idx] = value;
+            } else {
+                self.vals[idx] = self.vals[idx].min(value);
+            }
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Min value stored at positions strictly above `pos`.
+    fn min_above(&self, pos: usize) -> Option<usize> {
+        if pos + 1 >= self.size {
+            return None;
+        }
+        let mut idx = self.size - pos - 1;
+        let mut best: Option<usize> = None;
+        while idx > 0 {
+            if self.stamps[idx] == self.epoch {
+                let v = self.vals[idx];
+                best = Some(best.map_or(v, |b: usize| b.min(v)));
+            }
+            idx -= idx & idx.wrapping_neg();
+        }
+        best
+    }
+}
+
+/// An incremental single-axis pair matcher: maintains `(home, target)`
+/// pairs strictly increasing in both coordinates, with the QAOA routers'
+/// *gap capacity* rule — between two active neighbours there must be at
+/// least as many free target midpoint slots as parked home lines. This is
+/// the per-axis order machinery of [`LegalitySet`] specialised to the
+/// stage matching of Alg. 3, shared with `qpilot_core::qaoa`.
+#[derive(Debug, Clone, Default)]
+pub struct PairMatcher {
+    active: Vec<(usize, usize)>,
+}
+
+impl PairMatcher {
+    /// Creates an empty matcher.
+    pub fn new() -> Self {
+        PairMatcher::default()
+    }
+
+    /// The accepted pairs, strictly increasing in both coordinates.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.active
+    }
+
+    /// Number of accepted pairs.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Returns `true` if no pair has been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Drops all pairs, keeping capacity.
+    pub fn clear(&mut self) {
+        self.active.clear();
+    }
+
+    /// Non-mutating feasibility check mirroring [`PairMatcher::insert`].
+    pub fn can_insert(&self, home: usize, target: usize) -> bool {
+        self.check(home, target).is_some()
+    }
+
+    /// Tries to insert a pair keeping both orders strict and leaving
+    /// enough midpoint slots for the parked lines in between; returns
+    /// whether it was accepted.
+    pub fn insert(&mut self, home: usize, target: usize) -> bool {
+        match self.check(home, target) {
+            Some(pos) => {
+                self.active.insert(pos, (home, target));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns the insertion position iff `(home, target)` fits.
+    fn check(&self, home: usize, target: usize) -> Option<usize> {
+        if self.active.iter().any(|&(h, t)| h == home || t == target) {
+            return None;
+        }
+        let pos = self.active.partition_point(|&(h, _)| h < home);
+        if pos > 0 {
+            let (lh, lt) = self.active[pos - 1];
+            if target <= lt || home - lh - 1 > target - lt {
+                return None;
+            }
+        }
+        if pos < self.active.len() {
+            let (rh, rt) = self.active[pos];
+            if target >= rt || rh - home - 1 > rt - target {
+                return None;
+            }
+        }
+        Some(pos)
+    }
+}
+
 /// Ranks of each accepted gate's ancilla along one axis: a permutation
 /// placing ancillas in strictly increasing AOD coordinates consistent with
 /// both the source and target weak orders.
@@ -90,6 +445,20 @@ pub fn greedy_legal_subset(candidates: &[GatePlacement]) -> Vec<usize> {
 /// Gates are ranked by `(source_coord, target_coord)` lexicographically,
 /// which is a valid linear extension for a compatible set.
 pub fn axis_ranks(placements: &[GatePlacement], rows: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = Vec::new();
+    let mut rank: Vec<usize> = Vec::new();
+    axis_ranks_into(placements, rows, &mut order, &mut rank);
+    rank
+}
+
+/// Allocation-free variant of [`axis_ranks`]: writes the ranks into `rank`
+/// using `order` as a scratch permutation buffer (both are cleared first).
+pub fn axis_ranks_into(
+    placements: &[GatePlacement],
+    rows: bool,
+    order: &mut Vec<usize>,
+    rank: &mut Vec<usize>,
+) {
     let key = |p: &GatePlacement| -> (usize, usize) {
         if rows {
             (p.source.row, p.target.row)
@@ -97,13 +466,14 @@ pub fn axis_ranks(placements: &[GatePlacement], rows: bool) -> Vec<usize> {
             (p.source.col, p.target.col)
         }
     };
-    let mut order: Vec<usize> = (0..placements.len()).collect();
+    order.clear();
+    order.extend(0..placements.len());
     order.sort_by_key(|&i| (key(&placements[i]), i));
-    let mut rank = vec![0usize; placements.len()];
+    rank.clear();
+    rank.resize(placements.len(), 0);
     for (r, &i) in order.iter().enumerate() {
         rank[i] = r;
     }
-    rank
 }
 
 #[cfg(test)]
@@ -118,12 +488,7 @@ mod tests {
     /// g0 = (q0 -> q2): (0,0) -> (0,2); g1 = (q5 -> q10): (1,1) -> (2,2);
     /// g2 = (q6 -> q8): (1,2) -> (2,0); g3 = (q9 -> q11): (2,1) -> (2,3).
     fn fig5() -> Vec<GatePlacement> {
-        vec![
-            p(0, 0, 0, 2),
-            p(1, 1, 2, 2),
-            p(1, 2, 2, 0),
-            p(2, 1, 2, 3),
-        ]
+        vec![p(0, 0, 0, 2), p(1, 1, 2, 2), p(1, 2, 2, 0), p(2, 1, 2, 3)]
     }
 
     #[test]
@@ -212,5 +577,99 @@ mod tests {
     fn empty_set_is_compatible() {
         assert!(set_compatible(&[]));
         assert!(greedy_legal_subset(&[]).is_empty());
+    }
+
+    #[test]
+    fn legality_set_matches_pairwise_on_fig5() {
+        let g = fig5();
+        let mut set = LegalitySet::new(3, 4);
+        assert!(set.try_insert(&g[0]));
+        assert!(set.try_insert(&g[1]));
+        assert!(!set.admits(&g[2]));
+        assert!(!set.admits_scan(&g[2]));
+        assert!(set.try_insert(&g[3]));
+        assert_eq!(set.len(), 3);
+        set.clear();
+        assert!(set.is_empty());
+        assert!(set.try_insert(&g[2]));
+    }
+
+    #[test]
+    fn greedy_max_subset_replicates_reference_on_fig5() {
+        let g = fig5();
+        let mut set = LegalitySet::new(3, 4);
+        let mut out = Vec::new();
+        greedy_max_subset(&g, usize::MAX, &mut set, &mut out);
+        assert_eq!(out, greedy_legal_subset(&g));
+    }
+
+    #[test]
+    fn greedy_max_subset_respects_cap() {
+        let g = vec![p(0, 0, 0, 1), p(1, 0, 1, 1), p(2, 0, 2, 1)];
+        let mut set = LegalitySet::new(3, 2);
+        let mut out = Vec::new();
+        greedy_max_subset(&g, 2, &mut set, &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn ties_on_one_axis_admit_anything_there() {
+        let mut set = LegalitySet::new(4, 4);
+        set.insert(&p(1, 0, 1, 1));
+        // Same source row, wildly different target row: rows tie -> legal;
+        // columns must still agree.
+        assert!(set.admits(&p(1, 2, 3, 3)));
+        assert!(!set.admits(&p(1, 2, 3, 0)));
+    }
+
+    /// Differential test: thousands of random placement sets, indexed
+    /// engine vs the reference pairwise greedy. Subset sizes must match
+    /// exactly (in particular: never regress).
+    #[test]
+    fn legality_set_agrees_with_reference_on_random_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut prng = StdRng::seed_from_u64(0x3C6E_F372_FE94_F82A);
+        let mut rng = move || prng.gen_range(0..usize::MAX);
+        let mut set = LegalitySet::new(8, 8);
+        let mut out = Vec::new();
+        for round in 0..4000 {
+            let (rows, cols) = (1 + rng() % 8, 1 + rng() % 8);
+            let k = 1 + rng() % 14;
+            let placements: Vec<GatePlacement> = (0..k)
+                .map(|_| p(rng() % rows, rng() % cols, rng() % rows, rng() % cols))
+                .collect();
+            let reference = greedy_legal_subset(&placements);
+            greedy_max_subset(&placements, usize::MAX, &mut set, &mut out);
+            assert_eq!(out, reference, "round {round}: {placements:?}");
+            assert!(out.len() >= reference.len(), "subset size regressed");
+            // Every admitted placement agrees between fast and scan paths.
+            set.clear();
+            for q in &placements {
+                assert_eq!(set.admits(q), set.admits_scan(q), "round {round}");
+                set.try_insert(q);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_matcher_mirrors_insert_rules() {
+        let mut m = PairMatcher::new();
+        assert!(m.insert(1, 2));
+        // Left of (1 -> 2): home 0, target must be < 2.
+        assert!(m.insert(0, 0));
+        assert_eq!(m.pairs(), &[(0, 0), (1, 2)]);
+        // Inversion rejected.
+        assert!(!m.insert(2, 1));
+        // Append right.
+        assert!(m.insert(3, 3));
+        assert_eq!(m.len(), 3);
+        // Gap capacity: home 3 from (0,0) with target 1 offers too few
+        // midpoint slots.
+        m.clear();
+        assert!(m.insert(0, 0));
+        assert!(!m.can_insert(3, 1));
+        assert!(!m.insert(3, 1));
+        assert!(m.insert(3, 3));
     }
 }

@@ -40,6 +40,7 @@ pub mod dse;
 mod error;
 pub mod evaluator;
 pub mod generic;
+pub mod generic_reference;
 pub mod legality;
 pub mod lower;
 pub mod mapper;
@@ -52,5 +53,7 @@ pub mod validate;
 
 pub use config::FpqaConfig;
 pub use error::RouteError;
-pub use schedule::{AncillaId, AtomRef, CompiledProgram, RydbergKind, RydbergOp, Schedule,
-                   ScheduleStats, Stage, TransferOp};
+pub use schedule::{
+    AncillaId, AtomRef, CompiledProgram, RamanLayer, RydbergKind, RydbergOp, Schedule,
+    ScheduleStats, Stage, TransferOp,
+};

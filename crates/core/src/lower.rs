@@ -30,7 +30,7 @@ impl Schedule {
         for stage in &self.stages {
             match stage {
                 Stage::Raman(gates) => {
-                    for g in gates {
+                    for g in gates.iter() {
                         assert!(
                             g.is_single_qubit(),
                             "raman stage contains two-qubit gate {g}"
@@ -84,7 +84,7 @@ mod tests {
     fn lowering_orders_stages() {
         let mut s = Schedule::new(2, 1, 1);
         let a = s.fresh_ancilla();
-        s.push(Stage::Raman(vec![Gate::H(Qubit::new(2))]));
+        s.push(Stage::Raman(vec![Gate::H(Qubit::new(2))].into()));
         s.push(Stage::Transfer(vec![TransferOp {
             ancilla: a,
             row: 0,
@@ -116,7 +116,9 @@ mod tests {
     #[should_panic(expected = "two-qubit gate")]
     fn raman_rejects_two_qubit_gates() {
         let mut s = Schedule::new(2, 1, 1);
-        s.push(Stage::Raman(vec![Gate::Cz(Qubit::new(0), Qubit::new(1))]));
+        s.push(Stage::Raman(
+            vec![Gate::Cz(Qubit::new(0), Qubit::new(1))].into(),
+        ));
         s.to_circuit();
     }
 }

@@ -145,9 +145,7 @@ pub fn search_circuit_mapping(
 ) -> Result<MappedProgram, RouteError> {
     let router = GenericRouter::new();
     search_mapping(circuit.num_qubits(), config, options, |mapping| {
-        let remapped = circuit.remapped(config.num_data(), |q| {
-            Qubit::new(mapping[q.index()])
-        });
+        let remapped = circuit.remapped(config.num_data(), |q| Qubit::new(mapping[q.index()]));
         router.route(&remapped, config)
     })
 }

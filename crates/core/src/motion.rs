@@ -25,13 +25,11 @@ pub(crate) const OFFSET_MAX: f64 = 0.9;
 /// hovers at; the slice must be weakly increasing (guaranteed by the
 /// legality rule). `total` is the AOD line count; lines `targets.len()..`
 /// park beyond `park_from` at one-pitch intervals.
-pub(crate) fn axis_coords(
-    targets: &[usize],
-    total: usize,
-    pitch: f64,
-    park_from: f64,
-) -> Vec<f64> {
-    debug_assert!(targets.windows(2).all(|w| w[0] <= w[1]), "targets must be sorted");
+pub(crate) fn axis_coords(targets: &[usize], total: usize, pitch: f64, park_from: f64) -> Vec<f64> {
+    debug_assert!(
+        targets.windows(2).all(|w| w[0] <= w[1]),
+        "targets must be sorted"
+    );
     debug_assert!(targets.len() <= total, "more active lines than AOD lines");
     let mut coords = Vec::with_capacity(total);
     let mut i = 0;
@@ -94,7 +92,9 @@ pub(crate) fn initial_coords(
 /// ancillas) and the rest are unloaded or merely need legal positions.
 pub(crate) fn anchored_coords(anchors: &[(usize, f64)], total: usize, pitch: f64) -> Vec<f64> {
     debug_assert!(
-        anchors.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+        anchors
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
         "anchors must be strictly increasing: {anchors:?}"
     );
     if anchors.is_empty() {

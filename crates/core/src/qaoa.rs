@@ -23,13 +23,15 @@
 
 use std::collections::{BTreeSet, HashSet};
 
-use qpilot_circuit::Gate;
 use qpilot_arch::GridCoord;
+use qpilot_circuit::Gate;
 
 use crate::error::RouteError;
+use crate::legality::PairMatcher;
 use crate::motion::{axis_coords, park_col_base, park_row_base, OFFSET_MIN};
-use crate::schedule::{AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, Stage,
-                      TransferOp};
+use crate::schedule::{
+    AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, Stage, TransferOp,
+};
 use crate::FpqaConfig;
 
 /// Options for [`QaoaRouter`] (ablation knobs; defaults reproduce the
@@ -122,13 +124,15 @@ impl QaoaRouter {
         schedule.push(Stage::Raman(
             (0..num_qubits)
                 .map(|q| Gate::H(qpilot_circuit::Qubit::new(q)))
-                .collect(),
+                .collect::<Vec<Gate>>()
+                .into(),
         ));
         self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
         schedule.push(Stage::Raman(
             (0..num_qubits)
                 .map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta))
-                .collect(),
+                .collect::<Vec<Gate>>()
+                .into(),
         ));
         Ok(CompiledProgram::new(schedule))
     }
@@ -159,14 +163,16 @@ impl QaoaRouter {
         schedule.push(Stage::Raman(
             (0..num_qubits)
                 .map(|q| Gate::H(qpilot_circuit::Qubit::new(q)))
-                .collect(),
+                .collect::<Vec<Gate>>()
+                .into(),
         ));
         for (&gamma, &beta) in gammas.iter().zip(betas) {
             self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
             schedule.push(Stage::Raman(
                 (0..num_qubits)
                     .map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta))
-                    .collect(),
+                    .collect::<Vec<Gate>>()
+                    .into(),
             ));
         }
         Ok(CompiledProgram::new(schedule))
@@ -227,16 +233,27 @@ impl QaoaRouter {
         let aligned_cols: Vec<usize> = (0..used_cols).collect();
         let pitch = config.pitch_um();
         let aligned = (
-            axis_coords(&aligned_rows, schedule.aod_rows, pitch, park_row_base(config)),
-            axis_coords(&aligned_cols, schedule.aod_cols, pitch, park_col_base(config)),
+            axis_coords(
+                &aligned_rows,
+                schedule.aod_rows,
+                pitch,
+                park_row_base(config),
+            ),
+            axis_coords(
+                &aligned_cols,
+                schedule.aod_cols,
+                pitch,
+                park_col_base(config),
+            ),
         );
         schedule.push(Stage::Move {
             row_y: aligned.0.clone(),
             col_x: aligned.1.clone(),
         });
-        let h_layer: Vec<Gate> = (0..num_qubits)
+        let h_layer: crate::RamanLayer = (0..num_qubits)
             .map(|q| Gate::H(schedule.ancilla_qubit(ancillas[q as usize])))
-            .collect();
+            .collect::<Vec<Gate>>()
+            .into();
         let create_ops: Vec<RydbergOp> = (0..num_qubits)
             .map(|q| RydbergOp::cz(AtomRef::Data(q), AtomRef::Ancilla(ancillas[q as usize])))
             .collect();
@@ -247,7 +264,12 @@ impl QaoaRouter {
         // Stage loop.
         while !remaining.is_empty() {
             let solution = solve_stage(
-                &remaining, config, num_qubits, used_rows, used_cols, &self.options,
+                &remaining,
+                config,
+                num_qubits,
+                used_rows,
+                used_cols,
+                &self.options,
             );
             debug_assert!(!solution.matched.is_empty(), "stage must match >= 1 edge");
             for &(u, v) in &solution.matched {
@@ -295,8 +317,9 @@ impl QaoaRouter {
 /// A solved stage: which AOD columns/rows are active and which edges fire.
 #[derive(Debug, Clone, Default)]
 struct StageSolution {
-    /// `(home AOD column, target SLM column)`, strictly increasing in both.
-    active_cols: Vec<(usize, usize)>,
+    /// Active `(home AOD column, target SLM column)` pairs, maintained by
+    /// the shared incremental matcher from [`crate::legality`].
+    active_cols: PairMatcher,
     /// `(home AOD row, target SLM row)`, strictly increasing in both.
     active_rows: Vec<(usize, usize)>,
     /// Matched edges as `(ancilla-owner qubit, SLM target qubit)`.
@@ -345,7 +368,14 @@ fn solve_stage(
     for key in keys {
         for seed_all in [true, false] {
             let candidate = solve_stage_at(
-                remaining, config, num_qubits, used_rows, key.0, key.1, &buckets[&key], seed_all,
+                remaining,
+                config,
+                num_qubits,
+                used_rows,
+                key.0,
+                key.1,
+                &buckets[&key],
+                seed_all,
                 options,
             );
             if best
@@ -402,7 +432,7 @@ fn solve_stage_at(
             continue;
         }
         let (hc, tc) = (coord(src).col, coord(tgt).col);
-        if try_insert_col(&mut sol.active_cols, hc, tc) {
+        if sol.active_cols.insert(hc, tc) {
             seeded.insert(e);
             if !seed_all {
                 break;
@@ -415,7 +445,7 @@ fn solve_stage_at(
 
     // Commit the anchor row's matches.
     sol.active_rows.push((r0, y0));
-    for &(hc, tc) in &sol.active_cols {
+    for &(hc, tc) in sol.active_cols.pairs() {
         if let (Some(u), Some(v)) = (qubit_at(r0, hc), qubit_at(y0, tc)) {
             stage_matched.insert(norm(u, v));
             sol.matched.push((u, v));
@@ -425,9 +455,13 @@ fn solve_stage_at(
     let slm_rows = config.slm().rows();
     // Scores a candidate (aod_row, y) placement: Some(count) iff every
     // occupied cross is a fresh remaining edge.
-    let score = |aod_row: usize, y: usize, cols: &[(usize, usize)], matched: &HashSet<(u32, u32)>| -> Option<usize> {
+    let score = |aod_row: usize,
+                 y: usize,
+                 cols: &PairMatcher,
+                 matched: &HashSet<(u32, u32)>|
+     -> Option<usize> {
         let mut count = 0usize;
-        for &(hc, tc) in cols {
+        for &(hc, tc) in cols.pairs() {
             if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
                 let e = norm(u, v);
                 if remaining.contains(&e) && !matched.contains(&e) {
@@ -440,16 +474,16 @@ fn solve_stage_at(
         Some(count)
     };
     let commit = |sol: &mut StageSolution,
-                      matched: &mut HashSet<(u32, u32)>,
-                      aod_row: usize,
-                      y: usize,
-                      front: bool| {
+                  matched: &mut HashSet<(u32, u32)>,
+                  aod_row: usize,
+                  y: usize,
+                  front: bool| {
         if front {
             sol.active_rows.insert(0, (aod_row, y));
         } else {
             sol.active_rows.push((aod_row, y));
         }
-        for &(hc, tc) in &sol.active_cols {
+        for &(hc, tc) in sol.active_cols.pairs() {
             if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
                 matched.insert(norm(u, v));
                 sol.matched.push((u, v));
@@ -518,7 +552,7 @@ fn solve_stage_at(
     candidates.sort_unstable();
     for (src, tgt) in candidates {
         let (hc, tc) = (coord(src).col, coord(tgt).col);
-        if !can_insert_col(&sol.active_cols, hc, tc) {
+        if !sol.active_cols.can_insert(hc, tc) {
             continue;
         }
         let mut new_matches: Vec<(u32, u32)> = Vec::new();
@@ -538,8 +572,8 @@ fn solve_stage_at(
             }
         }
         if ok && !new_matches.is_empty() {
-            let inserted = try_insert_col(&mut sol.active_cols, hc, tc);
-            debug_assert!(inserted, "can_insert_col pre-checked");
+            let inserted = sol.active_cols.insert(hc, tc);
+            debug_assert!(inserted, "can_insert pre-checked");
             for &(u, v) in &new_matches {
                 stage_matched.insert(norm(u, v));
                 sol.matched.push((u, v));
@@ -547,51 +581,6 @@ fn solve_stage_at(
         }
     }
     sol
-}
-
-/// Non-mutating feasibility check mirroring [`try_insert_col`].
-fn can_insert_col(active: &[(usize, usize)], home: usize, target: usize) -> bool {
-    if active.iter().any(|&(h, t)| h == home || t == target) {
-        return false;
-    }
-    let pos = active.partition_point(|&(h, _)| h < home);
-    if pos > 0 {
-        let (lh, lt) = active[pos - 1];
-        if target <= lt || home - lh - 1 > target - lt {
-            return false;
-        }
-    }
-    if pos < active.len() {
-        let (rh, rt) = active[pos];
-        if target >= rt || rh - home - 1 > rt - target {
-            return false;
-        }
-    }
-    true
-}
-
-/// Tries to insert an active column pair keeping both orders strict and
-/// leaving enough midpoint slots for the parked columns in between.
-fn try_insert_col(active: &mut Vec<(usize, usize)>, home: usize, target: usize) -> bool {
-    if active.iter().any(|&(h, t)| h == home || t == target) {
-        return false;
-    }
-    let pos = active.partition_point(|&(h, _)| h < home);
-    // Order consistency.
-    if pos > 0 {
-        let (lh, lt) = active[pos - 1];
-        if target <= lt || home - lh - 1 > target - lt {
-            return false;
-        }
-    }
-    if pos < active.len() {
-        let (rh, rt) = active[pos];
-        if target >= rt || rh - home - 1 > rt - target {
-            return false;
-        }
-    }
-    active.insert(pos, (home, target));
-    true
 }
 
 /// Physical coordinates for a solved stage: active lines at `target + off`,
@@ -629,10 +618,7 @@ fn stage_coords(
             }
         }
         // Trailing lines (parked and beyond `used`).
-        let (last_home, last_target) = active
-            .last()
-            .copied()
-            .unwrap_or((0, 0));
+        let (last_home, last_target) = active.last().copied().unwrap_or((0, 0));
         let mut j = 0;
         for coord in coords.iter_mut().take(total).skip(last_home + 1) {
             if coord.is_nan() {
@@ -647,7 +633,7 @@ fn stage_coords(
 
     (
         build(&sol.active_rows, used_rows, schedule.aod_rows),
-        build(&sol.active_cols, used_cols, schedule.aod_cols),
+        build(sol.active_cols.pairs(), used_cols, schedule.aod_cols),
     )
 }
 
@@ -657,26 +643,28 @@ mod tests {
     use crate::validate::validate_schedule;
 
     #[test]
-    fn try_insert_col_orders() {
-        let mut active = vec![(1usize, 2usize)];
+    fn column_matcher_orders() {
+        let mut active = PairMatcher::new();
+        assert!(active.insert(1, 2));
         // Left of (1 -> 2): home 0, target must be < 2.
-        assert!(try_insert_col(&mut active, 0, 0));
-        assert_eq!(active, vec![(0, 0), (1, 2)]);
+        assert!(active.insert(0, 0));
+        assert_eq!(active.pairs(), &[(0, 0), (1, 2)]);
         // Inversion rejected.
-        assert!(!try_insert_col(&mut active, 2, 1));
+        assert!(!active.insert(2, 1));
         // Append right.
-        assert!(try_insert_col(&mut active, 3, 3));
+        assert!(active.insert(3, 3));
         assert_eq!(active.len(), 3);
     }
 
     #[test]
-    fn try_insert_col_gap_capacity() {
-        let mut active = vec![(0usize, 0usize)];
+    fn column_matcher_gap_capacity() {
+        let mut active = PairMatcher::new();
+        assert!(active.insert(0, 0));
         // home 3 leaves 2 parked columns between; target 1 offers only
         // 1 midpoint slot -> reject.
-        assert!(!try_insert_col(&mut active, 3, 1));
+        assert!(!active.insert(3, 1));
         // target 3 offers 3 slots -> accept.
-        assert!(try_insert_col(&mut active, 3, 3));
+        assert!(active.insert(3, 3));
     }
 
     #[test]
@@ -697,7 +685,9 @@ mod tests {
         // parallel: (0,1), (1,3), (4,9), (5,11).
         let cfg = FpqaConfig::for_qubits(12, 4);
         let edges = [(0u32, 1u32), (1, 3), (4, 9), (5, 11)];
-        let p = QaoaRouter::new().route_edges(12, &edges, 0.3, &cfg).unwrap();
+        let p = QaoaRouter::new()
+            .route_edges(12, &edges, 0.3, &cfg)
+            .unwrap();
         validate_schedule(p.schedule(), &cfg).expect("valid schedule");
         // create + 1 stage + recycle = 3 pulses.
         assert_eq!(

@@ -26,14 +26,16 @@
 //! Correctness of the construction (including ancilla cleanness) is
 //! verified against reference circuits by the test-suite via `qpilot-sim`.
 
-use qpilot_circuit::{Circuit, Gate, PauliString, Qubit};
 use qpilot_arch::GridCoord;
+use qpilot_circuit::{Circuit, Gate, PauliString, Qubit};
 
 use crate::error::RouteError;
-use crate::motion::{anchored_coords, axis_coords, initial_coords, park_col_base, park_row_base,
-                    OFFSET_MIN};
-use crate::schedule::{AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, Stage,
-                      TransferOp};
+use crate::motion::{
+    anchored_coords, axis_coords, initial_coords, park_col_base, park_row_base, OFFSET_MIN,
+};
+use crate::schedule::{
+    AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, Stage, TransferOp,
+};
 use crate::FpqaConfig;
 
 /// Options for [`QsimRouter`].
@@ -139,12 +141,12 @@ impl QsimRouter {
         let mut pre = Circuit::new(config.num_data());
         string.append_basis_change(&mut pre);
         if !pre.is_empty() {
-            schedule.push(Stage::Raman(pre.gates().to_vec()));
+            schedule.push(Stage::Raman(pre.gates().into()));
         }
 
         let root = support[0];
         if support.len() == 1 {
-            schedule.push(Stage::Raman(vec![Gate::Rz(root, theta)]));
+            schedule.push(Stage::Raman(vec![Gate::Rz(root, theta)].into()));
         } else {
             self.append_parity_rotation(schedule, cur, config, root, &support[1..], theta, cap);
         }
@@ -152,7 +154,7 @@ impl QsimRouter {
         let mut post = Circuit::new(config.num_data());
         string.append_basis_change_inverse(&mut post);
         if !post.is_empty() {
-            schedule.push(Stage::Raman(post.gates().to_vec()));
+            schedule.push(Stage::Raman(post.gates().into()));
         }
         Ok(())
     }
@@ -179,7 +181,9 @@ impl QsimRouter {
 
         let mut fwd = PhaseBuilder::new(cur.clone());
         build_fanout(&mut fwd, schedule, config, root, &copies);
-        build_absorb(&mut fwd, schedule, config, targets, &coords, &chains, &copies);
+        build_absorb(
+            &mut fwd, schedule, config, targets, &coords, &chains, &copies,
+        );
         build_combine(&mut fwd, schedule, config, &copies);
         if m.is_multiple_of(2) {
             build_root_fix(&mut fwd, schedule, config, root, &copies);
@@ -188,10 +192,8 @@ impl QsimRouter {
         // Emit forward, rotation, mirror. Ancilla loads inside the forward
         // phase reverse into unloads at the mirrored points, where the
         // uncomputation has just returned those copies to |0⟩.
-        let rotation = Stage::Raman(vec![Gate::Rz(
-            schedule.ancilla_qubit(copies[m - 1]),
-            theta,
-        )]);
+        let rotation =
+            Stage::Raman(vec![Gate::Rz(schedule.ancilla_qubit(copies[m - 1]), theta)].into());
         let (forward, reversed, end) = fwd.into_stages();
         for s in forward {
             schedule.push(s);
@@ -232,7 +234,7 @@ impl PhaseBuilder {
         self.stages.push(Stage::Move { row_y, col_x });
     }
 
-    fn raman(&mut self, gates: Vec<Gate>) {
+    fn raman(&mut self, gates: crate::RamanLayer) {
         self.pre.push(self.cur.clone());
         self.stages.push(Stage::Raman(gates));
     }
@@ -252,10 +254,11 @@ impl PhaseBuilder {
 
     /// Emits a CNOT layer `control -> target` (H · CZ · H on targets).
     fn cnot_layer(&mut self, schedule: &Schedule, pairs: &[(AtomRef, AtomRef)]) {
-        let h: Vec<Gate> = pairs
+        let h: crate::RamanLayer = pairs
             .iter()
             .map(|&(_, t)| Gate::H(schedule.qubit_of(t)))
-            .collect();
+            .collect::<Vec<Gate>>()
+            .into();
         self.raman(h.clone());
         self.rydberg(pairs.iter().map(|&(c, t)| RydbergOp::cz(c, t)).collect());
         self.raman(h);
@@ -299,11 +302,141 @@ impl PhaseBuilder {
     }
 }
 
-/// Greedy chain cover of the lower-right-domination DAG: repeatedly extract
-/// the longest weakly-monotone chain (O(n²) DP per round).
+/// Greedy chain cover of the lower-right-domination DAG: repeatedly
+/// extract the longest weakly-monotone chain.
+///
+/// After sorting by `(row, col)` once, every earlier node has `row <=`
+/// the current node's, so "`j` dominates `i`" reduces to `col_j <=
+/// col_i` — a prefix query. Each round therefore runs the longest-chain
+/// DP in `O(n log C)` with a Fenwick prefix-max over the column axis (the
+/// same indexed order machinery as [`crate::legality::LegalitySet`]),
+/// instead of the pre-PR `O(n²)` pairwise scan. The tree aggregates
+/// `(chain length, earliest DP index)` so tie-breaking — and thus the
+/// produced chains — replicate the reference DP *exactly*; see
+/// `chain_cover_reference` and the differential test below.
 pub(crate) fn chain_cover(coords: &[GridCoord]) -> Vec<Vec<usize>> {
     let mut remaining: Vec<usize> = (0..coords.len()).collect();
     // Sort once by (row, col): domination implies this order.
+    remaining.sort_by_key(|&i| (coords[i].row, coords[i].col));
+    let col_bound = coords.iter().map(|c| c.col + 1).max().unwrap_or(1);
+    let mut tree = ChainTree::new(col_bound);
+    let mut best_len: Vec<usize> = Vec::new();
+    let mut pred: Vec<usize> = Vec::new();
+    let mut chains = Vec::new();
+    while !remaining.is_empty() {
+        let n = remaining.len();
+        tree.clear();
+        best_len.clear();
+        best_len.resize(n, 1);
+        pred.clear();
+        pred.resize(n, usize::MAX);
+        // `at` tracks the chain tail: the *last* index attaining the
+        // maximum length, matching the reference's `max_by_key`.
+        let mut at = 0usize;
+        for i in 0..n {
+            let c = coords[remaining[i]];
+            if let Some((len, j)) = tree.best_up_to(c.col) {
+                best_len[i] = len + 1;
+                pred[i] = j;
+            }
+            tree.update(c.col, best_len[i], i);
+            if best_len[i] >= best_len[at] {
+                at = i;
+            }
+        }
+        let mut chain_local = Vec::with_capacity(best_len[at]);
+        loop {
+            chain_local.push(at);
+            if pred[at] == usize::MAX {
+                break;
+            }
+            at = pred[at];
+        }
+        chain_local.reverse();
+        let chain: Vec<usize> = chain_local.iter().map(|&i| remaining[i]).collect();
+        let dead: Vec<usize> = chain_local;
+        let mut keep = Vec::with_capacity(n - dead.len());
+        for (i, &node) in remaining.iter().enumerate() {
+            if !dead.contains(&i) {
+                keep.push(node);
+            }
+        }
+        remaining = keep;
+        chains.push(chain);
+    }
+    chains
+}
+
+/// Fenwick tree over the column axis aggregating `(best chain length,
+/// earliest index attaining it)` — longer wins, ties prefer the smaller
+/// index (the reference DP keeps the first dominating predecessor of
+/// maximal length).
+#[derive(Debug)]
+struct ChainTree {
+    nodes: Vec<(usize, usize)>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl ChainTree {
+    fn new(size: usize) -> Self {
+        ChainTree {
+            nodes: vec![(0, 0); size + 1],
+            stamps: vec![0; size + 1],
+            epoch: 1,
+        }
+    }
+
+    fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.epoch = 1;
+            self.stamps.fill(0);
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    fn merge(a: (usize, usize), b: (usize, usize)) -> (usize, usize) {
+        match a.0.cmp(&b.0) {
+            std::cmp::Ordering::Greater => a,
+            std::cmp::Ordering::Less => b,
+            std::cmp::Ordering::Equal => (a.0, a.1.min(b.1)),
+        }
+    }
+
+    fn update(&mut self, col: usize, len: usize, index: usize) {
+        let mut idx = col + 1;
+        while idx < self.nodes.len() {
+            if self.stamps[idx] != self.epoch {
+                self.stamps[idx] = self.epoch;
+                self.nodes[idx] = (len, index);
+            } else {
+                self.nodes[idx] = Self::merge(self.nodes[idx], (len, index));
+            }
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Best `(length, index)` among entries with column `<= col`.
+    fn best_up_to(&self, col: usize) -> Option<(usize, usize)> {
+        let mut idx = col + 1;
+        let mut best: Option<(usize, usize)> = None;
+        while idx > 0 {
+            if self.stamps[idx] == self.epoch {
+                let v = self.nodes[idx];
+                best = Some(best.map_or(v, |b| Self::merge(b, v)));
+            }
+            idx -= idx & idx.wrapping_neg();
+        }
+        best
+    }
+}
+
+/// The pre-PR `O(n²)`-per-round DP, kept verbatim as the differential
+/// oracle for [`chain_cover`].
+#[cfg(test)]
+pub(crate) fn chain_cover_reference(coords: &[GridCoord]) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..coords.len()).collect();
     remaining.sort_by_key(|&i| (coords[i].row, coords[i].col));
     let mut chains = Vec::new();
     while !remaining.is_empty() {
@@ -500,12 +633,7 @@ fn build_absorb(
             let pairs: Vec<(AtomRef, AtomRef)> = segment
                 .iter()
                 .enumerate()
-                .map(|(k, &t)| {
-                    (
-                        AtomRef::Data(targets[t].raw()),
-                        AtomRef::Ancilla(copies[k]),
-                    )
-                })
+                .map(|(k, &t)| (AtomRef::Data(targets[t].raw()), AtomRef::Ancilla(copies[k])))
                 .collect();
             fwd.cnot_layer(schedule, &pairs);
         }
@@ -545,10 +673,7 @@ fn build_combine(
         );
         fwd.cnot_layer(
             schedule,
-            &[(
-                AtomRef::Ancilla(copies[k]),
-                AtomRef::Ancilla(copies[k + 1]),
-            )],
+            &[(AtomRef::Ancilla(copies[k]), AtomRef::Ancilla(copies[k + 1]))],
         );
     }
 }
@@ -570,10 +695,7 @@ fn build_root_fix(
     let half = pitch / 2.0;
     let off = OFFSET_MIN + 0.35;
     let rc = config.coord_of(root.raw());
-    let (root_y, root_x) = (
-        config.slm().row_y(rc.row),
-        config.slm().col_x(rc.col),
-    );
+    let (root_y, root_x) = (config.slm().row_y(rc.row), config.slm().col_x(rc.col));
     let mut row_anchors: Vec<(usize, f64)> = (0..m - 1)
         .map(|i| (i, root_y - half - (m - 2 - i) as f64 * pitch))
         .collect();
@@ -588,10 +710,7 @@ fn build_root_fix(
     );
     fwd.cnot_layer(
         schedule,
-        &[(
-            AtomRef::Data(root.raw()),
-            AtomRef::Ancilla(copies[m - 1]),
-        )],
+        &[(AtomRef::Data(root.raw()), AtomRef::Ancilla(copies[m - 1]))],
     );
 }
 
@@ -617,6 +736,29 @@ mod tests {
         let coords = coords_of(&[(0, 2), (1, 1), (2, 0)]);
         let chains = chain_cover(&coords);
         assert_eq!(chains.len(), 3);
+    }
+
+    /// Differential test: the Fenwick-indexed chain cover must replicate
+    /// the reference DP exactly — same chains, same order, same
+    /// tie-breaking — on thousands of random coordinate multisets.
+    #[test]
+    fn chain_cover_matches_reference_on_random_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut prng = StdRng::seed_from_u64(0x1234_5678_9ABC_DEF0);
+        let mut rng = move || prng.gen_range(0..usize::MAX);
+        for round in 0..2000 {
+            let (rows, cols) = (1 + rng() % 9, 1 + rng() % 9);
+            let n = 1 + rng() % 24;
+            let coords: Vec<GridCoord> = (0..n)
+                .map(|_| GridCoord::new(rng() % rows, rng() % cols))
+                .collect();
+            assert_eq!(
+                chain_cover(&coords),
+                chain_cover_reference(&coords),
+                "round {round}: {coords:?}"
+            );
+        }
     }
 
     #[test]
@@ -666,7 +808,9 @@ mod tests {
     fn route_single_zz_string() {
         let cfg = FpqaConfig::for_qubits(4, 2);
         let strings: Vec<PauliString> = vec!["ZZII".parse().unwrap()];
-        let p = QsimRouter::new().route_strings(&strings, 0.7, &cfg).unwrap();
+        let p = QsimRouter::new()
+            .route_strings(&strings, 0.7, &cfg)
+            .unwrap();
         validate_schedule(p.schedule(), &cfg).expect("valid schedule");
         // m = 1: fanout CNOT + absorb CNOT, each twice = 4 2Q gates.
         assert_eq!(p.stats().two_qubit_gates, 4);
@@ -676,7 +820,9 @@ mod tests {
     fn route_weight_one_string_is_pure_raman() {
         let cfg = FpqaConfig::for_qubits(4, 2);
         let strings: Vec<PauliString> = vec!["IZII".parse().unwrap()];
-        let p = QsimRouter::new().route_strings(&strings, 0.7, &cfg).unwrap();
+        let p = QsimRouter::new()
+            .route_strings(&strings, 0.7, &cfg)
+            .unwrap();
         assert_eq!(p.stats().two_qubit_gates, 0);
         assert_eq!(p.schedule().num_ancillas, 0);
     }
@@ -685,7 +831,9 @@ mod tests {
     fn route_xy_string_has_basis_changes() {
         let cfg = FpqaConfig::for_qubits(4, 2);
         let strings: Vec<PauliString> = vec!["XYII".parse().unwrap()];
-        let p = QsimRouter::new().route_strings(&strings, 0.3, &cfg).unwrap();
+        let p = QsimRouter::new()
+            .route_strings(&strings, 0.3, &cfg)
+            .unwrap();
         validate_schedule(p.schedule(), &cfg).expect("valid schedule");
         // Basis change: X -> h; Y -> sdg, h; inverses: h; h, s: 6 gates
         // plus 4 CNOT hadamards plus rz.
@@ -696,7 +844,9 @@ mod tests {
     fn route_wide_string_uses_multiple_copies() {
         let cfg = FpqaConfig::for_qubits(16, 4);
         let strings: Vec<PauliString> = vec!["ZZZZZZZZZZZZZZZZ".parse().unwrap()];
-        let p = QsimRouter::new().route_strings(&strings, 0.4, &cfg).unwrap();
+        let p = QsimRouter::new()
+            .route_strings(&strings, 0.4, &cfg)
+            .unwrap();
         validate_schedule(p.schedule(), &cfg).expect("valid schedule");
         assert!(p.schedule().num_ancillas > 1);
         // All ancillas recycled.
@@ -712,7 +862,9 @@ mod tests {
             "IIIZZIIII".parse().unwrap(),
             "XIXIIIIIZ".parse().unwrap(),
         ];
-        let p = QsimRouter::new().route_strings(&strings, 0.2, &cfg).unwrap();
+        let p = QsimRouter::new()
+            .route_strings(&strings, 0.2, &cfg)
+            .unwrap();
         let report = validate_schedule(p.schedule(), &cfg).expect("valid schedule");
         assert_eq!(report.leftover_ancillas, 0);
         assert!(p.stats().two_qubit_gates >= 12);

@@ -122,18 +122,16 @@ pub fn render_stage(schedule: &Schedule, config: &FpqaConfig, stage_index: usize
     ancillas.sort_by_key(|&(a, _)| a);
     Frame {
         stage_index,
-        data: (0..schedule.num_data).map(|q| config.position_of(q)).collect(),
+        data: (0..schedule.num_data)
+            .map(|q| config.position_of(q))
+            .collect(),
         ancillas,
         interacting,
     }
 }
 
 /// Renders one frame per Rydberg pulse (capped at `max_frames`).
-pub fn render_timeline(
-    schedule: &Schedule,
-    config: &FpqaConfig,
-    max_frames: usize,
-) -> String {
+pub fn render_timeline(schedule: &Schedule, config: &FpqaConfig, max_frames: usize) -> String {
     let mut out = String::new();
     let mut frames = 0;
     for (i, stage) in schedule.stages.iter().enumerate() {

@@ -17,6 +17,7 @@
 //! gates count as 1Q gates.
 
 use std::fmt;
+use std::sync::Arc;
 
 use qpilot_circuit::{Gate, Qubit};
 
@@ -128,13 +129,21 @@ pub struct TransferOp {
     pub load: bool,
 }
 
+/// A shared Raman 1Q layer (see [`Stage::Raman`]).
+pub type RamanLayer = Arc<[Gate]>;
+
 /// One stage of a compiled schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stage {
     /// Parallel individually-addressed 1Q gates. Gates address the combined
     /// register: data qubits `0..num_data`, ancilla `AncillaId(k)` at
     /// `num_data + k`.
-    Raman(Vec<Gate>),
+    ///
+    /// The payload is shared (`Arc<[Gate]>`): the routers re-use one
+    /// Hadamard layer across the several pulses of a flying-ancilla flow,
+    /// so "cloning" the layer is a reference-count bump instead of a heap
+    /// copy.
+    Raman(RamanLayer),
     /// Atom transfers (all in parallel).
     Transfer(Vec<TransferOp>),
     /// AOD reconfiguration: absolute row `y` and column `x` coordinates.
@@ -342,7 +351,7 @@ mod tests {
             AtomRef::Data(0),
             AtomRef::Ancilla(a),
         )]));
-        s.push(Stage::Raman(vec![Gate::Rz(Qubit::new(2), 0.5)]));
+        s.push(Stage::Raman(vec![Gate::Rz(Qubit::new(2), 0.5)].into()));
         s.push(Stage::Rydberg(vec![RydbergOp::cz(
             AtomRef::Ancilla(a),
             AtomRef::Data(1),

@@ -108,17 +108,29 @@ impl fmt::Display for ValidateError {
             ValidateError::BadRydbergOp { stage, message } => {
                 write!(f, "stage {stage}: rydberg op: {message}")
             }
-            ValidateError::UnintendedInteraction { stage, pair, distance_um } => write!(
+            ValidateError::UnintendedInteraction {
+                stage,
+                pair,
+                distance_um,
+            } => write!(
                 f,
                 "stage {stage}: unintended interaction {} - {} at {distance_um:.2}um",
                 pair.0, pair.1
             ),
-            ValidateError::MissedInteraction { stage, pair, distance_um } => write!(
+            ValidateError::MissedInteraction {
+                stage,
+                pair,
+                distance_um,
+            } => write!(
                 f,
                 "stage {stage}: intended pair {} - {} out of range at {distance_um:.2}um",
                 pair.0, pair.1
             ),
-            ValidateError::Hazard { stage, pair, distance_um } => write!(
+            ValidateError::Hazard {
+                stage,
+                pair,
+                distance_um,
+            } => write!(
                 f,
                 "stage {stage}: hazard-zone pair {} - {} at {distance_um:.2}um",
                 pair.0, pair.1
@@ -158,12 +170,12 @@ pub fn validate_schedule(
         report.stages += 1;
         match stage {
             Stage::Move { row_y, col_x } => {
-                let mv = aod
-                    .move_to(row_y.clone(), col_x.clone())
-                    .map_err(|e| ValidateError::Aod {
-                        stage: stage_idx,
-                        message: e.to_string(),
-                    })?;
+                let mv =
+                    aod.move_to(row_y.clone(), col_x.clone())
+                        .map_err(|e| ValidateError::Aod {
+                            stage: stage_idx,
+                            message: e.to_string(),
+                        })?;
                 let occupied: Vec<(usize, usize)> = loaded.values().copied().collect();
                 report
                     .move_max_displacements_um
@@ -190,10 +202,7 @@ pub fn validate_schedule(
                         if loaded.values().any(|&c| c == (op.row, op.col)) {
                             return Err(ValidateError::Transfer {
                                 stage: stage_idx,
-                                message: format!(
-                                    "cross ({}, {}) already occupied",
-                                    op.row, op.col
-                                ),
+                                message: format!("cross ({}, {}) already occupied", op.row, op.col),
                             });
                         }
                         loaded.insert(op.ancilla, (op.row, op.col));
@@ -222,7 +231,7 @@ pub fn validate_schedule(
                 }
             }
             Stage::Raman(gates) => {
-                for g in gates {
+                for g in gates.iter() {
                     if !g.is_single_qubit() {
                         return Err(ValidateError::Raman {
                             stage: stage_idx,
@@ -269,9 +278,8 @@ fn check_rydberg(
     ops: &[crate::RydbergOp],
 ) -> Result<(), ValidateError> {
     // Collect atom positions: all data atoms + loaded ancillas.
-    let mut atoms: Vec<(AtomRef, Position)> = Vec::with_capacity(
-        schedule.num_data as usize + loaded.len(),
-    );
+    let mut atoms: Vec<(AtomRef, Position)> =
+        Vec::with_capacity(schedule.num_data as usize + loaded.len());
     for q in 0..schedule.num_data {
         atoms.push((AtomRef::Data(q), config.position_of(q)));
     }
@@ -319,9 +327,8 @@ fn check_rydberg(
     let rb = config.rydberg().radius_um;
     let safety = rb * config.rydberg().safety_factor;
     let cell = safety.max(1e-9);
-    let key = |p: &Position| -> (i64, i64) {
-        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
-    };
+    let key =
+        |p: &Position| -> (i64, i64) { ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64) };
     let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
     for (i, (_, p)) in atoms.iter().enumerate() {
         buckets.entry(key(p)).or_default().push(i);
@@ -462,7 +469,10 @@ mod tests {
         // to q0 -> unintended.
         s.push(Stage::Rydberg(vec![]));
         let err = validate_schedule(&s, &cfg).unwrap_err();
-        assert!(matches!(err, ValidateError::UnintendedInteraction { .. }), "{err}");
+        assert!(
+            matches!(err, ValidateError::UnintendedInteraction { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -476,7 +486,10 @@ mod tests {
             AtomRef::Ancilla(a),
         )]));
         let err = validate_schedule(&s, &cfg).unwrap_err();
-        assert!(matches!(err, ValidateError::MissedInteraction { .. }), "{err}");
+        assert!(
+            matches!(err, ValidateError::MissedInteraction { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -512,8 +525,18 @@ mod tests {
         let mut s = Schedule::new(4, 2, 2);
         let a = s.fresh_ancilla();
         s.push(Stage::Transfer(vec![
-            TransferOp { ancilla: a, row: 0, col: 0, load: true },
-            TransferOp { ancilla: a, row: 0, col: 1, load: true },
+            TransferOp {
+                ancilla: a,
+                row: 0,
+                col: 0,
+                load: true,
+            },
+            TransferOp {
+                ancilla: a,
+                row: 0,
+                col: 1,
+                load: true,
+            },
         ]));
         let err = validate_schedule(&s, &cfg).unwrap_err();
         assert!(matches!(err, ValidateError::Transfer { .. }));
@@ -538,9 +561,9 @@ mod tests {
         let cfg = config();
         let mut s = Schedule::new(4, 2, 2);
         let _ = s.fresh_ancilla();
-        s.push(Stage::Raman(vec![qpilot_circuit::Gate::H(
-            qpilot_circuit::Qubit::new(4),
-        )]));
+        s.push(Stage::Raman(
+            vec![qpilot_circuit::Gate::H(qpilot_circuit::Qubit::new(4))].into(),
+        ));
         let err = validate_schedule(&s, &cfg).unwrap_err();
         assert!(matches!(err, ValidateError::Raman { .. }));
     }

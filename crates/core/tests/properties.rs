@@ -4,14 +4,17 @@
 
 use proptest::prelude::*;
 
+use qpilot_arch::GridCoord;
 use qpilot_circuit::{Circuit, PauliString};
-use qpilot_core::generic::GenericRouter;
-use qpilot_core::legality::{greedy_legal_subset, set_compatible, GatePlacement};
+use qpilot_core::generic::{GenericRouter, GenericRouterOptions};
+use qpilot_core::generic_reference::route_reference;
+use qpilot_core::legality::{
+    greedy_legal_subset, greedy_max_subset, set_compatible, GatePlacement, LegalitySet,
+};
 use qpilot_core::qaoa::QaoaRouter;
 use qpilot_core::qsim::QsimRouter;
 use qpilot_core::validate::validate_schedule;
 use qpilot_core::FpqaConfig;
-use qpilot_arch::GridCoord;
 
 fn arb_cz_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
     prop::collection::vec((0..n, 0..n - 1), 1..max_gates).prop_map(move |pairs| {
@@ -83,6 +86,37 @@ proptest! {
                 prop_assert!(!set_compatible(&extended), "candidate {i} wrongly rejected");
             }
         }
+    }
+
+    /// The incremental `LegalitySet` greedy must reproduce the reference
+    /// pairwise greedy exactly: same indices, so subset sizes can never
+    /// regress.
+    #[test]
+    fn incremental_greedy_matches_reference(placements in arb_placements(16)) {
+        let reference = greedy_legal_subset(&placements);
+        let mut set = LegalitySet::new(5, 5);
+        let mut out = Vec::new();
+        greedy_max_subset(&placements, usize::MAX, &mut set, &mut out);
+        prop_assert_eq!(&out, &reference);
+        prop_assert!(out.len() >= reference.len(), "subset size regressed");
+        // The indexed fast path and the single-pass scan agree on every
+        // candidate against every prefix of the accepted set.
+        set.clear();
+        for p in &placements {
+            prop_assert_eq!(set.admits(p), set.admits_scan(p));
+            set.try_insert(p);
+        }
+    }
+
+    /// The optimised router and the preserved pre-PR router emit
+    /// byte-identical compiled programs on arbitrary CZ workloads.
+    #[test]
+    fn incremental_router_is_byte_identical(c in arb_cz_circuit(9, 18), cols in 2usize..5) {
+        let cfg = FpqaConfig::for_qubits(9, cols);
+        let ours = GenericRouter::new().route(&c, &cfg).expect("routing");
+        let reference = route_reference(&c, &cfg, GenericRouterOptions::default())
+            .expect("reference routing");
+        prop_assert_eq!(ours, reference);
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub mod stabilizer;
 mod state;
 
 pub use complex::Complex;
-pub use equiv::{ancillas_restored, equal_up_to_global_phase, random_state_fidelity, unitary_of,
-                unitary_on_data, DataEquivalence};
+pub use equiv::{
+    ancillas_restored, equal_up_to_global_phase, random_state_fidelity, unitary_of,
+    unitary_on_data, DataEquivalence,
+};
 pub use state::{StateVector, MAX_QUBITS};

@@ -366,7 +366,12 @@ impl fmt::Debug for Tableau {
         writeln!(f, "Tableau[{} qubits]", self.n)?;
         for row in 0..2 * self.n {
             let kind = if row < self.n { "d" } else { "s" };
-            write!(f, "  {kind}{:<3} {}", row % self.n, if self.phase[row] { '-' } else { '+' })?;
+            write!(
+                f,
+                "  {kind}{:<3} {}",
+                row % self.n,
+                if self.phase[row] { '-' } else { '+' }
+            )?;
             for q in 0..self.n {
                 let c = match (self.x_bit(row, q), self.z_bit(row, q)) {
                     (false, false) => 'I',
@@ -520,10 +525,7 @@ mod tests {
             // decomposed: cx rz cx.
             let mut ref_c = Circuit::new(2);
             ref_c.cx(0, 1).rz(1, theta).cx(0, 1);
-            assert!(
-                clifford_equivalent(&zz, &ref_c).unwrap(),
-                "theta = {theta}"
-            );
+            assert!(clifford_equivalent(&zz, &ref_c).unwrap(), "theta = {theta}");
             // And both match the dense simulator up to global phase.
             let mut sv1 = StateVector::random(2, 8);
             let mut sv2 = sv1.clone();
@@ -633,12 +635,12 @@ mod tests {
                     }
                     2 => {
                         let x = rng.gen_range(0..4u32);
-                        let y = (x + rng.gen_range(1..4)) % 4;
+                        let y = (x + rng.gen_range(1..4u32)) % 4;
                         a.cx(x, y);
                     }
                     _ => {
                         let x = rng.gen_range(0..4u32);
-                        let y = (x + rng.gen_range(1..4)) % 4;
+                        let y = (x + rng.gen_range(1..4u32)) % 4;
                         a.cz(x, y);
                     }
                 }
@@ -650,8 +652,7 @@ mod tests {
                 b.z(rng.gen_range(0..4));
             }
             let tableau_eq = clifford_equivalent(&a, &b).unwrap();
-            let dense_eq =
-                crate::equiv::random_state_fidelity(&a, &b, trial as u64) > 1.0 - 1e-9;
+            let dense_eq = crate::equiv::random_state_fidelity(&a, &b, trial as u64) > 1.0 - 1e-9;
             assert_eq!(tableau_eq, dense_eq, "trial {trial}");
         }
     }

@@ -77,7 +77,10 @@ impl StateVector {
     /// most [`MAX_QUBITS`] qubits.
     pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
         let dim = amps.len();
-        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let num_qubits = dim.trailing_zeros();
         assert!(num_qubits <= MAX_QUBITS, "register too wide");
         StateVector { num_qubits, amps }
@@ -186,11 +189,11 @@ impl StateVector {
                     ],
                 );
             }
-            Gate::X(q) => self.apply_1q(q, [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO]),
-            Gate::Y(q) => self.apply_1q(
+            Gate::X(q) => self.apply_1q(
                 q,
-                [Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO],
+                [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO],
             ),
+            Gate::Y(q) => self.apply_1q(q, [Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO]),
             Gate::Z(q) => self.apply_phase(q, Complex::real(-1.0)),
             Gate::S(q) => self.apply_phase(q, Complex::I),
             Gate::Sdg(q) => self.apply_phase(q, -Complex::I),

@@ -59,14 +59,23 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex {vertex} out of range for {num_vertices} vertices")
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for {num_vertices} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self loop on vertex {vertex}"),
             GraphError::DuplicateEdge { edge } => {
                 write!(f, "duplicate edge ({}, {})", edge.0, edge.1)
             }
-            GraphError::RegularGraphInfeasible { num_vertices, degree } => {
+            GraphError::RegularGraphInfeasible {
+                num_vertices,
+                degree,
+            } => {
                 write!(f, "no {degree}-regular graph on {num_vertices} vertices")
             }
         }
@@ -171,7 +180,10 @@ impl Graph {
 ///
 /// Panics unless `p ∈ [0, 1]`.
 pub fn erdos_renyi(num_vertices: u32, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0,1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::new();
     for a in 0..num_vertices {

@@ -97,7 +97,10 @@ fn spin(so: usize) -> usize {
 /// (closed shell).
 pub fn uccsd_pauli_strings(n_spatial: usize, n_electrons: usize) -> Vec<PauliString> {
     let n_qubits = 2 * n_spatial;
-    assert!(n_electrons > 0 && n_electrons < n_qubits, "open orbital space required");
+    assert!(
+        n_electrons > 0 && n_electrons < n_qubits,
+        "open orbital space required"
+    );
     assert!(n_electrons.is_multiple_of(2), "closed-shell molecules only");
 
     let occupied: Vec<usize> = (0..n_electrons).collect();
@@ -225,11 +228,7 @@ mod tests {
         let strings = double_excitation_strings(8, 0, 1, 4, 6);
         assert_eq!(strings.len(), 8);
         for s in &strings {
-            let y_count = s
-                .paulis()
-                .iter()
-                .filter(|&&p| p == Pauli::Y)
-                .count();
+            let y_count = s.paulis().iter().filter(|&&p| p == Pauli::Y).count();
             assert_eq!(y_count % 2, 1, "pattern {s} has even Y count");
             // Z chain between a=4 and b=6 covers qubit 5.
             assert_eq!(s.pauli(5), Pauli::Z);
@@ -261,9 +260,6 @@ mod tests {
 
     #[test]
     fn generic_generator_matches_h2() {
-        assert_eq!(
-            uccsd_pauli_strings(2, 2),
-            Molecule::H2.pauli_strings()
-        );
+        assert_eq!(uccsd_pauli_strings(2, 2), Molecule::H2.pauli_strings());
     }
 }

@@ -51,7 +51,7 @@ pub fn random_pauli_strings(config: &PauliWorkloadConfig) -> Vec<PauliString> {
         let paulis: Vec<Pauli> = (0..config.num_qubits)
             .map(|_| {
                 if rng.gen_bool(config.pauli_probability) {
-                    Pauli::NON_IDENTITY[rng.gen_range(0..3)]
+                    Pauli::NON_IDENTITY[rng.gen_range(0..3usize)]
                 } else {
                     Pauli::I
                 }
@@ -82,7 +82,11 @@ pub fn stats(strings: &[PauliString]) -> PauliSetStats {
     let total: usize = strings.iter().map(|s| s.weight()).sum();
     PauliSetStats {
         count,
-        mean_weight: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+        mean_weight: if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        },
         max_weight: strings.iter().map(|s| s.weight()).max().unwrap_or(0),
     }
 }

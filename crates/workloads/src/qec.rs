@@ -51,8 +51,7 @@ impl SurfaceCode {
         // X on top/bottom rows, Z on left/right columns, alternating.
         for r in -1..(d as i64) {
             for c in -1..(d as i64) {
-                let interior =
-                    r >= 0 && c >= 0 && r < d as i64 - 1 && c < d as i64 - 1;
+                let interior = r >= 0 && c >= 0 && r < d as i64 - 1 && c < d as i64 - 1;
                 let is_x = (r + c).rem_euclid(2) == 1;
                 let present = if interior {
                     true

@@ -28,7 +28,10 @@ fn main() {
         );
     }
     let best = best_width(&qaoa).expect("some width works");
-    println!("  -> best width {} (depth {})", best.width, best.report.two_qubit_depth);
+    println!(
+        "  -> best width {} (depth {})",
+        best.width, best.report.two_qubit_depth
+    );
 
     // Workload B: quantum simulation strings.
     let strings = random_pauli_strings(&PauliWorkloadConfig {
@@ -48,7 +51,10 @@ fn main() {
         );
     }
     let best = best_width(&qsim).expect("some width works");
-    println!("  -> best width {} (depth {})", best.width, best.report.two_qubit_depth);
+    println!(
+        "  -> best width {} (depth {})",
+        best.width, best.report.two_qubit_depth
+    );
 
     println!(
         "\nAs in the paper's Fig. 14, the optimum differs per workload family: \

@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example mapping_search`
 
+use qpilot::circuit::Circuit;
 use qpilot::core::mapper::{search_circuit_mapping, MappingSearchOptions};
 use qpilot::core::render::render_timeline;
 use qpilot::core::{generic::GenericRouter, FpqaConfig};
-use qpilot::circuit::Circuit;
 
 fn main() {
     // A random sparse circuit: reading-order placement is rarely optimal,
@@ -45,8 +45,7 @@ fn main() {
             },
         )
         .expect("search");
-        let report =
-            qpilot::core::evaluator::evaluate(result.program.schedule(), &config);
+        let report = qpilot::core::evaluator::evaluate(result.program.schedule(), &config);
         println!(
             "after {iterations:>3} search iterations: depth {} (identity {}), movement {:.0} um (identity {:.0})",
             result.program.stats().two_qubit_depth,
@@ -57,10 +56,7 @@ fn main() {
         if iterations == 256 {
             println!("\nbest mapping (logical -> slot): {:?}", result.mapping);
             println!("\nfirst pulses of the optimised schedule:");
-            print!(
-                "{}",
-                render_timeline(result.program.schedule(), &config, 3)
-            );
+            print!("{}", render_timeline(result.program.schedule(), &config, 3));
         }
     }
 }

@@ -7,8 +7,8 @@
 use qpilot::arch::devices;
 use qpilot::baselines::compile_to_device;
 use qpilot::circuit::Circuit;
-use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, FpqaConfig};
 use qpilot::core::validate::validate_schedule;
+use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, FpqaConfig};
 use qpilot::sim::equiv::verify_compiled;
 use qpilot::workloads::graphs::random_regular;
 
@@ -41,8 +41,8 @@ fn main() {
 
     // 3) A fixed-atom-array baseline with SWAP insertion.
     let reference = graph.qaoa_circuit(&[gamma], &[beta]);
-    let baseline = compile_to_device(&reference, &devices::square_lattice(3, 3))
-        .expect("baseline compiles");
+    let baseline =
+        compile_to_device(&reference, &devices::square_lattice(3, 3)).expect("baseline compiles");
 
     println!("\n                2Q gates   2Q depth");
     println!(

@@ -45,11 +45,7 @@ fn main() {
     let perf = evaluate(program.schedule(), &config);
     println!(
         "depth {} | 2Q gates {} | 1Q gates {} | moves {} | est. fidelity {:.4}",
-        perf.two_qubit_depth,
-        perf.two_qubit_gates,
-        perf.one_qubit_gates,
-        perf.moves,
-        perf.fidelity
+        perf.two_qubit_depth, perf.two_qubit_gates, perf.one_qubit_gates, perf.moves, perf.fidelity
     );
 
     // And the ground truth: the compiled program implements the original

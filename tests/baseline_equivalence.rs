@@ -1,10 +1,10 @@
 //! The SWAP-routed baseline circuits must implement the original unitary up
 //! to the output permutation induced by the final layout.
 
+use qpilot::arch::CouplingGraph;
 use qpilot::baselines::compile_returning_circuit;
 use qpilot::circuit::Circuit;
 use qpilot::sim::equiv::verify_compiled;
-use qpilot::arch::CouplingGraph;
 
 fn line(n: usize) -> CouplingGraph {
     CouplingGraph::from_edges("line", n, (0..n - 1).map(|i| (i, i + 1)))
@@ -34,7 +34,10 @@ fn assert_baseline_equivalent(original: &Circuit, device: &CouplingGraph) {
     }
     let reference = original.remapped(device.num_qubits() as u32, |q| q);
     let res = verify_compiled(&restored, &reference);
-    assert!(res.equivalent, "baseline routing broke the circuit: {res:?}");
+    assert!(
+        res.equivalent,
+        "baseline routing broke the circuit: {res:?}"
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ use qpilot::workloads::qec::SurfaceCode;
 /// register with all flying ancillas returned to |0⟩.
 fn assert_clifford_equivalent(compiled: &Circuit, reference: &Circuit) {
     let ok = clifford_verify_compiled(compiled, reference).expect("Clifford circuits");
-    assert!(ok, "compiled program is not equivalent on the data register");
+    assert!(
+        ok,
+        "compiled program is not equivalent on the data register"
+    );
 }
 
 #[test]

@@ -4,8 +4,8 @@
 //! §2.2 guarantee, checked numerically.
 
 use qpilot::circuit::{Circuit, PauliString};
-use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, qsim::QsimRouter, FpqaConfig};
 use qpilot::core::validate::validate_schedule;
+use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, qsim::QsimRouter, FpqaConfig};
 use qpilot::sim::equiv::verify_compiled;
 use qpilot::workloads::{graphs, random::RandomCircuitConfig};
 
@@ -35,7 +35,13 @@ fn generic_router_triangle() {
 #[test]
 fn generic_router_mixed_gates() {
     let mut c = Circuit::new(4);
-    c.h(0).cx(0, 1).t(1).cz(1, 2).swap(2, 3).rz(3, 0.37).cx(3, 0);
+    c.h(0)
+        .cx(0, 1)
+        .t(1)
+        .cz(1, 2)
+        .swap(2, 3)
+        .rz(3, 0.37)
+        .cx(3, 0);
     assert_generic_equivalent(&c, &FpqaConfig::for_qubits(4, 2));
 }
 
@@ -216,8 +222,5 @@ fn qaoa_router_two_rounds() {
     let res = verify_compiled(&program.schedule().to_circuit(), &reference);
     assert!(res.equivalent, "two-round QAOA not equivalent: {res:?}");
     // Create/recycle cost appears once per round.
-    assert_eq!(
-        program.stats().two_qubit_gates,
-        2 * (2 * 4 + edges.len())
-    );
+    assert_eq!(program.stats().two_qubit_gates, 2 * (2 * 4 + edges.len()));
 }
