@@ -1,0 +1,280 @@
+//! Compilation-service benchmark: measures the content-addressed cache's
+//! warm/cold ratio, burst behaviour under concurrent TCP clients, and
+//! compile-latency percentiles, then writes `BENCH_service.json`
+//! (schema `qpilot.bench.service/v1`).
+//!
+//! ```text
+//! service_report [--qubits 100] [--factor 10] [--reps 5] [--clients 32]
+//!                [--per-client 4] [--workers N] [--out BENCH_service.json]
+//! ```
+//!
+//! Measurements (all through the service boundary, so cold includes
+//! compile + canonical serialisation + cache insert, and warm includes
+//! fingerprinting + lookup):
+//!
+//! * **cold** — median cold-cache request over `--reps` distinct seeds;
+//! * **warm** — median warm-cache repeat of one request;
+//! * **identical** — byte equality of the cold response's schedule JSON
+//!   and every warm repeat's;
+//! * **burst** — `--clients` concurrent TCP connections each sending
+//!   `--per-client` compile requests (half shared, half distinct);
+//!   `dropped` counts requests without an `"ok":true` response and the
+//!   run fails if it is non-zero.
+//!
+//! CI smoke: `--qubits 10 --factor 3 --reps 2 --clients 4 --per-client 2`.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use qpilot_bench::{arg_num, arg_value, default_threads, Table};
+use qpilot_service::protocol::{circuit_to_value_json, compile_request_line};
+use qpilot_service::{CompileRequest, Service, ServiceConfig, TcpServer};
+use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct WarmCold {
+    cold_s: f64,
+    warm_s: f64,
+    identical: bool,
+    schedule_bytes: usize,
+}
+
+/// Measures cold and warm request latency through `Service::compile`.
+fn bench_warm_cold(service: &Service, qubits: u32, factor: usize, reps: usize) -> WarmCold {
+    let reps = reps.max(1);
+    // Cold: distinct seeds, each unseen by the cache.
+    let cold_samples: Vec<f64> = (0..reps)
+        .map(|seed| {
+            let circuit = random_circuit(&RandomCircuitConfig::paper(
+                qubits,
+                factor,
+                1000 + seed as u64,
+            ));
+            let request = CompileRequest::new(circuit);
+            let t = Instant::now();
+            let response = service.compile(request).expect("cold compile");
+            let dt = t.elapsed().as_secs_f64();
+            assert!(!response.cache_hit, "seed must be cold");
+            dt
+        })
+        .collect();
+
+    // Warm: one request, repeated. The circuit is rebuilt per repeat so
+    // the measurement includes client-side fingerprinting of a fresh
+    // allocation, exactly like a real repeated request.
+    let make = || {
+        CompileRequest::new(random_circuit(&RandomCircuitConfig::paper(
+            qubits, factor, 999,
+        )))
+    };
+    let baseline = service.compile(make()).expect("warm-up compile");
+    assert!(!baseline.cache_hit);
+    let mut identical = true;
+    let warm_samples: Vec<f64> = (0..reps.max(3))
+        .map(|_| {
+            let request = make();
+            let t = Instant::now();
+            let response = service.compile(request).expect("warm compile");
+            let dt = t.elapsed().as_secs_f64();
+            assert!(response.cache_hit, "repeat must hit");
+            identical &= response.entry.schedule_json == baseline.entry.schedule_json;
+            dt
+        })
+        .collect();
+
+    WarmCold {
+        cold_s: median(cold_samples),
+        warm_s: median(warm_samples),
+        identical,
+        schedule_bytes: baseline.entry.schedule_json.len(),
+    }
+}
+
+struct BurstResult {
+    clients: usize,
+    per_client: usize,
+    sent: usize,
+    completed: usize,
+    dropped: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+}
+
+/// Fires `clients` concurrent TCP connections at a fresh server, each
+/// sending `per_client` compile requests, and counts completions.
+fn bench_burst(service: Service, clients: usize, per_client: usize, qubits: u32) -> BurstResult {
+    let server = TcpServer::spawn(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let sent = clients * per_client;
+    let t = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || -> usize {
+                let stream = match TcpStream::connect(addr) {
+                    Ok(s) => s,
+                    Err(_) => return 0,
+                };
+                let mut reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return 0,
+                });
+                let mut writer = stream;
+                let mut ok = 0usize;
+                for r in 0..per_client {
+                    // Even clients share one circuit (hits after the first
+                    // compile); odd clients are all distinct (misses).
+                    let seed = if c % 2 == 0 { 7 } else { (c * 100 + r) as u64 };
+                    let circuit = random_circuit(&RandomCircuitConfig::paper(qubits, 3, seed));
+                    let line =
+                        compile_request_line(&circuit_to_value_json(&circuit), None, None, false);
+                    if writer
+                        .write_all(format!("{line}\n").as_bytes())
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    let mut response = String::new();
+                    match reader.read_line(&mut response) {
+                        Ok(n) if n > 0 => {
+                            if response.contains("\"ok\":true") {
+                                ok += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let completed: usize = handles.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    let wall_s = t.elapsed().as_secs_f64();
+    server.shutdown();
+    BurstResult {
+        clients,
+        per_client,
+        sent,
+        completed,
+        dropped: sent - completed,
+        wall_s,
+        throughput_rps: completed as f64 / wall_s.max(1e-9),
+    }
+}
+
+fn main() {
+    let qubits: u32 = arg_num("--qubits", 100);
+    let factor: usize = arg_num("--factor", 10);
+    let reps: usize = arg_num("--reps", 5);
+    let clients: usize = arg_num("--clients", 32);
+    let per_client: usize = arg_num("--per-client", 4);
+    let workers: usize = arg_num("--workers", default_threads());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let config = ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_capacity: 256,
+        cache_shards: 16,
+    };
+
+    // Warm/cold on a dedicated service so burst traffic cannot pollute
+    // the percentile window.
+    let service = Service::new(config);
+    let wc = bench_warm_cold(&service, qubits, factor, reps);
+    let speedup = wc.cold_s / wc.warm_s.max(1e-12);
+    let stats = service.stats();
+    drop(service);
+
+    let burst = bench_burst(Service::new(config), clients, per_client, qubits.min(20));
+
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(vec![
+        "cold request (ms)".into(),
+        format!("{:.3}", wc.cold_s * 1e3),
+    ]);
+    table.row(vec![
+        "warm request (ms)".into(),
+        format!("{:.4}", wc.warm_s * 1e3),
+    ]);
+    table.row(vec!["warm speedup".into(), format!("{speedup:.1}x")]);
+    table.row(vec!["byte-identical".into(), wc.identical.to_string()]);
+    table.row(vec![
+        "schedule size (bytes)".into(),
+        wc.schedule_bytes.to_string(),
+    ]);
+    table.row(vec![
+        "p50 compile (ms)".into(),
+        format!("{:.3}", stats.p50_compile_s * 1e3),
+    ]);
+    table.row(vec![
+        "p99 compile (ms)".into(),
+        format!("{:.3}", stats.p99_compile_s * 1e3),
+    ]);
+    table.row(vec![
+        "burst completed".into(),
+        format!("{}/{}", burst.completed, burst.sent),
+    ]);
+    table.row(vec![
+        "burst throughput (req/s)".into(),
+        format!("{:.0}", burst.throughput_rps),
+    ]);
+    println!("compilation service ({qubits}q x{factor} CZ, {workers} workers)");
+    table.print();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"qpilot.bench.service/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"qubits\": {qubits}, \"factor\": {factor}, \"reps\": {reps}, \
+         \"clients\": {clients}, \"per_client\": {per_client}, \"workers\": {workers}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm_cold\": {{\"cold_request_s\": {:.9}, \"warm_request_s\": {:.9}, \
+         \"speedup\": {:.3}, \"schedules_identical\": {}, \"schedule_bytes\": {}}},",
+        wc.cold_s, wc.warm_s, speedup, wc.identical, wc.schedule_bytes
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency\": {{\"p50_compile_s\": {:.9}, \"p99_compile_s\": {:.9}}},",
+        stats.p50_compile_s, stats.p99_compile_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"evictions\": {}}},",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate(),
+        stats.cache.evictions
+    );
+    let _ = writeln!(
+        json,
+        "  \"burst\": {{\"clients\": {}, \"per_client\": {}, \"sent\": {}, \"completed\": {}, \
+         \"dropped\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.1}}}",
+        burst.clients,
+        burst.per_client,
+        burst.sent,
+        burst.completed,
+        burst.dropped,
+        burst.wall_s,
+        burst.throughput_rps
+    );
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    assert!(wc.identical, "warm responses diverged from cold schedule");
+    assert_eq!(burst.dropped, 0, "burst dropped {} requests", burst.dropped);
+}

@@ -37,6 +37,7 @@ mod circuit;
 mod dag;
 pub mod decompose;
 mod error;
+pub mod fingerprint;
 mod gate;
 pub mod optimize;
 pub mod pauli;
@@ -46,6 +47,8 @@ mod qubit;
 pub use circuit::Circuit;
 pub use dag::{layer_gates, split_front_layer, DependencyDag, Frontier, GateId};
 pub use error::CircuitError;
+pub use fingerprint::{Fingerprint, FingerprintParseError, StableHasher};
 pub use gate::{Gate, GateKind, Operands};
 pub use pauli::{Pauli, PauliString};
+pub use qasm::QasmError;
 pub use qubit::Qubit;

@@ -133,4 +133,70 @@ proptest! {
         }).sum::<usize>();
         prop_assert_eq!(qasm.lines().count(), expected_lines);
     }
+
+    /// `from_qasm ∘ to_qasm` is the identity for Zz-free circuits (Zz has
+    /// no `qelib1` name and exports as its cx/rz/cx expansion).
+    #[test]
+    fn qasm_round_trip_is_identity_without_zz(c in arb_circuit()) {
+        let without_zz = Circuit::from_gates(
+            c.num_qubits(),
+            c.iter().filter(|g| !matches!(g, Gate::Zz(_, _, _))).copied(),
+        ).expect("filtered gates stay valid");
+        let back = Circuit::from_qasm(&without_zz.to_qasm()).expect("exporter output parses");
+        prop_assert_eq!(back, without_zz);
+    }
+
+    /// Even with Zz, re-emission after a parse is byte-identical
+    /// (`to_qasm ∘ from_qasm ∘ to_qasm = to_qasm`).
+    #[test]
+    fn qasm_reemission_is_byte_stable(c in arb_circuit()) {
+        let emitted = c.to_qasm();
+        let parsed = Circuit::from_qasm(&emitted).expect("exporter output parses");
+        prop_assert_eq!(parsed.to_qasm(), emitted);
+    }
+
+    /// Gate-order-preserving rebuilds fingerprint equal.
+    #[test]
+    fn fingerprint_stable_under_rebuild(c in arb_circuit()) {
+        let rebuilt = Circuit::from_gates(c.num_qubits(), c.iter().copied())
+            .expect("rebuild of a valid circuit");
+        prop_assert_eq!(rebuilt.fingerprint(), c.fingerprint());
+        // And a second hash of the same circuit is deterministic.
+        prop_assert_eq!(c.fingerprint(), c.fingerprint());
+    }
+
+    /// Any gate append, gate removal, width change or angle perturbation
+    /// changes the fingerprint.
+    #[test]
+    fn fingerprint_sensitive_to_any_change(c in arb_circuit(), g in arb_gate()) {
+        let base = c.fingerprint();
+        let mut appended = c.clone();
+        appended.push(g).expect("strategy gate is valid");
+        prop_assert_ne!(appended.fingerprint(), base);
+
+        let widened = Circuit::from_gates(c.num_qubits() + 1, c.iter().copied())
+            .expect("widening keeps gates valid");
+        prop_assert_ne!(widened.fingerprint(), base);
+
+        if !c.is_empty() {
+            let truncated = Circuit::from_gates(
+                c.num_qubits(),
+                c.iter().take(c.len() - 1).copied(),
+            ).expect("prefix stays valid");
+            prop_assert_ne!(truncated.fingerprint(), base);
+        }
+
+        let perturbed_gates: Vec<Gate> = c.iter().map(|g| match *g {
+            Gate::Rz(q, t) => Gate::Rz(q, t + 1e-9),
+            Gate::Ry(q, t) => Gate::Ry(q, t + 1e-9),
+            Gate::Zz(a, b, t) => Gate::Zz(a, b, t + 1e-9),
+            other => other,
+        }).collect();
+        let had_angles = perturbed_gates.iter().zip(c.iter()).any(|(a, b)| a != b);
+        if had_angles {
+            let perturbed = Circuit::from_gates(c.num_qubits(), perturbed_gates)
+                .expect("perturbation keeps gates valid");
+            prop_assert_ne!(perturbed.fingerprint(), base);
+        }
+    }
 }

@@ -148,6 +148,32 @@ impl FpqaConfig {
     }
 }
 
+impl FpqaConfig {
+    /// Hashes every compilation-relevant architecture parameter into `h`
+    /// (for content-addressed schedule caching). Two configs hash equal
+    /// iff every router in this crate treats them identically.
+    pub fn fingerprint_into(&self, h: &mut qpilot_circuit::StableHasher) {
+        h.write_str("qpilot.fpqa/v1");
+        h.write_u32(self.num_data);
+        h.write_usize(self.slm.rows());
+        h.write_usize(self.slm.cols());
+        h.write_f64(self.slm.spacing_um());
+        h.write_usize(self.aod_rows);
+        h.write_usize(self.aod_cols);
+        h.write_f64(self.rydberg.radius_um);
+        h.write_f64(self.rydberg.safety_factor);
+        let p = &self.params;
+        h.write_f64(p.site_spacing_um);
+        h.write_f64(p.fidelity_1q);
+        h.write_f64(p.fidelity_2q);
+        h.write_f64(p.t2_s);
+        h.write_f64(p.t0_s);
+        h.write_f64(p.t_1q_s);
+        h.write_f64(p.t_2q_s);
+        h.write_f64(p.t_transfer_s);
+    }
+}
+
 impl fmt::Display for FpqaConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

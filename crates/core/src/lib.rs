@@ -41,6 +41,7 @@ mod error;
 pub mod evaluator;
 pub mod generic;
 pub mod generic_reference;
+pub mod json;
 pub mod legality;
 pub mod lower;
 pub mod mapper;
@@ -50,6 +51,7 @@ pub mod qsim;
 pub mod render;
 mod schedule;
 pub mod validate;
+pub mod wire;
 
 pub use config::FpqaConfig;
 pub use error::RouteError;

@@ -21,7 +21,7 @@
 //! 10 µm pitch — the geometric precondition called out in
 //! [`FpqaConfig`].
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use qpilot_arch::GridCoord;
 use qpilot_circuit::Gate;
@@ -261,10 +261,15 @@ impl QaoaRouter {
         schedule.push(Stage::Rydberg(create_ops.clone()));
         schedule.push(Stage::Raman(h_layer.clone()));
 
-        // Stage loop.
+        // Stage loop. Edge buckets are built once and maintained
+        // incrementally as edges execute (the pre-PR code re-bucketed all
+        // remaining edges every stage, which dominated routing time on
+        // large graphs — see ROADMAP "Perf open items").
+        let mut buckets = EdgeBuckets::build(&remaining, config);
         while !remaining.is_empty() {
             let solution = solve_stage(
                 &remaining,
+                &buckets,
                 config,
                 num_qubits,
                 used_rows,
@@ -273,7 +278,9 @@ impl QaoaRouter {
             );
             debug_assert!(!solution.matched.is_empty(), "stage must match >= 1 edge");
             for &(u, v) in &solution.matched {
-                remaining.remove(&(u.min(v), u.max(v)));
+                let e = (u.min(v), u.max(v));
+                remaining.remove(&e);
+                buckets.remove(e.0, e.1, config);
             }
             let (row_y, col_x) = stage_coords(&solution, schedule, config, used_rows, used_cols);
             schedule.push(Stage::Move { row_y, col_x });
@@ -326,13 +333,62 @@ struct StageSolution {
     matched: Vec<(u32, u32)>,
 }
 
+/// Remaining edges bucketed by `(ancilla home row, target SLM row)` in
+/// both orientations, maintained incrementally across stages: edges leave
+/// their two buckets as they execute instead of the whole structure being
+/// rebuilt per stage. Buckets are `BTreeSet`s so iteration order equals
+/// the sorted order the per-stage rebuild used to produce — stage
+/// construction is unchanged, only its cost is.
+#[derive(Debug, Default)]
+struct EdgeBuckets {
+    map: HashMap<(usize, usize), BTreeSet<(u32, u32)>>,
+    /// Every remaining edge in both orientations, sorted — the
+    /// column-extension candidate stream, maintained here so stage
+    /// construction never re-collects and re-sorts the edge set.
+    oriented: BTreeSet<(u32, u32)>,
+}
+
+impl EdgeBuckets {
+    /// Buckets every remaining (normalised) edge, both orientations.
+    fn build(remaining: &BTreeSet<(u32, u32)>, config: &FpqaConfig) -> Self {
+        let mut map: HashMap<(usize, usize), BTreeSet<(u32, u32)>> = HashMap::new();
+        let mut oriented = BTreeSet::new();
+        for &(u, v) in remaining {
+            for (src, tgt) in [(u, v), (v, u)] {
+                map.entry((config.coord_of(src).row, config.coord_of(tgt).row))
+                    .or_default()
+                    .insert((src, tgt));
+                oriented.insert((src, tgt));
+            }
+        }
+        EdgeBuckets { map, oriented }
+    }
+
+    /// Removes an executed edge's two orientations; empty buckets vanish
+    /// so the anchor-candidate scan only ever sees live buckets.
+    fn remove(&mut self, u: u32, v: u32, config: &FpqaConfig) {
+        for (src, tgt) in [(u, v), (v, u)] {
+            let key = (config.coord_of(src).row, config.coord_of(tgt).row);
+            if let Some(bucket) = self.map.get_mut(&key) {
+                bucket.remove(&(src, tgt));
+                if bucket.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+            self.oriented.remove(&(src, tgt));
+        }
+    }
+}
+
 /// Greedy stage construction following Alg. 3, with the paper's "maximum
 /// matching on the first row" refinement: among the densest (AOD row, SLM
 /// row) buckets of remaining edges, build candidate stages (dense and
 /// sparse column seeds, plus a post-sweep column-extension pass) and keep
 /// the one executing the most edges.
+#[allow(clippy::too_many_arguments)]
 fn solve_stage(
     remaining: &BTreeSet<(u32, u32)>,
+    buckets: &EdgeBuckets,
     config: &FpqaConfig,
     num_qubits: u32,
     used_rows: usize,
@@ -341,23 +397,11 @@ fn solve_stage(
 ) -> StageSolution {
     let coord = |q: u32| config.coord_of(q);
 
-    // Bucket remaining edges by (ancilla home row, target SLM row) in both
-    // orientations.
-    let mut buckets: std::collections::HashMap<(usize, usize), Vec<(u32, u32)>> =
-        std::collections::HashMap::new();
-    for &(u, v) in remaining.iter() {
-        for (src, tgt) in [(u, v), (v, u)] {
-            buckets
-                .entry((coord(src).row, coord(tgt).row))
-                .or_default()
-                .push((src, tgt));
-        }
-    }
     // Candidate anchors: the densest buckets, plus the bucket holding the
     // globally smallest edge (the paper's e0) as a deterministic fallback.
     let &(a0, b0) = remaining.iter().next().expect("non-empty edge set");
-    let mut keys: Vec<(usize, usize)> = buckets.keys().copied().collect();
-    keys.sort_by_key(|k| (std::cmp::Reverse(buckets[k].len()), k.0, k.1));
+    let mut keys: Vec<(usize, usize)> = buckets.map.keys().copied().collect();
+    keys.sort_by_key(|k| (std::cmp::Reverse(buckets.map[k].len()), k.0, k.1));
     keys.truncate(options.anchor_candidates.max(1));
     let e0_key = (coord(a0).row, coord(b0).row);
     if !keys.contains(&e0_key) {
@@ -374,7 +418,8 @@ fn solve_stage(
                 used_rows,
                 key.0,
                 key.1,
-                &buckets[&key],
+                &buckets.map[&key],
+                &buckets.oriented,
                 seed_all,
                 options,
             );
@@ -407,7 +452,8 @@ fn solve_stage_at(
     used_rows: usize,
     r0: usize,
     y0: usize,
-    bucket: &[(u32, u32)],
+    bucket: &BTreeSet<(u32, u32)>,
+    oriented: &BTreeSet<(u32, u32)>,
     seed_all: bool,
     options: &QaoaRouterOptions,
 ) -> StageSolution {
@@ -421,12 +467,11 @@ fn solve_stage_at(
     let mut sol = StageSolution::default();
 
     // First-row matching: greedy column insertion over the bucket's edges
-    // in sorted order. Each (normalised) edge may seed one orientation only
-    // -- both at once would execute it twice in the same pulse.
-    let mut seeds: Vec<(u32, u32)> = bucket.to_vec();
-    seeds.sort_unstable();
+    // in sorted order (`BTreeSet` iteration). Each (normalised) edge may
+    // seed one orientation only -- both at once would execute it twice in
+    // the same pulse.
     let mut seeded: HashSet<(u32, u32)> = HashSet::new();
-    for &(src, tgt) in &seeds {
+    for &(src, tgt) in bucket {
         let e = norm(src, tgt);
         if seeded.contains(&e) {
             continue;
@@ -540,17 +585,19 @@ fn solve_stage_at(
 
     // Column extension: with the rows fixed, try to grow the column
     // pattern. A new column pair is legal iff every committed row's cross
-    // lands on a fresh remaining edge (or on a missing atom).
+    // lands on a fresh remaining edge (or on a missing atom). Candidates
+    // stream from the incrementally-maintained oriented set; the filter
+    // snapshot keeps the original semantics (candidates were collected
+    // against the pre-extension matched set, while per-row legality uses
+    // the live one).
     if !options.column_extension {
         return sol;
     }
-    let mut candidates: Vec<(u32, u32)> = remaining
-        .iter()
-        .flat_map(|&(u, v)| [(u, v), (v, u)])
-        .filter(|&(src, tgt)| !stage_matched.contains(&norm(src, tgt)))
-        .collect();
-    candidates.sort_unstable();
-    for (src, tgt) in candidates {
+    let pre_extension = stage_matched.clone();
+    for &(src, tgt) in oriented {
+        if pre_extension.contains(&norm(src, tgt)) {
+            continue;
+        }
         let (hc, tc) = (coord(src).col, coord(tgt).col);
         if !sol.active_cols.can_insert(hc, tc) {
             continue;

@@ -1,0 +1,163 @@
+//! Property tests for the `qpilot.schedule/v1` wire format: round-trip
+//! identity (value- and byte-level) over both synthetic schedules
+//! covering every stage/op/atom/kind combination and real
+//! router-produced schedules.
+
+use proptest::prelude::*;
+
+use qpilot_circuit::{Circuit, Gate, Qubit};
+use qpilot_core::generic::GenericRouter;
+use qpilot_core::wire::{schedule_from_json, schedule_to_json};
+use qpilot_core::{
+    AncillaId, AtomRef, FpqaConfig, RydbergKind, RydbergOp, Schedule, Stage, TransferOp,
+};
+
+const N: u32 = 6;
+
+fn arb_atom() -> impl Strategy<Value = AtomRef> {
+    prop_oneof![
+        (0..N).prop_map(AtomRef::Data),
+        (0..4u32).prop_map(|a| AtomRef::Ancilla(AncillaId(a))),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = RydbergKind> {
+    prop_oneof![
+        Just(RydbergKind::Cz),
+        prop_oneof![Just(true), Just(false)].prop_map(|target_b| RydbergKind::CxInto { target_b }),
+        (-3.2f64..3.2f64).prop_map(RydbergKind::Zz),
+    ]
+}
+
+fn arb_raman_gate() -> impl Strategy<Value = Gate> {
+    let q = 0..N + 4;
+    prop_oneof![
+        q.clone().prop_map(|a| Gate::H(Qubit::new(a))),
+        q.clone().prop_map(|a| Gate::X(Qubit::new(a))),
+        q.clone().prop_map(|a| Gate::Sdg(Qubit::new(a))),
+        (q.clone(), -3.2f64..3.2f64).prop_map(|(a, t)| Gate::Rz(Qubit::new(a), t)),
+        (q, -3.2f64..3.2f64).prop_map(|(a, t)| Gate::Ry(Qubit::new(a), t)),
+    ]
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        prop::collection::vec(arb_raman_gate(), 0..6).prop_map(|gates| Stage::Raman(gates.into())),
+        prop::collection::vec(
+            (
+                (0..4u32),
+                (0usize..5),
+                (0usize..5),
+                prop_oneof![Just(true), Just(false)]
+            ),
+            0..5
+        )
+        .prop_map(|ops| {
+            Stage::Transfer(
+                ops.into_iter()
+                    .map(|(a, row, col, load)| TransferOp {
+                        ancilla: AncillaId(a),
+                        row,
+                        col,
+                        load,
+                    })
+                    .collect(),
+            )
+        }),
+        (
+            prop::collection::vec(-50.0f64..50.0, 0..5),
+            prop::collection::vec(-50.0f64..50.0, 0..5)
+        )
+            .prop_map(|(row_y, col_x)| Stage::Move { row_y, col_x }),
+        prop::collection::vec((arb_atom(), arb_atom(), arb_kind()), 0..5).prop_map(|ops| {
+            Stage::Rydberg(
+                ops.into_iter()
+                    .map(|(a, b, kind)| RydbergOp { a, b, kind })
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    (
+        prop::collection::vec(arb_stage(), 0..12),
+        0u32..5,
+        1usize..5,
+        1usize..5,
+    )
+        .prop_map(|(stages, ancillas, rows, cols)| {
+            let mut s = Schedule::new(N, rows, cols);
+            s.num_ancillas = ancillas;
+            for stage in stages {
+                s.push(stage);
+            }
+            s
+        })
+}
+
+fn arb_cz_circuit() -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0..N, 0..N - 1), 1..25).prop_map(|pairs| {
+        let mut c = Circuit::new(N);
+        for (a, b) in pairs {
+            let b = if b >= a { b + 1 } else { b };
+            c.cz(a, b);
+        }
+        c
+    })
+}
+
+proptest! {
+    /// `parse ∘ serialize` is the identity on schedules.
+    #[test]
+    fn schedule_round_trip_is_identity(s in arb_schedule()) {
+        let json = schedule_to_json(&s);
+        let back = schedule_from_json(&json).expect("round trip parses");
+        prop_assert_eq!(back, s);
+    }
+
+    /// `serialize ∘ parse` is the identity on serialised bytes (canonical
+    /// form), compared through the existing render path.
+    #[test]
+    fn schedule_serialisation_is_canonical(s in arb_schedule()) {
+        let once = schedule_to_json(&s);
+        let twice = schedule_to_json(&schedule_from_json(&once).expect("parses"));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Real router output round-trips too, and the parsed schedule renders
+    /// (Display) identically to the original — the byte-level check the
+    /// service's cache-identity guarantee rests on.
+    #[test]
+    fn routed_schedules_round_trip(c in arb_cz_circuit()) {
+        let config = FpqaConfig::square_for(N);
+        let program = GenericRouter::new().route(&c, &config).expect("routes");
+        let json = schedule_to_json(program.schedule());
+        let back = schedule_from_json(&json).expect("parses");
+        prop_assert_eq!(&back, program.schedule());
+        prop_assert_eq!(back.to_string(), program.schedule().to_string());
+        prop_assert_eq!(back.stats(), program.schedule().stats());
+    }
+
+    /// Architecture fingerprinting: equal configs hash equal; any shape,
+    /// grid or physical-parameter change hashes different.
+    #[test]
+    fn config_fingerprint_tracks_architecture(n in 2u32..40, cols in 1usize..8) {
+        let fp = |config: &FpqaConfig| {
+            let mut h = qpilot_circuit::StableHasher::new();
+            config.fingerprint_into(&mut h);
+            h.finish()
+        };
+        let base = FpqaConfig::for_qubits(n, cols);
+        prop_assert_eq!(fp(&base), fp(&FpqaConfig::for_qubits(n, cols)));
+        prop_assert_ne!(fp(&base), fp(&FpqaConfig::for_qubits(n + 1, cols)));
+        prop_assert_ne!(fp(&base), fp(&FpqaConfig::for_qubits(n, cols + 1)));
+        let bigger_aod = FpqaConfig::for_qubits(n, cols)
+            .with_aod_grid(base.aod_rows() + 1, base.aod_cols());
+        prop_assert_ne!(fp(&base), fp(&bigger_aod));
+        let mut params = *base.params();
+        params.fidelity_2q += 1e-6;
+        let tweaked = FpqaConfig::for_qubits(n, cols).with_params(params);
+        prop_assert_ne!(fp(&base), fp(&tweaked));
+    }
+}

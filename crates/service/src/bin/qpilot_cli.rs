@@ -1,0 +1,190 @@
+//! `qpilot-cli` — client for the `qpilotd` compilation daemon.
+//!
+//! ```text
+//! qpilot-cli <ping|stats|shutdown> [--connect HOST:PORT]
+//! qpilot-cli compile [--connect HOST:PORT] <circuit source> [options]
+//!
+//! circuit source (exactly one):
+//!   --qasm FILE            OpenQASM 2.0 file (`-` for stdin)
+//!   --random N,FACTOR,SEED the paper's random workload (factor×N CX)
+//!   --bv N[,SEED]          Bernstein–Vazirani with a random secret
+//!
+//! compile options:
+//!   --cols N               SLM columns (default: square array)
+//!   --stage-cap N          generic-router stage cap
+//!   --no-schedule          ask the daemon to omit the schedule body
+//!   --schedule-out FILE    write the schedule JSON to FILE
+//! ```
+//!
+//! The full response line prints to stdout (with the schedule body
+//! elided when `--schedule-out` captures it). Exit code 0 iff the daemon
+//! answered `"ok":true`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use qpilot_circuit::Circuit;
+use qpilot_core::json::{self, Value};
+use qpilot_service::protocol::{circuit_to_value_json, compile_request_line};
+use qpilot_workloads::bv::bernstein_vazirani_random;
+use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("qpilot-cli: {message}");
+    std::process::exit(2);
+}
+
+fn load_circuit() -> Circuit {
+    let sources = [
+        arg_value("--qasm").map(|f| ("qasm", f)),
+        arg_value("--random").map(|f| ("random", f)),
+        arg_value("--bv").map(|f| ("bv", f)),
+    ];
+    let mut chosen: Vec<(&str, String)> = sources.into_iter().flatten().collect();
+    if chosen.len() != 1 {
+        fail("give exactly one of --qasm FILE, --random N,FACTOR,SEED, --bv N[,SEED]");
+    }
+    let (kind, spec) = chosen.remove(0);
+    match kind {
+        "qasm" => {
+            let source = if spec == "-" {
+                let mut buf = String::new();
+                if std::io::stdin().read_to_string(&mut buf).is_err() {
+                    fail("cannot read qasm from stdin");
+                }
+                buf
+            } else {
+                match std::fs::read_to_string(&spec) {
+                    Ok(s) => s,
+                    Err(e) => fail(&format!("cannot read {spec}: {e}")),
+                }
+            };
+            match Circuit::from_qasm(&source) {
+                Ok(c) => c,
+                Err(e) => fail(&format!("{e}")),
+            }
+        }
+        "random" => {
+            let parts: Vec<u64> = spec
+                .split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .collect();
+            if parts.len() != 3 {
+                fail("--random needs N,FACTOR,SEED");
+            }
+            random_circuit(&RandomCircuitConfig::paper(
+                parts[0] as u32,
+                parts[1] as usize,
+                parts[2],
+            ))
+        }
+        _ => {
+            let parts: Vec<u64> = spec
+                .split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .collect();
+            match parts.as_slice() {
+                [n] => bernstein_vazirani_random(*n as usize, 1),
+                [n, seed] => bernstein_vazirani_random(*n as usize, *seed),
+                _ => fail("--bv needs N or N,SEED"),
+            }
+        }
+    }
+}
+
+fn main() {
+    let op = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: qpilot-cli <ping|stats|shutdown|compile> [options]"));
+    let request = match op.as_str() {
+        "ping" => "{\"op\":\"ping\"}".to_string(),
+        "stats" => "{\"op\":\"stats\"}".to_string(),
+        "shutdown" => "{\"op\":\"shutdown\"}".to_string(),
+        "compile" => {
+            let circuit = load_circuit();
+            let parse_opt = |flag: &str| -> Option<usize> {
+                arg_value(flag).map(|v| match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => fail(&format!("{flag} needs a positive integer, got `{v}`")),
+                })
+            };
+            let cols = parse_opt("--cols");
+            let stage_cap = parse_opt("--stage-cap");
+            let include_schedule = !has_flag("--no-schedule");
+            compile_request_line(
+                &circuit_to_value_json(&circuit),
+                cols,
+                stage_cap,
+                include_schedule,
+            )
+        }
+        other => fail(&format!("unknown operation `{other}`")),
+    };
+
+    let addr = arg_value("--connect").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot clone connection: {e}")),
+    });
+    let mut writer = stream;
+    if writer
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        fail("failed to send request");
+    }
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) | Err(_) => fail("daemon closed the connection without answering"),
+        Ok(_) => {}
+    }
+    let response = response.trim_end().to_string();
+
+    let doc = match json::parse(&response) {
+        Ok(doc) => doc,
+        Err(e) => fail(&format!("malformed response: {e}")),
+    };
+    let ok = doc.get("ok").and_then(Value::as_bool).unwrap_or(false);
+
+    if let Some(path) = arg_value("--schedule-out") {
+        match doc.get("schedule") {
+            Some(schedule) => {
+                // Canonical re-serialisation: byte-identical to the
+                // daemon's cached schedule JSON.
+                if let Err(e) = std::fs::write(&path, schedule.to_json()) {
+                    fail(&format!("cannot write {path}: {e}"));
+                }
+                // Print the response without the (potentially huge) body.
+                let without: Vec<(String, Value)> = match doc {
+                    Value::Obj(ref pairs) => pairs
+                        .iter()
+                        .filter(|(k, _)| k != "schedule")
+                        .cloned()
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                println!("{}", Value::Obj(without).to_json());
+            }
+            None => fail("response carries no schedule (daemon error or --no-schedule?)"),
+        }
+    } else {
+        println!("{response}");
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,60 @@
+//! `qpilotd` — the Q-Pilot compilation daemon.
+//!
+//! ```text
+//! qpilotd [--listen HOST:PORT | --stdio] [--workers N] [--queue N]
+//!         [--cache N] [--shards N]
+//! ```
+//!
+//! Default transport is `--listen 127.0.0.1:7878`. The daemon prints
+//! `qpilotd listening on ADDR` to stdout once ready (scripts wait for
+//! that line), serves the line-delimited JSON protocol (see
+//! `qpilot_service::protocol`), and exits cleanly when a client sends
+//! `{"op":"shutdown"}`.
+
+use qpilot_service::{serve_stdio, Service, ServiceConfig, TcpServer};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let defaults = ServiceConfig::default();
+    let config = ServiceConfig {
+        workers: arg_num("--workers", defaults.workers),
+        queue_capacity: arg_num("--queue", defaults.queue_capacity),
+        cache_capacity: arg_num("--cache", defaults.cache_capacity),
+        cache_shards: arg_num("--shards", defaults.cache_shards),
+    };
+    let service = Service::new(config);
+    let stdio = std::env::args().any(|a| a == "--stdio");
+    if stdio {
+        if let Err(e) = serve_stdio(&service) {
+            eprintln!("qpilotd: stdio transport failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let addr = arg_value("--listen").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let server = match TcpServer::spawn(service, addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("qpilotd: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The readiness line scripts (CI, service_report) wait for.
+    println!("qpilotd listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("qpilotd: shutdown requested, exiting");
+}

@@ -1,0 +1,56 @@
+//! Compilation-as-a-service for the Q-Pilot FPQA compiler.
+//!
+//! Q-Pilot's routers are deterministic pure functions of
+//! `(circuit, architecture, router options)` — exactly the shape that
+//! rewards content-addressed caching and request-level parallelism. This
+//! crate turns the batch library into a long-running server:
+//!
+//! * [`pool::CompileRequest::fingerprint`] — a canonical, platform-stable
+//!   128-bit content hash of the request (built on
+//!   [`qpilot_circuit::fingerprint`]);
+//! * [`cache::ScheduleCache`] — a sharded LRU keyed by that fingerprint,
+//!   holding the *serialised* `qpilot.schedule/v1` JSON
+//!   ([`qpilot_core::wire`]), so warm hits are a lookup plus a
+//!   reference-count bump;
+//! * [`pool::Service`] — a bounded job queue feeding a worker pool
+//!   (backpressure on queue-full, per-worker router reuse);
+//! * [`protocol`] — the line-delimited JSON request/response protocol;
+//! * [`server`] — stdio and TCP transports.
+//!
+//! Two binaries ship with the crate: **`qpilotd`** (the daemon) and
+//! **`qpilot-cli`** (a client). `cargo run --release -p qpilot-bench
+//! --bin service_report` measures the warm/cold ratio and burst
+//! behaviour into `BENCH_service.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use qpilot_circuit::Circuit;
+//! use qpilot_service::{CompileRequest, Service, ServiceConfig};
+//!
+//! let service = Service::new(ServiceConfig {
+//!     workers: 2,
+//!     ..ServiceConfig::default()
+//! });
+//! let mut c = Circuit::new(4);
+//! c.cz(0, 1).cz(1, 2).cz(2, 3);
+//! let cold = service.compile(CompileRequest::new(c.clone())).unwrap();
+//! let warm = service.compile(CompileRequest::new(c)).unwrap();
+//! assert!(!cold.cache_hit);
+//! assert!(warm.cache_hit);
+//! assert_eq!(cold.entry.schedule_json, warm.entry.schedule_json);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheCounters, CacheEntry, ScheduleCache};
+pub use pool::{
+    CompileRequest, CompileResponse, Service, ServiceConfig, ServiceError, ServiceStats,
+};
+pub use server::{serve_lines, serve_stdio, TcpServer};

@@ -1,0 +1,453 @@
+//! The line-delimited JSON protocol spoken by `qpilotd` (over stdio and
+//! TCP) and `qpilot-cli`.
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! -> {"op":"ping"}
+//! <- {"ok":true,"op":"pong"}
+//!
+//! -> {"op":"compile","circuit":{"num_qubits":4,"gates":[["cz",0,1]]}}
+//! -> {"op":"compile","qasm":"OPENQASM 2.0;\nqreg q[4];\ncz q[0], q[1];"}
+//! <- {"ok":true,"op":"compile","fingerprint":"…32 hex…","cache":"miss",
+//!     "compile_ms":0.42,"stats":{…},"schedule":{…qpilot.schedule/v1…}}
+//!
+//! -> {"op":"stats"}
+//! <- {"ok":true,"op":"stats","requests":2,"hits":1,…}
+//!
+//! -> {"op":"shutdown"}
+//! <- {"ok":true,"op":"shutdown"}
+//! ```
+//!
+//! `compile` options: `"cols"` (SLM columns; default square),
+//! `"stage_cap"` (generic-router stage cap), `"schedule":false` to omit
+//! the schedule body (fingerprint + stats only — useful for warming).
+//! Errors come back as `{"ok":false,"error":"…"}` and never tear down
+//! the connection; the `"retry"` flag marks transient overload.
+
+use qpilot_circuit::Circuit;
+use qpilot_core::json::{self, json_str, Value};
+use qpilot_core::wire::{gate_from_value, write_gate};
+use qpilot_core::ScheduleStats;
+
+use crate::pool::{CompileRequest, CompileResponse, Service, ServiceError, ServiceStats};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Compile a circuit (with response-shaping flag).
+    Compile {
+        /// The compilation job.
+        request: CompileRequest,
+        /// Include the serialised schedule in the response.
+        include_schedule: bool,
+    },
+    /// Service statistics.
+    Stats,
+    /// Ask the daemon to exit cleanly.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message destined for an `{"ok":false}` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = json::parse(line).map_err(|e| e.to_string())?;
+    let op = doc
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string `op` field")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "compile" => {
+            let circuit = circuit_from_request(&doc)?;
+            let cols = match doc.get("cols") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_usize()
+                        .filter(|&c| c > 0)
+                        .ok_or("`cols` must be a positive integer")?,
+                ),
+            };
+            let stage_cap = match doc.get("stage_cap") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_usize()
+                        .filter(|&c| c > 0)
+                        .ok_or("`stage_cap` must be a positive integer")?,
+                ),
+            };
+            let include_schedule = match doc.get("schedule") {
+                None => true,
+                Some(v) => v.as_bool().ok_or("`schedule` must be a boolean")?,
+            };
+            Ok(Request::Compile {
+                request: CompileRequest {
+                    circuit,
+                    cols,
+                    stage_cap,
+                },
+                include_schedule,
+            })
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Extracts the circuit from a compile request: either an inline
+/// `"circuit"` object or a `"qasm"` source string (exactly one).
+fn circuit_from_request(doc: &Value) -> Result<Circuit, String> {
+    match (doc.get("circuit"), doc.get("qasm")) {
+        (Some(_), Some(_)) => Err("give either `circuit` or `qasm`, not both".into()),
+        (Some(c), None) => circuit_from_value(c),
+        (None, Some(q)) => {
+            let src = q.as_str().ok_or("`qasm` must be a string")?;
+            Circuit::from_qasm(src).map_err(|e| e.to_string())
+        }
+        (None, None) => Err("compile needs a `circuit` object or `qasm` string".into()),
+    }
+}
+
+/// Parses the wire circuit object `{"num_qubits":N,"gates":[…]}` (gates
+/// in the compact encoding shared with `qpilot_core::wire`).
+pub fn circuit_from_value(v: &Value) -> Result<Circuit, String> {
+    let n = v
+        .get("num_qubits")
+        .and_then(Value::as_u32)
+        .ok_or("circuit needs integer `num_qubits`")?;
+    let gates = v
+        .get("gates")
+        .and_then(Value::as_arr)
+        .ok_or("circuit needs a `gates` array")?;
+    let mut circuit = Circuit::new(n);
+    for g in gates {
+        let gate = gate_from_value(g).map_err(|e| e.to_string())?;
+        circuit.push(gate).map_err(|e| e.to_string())?;
+    }
+    Ok(circuit)
+}
+
+/// Serialises a circuit into the wire object (the inverse of
+/// [`circuit_from_value`]).
+pub fn circuit_to_value_json(circuit: &Circuit) -> String {
+    let mut out = String::with_capacity(24 + circuit.len() * 12);
+    out.push_str("{\"num_qubits\":");
+    out.push_str(&circuit.num_qubits().to_string());
+    out.push_str(",\"gates\":[");
+    for (i, g) in circuit.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_gate(&mut out, g);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Builds a full compile request line (used by `qpilot-cli`).
+pub fn compile_request_line(
+    circuit_json: &str,
+    cols: Option<usize>,
+    stage_cap: Option<usize>,
+    include_schedule: bool,
+) -> String {
+    let mut out = String::from("{\"op\":\"compile\",\"circuit\":");
+    out.push_str(circuit_json);
+    if let Some(cols) = cols {
+        out.push_str(",\"cols\":");
+        out.push_str(&cols.to_string());
+    }
+    if let Some(cap) = stage_cap {
+        out.push_str(",\"stage_cap\":");
+        out.push_str(&cap.to_string());
+    }
+    if !include_schedule {
+        out.push_str(",\"schedule\":false");
+    }
+    out.push('}');
+    out
+}
+
+fn write_stats_obj(out: &mut String, stats: &ScheduleStats) {
+    out.push_str("{\"two_qubit_depth\":");
+    out.push_str(&stats.two_qubit_depth.to_string());
+    out.push_str(",\"two_qubit_gates\":");
+    out.push_str(&stats.two_qubit_gates.to_string());
+    out.push_str(",\"one_qubit_gates\":");
+    out.push_str(&stats.one_qubit_gates.to_string());
+    out.push_str(",\"moves\":");
+    out.push_str(&stats.moves.to_string());
+    out.push_str(",\"transfers\":");
+    out.push_str(&stats.transfers.to_string());
+    out.push_str(",\"peak_ancillas\":");
+    out.push_str(&stats.peak_ancillas.to_string());
+    out.push('}');
+}
+
+/// Renders a compile response line.
+pub fn render_compile_response(response: &CompileResponse, include_schedule: bool) -> String {
+    let entry = &response.entry;
+    let mut out = String::with_capacity(if include_schedule {
+        entry.schedule_json.len() + 192
+    } else {
+        192
+    });
+    out.push_str("{\"ok\":true,\"op\":\"compile\",\"fingerprint\":\"");
+    out.push_str(&response.fingerprint.to_string());
+    out.push_str("\",\"cache\":\"");
+    out.push_str(if response.cache_hit { "hit" } else { "miss" });
+    out.push_str("\",\"compile_ms\":");
+    out.push_str(&json::fmt_f64(round6(entry.compile_s * 1e3)));
+    out.push_str(",\"stats\":");
+    write_stats_obj(&mut out, &entry.stats);
+    if include_schedule {
+        out.push_str(",\"schedule\":");
+        out.push_str(&entry.schedule_json);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a stats response line.
+pub fn render_stats_response(stats: &ServiceStats) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"ok\":true,\"op\":\"stats\",\"requests\":");
+    out.push_str(&stats.requests.to_string());
+    out.push_str(",\"hits\":");
+    out.push_str(&stats.cache.hits.to_string());
+    out.push_str(",\"misses\":");
+    out.push_str(&stats.cache.misses.to_string());
+    out.push_str(",\"hit_rate\":");
+    out.push_str(&json::fmt_f64(round6(stats.cache.hit_rate())));
+    out.push_str(",\"evictions\":");
+    out.push_str(&stats.cache.evictions.to_string());
+    out.push_str(",\"cache_entries\":");
+    out.push_str(&stats.cache_entries.to_string());
+    out.push_str(",\"compiles\":");
+    out.push_str(&stats.compiles.to_string());
+    out.push_str(",\"p50_compile_ms\":");
+    out.push_str(&json::fmt_f64(round6(stats.p50_compile_s * 1e3)));
+    out.push_str(",\"p99_compile_ms\":");
+    out.push_str(&json::fmt_f64(round6(stats.p99_compile_s * 1e3)));
+    out.push_str(",\"workers\":");
+    out.push_str(&stats.workers.to_string());
+    out.push('}');
+    out
+}
+
+/// Renders an error line. `retry` marks transient conditions (overload).
+pub fn render_error(message: &str, retry: bool) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    out.push_str(&json_str(message));
+    if retry {
+        out.push_str(",\"retry\":true");
+    }
+    out.push('}');
+    out
+}
+
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+/// The dispatch outcome: the response line, plus whether the daemon
+/// should shut down after sending it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handled {
+    /// The response line (no trailing newline).
+    pub response: String,
+    /// `true` after a `shutdown` request.
+    pub shutdown: bool,
+}
+
+/// Parses and executes one request line against `service`. Never panics
+/// on malformed input; every failure becomes an `{"ok":false}` line.
+pub fn handle_line(service: &Service, line: &str) -> Handled {
+    let line = line.trim();
+    if line.is_empty() {
+        return Handled {
+            response: render_error("empty request line", false),
+            shutdown: false,
+        };
+    }
+    match parse_request(line) {
+        Err(message) => Handled {
+            response: render_error(&message, false),
+            shutdown: false,
+        },
+        Ok(Request::Ping) => Handled {
+            response: "{\"ok\":true,\"op\":\"pong\"}".to_string(),
+            shutdown: false,
+        },
+        Ok(Request::Stats) => Handled {
+            response: render_stats_response(&service.stats()),
+            shutdown: false,
+        },
+        Ok(Request::Shutdown) => Handled {
+            response: "{\"ok\":true,\"op\":\"shutdown\"}".to_string(),
+            shutdown: true,
+        },
+        Ok(Request::Compile {
+            request,
+            include_schedule,
+        }) => match service.compile(request) {
+            Ok(response) => Handled {
+                response: render_compile_response(&response, include_schedule),
+                shutdown: false,
+            },
+            Err(e) => Handled {
+                response: render_error(&e.to_string(), matches!(e, ServiceError::Overloaded)),
+                shutdown: false,
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ServiceConfig;
+
+    fn service() -> Service {
+        Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 16,
+            cache_shards: 2,
+        })
+    }
+
+    #[test]
+    fn circuit_wire_round_trip() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(2, -0.5).zz(1, 2, 0.25).swap(0, 2);
+        let encoded = circuit_to_value_json(&c);
+        let back = circuit_from_value(&json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn parse_compile_with_inline_circuit() {
+        let line = r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]},"cols":2,"stage_cap":3,"schedule":false}"#;
+        match parse_request(line).unwrap() {
+            Request::Compile {
+                request,
+                include_schedule,
+            } => {
+                assert_eq!(request.circuit.len(), 1);
+                assert_eq!(request.cols, Some(2));
+                assert_eq!(request.stage_cap, Some(3));
+                assert!(!include_schedule);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_compile_with_qasm() {
+        let line = r#"{"op":"compile","qasm":"OPENQASM 2.0;\nqreg q[2];\ncz q[0], q[1];"}"#;
+        match parse_request(line).unwrap() {
+            Request::Compile { request, .. } => {
+                assert_eq!(request.circuit.num_qubits(), 2);
+                assert_eq!(request.circuit.len(), 1);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qasm_and_inline_circuit_agree_on_fingerprint() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 2).rz(1, 0.75);
+        let via_json = format!(
+            r#"{{"op":"compile","circuit":{}}}"#,
+            circuit_to_value_json(&c)
+        );
+        let via_qasm = format!(r#"{{"op":"compile","qasm":{}}}"#, json_str(&c.to_qasm()));
+        let fp = |line: &str| match parse_request(line).unwrap() {
+            Request::Compile { request, .. } => request.fingerprint(),
+            _ => unreachable!(),
+        };
+        assert_eq!(fp(&via_json), fp(&via_qasm));
+    }
+
+    #[test]
+    fn bad_requests_get_error_lines() {
+        let svc = service();
+        for line in [
+            "",
+            "not json",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"compile\"}",
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,0]]}}"#,
+            r#"{"op":"compile","qasm":"qreg q[1]; frobnicate q[0];"}"#,
+            r#"{"op":"compile","circuit":{"num_qubits":1,"gates":[]},"cols":0}"#,
+            // Non-finite angles must be rejected at parse time: routed
+            // and then serialised they would panic a worker thread.
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["rz",0,1e999]]}}"#,
+            r#"{"op":"compile","qasm":"qreg q[1]; rz(inf) q[0];"}"#,
+            r#"{"op":"compile","qasm":"qreg q[1]; rz(NaN) q[0];"}"#,
+        ] {
+            let handled = handle_line(&svc, line);
+            assert!(handled.response.starts_with("{\"ok\":false"), "{line}");
+            assert!(!handled.shutdown);
+            // Every error line is itself valid JSON.
+            json::parse(&handled.response).unwrap();
+        }
+        // And the workers survived every malformed request above.
+        let ok = handle_line(
+            &svc,
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]}}"#,
+        );
+        assert!(ok.response.starts_with("{\"ok\":true"));
+    }
+
+    #[test]
+    fn compile_stats_shutdown_flow() {
+        let svc = service();
+        let line = r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]}}"#;
+        let first = handle_line(&svc, line);
+        assert!(first.response.contains("\"cache\":\"miss\""));
+        let doc = json::parse(&first.response).unwrap();
+        assert_eq!(
+            doc.get("schedule")
+                .and_then(|s| s.get("format"))
+                .and_then(Value::as_str),
+            Some("qpilot.schedule/v1")
+        );
+        let second = handle_line(&svc, line);
+        assert!(second.response.contains("\"cache\":\"hit\""));
+        let stats = handle_line(&svc, "{\"op\":\"stats\"}");
+        let sdoc = json::parse(&stats.response).unwrap();
+        assert_eq!(sdoc.get("hits").and_then(Value::as_u64), Some(1));
+        assert_eq!(sdoc.get("compiles").and_then(Value::as_u64), Some(1));
+        let bye = handle_line(&svc, "{\"op\":\"shutdown\"}");
+        assert!(bye.shutdown);
+    }
+
+    #[test]
+    fn schedule_can_be_omitted() {
+        let svc = service();
+        let line =
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]},"schedule":false}"#;
+        let handled = handle_line(&svc, line);
+        let doc = json::parse(&handled.response).unwrap();
+        assert!(doc.get("schedule").is_none());
+        assert!(doc.get("fingerprint").is_some());
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let svc = service();
+        assert_eq!(
+            handle_line(&svc, "{\"op\":\"ping\"}").response,
+            "{\"ok\":true,\"op\":\"pong\"}"
+        );
+    }
+}

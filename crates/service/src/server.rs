@@ -1,0 +1,231 @@
+//! Serving the protocol over stdio and TCP.
+//!
+//! Both transports are line-delimited: the daemon reads one request per
+//! line and writes exactly one response line, in order. TCP connections
+//! are handled thread-per-connection (connection counts here are
+//! operator-scale; the bounded compile queue, not the accept loop, is
+//! the concurrency limiter). A `shutdown` request stops the transport:
+//! stdio returns from [`serve_stdio`], TCP flips the listener's shutdown
+//! flag and unblocks the acceptor.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::pool::Service;
+use crate::protocol::handle_line;
+
+/// Serves requests from `input` to `output` until EOF or a `shutdown`
+/// request. Returns the number of requests handled.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport.
+pub fn serve_lines(
+    service: &Service,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<u64> {
+    let mut handled_count = 0u64;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue; // blank keep-alive lines are not requests
+        }
+        let handled = handle_line(service, &line);
+        output.write_all(handled.response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        handled_count += 1;
+        if handled.shutdown {
+            break;
+        }
+    }
+    Ok(handled_count)
+}
+
+/// Serves stdin → stdout (the `qpilotd --stdio` mode).
+///
+/// # Errors
+///
+/// See [`serve_lines`].
+pub fn serve_stdio(service: &Service) -> io::Result<u64> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_lines(service, stdin.lock(), BufWriter::new(stdout.lock()))
+}
+
+/// A running TCP server. Dropping the handle without calling
+/// [`TcpServer::shutdown`] leaves the acceptor thread running detached.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting connections on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(service: Service, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, service, addr, stop))
+        };
+        Ok(TcpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the acceptor thread. In-flight
+    /// connections finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server stops (a client sent `shutdown`).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Service, addr: SocketAddr, stop: Arc<AtomicBool>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let service = service.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let shutdown_requested = serve_connection(&service, stream).unwrap_or(false);
+            if shutdown_requested {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the acceptor so the flag is observed.
+                let _ = TcpStream::connect(addr);
+            }
+        });
+    }
+}
+
+/// Serves one connection; returns `Ok(true)` if the client requested
+/// daemon shutdown.
+fn serve_connection(service: &Service, stream: TcpStream) -> io::Result<bool> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = handle_line(service, &line);
+        writer.write_all(handled.response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if handled.shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ServiceConfig;
+    use std::io::Cursor;
+
+    fn service() -> Service {
+        Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 16,
+            cache_shards: 2,
+        })
+    }
+
+    #[test]
+    fn serve_lines_answers_each_request_in_order() {
+        let svc = service();
+        let input = "{\"op\":\"ping\"}\n\n{\"op\":\"stats\"}\nnot json\n";
+        let mut output = Vec::new();
+        let n = serve_lines(&svc, Cursor::new(input), &mut output).unwrap();
+        assert_eq!(n, 3); // blank line skipped
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("pong"));
+        assert!(lines[1].contains("\"op\":\"stats\""));
+        assert!(lines[2].starts_with("{\"ok\":false"));
+    }
+
+    #[test]
+    fn serve_lines_stops_on_shutdown() {
+        let svc = service();
+        let input = "{\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n";
+        let mut output = Vec::new();
+        let n = serve_lines(&svc, Cursor::new(input), &mut output).unwrap();
+        assert_eq!(n, 1, "requests after shutdown are not served");
+    }
+
+    #[test]
+    fn tcp_round_trip_and_explicit_shutdown() {
+        let server = TcpServer::spawn(service(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"));
+        drop(writer);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_client_shutdown_request_stops_acceptor() {
+        let server = TcpServer::spawn(service(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"op\":\"shutdown\""));
+        // wait() must return because the client requested shutdown.
+        server.wait();
+    }
+}

@@ -8,7 +8,9 @@
 //! * [`sim`] — state-vector simulator used for equivalence checking,
 //! * [`workloads`] — benchmark generators (random, Pauli strings, QAOA),
 //! * [`core`] — the flying-ancilla routers and performance evaluator,
-//! * [`baselines`] — SWAP-based and solver-based comparison compilers.
+//! * [`baselines`] — SWAP-based and solver-based comparison compilers,
+//! * [`service`] — compilation-as-a-service: content-addressed schedule
+//!   cache, worker pool, and the `qpilotd`/`qpilot-cli` wire protocol.
 //!
 //! # Quickstart
 //!
@@ -27,5 +29,6 @@ pub use qpilot_arch as arch;
 pub use qpilot_baselines as baselines;
 pub use qpilot_circuit as circuit;
 pub use qpilot_core as core;
+pub use qpilot_service as service;
 pub use qpilot_sim as sim;
 pub use qpilot_workloads as workloads;
