@@ -7,20 +7,27 @@
 //!             [--batch 8] [--threads N] [--out BENCH_routing.json]
 //! ```
 //!
-//! Reported per size: median wall-clock for the pre-PR reference and the
-//! incremental router (plus their heap-allocation counts, measured with a
-//! counting global allocator), schedule stats, a byte-identity check of
-//! the two schedules, and batch-compilation throughput on `--threads`
-//! workers. The qsim and QAOA routers get wall-clock/stats rows on their
-//! own workload families. Run `--sizes 10 --factor 3 --reps 2 --batch 2`
-//! as a CI smoke test.
+//! Reported per size: median wall-clock for the pre-PR reference (frozen
+//! pre-arena IR) and the incremental arena router (plus their
+//! heap-allocation counts, measured with a counting global allocator),
+//! schedule stats, a byte-identity check of the two serialised schedules
+//! (each through its own writer), and batch-compilation throughput on
+//! `--threads` workers. The qsim and QAOA routers get wall-clock/stats
+//! rows on their own workload families. Run
+//! `--sizes 10 --factor 3 --reps 2 --batch 2` as a CI smoke test.
+//!
+//! With `--check <thresholds.json>` the freshly-written report is gated
+//! against `qpilot.bench.thresholds/v1` (see `qpilot_bench::check`):
+//! any violated minimum speedup / alloc ratio, exceeded allocation
+//! ceiling, or non-identical schedule exits non-zero, failing the CI
+//! build instead of merely smoke-testing the output file.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use qpilot_bench::{arg_num, arg_value, compile_batch, default_threads, Table};
+use qpilot_bench::{arg_num, arg_value, check, compile_batch, default_threads, Table};
 use qpilot_core::generic::{GenericRouter, GenericRouterOptions};
 use qpilot_core::generic_reference::route_reference;
 use qpilot_core::{CompiledProgram, FpqaConfig};
@@ -120,7 +127,11 @@ fn bench_generic(n: u32, factor: usize, reps: usize, batch: usize, threads: usiz
             .route(&circuit, &config)
             .expect("incremental routes")
     });
-    let identical = reference == program;
+    // Byte identity across the two IRs: the frozen pre-arena writer and
+    // the arena writer must produce the same `qpilot.schedule/v1` bytes
+    // (serialisation happens outside the timed/counted regions).
+    let identical = reference.to_json() == qpilot_core::wire::schedule_to_json(program.schedule())
+        && reference.stats() == *program.stats();
 
     // Batch throughput: `batch` distinct circuits of the same shape.
     let batch_circuits: Vec<_> = (0..batch.max(1))
@@ -141,7 +152,7 @@ fn bench_generic(n: u32, factor: usize, reps: usize, batch: usize, threads: usiz
         allocs_reference,
         allocs_incremental,
         identical,
-        stages: program.schedule().stages.len(),
+        stages: program.schedule().num_stages(),
         rydberg_depth: stats.two_qubit_depth,
         native_two_qubit: stats.two_qubit_gates,
         batch_circuits: batch_circuits.len(),
@@ -163,7 +174,7 @@ fn aux_row(
         qubits,
         workload,
         wall,
-        stages: program.schedule().stages.len(),
+        stages: program.schedule().num_stages(),
         rydberg_depth: stats.two_qubit_depth,
         native_two_qubit: stats.two_qubit_gates,
     }
@@ -217,6 +228,7 @@ fn main() {
     let batch: usize = arg_num("--batch", 8);
     let threads: usize = arg_num("--threads", default_threads());
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_routing.json".to_string());
+    let check_path = arg_value("--check");
 
     let mut generic_rows = Vec::new();
     let mut aux_rows = Vec::new();
@@ -277,7 +289,7 @@ fn main() {
         &generic_rows,
         &aux_rows,
     );
-    if let Err(e) = std::fs::write(&out_path, json) {
+    if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
@@ -287,6 +299,18 @@ fn main() {
         generic_rows.iter().all(|r| r.identical),
         "incremental router diverged from the reference schedule"
     );
+
+    if let Some(path) = check_path {
+        let thresholds = match check::load_thresholds(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let report = qpilot_core::json::parse(&json).expect("own report is valid JSON");
+        check::enforce("routing", &check::check_routing(&report, &thresholds));
+    }
 }
 
 fn render_json(

@@ -22,13 +22,18 @@
 //!   run fails if it is non-zero.
 //!
 //! CI smoke: `--qubits 10 --factor 3 --reps 2 --clients 4 --per-client 2`.
+//!
+//! With `--check <thresholds.json>` the freshly-written report is gated
+//! against `qpilot.bench.thresholds/v1` (see `qpilot_bench::check`): a
+//! warm/cold speedup below the floor, non-identical schedules, or any
+//! dropped burst request exits non-zero and fails the CI build.
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
-use qpilot_bench::{arg_num, arg_value, default_threads, Table};
+use qpilot_bench::{arg_num, arg_value, check, default_threads, Table};
 use qpilot_service::protocol::{circuit_to_value_json, compile_request_line};
 use qpilot_service::{CompileRequest, Service, ServiceConfig, TcpServer};
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
@@ -176,6 +181,7 @@ fn main() {
     let per_client: usize = arg_num("--per-client", 4);
     let workers: usize = arg_num("--workers", default_threads());
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+    let check_path = arg_value("--check");
 
     let config = ServiceConfig {
         workers,
@@ -269,7 +275,7 @@ fn main() {
     );
     json.push_str("}\n");
 
-    if let Err(e) = std::fs::write(&out_path, json) {
+    if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
@@ -277,4 +283,16 @@ fn main() {
 
     assert!(wc.identical, "warm responses diverged from cold schedule");
     assert_eq!(burst.dropped, 0, "burst dropped {} requests", burst.dropped);
+
+    if let Some(path) = check_path {
+        let thresholds = match check::load_thresholds(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let report = qpilot_core::json::parse(&json).expect("own report is valid JSON");
+        check::enforce("service", &check::check_service(&report, &thresholds));
+    }
 }

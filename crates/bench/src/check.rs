@@ -1,0 +1,301 @@
+//! The CI perf-regression wall: threshold checking for the two benchmark
+//! reports (`BENCH_routing.json`, `BENCH_service.json`).
+//!
+//! A checked-in thresholds file (`ci/perf_thresholds.json`, schema
+//! `qpilot.bench.thresholds/v1`) pins, per routing size, the minimum
+//! acceptable `speedup` and `alloc_ratio` against the frozen reference
+//! router, an allocation ceiling, and the byte-identity requirement; for
+//! the service report it pins the minimum warm/cold speedup and the
+//! drop-free burst requirement. `perf_report --check <file>` /
+//! `service_report --check <file>` evaluate their freshly-written report
+//! against it and exit non-zero on any violation, so CI *gates* on
+//! performance instead of merely smoke-testing that the reports exist.
+//!
+//! Thresholds layout:
+//!
+//! ```json
+//! {
+//!   "schema": "qpilot.bench.thresholds/v1",
+//!   "routing": {
+//!     "require_identical": true,
+//!     "sizes": [
+//!       {"qubits": 100, "min_speedup": 3.0, "min_alloc_ratio": 20.0,
+//!        "max_allocs_incremental": 1000}
+//!     ]
+//!   },
+//!   "service": {
+//!     "require_identical": true, "min_warm_speedup": 10.0,
+//!     "max_dropped": 0
+//!   }
+//! }
+//! ```
+//!
+//! Rows are matched by `qubits`; measured sizes without a thresholds
+//! entry are not gated (the full sweep and the CI smoke use different
+//! sizes). Refreshing after an intentional perf change is documented in
+//! the README ("Benchmarks & CI gates").
+
+use qpilot_core::json::{self, Value};
+
+/// Schema tag of the thresholds document.
+pub const THRESHOLDS_FORMAT: &str = "qpilot.bench.thresholds/v1";
+
+/// Loads and schema-checks a thresholds file.
+///
+/// # Errors
+///
+/// Returns a description of the I/O, JSON, or schema problem.
+pub fn load_thresholds(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(THRESHOLDS_FORMAT) => Ok(doc),
+        Some(other) => Err(format!(
+            "{path}: schema `{other}` is not `{THRESHOLDS_FORMAT}`"
+        )),
+        None => Err(format!("{path}: missing `schema` tag")),
+    }
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+/// Checks a `qpilot.bench.routing/v1` report against the `routing`
+/// section of a thresholds document. Returns one message per violation
+/// (empty = the wall holds).
+pub fn check_routing(report: &Value, thresholds: &Value) -> Vec<String> {
+    let mut violations = Vec::new();
+    let Some(gates) = thresholds.get("routing") else {
+        return violations;
+    };
+    let require_identical = gates
+        .get("require_identical")
+        .and_then(Value::as_bool)
+        .unwrap_or(true);
+    let sizes: &[Value] = gates
+        .get("sizes")
+        .and_then(Value::as_arr)
+        .unwrap_or_default();
+    let rows: &[Value] = report
+        .get("generic")
+        .and_then(Value::as_arr)
+        .unwrap_or_default();
+    if rows.is_empty() {
+        violations.push("routing report has no `generic` rows".to_string());
+        return violations;
+    }
+    for row in rows {
+        let Some(qubits) = row.get("qubits").and_then(Value::as_u64) else {
+            violations.push("routing row without a `qubits` field".to_string());
+            continue;
+        };
+        if require_identical
+            && row.get("schedules_identical").and_then(Value::as_bool) != Some(true)
+        {
+            violations.push(format!(
+                "{qubits}q: schedules_identical is not true — the optimised router diverged \
+                 from the frozen reference"
+            ));
+        }
+        let Some(gate) = sizes
+            .iter()
+            .find(|g| g.get("qubits").and_then(Value::as_u64) == Some(qubits))
+        else {
+            continue;
+        };
+        if let (Some(min), Some(got)) = (num(gate, "min_speedup"), num(row, "speedup")) {
+            if got < min {
+                violations.push(format!(
+                    "{qubits}q: speedup {got:.3} below threshold {min:.3}"
+                ));
+            }
+        }
+        if let (Some(min), Some(got)) = (num(gate, "min_alloc_ratio"), num(row, "alloc_ratio")) {
+            if got < min {
+                violations.push(format!(
+                    "{qubits}q: alloc_ratio {got:.3} below threshold {min:.3}"
+                ));
+            }
+        }
+        if let (Some(max), Some(got)) = (
+            gate.get("max_allocs_incremental").and_then(Value::as_u64),
+            row.get("allocs_incremental").and_then(Value::as_u64),
+        ) {
+            if got > max {
+                violations.push(format!(
+                    "{qubits}q: allocs_incremental {got} above ceiling {max}"
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Checks a `qpilot.bench.service/v1` report against the `service`
+/// section of a thresholds document.
+pub fn check_service(report: &Value, thresholds: &Value) -> Vec<String> {
+    let mut violations = Vec::new();
+    let Some(gates) = thresholds.get("service") else {
+        return violations;
+    };
+    let Some(wc) = report.get("warm_cold") else {
+        violations.push("service report has no `warm_cold` section".to_string());
+        return violations;
+    };
+    let require_identical = gates
+        .get("require_identical")
+        .and_then(Value::as_bool)
+        .unwrap_or(true);
+    if require_identical && wc.get("schedules_identical").and_then(Value::as_bool) != Some(true) {
+        violations.push("warm responses are not byte-identical to the cold schedule".to_string());
+    }
+    if let (Some(min), Some(got)) = (num(gates, "min_warm_speedup"), num(wc, "speedup")) {
+        if got < min {
+            violations.push(format!(
+                "warm/cold speedup {got:.2} below threshold {min:.2}"
+            ));
+        }
+    }
+    let max_dropped = gates
+        .get("max_dropped")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let dropped = report
+        .get("burst")
+        .and_then(|b| b.get("dropped"))
+        .and_then(Value::as_u64);
+    match dropped {
+        Some(d) if d > max_dropped => {
+            violations.push(format!(
+                "burst dropped {d} requests (allowed: {max_dropped})"
+            ));
+        }
+        None => violations.push("service report has no `burst.dropped` field".to_string()),
+        _ => {}
+    }
+    violations
+}
+
+/// Applies a check result: prints violations and exits non-zero, or
+/// confirms the wall holds. Intended for the report binaries' `--check`
+/// mode.
+pub fn enforce(kind: &str, violations: &[String]) {
+    if violations.is_empty() {
+        println!("perf wall: all {kind} thresholds hold");
+        return;
+    }
+    eprintln!(
+        "perf wall: {} {kind} threshold violation(s):",
+        violations.len()
+    );
+    for v in violations {
+        eprintln!("  - {v}");
+    }
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routing_report(speedup: f64, alloc_ratio: f64, allocs: u64, identical: bool) -> Value {
+        json::parse(&format!(
+            r#"{{"schema":"qpilot.bench.routing/v1","generic":[
+                {{"qubits":100,"speedup":{speedup},"alloc_ratio":{alloc_ratio},
+                  "allocs_incremental":{allocs},"schedules_identical":{identical}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    fn thresholds() -> Value {
+        json::parse(
+            r#"{"schema":"qpilot.bench.thresholds/v1",
+                "routing":{"require_identical":true,"sizes":[
+                  {"qubits":100,"min_speedup":3.0,"min_alloc_ratio":20.0,
+                   "max_allocs_incremental":1000}]},
+                "service":{"require_identical":true,"min_warm_speedup":10.0,
+                           "max_dropped":0}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_routing_report_passes() {
+        let report = routing_report(3.4, 40.0, 600, true);
+        assert!(check_routing(&report, &thresholds()).is_empty());
+    }
+
+    /// The synthetic perf regression the CI wall must catch: wall-clock
+    /// speedup sinks below the floor, allocations blow past the ceiling.
+    #[test]
+    fn synthetic_regression_trips_the_wall() {
+        let report = routing_report(1.4, 4.0, 9000, true);
+        let violations = check_routing(&report, &thresholds());
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations[0].contains("speedup"), "{violations:?}");
+        assert!(violations[1].contains("alloc_ratio"), "{violations:?}");
+        assert!(
+            violations[2].contains("allocs_incremental"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn divergent_schedules_trip_the_wall_regardless_of_size_entry() {
+        // 57q has no thresholds entry, but identity is gated globally.
+        let report = json::parse(
+            r#"{"generic":[{"qubits":57,"speedup":9.9,"alloc_ratio":99.0,
+                "allocs_incremental":1,"schedules_identical":false}]}"#,
+        )
+        .unwrap();
+        let violations = check_routing(&report, &thresholds());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("identical"));
+    }
+
+    #[test]
+    fn unlisted_sizes_are_not_gated_on_perf() {
+        let report = json::parse(
+            r#"{"generic":[{"qubits":57,"speedup":0.1,"alloc_ratio":0.1,
+                "allocs_incremental":999999,"schedules_identical":true}]}"#,
+        )
+        .unwrap();
+        assert!(check_routing(&report, &thresholds()).is_empty());
+    }
+
+    #[test]
+    fn empty_report_is_a_violation() {
+        let report = json::parse(r#"{"generic":[]}"#).unwrap();
+        assert_eq!(check_routing(&report, &thresholds()).len(), 1);
+    }
+
+    fn service_report(speedup: f64, identical: bool, dropped: u64) -> Value {
+        json::parse(&format!(
+            r#"{{"warm_cold":{{"speedup":{speedup},"schedules_identical":{identical}}},
+                 "burst":{{"dropped":{dropped}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_service_report_passes() {
+        assert!(check_service(&service_report(250.0, true, 0), &thresholds()).is_empty());
+    }
+
+    #[test]
+    fn service_regression_trips_the_wall() {
+        let violations = check_service(&service_report(2.0, false, 3), &thresholds());
+        assert_eq!(violations.len(), 3, "{violations:?}");
+    }
+
+    #[test]
+    fn thresholds_loader_rejects_wrong_schema() {
+        let dir = std::env::temp_dir().join("qpilot_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, r#"{"schema":"qpilot.bench.thresholds/v9"}"#).unwrap();
+        let err = load_thresholds(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("v9"), "{err}");
+    }
+}

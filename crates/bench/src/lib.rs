@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod check;
 pub mod parallel;
 
 pub use batch::{

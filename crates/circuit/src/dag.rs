@@ -308,6 +308,117 @@ impl Frontier {
     }
 }
 
+/// A lean one-pass frontier for hot route loops.
+///
+/// [`DependencyDag`] is the general API: CSR predecessor *and* successor
+/// lists, built in two passes. A router's inner loop needs much less —
+/// successor sets (every gate has at most two operands, hence at most two
+/// direct successors after same-gate dedup), pending-predecessor counts,
+/// and the initial front layer — all derivable in a single pass over the
+/// gates with fixed-size per-gate storage. Promotion semantics are
+/// identical to [`Frontier::execute_batch_untracked`] (property-tested:
+/// the generic router's schedules stay byte-identical to the frozen
+/// reference, which walks the naive DAG).
+#[derive(Debug, Clone)]
+pub struct CompactFrontier {
+    /// Up to two direct successors per gate.
+    succs: Vec<[GateId; 2]>,
+    succ_len: Vec<u8>,
+    pending: Vec<u32>,
+    executed: Vec<bool>,
+    initial_front: Vec<GateId>,
+    remaining: usize,
+}
+
+impl CompactFrontier {
+    /// Builds the frontier in one pass over the circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut succs = vec![[0 as GateId; 2]; n];
+        let mut succ_len = vec![0u8; n];
+        let mut pending = vec![0u32; n];
+        let mut initial_front = Vec::new();
+        let mut last_on: Vec<Option<GateId>> = vec![None; circuit.num_qubits() as usize];
+        for (i, g) in circuit.iter().enumerate() {
+            let mut first_pred: Option<GateId> = None;
+            for q in g.operands() {
+                if let Some(p) = last_on[q.index()] {
+                    if first_pred != Some(p) {
+                        succs[p][succ_len[p] as usize] = i;
+                        succ_len[p] += 1;
+                        pending[i] += 1;
+                        first_pred.get_or_insert(p);
+                    }
+                }
+                last_on[q.index()] = Some(i);
+            }
+            // Predecessors precede `i`, so the count is final here.
+            if pending[i] == 0 {
+                initial_front.push(i);
+            }
+        }
+        CompactFrontier {
+            succs,
+            succ_len,
+            pending,
+            executed: vec![false; n],
+            initial_front,
+            remaining: n,
+        }
+    }
+
+    /// The front layer at construction time (ascending gate ids). Not
+    /// updated by execution — callers keep their own ready lists.
+    pub fn initial_front(&self) -> &[GateId] {
+        &self.initial_front
+    }
+
+    /// Number of gates not yet executed.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Returns `true` once every gate has been executed.
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Executes a batch of ready gates (ascending), collecting the
+    /// newly-ready successors into `promoted` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a gate is not ready or the batch is not
+    /// ascending.
+    #[inline]
+    pub fn execute_batch(&mut self, ids: &[GateId], promoted: &mut Vec<GateId>) {
+        promoted.clear();
+        if ids.is_empty() {
+            return;
+        }
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "batch must be ascending"
+        );
+        self.remaining -= ids.len();
+        for &id in ids {
+            debug_assert!(
+                self.pending[id] == 0 && !self.executed[id],
+                "gate executed out of dependency order"
+            );
+            self.executed[id] = true;
+            for k in 0..self.succ_len[id] as usize {
+                let s = self.succs[id][k];
+                self.pending[s] -= 1;
+                if self.pending[s] == 0 {
+                    promoted.push(s);
+                }
+            }
+        }
+        promoted.sort_unstable();
+    }
+}
+
 impl fmt::Display for Frontier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

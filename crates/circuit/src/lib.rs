@@ -45,7 +45,7 @@ mod qasm;
 mod qubit;
 
 pub use circuit::Circuit;
-pub use dag::{layer_gates, split_front_layer, DependencyDag, Frontier, GateId};
+pub use dag::{layer_gates, split_front_layer, CompactFrontier, DependencyDag, Frontier, GateId};
 pub use error::CircuitError;
 pub use fingerprint::{Fingerprint, FingerprintParseError, StableHasher};
 pub use gate::{Gate, GateKind, Operands};

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use qpilot_arch::{AodGrid, Position};
 
-use crate::{AncillaId, FpqaConfig, Schedule, Stage};
+use crate::{AncillaId, FpqaConfig, Schedule, StageRef};
 
 /// Complete cost report for a compiled schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,18 +89,18 @@ pub fn evaluate(schedule: &Schedule, config: &FpqaConfig) -> PerformanceReport {
     let mut rydberg_time = 0.0;
     let mut transfer_time = 0.0;
 
-    for stage in &schedule.stages {
+    for stage in schedule.stages() {
         match stage {
-            Stage::Move { row_y, col_x } => {
+            StageRef::Move { row_y, col_x } => {
                 let mv = aod
-                    .move_to(row_y.clone(), col_x.clone())
+                    .move_to(row_y.to_vec(), col_x.to_vec())
                     .expect("evaluated schedule must have legal moves");
                 let occ: Vec<(usize, usize)> = loaded.values().copied().collect();
                 let d = mv.max_displacement(occ.iter());
                 per_move_max.push(d);
                 movement_time += params.move_time_s(d);
             }
-            Stage::Transfer(ops) => {
+            StageRef::Transfer(ops) => {
                 for op in ops {
                     if op.load {
                         loaded.insert(op.ancilla, (op.row, op.col));
@@ -113,12 +113,12 @@ pub fn evaluate(schedule: &Schedule, config: &FpqaConfig) -> PerformanceReport {
                     transfer_time += params.t_transfer_s;
                 }
             }
-            Stage::Raman(gates) => {
+            StageRef::Raman(gates) => {
                 if !gates.is_empty() {
                     raman_time += params.t_1q_s;
                 }
             }
-            Stage::Rydberg(ops) => {
+            StageRef::Rydberg(ops) => {
                 per_stage_parallelism.push(ops.len());
                 rydberg_time += params.t_2q_s;
             }
@@ -210,11 +210,11 @@ pub fn movement_trace(schedule: &Schedule, config: &FpqaConfig) -> MovementTrace
     let mut aod = initial_grid(schedule, config);
     let mut loaded: HashMap<AncillaId, (usize, usize)> = HashMap::new();
     let mut trace = MovementTrace::default();
-    for stage in &schedule.stages {
+    for stage in schedule.stages() {
         match stage {
-            Stage::Move { row_y, col_x } => {
+            StageRef::Move { row_y, col_x } => {
                 let mv = aod
-                    .move_to(row_y.clone(), col_x.clone())
+                    .move_to(row_y.to_vec(), col_x.to_vec())
                     .expect("traced schedule must have legal moves");
                 let mut step = Vec::new();
                 for (&anc, &(r, c)) in &loaded {
@@ -227,7 +227,7 @@ pub fn movement_trace(schedule: &Schedule, config: &FpqaConfig) -> MovementTrace
                 step.sort_by_key(|m| m.ancilla);
                 trace.steps.push(step);
             }
-            Stage::Transfer(ops) => {
+            StageRef::Transfer(ops) => {
                 for op in ops {
                     if op.load {
                         loaded.insert(op.ancilla, (op.row, op.col));

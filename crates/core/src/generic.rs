@@ -26,15 +26,13 @@
 //! [`crate::generic_reference`] for A/B benchmarking (`perf_report`) and
 //! differential testing; both produce byte-identical schedules.
 
-use std::sync::Arc;
-
 use qpilot_circuit::{decompose, Circuit, Gate, Operands, Qubit};
 
 use crate::error::RouteError;
-use crate::legality::{axis_ranks_into, greedy_max_subset, GatePlacement, LegalitySet};
-use crate::motion::{axis_coords, park_col_base, park_row_base};
+use crate::legality::{axis_ranks_into, greedy_max_subset_ids, GatePlacement, LegalitySet};
+use crate::motion::{axis_coords_active_into, park_col_base, park_row_base};
 use crate::schedule::{
-    AtomRef, CompiledProgram, RydbergKind, RydbergOp, Schedule, Stage, TransferOp,
+    AtomRef, CompiledProgram, RydbergKind, RydbergOp, ScheduleBuilder, TransferOp,
 };
 use crate::FpqaConfig;
 
@@ -109,29 +107,44 @@ impl GenericRouter {
             .unwrap_or(cap_geom)
             .max(1);
 
-        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
-        let mut frontier = qpilot_circuit::Frontier::new(&native);
+        let mut schedule =
+            ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        let mut frontier = qpilot_circuit::CompactFrontier::new(&native);
         let gates = native.gates();
         let mut scratch = RouteScratch::new(config);
-        schedule.stages.reserve(4 * native.len());
+        schedule.reserve_stages(4 * native.len());
+        // Pool sizes are functions of the native gate counts (transfer /
+        // rydberg / raman totals are grouping-independent; coordinates
+        // assume the workload's typical ~2-gate stages), so growth is one
+        // allocation per pool up front.
+        let n2q = native.two_qubit_count();
+        let n1q = native.len() - n2q;
+        schedule.reserve_pools(
+            n1q + 4 * n2q,
+            2 * n2q,
+            3 * (config.aod_rows() + config.aod_cols()) * n2q.div_ceil(2),
+            3 * n2q,
+        );
 
-        // Per-gate immutables, computed once: the candidate sort key and,
-        // for 2Q gates, the grid placement. The pre-PR loop re-derived
-        // both for every gate of every front layer.
-        let keys: Vec<(u32, u32)> = gates.iter().map(operand_key).collect();
-        let placement_by_id: Vec<GatePlacement> = gates
-            .iter()
-            .map(|g| {
-                if g.is_two_qubit() {
-                    placement_of(g, config)
-                } else {
-                    GatePlacement::new(
-                        qpilot_arch::GridCoord::new(0, 0),
-                        qpilot_arch::GridCoord::new(0, 0),
-                    )
-                }
-            })
-            .collect();
+        // Per-gate immutables, computed once: the candidate sort key and
+        // grid placement. Only 2Q gates are ever looked up (candidates,
+        // subsets), so both tables start zeroed (a calloc, not a
+        // per-element write) and one pass fills the 2Q entries — on
+        // CX-heavy workloads 3 of 4 native gates are 1Q and skip all
+        // derivation. The pre-PR loop re-derived both for every gate of
+        // every front layer.
+        let zero = GatePlacement::new(
+            qpilot_arch::GridCoord::new(0, 0),
+            qpilot_arch::GridCoord::new(0, 0),
+        );
+        let mut keys: Vec<(u32, u32)> = vec![(0, 0); gates.len()];
+        let mut placement_by_id: Vec<GatePlacement> = vec![zero; gates.len()];
+        for (id, g) in gates.iter().enumerate() {
+            if g.is_two_qubit() {
+                keys[id] = operand_key(g);
+                placement_by_id[id] = placement_of(g, config);
+            }
+        }
 
         // The front layer is maintained *incrementally* as two router-side
         // lists instead of being re-scanned and re-sorted per stage:
@@ -139,7 +152,7 @@ impl GenericRouter {
         // `candidates` (2Q gates, stably ordered by operand key). Batch
         // execution reports exactly the promoted successors, so each
         // stage only touches the gates that changed.
-        for &id in frontier.front_layer() {
+        for &id in frontier.initial_front() {
             if gates[id].is_single_qubit() {
                 scratch.ready_1q.push(id);
             } else {
@@ -152,11 +165,7 @@ impl GenericRouter {
             // Drain ready 1Q gates onto the Raman laser, one stage per
             // wave (newly promoted 1Q gates form the next wave).
             while !scratch.ready_1q.is_empty() {
-                scratch.gate_buf.clear();
-                scratch
-                    .gate_buf
-                    .extend(scratch.ready_1q.iter().map(|&id| gates[id]));
-                schedule.push(Stage::Raman(Arc::from(scratch.gate_buf.as_slice())));
+                schedule.raman(scratch.ready_1q.iter().map(|&id| gates[id]));
                 frontier.execute_batch(&scratch.ready_1q, &mut scratch.promoted);
                 scratch.ready_1q.clear();
                 for &p in &scratch.promoted {
@@ -172,13 +181,12 @@ impl GenericRouter {
                 break;
             }
 
-            // Select a maximal legal subset of the 2Q front layer.
-            scratch.placements.clear();
-            scratch
-                .placements
-                .extend(scratch.candidates.iter().map(|&id| placement_by_id[id]));
-            greedy_max_subset(
-                &scratch.placements,
+            // Select a maximal legal subset of the 2Q front layer
+            // (indirect over the per-gate placement table: no per-stage
+            // copy of the front layer's placements).
+            greedy_max_subset_ids(
+                &scratch.candidates,
+                &placement_by_id,
                 cap,
                 &mut scratch.legality,
                 &mut scratch.subset,
@@ -193,7 +201,7 @@ impl GenericRouter {
                 let id = scratch.candidates[i];
                 let (q1, q2) = two_qubit_operands(&gates[id]);
                 scratch.staged.push(StagedGate {
-                    placement: scratch.placements[i],
+                    placement: placement_by_id[id],
                     q1,
                     q2,
                     kind: match gates[id] {
@@ -222,7 +230,7 @@ impl GenericRouter {
             }
         }
         debug_assert!(scratch.candidates.is_empty());
-        Ok(CompiledProgram::new(schedule))
+        Ok(schedule.finish_program())
     }
 }
 
@@ -265,9 +273,7 @@ pub(crate) struct StagedGate {
 #[derive(Debug)]
 struct RouteScratch {
     ready_1q: Vec<usize>,
-    gate_buf: Vec<Gate>,
     candidates: Vec<usize>,
-    placements: Vec<GatePlacement>,
     subset: Vec<usize>,
     exec_ids: Vec<usize>,
     promoted: Vec<usize>,
@@ -280,15 +286,13 @@ impl RouteScratch {
     fn new(config: &FpqaConfig) -> Self {
         RouteScratch {
             ready_1q: Vec::new(),
-            gate_buf: Vec::new(),
             candidates: Vec::new(),
-            placements: Vec::new(),
             subset: Vec::new(),
             exec_ids: Vec::new(),
             promoted: Vec::new(),
             staged: Vec::new(),
             legality: LegalitySet::new(config.slm().rows(), config.slm().cols()),
-            emit: EmitScratch::default(),
+            emit: EmitScratch::for_config(config),
         }
     }
 }
@@ -305,7 +309,48 @@ pub(crate) struct EmitScratch {
     exec_rows: Vec<usize>,
     create_cols: Vec<usize>,
     exec_cols: Vec<usize>,
-    h_layer: Vec<Gate>,
+    create_y: Vec<f64>,
+    create_x: Vec<f64>,
+    exec_y: Vec<f64>,
+    exec_x: Vec<f64>,
+    /// Parked-line coordinate templates per axis: `park[j] = base +
+    /// (j+1)·pitch`. The tail of every move's axis coordinates is a
+    /// prefix of this (unused AOD lines park identically in every
+    /// stage), so emit copies it instead of recomputing per stage.
+    park_y: Vec<f64>,
+    park_x: Vec<f64>,
+}
+
+impl EmitScratch {
+    fn for_config(config: &FpqaConfig) -> Self {
+        let pitch = config.pitch_um();
+        let park_y = (0..config.aod_rows())
+            .map(|k| park_row_base(config) + (k + 1) as f64 * pitch)
+            .collect();
+        let park_x = (0..config.aod_cols())
+            .map(|k| park_col_base(config) + (k + 1) as f64 * pitch)
+            .collect();
+        EmitScratch {
+            park_y,
+            park_x,
+            ..EmitScratch::default()
+        }
+    }
+}
+
+/// [`crate::motion::axis_coords_into`] with the parked tail copied from
+/// a precomputed template (see [`EmitScratch::park_y`]); byte-identical
+/// output, shared active-run loop.
+#[inline]
+fn axis_coords_with_park(
+    targets: &[usize],
+    pitch: f64,
+    park: &[f64],
+    total: usize,
+    out: &mut Vec<f64>,
+) {
+    axis_coords_active_into(targets, total, pitch, out);
+    out.extend_from_slice(&park[..total - targets.len()]);
 }
 
 pub(crate) fn operand_key(g: &Gate) -> (u32, u32) {
@@ -328,8 +373,15 @@ pub(crate) fn placement_of(g: &Gate, config: &FpqaConfig) -> GatePlacement {
 }
 
 /// Emits the full three-phase flying-ancilla stage for a legal subset.
+///
+/// Every stage payload goes straight into the schedule's arena pools:
+/// the only heap allocation left per stage is amortised pool growth.
+/// Repeated payloads (the Hadamard layer shared by all four Raman pulses,
+/// the create CZ layer recycled in phase 3, the revisited coordinates)
+/// are re-emitted with [`ScheduleBuilder::repeat_stage`] — a pool-to-pool
+/// copy, not an allocation.
 pub(crate) fn emit_stage(
-    schedule: &mut Schedule,
+    schedule: &mut ScheduleBuilder,
     config: &FpqaConfig,
     staged: &[StagedGate],
     scratch: &mut EmitScratch,
@@ -378,98 +430,83 @@ pub(crate) fn emit_stage(
 
     let pitch = config.pitch_um();
     let (rows_total, cols_total) = (schedule.aod_rows, schedule.aod_cols);
-    let create_y = axis_coords(
+    let (park_y, park_x) = (&scratch.park_y, &scratch.park_x);
+    axis_coords_with_park(
         &scratch.create_rows,
+        pitch,
+        park_y,
         rows_total,
-        pitch,
-        park_row_base(config),
+        &mut scratch.create_y,
     );
-    let create_x = axis_coords(
+    axis_coords_with_park(
         &scratch.create_cols,
-        cols_total,
         pitch,
-        park_col_base(config),
+        park_x,
+        cols_total,
+        &mut scratch.create_x,
     );
-    let exec_y = axis_coords(&scratch.exec_rows, rows_total, pitch, park_row_base(config));
-    let exec_x = axis_coords(&scratch.exec_cols, cols_total, pitch, park_col_base(config));
+    axis_coords_with_park(
+        &scratch.exec_rows,
+        pitch,
+        park_y,
+        rows_total,
+        &mut scratch.exec_y,
+    );
+    axis_coords_with_park(
+        &scratch.exec_cols,
+        pitch,
+        park_x,
+        cols_total,
+        &mut scratch.exec_x,
+    );
 
     // Load ancillas.
-    schedule.push(Stage::Transfer(
-        (0..n)
-            .map(|i| TransferOp {
-                ancilla: ancillas[i],
-                row: row_rank[i],
-                col: col_rank[i],
-                load: true,
-            })
-            .collect(),
-    ));
+    schedule.transfer((0..n).map(|i| TransferOp {
+        ancilla: ancillas[i],
+        row: row_rank[i],
+        col: col_rank[i],
+        load: true,
+    }));
 
     // Phase 1: copy states (transversal CNOT q1 -> ancilla). The Hadamard
     // layer is identical for all four Raman stages of the flow, so it is
-    // built once and shared (the pre-PR code cloned the whole Vec thrice).
-    schedule.push(Stage::Move {
-        row_y: create_y.clone(),
-        col_x: create_x.clone(),
-    });
-    scratch.h_layer.clear();
-    scratch
-        .h_layer
-        .extend(ancillas.iter().map(|&a| Gate::H(schedule.ancilla_qubit(a))));
-    let h_layer: Arc<[Gate]> = Arc::from(scratch.h_layer.as_slice());
-    schedule.push(Stage::Raman(h_layer.clone()));
-    schedule.push(Stage::Rydberg(
+    // emitted once and repeated by pool copy.
+    let create_move = schedule.move_stage(&scratch.create_y, &scratch.create_x);
+    let num_data = schedule.num_data;
+    let h_stage = schedule.raman(
+        ancillas
+            .iter()
+            .map(|&a| Gate::H(crate::schedule::ancilla_register_qubit(num_data, a))),
+    );
+    let create_pulse = schedule.rydberg(
         staged
             .iter()
             .enumerate()
-            .map(|(i, s)| RydbergOp::cz(AtomRef::Data(s.q1.raw()), AtomRef::Ancilla(ancillas[i])))
-            .collect(),
-    ));
-    schedule.push(Stage::Raman(h_layer.clone()));
+            .map(|(i, s)| RydbergOp::cz(AtomRef::Data(s.q1.raw()), AtomRef::Ancilla(ancillas[i]))),
+    );
+    schedule.repeat_stage(h_stage);
 
     // Phase 2: fly to targets and interact.
-    schedule.push(Stage::Move {
-        row_y: exec_y,
-        col_x: exec_x,
-    });
-    schedule.push(Stage::Rydberg(
-        staged
-            .iter()
-            .enumerate()
-            .map(|(i, s)| RydbergOp {
-                a: AtomRef::Ancilla(ancillas[i]),
-                b: AtomRef::Data(s.q2.raw()),
-                kind: s.kind,
-            })
-            .collect(),
-    ));
+    schedule.move_stage(&scratch.exec_y, &scratch.exec_x);
+    schedule.rydberg(staged.iter().enumerate().map(|(i, s)| RydbergOp {
+        a: AtomRef::Ancilla(ancillas[i]),
+        b: AtomRef::Data(s.q2.raw()),
+        kind: s.kind,
+    }));
 
     // Phase 3: fly back and recycle (transversal CNOT again).
-    schedule.push(Stage::Move {
-        row_y: create_y,
-        col_x: create_x,
-    });
-    schedule.push(Stage::Raman(h_layer.clone()));
-    schedule.push(Stage::Rydberg(
-        staged
-            .iter()
-            .enumerate()
-            .map(|(i, s)| RydbergOp::cz(AtomRef::Data(s.q1.raw()), AtomRef::Ancilla(ancillas[i])))
-            .collect(),
-    ));
-    schedule.push(Stage::Raman(h_layer));
+    schedule.repeat_stage(create_move);
+    schedule.repeat_stage(h_stage);
+    schedule.repeat_stage(create_pulse);
+    schedule.repeat_stage(h_stage);
 
     // Return the atoms.
-    schedule.push(Stage::Transfer(
-        (0..n)
-            .map(|i| TransferOp {
-                ancilla: ancillas[i],
-                row: row_rank[i],
-                col: col_rank[i],
-                load: false,
-            })
-            .collect(),
-    ));
+    schedule.transfer((0..n).map(|i| TransferOp {
+        ancilla: ancillas[i],
+        row: row_rank[i],
+        col: col_rank[i],
+        load: false,
+    }));
 }
 
 #[cfg(test)]
@@ -598,7 +635,7 @@ mod tests {
         let cfg = FpqaConfig::for_qubits(3, 3);
         let p = route(&c, &cfg);
         assert_eq!(p.stats().two_qubit_depth, 0);
-        assert!(p.schedule().stages.is_empty());
+        assert!(p.schedule().is_empty());
     }
 
     #[test]
@@ -636,7 +673,15 @@ mod tests {
                 GenericRouterOptions::default(),
             )
             .unwrap();
-            assert_eq!(ours, reference, "divergence at cols = {cols}");
+            // The reference stays on the frozen pre-arena layout, so the
+            // comparison is over serialised bytes: its frozen writer and
+            // the arena writer must agree to the byte.
+            assert_eq!(
+                crate::wire::schedule_to_json(ours.schedule()),
+                reference.to_json(),
+                "divergence at cols = {cols}"
+            );
+            assert_eq!(ours.stats(), &reference.stats(), "stats at cols = {cols}");
         }
     }
 }

@@ -7,12 +7,17 @@
 //! subset with a pairwise scan, and re-allocates the Raman Hadamard layer
 //! for every pulse of the three-phase flow. It also carries frozen copies
 //! of the pre-PR dependency-DAG and frontier (per-gate `Vec<Vec<_>>`
-//! adjacency, a successor copy per executed gate), so the measured
-//! baseline is the *whole* pre-PR stack, not just the subset loop.
-//! `perf_report` (in `qpilot-bench`) routes the same circuits through
-//! both paths and records the speedup in `BENCH_routing.json`; the router
-//! test-suite and the property tests assert the two produce
-//! **byte-identical** compiled programs.
+//! adjacency, a successor copy per executed gate), **and** of the
+//! pre-arena schedule IR itself: [`LegacySchedule`] / [`LegacyStage`]
+//! keep the per-stage `Vec` payload layout (one heap allocation per
+//! payload) that the arena refactor removed from `qpilot_core::schedule`,
+//! so the measured baseline is the *whole* pre-PR stack — algorithm and
+//! allocation profile. `perf_report` (in `qpilot-bench`) routes the same
+//! circuits through both paths and records the speedup in
+//! `BENCH_routing.json`; the router test-suite and the property tests
+//! assert the two produce **byte-identical serialised schedules**
+//! ([`ReferenceProgram::to_json`] is the frozen `qpilot.schedule/v1`
+//! writer over the legacy layout).
 //!
 //! Do not "fix" or optimise this module — its value is being frozen.
 
@@ -22,14 +27,262 @@ use qpilot_circuit::{decompose, Circuit, Gate, Operands, Qubit};
 
 use crate::error::RouteError;
 use crate::generic::GenericRouterOptions;
+use crate::json::fmt_f64;
 use crate::legality::{axis_ranks, pair_compatible, GatePlacement};
 use crate::motion::{axis_coords, park_col_base, park_row_base};
-use crate::schedule::{
-    AtomRef, CompiledProgram, RydbergKind, RydbergOp, Schedule, Stage, TransferOp,
-};
+use crate::schedule::{AtomRef, RydbergKind, RydbergOp, ScheduleStats, TransferOp};
+use crate::wire;
 use crate::FpqaConfig;
 
-/// Routes `circuit` with the pre-PR pairwise algorithm.
+/// One stage in the frozen pre-arena layout: heap-owned payloads, one
+/// allocation per stage (the Raman layer is shared via `Arc` exactly as
+/// the pre-arena IR shared it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LegacyStage {
+    /// Parallel 1Q gates.
+    Raman(Arc<[Gate]>),
+    /// Atom transfers.
+    Transfer(Vec<TransferOp>),
+    /// AOD reconfiguration.
+    Move {
+        /// New per-row y coordinates.
+        row_y: Vec<f64>,
+        /// New per-column x coordinates.
+        col_x: Vec<f64>,
+    },
+    /// One global Rydberg pulse.
+    Rydberg(Vec<RydbergOp>),
+}
+
+/// The frozen pre-arena schedule container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegacySchedule {
+    /// Number of data qubits.
+    pub num_data: u32,
+    /// Total distinct ancillas ever created.
+    pub num_ancillas: u32,
+    /// AOD grid rows.
+    pub aod_rows: usize,
+    /// AOD grid columns.
+    pub aod_cols: usize,
+    /// The stages in execution order, each owning its payload.
+    pub stages: Vec<LegacyStage>,
+}
+
+impl LegacySchedule {
+    fn new(num_data: u32, aod_rows: usize, aod_cols: usize) -> Self {
+        LegacySchedule {
+            num_data,
+            num_ancillas: 0,
+            aod_rows,
+            aod_cols,
+            stages: Vec::new(),
+        }
+    }
+
+    fn fresh_ancilla(&mut self) -> crate::AncillaId {
+        let id = crate::AncillaId(self.num_ancillas);
+        self.num_ancillas += 1;
+        id
+    }
+
+    fn ancilla_qubit(&self, a: crate::AncillaId) -> Qubit {
+        Qubit::new(self.num_data + a.0)
+    }
+
+    fn push(&mut self, stage: LegacyStage) {
+        self.stages.push(stage);
+    }
+
+    /// The frozen pre-arena stats pass (same accounting as
+    /// `Schedule::stats`, over the legacy layout).
+    pub fn stats(&self) -> ScheduleStats {
+        let mut s = ScheduleStats::default();
+        let mut loaded = 0usize;
+        for stage in &self.stages {
+            match stage {
+                LegacyStage::Raman(gates) => s.one_qubit_gates += gates.len(),
+                LegacyStage::Transfer(ops) => {
+                    s.transfers += ops.len();
+                    for op in ops {
+                        if op.load {
+                            loaded += 1;
+                        } else {
+                            loaded = loaded.saturating_sub(1);
+                        }
+                    }
+                    s.peak_ancillas = s.peak_ancillas.max(loaded);
+                }
+                LegacyStage::Move { .. } => s.moves += 1,
+                LegacyStage::Rydberg(ops) => {
+                    s.two_qubit_depth += 1;
+                    s.two_qubit_gates += ops.len();
+                    s.one_qubit_gates += ops
+                        .iter()
+                        .filter(|o| matches!(o.kind, RydbergKind::CxInto { .. }))
+                        .count()
+                        * 2;
+                }
+            }
+        }
+        s
+    }
+
+    /// The frozen `qpilot.schedule/v1` writer over the legacy layout.
+    ///
+    /// Byte-for-byte the same document `wire::schedule_to_json` emits for
+    /// the equivalent arena schedule — the differential suites compare
+    /// the two strings directly, so neither layout can drift without
+    /// tripping them.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.stages.len() * 48);
+        out.push_str("{\"format\":\"");
+        out.push_str(wire::SCHEDULE_FORMAT);
+        out.push_str("\",\"num_data\":");
+        out.push_str(&self.num_data.to_string());
+        out.push_str(",\"num_ancillas\":");
+        out.push_str(&self.num_ancillas.to_string());
+        out.push_str(",\"aod_rows\":");
+        out.push_str(&self.aod_rows.to_string());
+        out.push_str(",\"aod_cols\":");
+        out.push_str(&self.aod_cols.to_string());
+        out.push_str(",\"stages\":[");
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_legacy_stage(&mut out, stage);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn write_legacy_stage(out: &mut String, stage: &LegacyStage) {
+    match stage {
+        LegacyStage::Raman(gates) => {
+            out.push_str("{\"kind\":\"raman\",\"gates\":[");
+            for (i, g) in gates.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                wire::write_gate(out, g);
+            }
+            out.push_str("]}");
+        }
+        LegacyStage::Transfer(ops) => {
+            out.push_str("{\"kind\":\"transfer\",\"ops\":[");
+            for (i, op) in ops.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&op.ancilla.0.to_string());
+                out.push(',');
+                out.push_str(&op.row.to_string());
+                out.push(',');
+                out.push_str(&op.col.to_string());
+                out.push(',');
+                out.push_str(if op.load { "true" } else { "false" });
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        LegacyStage::Move { row_y, col_x } => {
+            out.push_str("{\"kind\":\"move\",\"row_y\":[");
+            for (i, y) in row_y.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&fmt_f64(*y));
+            }
+            out.push_str("],\"col_x\":[");
+            for (i, x) in col_x.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&fmt_f64(*x));
+            }
+            out.push_str("]}");
+        }
+        LegacyStage::Rydberg(ops) => {
+            out.push_str("{\"kind\":\"rydberg\",\"ops\":[");
+            for (i, op) in ops.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                write_legacy_atom(out, op.a);
+                out.push(',');
+                write_legacy_atom(out, op.b);
+                out.push(',');
+                match op.kind {
+                    RydbergKind::Cz => out.push_str("\"cz\""),
+                    RydbergKind::CxInto { target_b } => {
+                        out.push_str("[\"cx\",");
+                        out.push_str(if target_b { "true" } else { "false" });
+                        out.push(']');
+                    }
+                    RydbergKind::Zz(theta) => {
+                        out.push_str("[\"zz\",");
+                        out.push_str(&fmt_f64(theta));
+                        out.push(']');
+                    }
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn write_legacy_atom(out: &mut String, atom: AtomRef) {
+    match atom {
+        AtomRef::Data(q) => {
+            out.push_str("[\"d\",");
+            out.push_str(&q.to_string());
+            out.push(']');
+        }
+        AtomRef::Ancilla(a) => {
+            out.push_str("[\"a\",");
+            out.push_str(&a.0.to_string());
+            out.push(']');
+        }
+    }
+}
+
+/// A compiled program in the frozen pre-arena representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceProgram {
+    schedule: LegacySchedule,
+    stats: ScheduleStats,
+}
+
+impl ReferenceProgram {
+    fn new(schedule: LegacySchedule) -> Self {
+        let stats = schedule.stats();
+        ReferenceProgram { schedule, stats }
+    }
+
+    /// The legacy-layout schedule.
+    pub fn schedule(&self) -> &LegacySchedule {
+        &self.schedule
+    }
+
+    /// Cached statistics.
+    pub fn stats(&self) -> ScheduleStats {
+        self.stats
+    }
+
+    /// Serialises through the frozen writer (see
+    /// [`LegacySchedule::to_json`]).
+    pub fn to_json(&self) -> String {
+        self.schedule.to_json()
+    }
+}
+
+/// Routes `circuit` with the pre-PR pairwise algorithm on the pre-arena
+/// IR.
 ///
 /// # Errors
 ///
@@ -38,7 +291,7 @@ pub fn route_reference(
     circuit: &Circuit,
     config: &FpqaConfig,
     options: GenericRouterOptions,
-) -> Result<CompiledProgram, RouteError> {
+) -> Result<ReferenceProgram, RouteError> {
     if circuit.num_qubits() > config.num_data() {
         return Err(RouteError::TooManyQubits {
             required: circuit.num_qubits(),
@@ -59,7 +312,7 @@ pub fn route_reference(
         .unwrap_or(cap_geom)
         .max(1);
 
-    let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
+    let mut schedule = LegacySchedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
     let mut frontier = ReferenceFrontier::new(&native);
     let gates = native.gates();
 
@@ -76,7 +329,7 @@ pub fn route_reference(
                 break;
             }
             let layer: Vec<Gate> = ready_1q.iter().map(|&id| gates[id]).collect();
-            schedule.push(Stage::Raman(layer.into()));
+            schedule.push(LegacyStage::Raman(layer.into()));
             for id in ready_1q {
                 frontier.execute(id);
             }
@@ -130,7 +383,7 @@ pub fn route_reference(
             frontier.execute(candidates[i]);
         }
     }
-    Ok(CompiledProgram::new(schedule))
+    Ok(ReferenceProgram::new(schedule))
 }
 
 /// One gate selected into a stage.
@@ -162,7 +415,7 @@ fn placement_of(g: &Gate, config: &FpqaConfig) -> GatePlacement {
 }
 
 /// Emits the full three-phase flying-ancilla stage for a legal subset.
-fn emit_stage(schedule: &mut Schedule, config: &FpqaConfig, staged: &[StagedGate]) {
+fn emit_stage(schedule: &mut LegacySchedule, config: &FpqaConfig, staged: &[StagedGate]) {
     let n = staged.len();
     let placements: Vec<GatePlacement> = staged.iter().map(|s| s.placement).collect();
     let row_rank = axis_ranks(&placements, true);
@@ -191,7 +444,7 @@ fn emit_stage(schedule: &mut Schedule, config: &FpqaConfig, staged: &[StagedGate
     let exec_x = axis_coords(&exec_cols, cols_total, pitch, park_col_base(config));
 
     // Load ancillas.
-    schedule.push(Stage::Transfer(
+    schedule.push(LegacyStage::Transfer(
         (0..n)
             .map(|i| TransferOp {
                 ancilla: ancillas[i],
@@ -203,7 +456,7 @@ fn emit_stage(schedule: &mut Schedule, config: &FpqaConfig, staged: &[StagedGate
     ));
 
     // Phase 1: copy states (transversal CNOT q1 -> ancilla).
-    schedule.push(Stage::Move {
+    schedule.push(LegacyStage::Move {
         row_y: create_y.clone(),
         col_x: create_x.clone(),
     });
@@ -214,22 +467,22 @@ fn emit_stage(schedule: &mut Schedule, config: &FpqaConfig, staged: &[StagedGate
         .iter()
         .map(|&a| Gate::H(schedule.ancilla_qubit(a)))
         .collect();
-    schedule.push(Stage::Raman(Arc::from(h_layer.as_slice())));
-    schedule.push(Stage::Rydberg(
+    schedule.push(LegacyStage::Raman(Arc::from(h_layer.as_slice())));
+    schedule.push(LegacyStage::Rydberg(
         staged
             .iter()
             .enumerate()
             .map(|(i, s)| RydbergOp::cz(AtomRef::Data(s.q1.raw()), AtomRef::Ancilla(ancillas[i])))
             .collect(),
     ));
-    schedule.push(Stage::Raman(Arc::from(h_layer.as_slice())));
+    schedule.push(LegacyStage::Raman(Arc::from(h_layer.as_slice())));
 
     // Phase 2: fly to targets and interact.
-    schedule.push(Stage::Move {
+    schedule.push(LegacyStage::Move {
         row_y: exec_y,
         col_x: exec_x,
     });
-    schedule.push(Stage::Rydberg(
+    schedule.push(LegacyStage::Rydberg(
         staged
             .iter()
             .enumerate()
@@ -242,22 +495,22 @@ fn emit_stage(schedule: &mut Schedule, config: &FpqaConfig, staged: &[StagedGate
     ));
 
     // Phase 3: fly back and recycle (transversal CNOT again).
-    schedule.push(Stage::Move {
+    schedule.push(LegacyStage::Move {
         row_y: create_y,
         col_x: create_x,
     });
-    schedule.push(Stage::Raman(Arc::from(h_layer.as_slice())));
-    schedule.push(Stage::Rydberg(
+    schedule.push(LegacyStage::Raman(Arc::from(h_layer.as_slice())));
+    schedule.push(LegacyStage::Rydberg(
         staged
             .iter()
             .enumerate()
             .map(|(i, s)| RydbergOp::cz(AtomRef::Data(s.q1.raw()), AtomRef::Ancilla(ancillas[i])))
             .collect(),
     ));
-    schedule.push(Stage::Raman(Arc::from(h_layer.as_slice())));
+    schedule.push(LegacyStage::Raman(Arc::from(h_layer.as_slice())));
 
     // Return the atoms.
-    schedule.push(Stage::Transfer(
+    schedule.push(LegacyStage::Transfer(
         (0..n)
             .map(|i| TransferOp {
                 ancilla: ancillas[i],

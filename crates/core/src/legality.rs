@@ -20,6 +20,11 @@
 
 use qpilot_arch::GridCoord;
 
+/// Accepted-set size up to which [`LegalitySet`]'s pairwise scan beats
+/// its Fenwick index (routing subsets average ~2 gates, so most stages
+/// never touch the trees at all).
+pub const SCAN_THRESHOLD: usize = 8;
+
 /// The creation/execution footprint of one routed two-qubit gate: the grid
 /// coordinates of its first (ancilla-source) and second (target) qubits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +114,14 @@ pub fn greedy_legal_subset(candidates: &[GatePlacement]) -> Vec<usize> {
 /// [`clear`](LegalitySet::clear) is `O(1)` (epoch stamping), so one set
 /// can be reused across every stage of a route with zero re-allocation.
 ///
+/// Small sets short-circuit the index: while the accepted set holds at
+/// most [`SCAN_THRESHOLD`] members, queries run the `O(k)` pairwise scan
+/// (a handful of integer comparisons — cheaper than four Fenwick
+/// descents) and the trees are not even maintained; the index is built
+/// lazily from the members the first time the set outgrows the
+/// threshold. Both paths answer identically (property-tested), so the
+/// greedy subset selection is byte-stable across the switch.
+///
 /// # Example
 ///
 /// ```
@@ -128,6 +141,8 @@ pub struct LegalitySet {
     col_left_max: MaxTree,
     col_right_min: MinTree,
     members: Vec<GatePlacement>,
+    /// Whether the Fenwick trees currently mirror `members`.
+    indexed: bool,
 }
 
 impl LegalitySet {
@@ -140,6 +155,7 @@ impl LegalitySet {
             col_left_max: MaxTree::new(cols),
             col_right_min: MinTree::new(cols),
             members: Vec::new(),
+            indexed: false,
         }
     }
 
@@ -160,18 +176,38 @@ impl LegalitySet {
 
     /// Empties the set in `O(1)` without releasing memory.
     pub fn clear(&mut self) {
+        self.members.clear();
+        self.indexed = false;
+    }
+
+    /// Compatibility check against the whole accepted set: the `O(k)`
+    /// pairwise scan while the set is small, the `O(log grid)` index
+    /// beyond [`SCAN_THRESHOLD`] members. Both answer identically.
+    #[inline]
+    pub fn admits(&self, p: &GatePlacement) -> bool {
+        if !self.indexed {
+            return self.admits_scan(p);
+        }
+        self.axis_admits(p.source.row, p.target.row, true)
+            && self.axis_admits(p.source.col, p.target.col, false)
+    }
+
+    /// Rebuilds the Fenwick index from the members (called once per
+    /// stage at most, when the accepted set outgrows the scan
+    /// threshold).
+    fn build_index(&mut self) {
         self.row_left_max.clear();
         self.row_right_min.clear();
         self.col_left_max.clear();
         self.col_right_min.clear();
-        self.members.clear();
-    }
-
-    /// Indexed fast path: `O(log grid)` compatibility check against the
-    /// whole accepted set.
-    pub fn admits(&self, p: &GatePlacement) -> bool {
-        self.axis_admits(p.source.row, p.target.row, true)
-            && self.axis_admits(p.source.col, p.target.col, false)
+        for i in 0..self.members.len() {
+            let m = self.members[i];
+            self.row_left_max.update(m.source.row, m.target.row);
+            self.row_right_min.update(m.source.row, m.target.row);
+            self.col_left_max.update(m.source.col, m.target.col);
+            self.col_right_min.update(m.source.col, m.target.col);
+        }
+        self.indexed = true;
     }
 
     fn axis_admits(&self, source: usize, target: usize, rows: bool) -> bool {
@@ -186,6 +222,7 @@ impl LegalitySet {
 
     /// Single-pass `O(k)` fallback over the accepted members; answers
     /// exactly like [`LegalitySet::admits`] without touching the index.
+    #[inline]
     pub fn admits_scan(&self, p: &GatePlacement) -> bool {
         self.members.iter().all(|m| pair_compatible(m, p))
     }
@@ -196,16 +233,22 @@ impl LegalitySet {
     ///
     /// Panics (debug builds) if the placement conflicts with the set or
     /// its coordinates exceed the grid bounds.
+    #[inline]
     pub fn insert(&mut self, p: &GatePlacement) {
         debug_assert!(self.admits(p), "inserting incompatible placement");
-        self.row_left_max.update(p.source.row, p.target.row);
-        self.row_right_min.update(p.source.row, p.target.row);
-        self.col_left_max.update(p.source.col, p.target.col);
-        self.col_right_min.update(p.source.col, p.target.col);
         self.members.push(*p);
+        if self.indexed {
+            self.row_left_max.update(p.source.row, p.target.row);
+            self.row_right_min.update(p.source.row, p.target.row);
+            self.col_left_max.update(p.source.col, p.target.col);
+            self.col_right_min.update(p.source.col, p.target.col);
+        } else if self.members.len() > SCAN_THRESHOLD {
+            self.build_index();
+        }
     }
 
     /// Inserts `p` iff it is compatible; returns whether it was accepted.
+    #[inline]
     pub fn try_insert(&mut self, p: &GatePlacement) -> bool {
         if self.admits(p) {
             self.insert(p);
@@ -235,6 +278,29 @@ pub fn greedy_max_subset(
             break;
         }
         if set.try_insert(cand) {
+            out.push(i);
+        }
+    }
+}
+
+/// [`greedy_max_subset`] over an indirection: candidate `i` is
+/// `placements[ids[i]]`. Saves the per-stage copy of the front layer's
+/// placements into a contiguous scratch buffer (the router keeps one
+/// immutable placement per gate for the whole route).
+pub fn greedy_max_subset_ids(
+    ids: &[usize],
+    placements: &[GatePlacement],
+    cap: usize,
+    set: &mut LegalitySet,
+    out: &mut Vec<usize>,
+) {
+    set.clear();
+    out.clear();
+    for (i, &id) in ids.iter().enumerate() {
+        if out.len() >= cap {
+            break;
+        }
+        if set.try_insert(&placements[id]) {
             out.push(i);
         }
     }
@@ -466,10 +532,26 @@ pub fn axis_ranks_into(
             (p.source.col, p.target.col)
         }
     };
+    rank.clear();
+    // Routing subsets average ~2 gates: rank one or two placements
+    // directly instead of running the sort machinery.
+    match placements {
+        [] => return,
+        [_] => {
+            rank.push(0);
+            return;
+        }
+        [a, b] => {
+            let first_is_a = (key(a), 0usize) < (key(b), 1usize);
+            rank.push(usize::from(!first_is_a));
+            rank.push(usize::from(first_is_a));
+            return;
+        }
+        _ => {}
+    }
     order.clear();
     order.extend(0..placements.len());
     order.sort_by_key(|&i| (key(&placements[i]), i));
-    rank.clear();
     rank.resize(placements.len(), 0);
     for (r, &i) in order.iter().enumerate() {
         rank[i] = r;

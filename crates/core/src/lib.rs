@@ -56,6 +56,6 @@ pub mod wire;
 pub use config::FpqaConfig;
 pub use error::RouteError;
 pub use schedule::{
-    AncillaId, AtomRef, CompiledProgram, RamanLayer, RydbergKind, RydbergOp, Schedule,
-    ScheduleStats, Stage, TransferOp,
+    AncillaId, AtomRef, CompiledProgram, RydbergKind, RydbergOp, Schedule, ScheduleBuilder,
+    ScheduleStats, StageRef, TransferOp,
 };

@@ -8,7 +8,7 @@
 
 use qpilot_circuit::{Circuit, Gate, Qubit};
 
-use crate::{AtomRef, RydbergKind, Schedule, Stage};
+use crate::{AtomRef, RydbergKind, Schedule, StageRef};
 
 impl Schedule {
     /// Register qubit of an atom reference.
@@ -27,9 +27,9 @@ impl Schedule {
     /// any reference is out of range.
     pub fn to_circuit(&self) -> Circuit {
         let mut c = Circuit::new(self.total_qubits());
-        for stage in &self.stages {
+        for stage in self.stages() {
             match stage {
-                Stage::Raman(gates) => {
+                StageRef::Raman(gates) => {
                     for g in gates.iter() {
                         assert!(
                             g.is_single_qubit(),
@@ -38,7 +38,7 @@ impl Schedule {
                         c.push_unchecked(*g);
                     }
                 }
-                Stage::Rydberg(ops) => {
+                StageRef::Rydberg(ops) => {
                     for op in ops {
                         let a = self.qubit_of(op.a);
                         let b = self.qubit_of(op.b);
@@ -54,7 +54,7 @@ impl Schedule {
                         }
                     }
                 }
-                Stage::Transfer(_) | Stage::Move { .. } => {}
+                StageRef::Transfer(_) | StageRef::Move { .. } => {}
             }
         }
         c
@@ -64,17 +64,14 @@ impl Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{RydbergOp, TransferOp};
+    use crate::{RydbergOp, ScheduleBuilder, TransferOp};
 
     #[test]
     fn lowering_expands_cx_kind() {
-        let mut s = Schedule::new(1, 1, 1);
-        let a = s.fresh_ancilla();
-        s.push(Stage::Rydberg(vec![RydbergOp::cx(
-            AtomRef::Data(0),
-            AtomRef::Ancilla(a),
-        )]));
-        let c = s.to_circuit();
+        let mut b = ScheduleBuilder::new(1, 1, 1);
+        let a = b.fresh_ancilla();
+        b.rydberg([RydbergOp::cx(AtomRef::Data(0), AtomRef::Ancilla(a))]);
+        let c = b.finish().to_circuit();
         assert_eq!(c.num_qubits(), 2);
         assert_eq!(c.len(), 3); // H CZ H
         assert_eq!(c.two_qubit_count(), 1);
@@ -82,43 +79,34 @@ mod tests {
 
     #[test]
     fn lowering_orders_stages() {
-        let mut s = Schedule::new(2, 1, 1);
-        let a = s.fresh_ancilla();
-        s.push(Stage::Raman(vec![Gate::H(Qubit::new(2))].into()));
-        s.push(Stage::Transfer(vec![TransferOp {
+        let mut b = ScheduleBuilder::new(2, 1, 1);
+        let a = b.fresh_ancilla();
+        b.raman([Gate::H(Qubit::new(2))]);
+        b.transfer([TransferOp {
             ancilla: a,
             row: 0,
             col: 0,
             load: true,
-        }]));
-        s.push(Stage::Rydberg(vec![RydbergOp::cz(
-            AtomRef::Data(1),
-            AtomRef::Ancilla(a),
-        )]));
-        let c = s.to_circuit();
+        }]);
+        b.rydberg([RydbergOp::cz(AtomRef::Data(1), AtomRef::Ancilla(a))]);
+        let c = b.finish().to_circuit();
         assert_eq!(c.gates()[0], Gate::H(Qubit::new(2)));
         assert_eq!(c.gates()[1], Gate::Cz(Qubit::new(1), Qubit::new(2)));
     }
 
     #[test]
     fn zz_lowered_with_angle() {
-        let mut s = Schedule::new(2, 1, 1);
-        s.push(Stage::Rydberg(vec![RydbergOp::zz(
-            AtomRef::Data(0),
-            AtomRef::Data(1),
-            0.4,
-        )]));
-        let c = s.to_circuit();
+        let mut b = ScheduleBuilder::new(2, 1, 1);
+        b.rydberg([RydbergOp::zz(AtomRef::Data(0), AtomRef::Data(1), 0.4)]);
+        let c = b.finish().to_circuit();
         assert_eq!(c.gates()[0], Gate::Zz(Qubit::new(0), Qubit::new(1), 0.4));
     }
 
     #[test]
     #[should_panic(expected = "two-qubit gate")]
     fn raman_rejects_two_qubit_gates() {
-        let mut s = Schedule::new(2, 1, 1);
-        s.push(Stage::Raman(
-            vec![Gate::Cz(Qubit::new(0), Qubit::new(1))].into(),
-        ));
-        s.to_circuit();
+        let mut b = ScheduleBuilder::new(2, 1, 1);
+        b.raman([Gate::Cz(Qubit::new(0), Qubit::new(1))]);
+        b.finish().to_circuit();
     }
 }

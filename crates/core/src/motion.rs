@@ -26,12 +26,46 @@ pub(crate) const OFFSET_MAX: f64 = 0.9;
 /// legality rule). `total` is the AOD line count; lines `targets.len()..`
 /// park beyond `park_from` at one-pitch intervals.
 pub(crate) fn axis_coords(targets: &[usize], total: usize, pitch: f64, park_from: f64) -> Vec<f64> {
+    let mut coords = Vec::with_capacity(total);
+    axis_coords_into(targets, total, pitch, park_from, &mut coords);
+    coords
+}
+
+/// [`axis_coords`] writing into a caller-owned buffer (cleared first), so
+/// the hot route loop reuses one scratch allocation per axis instead of
+/// allocating four coordinate vectors per emitted stage.
+#[inline]
+pub(crate) fn axis_coords_into(
+    targets: &[usize],
+    total: usize,
+    pitch: f64,
+    park_from: f64,
+    coords: &mut Vec<f64>,
+) {
+    axis_coords_active_into(targets, total, pitch, coords);
+    for k in targets.len()..total {
+        coords.push(park_from + (k - targets.len() + 1) as f64 * pitch);
+    }
+}
+
+/// The active-line portion of [`axis_coords_into`]: runs of equal
+/// targets get increasing fractional offsets. Callers append the parked
+/// tail themselves — either computed (above) or copied from a
+/// precomputed template (the generic router's emit path).
+#[inline]
+pub(crate) fn axis_coords_active_into(
+    targets: &[usize],
+    total: usize,
+    pitch: f64,
+    coords: &mut Vec<f64>,
+) {
     debug_assert!(
         targets.windows(2).all(|w| w[0] <= w[1]),
         "targets must be sorted"
     );
     debug_assert!(targets.len() <= total, "more active lines than AOD lines");
-    let mut coords = Vec::with_capacity(total);
+    coords.clear();
+    coords.reserve(total);
     let mut i = 0;
     while i < targets.len() {
         // Size of the run of equal targets.
@@ -48,10 +82,6 @@ pub(crate) fn axis_coords(targets: &[usize], total: usize, pitch: f64, park_from
         }
         i = run_end;
     }
-    for k in targets.len()..total {
-        coords.push(park_from + (k - targets.len() + 1) as f64 * pitch);
-    }
-    coords
 }
 
 /// Coordinate (µm) beyond which parked AOD rows live for this config.

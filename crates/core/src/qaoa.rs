@@ -30,7 +30,7 @@ use crate::error::RouteError;
 use crate::legality::PairMatcher;
 use crate::motion::{axis_coords, park_col_base, park_row_base, OFFSET_MIN};
 use crate::schedule::{
-    AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, Stage, TransferOp,
+    AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, ScheduleBuilder, TransferOp,
 };
 use crate::FpqaConfig;
 
@@ -100,9 +100,10 @@ impl QaoaRouter {
         gamma: f64,
         config: &FpqaConfig,
     ) -> Result<CompiledProgram, RouteError> {
-        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        let mut schedule =
+            ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
         self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
-        Ok(CompiledProgram::new(schedule))
+        Ok(schedule.finish_program())
     }
 
     /// Routes a full depth-1 QAOA round: Hadamard layer, routed cost layer,
@@ -120,21 +121,12 @@ impl QaoaRouter {
         beta: f64,
         config: &FpqaConfig,
     ) -> Result<CompiledProgram, RouteError> {
-        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
-        schedule.push(Stage::Raman(
-            (0..num_qubits)
-                .map(|q| Gate::H(qpilot_circuit::Qubit::new(q)))
-                .collect::<Vec<Gate>>()
-                .into(),
-        ));
+        let mut schedule =
+            ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        schedule.raman((0..num_qubits).map(|q| Gate::H(qpilot_circuit::Qubit::new(q))));
         self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
-        schedule.push(Stage::Raman(
-            (0..num_qubits)
-                .map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta))
-                .collect::<Vec<Gate>>()
-                .into(),
-        ));
-        Ok(CompiledProgram::new(schedule))
+        schedule.raman((0..num_qubits).map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta)));
+        Ok(schedule.finish_program())
     }
 
     /// Routes a depth-`p` QAOA program: Hadamard layer, then `p` rounds of
@@ -159,28 +151,19 @@ impl QaoaRouter {
         config: &FpqaConfig,
     ) -> Result<CompiledProgram, RouteError> {
         assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
-        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
-        schedule.push(Stage::Raman(
-            (0..num_qubits)
-                .map(|q| Gate::H(qpilot_circuit::Qubit::new(q)))
-                .collect::<Vec<Gate>>()
-                .into(),
-        ));
+        let mut schedule =
+            ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        schedule.raman((0..num_qubits).map(|q| Gate::H(qpilot_circuit::Qubit::new(q))));
         for (&gamma, &beta) in gammas.iter().zip(betas) {
             self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
-            schedule.push(Stage::Raman(
-                (0..num_qubits)
-                    .map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta))
-                    .collect::<Vec<Gate>>()
-                    .into(),
-            ));
+            schedule.raman((0..num_qubits).map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta)));
         }
-        Ok(CompiledProgram::new(schedule))
+        Ok(schedule.finish_program())
     }
 
     fn append_cost_layer(
         &self,
-        schedule: &mut Schedule,
+        schedule: &mut ScheduleBuilder,
         num_qubits: u32,
         edges: &[(u32, u32)],
         gamma: f64,
@@ -217,16 +200,12 @@ impl QaoaRouter {
         let ancillas: Vec<AncillaId> = (0..num_qubits).map(|_| schedule.fresh_ancilla()).collect();
         let home = |q: u32| -> GridCoord { config.coord_of(q) };
 
-        schedule.push(Stage::Transfer(
-            (0..num_qubits)
-                .map(|q| TransferOp {
-                    ancilla: ancillas[q as usize],
-                    row: home(q).row,
-                    col: home(q).col,
-                    load: true,
-                })
-                .collect(),
-        ));
+        schedule.transfer((0..num_qubits).map(|q| TransferOp {
+            ancilla: ancillas[q as usize],
+            row: home(q).row,
+            col: home(q).col,
+            load: true,
+        }));
 
         // Aligned position: every ancilla hovers next to its home qubit.
         let aligned_rows: Vec<usize> = (0..used_rows).collect();
@@ -246,20 +225,19 @@ impl QaoaRouter {
                 park_col_base(config),
             ),
         );
-        schedule.push(Stage::Move {
-            row_y: aligned.0.clone(),
-            col_x: aligned.1.clone(),
-        });
-        let h_layer: crate::RamanLayer = (0..num_qubits)
-            .map(|q| Gate::H(schedule.ancilla_qubit(ancillas[q as usize])))
-            .collect::<Vec<Gate>>()
-            .into();
-        let create_ops: Vec<RydbergOp> = (0..num_qubits)
-            .map(|q| RydbergOp::cz(AtomRef::Data(q), AtomRef::Ancilla(ancillas[q as usize])))
-            .collect();
-        schedule.push(Stage::Raman(h_layer.clone()));
-        schedule.push(Stage::Rydberg(create_ops.clone()));
-        schedule.push(Stage::Raman(h_layer.clone()));
+        let aligned_move = schedule.move_stage(&aligned.0, &aligned.1);
+        let num_data = schedule.num_data;
+        let h_stage = schedule.raman((0..num_qubits).map(|q| {
+            Gate::H(crate::schedule::ancilla_register_qubit(
+                num_data,
+                ancillas[q as usize],
+            ))
+        }));
+        let create_stage = schedule.rydberg(
+            (0..num_qubits)
+                .map(|q| RydbergOp::cz(AtomRef::Data(q), AtomRef::Ancilla(ancillas[q as usize]))),
+        );
+        schedule.repeat_stage(h_stage);
 
         // Stage loop. Edge buckets are built once and maintained
         // incrementally as edges execute (the pre-PR code re-bucketed all
@@ -282,41 +260,30 @@ impl QaoaRouter {
                 remaining.remove(&e);
                 buckets.remove(e.0, e.1, config);
             }
-            let (row_y, col_x) = stage_coords(&solution, schedule, config, used_rows, used_cols);
-            schedule.push(Stage::Move { row_y, col_x });
-            schedule.push(Stage::Rydberg(
-                solution
-                    .matched
-                    .iter()
-                    .map(|&(src, tgt)| {
-                        RydbergOp::zz(
-                            AtomRef::Ancilla(ancillas[src as usize]),
-                            AtomRef::Data(tgt),
-                            gamma,
-                        )
-                    })
-                    .collect(),
-            ));
+            let (row_y, col_x) =
+                stage_coords(&solution, schedule.schedule(), config, used_rows, used_cols);
+            schedule.move_stage(&row_y, &col_x);
+            schedule.rydberg(solution.matched.iter().map(|&(src, tgt)| {
+                RydbergOp::zz(
+                    AtomRef::Ancilla(ancillas[src as usize]),
+                    AtomRef::Data(tgt),
+                    gamma,
+                )
+            }));
         }
 
-        // Recycle: fly home, uncopy, unload.
-        schedule.push(Stage::Move {
-            row_y: aligned.0,
-            col_x: aligned.1,
-        });
-        schedule.push(Stage::Raman(h_layer.clone()));
-        schedule.push(Stage::Rydberg(create_ops));
-        schedule.push(Stage::Raman(h_layer));
-        schedule.push(Stage::Transfer(
-            (0..num_qubits)
-                .map(|q| TransferOp {
-                    ancilla: ancillas[q as usize],
-                    row: home(q).row,
-                    col: home(q).col,
-                    load: false,
-                })
-                .collect(),
-        ));
+        // Recycle: fly home, uncopy, unload (pool copies of the create
+        // stages).
+        schedule.repeat_stage(aligned_move);
+        schedule.repeat_stage(h_stage);
+        schedule.repeat_stage(create_stage);
+        schedule.repeat_stage(h_stage);
+        schedule.transfer((0..num_qubits).map(|q| TransferOp {
+            ancilla: ancillas[q as usize],
+            row: home(q).row,
+            col: home(q).col,
+            load: false,
+        }));
         Ok(())
     }
 }

@@ -34,7 +34,7 @@ use crate::motion::{
     anchored_coords, axis_coords, initial_coords, park_col_base, park_row_base, OFFSET_MIN,
 };
 use crate::schedule::{
-    AncillaId, AtomRef, CompiledProgram, RydbergOp, Schedule, Stage, TransferOp,
+    AncillaId, AtomRef, CompiledProgram, RydbergOp, ScheduleBuilder, TransferOp,
 };
 use crate::FpqaConfig;
 
@@ -115,18 +115,19 @@ impl QsimRouter {
             .min(self.options.max_copies.unwrap_or(usize::MAX))
             .max(1);
 
-        let mut schedule = Schedule::new(config.num_data(), config.aod_rows(), config.aod_cols());
-        let mut cur = initial_coords(schedule.aod_rows, schedule.aod_cols, config);
+        let mut schedule =
+            ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        let cur = initial_coords(schedule.aod_rows, schedule.aod_cols, config);
         for (string, theta) in strings {
-            self.append_string(&mut schedule, &mut cur, config, string, *theta, cap)?;
+            self.append_string(&mut schedule, &cur, config, string, *theta, cap)?;
         }
-        Ok(CompiledProgram::new(schedule))
+        Ok(schedule.finish_program())
     }
 
     fn append_string(
         &self,
-        schedule: &mut Schedule,
-        cur: &mut (Vec<f64>, Vec<f64>),
+        schedule: &mut ScheduleBuilder,
+        cur: &(Vec<f64>, Vec<f64>),
         config: &FpqaConfig,
         string: &PauliString,
         theta: f64,
@@ -141,12 +142,12 @@ impl QsimRouter {
         let mut pre = Circuit::new(config.num_data());
         string.append_basis_change(&mut pre);
         if !pre.is_empty() {
-            schedule.push(Stage::Raman(pre.gates().into()));
+            schedule.raman(pre.gates().iter().copied());
         }
 
         let root = support[0];
         if support.len() == 1 {
-            schedule.push(Stage::Raman(vec![Gate::Rz(root, theta)].into()));
+            schedule.raman([Gate::Rz(root, theta)]);
         } else {
             self.append_parity_rotation(schedule, cur, config, root, &support[1..], theta, cap);
         }
@@ -154,18 +155,24 @@ impl QsimRouter {
         let mut post = Circuit::new(config.num_data());
         string.append_basis_change_inverse(&mut post);
         if !post.is_empty() {
-            schedule.push(Stage::Raman(post.gates().into()));
+            schedule.raman(post.gates().iter().copied());
         }
         Ok(())
     }
 
     /// Emits `exp(-i θ/2 Z_root ⊗ Z_t1 ⊗ … )` (all-Z string) with flying
-    /// ancillas.
+    /// ancillas: the forward phase goes straight into the schedule's
+    /// arena, then [`ScheduleBuilder::mirror_stages`] emits the exact
+    /// uncomputation (ancilla loads reverse into unloads at the mirrored
+    /// points, where the uncomputation has just returned those copies to
+    /// `|0⟩`; each Move reverses to its predecessor's coordinates). The
+    /// mirror ends with the grid back at `cur`, so the threaded
+    /// coordinates never change across a string.
     #[allow(clippy::too_many_arguments)]
     fn append_parity_rotation(
         &self,
-        schedule: &mut Schedule,
-        cur: &mut (Vec<f64>, Vec<f64>),
+        schedule: &mut ScheduleBuilder,
+        cur: &(Vec<f64>, Vec<f64>),
         config: &FpqaConfig,
         root: Qubit,
         targets: &[Qubit],
@@ -179,127 +186,34 @@ impl QsimRouter {
         // All copies live on the AOD diagonal: copy k at cross (k, k).
         let copies: Vec<AncillaId> = (0..m).map(|_| schedule.fresh_ancilla()).collect();
 
-        let mut fwd = PhaseBuilder::new(cur.clone());
-        build_fanout(&mut fwd, schedule, config, root, &copies);
-        build_absorb(
-            &mut fwd, schedule, config, targets, &coords, &chains, &copies,
-        );
-        build_combine(&mut fwd, schedule, config, &copies);
+        let start = schedule.num_stages();
+        build_fanout(schedule, config, root, &copies);
+        build_absorb(schedule, config, targets, &coords, &chains, &copies);
+        build_combine(schedule, config, &copies);
         if m.is_multiple_of(2) {
-            build_root_fix(&mut fwd, schedule, config, root, &copies);
+            build_root_fix(schedule, config, root, &copies);
         }
+        let end = schedule.num_stages();
 
-        // Emit forward, rotation, mirror. Ancilla loads inside the forward
-        // phase reverse into unloads at the mirrored points, where the
-        // uncomputation has just returned those copies to |0⟩.
-        let rotation =
-            Stage::Raman(vec![Gate::Rz(schedule.ancilla_qubit(copies[m - 1]), theta)].into());
-        let (forward, reversed, end) = fwd.into_stages();
-        for s in forward {
-            schedule.push(s);
-        }
-        schedule.push(rotation);
-        for s in reversed {
-            schedule.push(s);
-        }
-        *cur = end;
+        let rz = Gate::Rz(schedule.ancilla_qubit(copies[m - 1]), theta);
+        schedule.raman([rz]);
+        schedule.mirror_stages(start..end, (&cur.0, &cur.1));
     }
 }
 
-/// Current `(row_y, col_x)` AOD coordinates threaded between phases.
-type AxisCoords = (Vec<f64>, Vec<f64>);
-
-/// Records forward stages and produces the exact reverse sequence (all
-/// forward pulses are CNOT/CZ layers, which are self-inverse; Raman layers
-/// are Hadamard layers).
-struct PhaseBuilder {
-    stages: Vec<Stage>,
-    /// Coordinates *before* each stage (parallel to `stages`).
-    pre: Vec<(Vec<f64>, Vec<f64>)>,
-    cur: (Vec<f64>, Vec<f64>),
-}
-
-impl PhaseBuilder {
-    fn new(cur: (Vec<f64>, Vec<f64>)) -> Self {
-        PhaseBuilder {
-            stages: Vec::new(),
-            pre: Vec::new(),
-            cur,
+/// Emits a CNOT layer `control -> target` (H · CZ · H on targets); the
+/// closing Hadamard layer is a pool copy of the opening one.
+fn cnot_layer(schedule: &mut ScheduleBuilder, pairs: &[(AtomRef, AtomRef)]) {
+    let num_data = schedule.num_data;
+    let target_qubit = |t: AtomRef| -> Qubit {
+        match t {
+            AtomRef::Data(q) => Qubit::new(q),
+            AtomRef::Ancilla(a) => crate::schedule::ancilla_register_qubit(num_data, a),
         }
-    }
-
-    fn mv(&mut self, row_y: Vec<f64>, col_x: Vec<f64>) {
-        self.pre.push(self.cur.clone());
-        self.cur = (row_y.clone(), col_x.clone());
-        self.stages.push(Stage::Move { row_y, col_x });
-    }
-
-    fn raman(&mut self, gates: crate::RamanLayer) {
-        self.pre.push(self.cur.clone());
-        self.stages.push(Stage::Raman(gates));
-    }
-
-    fn rydberg(&mut self, ops: Vec<RydbergOp>) {
-        self.pre.push(self.cur.clone());
-        self.stages.push(Stage::Rydberg(ops));
-    }
-
-    /// Loads fresh ancillas; the reversal emits the matching unloads at the
-    /// mirrored position (where uncomputation has reset them to `|0⟩`).
-    fn load(&mut self, ops: Vec<TransferOp>) {
-        debug_assert!(ops.iter().all(|o| o.load), "phase transfers must be loads");
-        self.pre.push(self.cur.clone());
-        self.stages.push(Stage::Transfer(ops));
-    }
-
-    /// Emits a CNOT layer `control -> target` (H · CZ · H on targets).
-    fn cnot_layer(&mut self, schedule: &Schedule, pairs: &[(AtomRef, AtomRef)]) {
-        let h: crate::RamanLayer = pairs
-            .iter()
-            .map(|&(_, t)| Gate::H(schedule.qubit_of(t)))
-            .collect::<Vec<Gate>>()
-            .into();
-        self.raman(h.clone());
-        self.rydberg(pairs.iter().map(|&(c, t)| RydbergOp::cz(c, t)).collect());
-        self.raman(h);
-    }
-
-    /// Returns `(forward, reversed, final_coords)`.
-    fn into_stages(self) -> (Vec<Stage>, Vec<Stage>, AxisCoords) {
-        let mut reversed = Vec::with_capacity(self.stages.len());
-        for (i, stage) in self.stages.iter().enumerate().rev() {
-            match stage {
-                Stage::Move { .. } => {
-                    let (row_y, col_x) = self.pre[i].clone();
-                    reversed.push(Stage::Move { row_y, col_x });
-                }
-                Stage::Transfer(ops) => {
-                    reversed.push(Stage::Transfer(
-                        ops.iter()
-                            .map(|o| TransferOp {
-                                load: !o.load,
-                                ..*o
-                            })
-                            .collect(),
-                    ));
-                }
-                other => reversed.push(other.clone()),
-            }
-        }
-        let end = self
-            .pre
-            .first()
-            .cloned()
-            .unwrap_or_else(|| self.cur.clone());
-        // After the reversed stages the grid is back at the position that
-        // preceded the first forward stage.
-        let end = if self.stages.iter().any(|s| matches!(s, Stage::Move { .. })) {
-            end
-        } else {
-            self.cur.clone()
-        };
-        (self.stages, reversed, end)
-    }
+    };
+    let h = schedule.raman(pairs.iter().map(|&(_, t)| Gate::H(target_qubit(t))));
+    schedule.rydberg(pairs.iter().map(|&(c, t)| RydbergOp::cz(c, t)));
+    schedule.repeat_stage(h);
 }
 
 /// Greedy chain cover of the lower-right-domination DAG: repeatedly
@@ -500,8 +414,7 @@ fn choose_copies(chains: &[Vec<usize>], num_targets: usize, cap: usize) -> usize
 /// right before their round, so unused crosses stay empty and no loaded
 /// atom is ever caught between a pair's tightly-squeezed coordinates.
 fn build_fanout(
-    fwd: &mut PhaseBuilder,
-    schedule: &Schedule,
+    schedule: &mut ScheduleBuilder,
     config: &FpqaConfig,
     root: Qubit,
     copies: &[AncillaId],
@@ -511,7 +424,7 @@ fn build_fanout(
     let off = OFFSET_MIN + 0.35;
 
     // Seed: copy 0 flies to the root qubit.
-    fwd.load(vec![TransferOp {
+    schedule.transfer([TransferOp {
         ancilla: copies[0],
         row: 0,
         col: 0,
@@ -528,8 +441,8 @@ fn build_fanout(
         schedule.aod_cols,
         pitch,
     );
-    fwd.mv(seed_rows, seed_cols);
-    fwd.cnot_layer(
+    schedule.move_stage(&seed_rows, &seed_cols);
+    cnot_layer(
         schedule,
         &[(AtomRef::Data(root.raw()), AtomRef::Ancilla(copies[0]))],
     );
@@ -554,17 +467,12 @@ fn build_fanout(
             continue;
         }
         // Fresh copies join the grid now.
-        fwd.load(
-            pairs
-                .iter()
-                .map(|&(_, b)| TransferOp {
-                    ancilla: copies[b],
-                    row: b,
-                    col: b,
-                    load: true,
-                })
-                .collect(),
-        );
+        schedule.transfer(pairs.iter().map(|&(_, b)| TransferOp {
+            ancilla: copies[b],
+            row: b,
+            col: b,
+            load: true,
+        }));
         // Loaded set after the transfers: multiples of h (within range).
         let loaded: Vec<usize> = (0..m).filter(|i| i % h == 0).collect();
         // Assign slot positions: walk loaded indices; paired indices share
@@ -593,11 +501,10 @@ fn build_fanout(
             .iter()
             .map(|&(idx, y)| (idx, y - stage_base_y + stage_base_x))
             .collect();
-        fwd.mv(
-            anchored_coords(&row_anchors, schedule.aod_rows, pitch),
-            anchored_coords(&col_anchors, schedule.aod_cols, pitch),
-        );
-        fwd.cnot_layer(
+        let stage_rows = anchored_coords(&row_anchors, schedule.aod_rows, pitch);
+        let stage_cols = anchored_coords(&col_anchors, schedule.aod_cols, pitch);
+        schedule.move_stage(&stage_rows, &stage_cols);
+        cnot_layer(
             schedule,
             &pairs
                 .iter()
@@ -613,8 +520,7 @@ fn build_fanout(
 
 /// Longest-chain absorption: one pulse per (possibly truncated) chain.
 fn build_absorb(
-    fwd: &mut PhaseBuilder,
-    schedule: &Schedule,
+    schedule: &mut ScheduleBuilder,
     config: &FpqaConfig,
     targets: &[Qubit],
     coords: &[GridCoord],
@@ -629,25 +535,20 @@ fn build_absorb(
             let cols: Vec<usize> = segment.iter().map(|&t| coords[t].col).collect();
             let row_y = axis_coords(&rows, schedule.aod_rows, pitch, park_row_base(config));
             let col_x = axis_coords(&cols, schedule.aod_cols, pitch, park_col_base(config));
-            fwd.mv(row_y, col_x);
+            schedule.move_stage(&row_y, &col_x);
             let pairs: Vec<(AtomRef, AtomRef)> = segment
                 .iter()
                 .enumerate()
                 .map(|(k, &t)| (AtomRef::Data(targets[t].raw()), AtomRef::Ancilla(copies[k])))
                 .collect();
-            fwd.cnot_layer(schedule, &pairs);
+            cnot_layer(schedule, &pairs);
         }
     }
 }
 
 /// Adjacent-pair CNOT ladder folding all partial parities into the last
 /// copy.
-fn build_combine(
-    fwd: &mut PhaseBuilder,
-    schedule: &Schedule,
-    config: &FpqaConfig,
-    copies: &[AncillaId],
-) {
+fn build_combine(schedule: &mut ScheduleBuilder, config: &FpqaConfig, copies: &[AncillaId]) {
     let m = copies.len();
     if m < 2 {
         return;
@@ -667,11 +568,10 @@ fn build_combine(
         }
         let col_anchors: Vec<(usize, f64)> =
             row_anchors.iter().map(|&(i, y)| (i, y - base_y)).collect();
-        fwd.mv(
-            anchored_coords(&row_anchors, schedule.aod_rows, pitch),
-            anchored_coords(&col_anchors, schedule.aod_cols, pitch),
-        );
-        fwd.cnot_layer(
+        let ladder_rows = anchored_coords(&row_anchors, schedule.aod_rows, pitch);
+        let ladder_cols = anchored_coords(&col_anchors, schedule.aod_cols, pitch);
+        schedule.move_stage(&ladder_rows, &ladder_cols);
+        cnot_layer(
             schedule,
             &[(AtomRef::Ancilla(copies[k]), AtomRef::Ancilla(copies[k + 1]))],
         );
@@ -684,8 +584,7 @@ fn build_combine(
 /// *midpoints* (`pitch/2` off every SLM row and column), which keeps them
 /// `> 2.5·r_b` from every atom while preserving AOD order.
 fn build_root_fix(
-    fwd: &mut PhaseBuilder,
-    schedule: &Schedule,
+    schedule: &mut ScheduleBuilder,
     config: &FpqaConfig,
     root: Qubit,
     copies: &[AncillaId],
@@ -704,11 +603,10 @@ fn build_root_fix(
         .map(|i| (i, root_x - half - (m - 2 - i) as f64 * pitch))
         .collect();
     col_anchors.push((m - 1, root_x + off));
-    fwd.mv(
-        anchored_coords(&row_anchors, schedule.aod_rows, pitch),
-        anchored_coords(&col_anchors, schedule.aod_cols, pitch),
-    );
-    fwd.cnot_layer(
+    let fix_rows = anchored_coords(&row_anchors, schedule.aod_rows, pitch);
+    let fix_cols = anchored_coords(&col_anchors, schedule.aod_cols, pitch);
+    schedule.move_stage(&fix_rows, &fix_cols);
+    cnot_layer(
         schedule,
         &[(AtomRef::Data(root.raw()), AtomRef::Ancilla(copies[m - 1]))],
     );

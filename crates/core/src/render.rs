@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use qpilot_arch::Position;
 
 use crate::motion::initial_coords;
-use crate::{AncillaId, FpqaConfig, Schedule, Stage};
+use crate::{AncillaId, FpqaConfig, Schedule, StageRef};
 
 /// One renderable machine snapshot.
 #[derive(Debug, Clone)]
@@ -78,20 +78,22 @@ impl Frame {
 ///
 /// Panics if `stage_index >= schedule.stages.len()`.
 pub fn render_stage(schedule: &Schedule, config: &FpqaConfig, stage_index: usize) -> Frame {
-    assert!(stage_index < schedule.stages.len(), "stage out of range");
+    assert!(stage_index < schedule.num_stages(), "stage out of range");
     let (mut row_y, mut col_x) = initial_coords(schedule.aod_rows, schedule.aod_cols, config);
     let mut loaded: HashMap<AncillaId, (usize, usize)> = HashMap::new();
     let mut interacting = Vec::new();
-    for (i, stage) in schedule.stages.iter().enumerate().take(stage_index + 1) {
+    for (i, stage) in schedule.stages().enumerate().take(stage_index + 1) {
         match stage {
-            Stage::Move {
+            StageRef::Move {
                 row_y: new_rows,
                 col_x: new_cols,
             } => {
-                row_y.clone_from(new_rows);
-                col_x.clone_from(new_cols);
+                row_y.clear();
+                row_y.extend_from_slice(new_rows);
+                col_x.clear();
+                col_x.extend_from_slice(new_cols);
             }
-            Stage::Transfer(ops) => {
+            StageRef::Transfer(ops) => {
                 for op in ops {
                     if op.load {
                         loaded.insert(op.ancilla, (op.row, op.col));
@@ -100,7 +102,7 @@ pub fn render_stage(schedule: &Schedule, config: &FpqaConfig, stage_index: usize
                     }
                 }
             }
-            Stage::Rydberg(ops) if i == stage_index => {
+            StageRef::Rydberg(ops) if i == stage_index => {
                 let pos = |atom: crate::AtomRef| -> Position {
                     match atom {
                         crate::AtomRef::Data(q) => config.position_of(q),
@@ -134,8 +136,8 @@ pub fn render_stage(schedule: &Schedule, config: &FpqaConfig, stage_index: usize
 pub fn render_timeline(schedule: &Schedule, config: &FpqaConfig, max_frames: usize) -> String {
     let mut out = String::new();
     let mut frames = 0;
-    for (i, stage) in schedule.stages.iter().enumerate() {
-        if let Stage::Rydberg(ops) = stage {
+    for (i, stage) in schedule.stages().enumerate() {
+        if let StageRef::Rydberg(ops) = stage {
             if frames >= max_frames {
                 out.push_str("...\n");
                 break;
@@ -169,7 +171,7 @@ mod tests {
     #[test]
     fn frame_counts_atoms() {
         let (s, cfg) = compiled();
-        let frame = render_stage(&s, &cfg, s.stages.len() - 1);
+        let frame = render_stage(&s, &cfg, s.num_stages() - 1);
         assert_eq!(frame.data.len(), 4);
         // Last stage unloads the ancilla.
         assert!(frame.ancillas.is_empty());
@@ -181,9 +183,8 @@ mod tests {
         // Find the first Rydberg stage: the ancilla must be loaded & near
         // its partner.
         let idx = s
-            .stages
-            .iter()
-            .position(|st| matches!(st, Stage::Rydberg(_)))
+            .stages()
+            .position(|st| matches!(st, StageRef::Rydberg(_)))
             .expect("has pulses");
         let frame = render_stage(&s, &cfg, idx);
         assert_eq!(frame.ancillas.len(), 1);
@@ -196,9 +197,8 @@ mod tests {
     fn ascii_contains_data_and_ancilla_marks() {
         let (s, cfg) = compiled();
         let idx = s
-            .stages
-            .iter()
-            .position(|st| matches!(st, Stage::Rydberg(_)))
+            .stages()
+            .position(|st| matches!(st, StageRef::Rydberg(_)))
             .expect("has pulses");
         let art = render_stage(&s, &cfg, idx).to_ascii(&cfg);
         assert_eq!(art.matches('o').count() + art.matches('@').count(), 4);
@@ -224,6 +224,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn render_checks_stage_bounds() {
         let (s, cfg) = compiled();
-        render_stage(&s, &cfg, s.stages.len());
+        render_stage(&s, &cfg, s.num_stages());
     }
 }

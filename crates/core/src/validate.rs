@@ -21,7 +21,7 @@ use std::fmt;
 
 use qpilot_arch::{AodGrid, Position};
 
-use crate::{AtomRef, FpqaConfig, Schedule, Stage};
+use crate::{AtomRef, FpqaConfig, Schedule, StageRef};
 
 /// A successful validation's summary.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -39,6 +39,12 @@ pub struct ValidationReport {
 /// A validation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ValidateError {
+    /// The schedule's arena pools are inconsistent with its stage handles
+    /// (overlapping, out-of-order, or out-of-bounds ranges).
+    PoolIntegrity {
+        /// Explanation.
+        message: String,
+    },
     /// An AOD move violated ordering or dimensions.
     Aod {
         /// Stage index.
@@ -100,6 +106,7 @@ pub enum ValidateError {
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ValidateError::PoolIntegrity { message } => write!(f, "pool integrity: {message}"),
             ValidateError::Aod { stage, message } => write!(f, "stage {stage}: aod: {message}"),
             ValidateError::Transfer { stage, message } => {
                 write!(f, "stage {stage}: transfer: {message}")
@@ -150,6 +157,12 @@ pub fn validate_schedule(
     schedule: &Schedule,
     config: &FpqaConfig,
 ) -> Result<ValidationReport, ValidateError> {
+    // The geometric replay below reads stage payloads through their pool
+    // handles; certify the arena invariant first so a malformed handle
+    // cannot alias another stage's payload mid-replay.
+    schedule
+        .check_pools()
+        .map_err(|message| ValidateError::PoolIntegrity { message })?;
     let pitch = config.pitch_um();
     let slm = config.slm();
     // Initial AOD state: rows parked below the array, columns parked to the
@@ -166,22 +179,22 @@ pub fn validate_schedule(
     let mut loaded: HashMap<crate::AncillaId, (usize, usize)> = HashMap::new();
     let mut report = ValidationReport::default();
 
-    for (stage_idx, stage) in schedule.stages.iter().enumerate() {
+    for (stage_idx, stage) in schedule.stages().enumerate() {
         report.stages += 1;
         match stage {
-            Stage::Move { row_y, col_x } => {
-                let mv =
-                    aod.move_to(row_y.clone(), col_x.clone())
-                        .map_err(|e| ValidateError::Aod {
-                            stage: stage_idx,
-                            message: e.to_string(),
-                        })?;
+            StageRef::Move { row_y, col_x } => {
+                let mv = aod.move_to(row_y.to_vec(), col_x.to_vec()).map_err(|e| {
+                    ValidateError::Aod {
+                        stage: stage_idx,
+                        message: e.to_string(),
+                    }
+                })?;
                 let occupied: Vec<(usize, usize)> = loaded.values().copied().collect();
                 report
                     .move_max_displacements_um
                     .push(mv.max_displacement(occupied.iter()));
             }
-            Stage::Transfer(ops) => {
+            StageRef::Transfer(ops) => {
                 for op in ops {
                     if op.row >= schedule.aod_rows || op.col >= schedule.aod_cols {
                         return Err(ValidateError::Transfer {
@@ -230,7 +243,7 @@ pub fn validate_schedule(
                     }
                 }
             }
-            Stage::Raman(gates) => {
+            StageRef::Raman(gates) => {
                 for g in gates.iter() {
                     if !g.is_single_qubit() {
                         return Err(ValidateError::Raman {
@@ -255,7 +268,7 @@ pub fn validate_schedule(
                     }
                 }
             }
-            Stage::Rydberg(ops) => {
+            StageRef::Rydberg(ops) => {
                 report.rydberg_stages += 1;
                 check_rydberg(schedule, config, &aod, &loaded, stage_idx, ops)?;
             }
@@ -402,54 +415,46 @@ fn check_rydberg(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{RydbergOp, TransferOp};
+    use crate::{RydbergOp, ScheduleBuilder, TransferOp};
 
     fn config() -> FpqaConfig {
         FpqaConfig::for_qubits(4, 2) // 2x2 array, pitch 10
     }
 
-    fn load(s: &mut Schedule, row: usize, col: usize) -> crate::AncillaId {
-        let a = s.fresh_ancilla();
-        s.push(Stage::Transfer(vec![TransferOp {
+    fn builder() -> ScheduleBuilder {
+        ScheduleBuilder::new(4, 2, 2)
+    }
+
+    fn load(b: &mut ScheduleBuilder, row: usize, col: usize) -> crate::AncillaId {
+        let a = b.fresh_ancilla();
+        b.transfer([TransferOp {
             ancilla: a,
             row,
             col,
             load: true,
-        }]));
+        }]);
         a
     }
 
     #[test]
     fn valid_single_ancilla_schedule() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        let a = load(&mut s, 0, 0);
+        let mut b = builder();
+        let a = load(&mut b, 0, 0);
         // Ancilla next to data qubit 0 at (0, 0): offset 0.7 um up-left is
         // within r_b = 1.5.
-        s.push(Stage::Move {
-            row_y: vec![0.7, 30.0],
-            col_x: vec![0.7, 30.0],
-        });
-        s.push(Stage::Rydberg(vec![RydbergOp::cz(
-            AtomRef::Data(0),
-            AtomRef::Ancilla(a),
-        )]));
+        b.move_stage(&[0.7, 30.0], &[0.7, 30.0]);
+        b.rydberg([RydbergOp::cz(AtomRef::Data(0), AtomRef::Ancilla(a))]);
         // Fly to qubit 3 at (10, 10).
-        s.push(Stage::Move {
-            row_y: vec![10.7, 30.0],
-            col_x: vec![10.7, 30.0],
-        });
-        s.push(Stage::Rydberg(vec![RydbergOp::cz(
-            AtomRef::Ancilla(a),
-            AtomRef::Data(3),
-        )]));
-        s.push(Stage::Transfer(vec![TransferOp {
+        b.move_stage(&[10.7, 30.0], &[10.7, 30.0]);
+        b.rydberg([RydbergOp::cz(AtomRef::Ancilla(a), AtomRef::Data(3))]);
+        b.transfer([TransferOp {
             ancilla: a,
             row: 0,
             col: 0,
             load: false,
-        }]));
-        let report = validate_schedule(&s, &cfg).expect("schedule should be valid");
+        }]);
+        let report = validate_schedule(&b.finish(), &cfg).expect("schedule should be valid");
         assert_eq!(report.rydberg_stages, 2);
         assert_eq!(report.leftover_ancillas, 0);
         assert_eq!(report.move_max_displacements_um.len(), 2);
@@ -459,16 +464,13 @@ mod tests {
     #[test]
     fn unintended_interaction_detected() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        let _a = load(&mut s, 0, 0);
-        s.push(Stage::Move {
-            row_y: vec![0.7, 30.0],
-            col_x: vec![0.7, 30.0],
-        });
+        let mut b = builder();
+        let _a = load(&mut b, 0, 0);
+        b.move_stage(&[0.7, 30.0], &[0.7, 30.0]);
         // Intend nothing involving the ancilla: the ancilla still couples
         // to q0 -> unintended.
-        s.push(Stage::Rydberg(vec![]));
-        let err = validate_schedule(&s, &cfg).unwrap_err();
+        b.rydberg(std::iter::empty());
+        let err = validate_schedule(&b.finish(), &cfg).unwrap_err();
         assert!(
             matches!(err, ValidateError::UnintendedInteraction { .. }),
             "{err}"
@@ -478,14 +480,11 @@ mod tests {
     #[test]
     fn missed_interaction_detected() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        let a = load(&mut s, 0, 0);
+        let mut b = builder();
+        let a = load(&mut b, 0, 0);
         // Ancilla stays parked far away but the op claims a CZ.
-        s.push(Stage::Rydberg(vec![RydbergOp::cz(
-            AtomRef::Data(0),
-            AtomRef::Ancilla(a),
-        )]));
-        let err = validate_schedule(&s, &cfg).unwrap_err();
+        b.rydberg([RydbergOp::cz(AtomRef::Data(0), AtomRef::Ancilla(a))]);
+        let err = validate_schedule(&b.finish(), &cfg).unwrap_err();
         assert!(
             matches!(err, ValidateError::MissedInteraction { .. }),
             "{err}"
@@ -495,36 +494,30 @@ mod tests {
     #[test]
     fn hazard_zone_detected() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        let _a = load(&mut s, 0, 0);
+        let mut b = builder();
+        let _a = load(&mut b, 0, 0);
         // 2.0 um from q0: between r_b = 1.5 and safety 3.75.
-        s.push(Stage::Move {
-            row_y: vec![2.0, 30.0],
-            col_x: vec![0.0, 30.0],
-        });
-        s.push(Stage::Rydberg(vec![]));
-        let err = validate_schedule(&s, &cfg).unwrap_err();
+        b.move_stage(&[2.0, 30.0], &[0.0, 30.0]);
+        b.rydberg(std::iter::empty());
+        let err = validate_schedule(&b.finish(), &cfg).unwrap_err();
         assert!(matches!(err, ValidateError::Hazard { .. }), "{err}");
     }
 
     #[test]
     fn crossing_move_rejected() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        s.push(Stage::Move {
-            row_y: vec![10.0, 0.0],
-            col_x: vec![0.0, 10.0],
-        });
-        let err = validate_schedule(&s, &cfg).unwrap_err();
+        let mut b = builder();
+        b.move_stage(&[10.0, 0.0], &[0.0, 10.0]);
+        let err = validate_schedule(&b.finish(), &cfg).unwrap_err();
         assert!(matches!(err, ValidateError::Aod { .. }));
     }
 
     #[test]
     fn double_load_rejected() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        let a = s.fresh_ancilla();
-        s.push(Stage::Transfer(vec![
+        let mut b = builder();
+        let a = b.fresh_ancilla();
+        b.transfer([
             TransferOp {
                 ancilla: a,
                 row: 0,
@@ -537,55 +530,53 @@ mod tests {
                 col: 1,
                 load: true,
             },
-        ]));
-        let err = validate_schedule(&s, &cfg).unwrap_err();
+        ]);
+        let err = validate_schedule(&b.finish(), &cfg).unwrap_err();
         assert!(matches!(err, ValidateError::Transfer { .. }));
     }
 
     #[test]
     fn unload_of_unloaded_rejected() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        let a = s.fresh_ancilla();
-        s.push(Stage::Transfer(vec![TransferOp {
+        let mut b = builder();
+        let a = b.fresh_ancilla();
+        b.transfer([TransferOp {
             ancilla: a,
             row: 0,
             col: 0,
             load: false,
-        }]));
-        assert!(validate_schedule(&s, &cfg).is_err());
+        }]);
+        assert!(validate_schedule(&b.finish(), &cfg).is_err());
     }
 
     #[test]
     fn raman_on_unloaded_ancilla_rejected() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        let _ = s.fresh_ancilla();
-        s.push(Stage::Raman(
-            vec![qpilot_circuit::Gate::H(qpilot_circuit::Qubit::new(4))].into(),
-        ));
-        let err = validate_schedule(&s, &cfg).unwrap_err();
+        let mut b = builder();
+        let _ = b.fresh_ancilla();
+        b.raman([qpilot_circuit::Gate::H(qpilot_circuit::Qubit::new(4))]);
+        let err = validate_schedule(&b.finish(), &cfg).unwrap_err();
         assert!(matches!(err, ValidateError::Raman { .. }));
     }
 
     #[test]
     fn shared_atom_in_pulse_rejected() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        s.push(Stage::Rydberg(vec![
+        let mut b = builder();
+        b.rydberg([
             RydbergOp::cz(AtomRef::Data(0), AtomRef::Data(1)),
             RydbergOp::cz(AtomRef::Data(1), AtomRef::Data(2)),
-        ]));
-        let err = validate_schedule(&s, &cfg).unwrap_err();
+        ]);
+        let err = validate_schedule(&b.finish(), &cfg).unwrap_err();
         assert!(matches!(err, ValidateError::BadRydbergOp { .. }));
     }
 
     #[test]
     fn leftover_ancillas_reported() {
         let cfg = config();
-        let mut s = Schedule::new(4, 2, 2);
-        let _a = load(&mut s, 1, 1); // parked initially: no interactions
-        let report = validate_schedule(&s, &cfg).unwrap();
+        let mut b = builder();
+        let _a = load(&mut b, 1, 1); // parked initially: no interactions
+        let report = validate_schedule(&b.finish(), &cfg).unwrap();
         assert_eq!(report.leftover_ancillas, 1);
     }
 }

@@ -31,7 +31,9 @@ use std::fmt;
 use qpilot_circuit::{Gate, Qubit};
 
 use crate::json::{self, fmt_f64, Value};
-use crate::schedule::{AncillaId, AtomRef, RydbergKind, RydbergOp, Schedule, Stage, TransferOp};
+use crate::schedule::{
+    AncillaId, AtomRef, RydbergKind, RydbergOp, Schedule, ScheduleBuilder, StageRef, TransferOp,
+};
 
 /// The format tag written into and required from every document.
 pub const SCHEDULE_FORMAT: &str = "qpilot.schedule/v1";
@@ -75,7 +77,7 @@ fn schema(m: impl Into<String>) -> WireError {
 pub fn schedule_to_json(schedule: &Schedule) -> String {
     // Pre-size: large schedules (thousands of stages) dominate the
     // service's cold path, so avoid repeated reallocation.
-    let mut out = String::with_capacity(64 + schedule.stages.len() * 48);
+    let mut out = String::with_capacity(64 + schedule.num_stages() * 48);
     out.push_str("{\"format\":\"");
     out.push_str(SCHEDULE_FORMAT);
     out.push_str("\",\"num_data\":");
@@ -87,7 +89,7 @@ pub fn schedule_to_json(schedule: &Schedule) -> String {
     out.push_str(",\"aod_cols\":");
     out.push_str(&schedule.aod_cols.to_string());
     out.push_str(",\"stages\":[");
-    for (i, stage) in schedule.stages.iter().enumerate() {
+    for (i, stage) in schedule.stages().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -97,9 +99,12 @@ pub fn schedule_to_json(schedule: &Schedule) -> String {
     out
 }
 
-fn write_stage(out: &mut String, stage: &Stage) {
+/// Writes one stage in the `qpilot.schedule/v1` encoding (shared with the
+/// frozen legacy writer in [`crate::generic_reference`], which serialises
+/// the pre-arena layout to the same bytes).
+pub(crate) fn write_stage(out: &mut String, stage: StageRef<'_>) {
     match stage {
-        Stage::Raman(gates) => {
+        StageRef::Raman(gates) => {
             out.push_str("{\"kind\":\"raman\",\"gates\":[");
             for (i, g) in gates.iter().enumerate() {
                 if i > 0 {
@@ -109,7 +114,7 @@ fn write_stage(out: &mut String, stage: &Stage) {
             }
             out.push_str("]}");
         }
-        Stage::Transfer(ops) => {
+        StageRef::Transfer(ops) => {
             out.push_str("{\"kind\":\"transfer\",\"ops\":[");
             for (i, op) in ops.iter().enumerate() {
                 if i > 0 {
@@ -127,7 +132,7 @@ fn write_stage(out: &mut String, stage: &Stage) {
             }
             out.push_str("]}");
         }
-        Stage::Move { row_y, col_x } => {
+        StageRef::Move { row_y, col_x } => {
             out.push_str("{\"kind\":\"move\",\"row_y\":[");
             for (i, y) in row_y.iter().enumerate() {
                 if i > 0 {
@@ -144,7 +149,7 @@ fn write_stage(out: &mut String, stage: &Stage) {
             }
             out.push_str("]}");
         }
-        Stage::Rydberg(ops) => {
+        StageRef::Rydberg(ops) => {
             out.push_str("{\"kind\":\"rydberg\",\"ops\":[");
             for (i, op) in ops.iter().enumerate() {
                 if i > 0 {
@@ -357,23 +362,23 @@ pub fn schedule_from_value(doc: &Value) -> Result<Schedule, WireError> {
             .and_then(Value::as_usize)
             .ok_or_else(|| schema(format!("missing integer field `{k}`")))
     };
-    let mut schedule = Schedule::new(
+    let mut builder = ScheduleBuilder::new(
         field_u32("num_data")?,
         field_usize("aod_rows")?,
         field_usize("aod_cols")?,
     );
-    schedule.num_ancillas = field_u32("num_ancillas")?;
+    builder.set_num_ancillas(field_u32("num_ancillas")?);
     let stages = doc
         .get("stages")
         .and_then(Value::as_arr)
         .ok_or_else(|| schema("missing `stages` array"))?;
     for stage in stages {
-        schedule.push(stage_from_value(stage)?);
+        push_stage_from_value(&mut builder, stage)?;
     }
-    Ok(schedule)
+    Ok(builder.finish())
 }
 
-fn stage_from_value(v: &Value) -> Result<Stage, WireError> {
+fn push_stage_from_value(builder: &mut ScheduleBuilder, v: &Value) -> Result<(), WireError> {
     let kind = v
         .get("kind")
         .and_then(Value::as_str)
@@ -388,7 +393,7 @@ fn stage_from_value(v: &Value) -> Result<Stage, WireError> {
                 .iter()
                 .map(gate_from_value)
                 .collect::<Result<_, _>>()?;
-            Ok(Stage::Raman(layer.into()))
+            builder.raman(layer);
         }
         "transfer" => {
             let ops = v
@@ -415,7 +420,7 @@ fn stage_from_value(v: &Value) -> Result<Stage, WireError> {
                         })
                     })
                     .collect::<Result<_, WireError>>()?;
-            Ok(Stage::Transfer(parsed))
+            builder.transfer(parsed);
         }
         "move" => {
             let coords = |k: &str| -> Result<Vec<f64>, WireError> {
@@ -426,10 +431,8 @@ fn stage_from_value(v: &Value) -> Result<Stage, WireError> {
                     .map(|x| x.as_f64().ok_or_else(|| schema(format!("{k} entries"))))
                     .collect()
             };
-            Ok(Stage::Move {
-                row_y: coords("row_y")?,
-                col_x: coords("col_x")?,
-            })
+            let (row_y, col_x) = (coords("row_y")?, coords("col_x")?);
+            builder.move_stage(&row_y, &col_x);
         }
         "rydberg" => {
             let ops = v
@@ -450,10 +453,11 @@ fn stage_from_value(v: &Value) -> Result<Stage, WireError> {
                     })
                 })
                 .collect::<Result<_, WireError>>()?;
-            Ok(Stage::Rydberg(parsed))
+            builder.rydberg(parsed);
         }
-        other => Err(schema(format!("unknown stage kind `{other}`"))),
+        other => return Err(schema(format!("unknown stage kind `{other}`"))),
     }
+    Ok(())
 }
 
 fn atom_from_value(v: &Value) -> Result<AtomRef, WireError> {
@@ -498,33 +502,28 @@ mod tests {
     use super::*;
 
     fn sample_schedule() -> Schedule {
-        let mut s = Schedule::new(3, 2, 2);
-        let a = s.fresh_ancilla();
-        s.push(Stage::Transfer(vec![TransferOp {
+        let mut b = ScheduleBuilder::new(3, 2, 2);
+        let a = b.fresh_ancilla();
+        b.transfer([TransferOp {
             ancilla: a,
             row: 0,
             col: 1,
             load: true,
-        }]));
-        s.push(Stage::Move {
-            row_y: vec![0.5, 10.0],
-            col_x: vec![1.85, 11.85],
-        });
-        s.push(Stage::Raman(
-            vec![Gate::H(Qubit::new(3)), Gate::Rz(Qubit::new(0), -0.25)].into(),
-        ));
-        s.push(Stage::Rydberg(vec![
+        }]);
+        b.move_stage(&[0.5, 10.0], &[1.85, 11.85]);
+        b.raman([Gate::H(Qubit::new(3)), Gate::Rz(Qubit::new(0), -0.25)]);
+        b.rydberg([
             RydbergOp::cz(AtomRef::Data(0), AtomRef::Ancilla(a)),
             RydbergOp::cx(AtomRef::Ancilla(a), AtomRef::Data(2)),
             RydbergOp::zz(AtomRef::Data(1), AtomRef::Data(2), 0.7),
-        ]));
-        s.push(Stage::Transfer(vec![TransferOp {
+        ]);
+        b.transfer([TransferOp {
             ancilla: a,
             row: 0,
             col: 1,
             load: false,
-        }]));
-        s
+        }]);
+        b.finish()
     }
 
     #[test]

@@ -108,15 +108,20 @@ proptest! {
         }
     }
 
-    /// The optimised router and the preserved pre-PR router emit
-    /// byte-identical compiled programs on arbitrary CZ workloads.
+    /// The optimised router (arena IR) and the preserved pre-PR router
+    /// (frozen pre-arena IR) emit byte-identical serialised schedules on
+    /// arbitrary CZ workloads — each through its own writer.
     #[test]
     fn incremental_router_is_byte_identical(c in arb_cz_circuit(9, 18), cols in 2usize..5) {
         let cfg = FpqaConfig::for_qubits(9, cols);
         let ours = GenericRouter::new().route(&c, &cfg).expect("routing");
         let reference = route_reference(&c, &cfg, GenericRouterOptions::default())
             .expect("reference routing");
-        prop_assert_eq!(ours, reference);
+        prop_assert_eq!(
+            qpilot_core::wire::schedule_to_json(ours.schedule()),
+            reference.to_json()
+        );
+        prop_assert_eq!(ours.stats(), &reference.stats());
     }
 
     #[test]

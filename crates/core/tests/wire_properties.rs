@@ -1,18 +1,32 @@
-//! Property tests for the `qpilot.schedule/v1` wire format: round-trip
-//! identity (value- and byte-level) over both synthetic schedules
-//! covering every stage/op/atom/kind combination and real
-//! router-produced schedules.
+//! Property tests for the `qpilot.schedule/v1` wire format over the
+//! arena-pooled IR: round-trip identity (value- and byte-level) over both
+//! synthetic schedules covering every stage/op/atom/kind combination and
+//! real router-produced schedules, plus byte-identity of the arena
+//! serialiser against the frozen pre-arena writer in `generic_reference`
+//! and the validator's pool-integrity invariant.
 
 use proptest::prelude::*;
 
 use qpilot_circuit::{Circuit, Gate, Qubit};
 use qpilot_core::generic::GenericRouter;
+use qpilot_core::generic_reference::{LegacySchedule, LegacyStage};
 use qpilot_core::wire::{schedule_from_json, schedule_to_json};
 use qpilot_core::{
-    AncillaId, AtomRef, FpqaConfig, RydbergKind, RydbergOp, Schedule, Stage, TransferOp,
+    AncillaId, AtomRef, FpqaConfig, RydbergKind, RydbergOp, Schedule, ScheduleBuilder, TransferOp,
 };
 
 const N: u32 = 6;
+
+/// An owned stage description: the test-side value from which both the
+/// arena schedule (via `ScheduleBuilder`) and the frozen legacy layout
+/// are built.
+#[derive(Debug, Clone)]
+enum OwnedStage {
+    Raman(Vec<Gate>),
+    Transfer(Vec<TransferOp>),
+    Move { row_y: Vec<f64>, col_x: Vec<f64> },
+    Rydberg(Vec<RydbergOp>),
+}
 
 fn arb_atom() -> impl Strategy<Value = AtomRef> {
     prop_oneof![
@@ -40,9 +54,9 @@ fn arb_raman_gate() -> impl Strategy<Value = Gate> {
     ]
 }
 
-fn arb_stage() -> impl Strategy<Value = Stage> {
+fn arb_stage() -> impl Strategy<Value = OwnedStage> {
     prop_oneof![
-        prop::collection::vec(arb_raman_gate(), 0..6).prop_map(|gates| Stage::Raman(gates.into())),
+        prop::collection::vec(arb_raman_gate(), 0..6).prop_map(OwnedStage::Raman),
         prop::collection::vec(
             (
                 (0..4u32),
@@ -53,7 +67,7 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
             0..5
         )
         .prop_map(|ops| {
-            Stage::Transfer(
+            OwnedStage::Transfer(
                 ops.into_iter()
                     .map(|(a, row, col, load)| TransferOp {
                         ancilla: AncillaId(a),
@@ -68,9 +82,9 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
             prop::collection::vec(-50.0f64..50.0, 0..5),
             prop::collection::vec(-50.0f64..50.0, 0..5)
         )
-            .prop_map(|(row_y, col_x)| Stage::Move { row_y, col_x }),
+            .prop_map(|(row_y, col_x)| OwnedStage::Move { row_y, col_x }),
         prop::collection::vec((arb_atom(), arb_atom(), arb_kind()), 0..5).prop_map(|ops| {
-            Stage::Rydberg(
+            OwnedStage::Rydberg(
                 ops.into_iter()
                     .map(|(a, b, kind)| RydbergOp { a, b, kind })
                     .collect(),
@@ -79,21 +93,60 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
     ]
 }
 
-fn arb_schedule() -> impl Strategy<Value = Schedule> {
+type OwnedScheduleParts = (Vec<OwnedStage>, u32, usize, usize);
+
+fn arb_schedule_parts() -> impl Strategy<Value = OwnedScheduleParts> {
     (
         prop::collection::vec(arb_stage(), 0..12),
         0u32..5,
         1usize..5,
         1usize..5,
     )
-        .prop_map(|(stages, ancillas, rows, cols)| {
-            let mut s = Schedule::new(N, rows, cols);
-            s.num_ancillas = ancillas;
-            for stage in stages {
-                s.push(stage);
+}
+
+fn build_arena(parts: &OwnedScheduleParts) -> Schedule {
+    let (stages, ancillas, rows, cols) = parts;
+    let mut b = ScheduleBuilder::new(N, *rows, *cols);
+    b.set_num_ancillas(*ancillas);
+    for stage in stages {
+        match stage {
+            OwnedStage::Raman(gates) => {
+                b.raman(gates.iter().copied());
             }
-            s
-        })
+            OwnedStage::Transfer(ops) => {
+                b.transfer(ops.iter().copied());
+            }
+            OwnedStage::Move { row_y, col_x } => {
+                b.move_stage(row_y, col_x);
+            }
+            OwnedStage::Rydberg(ops) => {
+                b.rydberg(ops.iter().copied());
+            }
+        }
+    }
+    b.finish()
+}
+
+fn build_legacy(parts: &OwnedScheduleParts) -> LegacySchedule {
+    let (stages, ancillas, rows, cols) = parts;
+    LegacySchedule {
+        num_data: N,
+        num_ancillas: *ancillas,
+        aod_rows: *rows,
+        aod_cols: *cols,
+        stages: stages
+            .iter()
+            .map(|stage| match stage {
+                OwnedStage::Raman(gates) => LegacyStage::Raman(gates.as_slice().into()),
+                OwnedStage::Transfer(ops) => LegacyStage::Transfer(ops.clone()),
+                OwnedStage::Move { row_y, col_x } => LegacyStage::Move {
+                    row_y: row_y.clone(),
+                    col_x: col_x.clone(),
+                },
+                OwnedStage::Rydberg(ops) => LegacyStage::Rydberg(ops.clone()),
+            })
+            .collect(),
+    }
 }
 
 fn arb_cz_circuit() -> impl Strategy<Value = Circuit> {
@@ -110,7 +163,8 @@ fn arb_cz_circuit() -> impl Strategy<Value = Circuit> {
 proptest! {
     /// `parse ∘ serialize` is the identity on schedules.
     #[test]
-    fn schedule_round_trip_is_identity(s in arb_schedule()) {
+    fn schedule_round_trip_is_identity(parts in arb_schedule_parts()) {
+        let s = build_arena(&parts);
         let json = schedule_to_json(&s);
         let back = schedule_from_json(&json).expect("round trip parses");
         prop_assert_eq!(back, s);
@@ -119,10 +173,33 @@ proptest! {
     /// `serialize ∘ parse` is the identity on serialised bytes (canonical
     /// form), compared through the existing render path.
     #[test]
-    fn schedule_serialisation_is_canonical(s in arb_schedule()) {
+    fn schedule_serialisation_is_canonical(parts in arb_schedule_parts()) {
+        let s = build_arena(&parts);
         let once = schedule_to_json(&s);
         let twice = schedule_to_json(&schedule_from_json(&once).expect("parses"));
         prop_assert_eq!(once, twice);
+    }
+
+    /// The arena serialiser emits byte-for-byte the document the frozen
+    /// pre-arena writer emits for the same logical stages: the wire
+    /// format is a function of the stage sequence, not the storage
+    /// layout.
+    #[test]
+    fn arena_encoding_matches_pre_arena_encoding(parts in arb_schedule_parts()) {
+        let arena = build_arena(&parts);
+        let legacy = build_legacy(&parts);
+        prop_assert_eq!(schedule_to_json(&arena), legacy.to_json());
+    }
+
+    /// Builder-produced and wire-parsed schedules always satisfy the
+    /// arena pool invariant (handles tile the pools exactly), including
+    /// after a round trip.
+    #[test]
+    fn builder_and_parser_preserve_pool_integrity(parts in arb_schedule_parts()) {
+        let s = build_arena(&parts);
+        prop_assert!(s.check_pools().is_ok());
+        let back = schedule_from_json(&schedule_to_json(&s)).expect("parses");
+        prop_assert!(back.check_pools().is_ok());
     }
 
     /// Real router output round-trips too, and the parsed schedule renders

@@ -199,6 +199,40 @@ fn in_process_api_matches_wire_results() {
     server.shutdown();
 }
 
+/// The contract CI's service smoke depends on: `qpilotd --listen
+/// 127.0.0.1:0` binds an ephemeral port and prints the *actual* bound
+/// address in its readiness line, which scripts parse back instead of
+/// assuming a fixed (collision-prone) port.
+#[test]
+fn daemon_binary_announces_ephemeral_port_and_serves() {
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qpilotd"))
+        .args(["--listen", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn qpilotd");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut ready = String::new();
+    stdout.read_line(&mut ready).expect("readiness line");
+    let addr: std::net::SocketAddr = ready
+        .trim()
+        .strip_prefix("qpilotd listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {ready:?}"))
+        .parse()
+        .expect("readiness line carries the bound address");
+    assert_ne!(addr.port(), 0, "daemon must announce the real port");
+
+    let mut client = Client::connect(addr);
+    let pong = client.request("{\"op\":\"ping\"}");
+    assert_eq!(pong.get("op").and_then(Value::as_str), Some("pong"));
+    let bye = client.request("{\"op\":\"shutdown\"}");
+    assert_eq!(bye.get("ok"), Some(&Value::Bool(true)));
+
+    let status = child.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "daemon exit status: {status:?}");
+}
+
 #[test]
 fn malformed_lines_do_not_poison_the_connection() {
     let server = TcpServer::spawn(test_service(1, 4), "127.0.0.1:0").unwrap();
