@@ -1,11 +1,13 @@
 //! Compilation-service benchmark: measures the content-addressed cache's
-//! warm/cold ratio, burst behaviour under concurrent TCP clients, and
-//! compile-latency percentiles, then writes `BENCH_service.json`
+//! warm/cold ratio, restart persistence, exact coalescing, burst
+//! behaviour under concurrent TCP clients, and compile-latency
+//! percentiles, then writes `BENCH_service.json`
 //! (schema `qpilot.bench.service/v1`).
 //!
 //! ```text
 //! service_report [--qubits 100] [--factor 10] [--reps 5] [--clients 32]
-//!                [--per-client 4] [--workers N] [--out BENCH_service.json]
+//!                [--per-client 4] [--racers 8] [--workers N]
+//!                [--out BENCH_service.json]
 //! ```
 //!
 //! Measurements (all through the service boundary, so cold includes
@@ -16,6 +18,13 @@
 //! * **warm** — median warm-cache repeat of one request;
 //! * **identical** — byte equality of the cold response's schedule JSON
 //!   and every warm repeat's;
+//! * **restart** — compile against a `--store` directory, tear the
+//!   service down, open a fresh service on the same store, and repeat
+//!   the request: it must be a disk-recovered warm hit with
+//!   byte-identical schedule JSON;
+//! * **coalescing** — `--racers` threads race one cold fingerprint;
+//!   exactly one compile may run (`duplicate_compiles` must be 0) and
+//!   every response must carry the same bytes;
 //! * **burst** — `--clients` concurrent TCP connections each sending
 //!   `--per-client` compile requests (half shared, half distinct);
 //!   `dropped` counts requests without an `"ok":true` response and the
@@ -25,12 +34,14 @@
 //!
 //! With `--check <thresholds.json>` the freshly-written report is gated
 //! against `qpilot.bench.thresholds/v1` (see `qpilot_bench::check`): a
-//! warm/cold speedup below the floor, non-identical schedules, or any
-//! dropped burst request exits non-zero and fails the CI build.
+//! warm/cold or restart-warm speedup below its floor, non-identical
+//! schedules, duplicate coalesced compiles, or any dropped burst request
+//! exits non-zero and fails the CI build.
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use qpilot_bench::{arg_num, arg_value, check, default_threads, Table};
@@ -98,6 +109,103 @@ fn bench_warm_cold(service: &Service, qubits: u32, factor: usize, reps: usize) -
         warm_s: median(warm_samples),
         identical,
         schedule_bytes: baseline.entry.schedule_json.len(),
+    }
+}
+
+struct RestartResult {
+    cold_s: f64,
+    warm_s: f64,
+    identical: bool,
+    store_loaded: u64,
+}
+
+/// Compiles against a persistent store, restarts the service on the same
+/// directory, and measures the disk-recovered warm repeat.
+fn bench_restart(config: &ServiceConfig, qubits: u32, factor: usize, reps: usize) -> RestartResult {
+    let dir = std::env::temp_dir().join(format!("qpilot_service_report_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let stored = ServiceConfig {
+        store_dir: Some(dir.clone()),
+        ..config.clone()
+    };
+    let make = || {
+        CompileRequest::new(random_circuit(&RandomCircuitConfig::paper(
+            qubits, factor, 4242,
+        )))
+    };
+
+    let service = Service::new(stored.clone());
+    let t = Instant::now();
+    let cold = service.compile(make()).expect("restart cold compile");
+    let cold_s = t.elapsed().as_secs_f64();
+    assert!(!cold.cache_hit);
+    drop(service);
+
+    // A fresh service on the same directory must recover the working set
+    // and serve the repeat from the recovered cache. Repeats re-fingerprint
+    // a fresh circuit, exactly like the in-memory warm measurement.
+    let service = Service::new(stored);
+    let store_loaded = service.stats().store_loaded;
+    let mut identical = true;
+    let warm_samples: Vec<f64> = (0..reps.max(3))
+        .map(|_| {
+            let request = make();
+            let t = Instant::now();
+            let response = service.compile(request).expect("restart warm compile");
+            let dt = t.elapsed().as_secs_f64();
+            assert!(response.cache_hit, "restart repeat must hit");
+            identical &= response.entry.schedule_json == cold.entry.schedule_json;
+            dt
+        })
+        .collect();
+    assert_eq!(service.stats().compiles, 0, "restart must not recompile");
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RestartResult {
+        cold_s,
+        warm_s: median(warm_samples),
+        identical,
+        store_loaded,
+    }
+}
+
+struct CoalescingResult {
+    racers: usize,
+    compiles: u64,
+    coalesced: u64,
+    duplicate_compiles: u64,
+    all_identical: bool,
+}
+
+/// Races `racers` threads on one cold fingerprint; the waiter map must
+/// collapse them into exactly one compile.
+fn bench_coalescing(config: &ServiceConfig, racers: usize, qubits: u32) -> CoalescingResult {
+    let service = Service::new(config.clone());
+    let barrier = Arc::new(Barrier::new(racers));
+    let handles: Vec<_> = (0..racers)
+        .map(|_| {
+            let service = service.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let circuit = random_circuit(&RandomCircuitConfig::paper(qubits, 5, 777));
+                let request = CompileRequest::new(circuit);
+                barrier.wait();
+                service.compile(request).expect("racing compile")
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let all_identical = responses
+        .iter()
+        .all(|r| r.entry.schedule_json == responses[0].entry.schedule_json);
+    let stats = service.stats();
+    CoalescingResult {
+        racers,
+        compiles: stats.compiles,
+        coalesced: stats.coalesced,
+        duplicate_compiles: stats.compiles.saturating_sub(1),
+        all_identical,
     }
 }
 
@@ -179,6 +287,7 @@ fn main() {
     let reps: usize = arg_num("--reps", 5);
     let clients: usize = arg_num("--clients", 32);
     let per_client: usize = arg_num("--per-client", 4);
+    let racers: usize = arg_num("--racers", 8);
     let workers: usize = arg_num("--workers", default_threads());
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_service.json".to_string());
     let check_path = arg_value("--check");
@@ -188,17 +297,27 @@ fn main() {
         queue_capacity: 64,
         cache_capacity: 256,
         cache_shards: 16,
+        store_dir: None,
     };
 
     // Warm/cold on a dedicated service so burst traffic cannot pollute
     // the percentile window.
-    let service = Service::new(config);
+    let service = Service::new(config.clone());
     let wc = bench_warm_cold(&service, qubits, factor, reps);
     let speedup = wc.cold_s / wc.warm_s.max(1e-12);
     let stats = service.stats();
     drop(service);
 
-    let burst = bench_burst(Service::new(config), clients, per_client, qubits.min(20));
+    let restart = bench_restart(&config, qubits, factor, reps);
+    let restart_speedup = restart.cold_s / restart.warm_s.max(1e-12);
+    let coalescing = bench_coalescing(&config, racers, qubits.min(40));
+
+    let burst = bench_burst(
+        Service::new(config.clone()),
+        clients,
+        per_client,
+        qubits.min(20),
+    );
 
     let mut table = Table::new(&["metric", "value"]);
     table.row(vec![
@@ -214,6 +333,25 @@ fn main() {
     table.row(vec![
         "schedule size (bytes)".into(),
         wc.schedule_bytes.to_string(),
+    ]);
+    table.row(vec![
+        "restart-warm request (ms)".into(),
+        format!("{:.4}", restart.warm_s * 1e3),
+    ]);
+    table.row(vec![
+        "restart-warm speedup".into(),
+        format!("{restart_speedup:.1}x"),
+    ]);
+    table.row(vec![
+        "restart byte-identical".into(),
+        restart.identical.to_string(),
+    ]);
+    table.row(vec![
+        "coalescing compiles".into(),
+        format!(
+            "{}/{} racers ({} coalesced)",
+            coalescing.compiles, coalescing.racers, coalescing.coalesced
+        ),
     ]);
     table.row(vec![
         "p50 compile (ms)".into(),
@@ -240,13 +378,30 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"config\": {{\"qubits\": {qubits}, \"factor\": {factor}, \"reps\": {reps}, \
-         \"clients\": {clients}, \"per_client\": {per_client}, \"workers\": {workers}}},"
+         \"clients\": {clients}, \"per_client\": {per_client}, \"racers\": {racers}, \
+         \"workers\": {workers}}},"
     );
     let _ = writeln!(
         json,
         "  \"warm_cold\": {{\"cold_request_s\": {:.9}, \"warm_request_s\": {:.9}, \
          \"speedup\": {:.3}, \"schedules_identical\": {}, \"schedule_bytes\": {}}},",
         wc.cold_s, wc.warm_s, speedup, wc.identical, wc.schedule_bytes
+    );
+    let _ = writeln!(
+        json,
+        "  \"restart\": {{\"cold_request_s\": {:.9}, \"warm_request_s\": {:.9}, \
+         \"speedup\": {:.3}, \"schedules_identical\": {}, \"store_loaded\": {}}},",
+        restart.cold_s, restart.warm_s, restart_speedup, restart.identical, restart.store_loaded
+    );
+    let _ = writeln!(
+        json,
+        "  \"coalescing\": {{\"racers\": {}, \"compiles\": {}, \"coalesced\": {}, \
+         \"duplicate_compiles\": {}, \"all_identical\": {}}},",
+        coalescing.racers,
+        coalescing.compiles,
+        coalescing.coalesced,
+        coalescing.duplicate_compiles,
+        coalescing.all_identical
     );
     let _ = writeln!(
         json,
@@ -282,6 +437,15 @@ fn main() {
     println!("\nwrote {out_path}");
 
     assert!(wc.identical, "warm responses diverged from cold schedule");
+    assert!(
+        restart.identical,
+        "restart-warm responses diverged from the pre-restart schedule"
+    );
+    assert_eq!(
+        coalescing.duplicate_compiles, 0,
+        "racing identical requests compiled more than once"
+    );
+    assert!(coalescing.all_identical, "racing responses diverged");
     assert_eq!(burst.dropped, 0, "burst dropped {} requests", burst.dropped);
 
     if let Some(path) = check_path {

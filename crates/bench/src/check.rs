@@ -25,10 +25,18 @@
 //!   },
 //!   "service": {
 //!     "require_identical": true, "min_warm_speedup": 10.0,
+//!     "min_restart_warm_speedup": 10.0, "max_duplicate_compiles": 0,
 //!     "max_dropped": 0
 //!   }
 //! }
 //! ```
+//!
+//! The optional service keys `min_restart_warm_speedup` (floor on the
+//! disk-recovered warm repeat's speedup, with byte identity required
+//! whenever the report carries a `restart` section) and
+//! `max_duplicate_compiles` (ceiling — normally 0 — on extra compiles
+//! triggered by racing identical requests) gate the persistent store and
+//! the exact-coalescing paths respectively.
 //!
 //! Rows are matched by `qubits`; measured sizes without a thresholds
 //! entry are not gated (the full sweep and the CI smoke use different
@@ -157,6 +165,45 @@ pub fn check_service(report: &Value, thresholds: &Value) -> Vec<String> {
             ));
         }
     }
+    // Persistent-store gate: restart-warm speedup floor plus byte
+    // identity of the disk-recovered schedule.
+    if let Some(restart) = report.get("restart") {
+        if require_identical
+            && restart.get("schedules_identical").and_then(Value::as_bool) != Some(true)
+        {
+            violations.push(
+                "restart-warm responses are not byte-identical to the pre-restart schedule"
+                    .to_string(),
+            );
+        }
+        if let (Some(min), Some(got)) = (
+            num(gates, "min_restart_warm_speedup"),
+            num(restart, "speedup"),
+        ) {
+            if got < min {
+                violations.push(format!(
+                    "restart-warm speedup {got:.2} below threshold {min:.2}"
+                ));
+            }
+        }
+    } else if gates.get("min_restart_warm_speedup").is_some() {
+        violations.push("service report has no `restart` section".to_string());
+    }
+    // Coalescing gate: racing identical cold requests may compile once.
+    if let Some(max) = gates.get("max_duplicate_compiles").and_then(Value::as_u64) {
+        match report
+            .get("coalescing")
+            .and_then(|c| c.get("duplicate_compiles"))
+            .and_then(Value::as_u64)
+        {
+            Some(d) if d > max => violations.push(format!(
+                "coalescing ran {d} duplicate compile(s) (allowed: {max})"
+            )),
+            Some(_) => {}
+            None => violations
+                .push("service report has no `coalescing.duplicate_compiles` field".to_string()),
+        }
+    }
     let max_dropped = gates
         .get("max_dropped")
         .and_then(Value::as_u64)
@@ -215,6 +262,8 @@ mod tests {
                   {"qubits":100,"min_speedup":3.0,"min_alloc_ratio":20.0,
                    "max_allocs_incremental":1000}]},
                 "service":{"require_identical":true,"min_warm_speedup":10.0,
+                           "min_restart_warm_speedup":5.0,
+                           "max_duplicate_compiles":0,
                            "max_dropped":0}}"#,
         )
         .unwrap()
@@ -271,9 +320,25 @@ mod tests {
     }
 
     fn service_report(speedup: f64, identical: bool, dropped: u64) -> Value {
+        service_report_full(speedup, identical, dropped, 80.0, true, 0)
+    }
+
+    fn service_report_full(
+        speedup: f64,
+        identical: bool,
+        dropped: u64,
+        restart_speedup: f64,
+        restart_identical: bool,
+        duplicate_compiles: u64,
+    ) -> Value {
         json::parse(&format!(
             r#"{{"warm_cold":{{"speedup":{speedup},"schedules_identical":{identical}}},
-                 "burst":{{"dropped":{dropped}}}}}"#
+                 "restart":{{"speedup":{restart_speedup},
+                             "schedules_identical":{restart_identical}}},
+                 "coalescing":{{"racers":8,"compiles":{c},
+                                "duplicate_compiles":{duplicate_compiles}}},
+                 "burst":{{"dropped":{dropped}}}}}"#,
+            c = duplicate_compiles + 1
         ))
         .unwrap()
     }
@@ -287,6 +352,44 @@ mod tests {
     fn service_regression_trips_the_wall() {
         let violations = check_service(&service_report(2.0, false, 3), &thresholds());
         assert_eq!(violations.len(), 3, "{violations:?}");
+    }
+
+    #[test]
+    fn restart_regression_trips_the_wall() {
+        // Slow disk recovery and divergent recovered bytes are both
+        // violations.
+        let report = service_report_full(250.0, true, 0, 1.2, false, 0);
+        let violations = check_service(&report, &thresholds());
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(
+            violations[0].contains("restart-warm responses"),
+            "{violations:?}"
+        );
+        assert!(
+            violations[1].contains("restart-warm speedup"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_coalesced_compiles_trip_the_wall() {
+        let report = service_report_full(250.0, true, 0, 80.0, true, 3);
+        let violations = check_service(&report, &thresholds());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("duplicate"), "{violations:?}");
+    }
+
+    #[test]
+    fn missing_restart_and_coalescing_sections_are_violations_when_gated() {
+        // An old-format report must not silently pass a thresholds file
+        // that gates the new sections.
+        let report = json::parse(
+            r#"{"warm_cold":{"speedup":250.0,"schedules_identical":true},
+                "burst":{"dropped":0}}"#,
+        )
+        .unwrap();
+        let violations = check_service(&report, &thresholds());
+        assert_eq!(violations.len(), 2, "{violations:?}");
     }
 
     #[test]

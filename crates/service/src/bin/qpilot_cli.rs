@@ -2,14 +2,28 @@
 //!
 //! ```text
 //! qpilot-cli <ping|stats|shutdown> [--connect HOST:PORT]
-//! qpilot-cli compile [--connect HOST:PORT] <circuit source> [options]
+//! qpilot-cli compile [--connect HOST:PORT] [--router generic|qsim|qaoa]
+//!                    <workload source> [options]
 //!
-//! circuit source (exactly one):
+//! generic workload source (exactly one):
 //!   --qasm FILE            OpenQASM 2.0 file (`-` for stdin)
 //!   --random N,FACTOR,SEED the paper's random workload (factor×N CX)
 //!   --bv N[,SEED]          Bernstein–Vazirani with a random secret
 //!
-//! compile options:
+//! qsim workload (--router qsim):
+//!   --strings S1,S2,…      comma-separated Pauli strings (e.g. ZZII,IXXI)
+//!   --theta X              shared rotation angle (default 0.5)
+//!   --max-copies N         fan-out copy cap
+//!
+//! qaoa workload (--router qaoa), graph source (exactly one):
+//!   --graph N,P,SEED       Erdős–Rényi graph (edge probability P)
+//!   --edges "0-1,1-2"      explicit edge list (requires --qubits N)
+//!   --gamma X              cost angle (default 0.7)
+//!   --beta Y               mixer angle; omit to route bare cost layers
+//!   --anchors N            anchor-bucket search width
+//!   --no-column-extension  disable column extension
+//!
+//! shared compile options:
 //!   --cols N               SLM columns (default: square array)
 //!   --stage-cap N          generic-router stage cap
 //!   --no-schedule          ask the daemon to omit the schedule body
@@ -25,8 +39,11 @@ use std::net::TcpStream;
 
 use qpilot_circuit::Circuit;
 use qpilot_core::json::{self, Value};
-use qpilot_service::protocol::{circuit_to_value_json, compile_request_line};
+use qpilot_service::protocol::{
+    circuit_to_value_json, compile_request_line, qaoa_request_line, qsim_request_line,
+};
 use qpilot_workloads::bv::bernstein_vazirani_random;
+use qpilot_workloads::graphs::erdos_renyi;
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
 
 fn arg_value(name: &str) -> Option<String> {
@@ -103,6 +120,107 @@ fn load_circuit() -> Circuit {
     }
 }
 
+fn parse_opt_usize(flag: &str) -> Option<usize> {
+    arg_value(flag).map(|v| match v.parse() {
+        Ok(n) => n,
+        Err(_) => fail(&format!("{flag} needs a positive integer, got `{v}`")),
+    })
+}
+
+fn parse_opt_f64(flag: &str, default: f64) -> f64 {
+    match arg_value(flag) {
+        None => default,
+        Some(v) => match v.parse() {
+            Ok(x) => x,
+            Err(_) => fail(&format!("{flag} needs a number, got `{v}`")),
+        },
+    }
+}
+
+/// Builds the qsim compile line from `--strings`/`--theta`.
+fn qsim_request(cols: Option<usize>, include_schedule: bool) -> String {
+    let spec = arg_value("--strings")
+        .unwrap_or_else(|| fail("--router qsim needs --strings S1,S2,… (e.g. ZZII,IXXI)"));
+    let strings: Vec<String> = spec
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if strings.is_empty() {
+        fail("--strings needs at least one Pauli string");
+    }
+    let theta = parse_opt_f64("--theta", 0.5);
+    qsim_request_line(
+        &strings,
+        theta,
+        parse_opt_usize("--max-copies"),
+        cols,
+        include_schedule,
+    )
+}
+
+/// Builds the qaoa compile line from `--graph` or `--edges`/`--qubits`.
+fn qaoa_request(cols: Option<usize>, include_schedule: bool) -> String {
+    let (qubits, edges): (u32, Vec<(u32, u32)>) = match (arg_value("--graph"), arg_value("--edges"))
+    {
+        (Some(_), Some(_)) => fail("give either --graph or --edges, not both"),
+        (Some(spec), None) => {
+            let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+            let parsed: Option<(u32, f64, u64)> = match parts.as_slice() {
+                [n, p, seed] => match (n.parse(), p.parse(), seed.parse()) {
+                    (Ok(n), Ok(p), Ok(seed)) => Some((n, p, seed)),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let Some((n, p, seed)) = parsed else {
+                fail("--graph needs N,P,SEED (e.g. 12,0.4,7)");
+            };
+            let graph = erdos_renyi(n, p, seed);
+            (n, graph.edges().to_vec())
+        }
+        (None, Some(spec)) => {
+            let qubits = parse_opt_usize("--qubits")
+                .unwrap_or_else(|| fail("--edges requires --qubits N"))
+                as u32;
+            let edges: Vec<(u32, u32)> = spec
+                .split(',')
+                .map(|pair| {
+                    let mut ends = pair.trim().split('-');
+                    match (
+                        ends.next().and_then(|a| a.parse().ok()),
+                        ends.next().and_then(|b| b.parse().ok()),
+                        ends.next(),
+                    ) {
+                        (Some(a), Some(b), None) => (a, b),
+                        _ => fail(&format!("bad edge `{pair}`; expected U-V")),
+                    }
+                })
+                .collect();
+            (qubits, edges)
+        }
+        (None, None) => fail("--router qaoa needs --graph N,P,SEED or --edges \"0-1,…\""),
+    };
+    let gammas = [parse_opt_f64("--gamma", 0.7)];
+    let betas: Vec<f64> = arg_value("--beta")
+        .map(|v| match v.parse() {
+            Ok(b) => vec![b],
+            Err(_) => fail(&format!("--beta needs a number, got `{v}`")),
+        })
+        .unwrap_or_default();
+    let column_extension = has_flag("--no-column-extension").then_some(false);
+    qaoa_request_line(
+        qubits,
+        &edges,
+        &gammas,
+        &betas,
+        parse_opt_usize("--anchors"),
+        column_extension,
+        cols,
+        include_schedule,
+    )
+}
+
 fn main() {
     let op = std::env::args()
         .nth(1)
@@ -112,22 +230,23 @@ fn main() {
         "stats" => "{\"op\":\"stats\"}".to_string(),
         "shutdown" => "{\"op\":\"shutdown\"}".to_string(),
         "compile" => {
-            let circuit = load_circuit();
-            let parse_opt = |flag: &str| -> Option<usize> {
-                arg_value(flag).map(|v| match v.parse() {
-                    Ok(n) => n,
-                    Err(_) => fail(&format!("{flag} needs a positive integer, got `{v}`")),
-                })
-            };
-            let cols = parse_opt("--cols");
-            let stage_cap = parse_opt("--stage-cap");
+            let cols = parse_opt_usize("--cols");
             let include_schedule = !has_flag("--no-schedule");
-            compile_request_line(
-                &circuit_to_value_json(&circuit),
-                cols,
-                stage_cap,
-                include_schedule,
-            )
+            let router = arg_value("--router").unwrap_or_else(|| "generic".to_string());
+            match router.as_str() {
+                "generic" => {
+                    let circuit = load_circuit();
+                    compile_request_line(
+                        &circuit_to_value_json(&circuit),
+                        cols,
+                        parse_opt_usize("--stage-cap"),
+                        include_schedule,
+                    )
+                }
+                "qsim" => qsim_request(cols, include_schedule),
+                "qaoa" => qaoa_request(cols, include_schedule),
+                other => fail(&format!("unknown router `{other}` (generic|qsim|qaoa)")),
+            }
         }
         other => fail(&format!("unknown operation `{other}`")),
     };

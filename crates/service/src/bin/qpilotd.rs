@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! qpilotd [--listen HOST:PORT | --stdio] [--workers N] [--queue N]
-//!         [--cache N] [--shards N]
+//!         [--cache N] [--shards N] [--store DIR]
 //! ```
 //!
 //! Default transport is `--listen 127.0.0.1:7878`. The daemon prints
@@ -10,6 +10,12 @@
 //! that line), serves the line-delimited JSON protocol (see
 //! `qpilot_service::protocol`), and exits cleanly when a client sends
 //! `{"op":"shutdown"}`.
+//!
+//! With `--store DIR` the schedule cache is mirrored to disk as
+//! fingerprint-named blobs: a restarted daemon (clean exit *or*
+//! `SIGKILL`) recovers its working set from `DIR` before accepting
+//! connections, so previously compiled requests stay warm hits with
+//! byte-identical schedules. Corrupt or half-written blobs are skipped.
 
 use qpilot_service::{serve_stdio, Service, ServiceConfig, TcpServer};
 
@@ -28,13 +34,33 @@ fn arg_num<T: std::str::FromStr>(name: &str, default: T) -> T {
 
 fn main() {
     let defaults = ServiceConfig::default();
+    let store_dir = arg_value("--store").map(std::path::PathBuf::from);
     let config = ServiceConfig {
         workers: arg_num("--workers", defaults.workers),
         queue_capacity: arg_num("--queue", defaults.queue_capacity),
         cache_capacity: arg_num("--cache", defaults.cache_capacity),
         cache_shards: arg_num("--shards", defaults.cache_shards),
+        store_dir: store_dir.clone(),
     };
-    let service = Service::new(config);
+    let service = match Service::try_new(config) {
+        Ok(service) => service,
+        Err(e) => {
+            let dir = store_dir
+                .as_deref()
+                .map(|d| d.display().to_string())
+                .unwrap_or_default();
+            eprintln!("qpilotd: cannot open schedule store {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if store_dir.is_some() {
+        // stderr: stdout is the protocol stream in --stdio mode.
+        let stats = service.stats();
+        eprintln!(
+            "qpilotd store: recovered {} schedule(s)",
+            stats.store_loaded
+        );
+    }
     let stdio = std::env::args().any(|a| a == "--stdio");
     if stdio {
         if let Err(e) = serve_stdio(&service) {

@@ -112,17 +112,20 @@ impl ScheduleCache {
     }
 
     /// Inserts (or refreshes) an entry, evicting the least recently used
-    /// entry of the target shard if it is full.
-    pub fn insert(&self, key: Fingerprint, entry: Arc<CacheEntry>) {
+    /// entry of the target shard if it is full. Returns the evicted
+    /// entry's key so a persistent mirror (the daemon's `--store`) can
+    /// drop the matching blob.
+    pub fn insert(&self, key: Fingerprint, entry: Arc<CacheEntry>) -> Option<Fingerprint> {
         let evicted = self
             .shard(&key)
             .lock()
             .expect("cache shard lock")
             .insert(key, entry);
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        if evicted {
+        if evicted.is_some() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        evicted
     }
 
     /// Number of currently cached entries.
@@ -219,24 +222,25 @@ impl LruShard {
         Some(Arc::clone(&self.nodes[idx].value))
     }
 
-    /// Returns `true` if an unrelated entry was evicted to make room.
-    fn insert(&mut self, key: Fingerprint, value: Arc<CacheEntry>) -> bool {
+    /// Returns the key of an unrelated entry evicted to make room.
+    fn insert(&mut self, key: Fingerprint, value: Arc<CacheEntry>) -> Option<Fingerprint> {
         if let Some(&idx) = self.map.get(&key) {
             self.nodes[idx].value = value;
             if self.head != idx {
                 self.unlink(idx);
                 self.push_front(idx);
             }
-            return false;
+            return None;
         }
-        let mut evicted = false;
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL, "full shard has a tail");
             self.unlink(lru);
-            self.map.remove(&self.nodes[lru].key);
+            let lru_key = self.nodes[lru].key;
+            self.map.remove(&lru_key);
             self.free.push(lru);
-            evicted = true;
+            evicted = Some(lru_key);
         }
         let idx = match self.free.pop() {
             Some(idx) => {

@@ -7,15 +7,25 @@
 //!
 //! * [`pool::CompileRequest::fingerprint`] — a canonical, platform-stable
 //!   128-bit content hash of the request (built on
-//!   [`qpilot_circuit::fingerprint`]);
+//!   [`qpilot_circuit::fingerprint`]): router tag ⊕ workload ⊕
+//!   architecture ⊕ per-router options;
+//! * [`pool::Workload`] — the per-router payload: arbitrary circuits for
+//!   the generic router, Pauli-string evolutions for qsim, cost-layer
+//!   graphs for QAOA (the protocol's `"router"` tag);
 //! * [`cache::ScheduleCache`] — a sharded LRU keyed by that fingerprint,
 //!   holding the *serialised* `qpilot.schedule/v1` JSON
 //!   ([`qpilot_core::wire`]), so warm hits are a lookup plus a
 //!   reference-count bump;
+//! * [`store::ScheduleStore`] — the persistent mirror behind
+//!   `qpilotd --store <dir>`: fingerprint-named blobs written
+//!   atomically, with corruption-tolerant recovery, so a daemon restart
+//!   keeps its working set;
 //! * [`pool::Service`] — a bounded job queue feeding a worker pool
-//!   (backpressure on queue-full, per-worker router reuse);
+//!   (backpressure on queue-full, per-worker router reuse), with *exact*
+//!   request coalescing: concurrent identical misses run one compile and
+//!   all receive the same `Arc<str>`;
 //! * [`protocol`] — the line-delimited JSON request/response protocol;
-//! * [`server`] — stdio and TCP transports.
+//! * [`server`] — stdio and TCP transports with bounded request lines.
 //!
 //! Two binaries ship with the crate: **`qpilotd`** (the daemon) and
 //! **`qpilot-cli`** (a client). `cargo run --release -p qpilot-bench
@@ -48,9 +58,12 @@ pub mod cache;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use cache::{CacheCounters, CacheEntry, ScheduleCache};
 pub use pool::{
-    CompileRequest, CompileResponse, Service, ServiceConfig, ServiceError, ServiceStats,
+    CompileRequest, CompileResponse, RouterTag, Service, ServiceConfig, ServiceError, ServiceStats,
+    Workload,
 };
-pub use server::{serve_lines, serve_stdio, TcpServer};
+pub use server::{serve_lines, serve_stdio, TcpServer, MAX_REQUEST_LINE_BYTES};
+pub use store::{RecoveryReport, ScheduleStore};

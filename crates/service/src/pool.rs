@@ -1,40 +1,351 @@
 //! The compilation service: request fingerprinting, a bounded job queue
-//! feeding a worker pool, and latency accounting.
+//! feeding a worker pool, exact request coalescing, and latency
+//! accounting.
 //!
 //! Flow per [`CompileRequest`] (from any connection handler thread):
 //!
-//! 1. the request's content [`Fingerprint`] is computed (circuit ⊕
-//!    architecture ⊕ router options);
+//! 1. the request's content [`Fingerprint`] is computed (router tag ⊕
+//!    workload ⊕ architecture ⊕ per-router options);
 //! 2. the [`ScheduleCache`] is probed — a hit returns immediately with
 //!    the cached serialised schedule (no queueing, no compilation);
-//! 3. a miss enqueues a job on the bounded `std::sync::mpsc` queue. The
-//!    queue bound is the backpressure mechanism: [`Service::compile`]
-//!    blocks the submitting connection until a slot frees (so a burst
-//!    never drops requests), while [`Service::try_compile`] returns
-//!    [`ServiceError::Overloaded`] for callers that prefer shedding;
-//! 4. a worker pops the job, re-probes the cache (a concurrent duplicate
-//!    may have landed), compiles with its reused router, serialises once,
-//!    inserts, and answers the per-job reply channel.
+//! 3. a miss consults the in-flight waiter map: if an identical compile
+//!    is already queued or running, the request *coalesces* — it attaches
+//!    a reply channel and waits for that compile's result instead of
+//!    enqueueing a duplicate job. Exactly one compile runs per cold
+//!    fingerprint no matter how many clients race it, and every waiter
+//!    receives the same `Arc<str>` schedule;
+//! 4. otherwise the request becomes the *leader*: it registers the
+//!    fingerprint as in-flight and enqueues a job on the bounded
+//!    `std::sync::mpsc` queue. The queue bound is the backpressure
+//!    mechanism: [`Service::compile`] blocks the submitting connection
+//!    until a slot frees (so a burst never drops requests), while
+//!    [`Service::try_compile`] returns [`ServiceError::Overloaded`] for
+//!    callers that prefer shedding;
+//! 5. a worker pops the job, re-probes the cache, compiles with its
+//!    reused per-router state, serialises once, inserts (spilling to the
+//!    persistent [`store`](crate::store) when one is configured), then
+//!    answers the leader and drains every coalesced waiter.
 //!
-//! Workers reuse the per-worker router the same way
-//! `qpilot_bench::compile_batch` does; swap the scoped-thread pool for
-//! rayon when a registry is available.
+//! With `ServiceConfig::store_dir` set, the cache is mirrored to disk as
+//! fingerprint-named blobs of the canonical schedule JSON; a restarted
+//! service recovers its working set (in recency order) before serving.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use qpilot_circuit::{Circuit, Fingerprint, StableHasher};
+use qpilot_circuit::{Circuit, Fingerprint, Pauli, PauliString, StableHasher};
 use qpilot_core::generic::{GenericRouter, GenericRouterOptions};
+use qpilot_core::qaoa::{QaoaRouter, QaoaRouterOptions};
+use qpilot_core::qsim::{QsimRouter, QsimRouterOptions};
 use qpilot_core::wire::schedule_to_json;
-use qpilot_core::{FpqaConfig, RouteError};
+use qpilot_core::{CompiledProgram, FpqaConfig, RouteError};
 
 use crate::cache::{CacheCounters, CacheEntry, ScheduleCache};
+use crate::store::ScheduleStore;
+
+/// Which of Q-Pilot's routers a request targets (the protocol's
+/// `"router"` tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterTag {
+    /// The generic flying-ancilla router (arbitrary circuits).
+    #[default]
+    Generic,
+    /// The quantum-simulation router (Pauli-string evolutions).
+    Qsim,
+    /// The QAOA router (cost-layer graphs).
+    Qaoa,
+}
+
+impl RouterTag {
+    /// The wire name (`generic` / `qsim` / `qaoa`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouterTag::Generic => "generic",
+            RouterTag::Qsim => "qsim",
+            RouterTag::Qaoa => "qaoa",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<RouterTag> {
+        match s {
+            "generic" => Some(RouterTag::Generic),
+            "qsim" => Some(RouterTag::Qsim),
+            "qaoa" => Some(RouterTag::Qaoa),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RouterTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The per-router payload of a request, carrying that router's own
+/// options so distinct option sets can never share a fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// An arbitrary circuit for the generic router.
+    Generic {
+        /// The circuit to route.
+        circuit: Circuit,
+        /// Generic-router stage cap (`None` = AOD grid size).
+        stage_cap: Option<usize>,
+    },
+    /// Weighted Pauli-string evolutions for the qsim router.
+    Qsim {
+        /// `(string, angle)` pairs routed in order.
+        strings: Vec<(PauliString, f64)>,
+        /// Fan-out copy cap (`None` = AOD grid limit).
+        max_copies: Option<usize>,
+    },
+    /// A QAOA cost-layer graph for the QAOA router.
+    Qaoa {
+        /// Problem size (data qubits).
+        num_qubits: u32,
+        /// Cost-layer edges.
+        edges: Vec<(u32, u32)>,
+        /// Per-round `ZZ(γ)` angles (at least one).
+        gammas: Vec<f64>,
+        /// Per-round `Rx(β)` mixer angles: either empty (route bare cost
+        /// layers, one per `gamma`) or the same length as `gammas` (route
+        /// full rounds with Hadamard prologue and mixers).
+        betas: Vec<f64>,
+        /// Anchor-bucket search width (`None` = router default).
+        anchor_candidates: Option<usize>,
+        /// Column-extension toggle (`None` = router default).
+        column_extension: Option<bool>,
+    },
+}
+
+impl Workload {
+    /// The router this workload targets.
+    pub fn router(&self) -> RouterTag {
+        match self {
+            Workload::Generic { .. } => RouterTag::Generic,
+            Workload::Qsim { .. } => RouterTag::Qsim,
+            Workload::Qaoa { .. } => RouterTag::Qaoa,
+        }
+    }
+
+    /// Data-register width the workload needs.
+    fn num_qubits(&self) -> u32 {
+        match self {
+            Workload::Generic { circuit, .. } => circuit.num_qubits(),
+            Workload::Qsim { strings, .. } => strings
+                .iter()
+                .map(|(s, _)| s.num_qubits() as u32)
+                .max()
+                .unwrap_or(1),
+            Workload::Qaoa { num_qubits, .. } => *num_qubits,
+        }
+    }
+
+    /// Shape checks the routers themselves cannot express (they would
+    /// panic or silently misroute).
+    fn validate(&self) -> Result<(), String> {
+        match self {
+            Workload::Generic { .. } => Ok(()),
+            Workload::Qsim { strings, .. } => {
+                if strings.is_empty() {
+                    return Err("qsim request needs at least one Pauli string".into());
+                }
+                for (_, theta) in strings {
+                    if !theta.is_finite() {
+                        return Err("qsim angles must be finite".into());
+                    }
+                }
+                Ok(())
+            }
+            Workload::Qaoa {
+                num_qubits,
+                gammas,
+                betas,
+                ..
+            } => {
+                if *num_qubits == 0 {
+                    return Err("qaoa request needs at least one qubit".into());
+                }
+                if gammas.is_empty() {
+                    return Err("qaoa request needs at least one gamma".into());
+                }
+                if !betas.is_empty() && betas.len() != gammas.len() {
+                    return Err(format!(
+                        "qaoa betas ({}) must be empty or match gammas ({})",
+                        betas.len(),
+                        gammas.len()
+                    ));
+                }
+                if betas.is_empty() && gammas.len() != 1 {
+                    return Err("bare qaoa cost layers take exactly one gamma".into());
+                }
+                if gammas.iter().chain(betas).any(|a| !a.is_finite()) {
+                    return Err("qaoa angles must be finite".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn pauli_byte(p: Pauli) -> u8 {
+    match p {
+        Pauli::I => 0,
+        Pauli::X => 1,
+        Pauli::Y => 2,
+        Pauli::Z => 3,
+    }
+}
+
+fn hash_opt_usize(h: &mut StableHasher, v: Option<usize>) {
+    match v {
+        None => h.write_u8(0),
+        Some(n) => {
+            h.write_u8(1);
+            h.write_usize(n);
+        }
+    }
+}
+
+/// One compilation request: the workload (which selects the router and
+/// carries its options) plus the architecture shape. Equal requests (by
+/// content) share a fingerprint and therefore a cache entry; requests
+/// for different routers — or the same router with different options —
+/// never collide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// What to compile, and with which router.
+    pub workload: Workload,
+    /// SLM array columns (`None` = smallest square holding the register,
+    /// exactly [`FpqaConfig::square_for`]).
+    pub cols: Option<usize>,
+}
+
+impl CompileRequest {
+    /// A generic-router request with default architecture and options.
+    pub fn new(circuit: Circuit) -> Self {
+        CompileRequest {
+            workload: Workload::Generic {
+                circuit,
+                stage_cap: None,
+            },
+            cols: None,
+        }
+    }
+
+    /// A qsim request with a uniform rotation angle.
+    pub fn qsim(strings: Vec<PauliString>, theta: f64) -> Self {
+        CompileRequest {
+            workload: Workload::Qsim {
+                strings: strings.into_iter().map(|s| (s, theta)).collect(),
+                max_copies: None,
+            },
+            cols: None,
+        }
+    }
+
+    /// A depth-1 QAOA round request.
+    pub fn qaoa_round(num_qubits: u32, edges: Vec<(u32, u32)>, gamma: f64, beta: f64) -> Self {
+        CompileRequest {
+            workload: Workload::Qaoa {
+                num_qubits,
+                edges,
+                gammas: vec![gamma],
+                betas: vec![beta],
+                anchor_candidates: None,
+                column_extension: None,
+            },
+            cols: None,
+        }
+    }
+
+    /// The router this request dispatches to.
+    pub fn router(&self) -> RouterTag {
+        self.workload.router()
+    }
+
+    /// The FPQA configuration this request resolves to.
+    pub fn config(&self) -> FpqaConfig {
+        let n = self.workload.num_qubits().max(1);
+        match self.cols {
+            Some(cols) => FpqaConfig::for_qubits(n, cols.max(1)),
+            None => FpqaConfig::square_for(n),
+        }
+    }
+
+    /// The canonical content fingerprint: router tag, workload, derived
+    /// architecture and per-router options. Platform- and build-stable.
+    /// The tag byte namespaces each router's option encoding, so e.g. a
+    /// qsim `max_copies` can never collide with a generic `stage_cap`.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_str("qpilot.compile/v2");
+        self.config().fingerprint_into(&mut h);
+        match &self.workload {
+            Workload::Generic { circuit, stage_cap } => {
+                h.write_u8(0);
+                circuit.fingerprint_into(&mut h);
+                hash_opt_usize(&mut h, *stage_cap);
+            }
+            Workload::Qsim {
+                strings,
+                max_copies,
+            } => {
+                h.write_u8(1);
+                h.write_usize(strings.len());
+                for (s, theta) in strings {
+                    h.write_u32(s.num_qubits() as u32);
+                    for &p in s.paulis() {
+                        h.write_u8(pauli_byte(p));
+                    }
+                    h.write_f64(*theta);
+                }
+                hash_opt_usize(&mut h, *max_copies);
+            }
+            Workload::Qaoa {
+                num_qubits,
+                edges,
+                gammas,
+                betas,
+                anchor_candidates,
+                column_extension,
+            } => {
+                h.write_u8(2);
+                h.write_u32(*num_qubits);
+                h.write_usize(edges.len());
+                for &(a, b) in edges {
+                    h.write_u64((u64::from(a) << 32) | u64::from(b));
+                }
+                h.write_usize(gammas.len());
+                for &g in gammas {
+                    h.write_f64(g);
+                }
+                h.write_usize(betas.len());
+                for &b in betas {
+                    h.write_f64(b);
+                }
+                hash_opt_usize(&mut h, *anchor_candidates);
+                match column_extension {
+                    None => h.write_u8(0),
+                    Some(false) => h.write_u8(1),
+                    Some(true) => h.write_u8(2),
+                }
+            }
+        }
+        h.finish()
+    }
+}
 
 /// Tuning knobs for [`Service::new`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Compilation worker threads (floored at 1).
     pub workers: usize,
@@ -44,6 +355,8 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Cache shard count.
     pub cache_shards: usize,
+    /// Persistent schedule-store directory (`None` = in-memory only).
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -55,71 +368,16 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 256,
             cache_shards: 16,
+            store_dir: None,
         }
-    }
-}
-
-/// One compilation request: the circuit plus everything that selects the
-/// architecture and router behaviour. Equal requests (by content) share a
-/// fingerprint and therefore a cache entry.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CompileRequest {
-    /// The circuit to route.
-    pub circuit: Circuit,
-    /// SLM array columns (`None` = smallest square holding the register,
-    /// exactly [`FpqaConfig::square_for`]).
-    pub cols: Option<usize>,
-    /// Generic-router stage cap (`None` = AOD grid size).
-    pub stage_cap: Option<usize>,
-}
-
-impl CompileRequest {
-    /// A request with default architecture and router options.
-    pub fn new(circuit: Circuit) -> Self {
-        CompileRequest {
-            circuit,
-            cols: None,
-            stage_cap: None,
-        }
-    }
-
-    /// The FPQA configuration this request resolves to.
-    pub fn config(&self) -> FpqaConfig {
-        let n = self.circuit.num_qubits().max(1);
-        match self.cols {
-            Some(cols) => FpqaConfig::for_qubits(n, cols.max(1)),
-            None => FpqaConfig::square_for(n),
-        }
-    }
-
-    /// Router options this request resolves to.
-    pub fn router_options(&self) -> GenericRouterOptions {
-        GenericRouterOptions {
-            stage_cap: self.stage_cap,
-        }
-    }
-
-    /// The canonical content fingerprint: circuit, derived architecture
-    /// and router options. Platform- and build-stable.
-    pub fn fingerprint(&self) -> Fingerprint {
-        let mut h = StableHasher::new();
-        h.write_str("qpilot.compile/v1");
-        self.circuit.fingerprint_into(&mut h);
-        self.config().fingerprint_into(&mut h);
-        match self.stage_cap {
-            None => h.write_u8(0),
-            Some(cap) => {
-                h.write_u8(1);
-                h.write_usize(cap);
-            }
-        }
-        h.finish()
     }
 }
 
 /// Why a request failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
+    /// The request's workload is malformed (caught before compilation).
+    InvalidRequest(String),
     /// The router rejected the request.
     Route(RouteError),
     /// The job queue is full ([`Service::try_compile`] only).
@@ -133,6 +391,7 @@ pub enum ServiceError {
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ServiceError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             ServiceError::Route(e) => write!(f, "{e}"),
             ServiceError::Overloaded => {
                 write!(f, "service overloaded: compile queue is full, retry later")
@@ -150,8 +409,13 @@ impl std::error::Error for ServiceError {}
 pub struct CompileResponse {
     /// The request fingerprint (the cache key).
     pub fingerprint: Fingerprint,
+    /// The router that served (or would have served) the request.
+    pub router: RouterTag,
     /// `true` if served from cache without compiling.
     pub cache_hit: bool,
+    /// `true` if this request attached to a concurrent identical
+    /// compile instead of running its own.
+    pub coalesced: bool,
     /// The cached entry (serialised schedule + stats).
     pub entry: Arc<CacheEntry>,
 }
@@ -167,6 +431,12 @@ pub struct ServiceStats {
     pub cache_entries: usize,
     /// Compilations executed by the worker pool.
     pub compiles: u64,
+    /// Requests that attached to an in-flight identical compile.
+    pub coalesced: u64,
+    /// Schedules spilled to the persistent store (0 without `--store`).
+    pub store_persisted: u64,
+    /// Schedules recovered from the persistent store at startup.
+    pub store_loaded: u64,
     /// Median compile wall-clock (seconds) over the recent window.
     pub p50_compile_s: f64,
     /// 99th-percentile compile wall-clock (seconds).
@@ -175,10 +445,93 @@ pub struct ServiceStats {
     pub workers: usize,
 }
 
+type Reply = mpsc::Sender<Result<CompileResponse, ServiceError>>;
+
 struct Job {
     request: CompileRequest,
     fingerprint: Fingerprint,
-    reply: mpsc::Sender<Result<CompileResponse, ServiceError>>,
+    reply: Reply,
+}
+
+/// Per-worker router state: one instance of each router, rebuilt only
+/// when a request's options differ from the previous job's (the batch
+/// compilation reuse pattern).
+struct WorkerRouters {
+    generic: GenericRouter,
+    generic_opts: GenericRouterOptions,
+    qsim: QsimRouter,
+    qsim_opts: QsimRouterOptions,
+    qaoa: QaoaRouter,
+    qaoa_opts: QaoaRouterOptions,
+}
+
+impl WorkerRouters {
+    fn new() -> Self {
+        WorkerRouters {
+            generic: GenericRouter::new(),
+            generic_opts: GenericRouterOptions::default(),
+            qsim: QsimRouter::new(),
+            qsim_opts: QsimRouterOptions::default(),
+            qaoa: QaoaRouter::new(),
+            qaoa_opts: QaoaRouterOptions::default(),
+        }
+    }
+
+    fn route(
+        &mut self,
+        workload: &Workload,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, RouteError> {
+        match workload {
+            Workload::Generic { circuit, stage_cap } => {
+                let options = GenericRouterOptions {
+                    stage_cap: *stage_cap,
+                };
+                if options != self.generic_opts {
+                    self.generic = GenericRouter::with_options(options);
+                    self.generic_opts = options;
+                }
+                self.generic.route(circuit, config)
+            }
+            Workload::Qsim {
+                strings,
+                max_copies,
+            } => {
+                let options = QsimRouterOptions {
+                    max_copies: *max_copies,
+                };
+                if options != self.qsim_opts {
+                    self.qsim = QsimRouter::with_options(options);
+                    self.qsim_opts = options;
+                }
+                self.qsim.route_weighted(strings, config)
+            }
+            Workload::Qaoa {
+                num_qubits,
+                edges,
+                gammas,
+                betas,
+                anchor_candidates,
+                column_extension,
+            } => {
+                let defaults = QaoaRouterOptions::default();
+                let options = QaoaRouterOptions {
+                    anchor_candidates: anchor_candidates.unwrap_or(defaults.anchor_candidates),
+                    column_extension: column_extension.unwrap_or(defaults.column_extension),
+                };
+                if options != self.qaoa_opts {
+                    self.qaoa = QaoaRouter::with_options(options);
+                    self.qaoa_opts = options;
+                }
+                if betas.is_empty() {
+                    self.qaoa.route_edges(*num_qubits, edges, gammas[0], config)
+                } else {
+                    self.qaoa
+                        .route_qaoa_rounds(*num_qubits, edges, gammas, betas, config)
+                }
+            }
+        }
+    }
 }
 
 /// State shared with worker threads.
@@ -186,24 +539,42 @@ struct WorkerCtx {
     cache: ScheduleCache,
     latencies: LatencyWindow,
     compiles: AtomicU64,
+    coalesced: AtomicU64,
+    /// Fingerprints with a compile queued or running, mapping to the
+    /// reply channels of every coalesced waiter. Presence of a key —
+    /// even with no waiters yet — marks the fingerprint as in-flight.
+    inflight: Mutex<HashMap<Fingerprint, Vec<Reply>>>,
+    store: Option<ScheduleStore>,
+    store_loaded: u64,
 }
 
 impl WorkerCtx {
-    /// Compile-and-cache on a miss; double-checks the cache first so
-    /// concurrent duplicate requests compile once in the common case.
-    /// The re-probe is untracked: the request already counted its miss.
-    fn run(&self, router: &GenericRouter, job: &Job) -> Result<CompileResponse, ServiceError> {
+    fn take_waiters(&self, fingerprint: &Fingerprint) -> Vec<Reply> {
+        self.inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(fingerprint)
+            .unwrap_or_default()
+    }
+
+    /// Compile-and-cache on a miss; double-checks the cache first so a
+    /// request that raced past the waiter map (enqueued after the
+    /// previous leader finished) never compiles twice. The re-probe is
+    /// untracked: the request already counted its miss.
+    fn run(&self, routers: &mut WorkerRouters, job: &Job) -> Result<CompileResponse, ServiceError> {
         if let Some(entry) = self.cache.get_untracked(&job.fingerprint) {
             return Ok(CompileResponse {
                 fingerprint: job.fingerprint,
+                router: job.request.router(),
                 cache_hit: true,
+                coalesced: false,
                 entry,
             });
         }
         let config = job.request.config();
         let started = Instant::now();
-        let program = router
-            .route(&job.request.circuit, &config)
+        let program = routers
+            .route(&job.request.workload, &config)
             .map_err(ServiceError::Route)?;
         let stats = *program.stats();
         let schedule_json: Arc<str> = schedule_to_json(program.schedule()).into();
@@ -213,12 +584,20 @@ impl WorkerCtx {
             stats,
             compile_s,
         });
-        self.cache.insert(job.fingerprint, Arc::clone(&entry));
+        let evicted = self.cache.insert(job.fingerprint, Arc::clone(&entry));
+        if let Some(store) = &self.store {
+            store.persist(job.fingerprint, &entry);
+            if let Some(evicted) = evicted {
+                store.remove(&evicted);
+            }
+        }
         self.compiles.fetch_add(1, Ordering::Relaxed);
         self.latencies.record(compile_s);
         Ok(CompileResponse {
             fingerprint: job.fingerprint,
+            router: job.request.router(),
             cache_hit: false,
+            coalesced: false,
             entry,
         })
     }
@@ -251,12 +630,48 @@ impl Drop for Shared {
 
 impl Service {
     /// Starts the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.store_dir` is set but cannot be opened; use
+    /// [`Service::try_new`] to handle that gracefully.
     pub fn new(config: ServiceConfig) -> Self {
+        Service::try_new(config).expect("cannot open schedule store")
+    }
+
+    /// Starts the worker pool, recovering the persistent store's working
+    /// set first when `config.store_dir` is set.
+    ///
+    /// # Errors
+    ///
+    /// Store-directory creation/listing failures.
+    pub fn try_new(config: ServiceConfig) -> std::io::Result<Self> {
         let workers = config.workers.max(1);
+        let cache = ScheduleCache::new(config.cache_capacity, config.cache_shards);
+        let (store, store_loaded) = match &config.store_dir {
+            None => (None, 0),
+            Some(dir) => {
+                let (store, recovered) = ScheduleStore::open(dir)?;
+                let loaded = recovered.len() as u64;
+                // Replay oldest-first so in-memory recency matches the
+                // index; capacity overflow evicts (and unlinks) the
+                // oldest blobs.
+                for rec in recovered {
+                    if let Some(evicted) = cache.insert(rec.fingerprint, rec.entry) {
+                        store.remove(&evicted);
+                    }
+                }
+                (Some(store), loaded)
+            }
+        };
         let ctx = Arc::new(WorkerCtx {
-            cache: ScheduleCache::new(config.cache_capacity, config.cache_shards),
+            cache,
             latencies: LatencyWindow::new(4096),
             compiles: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
+            store,
+            store_loaded,
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -265,28 +680,18 @@ impl Service {
                 let rx = Arc::clone(&rx);
                 let ctx = Arc::clone(&ctx);
                 std::thread::spawn(move || {
-                    // Each worker owns one router for its whole lifetime
-                    // (the batch-compilation reuse pattern). Options vary
-                    // per request, so the router is rebuilt only when a
-                    // request's options differ from the previous job's.
-                    let mut router = GenericRouter::new();
-                    let mut current = GenericRouterOptions::default();
+                    let mut routers = WorkerRouters::new();
                     loop {
                         let job = match rx.lock().expect("job queue lock").recv() {
                             Ok(job) => job,
                             Err(_) => break, // queue closed: shut down
                         };
-                        let options = job.request.router_options();
-                        if options != current {
-                            router = GenericRouter::with_options(options);
-                            current = options;
-                        }
                         // Contain panics: the wire layer validates inputs,
                         // but a panicking job must cost one response, not
                         // a worker thread (a shrinking pool would end in
                         // every client blocking on a queue nobody drains).
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            ctx.run(&router, &job)
+                            ctx.run(&mut routers, &job)
                         }))
                         .unwrap_or_else(|payload| {
                             let message = payload
@@ -296,12 +701,23 @@ impl Service {
                                 .unwrap_or_else(|| "unknown panic".to_string());
                             Err(ServiceError::Internal(message))
                         });
+                        // Drain the coalesced waiters *after* the cache
+                        // insert (inside `run`): any submitter arriving
+                        // later either hits the cache or starts a fresh
+                        // in-flight entry. Waiters share the leader's
+                        // entry Arc and are marked coalesced.
+                        for waiter in ctx.take_waiters(&job.fingerprint) {
+                            let _ = waiter.send(result.clone().map(|r| CompileResponse {
+                                coalesced: true,
+                                ..r
+                            }));
+                        }
                         let _ = job.reply.send(result);
                     }
                 })
             })
             .collect();
-        Service {
+        Ok(Service {
             shared: Arc::new(Shared {
                 ctx,
                 queue: Mutex::new(Some(tx)),
@@ -309,7 +725,7 @@ impl Service {
                 workers,
                 handles: Mutex::new(handles),
             }),
-        }
+        })
     }
 
     /// Handles one request, blocking while the job queue is full
@@ -317,7 +733,8 @@ impl Service {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Route`] if the router rejects the circuit,
+    /// [`ServiceError::InvalidRequest`] for malformed workloads,
+    /// [`ServiceError::Route`] if the router rejects the workload,
     /// [`ServiceError::ShuttingDown`] if the pool stops mid-request.
     pub fn compile(&self, request: CompileRequest) -> Result<CompileResponse, ServiceError> {
         self.submit(request, false)
@@ -325,7 +742,8 @@ impl Service {
 
     /// Like [`Service::compile`] but fails fast with
     /// [`ServiceError::Overloaded`] instead of blocking when the queue is
-    /// full.
+    /// full. Coalescing onto an already-running identical compile is not
+    /// shedding: such requests wait for the in-flight result.
     ///
     /// # Errors
     ///
@@ -340,42 +758,99 @@ impl Service {
         fail_fast: bool,
     ) -> Result<CompileResponse, ServiceError> {
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        request
+            .workload
+            .validate()
+            .map_err(ServiceError::InvalidRequest)?;
         let fingerprint = request.fingerprint();
+        let ctx = &self.shared.ctx;
         // Fast path: serve hits from the caller thread; the worker pool
         // only ever sees misses.
-        if let Some(entry) = self.shared.ctx.cache.get(&fingerprint) {
+        if let Some(entry) = ctx.cache.get(&fingerprint) {
             return Ok(CompileResponse {
                 fingerprint,
+                router: request.router(),
                 cache_hit: true,
+                coalesced: false,
                 entry,
             });
         }
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let job = Job {
-            request,
-            fingerprint,
-            reply: reply_tx,
-        };
-        {
-            let guard = self.shared.queue.lock().expect("queue lock");
-            let tx = guard.as_ref().ok_or(ServiceError::ShuttingDown)?;
-            if fail_fast {
-                match tx.try_send(job) {
-                    Ok(()) => {}
-                    Err(mpsc::TrySendError::Full(_)) => return Err(ServiceError::Overloaded),
-                    Err(mpsc::TrySendError::Disconnected(_)) => {
-                        return Err(ServiceError::ShuttingDown)
+        let mut request = Some(request);
+        loop {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            // Exact coalescing: the first miss for a fingerprint becomes
+            // the leader (registers the in-flight entry, enqueues the one
+            // job); every concurrent miss attaches its reply channel
+            // instead.
+            let is_leader = {
+                let mut inflight = ctx.inflight.lock().expect("inflight lock");
+                match inflight.entry(fingerprint) {
+                    Entry::Occupied(mut waiters) => {
+                        waiters.get_mut().push(reply_tx.clone());
+                        false
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(Vec::new());
+                        true
                     }
                 }
-            } else {
-                // Blocking send while holding the queue lock would
-                // serialise all submitters; clone the sender out instead.
-                let tx = tx.clone();
-                drop(guard);
-                tx.send(job).map_err(|_| ServiceError::ShuttingDown)?;
+            };
+            if !is_leader {
+                ctx.coalesced.fetch_add(1, Ordering::Relaxed);
+                let result = reply_rx.recv().map_err(|_| ServiceError::ShuttingDown)?;
+                // A blocking caller coalesced under a fail-fast leader
+                // can see that leader's `Overloaded`; its own contract is
+                // to block, so it re-submits (re-probing the cache and,
+                // if still cold, leading with a *blocking* enqueue).
+                if !fail_fast && matches!(result, Err(ServiceError::Overloaded)) {
+                    if let Some(entry) = ctx.cache.get_untracked(&fingerprint) {
+                        return Ok(CompileResponse {
+                            fingerprint,
+                            router: request.as_ref().expect("unsent request").router(),
+                            cache_hit: true,
+                            coalesced: false,
+                            entry,
+                        });
+                    }
+                    continue;
+                }
+                return result;
             }
+            let job = Job {
+                request: request.take().expect("leader submits once"),
+                fingerprint,
+                reply: reply_tx,
+            };
+            if let Err(e) = self.enqueue(job, fail_fast) {
+                // Leadership failed before a worker could take over: the
+                // waiters that attached in the window get the same error
+                // (blocking waiters retry above), or nobody would ever
+                // answer them.
+                for waiter in ctx.take_waiters(&fingerprint) {
+                    let _ = waiter.send(Err(e.clone()));
+                }
+                return Err(e);
+            }
+            return reply_rx.recv().map_err(|_| ServiceError::ShuttingDown)?;
         }
-        reply_rx.recv().map_err(|_| ServiceError::ShuttingDown)?
+    }
+
+    fn enqueue(&self, job: Job, fail_fast: bool) -> Result<(), ServiceError> {
+        let guard = self.shared.queue.lock().expect("queue lock");
+        let tx = guard.as_ref().ok_or(ServiceError::ShuttingDown)?;
+        if fail_fast {
+            match tx.try_send(job) {
+                Ok(()) => Ok(()),
+                Err(mpsc::TrySendError::Full(_)) => Err(ServiceError::Overloaded),
+                Err(mpsc::TrySendError::Disconnected(_)) => Err(ServiceError::ShuttingDown),
+            }
+        } else {
+            // Blocking send while holding the queue lock would serialise
+            // all submitters; clone the sender out instead.
+            let tx = tx.clone();
+            drop(guard);
+            tx.send(job).map_err(|_| ServiceError::ShuttingDown)
+        }
     }
 
     /// A statistics snapshot.
@@ -387,6 +862,9 @@ impl Service {
             cache: ctx.cache.counters(),
             cache_entries: ctx.cache.len(),
             compiles: ctx.compiles.load(Ordering::Relaxed),
+            coalesced: ctx.coalesced.load(Ordering::Relaxed),
+            store_persisted: ctx.store.as_ref().map_or(0, ScheduleStore::persisted),
+            store_loaded: ctx.store_loaded,
             p50_compile_s: p50,
             p99_compile_s: p99,
             workers: self.shared.workers,
@@ -453,6 +931,7 @@ impl LatencyWindow {
 mod tests {
     use super::*;
     use qpilot_core::wire::schedule_from_json;
+    use std::sync::Barrier;
 
     fn small_circuit(seed: u32) -> Circuit {
         let mut c = Circuit::new(4);
@@ -461,13 +940,18 @@ mod tests {
         c
     }
 
-    fn service() -> Service {
-        Service::new(ServiceConfig {
+    fn config() -> ServiceConfig {
+        ServiceConfig {
             workers: 2,
             queue_capacity: 4,
             cache_capacity: 32,
             cache_shards: 4,
-        })
+            store_dir: None,
+        }
+    }
+
+    fn service() -> Service {
+        Service::new(config())
     }
 
     #[test]
@@ -482,6 +966,7 @@ mod tests {
             .expect("warm compile");
         assert!(second.cache_hit);
         assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(first.router, RouterTag::Generic);
         // Byte identity, and in fact pointer identity.
         assert_eq!(first.entry.schedule_json, second.entry.schedule_json);
         assert!(Arc::ptr_eq(&first.entry, &second.entry));
@@ -493,7 +978,10 @@ mod tests {
         let req = CompileRequest::new(small_circuit(1));
         let config = req.config();
         let response = svc.compile(req.clone()).unwrap();
-        let direct = GenericRouter::new().route(&req.circuit, &config).unwrap();
+        let Workload::Generic { circuit, .. } = &req.workload else {
+            unreachable!()
+        };
+        let direct = GenericRouter::new().route(circuit, &config).unwrap();
         let parsed = schedule_from_json(&response.entry.schedule_json).unwrap();
         assert_eq!(&parsed, direct.schedule());
         assert_eq!(response.entry.stats, *direct.stats());
@@ -504,8 +992,11 @@ mod tests {
         let svc = service();
         let base = CompileRequest::new(small_circuit(2));
         let capped = CompileRequest {
-            stage_cap: Some(1),
-            ..base.clone()
+            workload: Workload::Generic {
+                circuit: small_circuit(2),
+                stage_cap: Some(1),
+            },
+            cols: None,
         };
         let wide = CompileRequest {
             cols: Some(4),
@@ -524,33 +1015,148 @@ mod tests {
     }
 
     #[test]
-    fn route_errors_propagate() {
-        let svc = service();
-        // 2 data qubits on a 1-column array, but a gate spanning them can
-        // still route; instead use a config mismatch: too many qubits for
-        // the explicit column count cannot happen (config derives from the
-        // circuit), so drive the error with an empty register edge case.
-        let mut wide = Circuit::new(40);
-        wide.cz(0, 39);
-        let req = CompileRequest {
-            circuit: wide,
-            cols: Some(1),
-            stage_cap: None,
+    fn router_tags_never_share_fingerprints() {
+        // A qsim ZZ evolution, a QAOA edge, and the equivalent generic
+        // circuit all describe "entangle qubits 0 and 1" — the tag byte
+        // must still keep their cache keys apart.
+        let mut c = Circuit::new(2);
+        c.zz(0, 1, 0.5);
+        let generic = CompileRequest::new(c);
+        let qsim = CompileRequest::qsim(vec!["ZZ".parse().unwrap()], 0.5);
+        let qaoa = CompileRequest {
+            workload: Workload::Qaoa {
+                num_qubits: 2,
+                edges: vec![(0, 1)],
+                gammas: vec![0.5],
+                betas: vec![],
+                anchor_candidates: None,
+                column_extension: None,
+            },
+            cols: None,
         };
-        // A 40x1 array is legal, so this actually routes; assert ok to
-        // document that cols is a shape knob, not a validator.
-        assert!(svc.compile(req).is_ok());
+        let fps = [
+            generic.fingerprint(),
+            qsim.fingerprint(),
+            qaoa.fingerprint(),
+        ];
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[0], fps[2]);
+        assert_ne!(fps[1], fps[2]);
     }
 
     #[test]
-    fn concurrent_identical_burst_compiles_once_or_twice_but_serves_all() {
+    fn per_router_options_split_fingerprints() {
+        let qsim = CompileRequest::qsim(vec!["ZZZ".parse().unwrap()], 0.25);
+        let mut qsim_capped = qsim.clone();
+        if let Workload::Qsim { max_copies, .. } = &mut qsim_capped.workload {
+            *max_copies = Some(1);
+        }
+        assert_ne!(qsim.fingerprint(), qsim_capped.fingerprint());
+
+        let qaoa = CompileRequest::qaoa_round(4, vec![(0, 1), (2, 3)], 0.7, 0.3);
+        let mut qaoa_narrow = qaoa.clone();
+        if let Workload::Qaoa {
+            anchor_candidates, ..
+        } = &mut qaoa_narrow.workload
+        {
+            *anchor_candidates = Some(1);
+        }
+        let mut qaoa_nocol = qaoa.clone();
+        if let Workload::Qaoa {
+            column_extension, ..
+        } = &mut qaoa_nocol.workload
+        {
+            *column_extension = Some(false);
+        }
+        assert_ne!(qaoa.fingerprint(), qaoa_narrow.fingerprint());
+        assert_ne!(qaoa.fingerprint(), qaoa_nocol.fingerprint());
+        assert_ne!(qaoa_narrow.fingerprint(), qaoa_nocol.fingerprint());
+    }
+
+    #[test]
+    fn qsim_and_qaoa_requests_compile_and_hit() {
         let svc = service();
-        let handles: Vec<_> = (0..8)
+        let qsim =
+            CompileRequest::qsim(vec!["ZZIZ".parse().unwrap(), "XXII".parse().unwrap()], 0.4);
+        let cold = svc.compile(qsim.clone()).expect("qsim compile");
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.router, RouterTag::Qsim);
+        let warm = svc.compile(qsim).expect("qsim repeat");
+        assert!(warm.cache_hit);
+        assert_eq!(warm.entry.schedule_json, cold.entry.schedule_json);
+
+        let qaoa = CompileRequest::qaoa_round(4, vec![(0, 1), (1, 2), (2, 3)], 0.7, 0.3);
+        let cold = svc.compile(qaoa.clone()).expect("qaoa compile");
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.router, RouterTag::Qaoa);
+        assert!(svc.compile(qaoa).unwrap().cache_hit);
+        assert_eq!(svc.stats().compiles, 2);
+    }
+
+    #[test]
+    fn invalid_workloads_are_rejected_before_the_queue() {
+        let svc = service();
+        let empty_qsim = CompileRequest::qsim(vec![], 0.5);
+        assert!(matches!(
+            svc.compile(empty_qsim),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        let mismatched = CompileRequest {
+            workload: Workload::Qaoa {
+                num_qubits: 3,
+                edges: vec![(0, 1)],
+                gammas: vec![0.1, 0.2],
+                betas: vec![0.3],
+                anchor_candidates: None,
+                column_extension: None,
+            },
+            cols: None,
+        };
+        assert!(matches!(
+            svc.compile(mismatched),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        // The pool is still healthy.
+        assert!(svc.compile(CompileRequest::new(small_circuit(9))).is_ok());
+    }
+
+    #[test]
+    fn route_errors_propagate_to_coalesced_waiters_too() {
+        let svc = service();
+        // A self-loop edge is rejected by the QAOA router (not at parse
+        // level — the workload shape is fine).
+        let bad = CompileRequest::qaoa_round(3, vec![(1, 1)], 0.7, 0.3);
+        let handles: Vec<_> = (0..4)
             .map(|_| {
                 let svc = svc.clone();
+                let bad = bad.clone();
+                std::thread::spawn(move || svc.compile(bad))
+            })
+            .collect();
+        for h in handles {
+            assert!(matches!(h.join().unwrap(), Err(ServiceError::Route(_))));
+        }
+    }
+
+    #[test]
+    fn racing_cold_requests_compile_exactly_once() {
+        // The coalescing exactness contract: N threads race one cold
+        // fingerprint; exactly one compile runs, all N answers share the
+        // same bytes, and the coalesced counter accounts for the rest.
+        const RACERS: usize = 8;
+        let svc = Service::new(ServiceConfig {
+            workers: 4,
+            ..config()
+        });
+        let barrier = Arc::new(Barrier::new(RACERS));
+        let handles: Vec<_> = (0..RACERS)
+            .map(|_| {
+                let svc = svc.clone();
+                let barrier = Arc::clone(&barrier);
                 std::thread::spawn(move || {
+                    barrier.wait();
                     svc.compile(CompileRequest::new(small_circuit(3)))
-                        .expect("burst compile")
+                        .expect("racing compile")
                 })
             })
             .collect();
@@ -559,11 +1165,23 @@ mod tests {
         let first_json = &responses[0].entry.schedule_json;
         for r in &responses {
             assert_eq!(&r.entry.schedule_json, first_json);
+            assert!(Arc::ptr_eq(&r.entry, &responses[0].entry));
         }
         let stats = svc.stats();
-        assert_eq!(stats.requests, 8);
-        // All workers that actually ran compiled the same fingerprint.
-        assert!(stats.compiles <= 2, "double-check bounds duplicate work");
+        assert_eq!(stats.requests, RACERS as u64);
+        assert_eq!(stats.compiles, 1, "coalescing must be exact");
+        let compiled = responses
+            .iter()
+            .filter(|r| !r.cache_hit && !r.coalesced)
+            .count();
+        let coalesced = responses.iter().filter(|r| r.coalesced).count();
+        assert_eq!(compiled, 1, "exactly one leader");
+        assert_eq!(stats.coalesced as usize, coalesced);
+        // Everyone else either coalesced or arrived after the insert.
+        assert_eq!(
+            compiled + coalesced + responses.iter().filter(|r| r.cache_hit).count(),
+            RACERS
+        );
     }
 
     #[test]
@@ -578,9 +1196,71 @@ mod tests {
         // not double-count, so hits + misses == requests.
         assert_eq!(stats.cache.hits + stats.cache.misses, stats.requests);
         assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.coalesced, 0);
         assert!(stats.p50_compile_s > 0.0);
         assert!(stats.p99_compile_s >= stats.p50_compile_s);
         assert_eq!(stats.cache_entries, 1);
+    }
+
+    #[test]
+    fn persistent_store_round_trips_across_service_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "qpilot_pool_store_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stored_config = ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..config()
+        };
+        let svc = Service::new(stored_config.clone());
+        let cold = svc
+            .compile(CompileRequest::new(small_circuit(6)))
+            .expect("cold compile");
+        assert!(!cold.cache_hit);
+        assert_eq!(svc.stats().store_persisted, 1);
+        drop(svc);
+
+        let svc = Service::new(stored_config);
+        assert_eq!(svc.stats().store_loaded, 1);
+        let warm = svc
+            .compile(CompileRequest::new(small_circuit(6)))
+            .expect("restart-warm compile");
+        assert!(warm.cache_hit, "restart must keep the working set");
+        assert_eq!(warm.entry.schedule_json, cold.entry.schedule_json);
+        assert_eq!(warm.entry.stats, cold.entry.stats);
+        assert_eq!(svc.stats().compiles, 0, "no recompilation after restart");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_eviction_unlinks_blobs() {
+        let dir = std::env::temp_dir().join(format!(
+            "qpilot_pool_evict_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 2,
+            cache_shards: 1,
+            store_dir: Some(dir.clone()),
+        });
+        for seed in 0..4 {
+            svc.compile(CompileRequest::new(small_circuit(seed)))
+                .unwrap();
+        }
+        drop(svc);
+        let blobs = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".schedule.json"))
+            .count();
+        assert_eq!(blobs, 2, "store mirrors the capacity-bounded cache");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,28 +9,48 @@
 //!
 //! -> {"op":"compile","circuit":{"num_qubits":4,"gates":[["cz",0,1]]}}
 //! -> {"op":"compile","qasm":"OPENQASM 2.0;\nqreg q[4];\ncz q[0], q[1];"}
-//! <- {"ok":true,"op":"compile","fingerprint":"…32 hex…","cache":"miss",
-//!     "compile_ms":0.42,"stats":{…},"schedule":{…qpilot.schedule/v1…}}
+//! -> {"op":"compile","router":"qsim","strings":["ZZII","IXXI"],"theta":0.5}
+//! -> {"op":"compile","router":"qaoa","qubits":4,"edges":[[0,1],[2,3]],
+//!     "gamma":0.7,"beta":0.3}
+//! <- {"ok":true,"op":"compile","router":"generic","fingerprint":"…32 hex…",
+//!     "cache":"miss","compile_ms":0.42,"stats":{…},
+//!     "schedule":{…qpilot.schedule/v1…}}
 //!
 //! -> {"op":"stats"}
-//! <- {"ok":true,"op":"stats","requests":2,"hits":1,…}
+//! <- {"ok":true,"op":"stats","requests":2,"hits":1,"coalesced":0,…}
 //!
 //! -> {"op":"shutdown"}
 //! <- {"ok":true,"op":"shutdown"}
 //! ```
 //!
-//! `compile` options: `"cols"` (SLM columns; default square),
-//! `"stage_cap"` (generic-router stage cap), `"schedule":false` to omit
-//! the schedule body (fingerprint + stats only — useful for warming).
-//! Errors come back as `{"ok":false,"error":"…"}` and never tear down
-//! the connection; the `"retry"` flag marks transient overload.
+//! The `"router"` tag selects the workload shape (default `generic`):
+//!
+//! * `generic` — `"circuit"` object or `"qasm"` string (exactly one);
+//!   option `"stage_cap"`.
+//! * `qsim` — `"strings"` (array of Pauli strings) with a shared
+//!   `"theta"` or a parallel `"angles"` array (exactly one); option
+//!   `"max_copies"`.
+//! * `qaoa` — `"qubits"` and `"edges"` (array of `[u, v]` pairs), with
+//!   `"gamma"`/`"gammas"` and optionally `"beta"`/`"betas"` (absent
+//!   betas route bare cost layers); options `"anchors"`,
+//!   `"column_extension"`.
+//!
+//! Shared `compile` options: `"cols"` (SLM columns; default square),
+//! `"schedule":false` to omit the schedule body (fingerprint + stats
+//! only — useful for warming). The `"cache"` response field is `"miss"`,
+//! `"hit"`, or `"coalesced"` (attached to a concurrent identical
+//! compile). Errors come back as `{"ok":false,"error":"…"}` and never
+//! tear down the connection; the `"retry"` flag marks transient
+//! overload.
 
-use qpilot_circuit::Circuit;
+use qpilot_circuit::{Circuit, PauliString};
 use qpilot_core::json::{self, json_str, Value};
 use qpilot_core::wire::{gate_from_value, write_gate};
 use qpilot_core::ScheduleStats;
 
-use crate::pool::{CompileRequest, CompileResponse, Service, ServiceError, ServiceStats};
+use crate::pool::{
+    CompileRequest, CompileResponse, RouterTag, Service, ServiceError, ServiceStats, Workload,
+};
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,38 +86,172 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "compile" => {
-            let circuit = circuit_from_request(&doc)?;
-            let cols = match doc.get("cols") {
-                None | Some(Value::Null) => None,
-                Some(v) => Some(
-                    v.as_usize()
-                        .filter(|&c| c > 0)
-                        .ok_or("`cols` must be a positive integer")?,
-                ),
+            let router = match doc.get("router") {
+                None | Some(Value::Null) => RouterTag::Generic,
+                Some(v) => {
+                    let name = v.as_str().ok_or("`router` must be a string")?;
+                    RouterTag::parse(name)
+                        .ok_or_else(|| format!("unknown router `{name}` (generic|qsim|qaoa)"))?
+                }
             };
-            let stage_cap = match doc.get("stage_cap") {
-                None | Some(Value::Null) => None,
-                Some(v) => Some(
-                    v.as_usize()
-                        .filter(|&c| c > 0)
-                        .ok_or("`stage_cap` must be a positive integer")?,
-                ),
+            let workload = match router {
+                RouterTag::Generic => generic_workload(&doc)?,
+                RouterTag::Qsim => qsim_workload(&doc)?,
+                RouterTag::Qaoa => qaoa_workload(&doc)?,
             };
+            let cols = opt_positive(&doc, "cols")?;
             let include_schedule = match doc.get("schedule") {
                 None => true,
                 Some(v) => v.as_bool().ok_or("`schedule` must be a boolean")?,
             };
             Ok(Request::Compile {
-                request: CompileRequest {
-                    circuit,
-                    cols,
-                    stage_cap,
-                },
+                request: CompileRequest { workload, cols },
                 include_schedule,
             })
         }
         other => Err(format!("unknown op `{other}`")),
     }
+}
+
+/// Parses an optional positive-integer field.
+fn opt_positive(doc: &Value, key: &str) -> Result<Option<usize>, String> {
+    match doc.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => Ok(Some(
+            v.as_usize()
+                .filter(|&c| c > 0)
+                .ok_or(format!("`{key}` must be a positive integer"))?,
+        )),
+    }
+}
+
+/// Rejects fields belonging to a different router's workload shape —
+/// a typo'd request should fail loudly, not silently compile something
+/// other than what the client meant.
+fn reject_foreign_fields(doc: &Value, router: RouterTag, foreign: &[&str]) -> Result<(), String> {
+    for key in foreign {
+        if doc.get(key).is_some() {
+            return Err(format!("`{key}` is not a `{router}` router field"));
+        }
+    }
+    Ok(())
+}
+
+fn generic_workload(doc: &Value) -> Result<Workload, String> {
+    reject_foreign_fields(doc, RouterTag::Generic, &["strings", "edges", "gammas"])?;
+    Ok(Workload::Generic {
+        circuit: circuit_from_request(doc)?,
+        stage_cap: opt_positive(doc, "stage_cap")?,
+    })
+}
+
+fn qsim_workload(doc: &Value) -> Result<Workload, String> {
+    reject_foreign_fields(doc, RouterTag::Qsim, &["circuit", "qasm", "edges"])?;
+    let strings = doc
+        .get("strings")
+        .and_then(Value::as_arr)
+        .ok_or("qsim compile needs a `strings` array of Pauli strings")?;
+    let parsed: Vec<PauliString> = strings
+        .iter()
+        .map(|v| {
+            let s = v.as_str().ok_or("`strings` entries must be strings")?;
+            s.parse::<PauliString>().map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    let angles: Vec<f64> = match (doc.get("theta"), doc.get("angles")) {
+        (Some(_), Some(_)) => return Err("give either `theta` or `angles`, not both".into()),
+        (Some(t), None) => {
+            let theta = t.as_f64().ok_or("`theta` must be a number")?;
+            vec![theta; parsed.len()]
+        }
+        (None, Some(a)) => {
+            let arr = a.as_arr().ok_or("`angles` must be an array of numbers")?;
+            if arr.len() != parsed.len() {
+                return Err(format!(
+                    "`angles` ({}) must match `strings` ({})",
+                    arr.len(),
+                    parsed.len()
+                ));
+            }
+            arr.iter()
+                .map(|v| v.as_f64().ok_or_else(|| "`angles` must be numbers".into()))
+                .collect::<Result<_, String>>()?
+        }
+        (None, None) => return Err("qsim compile needs `theta` or `angles`".into()),
+    };
+    if angles.iter().any(|a| !a.is_finite()) {
+        return Err("qsim angles must be finite".into());
+    }
+    Ok(Workload::Qsim {
+        strings: parsed.into_iter().zip(angles).collect(),
+        max_copies: opt_positive(doc, "max_copies")?,
+    })
+}
+
+/// Parses an angle list given either a scalar field (`gamma`) or a
+/// plural array field (`gammas`); exactly one may be present.
+fn angle_list(doc: &Value, scalar: &str, plural: &str) -> Result<Option<Vec<f64>>, String> {
+    match (doc.get(scalar), doc.get(plural)) {
+        (Some(_), Some(_)) => Err(format!("give either `{scalar}` or `{plural}`, not both")),
+        (Some(v), None) => {
+            let a = v.as_f64().ok_or(format!("`{scalar}` must be a number"))?;
+            Ok(Some(vec![a]))
+        }
+        (None, Some(v)) => {
+            let arr = v
+                .as_arr()
+                .ok_or(format!("`{plural}` must be an array of numbers"))?;
+            let angles = arr
+                .iter()
+                .map(|x| x.as_f64().ok_or(format!("`{plural}` must be numbers")))
+                .collect::<Result<Vec<f64>, String>>()?;
+            Ok(Some(angles))
+        }
+        (None, None) => Ok(None),
+    }
+}
+
+fn qaoa_workload(doc: &Value) -> Result<Workload, String> {
+    reject_foreign_fields(doc, RouterTag::Qaoa, &["circuit", "qasm", "strings"])?;
+    let num_qubits = doc
+        .get("qubits")
+        .and_then(Value::as_u32)
+        .filter(|&n| n > 0)
+        .ok_or("qaoa compile needs a positive integer `qubits`")?;
+    let edges_arr = doc
+        .get("edges")
+        .and_then(Value::as_arr)
+        .ok_or("qaoa compile needs an `edges` array of [u, v] pairs")?;
+    let mut edges = Vec::with_capacity(edges_arr.len());
+    for e in edges_arr {
+        let pair = e.as_arr().filter(|p| p.len() == 2);
+        let (a, b) = match pair {
+            Some(p) => match (p[0].as_u32(), p[1].as_u32()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err("`edges` entries must be pairs of qubit indices".into()),
+            },
+            None => return Err("`edges` entries must be two-element arrays".into()),
+        };
+        edges.push((a, b));
+    }
+    let gammas =
+        angle_list(doc, "gamma", "gammas")?.ok_or("qaoa compile needs `gamma` or `gammas`")?;
+    let betas = angle_list(doc, "beta", "betas")?.unwrap_or_default();
+    if gammas.iter().chain(&betas).any(|a| !a.is_finite()) {
+        return Err("qaoa angles must be finite".into());
+    }
+    let column_extension = match doc.get("column_extension") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(v.as_bool().ok_or("`column_extension` must be a boolean")?),
+    };
+    Ok(Workload::Qaoa {
+        num_qubits,
+        edges,
+        gammas,
+        betas,
+        anchor_candidates: opt_positive(doc, "anchors")?,
+        column_extension,
+    })
 }
 
 /// Extracts the circuit from a compile request: either an inline
@@ -150,7 +304,7 @@ pub fn circuit_to_value_json(circuit: &Circuit) -> String {
     out
 }
 
-/// Builds a full compile request line (used by `qpilot-cli`).
+/// Builds a generic-router compile request line (used by `qpilot-cli`).
 pub fn compile_request_line(
     circuit_json: &str,
     cols: Option<usize>,
@@ -159,19 +313,99 @@ pub fn compile_request_line(
 ) -> String {
     let mut out = String::from("{\"op\":\"compile\",\"circuit\":");
     out.push_str(circuit_json);
-    if let Some(cols) = cols {
-        out.push_str(",\"cols\":");
-        out.push_str(&cols.to_string());
-    }
     if let Some(cap) = stage_cap {
         out.push_str(",\"stage_cap\":");
         out.push_str(&cap.to_string());
+    }
+    finish_compile_line(&mut out, cols, include_schedule);
+    out
+}
+
+/// Builds a qsim-router compile request line.
+pub fn qsim_request_line(
+    strings: &[String],
+    theta: f64,
+    max_copies: Option<usize>,
+    cols: Option<usize>,
+    include_schedule: bool,
+) -> String {
+    let mut out = String::from("{\"op\":\"compile\",\"router\":\"qsim\",\"strings\":[");
+    for (i, s) in strings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(s));
+    }
+    out.push_str("],\"theta\":");
+    out.push_str(&json::fmt_f64(theta));
+    if let Some(copies) = max_copies {
+        out.push_str(",\"max_copies\":");
+        out.push_str(&copies.to_string());
+    }
+    finish_compile_line(&mut out, cols, include_schedule);
+    out
+}
+
+/// Builds a qaoa-router compile request line. Empty `betas` routes bare
+/// cost layers; otherwise `betas` must match `gammas` in length.
+#[allow(clippy::too_many_arguments)]
+pub fn qaoa_request_line(
+    qubits: u32,
+    edges: &[(u32, u32)],
+    gammas: &[f64],
+    betas: &[f64],
+    anchors: Option<usize>,
+    column_extension: Option<bool>,
+    cols: Option<usize>,
+    include_schedule: bool,
+) -> String {
+    let mut out =
+        format!("{{\"op\":\"compile\",\"router\":\"qaoa\",\"qubits\":{qubits},\"edges\":[");
+    for (i, (a, b)) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{a},{b}]"));
+    }
+    out.push_str("],\"gammas\":[");
+    for (i, g) in gammas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::fmt_f64(*g));
+    }
+    out.push(']');
+    if !betas.is_empty() {
+        out.push_str(",\"betas\":[");
+        for (i, b) in betas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::fmt_f64(*b));
+        }
+        out.push(']');
+    }
+    if let Some(anchors) = anchors {
+        out.push_str(",\"anchors\":");
+        out.push_str(&anchors.to_string());
+    }
+    if let Some(ext) = column_extension {
+        out.push_str(",\"column_extension\":");
+        out.push_str(if ext { "true" } else { "false" });
+    }
+    finish_compile_line(&mut out, cols, include_schedule);
+    out
+}
+
+fn finish_compile_line(out: &mut String, cols: Option<usize>, include_schedule: bool) {
+    if let Some(cols) = cols {
+        out.push_str(",\"cols\":");
+        out.push_str(&cols.to_string());
     }
     if !include_schedule {
         out.push_str(",\"schedule\":false");
     }
     out.push('}');
-    out
 }
 
 fn write_stats_obj(out: &mut String, stats: &ScheduleStats) {
@@ -198,10 +432,18 @@ pub fn render_compile_response(response: &CompileResponse, include_schedule: boo
     } else {
         192
     });
-    out.push_str("{\"ok\":true,\"op\":\"compile\",\"fingerprint\":\"");
+    out.push_str("{\"ok\":true,\"op\":\"compile\",\"router\":\"");
+    out.push_str(response.router.as_str());
+    out.push_str("\",\"fingerprint\":\"");
     out.push_str(&response.fingerprint.to_string());
     out.push_str("\",\"cache\":\"");
-    out.push_str(if response.cache_hit { "hit" } else { "miss" });
+    out.push_str(if response.cache_hit {
+        "hit"
+    } else if response.coalesced {
+        "coalesced"
+    } else {
+        "miss"
+    });
     out.push_str("\",\"compile_ms\":");
     out.push_str(&json::fmt_f64(round6(entry.compile_s * 1e3)));
     out.push_str(",\"stats\":");
@@ -231,6 +473,12 @@ pub fn render_stats_response(stats: &ServiceStats) -> String {
     out.push_str(&stats.cache_entries.to_string());
     out.push_str(",\"compiles\":");
     out.push_str(&stats.compiles.to_string());
+    out.push_str(",\"coalesced\":");
+    out.push_str(&stats.coalesced.to_string());
+    out.push_str(",\"store_persisted\":");
+    out.push_str(&stats.store_persisted.to_string());
+    out.push_str(",\"store_loaded\":");
+    out.push_str(&stats.store_loaded.to_string());
     out.push_str(",\"p50_compile_ms\":");
     out.push_str(&json::fmt_f64(round6(stats.p50_compile_s * 1e3)));
     out.push_str(",\"p99_compile_ms\":");
@@ -320,6 +568,7 @@ mod tests {
             queue_capacity: 4,
             cache_capacity: 16,
             cache_shards: 2,
+            store_dir: None,
         })
     }
 
@@ -340,9 +589,12 @@ mod tests {
                 request,
                 include_schedule,
             } => {
-                assert_eq!(request.circuit.len(), 1);
+                let Workload::Generic { circuit, stage_cap } = &request.workload else {
+                    panic!("expected generic workload");
+                };
+                assert_eq!(circuit.len(), 1);
                 assert_eq!(request.cols, Some(2));
-                assert_eq!(request.stage_cap, Some(3));
+                assert_eq!(*stage_cap, Some(3));
                 assert!(!include_schedule);
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -354,10 +606,134 @@ mod tests {
         let line = r#"{"op":"compile","qasm":"OPENQASM 2.0;\nqreg q[2];\ncz q[0], q[1];"}"#;
         match parse_request(line).unwrap() {
             Request::Compile { request, .. } => {
-                assert_eq!(request.circuit.num_qubits(), 2);
-                assert_eq!(request.circuit.len(), 1);
+                let Workload::Generic { circuit, .. } = &request.workload else {
+                    panic!("expected generic workload");
+                };
+                assert_eq!(circuit.num_qubits(), 2);
+                assert_eq!(circuit.len(), 1);
+                assert_eq!(request.router(), RouterTag::Generic);
             }
             other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_qsim_compile() {
+        let line = r#"{"op":"compile","router":"qsim","strings":["ZZII","IXXI"],"theta":0.5,"max_copies":2}"#;
+        match parse_request(line).unwrap() {
+            Request::Compile { request, .. } => {
+                let Workload::Qsim {
+                    strings,
+                    max_copies,
+                } = &request.workload
+                else {
+                    panic!("expected qsim workload");
+                };
+                assert_eq!(strings.len(), 2);
+                assert_eq!(strings[0].1, 0.5);
+                assert_eq!(*max_copies, Some(2));
+                assert_eq!(request.router(), RouterTag::Qsim);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Per-string angles via the parallel array form.
+        let weighted =
+            r#"{"op":"compile","router":"qsim","strings":["ZZ","XX"],"angles":[0.25,-0.5]}"#;
+        match parse_request(weighted).unwrap() {
+            Request::Compile { request, .. } => {
+                let Workload::Qsim { strings, .. } = &request.workload else {
+                    panic!("expected qsim workload");
+                };
+                assert_eq!(strings[0].1, 0.25);
+                assert_eq!(strings[1].1, -0.5);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_qaoa_compile() {
+        let line = r#"{"op":"compile","router":"qaoa","qubits":4,"edges":[[0,1],[2,3]],"gamma":0.7,"beta":0.3,"anchors":2,"column_extension":false}"#;
+        match parse_request(line).unwrap() {
+            Request::Compile { request, .. } => {
+                let Workload::Qaoa {
+                    num_qubits,
+                    edges,
+                    gammas,
+                    betas,
+                    anchor_candidates,
+                    column_extension,
+                } = &request.workload
+                else {
+                    panic!("expected qaoa workload");
+                };
+                assert_eq!(*num_qubits, 4);
+                assert_eq!(edges, &[(0, 1), (2, 3)]);
+                assert_eq!(gammas, &[0.7]);
+                assert_eq!(betas, &[0.3]);
+                assert_eq!(*anchor_candidates, Some(2));
+                assert_eq!(*column_extension, Some(false));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_line_builders_round_trip() {
+        let qsim = qsim_request_line(
+            &["ZZI".to_string(), "IXX".to_string()],
+            0.4,
+            Some(2),
+            Some(3),
+            false,
+        );
+        match parse_request(&qsim).unwrap() {
+            Request::Compile {
+                request,
+                include_schedule,
+            } => {
+                assert_eq!(request.router(), RouterTag::Qsim);
+                assert_eq!(request.cols, Some(3));
+                assert!(!include_schedule);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let qaoa = qaoa_request_line(
+            5,
+            &[(0, 1), (1, 2)],
+            &[0.7],
+            &[0.3],
+            Some(1),
+            Some(true),
+            None,
+            true,
+        );
+        match parse_request(&qaoa).unwrap() {
+            Request::Compile { request, .. } => {
+                assert_eq!(request.router(), RouterTag::Qaoa);
+                let Workload::Qaoa { edges, .. } = &request.workload else {
+                    panic!("expected qaoa workload");
+                };
+                assert_eq!(edges.len(), 2);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_fields_are_rejected_per_router() {
+        for line in [
+            // generic request carrying qsim/qaoa payloads
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[]},"strings":["ZZ"]}"#,
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[]},"edges":[[0,1]]}"#,
+            // qsim request carrying a circuit
+            r#"{"op":"compile","router":"qsim","strings":["ZZ"],"theta":0.5,"qasm":"qreg q[2];"}"#,
+            // qaoa request carrying strings
+            r#"{"op":"compile","router":"qaoa","qubits":2,"edges":[[0,1]],"gamma":0.7,"strings":["ZZ"]}"#,
+            // unknown router
+            r#"{"op":"compile","router":"warp","circuit":{"num_qubits":2,"gates":[]}}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "{line}");
         }
     }
 
@@ -393,6 +769,15 @@ mod tests {
             r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["rz",0,1e999]]}}"#,
             r#"{"op":"compile","qasm":"qreg q[1]; rz(inf) q[0];"}"#,
             r#"{"op":"compile","qasm":"qreg q[1]; rz(NaN) q[0];"}"#,
+            // Malformed multi-router payloads.
+            r#"{"op":"compile","router":"qsim","strings":["ZQ"],"theta":0.5}"#,
+            r#"{"op":"compile","router":"qsim","strings":["ZZ"]}"#,
+            r#"{"op":"compile","router":"qsim","strings":["ZZ"],"theta":1e999}"#,
+            r#"{"op":"compile","router":"qsim","strings":[],"theta":0.5}"#,
+            r#"{"op":"compile","router":"qaoa","qubits":0,"edges":[],"gamma":0.7}"#,
+            r#"{"op":"compile","router":"qaoa","qubits":3,"edges":[[0]],"gamma":0.7}"#,
+            r#"{"op":"compile","router":"qaoa","qubits":3,"edges":[[0,1]],"gammas":[0.1,0.2],"betas":[0.3]}"#,
+            r#"{"op":"compile","router":"qaoa","qubits":3,"edges":[[1,1]],"gamma":0.7}"#,
         ] {
             let handled = handle_line(&svc, line);
             assert!(handled.response.starts_with("{\"ok\":false"), "{line}");
@@ -429,6 +814,40 @@ mod tests {
         assert_eq!(sdoc.get("compiles").and_then(Value::as_u64), Some(1));
         let bye = handle_line(&svc, "{\"op\":\"shutdown\"}");
         assert!(bye.shutdown);
+    }
+
+    #[test]
+    fn each_router_tag_compiles_with_distinct_fingerprints() {
+        let svc = service();
+        let lines = [
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["rzz",0,1,0.5]]}}"#,
+            r#"{"op":"compile","router":"qsim","strings":["ZZ"],"theta":0.5}"#,
+            r#"{"op":"compile","router":"qaoa","qubits":2,"edges":[[0,1]],"gamma":0.5}"#,
+        ];
+        let mut fingerprints = Vec::new();
+        for (line, router) in lines.iter().zip(["generic", "qsim", "qaoa"]) {
+            let handled = handle_line(&svc, line);
+            let doc = json::parse(&handled.response).unwrap();
+            assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+            assert_eq!(doc.get("router").and_then(Value::as_str), Some(router));
+            assert_eq!(doc.get("cache").and_then(Value::as_str), Some("miss"));
+            assert_eq!(
+                doc.get("schedule")
+                    .and_then(|s| s.get("format"))
+                    .and_then(Value::as_str),
+                Some("qpilot.schedule/v1")
+            );
+            fingerprints.push(
+                doc.get("fingerprint")
+                    .and_then(Value::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        fingerprints.sort();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), 3, "no cross-router cache collisions");
+        assert_eq!(svc.stats().compiles, 3);
     }
 
     #[test]

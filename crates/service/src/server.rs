@@ -7,6 +7,14 @@
 //! the concurrency limiter). A `shutdown` request stops the transport:
 //! stdio returns from [`serve_stdio`], TCP flips the listener's shutdown
 //! flag and unblocks the acceptor.
+//!
+//! Request lines are read through a bounded reader: a line longer than
+//! [`MAX_REQUEST_LINE_BYTES`] is discarded as it streams in (the daemon
+//! never buffers it whole), answered with an error line, and the
+//! connection continues — an oversized or hostile client cannot balloon
+//! daemon memory or poison its own connection. Invalid UTF-8 is replaced
+//! rather than trusted, so arbitrary bytes at worst produce a JSON parse
+//! error response.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -15,7 +23,100 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::pool::Service;
-use crate::protocol::handle_line;
+use crate::protocol::{handle_line, render_error};
+
+/// Upper bound on one request line (bytes, newline excluded). Generous:
+/// a 100-qubit, 1000-gate inline circuit is ~15 KB.
+pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// One read-side event from the bounded line reader.
+enum LineEvent {
+    /// A complete line within the cap (may be empty).
+    Line,
+    /// A line that exceeded the cap; its bytes were discarded.
+    Oversized,
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one newline-terminated line into `buf` (cleared first), capped
+/// at [`MAX_REQUEST_LINE_BYTES`]. On overflow the rest of the line is
+/// consumed and discarded so the stream stays line-synchronised.
+fn read_bounded_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<LineEvent> {
+    buf.clear();
+    let mut overflowed = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflowed {
+                LineEvent::Oversized
+            } else if buf.is_empty() {
+                LineEvent::Eof
+            } else {
+                LineEvent::Line // final line without trailing newline
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i + 1);
+        if !overflowed {
+            let body = &chunk[..newline.unwrap_or(take)];
+            if buf.len() + body.len() > MAX_REQUEST_LINE_BYTES {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(body);
+            }
+        }
+        input.consume(take);
+        if newline.is_some() {
+            return Ok(if overflowed {
+                LineEvent::Oversized
+            } else {
+                LineEvent::Line
+            });
+        }
+    }
+}
+
+/// The shared request loop behind both transports. Returns the number of
+/// requests handled and whether a `shutdown` request ended the loop.
+fn serve_loop(
+    service: &Service,
+    mut input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<(u64, bool)> {
+    let mut handled_count = 0u64;
+    let mut buf = Vec::new();
+    loop {
+        match read_bounded_line(&mut input, &mut buf)? {
+            LineEvent::Eof => return Ok((handled_count, false)),
+            LineEvent::Oversized => {
+                let error = render_error(
+                    &format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+                    false,
+                );
+                output.write_all(error.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+                handled_count += 1;
+            }
+            LineEvent::Line => {
+                let line = String::from_utf8_lossy(&buf);
+                if line.trim().is_empty() {
+                    continue; // blank keep-alive lines are not requests
+                }
+                let handled = handle_line(service, &line);
+                output.write_all(handled.response.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+                handled_count += 1;
+                if handled.shutdown {
+                    return Ok((handled_count, true));
+                }
+            }
+        }
+    }
+}
 
 /// Serves requests from `input` to `output` until EOF or a `shutdown`
 /// request. Returns the number of requests handled.
@@ -23,27 +124,8 @@ use crate::protocol::handle_line;
 /// # Errors
 ///
 /// Propagates I/O errors from the transport.
-pub fn serve_lines(
-    service: &Service,
-    input: impl BufRead,
-    mut output: impl Write,
-) -> io::Result<u64> {
-    let mut handled_count = 0u64;
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue; // blank keep-alive lines are not requests
-        }
-        let handled = handle_line(service, &line);
-        output.write_all(handled.response.as_bytes())?;
-        output.write_all(b"\n")?;
-        output.flush()?;
-        handled_count += 1;
-        if handled.shutdown {
-            break;
-        }
-    }
-    Ok(handled_count)
+pub fn serve_lines(service: &Service, input: impl BufRead, output: impl Write) -> io::Result<u64> {
+    serve_loop(service, input, output).map(|(count, _)| count)
 }
 
 /// Serves stdin → stdout (the `qpilotd --stdio` mode).
@@ -142,21 +224,8 @@ fn accept_loop(listener: TcpListener, service: Service, addr: SocketAddr, stop: 
 /// daemon shutdown.
 fn serve_connection(service: &Service, stream: TcpStream) -> io::Result<bool> {
     let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let handled = handle_line(service, &line);
-        writer.write_all(handled.response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if handled.shutdown {
-            return Ok(true);
-        }
-    }
-    Ok(false)
+    let writer = BufWriter::new(stream);
+    serve_loop(service, reader, writer).map(|(_, shutdown)| shutdown)
 }
 
 #[cfg(test)]
@@ -171,6 +240,7 @@ mod tests {
             queue_capacity: 4,
             cache_capacity: 16,
             cache_shards: 2,
+            store_dir: None,
         })
     }
 
@@ -186,6 +256,34 @@ mod tests {
         assert!(lines[0].contains("pong"));
         assert!(lines[1].contains("\"op\":\"stats\""));
         assert!(lines[2].starts_with("{\"ok\":false"));
+    }
+
+    #[test]
+    fn oversized_line_gets_error_and_stream_stays_synchronised() {
+        let svc = service();
+        let mut input = vec![b'x'; MAX_REQUEST_LINE_BYTES + 10];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut output = Vec::new();
+        let n = serve_lines(&svc, Cursor::new(input), &mut output).unwrap();
+        assert_eq!(n, 2);
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert!(lines[0].contains("exceeds"), "{}", lines[0]);
+        assert!(lines[0].starts_with("{\"ok\":false"));
+        assert!(lines[1].contains("pong"), "next request still served");
+    }
+
+    #[test]
+    fn invalid_utf8_becomes_an_error_response_not_a_dead_connection() {
+        let svc = service();
+        let mut input: Vec<u8> = vec![0xFF, 0xFE, 0x80, b'\n'];
+        input.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut output = Vec::new();
+        let n = serve_lines(&svc, Cursor::new(input), &mut output).unwrap();
+        assert_eq!(n, 2);
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert!(lines[0].starts_with("{\"ok\":false"));
+        assert!(lines[1].contains("pong"));
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! The persistent schedule store behind `qpilotd --store <dir>`.
+//!
+//! The cache already holds the *canonical* `qpilot.schedule/v1` JSON, so
+//! persistence is a byte-for-byte spill: each entry becomes one blob file
+//! named by its request fingerprint (`<32 hex>.schedule.json`) whose
+//! content is exactly the cached `Arc<str>`. A small index file
+//! (`index.json`, schema `qpilot.store.index/v1`) records the entries in
+//! least→most recently inserted order plus the metadata the blob cannot
+//! carry (original compile seconds); it is rewritten on every mutation.
+//!
+//! Crash safety is rename-based: blobs and the index are written to a
+//! `.tmp` sibling and atomically renamed into place, so a `SIGKILL`
+//! mid-write leaves either the old bytes, the new bytes, or a stray
+//! `.tmp` file — never a half-visible blob. Recovery ([`ScheduleStore::open`])
+//! is correspondingly tolerant:
+//!
+//! * stray `*.tmp` files are deleted;
+//! * blobs are re-parsed with [`schedule_from_json`] before being trusted
+//!   — a corrupt or truncated blob is deleted and skipped, never fatal;
+//! * blobs on disk but missing from the index (a kill between blob rename
+//!   and index rewrite) are adopted with an unknown compile time;
+//! * index entries whose blob vanished are dropped.
+//!
+//! Schedule statistics are recomputed from the parsed schedule during
+//! recovery, so the blob alone is sufficient to rebuild a full
+//! [`CacheEntry`].
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use qpilot_circuit::Fingerprint;
+use qpilot_core::json::{self, json_str, Value};
+use qpilot_core::wire::schedule_from_json;
+use qpilot_core::ScheduleStats;
+
+use crate::cache::CacheEntry;
+
+/// Schema tag of the store index document.
+pub const STORE_INDEX_FORMAT: &str = "qpilot.store.index/v1";
+
+/// File-name suffix of schedule blobs.
+const BLOB_SUFFIX: &str = ".schedule.json";
+
+/// One recovered entry, in index (recency) order.
+#[derive(Debug)]
+pub struct RecoveredEntry {
+    /// The request fingerprint (blob name).
+    pub fingerprint: Fingerprint,
+    /// The rebuilt cache entry; `schedule_json` is the blob's exact bytes.
+    pub entry: Arc<CacheEntry>,
+}
+
+/// Counters describing one [`ScheduleStore::open`] recovery pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Blobs successfully recovered.
+    pub loaded: u64,
+    /// Corrupt/truncated blobs (and stray `.tmp` files) removed.
+    pub discarded: u64,
+    /// Blobs adopted from disk despite a missing/corrupt index entry.
+    pub adopted: u64,
+}
+
+/// A fingerprint-addressed on-disk mirror of the schedule cache.
+#[derive(Debug)]
+pub struct ScheduleStore {
+    dir: PathBuf,
+    /// `fingerprint → compile_s`, in insertion (recency) order maintained
+    /// by a monotonic sequence number so the index file preserves LRU
+    /// order across restarts.
+    index: Mutex<IndexState>,
+    persisted: AtomicU64,
+    removed: AtomicU64,
+    recovery: RecoveryReport,
+}
+
+#[derive(Debug, Default)]
+struct IndexState {
+    entries: HashMap<Fingerprint, IndexEntry>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    compile_s: f64,
+    seq: u64,
+}
+
+impl ScheduleStore {
+    /// Opens (creating if needed) the store directory and runs recovery.
+    /// The recovered entries are returned oldest-first so replaying them
+    /// into an LRU cache reproduces the pre-restart recency order.
+    ///
+    /// # Errors
+    ///
+    /// Only directory creation/listing failures are errors; damaged
+    /// content is repaired (deleted or adopted) and reported via
+    /// [`ScheduleStore::recovery`].
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<(ScheduleStore, Vec<RecoveredEntry>)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut report = RecoveryReport::default();
+
+        // The index gives recency order and compile times; absence or
+        // damage degrades to a plain directory scan.
+        let indexed = read_index(&dir.join("index.json"));
+
+        // Every on-disk candidate, keyed by fingerprint.
+        let mut on_disk: HashMap<Fingerprint, PathBuf> = HashMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                // A write the crash interrupted before its rename.
+                let _ = std::fs::remove_file(&path);
+                report.discarded += 1;
+                continue;
+            }
+            if let Some(hex) = name.strip_suffix(BLOB_SUFFIX) {
+                match hex.parse::<Fingerprint>() {
+                    Ok(fp) => {
+                        on_disk.insert(fp, path);
+                    }
+                    Err(_) => {
+                        // Not one of ours; leave it alone.
+                    }
+                }
+            }
+        }
+
+        // Load order: indexed entries first (oldest→newest), then adopted
+        // strays sorted by fingerprint for determinism.
+        let mut order: Vec<(Fingerprint, f64, bool)> = Vec::new();
+        for (fp, compile_s) in &indexed {
+            if on_disk.contains_key(fp) {
+                order.push((*fp, *compile_s, false));
+            }
+        }
+        let mut strays: Vec<Fingerprint> = on_disk
+            .keys()
+            .filter(|fp| !indexed.iter().any(|(i, _)| i == *fp))
+            .copied()
+            .collect();
+        strays.sort_by_key(|fp| fp.0);
+        for fp in strays {
+            order.push((fp, 0.0, true));
+        }
+
+        let mut recovered = Vec::new();
+        let mut state = IndexState::default();
+        for (fp, compile_s, adopted) in order {
+            let path = &on_disk[&fp];
+            match load_blob(path) {
+                Some((entry_body, stats)) => {
+                    report.loaded += 1;
+                    if adopted {
+                        report.adopted += 1;
+                    }
+                    let seq = state.next_seq;
+                    state.next_seq += 1;
+                    state.entries.insert(fp, IndexEntry { compile_s, seq });
+                    recovered.push(RecoveredEntry {
+                        fingerprint: fp,
+                        entry: Arc::new(CacheEntry {
+                            schedule_json: entry_body,
+                            stats,
+                            compile_s,
+                        }),
+                    });
+                }
+                None => {
+                    // Truncated/corrupt blob: a cache can always recompile.
+                    let _ = std::fs::remove_file(path);
+                    report.discarded += 1;
+                }
+            }
+        }
+
+        let store = ScheduleStore {
+            dir,
+            index: Mutex::new(state),
+            persisted: AtomicU64::new(0),
+            removed: AtomicU64::new(0),
+            recovery: report,
+        };
+        store.rewrite_index();
+        Ok((store, recovered))
+    }
+
+    /// What the opening recovery pass found.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Blobs written since opening.
+    pub fn persisted(&self) -> u64 {
+        self.persisted.load(Ordering::Relaxed)
+    }
+
+    /// Blobs deleted (evictions) since opening.
+    pub fn removed(&self) -> u64 {
+        self.removed.load(Ordering::Relaxed)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn blob_path(&self, fingerprint: &Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fingerprint}{BLOB_SUFFIX}"))
+    }
+
+    /// Spills one cache entry: atomic blob write, then index rewrite.
+    /// Failures are reported to stderr and swallowed — persistence is an
+    /// availability feature, never a reason to fail a compile.
+    pub fn persist(&self, fingerprint: Fingerprint, entry: &CacheEntry) {
+        let path = self.blob_path(&fingerprint);
+        if let Err(e) = write_atomic(&path, entry.schedule_json.as_bytes()) {
+            eprintln!("qpilot-service: store write {} failed: {e}", path.display());
+            return;
+        }
+        let mut index = self.index.lock().expect("store index lock");
+        let seq = index.next_seq;
+        index.next_seq += 1;
+        index.entries.insert(
+            fingerprint,
+            IndexEntry {
+                compile_s: entry.compile_s,
+                seq,
+            },
+        );
+        self.persisted.fetch_add(1, Ordering::Relaxed);
+        self.write_index_file(&index);
+    }
+
+    /// Drops an evicted entry's blob and index row.
+    pub fn remove(&self, fingerprint: &Fingerprint) {
+        let _ = std::fs::remove_file(self.blob_path(fingerprint));
+        let mut index = self.index.lock().expect("store index lock");
+        if index.entries.remove(fingerprint).is_some() {
+            self.removed.fetch_add(1, Ordering::Relaxed);
+            self.write_index_file(&index);
+        }
+    }
+
+    /// Serialises the index (entries in ascending recency) and renames it
+    /// into place.
+    fn rewrite_index(&self) {
+        let index = self.index.lock().expect("store index lock");
+        self.write_index_file(&index);
+    }
+
+    /// Writes the index file while the caller holds the index lock: the
+    /// lock covers build **and** tmp+rename, so concurrent workers can
+    /// neither interleave writes to the shared tmp path nor publish a
+    /// stale snapshot over a newer one.
+    fn write_index_file(&self, index: &IndexState) {
+        let mut rows: Vec<(&Fingerprint, &IndexEntry)> = index.entries.iter().collect();
+        rows.sort_by_key(|(_, e)| e.seq);
+        let mut out = String::with_capacity(64 + rows.len() * 64);
+        out.push_str("{\"format\":");
+        out.push_str(&json_str(STORE_INDEX_FORMAT));
+        out.push_str(",\"entries\":[");
+        for (i, (fp, e)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"fingerprint\":\"");
+            out.push_str(&fp.to_string());
+            out.push_str("\",\"compile_s\":");
+            out.push_str(&json::fmt_f64(e.compile_s));
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        let path = self.dir.join("index.json");
+        if let Err(e) = write_atomic(&path, out.as_bytes()) {
+            eprintln!("qpilot-service: index write {} failed: {e}", path.display());
+        }
+    }
+}
+
+/// tmp-and-rename write: readers only ever observe complete files.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads the index rows `(fingerprint, compile_s)` in file order; any
+/// damage yields an empty list (recovery then adopts blobs by scan).
+fn read_index(path: &Path) -> Vec<(Fingerprint, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = json::parse(&text) else {
+        return Vec::new();
+    };
+    if doc.get("format").and_then(Value::as_str) != Some(STORE_INDEX_FORMAT) {
+        return Vec::new();
+    }
+    let mut rows = Vec::new();
+    for entry in doc.get("entries").and_then(Value::as_arr).unwrap_or(&[]) {
+        let Some(fp) = entry
+            .get("fingerprint")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse::<Fingerprint>().ok())
+        else {
+            continue;
+        };
+        let compile_s = entry
+            .get("compile_s")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        rows.push((fp, compile_s));
+    }
+    rows
+}
+
+/// Reads a blob and verifies it parses as a schedule; `None` on any
+/// damage. Returns the exact bytes plus the stats recomputed from the
+/// one validating parse (the blob is the only durable artefact; stats
+/// are derivable).
+fn load_blob(path: &Path) -> Option<(Arc<str>, ScheduleStats)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let schedule = schedule_from_json(&text).ok()?;
+    Some((text.into(), schedule.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpilot_circuit::Circuit;
+    use qpilot_core::generic::GenericRouter;
+    use qpilot_core::wire::schedule_to_json;
+    use qpilot_core::FpqaConfig;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qpilot_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_entry(seed: u32) -> (Fingerprint, CacheEntry) {
+        let mut c = Circuit::new(4);
+        c.h(seed % 4);
+        c.cz(0, 1).cz(2, 3);
+        let program = GenericRouter::new()
+            .route(&c, &FpqaConfig::square_for(4))
+            .unwrap();
+        let json: Arc<str> = schedule_to_json(program.schedule()).into();
+        let mut key = [0u8; 16];
+        key[0] = seed as u8;
+        (
+            Fingerprint(key),
+            CacheEntry {
+                schedule_json: json,
+                stats: *program.stats(),
+                compile_s: 0.002,
+            },
+        )
+    }
+
+    #[test]
+    fn persist_then_reopen_recovers_bytes_stats_and_order() {
+        let dir = temp_dir("roundtrip");
+        let (store, empty) = ScheduleStore::open(&dir).unwrap();
+        assert!(empty.is_empty());
+        let (fp1, e1) = sample_entry(1);
+        let (fp2, e2) = sample_entry(2);
+        store.persist(fp1, &e1);
+        store.persist(fp2, &e2);
+        drop(store);
+
+        let (store, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(store.recovery().loaded, 2);
+        assert_eq!(store.recovery().discarded, 0);
+        // Oldest first, bytes exact, stats recomputed, compile_s kept.
+        assert_eq!(recovered[0].fingerprint, fp1);
+        assert_eq!(recovered[1].fingerprint, fp2);
+        assert_eq!(recovered[0].entry.schedule_json, e1.schedule_json);
+        assert_eq!(recovered[0].entry.stats, e1.stats);
+        assert!((recovered[0].entry.compile_s - e1.compile_s).abs() < 1e-12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_blob_is_skipped_and_deleted() {
+        let dir = temp_dir("corrupt");
+        let (store, _) = ScheduleStore::open(&dir).unwrap();
+        let (fp1, e1) = sample_entry(1);
+        store.persist(fp1, &e1);
+        // Truncate the blob mid-document, like a torn write without the
+        // tmp+rename discipline.
+        let blob = store.blob_path(&fp1);
+        let bytes = std::fs::read(&blob).unwrap();
+        std::fs::write(&blob, &bytes[..bytes.len() / 2]).unwrap();
+        drop(store);
+
+        let (store, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert!(recovered.is_empty());
+        assert_eq!(store.recovery().discarded, 1);
+        assert!(!blob.exists(), "corrupt blob removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_tmp_files_are_cleaned_up() {
+        let dir = temp_dir("tmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stray = dir.join("deadbeef.schedule.json.tmp");
+        std::fs::write(&stray, "{half a docu").unwrap();
+        let (store, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert!(recovered.is_empty());
+        assert!(!stray.exists());
+        assert_eq!(store.recovery().discarded, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unindexed_blob_is_adopted() {
+        let dir = temp_dir("adopt");
+        let (store, _) = ScheduleStore::open(&dir).unwrap();
+        let (fp1, e1) = sample_entry(1);
+        store.persist(fp1, &e1);
+        // Simulate a kill between blob rename and index rewrite: nuke the
+        // index but keep the blob.
+        std::fs::remove_file(dir.join("index.json")).unwrap();
+        drop(store);
+
+        let (store, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(store.recovery().adopted, 1);
+        assert_eq!(recovered[0].entry.schedule_json, e1.schedule_json);
+        // Adoption loses the compile time but recomputes the stats.
+        assert_eq!(recovered[0].entry.compile_s, 0.0);
+        assert_eq!(recovered[0].entry.stats, e1.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_blob_and_index_row() {
+        let dir = temp_dir("remove");
+        let (store, _) = ScheduleStore::open(&dir).unwrap();
+        let (fp1, e1) = sample_entry(1);
+        let (fp2, e2) = sample_entry(2);
+        store.persist(fp1, &e1);
+        store.persist(fp2, &e2);
+        store.remove(&fp1);
+        assert_eq!(store.removed(), 1);
+        assert!(!store.blob_path(&fp1).exists());
+        drop(store);
+        let (_, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].fingerprint, fp2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_degrades_to_scan() {
+        let dir = temp_dir("badindex");
+        let (store, _) = ScheduleStore::open(&dir).unwrap();
+        let (fp1, e1) = sample_entry(1);
+        store.persist(fp1, &e1);
+        std::fs::write(dir.join("index.json"), "][ not json").unwrap();
+        drop(store);
+        let (_, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].entry.schedule_json, e1.schedule_json);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

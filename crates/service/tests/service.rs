@@ -20,6 +20,7 @@ fn test_service(workers: usize, queue: usize) -> Service {
         queue_capacity: queue,
         cache_capacity: 64,
         cache_shards: 4,
+        store_dir: None,
     })
 }
 
@@ -138,6 +139,62 @@ fn workloads_compile_identically_via_qasm_and_inline_circuit() {
             .unwrap_or_else(|e| panic!("{name}: schedule parse failed: {e}"));
         assert_eq!(schedule.num_data, canonical.num_qubits());
     }
+    server.shutdown();
+}
+
+#[test]
+fn racing_tcp_clients_on_one_cold_fingerprint_compile_exactly_once() {
+    let server = TcpServer::spawn(test_service(4, 8), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let circuit = random_circuit(&RandomCircuitConfig::paper(12, 4, 4321));
+                let line = compile_request_line(&circuit_to_value_json(&circuit), None, None, true);
+                barrier.wait();
+                let response = client.request(&line);
+                assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response:?}");
+                (
+                    response
+                        .get("cache")
+                        .and_then(Value::as_str)
+                        .unwrap()
+                        .to_string(),
+                    response.get("schedule").map(Value::to_json).unwrap(),
+                )
+            })
+        })
+        .collect();
+    let results: Vec<(String, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Exactly one miss (the leader's compile); the rest coalesced onto it
+    // or hit the cache just after the insert. All bytes identical.
+    let misses = results.iter().filter(|(c, _)| c == "miss").count();
+    assert_eq!(
+        misses,
+        1,
+        "cache outcomes: {:?}",
+        results.iter().map(|(c, _)| c).collect::<Vec<_>>()
+    );
+    for (_, schedule) in &results {
+        assert_eq!(schedule, &results[0].1, "racing responses diverged");
+    }
+    let mut client = Client::connect(addr);
+    let stats = client.request("{\"op\":\"stats\"}");
+    assert_eq!(
+        stats.get("compiles").and_then(Value::as_u64),
+        Some(1),
+        "exactly one compile ran: {stats:?}"
+    );
+    // Request-level accounting still balances: every request probed the
+    // cache exactly once, whether it led, coalesced, or hit.
+    let hits = stats.get("hits").and_then(Value::as_u64).unwrap();
+    let misses = stats.get("misses").and_then(Value::as_u64).unwrap();
+    assert_eq!(hits + misses, 8, "{stats:?}");
+    let coalesced = stats.get("coalesced").and_then(Value::as_u64).unwrap();
+    assert!(coalesced < 8, "{stats:?}");
     server.shutdown();
 }
 
