@@ -4,10 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use qpilot_core::generic::GenericRouter;
+use qpilot_core::compile::{compile, Workload};
 use qpilot_core::legality::{greedy_legal_subset, greedy_max_subset, GatePlacement, LegalitySet};
-use qpilot_core::qaoa::QaoaRouter;
-use qpilot_core::qsim::QsimRouter;
 use qpilot_core::FpqaConfig;
 use qpilot_workloads::graphs::random_regular;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
@@ -19,8 +17,9 @@ fn bench_generic(c: &mut Criterion) {
     for &n in &[20u32, 50, 100] {
         let circuit = random_circuit(&RandomCircuitConfig::paper(n, 5, 1));
         let cfg = FpqaConfig::square_for(n);
+        let workload = Workload::circuit(circuit);
         group.bench_with_input(BenchmarkId::new("random_5x", n), &n, |b, _| {
-            b.iter(|| GenericRouter::new().route(&circuit, &cfg).unwrap());
+            b.iter(|| compile(&workload, &cfg).unwrap());
         });
     }
     group.finish();
@@ -37,12 +36,9 @@ fn bench_qsim(c: &mut Criterion) {
             seed: 2,
         });
         let cfg = FpqaConfig::square_for(n as u32);
+        let workload = Workload::pauli_strings(strings, 0.4);
         group.bench_with_input(BenchmarkId::new("pauli_p0.3_20s", n), &n, |b, _| {
-            b.iter(|| {
-                QsimRouter::new()
-                    .route_strings(&strings, 0.4, &cfg)
-                    .unwrap()
-            });
+            b.iter(|| compile(&workload, &cfg).unwrap());
         });
     }
     group.finish();
@@ -54,12 +50,9 @@ fn bench_qaoa(c: &mut Criterion) {
     for &n in &[20u32, 50, 100] {
         let graph = random_regular(n, 3, 4).expect("regular graph");
         let cfg = FpqaConfig::square_for(n);
+        let workload = Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7);
         group.bench_with_input(BenchmarkId::new("3_regular", n), &n, |b, _| {
-            b.iter(|| {
-                QaoaRouter::new()
-                    .route_edges(n, graph.edges(), 0.7, &cfg)
-                    .unwrap()
-            });
+            b.iter(|| compile(&workload, &cfg).unwrap());
         });
     }
     group.finish();

@@ -9,11 +9,31 @@
 
 use qpilot_baselines::{compile_with_router, BaselineReport, SabreRouter};
 use qpilot_circuit::Circuit;
-use qpilot_core::generic::{GenericRouter, GenericRouterOptions};
-use qpilot_core::{CompiledProgram, FpqaConfig, RouteError};
+use qpilot_core::compile::{CompileError, CompileOptions, Compiler, Workload};
+use qpilot_core::generic::GenericRouterOptions;
+use qpilot_core::{CompiledProgram, FpqaConfig};
 
 use crate::baseline_devices;
 use crate::parallel::{default_threads, parallel_map};
+
+/// Routes every workload through the unified compile pipeline
+/// ([`qpilot_core::compile`](mod@qpilot_core::compile)) on `threads`
+/// workers (input order preserved). Workload families can be mixed
+/// freely within one batch; a fresh [`Compiler`] is built per item —
+/// the routers are stateless option holders, so construction is a few
+/// boxed-pointer allocations, negligible next to a route.
+pub fn compile_workload_batch(
+    workloads: &[Workload],
+    config: &FpqaConfig,
+    options: CompileOptions,
+    threads: usize,
+) -> Vec<Result<CompiledProgram, CompileError>> {
+    parallel_map(workloads, threads, move |workload| {
+        Compiler::with_options(options.clone())
+            .compile(workload, config)
+            .map(|out| out.into_program())
+    })
+}
 
 /// Routes every circuit with the generic router on `threads` workers
 /// (input order preserved).
@@ -21,20 +41,27 @@ pub fn compile_batch(
     circuits: &[Circuit],
     config: &FpqaConfig,
     threads: usize,
-) -> Vec<Result<CompiledProgram, RouteError>> {
+) -> Vec<Result<CompiledProgram, CompileError>> {
     compile_batch_with_options(circuits, config, GenericRouterOptions::default(), threads)
 }
 
-/// [`compile_batch`] with explicit router options.
+/// [`compile_batch`] with explicit generic-router options.
 pub fn compile_batch_with_options(
     circuits: &[Circuit],
     config: &FpqaConfig,
     options: GenericRouterOptions,
     threads: usize,
-) -> Vec<Result<CompiledProgram, RouteError>> {
-    parallel_map(circuits, threads, |circuit| {
-        GenericRouter::with_options(options).route(circuit, config)
-    })
+) -> Vec<Result<CompiledProgram, CompileError>> {
+    let workloads: Vec<Workload> = circuits
+        .iter()
+        .map(|c| Workload::circuit(c.clone()))
+        .collect();
+    compile_workload_batch(
+        &workloads,
+        config,
+        CompileOptions::new().router_options(options),
+        threads,
+    )
 }
 
 /// Compiles every circuit on every baseline device in parallel, with the
@@ -63,7 +90,7 @@ pub fn compile_on_baselines_batch(
 pub fn compile_batch_auto(
     circuits: &[Circuit],
     config: &FpqaConfig,
-) -> Vec<Result<CompiledProgram, RouteError>> {
+) -> Vec<Result<CompiledProgram, CompileError>> {
     compile_batch(circuits, config, default_threads())
 }
 
@@ -84,7 +111,7 @@ mod tests {
         let cfg = FpqaConfig::square_for(8);
         let batch = compile_batch(&cs, &cfg, 4);
         for (c, result) in cs.iter().zip(&batch) {
-            let solo = GenericRouter::new().route(c, &cfg).unwrap();
+            let solo = qpilot_core::compile(&Workload::circuit(c.clone()), &cfg).unwrap();
             assert_eq!(result.as_ref().unwrap(), &solo);
         }
     }
@@ -96,7 +123,28 @@ mod tests {
         let cfg = FpqaConfig::square_for(8);
         let batch = compile_batch(&cs, &cfg, 2);
         assert!(batch[0].is_ok() && batch[1].is_ok());
-        assert!(matches!(batch[2], Err(RouteError::TooManyQubits { .. })));
+        assert!(matches!(
+            batch[2],
+            Err(CompileError::Route(
+                qpilot_core::RouteError::TooManyQubits { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn mixed_family_batch_compiles_every_item() {
+        let cfg = FpqaConfig::square_for(8);
+        let workloads = vec![
+            Workload::circuit(circuits(1).remove(0)),
+            Workload::pauli_strings(vec!["ZZIZIIII".parse().unwrap()], 0.4),
+            Workload::qaoa_round(8, vec![(0, 1), (2, 3), (4, 5)], 0.7, 0.3),
+        ];
+        let batch = compile_workload_batch(&workloads, &cfg, CompileOptions::new(), 2);
+        assert_eq!(batch.len(), 3);
+        for (workload, result) in workloads.iter().zip(&batch) {
+            let solo = qpilot_core::compile(workload, &cfg).unwrap();
+            assert_eq!(result.as_ref().unwrap(), &solo);
+        }
     }
 
     #[test]

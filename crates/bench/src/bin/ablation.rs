@@ -10,10 +10,11 @@
 //!
 //! Usage: `ablation [--qubits 64] [--seed 21]`
 
-use qpilot_bench::{arg_num, fpqa_config, Table};
-use qpilot_core::generic::{GenericRouter, GenericRouterOptions};
-use qpilot_core::qaoa::{QaoaRouter, QaoaRouterOptions};
-use qpilot_core::qsim::{QsimRouter, QsimRouterOptions};
+use qpilot_bench::{arg_num, fpqa_config, route_workload_with, Table};
+use qpilot_core::compile::Workload;
+use qpilot_core::generic::GenericRouterOptions;
+use qpilot_core::qaoa::QaoaRouterOptions;
+use qpilot_core::qsim::QsimRouterOptions;
 use qpilot_workloads::graphs::erdos_renyi;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
@@ -30,9 +31,11 @@ fn main() {
         ("legal-subset stages", None),
         ("one gate per stage", Some(1)),
     ] {
-        let p = GenericRouter::with_options(GenericRouterOptions { stage_cap: cap })
-            .route(&circuit, &cfg)
-            .expect("routing");
+        let p = route_workload_with(
+            &Workload::circuit(circuit.clone()),
+            GenericRouterOptions { stage_cap: cap },
+            &cfg,
+        );
         table.row(vec![
             "generic".into(),
             variant.into(),
@@ -49,9 +52,11 @@ fn main() {
         seed,
     });
     for (variant, copies) in [("auto fan-out", None), ("single ancilla", Some(1))] {
-        let p = QsimRouter::with_options(QsimRouterOptions { max_copies: copies })
-            .route_strings(&strings, 0.31, &cfg)
-            .expect("routing");
+        let p = route_workload_with(
+            &Workload::pauli_strings(strings.clone(), 0.31),
+            QsimRouterOptions { max_copies: copies },
+            &cfg,
+        );
         table.row(vec![
             "qsim".into(),
             variant.into(),
@@ -73,9 +78,11 @@ fn main() {
         ),
     ];
     for (variant, options) in variants {
-        let p = QaoaRouter::with_options(options)
-            .route_edges(n, graph.edges(), 0.7, &cfg)
-            .expect("routing");
+        let p = route_workload_with(
+            &Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7),
+            options,
+            &cfg,
+        );
         table.row(vec![
             "qaoa".into(),
             variant.into(),

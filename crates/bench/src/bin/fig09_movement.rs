@@ -5,9 +5,9 @@
 //!
 //! Usage: `fig09_movement [--qubits 100] [--edge-prob 0.3] [--seed 9]`
 
-use qpilot_bench::{arg_num, fpqa_config, Histogram};
+use qpilot_bench::{arg_num, fpqa_config, route_workload, Histogram};
+use qpilot_core::compile::Workload;
 use qpilot_core::evaluator::movement_trace;
-use qpilot_core::qaoa::QaoaRouter;
 use qpilot_workloads::graphs::erdos_renyi;
 
 fn main() {
@@ -17,9 +17,10 @@ fn main() {
 
     let graph = erdos_renyi(n, p, seed);
     let cfg = fpqa_config(n);
-    let program = QaoaRouter::new()
-        .route_edges(n, graph.edges(), 0.7, &cfg)
-        .expect("routing");
+    let program = route_workload(
+        &Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7),
+        &cfg,
+    );
     let trace = movement_trace(program.schedule(), &cfg);
     let params = cfg.params();
     let pitch = cfg.pitch_um();

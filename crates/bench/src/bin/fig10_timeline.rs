@@ -3,11 +3,9 @@
 //!
 //! Usage: `fig10_timeline [--seed 5]`
 
-use qpilot_bench::{arg_num, fpqa_config, Table};
+use qpilot_bench::{arg_num, fpqa_config, route_workload, Table};
+use qpilot_core::compile::Workload;
 use qpilot_core::evaluator::evaluate;
-use qpilot_core::generic::GenericRouter;
-use qpilot_core::qaoa::QaoaRouter;
-use qpilot_core::qsim::QsimRouter;
 use qpilot_workloads::bv::bernstein_vazirani_random;
 use qpilot_workloads::graphs::erdos_renyi;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
@@ -29,25 +27,24 @@ fn main() {
         let n = 40;
         let graph = erdos_renyi(n, 0.3, seed);
         let cfg = fpqa_config(n);
-        let program = QaoaRouter::new()
-            .route_edges(n, graph.edges(), 0.7, &cfg)
-            .expect("routing");
+        let program = route_workload(
+            &Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7),
+            &cfg,
+        );
         push_row(&mut table, "QAOA-40", &evaluate(program.schedule(), &cfg));
     }
     // QSIM-10.
     {
         let strings = random_pauli_strings(&PauliWorkloadConfig::paper(10, 0.3, seed));
         let cfg = fpqa_config(10);
-        let program = QsimRouter::new()
-            .route_strings(&strings, 0.31, &cfg)
-            .expect("routing");
+        let program = route_workload(&Workload::pauli_strings(strings, 0.31), &cfg);
         push_row(&mut table, "QSIM-10", &evaluate(program.schedule(), &cfg));
     }
     // BV-70 (70 secret bits + oracle target).
     {
         let circuit = bernstein_vazirani_random(70, seed);
         let cfg = fpqa_config(circuit.num_qubits());
-        let program = GenericRouter::new().route(&circuit, &cfg).expect("routing");
+        let program = route_workload(&Workload::circuit(circuit), &cfg);
         push_row(&mut table, "BV-70", &evaluate(program.schedule(), &cfg));
     }
 

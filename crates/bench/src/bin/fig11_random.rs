@@ -4,9 +4,10 @@
 //! Usage: `fig11_random [--sizes 5,10,20,50,100] [--factors 2,10] [--seed 7]`
 
 use qpilot_bench::{
-    arg_list, arg_num, compile_on_baselines, fpqa_config, geomean_ratio, Table, BASELINE_LABELS,
+    arg_list, arg_num, compile_on_baselines, fpqa_config, geomean_ratio, route_workload, Table,
+    BASELINE_LABELS,
 };
-use qpilot_core::generic::GenericRouter;
+use qpilot_core::compile::Workload;
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
 
 fn main() {
@@ -35,9 +36,7 @@ fn main() {
         for &n in &sizes {
             let circuit = random_circuit(&RandomCircuitConfig::paper(n, factor as usize, seed));
             let cfg = fpqa_config(n);
-            let program = GenericRouter::new()
-                .route(&circuit, &cfg)
-                .expect("fpqa routing");
+            let program = route_workload(&Workload::circuit(circuit.clone()), &cfg);
             let stats = program.stats();
             let baselines = compile_on_baselines(&circuit);
 

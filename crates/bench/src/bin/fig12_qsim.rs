@@ -6,10 +6,11 @@
 //!                    [--strings 100] [--seed 3]`
 
 use qpilot_bench::{
-    arg_list, arg_num, arg_value, compile_on_baselines, fpqa_config, geomean_ratio, Table,
+    arg_list, arg_num, arg_value, compile_on_baselines, fpqa_config, geomean_ratio, route_workload,
+    Table,
 };
 use qpilot_circuit::Circuit;
-use qpilot_core::qsim::QsimRouter;
+use qpilot_core::compile::Workload;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
 
 fn main() {
@@ -47,9 +48,7 @@ fn main() {
                 seed,
             });
             let cfg = fpqa_config(n);
-            let program = QsimRouter::new()
-                .route_strings(&strings, theta, &cfg)
-                .expect("fpqa routing");
+            let program = route_workload(&Workload::pauli_strings(strings.clone(), theta), &cfg);
             let stats = program.stats();
 
             // Reference circuit for the baselines: the textbook ladders.

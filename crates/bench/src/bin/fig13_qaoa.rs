@@ -4,8 +4,10 @@
 //!
 //! Usage: `fig13_qaoa [--sizes 6,10,20,50,100] [--edge-prob 0.3] [--seed 11]`
 
-use qpilot_bench::{arg_list, arg_num, compile_on_baselines, fpqa_config, geomean_ratio, Table};
-use qpilot_core::qaoa::QaoaRouter;
+use qpilot_bench::{
+    arg_list, arg_num, compile_on_baselines, fpqa_config, geomean_ratio, route_workload, Table,
+};
+use qpilot_core::compile::Workload;
 use qpilot_workloads::graphs::{erdos_renyi, random_regular, Graph};
 
 fn run_family(name: &str, graphs: &[(u32, Graph)], paper_note: &str) {
@@ -30,9 +32,10 @@ fn run_family(name: &str, graphs: &[(u32, Graph)], paper_note: &str) {
 
     for (n, graph) in graphs {
         let cfg = fpqa_config(*n);
-        let program = QaoaRouter::new()
-            .route_edges(*n, graph.edges(), gamma, &cfg)
-            .expect("fpqa routing");
+        let program = route_workload(
+            &Workload::qaoa_cost_layer(*n, graph.edges().to_vec(), gamma),
+            &cfg,
+        );
         let stats = program.stats();
         let reference = graph.qaoa_circuit(&[gamma], &[beta]);
         let baselines = compile_on_baselines(&reference);

@@ -5,10 +5,8 @@
 
 use qpilot_bench::{arg_list, arg_num, Table};
 use qpilot_circuit::Circuit;
+use qpilot_core::compile::{compile, Workload};
 use qpilot_core::dse::{best_width, sweep_widths, WidthResult};
-use qpilot_core::generic::GenericRouter;
-use qpilot_core::qaoa::QaoaRouter;
-use qpilot_core::qsim::QsimRouter;
 use qpilot_workloads::graphs::erdos_renyi;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
@@ -49,9 +47,8 @@ fn main() {
         let mut variants = Vec::new();
         for factor in [10usize, 20, 50] {
             let circuit = random_circuit(&RandomCircuitConfig::paper(n, factor, seed));
-            let results = sweep_widths(n, &widths_usize, |cfg| {
-                GenericRouter::new().route(&circuit, cfg)
-            });
+            let workload = Workload::circuit(circuit);
+            let results = sweep_widths(n, &widths_usize, |cfg| compile(&workload, cfg));
             variants.push((format!("#2Q = {factor}x"), results));
         }
         print_family("random circuits", &widths, variants);
@@ -65,9 +62,8 @@ fn main() {
                 pauli_probability: p,
                 seed,
             });
-            let results = sweep_widths(n, &widths_usize, |cfg| {
-                QsimRouter::new().route_strings(&strings, 0.31, cfg)
-            });
+            let workload = Workload::pauli_strings(strings, 0.31);
+            let results = sweep_widths(n, &widths_usize, |cfg| compile(&workload, cfg));
             variants.push((format!("pauli p = {p}"), results));
         }
         print_family("quantum simulation", &widths, variants);
@@ -76,10 +72,8 @@ fn main() {
         let mut variants = Vec::new();
         for p in [0.2, 0.3, 0.5] {
             let graph = erdos_renyi(n, p, seed);
-            let edges = graph.edges().to_vec();
-            let results = sweep_widths(n, &widths_usize, |cfg| {
-                QaoaRouter::new().route_edges(n, &edges, 0.7, cfg)
-            });
+            let workload = Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7);
+            let results = sweep_widths(n, &widths_usize, |cfg| compile(&workload, cfg));
             variants.push((format!("edge p = {p}"), results));
         }
         print_family("QAOA", &widths, variants);

@@ -5,11 +5,9 @@
 //!
 //! Usage: `fig15a_error [--seed 8]`
 
-use qpilot_bench::{arg_num, fpqa_config, Table};
+use qpilot_bench::{arg_num, fpqa_config, route_workload, Table};
+use qpilot_core::compile::Workload;
 use qpilot_core::evaluator::evaluate;
-use qpilot_core::generic::GenericRouter;
-use qpilot_core::qaoa::QaoaRouter;
-use qpilot_core::qsim::QsimRouter;
 use qpilot_core::{CompiledProgram, FpqaConfig};
 use qpilot_workloads::graphs::random_regular;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
@@ -23,23 +21,19 @@ fn main() {
         {
             let c = random_circuit(&RandomCircuitConfig::paper(6, 2, seed));
             let cfg = fpqa_config(6);
-            let p = GenericRouter::new().route(&c, &cfg).expect("routing");
+            let p = route_workload(&Workload::circuit(c), &cfg);
             ("random 6Q (2x 2Q/qubit)", cfg, p)
         },
         {
             let g = random_regular(6, 3, seed).expect("regular graph");
             let cfg = fpqa_config(6);
-            let p = QaoaRouter::new()
-                .route_edges(6, g.edges(), 0.7, &cfg)
-                .expect("routing");
+            let p = route_workload(&Workload::qaoa_cost_layer(6, g.edges().to_vec(), 0.7), &cfg);
             ("QAOA 3-regular 6Q", cfg, p)
         },
         {
             let strings = random_pauli_strings(&PauliWorkloadConfig::paper(5, 0.1, seed));
             let cfg = fpqa_config(5);
-            let p = QsimRouter::new()
-                .route_strings(&strings, 0.31, &cfg)
-                .expect("routing");
+            let p = route_workload(&Workload::pauli_strings(strings, 0.31), &cfg);
             ("qsim 5Q, 100 strings p=0.1", cfg, p)
         },
     ];

@@ -4,9 +4,9 @@
 //!
 //! Usage: `fig15b_parallelism [--sizes 20,50,100] [--seed 10]`
 
-use qpilot_bench::{arg_list, arg_num, fpqa_config, Histogram};
+use qpilot_bench::{arg_list, arg_num, fpqa_config, route_workload, Histogram};
+use qpilot_core::compile::Workload;
 use qpilot_core::evaluator::evaluate;
-use qpilot_core::qaoa::QaoaRouter;
 use qpilot_workloads::graphs::{erdos_renyi, random_regular, Graph};
 
 fn main() {
@@ -33,9 +33,10 @@ fn run_family(sizes: &[u32], make: &dyn Fn(u32) -> Graph) {
     for &n in sizes {
         let graph = make(n);
         let cfg = fpqa_config(n);
-        let program = QaoaRouter::new()
-            .route_edges(n, graph.edges(), 0.7, &cfg)
-            .expect("routing");
+        let program = route_workload(
+            &Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7),
+            &cfg,
+        );
         let report = evaluate(program.schedule(), &cfg);
         // Interior stages only: drop the create/recycle pulses whose
         // parallelism is just n.

@@ -4,11 +4,9 @@
 //! Usage: `fig16_specific_vs_generic [--sizes 5,10,20,50,100]
 //!                                   [--strings 100] [--seed 13]`
 
-use qpilot_bench::{arg_list, arg_num, fpqa_config, geomean_ratio, Table};
+use qpilot_bench::{arg_list, arg_num, fpqa_config, geomean_ratio, route_workload, Table};
 use qpilot_circuit::Circuit;
-use qpilot_core::generic::GenericRouter;
-use qpilot_core::qaoa::QaoaRouter;
-use qpilot_core::qsim::QsimRouter;
+use qpilot_core::compile::Workload;
 use qpilot_workloads::graphs::erdos_renyi;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
 
@@ -36,14 +34,12 @@ fn main() {
             seed,
         });
         let cfg = fpqa_config(n);
-        let specific = QsimRouter::new()
-            .route_strings(&strings, theta, &cfg)
-            .expect("routing");
+        let specific = route_workload(&Workload::pauli_strings(strings.clone(), theta), &cfg);
         let mut ladder = Circuit::new(n);
         for s in &strings {
             ladder.extend_from(&s.evolution_circuit(theta).remapped(n, |q| q));
         }
-        let generic = GenericRouter::new().route(&ladder, &cfg).expect("routing");
+        let generic = route_workload(&Workload::circuit(ladder), &cfg);
         table.row(vec![
             n.to_string(),
             specific.stats().two_qubit_gates.to_string(),
@@ -79,16 +75,15 @@ fn main() {
             continue;
         }
         let cfg = fpqa_config(n);
-        let specific = QaoaRouter::new()
-            .route_edges(n, graph.edges(), 0.7, &cfg)
-            .expect("routing");
+        let specific = route_workload(
+            &Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7),
+            &cfg,
+        );
         let mut zz_circuit = Circuit::new(n);
         for &(a, b) in graph.edges() {
             zz_circuit.zz(a, b, 0.7);
         }
-        let generic = GenericRouter::new()
-            .route(&zz_circuit, &cfg)
-            .expect("routing");
+        let generic = route_workload(&Workload::circuit(zz_circuit), &cfg);
         table.row(vec![
             n.to_string(),
             specific.stats().two_qubit_gates.to_string(),

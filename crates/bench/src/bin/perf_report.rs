@@ -28,7 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use qpilot_bench::{arg_num, arg_value, check, compile_batch, default_threads, Table};
-use qpilot_core::generic::{GenericRouter, GenericRouterOptions};
+use qpilot_core::compile::{CompileOptions, Compiler, Workload};
+use qpilot_core::generic::GenericRouterOptions;
 use qpilot_core::generic_reference::route_reference;
 use qpilot_core::{CompiledProgram, FpqaConfig};
 use qpilot_workloads::graphs::random_regular;
@@ -115,17 +116,24 @@ fn bench_generic(n: u32, factor: usize, reps: usize, batch: usize, threads: usiz
     let wall_reference = median_secs(reps, || {
         route_reference(&circuit, &config, options).expect("reference routes")
     });
+    // The measured path is the unified pipeline (`Compiler::compile`) —
+    // exactly what the service workers and library callers run. The
+    // workload and Compiler are built outside the timed/counted region.
+    let workload = Workload::circuit(circuit.clone());
+    let mut compiler = Compiler::with_options(CompileOptions::new().router_options(options));
     let wall_incremental = median_secs(reps, || {
-        GenericRouter::with_options(options)
-            .route(&circuit, &config)
+        compiler
+            .compile(&workload, &config)
             .expect("incremental routes")
+            .into_program()
     });
     let (reference, allocs_reference) =
         count_allocs(|| route_reference(&circuit, &config, options).expect("reference routes"));
     let (program, allocs_incremental) = count_allocs(|| {
-        GenericRouter::with_options(options)
-            .route(&circuit, &config)
+        compiler
+            .compile(&workload, &config)
             .expect("incremental routes")
+            .into_program()
     });
     // Byte identity across the two IRs: the frozen pre-arena writer and
     // the arena writer must produce the same `qpilot.schedule/v1` bytes
@@ -188,30 +196,36 @@ fn bench_qsim(n: u32, reps: usize) -> AuxRow {
         seed: 2,
     });
     let config = FpqaConfig::square_for(n);
-    let router = qpilot_core::qsim::QsimRouter::new();
+    let workload = Workload::pauli_strings(strings, 0.4);
+    let mut compiler = Compiler::new();
     let wall = median_secs(reps, || {
-        router
-            .route_strings(&strings, 0.4, &config)
+        compiler
+            .compile(&workload, &config)
             .expect("qsim routes")
+            .into_program()
     });
-    let program = router
-        .route_strings(&strings, 0.4, &config)
-        .expect("qsim routes");
+    let program = compiler
+        .compile(&workload, &config)
+        .expect("qsim routes")
+        .into_program();
     aux_row("qsim", n, "pauli_p0.3_20s".into(), wall, &program)
 }
 
 fn bench_qaoa(n: u32, reps: usize) -> AuxRow {
     let graph = random_regular(n, 3, 4).expect("regular graph");
     let config = FpqaConfig::square_for(n);
-    let router = qpilot_core::qaoa::QaoaRouter::new();
+    let workload = Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7);
+    let mut compiler = Compiler::new();
     let wall = median_secs(reps, || {
-        router
-            .route_edges(n, graph.edges(), 0.7, &config)
+        compiler
+            .compile(&workload, &config)
             .expect("qaoa routes")
+            .into_program()
     });
-    let program = router
-        .route_edges(n, graph.edges(), 0.7, &config)
-        .expect("qaoa routes");
+    let program = compiler
+        .compile(&workload, &config)
+        .expect("qaoa routes")
+        .into_program();
     aux_row("qaoa", n, "3_regular".into(), wall, &program)
 }
 

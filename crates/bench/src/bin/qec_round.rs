@@ -7,8 +7,8 @@
 //!
 //! Usage: `qec_round [--distances 3,5,7,9]`
 
-use qpilot_bench::{arg_list, compile_on_baselines, Table};
-use qpilot_core::generic::GenericRouter;
+use qpilot_bench::{arg_list, compile_on_baselines, route_workload, Table};
+use qpilot_core::compile::Workload;
 use qpilot_core::FpqaConfig;
 use qpilot_workloads::qec::SurfaceCode;
 
@@ -33,9 +33,7 @@ fn main() {
         let circuit = code.syndrome_circuit();
         // Lay the combined register out on a near-square FPQA.
         let cfg = FpqaConfig::square_for(code.num_qubits());
-        let program = GenericRouter::new()
-            .route(&circuit, &cfg)
-            .expect("fpqa routing");
+        let program = route_workload(&Workload::circuit(circuit.clone()), &cfg);
         let mut row = vec![
             d.to_string(),
             code.num_qubits().to_string(),

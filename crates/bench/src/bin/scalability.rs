@@ -7,10 +7,8 @@
 //! The QAOA 2000q instance has ~1M edges; expect minutes, as in the paper
 //! (129.5 s reported).
 
-use qpilot_bench::{arg_list, arg_value, timed, Table};
-use qpilot_core::generic::GenericRouter;
-use qpilot_core::qaoa::QaoaRouter;
-use qpilot_core::qsim::QsimRouter;
+use qpilot_bench::{arg_list, arg_value, route_workload, timed, Table};
+use qpilot_core::compile::Workload;
 use qpilot_core::FpqaConfig;
 use qpilot_workloads::graphs::erdos_renyi;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
@@ -30,11 +28,8 @@ fn main() {
         let cfg = FpqaConfig::square_for(n);
         if families.iter().any(|f| f == "qaoa") {
             let graph = erdos_renyi(n, 0.5, seed);
-            let (program, secs) = timed(|| {
-                QaoaRouter::new()
-                    .route_edges(n, graph.edges(), 0.7, &cfg)
-                    .expect("routing")
-            });
+            let workload = Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7);
+            let (program, secs) = timed(|| route_workload(&workload, &cfg));
             table.row(vec![
                 "QAOA p=0.5".into(),
                 n.to_string(),
@@ -50,11 +45,8 @@ fn main() {
                 pauli_probability: 0.1,
                 seed,
             });
-            let (program, secs) = timed(|| {
-                QsimRouter::new()
-                    .route_strings(&strings, 0.31, &cfg)
-                    .expect("routing")
-            });
+            let workload = Workload::pauli_strings(strings, 0.31);
+            let (program, secs) = timed(|| route_workload(&workload, &cfg));
             table.row(vec![
                 "qsim 100 strings".into(),
                 n.to_string(),
@@ -65,8 +57,8 @@ fn main() {
         }
         if families.iter().any(|f| f == "random") {
             let circuit = random_circuit_with_depth(n, 10, seed);
-            let (program, secs) =
-                timed(|| GenericRouter::new().route(&circuit, &cfg).expect("routing"));
+            let workload = Workload::circuit(circuit.clone());
+            let (program, secs) = timed(|| route_workload(&workload, &cfg));
             table.row(vec![
                 "random depth 10".into(),
                 n.to_string(),

@@ -6,9 +6,9 @@
 //! LiH/H2O/BeH2 involve hundreds of strings routed through SABRE on every
 //! baseline; expect a few minutes for the full set.
 
-use qpilot_bench::{arg_value, compile_on_baselines, fpqa_config, Table};
+use qpilot_bench::{arg_value, compile_on_baselines, fpqa_config, route_workload, Table};
 use qpilot_circuit::Circuit;
-use qpilot_core::qsim::QsimRouter;
+use qpilot_core::compile::Workload;
 use qpilot_workloads::molecules::Molecule;
 
 /// Paper-reported Table 1 values: (depth, 2Q) per device order
@@ -56,9 +56,7 @@ fn main() {
 
         // Q-Pilot.
         let cfg = fpqa_config(n);
-        let program = QsimRouter::new()
-            .route_strings(&strings, theta, &cfg)
-            .expect("fpqa routing");
+        let program = route_workload(&Workload::pauli_strings(strings.clone(), theta), &cfg);
         let stats = program.stats();
         table.row(vec![
             m.name().into(),

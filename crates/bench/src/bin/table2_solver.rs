@@ -11,8 +11,8 @@
 use std::time::Duration;
 
 use qpilot_baselines::{exact_qaoa_stages, greedy_qaoa_stages, SolverOutcome};
-use qpilot_bench::{arg_list, arg_num, fpqa_config, timed, Table};
-use qpilot_core::qaoa::QaoaRouter;
+use qpilot_bench::{arg_list, arg_num, fpqa_config, route_workload, timed, Table};
+use qpilot_core::compile::Workload;
 use qpilot_workloads::graphs::random_regular;
 
 fn main() {
@@ -46,11 +46,8 @@ fn main() {
             let (greedy_depth, greedy_t) = timed(|| greedy_qaoa_stages(n, graph.edges()));
 
             let cfg = fpqa_config(n);
-            let (program, ours_t) = timed(|| {
-                QaoaRouter::new()
-                    .route_edges(n, graph.edges(), 0.7, &cfg)
-                    .expect("fpqa routing")
-            });
+            let workload = Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7);
+            let (program, ours_t) = timed(|| route_workload(&workload, &cfg));
             table.row(vec![
                 n.to_string(),
                 graph.num_edges().to_string(),

@@ -14,6 +14,7 @@ pub mod parallel;
 
 pub use batch::{
     compile_batch, compile_batch_auto, compile_batch_with_options, compile_on_baselines_batch,
+    compile_workload_batch,
 };
 pub use parallel::{default_threads, parallel_map};
 
@@ -22,8 +23,28 @@ use std::time::Instant;
 use qpilot_arch::{devices, CouplingGraph};
 use qpilot_baselines::{compile_to_device, BaselineReport};
 use qpilot_circuit::Circuit;
+use qpilot_core::compile::{CompileOptions, Compiler, RouterOptions, Workload};
 use qpilot_core::evaluator::{evaluate, PerformanceReport};
 use qpilot_core::{CompiledProgram, FpqaConfig};
+
+/// Routes one workload through the unified pipeline
+/// ([`qpilot_core::compile`](mod@qpilot_core::compile)) with default options, panicking on failure
+/// — the experiment binaries route known-good workloads.
+pub fn route_workload(workload: &Workload, config: &FpqaConfig) -> CompiledProgram {
+    qpilot_core::compile(workload, config).expect("routing")
+}
+
+/// [`route_workload`] with explicit per-router options.
+pub fn route_workload_with(
+    workload: &Workload,
+    options: impl Into<RouterOptions>,
+    config: &FpqaConfig,
+) -> CompiledProgram {
+    Compiler::with_options(CompileOptions::new().router_options(options))
+        .compile(workload, config)
+        .expect("routing")
+        .into_program()
+}
 
 /// The paper's three fixed-topology baseline devices (§4.1).
 pub fn baseline_devices() -> Vec<CouplingGraph> {

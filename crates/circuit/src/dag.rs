@@ -316,7 +316,7 @@ impl Frontier {
 /// direct successors after same-gate dedup), pending-predecessor counts,
 /// and the initial front layer — all derivable in a single pass over the
 /// gates with fixed-size per-gate storage. Promotion semantics are
-/// identical to [`Frontier::execute_batch_untracked`] (property-tested:
+/// identical to [`Frontier::execute_batch`] (property-tested:
 /// the generic router's schedules stay byte-identical to the frozen
 /// reference, which walks the naive DAG).
 #[derive(Debug, Clone)]

@@ -1,0 +1,1106 @@
+//! The unified compile pipeline — the crate's front door.
+//!
+//! Q-Pilot's claim is one FPQA substrate serving three workload families
+//! through flying-ancilla routing. This module makes that the shape of
+//! the API: a [`Workload`] describes *what* to compile (an arbitrary
+//! circuit, a Pauli-string evolution, a QAOA cost graph), a [`Compiler`]
+//! turns it into a hardware [`Schedule`](crate::Schedule) by running the
+//! full pipeline — decompose → route → (optionally) validate/lower —
+//! and every knob lives in one builder-style [`CompileOptions`]. New
+//! routers and serving frontends plug in through the [`Router`] trait
+//! instead of editing per-router call sites across crates.
+//!
+//! The three built-in routers stay available for direct use
+//! ([`GenericRouter`], [`QsimRouter`], [`QaoaRouter`]); the pipeline
+//! produces
+//! byte-identical schedules to calling them directly — the workspace's
+//! differential suites assert this on serialised wire bytes.
+//!
+//! # Generic circuits
+//!
+//! ```
+//! use qpilot_circuit::Circuit;
+//! use qpilot_core::compile::{compile, Workload};
+//! use qpilot_core::FpqaConfig;
+//!
+//! let mut c = Circuit::new(4);
+//! c.h(0).cx(0, 3).cz(1, 2);
+//! let workload = Workload::circuit(c);
+//! let config = FpqaConfig::square_for(4);
+//! let program = compile(&workload, &config).unwrap();
+//! assert!(program.stats().two_qubit_gates > 0);
+//! ```
+//!
+//! # Quantum simulation (Pauli-string evolutions)
+//!
+//! ```
+//! use qpilot_core::compile::{compile, Workload};
+//! use qpilot_core::FpqaConfig;
+//!
+//! let workload = Workload::pauli_strings(
+//!     vec!["ZZIZ".parse().unwrap(), "IXXI".parse().unwrap()],
+//!     0.5,
+//! );
+//! let config = workload.config(None); // smallest square array
+//! let program = compile(&workload, &config).unwrap();
+//! assert!(program.stats().two_qubit_depth > 0);
+//! ```
+//!
+//! # QAOA cost layers
+//!
+//! ```
+//! use qpilot_core::compile::{Compiler, CompileOptions, Workload};
+//! use qpilot_core::qaoa::QaoaRouterOptions;
+//! use qpilot_core::FpqaConfig;
+//!
+//! let workload = Workload::qaoa_round(4, vec![(0, 1), (1, 2), (2, 3)], 0.7, 0.3);
+//! let config = FpqaConfig::square_for(4);
+//! // Builder-style options: explicit router options plus the validate
+//! // toggle (the geometric validator replays the schedule).
+//! let mut compiler = Compiler::with_options(
+//!     CompileOptions::new()
+//!         .router_options(QaoaRouterOptions::default())
+//!         .validate(true),
+//! );
+//! let out = compiler.compile(&workload, &config).unwrap();
+//! assert!(out.validation.as_ref().unwrap().rydberg_stages > 0);
+//! ```
+
+use std::fmt;
+
+use qpilot_circuit::{Circuit, Fingerprint, Pauli, PauliString, StableHasher};
+
+use crate::error::RouteError;
+use crate::generic::{GenericRouter, GenericRouterOptions};
+use crate::qaoa::{QaoaRouter, QaoaRouterOptions};
+use crate::qsim::{QsimRouter, QsimRouterOptions};
+use crate::validate::{validate_schedule, ValidateError, ValidationReport};
+use crate::{CompiledProgram, FpqaConfig};
+
+/// The fingerprint domain of [`fingerprint`]; bumping it invalidates
+/// every content-addressed schedule cache.
+pub const FINGERPRINT_DOMAIN: &str = "qpilot.compile/v2";
+
+/// Which of Q-Pilot's routers a compilation targets (also the service
+/// protocol's `"router"` tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterTag {
+    /// Infer the router from the workload family (the default).
+    #[default]
+    Auto,
+    /// The generic flying-ancilla router (arbitrary circuits).
+    Generic,
+    /// The quantum-simulation router (Pauli-string evolutions).
+    Qsim,
+    /// The QAOA router (cost-layer graphs).
+    Qaoa,
+}
+
+impl RouterTag {
+    /// The wire name (`auto` / `generic` / `qsim` / `qaoa`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouterTag::Auto => "auto",
+            RouterTag::Generic => "generic",
+            RouterTag::Qsim => "qsim",
+            RouterTag::Qaoa => "qaoa",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<RouterTag> {
+        match s {
+            "auto" => Some(RouterTag::Auto),
+            "generic" => Some(RouterTag::Generic),
+            "qsim" => Some(RouterTag::Qsim),
+            "qaoa" => Some(RouterTag::Qaoa),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RouterTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A QAOA problem instance: the cost graph plus per-round angles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaoaWorkload {
+    /// Problem size (data qubits).
+    pub num_qubits: u32,
+    /// Cost-layer edges.
+    pub edges: Vec<(u32, u32)>,
+    /// Per-round `ZZ(γ)` angles (at least one).
+    pub gammas: Vec<f64>,
+    /// Per-round `Rx(β)` mixer angles: either empty (route bare cost
+    /// layers, one per `gamma`) or the same length as `gammas` (route
+    /// full rounds with Hadamard prologue and mixers).
+    pub betas: Vec<f64>,
+}
+
+/// What to compile: the per-family payload. The workload family selects
+/// the router under [`RouterTag::Auto`] dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// An arbitrary circuit for the generic router.
+    Generic(Circuit),
+    /// Weighted Pauli-string evolutions (`(string, angle)` pairs routed
+    /// in order) for the qsim router.
+    Qsim(Vec<(PauliString, f64)>),
+    /// A QAOA cost-layer problem for the QAOA router.
+    Qaoa(QaoaWorkload),
+}
+
+impl From<Circuit> for Workload {
+    fn from(circuit: Circuit) -> Self {
+        Workload::Generic(circuit)
+    }
+}
+
+impl Workload {
+    /// A generic-router workload.
+    pub fn circuit(circuit: Circuit) -> Self {
+        Workload::Generic(circuit)
+    }
+
+    /// A qsim workload with a uniform rotation angle.
+    pub fn pauli_strings(strings: Vec<PauliString>, theta: f64) -> Self {
+        Workload::Qsim(strings.into_iter().map(|s| (s, theta)).collect())
+    }
+
+    /// A qsim workload with per-string angles.
+    pub fn weighted_paulis(pairs: Vec<(PauliString, f64)>) -> Self {
+        Workload::Qsim(pairs)
+    }
+
+    /// A bare QAOA cost layer: `ZZ(γ)` on every edge, no mixer.
+    pub fn qaoa_cost_layer(num_qubits: u32, edges: Vec<(u32, u32)>, gamma: f64) -> Self {
+        Workload::Qaoa(QaoaWorkload {
+            num_qubits,
+            edges,
+            gammas: vec![gamma],
+            betas: vec![],
+        })
+    }
+
+    /// A full depth-1 QAOA round (Hadamard prologue, cost layer, mixer).
+    pub fn qaoa_round(num_qubits: u32, edges: Vec<(u32, u32)>, gamma: f64, beta: f64) -> Self {
+        Workload::Qaoa(QaoaWorkload {
+            num_qubits,
+            edges,
+            gammas: vec![gamma],
+            betas: vec![beta],
+        })
+    }
+
+    /// A depth-`p` QAOA program (`gammas.len()` rounds).
+    pub fn qaoa_rounds(
+        num_qubits: u32,
+        edges: Vec<(u32, u32)>,
+        gammas: Vec<f64>,
+        betas: Vec<f64>,
+    ) -> Self {
+        Workload::Qaoa(QaoaWorkload {
+            num_qubits,
+            edges,
+            gammas,
+            betas,
+        })
+    }
+
+    /// The router this workload resolves to under [`RouterTag::Auto`].
+    /// Never returns [`RouterTag::Auto`].
+    pub fn router(&self) -> RouterTag {
+        match self {
+            Workload::Generic(_) => RouterTag::Generic,
+            Workload::Qsim(_) => RouterTag::Qsim,
+            Workload::Qaoa(_) => RouterTag::Qaoa,
+        }
+    }
+
+    /// Data-register width the workload needs.
+    pub fn num_qubits(&self) -> u32 {
+        match self {
+            Workload::Generic(circuit) => circuit.num_qubits(),
+            Workload::Qsim(strings) => strings
+                .iter()
+                .map(|(s, _)| s.num_qubits() as u32)
+                .max()
+                .unwrap_or(1),
+            Workload::Qaoa(q) => q.num_qubits,
+        }
+    }
+
+    /// The FPQA configuration this workload resolves to: `cols` SLM
+    /// columns, or the smallest square array holding the register.
+    pub fn config(&self, cols: Option<usize>) -> FpqaConfig {
+        let n = self.num_qubits().max(1);
+        match cols {
+            Some(cols) => FpqaConfig::for_qubits(n, cols.max(1)),
+            None => FpqaConfig::square_for(n),
+        }
+    }
+
+    /// Shape checks the routers themselves cannot express (they would
+    /// panic or silently misroute).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidWorkload`] describing the malformation.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        let invalid = |m: &str| Err(CompileError::InvalidWorkload(m.into()));
+        match self {
+            Workload::Generic(_) => Ok(()),
+            Workload::Qsim(strings) => {
+                if strings.is_empty() {
+                    return invalid("qsim request needs at least one Pauli string");
+                }
+                for (_, theta) in strings {
+                    if !theta.is_finite() {
+                        return invalid("qsim angles must be finite");
+                    }
+                }
+                Ok(())
+            }
+            Workload::Qaoa(q) => {
+                if q.num_qubits == 0 {
+                    return invalid("qaoa request needs at least one qubit");
+                }
+                if q.gammas.is_empty() {
+                    return invalid("qaoa request needs at least one gamma");
+                }
+                if !q.betas.is_empty() && q.betas.len() != q.gammas.len() {
+                    return Err(CompileError::InvalidWorkload(format!(
+                        "qaoa betas ({}) must be empty or match gammas ({})",
+                        q.betas.len(),
+                        q.gammas.len()
+                    )));
+                }
+                if q.betas.is_empty() && q.gammas.len() != 1 {
+                    return invalid("bare qaoa cost layers take exactly one gamma");
+                }
+                if q.gammas.iter().chain(&q.betas).any(|a| !a.is_finite()) {
+                    return invalid("qaoa angles must be finite");
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// QAOA options in *request* form: `None` fields defer to the router's
+/// defaults without baking the default values into cache fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QaoaOptions {
+    /// Anchor-bucket search width (`None` = router default).
+    pub anchor_candidates: Option<usize>,
+    /// Column-extension toggle (`None` = router default).
+    pub column_extension: Option<bool>,
+}
+
+impl QaoaOptions {
+    /// Resolves against the router defaults.
+    pub fn resolve(self) -> QaoaRouterOptions {
+        let defaults = QaoaRouterOptions::default();
+        QaoaRouterOptions {
+            anchor_candidates: self.anchor_candidates.unwrap_or(defaults.anchor_candidates),
+            column_extension: self.column_extension.unwrap_or(defaults.column_extension),
+        }
+    }
+}
+
+impl From<QaoaRouterOptions> for QaoaOptions {
+    fn from(options: QaoaRouterOptions) -> Self {
+        QaoaOptions {
+            anchor_candidates: Some(options.anchor_candidates),
+            column_extension: Some(options.column_extension),
+        }
+    }
+}
+
+/// Per-router options as one typed enum — the single options channel of
+/// [`CompileOptions`] (and of service requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterOptions {
+    /// Options for the generic router.
+    Generic(GenericRouterOptions),
+    /// Options for the qsim router.
+    Qsim(QsimRouterOptions),
+    /// Options for the QAOA router (request form).
+    Qaoa(QaoaOptions),
+}
+
+impl RouterOptions {
+    /// The router family these options belong to.
+    pub fn tag(&self) -> RouterTag {
+        match self {
+            RouterOptions::Generic(_) => RouterTag::Generic,
+            RouterOptions::Qsim(_) => RouterTag::Qsim,
+            RouterOptions::Qaoa(_) => RouterTag::Qaoa,
+        }
+    }
+}
+
+impl From<GenericRouterOptions> for RouterOptions {
+    fn from(options: GenericRouterOptions) -> Self {
+        RouterOptions::Generic(options)
+    }
+}
+
+impl From<QsimRouterOptions> for RouterOptions {
+    fn from(options: QsimRouterOptions) -> Self {
+        RouterOptions::Qsim(options)
+    }
+}
+
+impl From<QaoaOptions> for RouterOptions {
+    fn from(options: QaoaOptions) -> Self {
+        RouterOptions::Qaoa(options)
+    }
+}
+
+impl From<QaoaRouterOptions> for RouterOptions {
+    fn from(options: QaoaRouterOptions) -> Self {
+        RouterOptions::Qaoa(options.into())
+    }
+}
+
+/// The unified compilation error: everything that can go wrong between a
+/// [`Workload`] and a validated [`CompiledProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The workload is malformed (caught before routing).
+    InvalidWorkload(String),
+    /// [`CompileOptions::router`] names a router the workload's family
+    /// does not match (and the router does not claim support for it).
+    RouterMismatch {
+        /// The explicitly requested router.
+        requested: RouterTag,
+        /// The workload's own family.
+        workload: RouterTag,
+    },
+    /// No registered router carries the resolved tag.
+    NoRouter(RouterTag),
+    /// [`CompileOptions::router_options`] belong to a different router
+    /// than the one dispatched to.
+    OptionsMismatch {
+        /// The family of the provided options.
+        options: RouterTag,
+        /// The router that was dispatched to.
+        router: RouterTag,
+    },
+    /// The router rejected the workload.
+    Route(RouteError),
+    /// The routed schedule failed geometric validation
+    /// (with [`CompileOptions::validate`] enabled).
+    Validate(ValidateError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Wire-stable: `qpilotd` error lines carry this rendering.
+            CompileError::InvalidWorkload(m) => write!(f, "invalid request: {m}"),
+            CompileError::RouterMismatch {
+                requested,
+                workload,
+            } => {
+                write!(
+                    f,
+                    "router `{requested}` cannot compile a `{workload}` workload"
+                )
+            }
+            CompileError::NoRouter(tag) => write!(f, "no registered router for `{tag}`"),
+            CompileError::OptionsMismatch { options, router } => {
+                write!(
+                    f,
+                    "`{options}` router options passed to the `{router}` router"
+                )
+            }
+            CompileError::Route(e) => write!(f, "{e}"),
+            CompileError::Validate(e) => write!(f, "schedule validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Route(e) => Some(e),
+            CompileError::Validate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RouteError> for CompileError {
+    fn from(e: RouteError) -> Self {
+        CompileError::Route(e)
+    }
+}
+
+impl From<ValidateError> for CompileError {
+    fn from(e: ValidateError) -> Self {
+        CompileError::Validate(e)
+    }
+}
+
+/// A routing backend the [`Compiler`] can dispatch to.
+///
+/// Implemented by the three built-in routers; a fourth router plugs into
+/// the pipeline by implementing this trait (plus a [`RouterTag`] variant
+/// once it joins the wire protocol) and registering via
+/// [`Compiler::register`].
+pub trait Router {
+    /// The tag this router serves. Never [`RouterTag::Auto`].
+    fn tag(&self) -> RouterTag;
+
+    /// Capability probe: can this router compile `workload`? The default
+    /// accepts exactly its own workload family.
+    fn supports(&self, workload: &Workload) -> bool {
+        workload.router() == self.tag()
+    }
+
+    /// Applies per-request options (`None` restores the router's
+    /// defaults — important when one long-lived router instance serves
+    /// many requests).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::OptionsMismatch`] when handed another family's
+    /// options.
+    fn configure(&mut self, options: Option<&RouterOptions>) -> Result<(), CompileError>;
+
+    /// Routes the workload onto the FPQA.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::RouterMismatch`] on a foreign workload family,
+    /// [`CompileError::Route`] when routing itself fails.
+    fn route(
+        &mut self,
+        workload: &Workload,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, CompileError>;
+}
+
+fn mismatch<T>(router: RouterTag, workload: &Workload) -> Result<T, CompileError> {
+    Err(CompileError::RouterMismatch {
+        requested: router,
+        workload: workload.router(),
+    })
+}
+
+fn options_mismatch(router: RouterTag, options: &RouterOptions) -> CompileError {
+    CompileError::OptionsMismatch {
+        options: options.tag(),
+        router,
+    }
+}
+
+impl Router for GenericRouter {
+    fn tag(&self) -> RouterTag {
+        RouterTag::Generic
+    }
+
+    fn configure(&mut self, options: Option<&RouterOptions>) -> Result<(), CompileError> {
+        *self = match options {
+            None => GenericRouter::new(),
+            Some(RouterOptions::Generic(o)) => GenericRouter::with_options(*o),
+            Some(other) => return Err(options_mismatch(self.tag(), other)),
+        };
+        Ok(())
+    }
+
+    fn route(
+        &mut self,
+        workload: &Workload,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, CompileError> {
+        match workload {
+            Workload::Generic(circuit) => Ok(GenericRouter::route(self, circuit, config)?),
+            _ => mismatch(self.tag(), workload),
+        }
+    }
+}
+
+impl Router for QsimRouter {
+    fn tag(&self) -> RouterTag {
+        RouterTag::Qsim
+    }
+
+    fn configure(&mut self, options: Option<&RouterOptions>) -> Result<(), CompileError> {
+        *self = match options {
+            None => QsimRouter::new(),
+            Some(RouterOptions::Qsim(o)) => QsimRouter::with_options(*o),
+            Some(other) => return Err(options_mismatch(self.tag(), other)),
+        };
+        Ok(())
+    }
+
+    fn route(
+        &mut self,
+        workload: &Workload,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, CompileError> {
+        match workload {
+            Workload::Qsim(strings) => Ok(self.route_weighted(strings, config)?),
+            _ => mismatch(self.tag(), workload),
+        }
+    }
+}
+
+impl Router for QaoaRouter {
+    fn tag(&self) -> RouterTag {
+        RouterTag::Qaoa
+    }
+
+    fn configure(&mut self, options: Option<&RouterOptions>) -> Result<(), CompileError> {
+        *self = match options {
+            None => QaoaRouter::new(),
+            Some(RouterOptions::Qaoa(o)) => QaoaRouter::with_options(o.resolve()),
+            Some(other) => return Err(options_mismatch(self.tag(), other)),
+        };
+        Ok(())
+    }
+
+    fn route(
+        &mut self,
+        workload: &Workload,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, CompileError> {
+        match workload {
+            Workload::Qaoa(q) => {
+                if q.betas.is_empty() {
+                    Ok(self.route_edges(q.num_qubits, &q.edges, q.gammas[0], config)?)
+                } else {
+                    Ok(self.route_qaoa_rounds(
+                        q.num_qubits,
+                        &q.edges,
+                        &q.gammas,
+                        &q.betas,
+                        config,
+                    )?)
+                }
+            }
+            _ => mismatch(self.tag(), workload),
+        }
+    }
+}
+
+/// Builder-style options for [`Compiler`].
+///
+/// ```
+/// use qpilot_core::compile::{CompileOptions, RouterTag};
+/// use qpilot_core::generic::GenericRouterOptions;
+///
+/// let options = CompileOptions::new()
+///     .router(RouterTag::Generic)
+///     .router_options(GenericRouterOptions { stage_cap: Some(2) })
+///     .validate(true);
+/// assert!(options.validate);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompileOptions {
+    /// Router selection; [`RouterTag::Auto`] (the default) infers the
+    /// router from the workload family.
+    pub router: RouterTag,
+    /// Per-router options (`None` = that router's defaults).
+    pub router_options: Option<RouterOptions>,
+    /// Replay the routed schedule through the geometric validator and
+    /// fail compilation on any violation.
+    pub validate: bool,
+    /// Lower the schedule to a plain circuit over data ⊗ ancilla qubits
+    /// (for simulation), returned in [`CompileOutput::lowered`].
+    pub lower: bool,
+}
+
+impl CompileOptions {
+    /// Default options: auto router, router defaults, no validation or
+    /// lowering.
+    pub fn new() -> Self {
+        CompileOptions::default()
+    }
+
+    /// Selects the router explicitly (or [`RouterTag::Auto`]).
+    pub fn router(mut self, tag: RouterTag) -> Self {
+        self.router = tag;
+        self
+    }
+
+    /// Sets per-router options.
+    pub fn router_options(mut self, options: impl Into<RouterOptions>) -> Self {
+        self.router_options = Some(options.into());
+        self
+    }
+
+    /// Toggles post-route geometric validation.
+    pub fn validate(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
+    /// Toggles lowering to a simulation circuit.
+    pub fn lower(mut self, on: bool) -> Self {
+        self.lower = on;
+        self
+    }
+}
+
+/// A successful [`Compiler::compile`]: the routed program plus whatever
+/// optional pipeline stages ran. Derefs to the [`CompiledProgram`].
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The routed program (schedule + stats).
+    pub program: CompiledProgram,
+    /// The validator's report, when [`CompileOptions::validate`] is set.
+    pub validation: Option<ValidationReport>,
+    /// The lowered simulation circuit, when [`CompileOptions::lower`] is
+    /// set.
+    pub lowered: Option<Circuit>,
+}
+
+impl CompileOutput {
+    /// Unwraps the routed program.
+    pub fn into_program(self) -> CompiledProgram {
+        self.program
+    }
+}
+
+impl std::ops::Deref for CompileOutput {
+    type Target = CompiledProgram;
+
+    fn deref(&self) -> &CompiledProgram {
+        &self.program
+    }
+}
+
+/// The unified compile pipeline: workload in, schedule out.
+///
+/// Holds one instance of every registered [`Router`] (the three built-ins
+/// by default) and dispatches each [`Workload`] per [`CompileOptions`].
+/// A `Compiler` is cheap to construct and reusable across requests of
+/// any family — the serving layer keeps one per worker thread.
+pub struct Compiler {
+    options: CompileOptions,
+    routers: Vec<Box<dyn Router + Send>>,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
+}
+
+impl Compiler {
+    /// A compiler with default options and the three built-in routers.
+    pub fn new() -> Self {
+        Compiler::with_options(CompileOptions::new())
+    }
+
+    /// A compiler with explicit options and the three built-in routers.
+    pub fn with_options(options: CompileOptions) -> Self {
+        Compiler {
+            options,
+            routers: vec![
+                Box::new(GenericRouter::new()),
+                Box::new(QsimRouter::new()),
+                Box::new(QaoaRouter::new()),
+            ],
+        }
+    }
+
+    /// A compiler with *no* routers; combine with [`Compiler::register`]
+    /// to build a custom backend set.
+    pub fn empty(options: CompileOptions) -> Self {
+        Compiler {
+            options,
+            routers: Vec::new(),
+        }
+    }
+
+    /// Registers a router. On tag collision the latest registration wins.
+    pub fn register(&mut self, router: Box<dyn Router + Send>) {
+        self.routers.push(router);
+    }
+
+    /// The current options.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Replaces the options (the per-request reconfiguration path).
+    pub fn set_options(&mut self, options: CompileOptions) {
+        self.options = options;
+    }
+
+    /// Runs the full pipeline: workload shape validation, router
+    /// dispatch (decompose + route), then the optional validate / lower
+    /// stages.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`]; see the variants for the failing stage.
+    pub fn compile(
+        &mut self,
+        workload: &Workload,
+        config: &FpqaConfig,
+    ) -> Result<CompileOutput, CompileError> {
+        workload.validate()?;
+        let resolved = match self.options.router {
+            RouterTag::Auto => workload.router(),
+            tag => tag,
+        };
+        // Latest registration wins, so scan from the back.
+        let router = self
+            .routers
+            .iter_mut()
+            .rev()
+            .find(|r| r.tag() == resolved)
+            .ok_or(CompileError::NoRouter(resolved))?;
+        if !router.supports(workload) {
+            return mismatch(resolved, workload);
+        }
+        router.configure(self.options.router_options.as_ref())?;
+        let program = router.route(workload, config)?;
+        let validation = if self.options.validate {
+            Some(validate_schedule(program.schedule(), config)?)
+        } else {
+            None
+        };
+        let lowered = self.options.lower.then(|| program.schedule().to_circuit());
+        Ok(CompileOutput {
+            program,
+            validation,
+            lowered,
+        })
+    }
+}
+
+/// One-shot convenience: compiles `workload` with default options and
+/// returns the routed program. Equivalent to the matching direct router
+/// call (byte-identical schedules).
+///
+/// # Errors
+///
+/// See [`Compiler::compile`].
+pub fn compile(workload: &Workload, config: &FpqaConfig) -> Result<CompiledProgram, CompileError> {
+    Compiler::new()
+        .compile(workload, config)
+        .map(CompileOutput::into_program)
+}
+
+fn pauli_byte(p: Pauli) -> u8 {
+    match p {
+        Pauli::I => 0,
+        Pauli::X => 1,
+        Pauli::Y => 2,
+        Pauli::Z => 3,
+    }
+}
+
+fn hash_opt_usize(h: &mut StableHasher, v: Option<usize>) {
+    match v {
+        None => h.write_u8(0),
+        Some(n) => {
+            h.write_u8(1);
+            h.write_usize(n);
+        }
+    }
+}
+
+/// The canonical content fingerprint of a compilation: router tag ⊕
+/// workload ⊕ architecture ⊕ per-router options, in the
+/// [`FINGERPRINT_DOMAIN`] (`qpilot.compile/v2`) domain. Platform- and
+/// build-stable; the serving layer uses it as the schedule cache key.
+///
+/// Requests for different routers — or the same router with different
+/// options — never collide: a per-family tag byte namespaces each
+/// router's option encoding. Options are hashed in request form, so
+/// "defer to the default" and "explicitly the default value" are
+/// distinct keys. `options` of a foreign family are ignored (such a
+/// request fails compilation before any cache is consulted).
+pub fn fingerprint(
+    workload: &Workload,
+    options: Option<&RouterOptions>,
+    config: &FpqaConfig,
+) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_str(FINGERPRINT_DOMAIN);
+    config.fingerprint_into(&mut h);
+    match workload {
+        Workload::Generic(circuit) => {
+            let stage_cap = match options {
+                Some(RouterOptions::Generic(o)) => o.stage_cap,
+                _ => None,
+            };
+            h.write_u8(0);
+            circuit.fingerprint_into(&mut h);
+            hash_opt_usize(&mut h, stage_cap);
+        }
+        Workload::Qsim(strings) => {
+            let max_copies = match options {
+                Some(RouterOptions::Qsim(o)) => o.max_copies,
+                _ => None,
+            };
+            h.write_u8(1);
+            h.write_usize(strings.len());
+            for (s, theta) in strings {
+                h.write_u32(s.num_qubits() as u32);
+                for &p in s.paulis() {
+                    h.write_u8(pauli_byte(p));
+                }
+                h.write_f64(*theta);
+            }
+            hash_opt_usize(&mut h, max_copies);
+        }
+        Workload::Qaoa(q) => {
+            let opts = match options {
+                Some(RouterOptions::Qaoa(o)) => *o,
+                _ => QaoaOptions::default(),
+            };
+            h.write_u8(2);
+            h.write_u32(q.num_qubits);
+            h.write_usize(q.edges.len());
+            for &(a, b) in &q.edges {
+                h.write_u64((u64::from(a) << 32) | u64::from(b));
+            }
+            h.write_usize(q.gammas.len());
+            for &g in &q.gammas {
+                h.write_f64(g);
+            }
+            h.write_usize(q.betas.len());
+            for &b in &q.betas {
+                h.write_f64(b);
+            }
+            hash_opt_usize(&mut h, opts.anchor_candidates);
+            match opts.column_extension {
+                None => h.write_u8(0),
+                Some(false) => h.write_u8(1),
+                Some(true) => h.write_u8(2),
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::schedule_to_json;
+
+    fn small_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1).cz(2, 3).cz(1, 2);
+        c
+    }
+
+    #[test]
+    fn auto_dispatch_reaches_all_three_routers() {
+        let mut compiler = Compiler::new();
+        let cfg = FpqaConfig::square_for(4);
+        let generic = compiler
+            .compile(&Workload::circuit(small_circuit()), &cfg)
+            .unwrap();
+        assert!(generic.stats().two_qubit_gates > 0);
+        let qsim = compiler
+            .compile(
+                &Workload::pauli_strings(vec!["ZZIZ".parse().unwrap()], 0.4),
+                &cfg,
+            )
+            .unwrap();
+        assert!(qsim.stats().two_qubit_depth > 0);
+        let qaoa = compiler
+            .compile(
+                &Workload::qaoa_round(4, vec![(0, 1), (2, 3)], 0.7, 0.3),
+                &cfg,
+            )
+            .unwrap();
+        assert!(qaoa.stats().two_qubit_gates > 0);
+    }
+
+    #[test]
+    fn pipeline_output_matches_direct_router_bytes() {
+        let cfg = FpqaConfig::square_for(4);
+        let via_pipeline = compile(&Workload::circuit(small_circuit()), &cfg).unwrap();
+        let direct = GenericRouter::new().route(&small_circuit(), &cfg).unwrap();
+        assert_eq!(
+            schedule_to_json(via_pipeline.schedule()),
+            schedule_to_json(direct.schedule())
+        );
+    }
+
+    #[test]
+    fn explicit_router_must_match_workload() {
+        let mut compiler = Compiler::with_options(CompileOptions::new().router(RouterTag::Qsim));
+        let err = compiler
+            .compile(
+                &Workload::circuit(small_circuit()),
+                &FpqaConfig::square_for(4),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::RouterMismatch {
+                requested: RouterTag::Qsim,
+                workload: RouterTag::Generic,
+            }
+        );
+    }
+
+    #[test]
+    fn foreign_options_are_rejected() {
+        let mut compiler =
+            Compiler::with_options(CompileOptions::new().router_options(QsimRouterOptions {
+                max_copies: Some(2),
+            }));
+        let err = compiler
+            .compile(
+                &Workload::circuit(small_circuit()),
+                &FpqaConfig::square_for(4),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::OptionsMismatch {
+                options: RouterTag::Qsim,
+                router: RouterTag::Generic,
+            }
+        );
+    }
+
+    #[test]
+    fn options_reset_between_requests() {
+        // A capped compile followed by a default compile on the same
+        // Compiler must not leak the cap into the second request.
+        let cfg = FpqaConfig::square_for(4);
+        let workload = Workload::circuit(small_circuit());
+        let mut compiler = Compiler::with_options(
+            CompileOptions::new().router_options(GenericRouterOptions { stage_cap: Some(1) }),
+        );
+        let capped = compiler.compile(&workload, &cfg).unwrap();
+        compiler.set_options(CompileOptions::new());
+        let free = compiler.compile(&workload, &cfg).unwrap();
+        let direct = GenericRouter::new().route(&small_circuit(), &cfg).unwrap();
+        assert_eq!(
+            schedule_to_json(free.schedule()),
+            schedule_to_json(direct.schedule())
+        );
+        assert!(capped.stats().two_qubit_depth >= free.stats().two_qubit_depth);
+    }
+
+    #[test]
+    fn validate_and_lower_toggles() {
+        let cfg = FpqaConfig::square_for(4);
+        let mut compiler = Compiler::with_options(CompileOptions::new().validate(true).lower(true));
+        let out = compiler
+            .compile(&Workload::circuit(small_circuit()), &cfg)
+            .unwrap();
+        let report = out.validation.as_ref().expect("validation ran");
+        assert_eq!(report.stages, out.program.schedule().num_stages());
+        let lowered = out.lowered.as_ref().expect("lowering ran");
+        assert_eq!(lowered, &out.program.schedule().to_circuit());
+    }
+
+    #[test]
+    fn invalid_workloads_fail_before_routing() {
+        let mut compiler = Compiler::new();
+        let cfg = FpqaConfig::square_for(4);
+        for (workload, needle) in [
+            (Workload::Qsim(vec![]), "at least one Pauli string"),
+            (
+                Workload::qaoa_cost_layer(0, vec![], 0.7),
+                "at least one qubit",
+            ),
+            (
+                Workload::qaoa_rounds(3, vec![(0, 1)], vec![0.1, 0.2], vec![0.3]),
+                "must be empty or match",
+            ),
+            (
+                Workload::qaoa_rounds(3, vec![(0, 1)], vec![0.1, 0.2], vec![]),
+                "exactly one gamma",
+            ),
+            (
+                Workload::pauli_strings(vec!["ZZ".parse().unwrap()], f64::NAN),
+                "must be finite",
+            ),
+        ] {
+            let err = compiler.compile(&workload, &cfg).unwrap_err();
+            let CompileError::InvalidWorkload(m) = &err else {
+                panic!("expected InvalidWorkload, got {err:?}");
+            };
+            assert!(m.contains(needle), "{m}");
+        }
+    }
+
+    #[test]
+    fn empty_compiler_reports_missing_router() {
+        let mut compiler = Compiler::empty(CompileOptions::new());
+        let err = compiler
+            .compile(
+                &Workload::circuit(small_circuit()),
+                &FpqaConfig::square_for(4),
+            )
+            .unwrap_err();
+        assert_eq!(err, CompileError::NoRouter(RouterTag::Generic));
+        // Registering a router fixes it; the latest registration wins.
+        compiler.register(Box::new(GenericRouter::new()));
+        assert!(compiler
+            .compile(
+                &Workload::circuit(small_circuit()),
+                &FpqaConfig::square_for(4)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn route_errors_surface_unchanged() {
+        let mut compiler = Compiler::new();
+        let err = compiler
+            .compile(
+                &Workload::circuit(Circuit::new(64)),
+                &FpqaConfig::square_for(4),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::Route(RouteError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprints_are_distinct_across_families_and_options() {
+        let cfg = FpqaConfig::square_for(2);
+        let mut c = Circuit::new(2);
+        c.zz(0, 1, 0.5);
+        let generic = Workload::circuit(c);
+        let qsim = Workload::pauli_strings(vec!["ZZ".parse().unwrap()], 0.5);
+        let qaoa = Workload::qaoa_cost_layer(2, vec![(0, 1)], 0.5);
+        let fps = [
+            fingerprint(&generic, None, &cfg),
+            fingerprint(&qsim, None, &cfg),
+            fingerprint(&qaoa, None, &cfg),
+        ];
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[0], fps[2]);
+        assert_ne!(fps[1], fps[2]);
+        // Options split keys within a family.
+        let capped = RouterOptions::Generic(GenericRouterOptions { stage_cap: Some(1) });
+        assert_ne!(fingerprint(&generic, Some(&capped), &cfg), fps[0]);
+        // Foreign options do not shift the key.
+        let foreign = RouterOptions::Qsim(QsimRouterOptions {
+            max_copies: Some(1),
+        });
+        assert_eq!(fingerprint(&generic, Some(&foreign), &cfg), fps[0]);
+    }
+
+    #[test]
+    fn workload_config_resolution() {
+        let w = Workload::circuit(Circuit::new(6));
+        assert_eq!(w.config(None), FpqaConfig::square_for(6));
+        assert_eq!(w.config(Some(3)), FpqaConfig::for_qubits(6, 3));
+        assert_eq!(w.config(Some(0)), FpqaConfig::for_qubits(6, 1));
+    }
+}

@@ -6,7 +6,7 @@
 //! runs that loop for any routing closure.
 
 use crate::evaluator::{evaluate, PerformanceReport};
-use crate::{CompiledProgram, FpqaConfig, RouteError};
+use crate::{CompileError, CompiledProgram, FpqaConfig};
 
 /// Outcome of compiling one candidate array width.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +26,7 @@ pub const PAPER_WIDTHS: [usize; 5] = [8, 16, 32, 64, 128];
 /// candidate width; widths whose routing fails are skipped.
 pub fn sweep_widths<F>(num_qubits: u32, widths: &[usize], mut route: F) -> Vec<WidthResult>
 where
-    F: FnMut(&FpqaConfig) -> Result<CompiledProgram, RouteError>,
+    F: FnMut(&FpqaConfig) -> Result<CompiledProgram, CompileError>,
 {
     let mut results = Vec::new();
     for &width in widths {
@@ -57,7 +57,9 @@ mod tests {
     fn sweep_covers_all_widths() {
         let mut c = Circuit::new(12);
         c.cz(0, 5).cz(3, 9).cz(1, 2).cz(7, 11);
-        let results = sweep_widths(12, &[2, 4, 6], |cfg| GenericRouter::new().route(&c, cfg));
+        let results = sweep_widths(12, &[2, 4, 6], |cfg| {
+            GenericRouter::new().route(&c, cfg).map_err(Into::into)
+        });
         assert_eq!(results.len(), 3);
         let widths: Vec<usize> = results.iter().map(|r| r.width).collect();
         assert_eq!(widths, vec![2, 4, 6]);
@@ -69,7 +71,9 @@ mod tests {
         for q in 0..8 {
             c.cz(q, q + 8);
         }
-        let results = sweep_widths(16, &[2, 4, 8], |cfg| GenericRouter::new().route(&c, cfg));
+        let results = sweep_widths(16, &[2, 4, 8], |cfg| {
+            GenericRouter::new().route(&c, cfg).map_err(Into::into)
+        });
         let best = best_width(&results).expect("at least one width succeeds");
         for r in &results {
             assert!(best.report.two_qubit_depth <= r.report.two_qubit_depth);

@@ -9,7 +9,11 @@
 //! (CZ / ZZ); `qpilot-sim` re-proves it numerically for every router in this
 //! crate's test-suite.
 //!
-//! Three routers are provided, mirroring the paper:
+//! The front door is [`compile`](mod@crate::compile): a [`Workload`] names
+//! what to compile (circuit / Pauli strings / QAOA graph), a [`Compiler`]
+//! dispatches it through the [`Router`] trait and runs the optional
+//! validate/lower stages, and [`CompileError`] unifies every failure
+//! mode. Three routers are provided, mirroring the paper:
 //!
 //! * [`generic::GenericRouter`] — Alg. 1: greedy maximum legal subsets of
 //!   the dependency front layer, one flying ancilla per routed CZ,
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 mod config;
 pub mod dse;
 mod error;
@@ -53,6 +58,10 @@ mod schedule;
 pub mod validate;
 pub mod wire;
 
+pub use compile::{
+    compile, CompileError, CompileOptions, CompileOutput, Compiler, QaoaOptions, QaoaWorkload,
+    Router, RouterOptions, RouterTag, Workload,
+};
 pub use config::FpqaConfig;
 pub use error::RouteError;
 pub use schedule::{

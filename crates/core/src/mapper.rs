@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 
 use qpilot_circuit::{Circuit, Qubit};
 
-use crate::error::RouteError;
+use crate::compile::CompileError;
 use crate::evaluator::evaluate;
 use crate::generic::GenericRouter;
 use crate::CompiledProgram;
@@ -85,9 +85,9 @@ pub fn search_mapping<F>(
     config: &FpqaConfig,
     options: MappingSearchOptions,
     mut route: F,
-) -> Result<MappedProgram, RouteError>
+) -> Result<MappedProgram, CompileError>
 where
-    F: FnMut(&[u32]) -> Result<CompiledProgram, RouteError>,
+    F: FnMut(&[u32]) -> Result<CompiledProgram, CompileError>,
 {
     let identity: Vec<u32> = (0..num_qubits).collect();
     let base = route(&identity)?;
@@ -142,11 +142,11 @@ pub fn search_circuit_mapping(
     circuit: &Circuit,
     config: &FpqaConfig,
     options: MappingSearchOptions,
-) -> Result<MappedProgram, RouteError> {
+) -> Result<MappedProgram, CompileError> {
     let router = GenericRouter::new();
     search_mapping(circuit.num_qubits(), config, options, |mapping| {
         let remapped = circuit.remapped(config.num_data(), |q| Qubit::new(mapping[q.index()]));
-        router.route(&remapped, config)
+        router.route(&remapped, config).map_err(Into::into)
     })
 }
 
@@ -162,14 +162,16 @@ pub fn search_qaoa_mapping(
     gamma: f64,
     config: &FpqaConfig,
     options: MappingSearchOptions,
-) -> Result<MappedProgram, RouteError> {
+) -> Result<MappedProgram, CompileError> {
     let router = crate::qaoa::QaoaRouter::new();
     search_mapping(num_qubits, config, options, |mapping| {
         let remapped: Vec<(u32, u32)> = edges
             .iter()
             .map(|&(a, b)| (mapping[a as usize], mapping[b as usize]))
             .collect();
-        router.route_edges(config.num_data(), &remapped, gamma, config)
+        router
+            .route_edges(config.num_data(), &remapped, gamma, config)
+            .map_err(Into::into)
     })
 }
 

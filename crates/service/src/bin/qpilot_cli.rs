@@ -1,9 +1,13 @@
 //! `qpilot-cli` — client for the `qpilotd` compilation daemon.
 //!
 //! ```text
-//! qpilot-cli <ping|stats|shutdown> [--connect HOST:PORT]
-//! qpilot-cli compile [--connect HOST:PORT] [--router generic|qsim|qaoa]
+//! qpilot-cli <ping|stats|store-stats|shutdown> [--connect HOST:PORT]
+//! qpilot-cli compile [--connect HOST:PORT] [--router auto|generic|qsim|qaoa]
 //!                    <workload source> [options]
+//!
+//! `--router auto` infers the router from which workload flags are
+//! present (`--strings` -> qsim, `--graph`/`--edges` -> qaoa, else
+//! generic); the default remains `generic`.
 //!
 //! generic workload source (exactly one):
 //!   --qasm FILE            OpenQASM 2.0 file (`-` for stdin)
@@ -222,17 +226,32 @@ fn qaoa_request(cols: Option<usize>, include_schedule: bool) -> String {
 }
 
 fn main() {
-    let op = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| fail("usage: qpilot-cli <ping|stats|shutdown|compile> [options]"));
+    let op = std::env::args().nth(1).unwrap_or_else(|| {
+        fail("usage: qpilot-cli <ping|stats|store-stats|shutdown|compile> [options]")
+    });
     let request = match op.as_str() {
         "ping" => "{\"op\":\"ping\"}".to_string(),
         "stats" => "{\"op\":\"stats\"}".to_string(),
+        "store-stats" => "{\"op\":\"store-stats\"}".to_string(),
         "shutdown" => "{\"op\":\"shutdown\"}".to_string(),
         "compile" => {
             let cols = parse_opt_usize("--cols");
             let include_schedule = !has_flag("--no-schedule");
             let router = arg_value("--router").unwrap_or_else(|| "generic".to_string());
+            // `auto` mirrors the daemon's field sniffing: infer the
+            // router from which workload flags are present.
+            let router = match router.as_str() {
+                "auto" => {
+                    if arg_value("--strings").is_some() {
+                        "qsim".to_string()
+                    } else if arg_value("--graph").is_some() || arg_value("--edges").is_some() {
+                        "qaoa".to_string()
+                    } else {
+                        "generic".to_string()
+                    }
+                }
+                _ => router,
+            };
             match router.as_str() {
                 "generic" => {
                     let circuit = load_circuit();
@@ -245,7 +264,9 @@ fn main() {
                 }
                 "qsim" => qsim_request(cols, include_schedule),
                 "qaoa" => qaoa_request(cols, include_schedule),
-                other => fail(&format!("unknown router `{other}` (generic|qsim|qaoa)")),
+                other => fail(&format!(
+                    "unknown router `{other}` (auto|generic|qsim|qaoa)"
+                )),
             }
         }
         other => fail(&format!("unknown operation `{other}`")),

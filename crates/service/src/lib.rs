@@ -6,12 +6,14 @@
 //! crate turns the batch library into a long-running server:
 //!
 //! * [`pool::CompileRequest::fingerprint`] — a canonical, platform-stable
-//!   128-bit content hash of the request (built on
-//!   [`qpilot_circuit::fingerprint`]): router tag ⊕ workload ⊕
-//!   architecture ⊕ per-router options;
-//! * [`pool::Workload`] — the per-router payload: arbitrary circuits for
-//!   the generic router, Pauli-string evolutions for qsim, cost-layer
-//!   graphs for QAOA (the protocol's `"router"` tag);
+//!   128-bit content hash of the request
+//!   ([`qpilot_core::compile::fingerprint`], `qpilot.compile/v2`):
+//!   router tag ⊕ workload ⊕ architecture ⊕ per-router options;
+//! * [`Workload`] / [`RouterOptions`] — the per-router payload and
+//!   options (the protocol's `"router"` tag), re-exported from
+//!   [`qpilot_core::compile`](mod@qpilot_core::compile) where the whole dispatch pipeline lives
+//!   since the unified-API redesign — a worker is just a
+//!   [`Compiler`] now;
 //! * [`cache::ScheduleCache`] — a sharded LRU keyed by that fingerprint,
 //!   holding the *serialised* `qpilot.schedule/v1` JSON
 //!   ([`qpilot_core::wire`]), so warm hits are a lookup plus a
@@ -62,7 +64,13 @@ pub mod store;
 
 pub use cache::{CacheCounters, CacheEntry, ScheduleCache};
 pub use pool::{
-    CompileRequest, CompileResponse, RouterTag, Service, ServiceConfig, ServiceError, ServiceStats,
+    CompileRequest, CompileResponse, Service, ServiceConfig, ServiceError, ServiceStats, StoreStats,
+};
+// The compilation types themselves live in `qpilot_core::compile` since
+// the unified-pipeline redesign; re-exported here so serving code reads
+// naturally.
+pub use qpilot_core::compile::{
+    CompileError, CompileOptions, Compiler, QaoaOptions, QaoaWorkload, RouterOptions, RouterTag,
     Workload,
 };
 pub use server::{serve_lines, serve_stdio, TcpServer, MAX_REQUEST_LINE_BYTES};

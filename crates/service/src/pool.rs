@@ -2,10 +2,16 @@
 //! feeding a worker pool, exact request coalescing, and latency
 //! accounting.
 //!
+//! The compilation types themselves — [`Workload`], [`RouterTag`],
+//! [`RouterOptions`], the dispatch pipeline — live in
+//! [`qpilot_core::compile`](mod@qpilot_core::compile) and are re-exported here; this module adds
+//! the serving concerns (caching, queuing, coalescing, persistence).
+//!
 //! Flow per [`CompileRequest`] (from any connection handler thread):
 //!
-//! 1. the request's content [`Fingerprint`] is computed (router tag ⊕
-//!    workload ⊕ architecture ⊕ per-router options);
+//! 1. the request's content [`Fingerprint`] is computed
+//!    ([`qpilot_core::compile::fingerprint`]: router tag ⊕ workload ⊕
+//!    architecture ⊕ per-router options);
 //! 2. the [`ScheduleCache`] is probed — a hit returns immediately with
 //!    the cached serialised schedule (no queueing, no compilation);
 //! 3. a miss consults the in-flight waiter map: if an identical compile
@@ -22,7 +28,7 @@
 //!    [`Service::try_compile`] returns [`ServiceError::Overloaded`] for
 //!    callers that prefer shedding;
 //! 5. a worker pops the job, re-probes the cache, compiles with its
-//!    reused per-router state, serialises once, inserts (spilling to the
+//!    per-worker [`Compiler`], serialises once, inserts (spilling to the
 //!    persistent [`store`](crate::store) when one is configured), then
 //!    answers the leader and drains every coalesced waiter.
 //!
@@ -39,191 +45,25 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use qpilot_circuit::{Circuit, Fingerprint, Pauli, PauliString, StableHasher};
-use qpilot_core::generic::{GenericRouter, GenericRouterOptions};
-use qpilot_core::qaoa::{QaoaRouter, QaoaRouterOptions};
-use qpilot_core::qsim::{QsimRouter, QsimRouterOptions};
+use qpilot_circuit::{Circuit, Fingerprint, PauliString};
+use qpilot_core::compile::{self, CompileOptions, Compiler};
 use qpilot_core::wire::schedule_to_json;
-use qpilot_core::{CompiledProgram, FpqaConfig, RouteError};
+use qpilot_core::{CompileError, FpqaConfig, RouterOptions, RouterTag, Workload};
 
 use crate::cache::{CacheCounters, CacheEntry, ScheduleCache};
-use crate::store::ScheduleStore;
+use crate::store::{RecoveryReport, ScheduleStore};
 
-/// Which of Q-Pilot's routers a request targets (the protocol's
-/// `"router"` tag).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RouterTag {
-    /// The generic flying-ancilla router (arbitrary circuits).
-    #[default]
-    Generic,
-    /// The quantum-simulation router (Pauli-string evolutions).
-    Qsim,
-    /// The QAOA router (cost-layer graphs).
-    Qaoa,
-}
-
-impl RouterTag {
-    /// The wire name (`generic` / `qsim` / `qaoa`).
-    pub fn as_str(self) -> &'static str {
-        match self {
-            RouterTag::Generic => "generic",
-            RouterTag::Qsim => "qsim",
-            RouterTag::Qaoa => "qaoa",
-        }
-    }
-
-    /// Parses a wire name.
-    pub fn parse(s: &str) -> Option<RouterTag> {
-        match s {
-            "generic" => Some(RouterTag::Generic),
-            "qsim" => Some(RouterTag::Qsim),
-            "qaoa" => Some(RouterTag::Qaoa),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for RouterTag {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
-/// The per-router payload of a request, carrying that router's own
-/// options so distinct option sets can never share a fingerprint.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Workload {
-    /// An arbitrary circuit for the generic router.
-    Generic {
-        /// The circuit to route.
-        circuit: Circuit,
-        /// Generic-router stage cap (`None` = AOD grid size).
-        stage_cap: Option<usize>,
-    },
-    /// Weighted Pauli-string evolutions for the qsim router.
-    Qsim {
-        /// `(string, angle)` pairs routed in order.
-        strings: Vec<(PauliString, f64)>,
-        /// Fan-out copy cap (`None` = AOD grid limit).
-        max_copies: Option<usize>,
-    },
-    /// A QAOA cost-layer graph for the QAOA router.
-    Qaoa {
-        /// Problem size (data qubits).
-        num_qubits: u32,
-        /// Cost-layer edges.
-        edges: Vec<(u32, u32)>,
-        /// Per-round `ZZ(γ)` angles (at least one).
-        gammas: Vec<f64>,
-        /// Per-round `Rx(β)` mixer angles: either empty (route bare cost
-        /// layers, one per `gamma`) or the same length as `gammas` (route
-        /// full rounds with Hadamard prologue and mixers).
-        betas: Vec<f64>,
-        /// Anchor-bucket search width (`None` = router default).
-        anchor_candidates: Option<usize>,
-        /// Column-extension toggle (`None` = router default).
-        column_extension: Option<bool>,
-    },
-}
-
-impl Workload {
-    /// The router this workload targets.
-    pub fn router(&self) -> RouterTag {
-        match self {
-            Workload::Generic { .. } => RouterTag::Generic,
-            Workload::Qsim { .. } => RouterTag::Qsim,
-            Workload::Qaoa { .. } => RouterTag::Qaoa,
-        }
-    }
-
-    /// Data-register width the workload needs.
-    fn num_qubits(&self) -> u32 {
-        match self {
-            Workload::Generic { circuit, .. } => circuit.num_qubits(),
-            Workload::Qsim { strings, .. } => strings
-                .iter()
-                .map(|(s, _)| s.num_qubits() as u32)
-                .max()
-                .unwrap_or(1),
-            Workload::Qaoa { num_qubits, .. } => *num_qubits,
-        }
-    }
-
-    /// Shape checks the routers themselves cannot express (they would
-    /// panic or silently misroute).
-    fn validate(&self) -> Result<(), String> {
-        match self {
-            Workload::Generic { .. } => Ok(()),
-            Workload::Qsim { strings, .. } => {
-                if strings.is_empty() {
-                    return Err("qsim request needs at least one Pauli string".into());
-                }
-                for (_, theta) in strings {
-                    if !theta.is_finite() {
-                        return Err("qsim angles must be finite".into());
-                    }
-                }
-                Ok(())
-            }
-            Workload::Qaoa {
-                num_qubits,
-                gammas,
-                betas,
-                ..
-            } => {
-                if *num_qubits == 0 {
-                    return Err("qaoa request needs at least one qubit".into());
-                }
-                if gammas.is_empty() {
-                    return Err("qaoa request needs at least one gamma".into());
-                }
-                if !betas.is_empty() && betas.len() != gammas.len() {
-                    return Err(format!(
-                        "qaoa betas ({}) must be empty or match gammas ({})",
-                        betas.len(),
-                        gammas.len()
-                    ));
-                }
-                if betas.is_empty() && gammas.len() != 1 {
-                    return Err("bare qaoa cost layers take exactly one gamma".into());
-                }
-                if gammas.iter().chain(betas).any(|a| !a.is_finite()) {
-                    return Err("qaoa angles must be finite".into());
-                }
-                Ok(())
-            }
-        }
-    }
-}
-
-fn pauli_byte(p: Pauli) -> u8 {
-    match p {
-        Pauli::I => 0,
-        Pauli::X => 1,
-        Pauli::Y => 2,
-        Pauli::Z => 3,
-    }
-}
-
-fn hash_opt_usize(h: &mut StableHasher, v: Option<usize>) {
-    match v {
-        None => h.write_u8(0),
-        Some(n) => {
-            h.write_u8(1);
-            h.write_usize(n);
-        }
-    }
-}
-
-/// One compilation request: the workload (which selects the router and
-/// carries its options) plus the architecture shape. Equal requests (by
-/// content) share a fingerprint and therefore a cache entry; requests
-/// for different routers — or the same router with different options —
-/// never collide.
+/// One compilation request: the workload (which selects the router),
+/// optional per-router options, and the architecture shape. Equal
+/// requests (by content) share a fingerprint and therefore a cache
+/// entry; requests for different routers — or the same router with
+/// different options — never collide.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompileRequest {
-    /// What to compile, and with which router.
+    /// What to compile, and (via its family) with which router.
     pub workload: Workload,
+    /// Per-router options (`None` = that router's defaults).
+    pub options: Option<RouterOptions>,
     /// SLM array columns (`None` = smallest square holding the register,
     /// exactly [`FpqaConfig::square_for`]).
     pub cols: Option<usize>,
@@ -232,39 +72,33 @@ pub struct CompileRequest {
 impl CompileRequest {
     /// A generic-router request with default architecture and options.
     pub fn new(circuit: Circuit) -> Self {
+        CompileRequest::from_workload(Workload::circuit(circuit))
+    }
+
+    /// A request for any workload, with default architecture and options.
+    pub fn from_workload(workload: Workload) -> Self {
         CompileRequest {
-            workload: Workload::Generic {
-                circuit,
-                stage_cap: None,
-            },
+            workload,
+            options: None,
             cols: None,
         }
     }
 
     /// A qsim request with a uniform rotation angle.
     pub fn qsim(strings: Vec<PauliString>, theta: f64) -> Self {
-        CompileRequest {
-            workload: Workload::Qsim {
-                strings: strings.into_iter().map(|s| (s, theta)).collect(),
-                max_copies: None,
-            },
-            cols: None,
-        }
+        CompileRequest::from_workload(Workload::pauli_strings(strings, theta))
     }
 
     /// A depth-1 QAOA round request.
     pub fn qaoa_round(num_qubits: u32, edges: Vec<(u32, u32)>, gamma: f64, beta: f64) -> Self {
-        CompileRequest {
-            workload: Workload::Qaoa {
-                num_qubits,
-                edges,
-                gammas: vec![gamma],
-                betas: vec![beta],
-                anchor_candidates: None,
-                column_extension: None,
-            },
-            cols: None,
-        }
+        CompileRequest::from_workload(Workload::qaoa_round(num_qubits, edges, gamma, beta))
+    }
+
+    /// Attaches per-router options (builder style).
+    #[must_use]
+    pub fn with_options(mut self, options: impl Into<RouterOptions>) -> Self {
+        self.options = Some(options.into());
+        self
     }
 
     /// The router this request dispatches to.
@@ -274,73 +108,39 @@ impl CompileRequest {
 
     /// The FPQA configuration this request resolves to.
     pub fn config(&self) -> FpqaConfig {
-        let n = self.workload.num_qubits().max(1);
-        match self.cols {
-            Some(cols) => FpqaConfig::for_qubits(n, cols.max(1)),
-            None => FpqaConfig::square_for(n),
+        self.workload.config(self.cols)
+    }
+
+    /// The per-request pipeline options handed to a worker's
+    /// [`Compiler`].
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            router_options: self.options,
+            ..CompileOptions::new()
         }
     }
 
-    /// The canonical content fingerprint: router tag, workload, derived
-    /// architecture and per-router options. Platform- and build-stable.
-    /// The tag byte namespaces each router's option encoding, so e.g. a
-    /// qsim `max_copies` can never collide with a generic `stage_cap`.
-    pub fn fingerprint(&self) -> Fingerprint {
-        let mut h = StableHasher::new();
-        h.write_str("qpilot.compile/v2");
-        self.config().fingerprint_into(&mut h);
-        match &self.workload {
-            Workload::Generic { circuit, stage_cap } => {
-                h.write_u8(0);
-                circuit.fingerprint_into(&mut h);
-                hash_opt_usize(&mut h, *stage_cap);
-            }
-            Workload::Qsim {
-                strings,
-                max_copies,
-            } => {
-                h.write_u8(1);
-                h.write_usize(strings.len());
-                for (s, theta) in strings {
-                    h.write_u32(s.num_qubits() as u32);
-                    for &p in s.paulis() {
-                        h.write_u8(pauli_byte(p));
-                    }
-                    h.write_f64(*theta);
-                }
-                hash_opt_usize(&mut h, *max_copies);
-            }
-            Workload::Qaoa {
-                num_qubits,
-                edges,
-                gammas,
-                betas,
-                anchor_candidates,
-                column_extension,
-            } => {
-                h.write_u8(2);
-                h.write_u32(*num_qubits);
-                h.write_usize(edges.len());
-                for &(a, b) in edges {
-                    h.write_u64((u64::from(a) << 32) | u64::from(b));
-                }
-                h.write_usize(gammas.len());
-                for &g in gammas {
-                    h.write_f64(g);
-                }
-                h.write_usize(betas.len());
-                for &b in betas {
-                    h.write_f64(b);
-                }
-                hash_opt_usize(&mut h, *anchor_candidates);
-                match column_extension {
-                    None => h.write_u8(0),
-                    Some(false) => h.write_u8(1),
-                    Some(true) => h.write_u8(2),
-                }
+    /// Request-level shape checks (workload shape plus options/workload
+    /// family agreement), run before any queueing.
+    fn validate(&self) -> Result<(), CompileError> {
+        self.workload.validate()?;
+        if let Some(options) = &self.options {
+            if options.tag() != self.workload.router() {
+                return Err(CompileError::OptionsMismatch {
+                    options: options.tag(),
+                    router: self.workload.router(),
+                });
             }
         }
-        h.finish()
+        Ok(())
+    }
+
+    /// The canonical content fingerprint
+    /// ([`qpilot_core::compile::fingerprint`], `qpilot.compile/v2`
+    /// domain): router tag, workload, derived architecture and
+    /// per-router options. Platform- and build-stable.
+    pub fn fingerprint(&self) -> Fingerprint {
+        compile::fingerprint(&self.workload, self.options.as_ref(), &self.config())
     }
 }
 
@@ -376,10 +176,10 @@ impl Default for ServiceConfig {
 /// Why a request failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
-    /// The request's workload is malformed (caught before compilation).
-    InvalidRequest(String),
-    /// The router rejected the request.
-    Route(RouteError),
+    /// The compile pipeline rejected the request (malformed workload,
+    /// router/options mismatch, or routing failure) — the unified
+    /// [`CompileError`] from `qpilot_core::compile`.
+    Compile(CompileError),
     /// The job queue is full ([`Service::try_compile`] only).
     Overloaded,
     /// The service is shutting down and the job was abandoned.
@@ -391,8 +191,9 @@ pub enum ServiceError {
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
-            ServiceError::Route(e) => write!(f, "{e}"),
+            // `CompileError` renders wire-stable messages (e.g.
+            // `invalid request: …` for malformed workloads).
+            ServiceError::Compile(e) => write!(f, "{e}"),
             ServiceError::Overloaded => {
                 write!(f, "service overloaded: compile queue is full, retry later")
             }
@@ -403,6 +204,12 @@ impl fmt::Display for ServiceError {
 }
 
 impl std::error::Error for ServiceError {}
+
+impl From<CompileError> for ServiceError {
+    fn from(e: CompileError) -> Self {
+        ServiceError::Compile(e)
+    }
+}
 
 /// A successful compile response.
 #[derive(Debug, Clone)]
@@ -445,93 +252,30 @@ pub struct ServiceStats {
     pub workers: usize,
 }
 
+/// Persistent-store statistics for the `store-stats` protocol request:
+/// the startup [`RecoveryReport`] plus lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `true` when the service runs with a persistent store.
+    pub configured: bool,
+    /// The startup recovery report (blobs loaded / discarded / adopted).
+    pub recovery: RecoveryReport,
+    /// Schedules spilled to disk since startup.
+    pub persisted: u64,
+    /// Blobs unlinked by cache evictions since startup.
+    pub removed: u64,
+    /// Blobs currently tracked by the store index — the true on-disk
+    /// mirror size (failed writes are never indexed, so this can trail
+    /// the in-memory cache).
+    pub entries: u64,
+}
+
 type Reply = mpsc::Sender<Result<CompileResponse, ServiceError>>;
 
 struct Job {
     request: CompileRequest,
     fingerprint: Fingerprint,
     reply: Reply,
-}
-
-/// Per-worker router state: one instance of each router, rebuilt only
-/// when a request's options differ from the previous job's (the batch
-/// compilation reuse pattern).
-struct WorkerRouters {
-    generic: GenericRouter,
-    generic_opts: GenericRouterOptions,
-    qsim: QsimRouter,
-    qsim_opts: QsimRouterOptions,
-    qaoa: QaoaRouter,
-    qaoa_opts: QaoaRouterOptions,
-}
-
-impl WorkerRouters {
-    fn new() -> Self {
-        WorkerRouters {
-            generic: GenericRouter::new(),
-            generic_opts: GenericRouterOptions::default(),
-            qsim: QsimRouter::new(),
-            qsim_opts: QsimRouterOptions::default(),
-            qaoa: QaoaRouter::new(),
-            qaoa_opts: QaoaRouterOptions::default(),
-        }
-    }
-
-    fn route(
-        &mut self,
-        workload: &Workload,
-        config: &FpqaConfig,
-    ) -> Result<CompiledProgram, RouteError> {
-        match workload {
-            Workload::Generic { circuit, stage_cap } => {
-                let options = GenericRouterOptions {
-                    stage_cap: *stage_cap,
-                };
-                if options != self.generic_opts {
-                    self.generic = GenericRouter::with_options(options);
-                    self.generic_opts = options;
-                }
-                self.generic.route(circuit, config)
-            }
-            Workload::Qsim {
-                strings,
-                max_copies,
-            } => {
-                let options = QsimRouterOptions {
-                    max_copies: *max_copies,
-                };
-                if options != self.qsim_opts {
-                    self.qsim = QsimRouter::with_options(options);
-                    self.qsim_opts = options;
-                }
-                self.qsim.route_weighted(strings, config)
-            }
-            Workload::Qaoa {
-                num_qubits,
-                edges,
-                gammas,
-                betas,
-                anchor_candidates,
-                column_extension,
-            } => {
-                let defaults = QaoaRouterOptions::default();
-                let options = QaoaRouterOptions {
-                    anchor_candidates: anchor_candidates.unwrap_or(defaults.anchor_candidates),
-                    column_extension: column_extension.unwrap_or(defaults.column_extension),
-                };
-                if options != self.qaoa_opts {
-                    self.qaoa = QaoaRouter::with_options(options);
-                    self.qaoa_opts = options;
-                }
-                if betas.is_empty() {
-                    self.qaoa.route_edges(*num_qubits, edges, gammas[0], config)
-                } else {
-                    self.qaoa
-                        .route_qaoa_rounds(*num_qubits, edges, gammas, betas, config)
-                }
-            }
-        }
-    }
 }
 
 /// State shared with worker threads.
@@ -561,7 +305,7 @@ impl WorkerCtx {
     /// request that raced past the waiter map (enqueued after the
     /// previous leader finished) never compiles twice. The re-probe is
     /// untracked: the request already counted its miss.
-    fn run(&self, routers: &mut WorkerRouters, job: &Job) -> Result<CompileResponse, ServiceError> {
+    fn run(&self, compiler: &mut Compiler, job: &Job) -> Result<CompileResponse, ServiceError> {
         if let Some(entry) = self.cache.get_untracked(&job.fingerprint) {
             return Ok(CompileResponse {
                 fingerprint: job.fingerprint,
@@ -573,9 +317,11 @@ impl WorkerCtx {
         }
         let config = job.request.config();
         let started = Instant::now();
-        let program = routers
-            .route(&job.request.workload, &config)
-            .map_err(ServiceError::Route)?;
+        compiler.set_options(job.request.compile_options());
+        let program = compiler
+            .compile(&job.request.workload, &config)
+            .map_err(ServiceError::Compile)?
+            .into_program();
         let stats = *program.stats();
         let schedule_json: Arc<str> = schedule_to_json(program.schedule()).into();
         let compile_s = started.elapsed().as_secs_f64();
@@ -680,7 +426,7 @@ impl Service {
                 let rx = Arc::clone(&rx);
                 let ctx = Arc::clone(&ctx);
                 std::thread::spawn(move || {
-                    let mut routers = WorkerRouters::new();
+                    let mut compiler = Compiler::new();
                     loop {
                         let job = match rx.lock().expect("job queue lock").recv() {
                             Ok(job) => job,
@@ -691,7 +437,7 @@ impl Service {
                         // a worker thread (a shrinking pool would end in
                         // every client blocking on a queue nobody drains).
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            ctx.run(&mut routers, &job)
+                            ctx.run(&mut compiler, &job)
                         }))
                         .unwrap_or_else(|payload| {
                             let message = payload
@@ -733,8 +479,8 @@ impl Service {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::InvalidRequest`] for malformed workloads,
-    /// [`ServiceError::Route`] if the router rejects the workload,
+    /// [`ServiceError::Compile`] for malformed workloads or rejected
+    /// routing (the unified [`CompileError`]),
     /// [`ServiceError::ShuttingDown`] if the pool stops mid-request.
     pub fn compile(&self, request: CompileRequest) -> Result<CompileResponse, ServiceError> {
         self.submit(request, false)
@@ -758,10 +504,7 @@ impl Service {
         fail_fast: bool,
     ) -> Result<CompileResponse, ServiceError> {
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
-        request
-            .workload
-            .validate()
-            .map_err(ServiceError::InvalidRequest)?;
+        request.validate().map_err(ServiceError::Compile)?;
         let fingerprint = request.fingerprint();
         let ctx = &self.shared.ctx;
         // Fast path: serve hits from the caller thread; the worker pool
@@ -853,6 +596,24 @@ impl Service {
         }
     }
 
+    /// A persistent-store snapshot for the `store-stats` protocol op:
+    /// the startup recovery report plus lifetime persist/unlink
+    /// counters. `configured` is `false` (all counters zero) when the
+    /// service runs without `--store`.
+    pub fn store_stats(&self) -> StoreStats {
+        let ctx = &self.shared.ctx;
+        match &ctx.store {
+            None => StoreStats::default(),
+            Some(store) => StoreStats {
+                configured: true,
+                recovery: store.recovery(),
+                persisted: store.persisted(),
+                removed: store.removed(),
+                entries: store.len(),
+            },
+        }
+    }
+
     /// A statistics snapshot.
     pub fn stats(&self) -> ServiceStats {
         let ctx = &self.shared.ctx;
@@ -930,7 +691,10 @@ impl LatencyWindow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qpilot_core::generic::GenericRouterOptions;
+    use qpilot_core::qsim::QsimRouterOptions;
     use qpilot_core::wire::schedule_from_json;
+    use qpilot_core::QaoaOptions;
     use std::sync::Barrier;
 
     fn small_circuit(seed: u32) -> Circuit {
@@ -973,15 +737,12 @@ mod tests {
     }
 
     #[test]
-    fn cached_schedule_matches_direct_routing() {
+    fn cached_schedule_matches_core_pipeline() {
         let svc = service();
         let req = CompileRequest::new(small_circuit(1));
         let config = req.config();
         let response = svc.compile(req.clone()).unwrap();
-        let Workload::Generic { circuit, .. } = &req.workload else {
-            unreachable!()
-        };
-        let direct = GenericRouter::new().route(circuit, &config).unwrap();
+        let direct = compile::compile(&req.workload, &config).unwrap();
         let parsed = schedule_from_json(&response.entry.schedule_json).unwrap();
         assert_eq!(&parsed, direct.schedule());
         assert_eq!(response.entry.stats, *direct.stats());
@@ -991,13 +752,8 @@ mod tests {
     fn different_options_miss_each_other() {
         let svc = service();
         let base = CompileRequest::new(small_circuit(2));
-        let capped = CompileRequest {
-            workload: Workload::Generic {
-                circuit: small_circuit(2),
-                stage_cap: Some(1),
-            },
-            cols: None,
-        };
+        let capped = CompileRequest::new(small_circuit(2))
+            .with_options(GenericRouterOptions { stage_cap: Some(1) });
         let wide = CompileRequest {
             cols: Some(4),
             ..base.clone()
@@ -1023,17 +779,7 @@ mod tests {
         c.zz(0, 1, 0.5);
         let generic = CompileRequest::new(c);
         let qsim = CompileRequest::qsim(vec!["ZZ".parse().unwrap()], 0.5);
-        let qaoa = CompileRequest {
-            workload: Workload::Qaoa {
-                num_qubits: 2,
-                edges: vec![(0, 1)],
-                gammas: vec![0.5],
-                betas: vec![],
-                anchor_candidates: None,
-                column_extension: None,
-            },
-            cols: None,
-        };
+        let qaoa = CompileRequest::from_workload(Workload::qaoa_cost_layer(2, vec![(0, 1)], 0.5));
         let fps = [
             generic.fingerprint(),
             qsim.fingerprint(),
@@ -1047,27 +793,20 @@ mod tests {
     #[test]
     fn per_router_options_split_fingerprints() {
         let qsim = CompileRequest::qsim(vec!["ZZZ".parse().unwrap()], 0.25);
-        let mut qsim_capped = qsim.clone();
-        if let Workload::Qsim { max_copies, .. } = &mut qsim_capped.workload {
-            *max_copies = Some(1);
-        }
+        let qsim_capped = qsim.clone().with_options(QsimRouterOptions {
+            max_copies: Some(1),
+        });
         assert_ne!(qsim.fingerprint(), qsim_capped.fingerprint());
 
         let qaoa = CompileRequest::qaoa_round(4, vec![(0, 1), (2, 3)], 0.7, 0.3);
-        let mut qaoa_narrow = qaoa.clone();
-        if let Workload::Qaoa {
-            anchor_candidates, ..
-        } = &mut qaoa_narrow.workload
-        {
-            *anchor_candidates = Some(1);
-        }
-        let mut qaoa_nocol = qaoa.clone();
-        if let Workload::Qaoa {
-            column_extension, ..
-        } = &mut qaoa_nocol.workload
-        {
-            *column_extension = Some(false);
-        }
+        let qaoa_narrow = qaoa.clone().with_options(QaoaOptions {
+            anchor_candidates: Some(1),
+            column_extension: None,
+        });
+        let qaoa_nocol = qaoa.clone().with_options(QaoaOptions {
+            anchor_candidates: None,
+            column_extension: Some(false),
+        });
         assert_ne!(qaoa.fingerprint(), qaoa_narrow.fingerprint());
         assert_ne!(qaoa.fingerprint(), qaoa_nocol.fingerprint());
         assert_ne!(qaoa_narrow.fingerprint(), qaoa_nocol.fingerprint());
@@ -1099,22 +838,25 @@ mod tests {
         let empty_qsim = CompileRequest::qsim(vec![], 0.5);
         assert!(matches!(
             svc.compile(empty_qsim),
-            Err(ServiceError::InvalidRequest(_))
+            Err(ServiceError::Compile(CompileError::InvalidWorkload(_)))
         ));
-        let mismatched = CompileRequest {
-            workload: Workload::Qaoa {
-                num_qubits: 3,
-                edges: vec![(0, 1)],
-                gammas: vec![0.1, 0.2],
-                betas: vec![0.3],
-                anchor_candidates: None,
-                column_extension: None,
-            },
-            cols: None,
-        };
+        let mismatched = CompileRequest::from_workload(Workload::qaoa_rounds(
+            3,
+            vec![(0, 1)],
+            vec![0.1, 0.2],
+            vec![0.3],
+        ));
         assert!(matches!(
             svc.compile(mismatched),
-            Err(ServiceError::InvalidRequest(_))
+            Err(ServiceError::Compile(CompileError::InvalidWorkload(_)))
+        ));
+        // Options of a foreign family are caught before the queue too.
+        let foreign = CompileRequest::new(small_circuit(8)).with_options(QsimRouterOptions {
+            max_copies: Some(1),
+        });
+        assert!(matches!(
+            svc.compile(foreign),
+            Err(ServiceError::Compile(CompileError::OptionsMismatch { .. }))
         ));
         // The pool is still healthy.
         assert!(svc.compile(CompileRequest::new(small_circuit(9))).is_ok());
@@ -1134,8 +876,43 @@ mod tests {
             })
             .collect();
         for h in handles {
-            assert!(matches!(h.join().unwrap(), Err(ServiceError::Route(_))));
+            assert!(matches!(
+                h.join().unwrap(),
+                Err(ServiceError::Compile(CompileError::Route(_)))
+            ));
         }
+    }
+
+    #[test]
+    fn store_stats_reflect_recovery_and_persistence() {
+        let dir = std::env::temp_dir().join(format!(
+            "qpilot_pool_store_stats_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = service();
+        assert_eq!(svc.store_stats(), StoreStats::default());
+        drop(svc);
+
+        let stored_config = ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..config()
+        };
+        let svc = Service::new(stored_config.clone());
+        svc.compile(CompileRequest::new(small_circuit(7))).unwrap();
+        let stats = svc.store_stats();
+        assert!(stats.configured);
+        assert_eq!(stats.persisted, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.recovery.loaded, 0);
+        drop(svc);
+
+        let svc = Service::new(stored_config);
+        let stats = svc.store_stats();
+        assert_eq!(stats.recovery.loaded, 1);
+        assert_eq!(stats.persisted, 0, "nothing new persisted yet");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

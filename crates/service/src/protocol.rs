@@ -19,11 +19,17 @@
 //! -> {"op":"stats"}
 //! <- {"ok":true,"op":"stats","requests":2,"hits":1,"coalesced":0,…}
 //!
+//! -> {"op":"store-stats"}
+//! <- {"ok":true,"op":"store-stats","configured":true,"loaded":3,
+//!     "adopted":0,"discarded":1,"persisted":2,"removed":0,"entries":5}
+//!
 //! -> {"op":"shutdown"}
 //! <- {"ok":true,"op":"shutdown"}
 //! ```
 //!
-//! The `"router"` tag selects the workload shape (default `generic`):
+//! The `"router"` tag selects the workload shape (default `generic`;
+//! `auto` infers the family from the payload fields, mirroring
+//! [`RouterTag::Auto`] dispatch in `qpilot_core::compile`):
 //!
 //! * `generic` — `"circuit"` object or `"qasm"` string (exactly one);
 //!   option `"stage_cap"`.
@@ -44,12 +50,14 @@
 //! overload.
 
 use qpilot_circuit::{Circuit, PauliString};
+use qpilot_core::generic::GenericRouterOptions;
 use qpilot_core::json::{self, json_str, Value};
+use qpilot_core::qsim::QsimRouterOptions;
 use qpilot_core::wire::{gate_from_value, write_gate};
-use qpilot_core::ScheduleStats;
+use qpilot_core::{QaoaOptions, RouterOptions, RouterTag, ScheduleStats, Workload};
 
 use crate::pool::{
-    CompileRequest, CompileResponse, RouterTag, Service, ServiceError, ServiceStats, Workload,
+    CompileRequest, CompileResponse, Service, ServiceError, ServiceStats, StoreStats,
 };
 
 /// A parsed protocol request.
@@ -66,6 +74,8 @@ pub enum Request {
     },
     /// Service statistics.
     Stats,
+    /// Persistent-store statistics (recovery report + counters).
+    StoreStats,
     /// Ask the daemon to exit cleanly.
     Shutdown,
 }
@@ -84,20 +94,37 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "store-stats" => Ok(Request::StoreStats),
         "shutdown" => Ok(Request::Shutdown),
         "compile" => {
             let router = match doc.get("router") {
                 None | Some(Value::Null) => RouterTag::Generic,
                 Some(v) => {
                     let name = v.as_str().ok_or("`router` must be a string")?;
-                    RouterTag::parse(name)
-                        .ok_or_else(|| format!("unknown router `{name}` (generic|qsim|qaoa)"))?
+                    RouterTag::parse(name).ok_or_else(|| {
+                        format!("unknown router `{name}` (auto|generic|qsim|qaoa)")
+                    })?
                 }
             };
-            let workload = match router {
+            // `auto` infers the workload family from the payload fields
+            // (mirroring `RouterTag::Auto` dispatch in the core API).
+            let router = match router {
+                RouterTag::Auto => {
+                    if doc.get("strings").is_some() {
+                        RouterTag::Qsim
+                    } else if doc.get("edges").is_some() || doc.get("qubits").is_some() {
+                        RouterTag::Qaoa
+                    } else {
+                        RouterTag::Generic
+                    }
+                }
+                tag => tag,
+            };
+            let (workload, options) = match router {
                 RouterTag::Generic => generic_workload(&doc)?,
                 RouterTag::Qsim => qsim_workload(&doc)?,
                 RouterTag::Qaoa => qaoa_workload(&doc)?,
+                RouterTag::Auto => unreachable!("auto resolved above"),
             };
             let cols = opt_positive(&doc, "cols")?;
             let include_schedule = match doc.get("schedule") {
@@ -105,7 +132,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Some(v) => v.as_bool().ok_or("`schedule` must be a boolean")?,
             };
             Ok(Request::Compile {
-                request: CompileRequest { workload, cols },
+                request: CompileRequest {
+                    workload,
+                    options,
+                    cols,
+                },
                 include_schedule,
             })
         }
@@ -137,15 +168,19 @@ fn reject_foreign_fields(doc: &Value, router: RouterTag, foreign: &[&str]) -> Re
     Ok(())
 }
 
-fn generic_workload(doc: &Value) -> Result<Workload, String> {
+type ParsedWorkload = (Workload, Option<RouterOptions>);
+
+fn generic_workload(doc: &Value) -> Result<ParsedWorkload, String> {
     reject_foreign_fields(doc, RouterTag::Generic, &["strings", "edges", "gammas"])?;
-    Ok(Workload::Generic {
-        circuit: circuit_from_request(doc)?,
-        stage_cap: opt_positive(doc, "stage_cap")?,
-    })
+    let options = opt_positive(doc, "stage_cap")?
+        .map(|cap| GenericRouterOptions {
+            stage_cap: Some(cap),
+        })
+        .map(RouterOptions::Generic);
+    Ok((Workload::Generic(circuit_from_request(doc)?), options))
 }
 
-fn qsim_workload(doc: &Value) -> Result<Workload, String> {
+fn qsim_workload(doc: &Value) -> Result<ParsedWorkload, String> {
     reject_foreign_fields(doc, RouterTag::Qsim, &["circuit", "qasm", "edges"])?;
     let strings = doc
         .get("strings")
@@ -182,10 +217,15 @@ fn qsim_workload(doc: &Value) -> Result<Workload, String> {
     if angles.iter().any(|a| !a.is_finite()) {
         return Err("qsim angles must be finite".into());
     }
-    Ok(Workload::Qsim {
-        strings: parsed.into_iter().zip(angles).collect(),
-        max_copies: opt_positive(doc, "max_copies")?,
-    })
+    let options = opt_positive(doc, "max_copies")?
+        .map(|cap| QsimRouterOptions {
+            max_copies: Some(cap),
+        })
+        .map(RouterOptions::Qsim);
+    Ok((
+        Workload::weighted_paulis(parsed.into_iter().zip(angles).collect()),
+        options,
+    ))
 }
 
 /// Parses an angle list given either a scalar field (`gamma`) or a
@@ -211,7 +251,7 @@ fn angle_list(doc: &Value, scalar: &str, plural: &str) -> Result<Option<Vec<f64>
     }
 }
 
-fn qaoa_workload(doc: &Value) -> Result<Workload, String> {
+fn qaoa_workload(doc: &Value) -> Result<ParsedWorkload, String> {
     reject_foreign_fields(doc, RouterTag::Qaoa, &["circuit", "qasm", "strings"])?;
     let num_qubits = doc
         .get("qubits")
@@ -244,14 +284,16 @@ fn qaoa_workload(doc: &Value) -> Result<Workload, String> {
         None | Some(Value::Null) => None,
         Some(v) => Some(v.as_bool().ok_or("`column_extension` must be a boolean")?),
     };
-    Ok(Workload::Qaoa {
-        num_qubits,
-        edges,
-        gammas,
-        betas,
+    let qaoa_options = QaoaOptions {
         anchor_candidates: opt_positive(doc, "anchors")?,
         column_extension,
-    })
+    };
+    let options =
+        (qaoa_options != QaoaOptions::default()).then_some(RouterOptions::Qaoa(qaoa_options));
+    Ok((
+        Workload::qaoa_rounds(num_qubits, edges, gammas, betas),
+        options,
+    ))
 }
 
 /// Extracts the circuit from a compile request: either an inline
@@ -489,6 +531,30 @@ pub fn render_stats_response(stats: &ServiceStats) -> String {
     out
 }
 
+/// Renders a store-stats response line: the startup recovery report
+/// (blobs loaded / adopted / discarded) plus lifetime persist/unlink
+/// counters. `configured` is `false` when the daemon runs without
+/// `--store` (all counters zero).
+pub fn render_store_stats_response(stats: &StoreStats) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"ok\":true,\"op\":\"store-stats\",\"configured\":");
+    out.push_str(if stats.configured { "true" } else { "false" });
+    out.push_str(",\"loaded\":");
+    out.push_str(&stats.recovery.loaded.to_string());
+    out.push_str(",\"adopted\":");
+    out.push_str(&stats.recovery.adopted.to_string());
+    out.push_str(",\"discarded\":");
+    out.push_str(&stats.recovery.discarded.to_string());
+    out.push_str(",\"persisted\":");
+    out.push_str(&stats.persisted.to_string());
+    out.push_str(",\"removed\":");
+    out.push_str(&stats.removed.to_string());
+    out.push_str(",\"entries\":");
+    out.push_str(&stats.entries.to_string());
+    out.push('}');
+    out
+}
+
 /// Renders an error line. `retry` marks transient conditions (overload).
 pub fn render_error(message: &str, retry: bool) -> String {
     let mut out = String::from("{\"ok\":false,\"error\":");
@@ -535,6 +601,10 @@ pub fn handle_line(service: &Service, line: &str) -> Handled {
         },
         Ok(Request::Stats) => Handled {
             response: render_stats_response(&service.stats()),
+            shutdown: false,
+        },
+        Ok(Request::StoreStats) => Handled {
+            response: render_store_stats_response(&service.store_stats()),
             shutdown: false,
         },
         Ok(Request::Shutdown) => Handled {
@@ -589,12 +659,17 @@ mod tests {
                 request,
                 include_schedule,
             } => {
-                let Workload::Generic { circuit, stage_cap } = &request.workload else {
+                let Workload::Generic(circuit) = &request.workload else {
                     panic!("expected generic workload");
                 };
                 assert_eq!(circuit.len(), 1);
                 assert_eq!(request.cols, Some(2));
-                assert_eq!(*stage_cap, Some(3));
+                assert_eq!(
+                    request.options,
+                    Some(RouterOptions::Generic(GenericRouterOptions {
+                        stage_cap: Some(3)
+                    }))
+                );
                 assert!(!include_schedule);
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -606,12 +681,13 @@ mod tests {
         let line = r#"{"op":"compile","qasm":"OPENQASM 2.0;\nqreg q[2];\ncz q[0], q[1];"}"#;
         match parse_request(line).unwrap() {
             Request::Compile { request, .. } => {
-                let Workload::Generic { circuit, .. } = &request.workload else {
+                let Workload::Generic(circuit) = &request.workload else {
                     panic!("expected generic workload");
                 };
                 assert_eq!(circuit.num_qubits(), 2);
                 assert_eq!(circuit.len(), 1);
                 assert_eq!(request.router(), RouterTag::Generic);
+                assert_eq!(request.options, None);
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -622,16 +698,17 @@ mod tests {
         let line = r#"{"op":"compile","router":"qsim","strings":["ZZII","IXXI"],"theta":0.5,"max_copies":2}"#;
         match parse_request(line).unwrap() {
             Request::Compile { request, .. } => {
-                let Workload::Qsim {
-                    strings,
-                    max_copies,
-                } = &request.workload
-                else {
+                let Workload::Qsim(strings) = &request.workload else {
                     panic!("expected qsim workload");
                 };
                 assert_eq!(strings.len(), 2);
                 assert_eq!(strings[0].1, 0.5);
-                assert_eq!(*max_copies, Some(2));
+                assert_eq!(
+                    request.options,
+                    Some(RouterOptions::Qsim(QsimRouterOptions {
+                        max_copies: Some(2)
+                    }))
+                );
                 assert_eq!(request.router(), RouterTag::Qsim);
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -641,7 +718,7 @@ mod tests {
             r#"{"op":"compile","router":"qsim","strings":["ZZ","XX"],"angles":[0.25,-0.5]}"#;
         match parse_request(weighted).unwrap() {
             Request::Compile { request, .. } => {
-                let Workload::Qsim { strings, .. } = &request.workload else {
+                let Workload::Qsim(strings) = &request.workload else {
                     panic!("expected qsim workload");
                 };
                 assert_eq!(strings[0].1, 0.25);
@@ -656,23 +733,20 @@ mod tests {
         let line = r#"{"op":"compile","router":"qaoa","qubits":4,"edges":[[0,1],[2,3]],"gamma":0.7,"beta":0.3,"anchors":2,"column_extension":false}"#;
         match parse_request(line).unwrap() {
             Request::Compile { request, .. } => {
-                let Workload::Qaoa {
-                    num_qubits,
-                    edges,
-                    gammas,
-                    betas,
-                    anchor_candidates,
-                    column_extension,
-                } = &request.workload
-                else {
+                let Workload::Qaoa(q) = &request.workload else {
                     panic!("expected qaoa workload");
                 };
-                assert_eq!(*num_qubits, 4);
-                assert_eq!(edges, &[(0, 1), (2, 3)]);
-                assert_eq!(gammas, &[0.7]);
-                assert_eq!(betas, &[0.3]);
-                assert_eq!(*anchor_candidates, Some(2));
-                assert_eq!(*column_extension, Some(false));
+                assert_eq!(q.num_qubits, 4);
+                assert_eq!(q.edges, [(0, 1), (2, 3)]);
+                assert_eq!(q.gammas, [0.7]);
+                assert_eq!(q.betas, [0.3]);
+                assert_eq!(
+                    request.options,
+                    Some(RouterOptions::Qaoa(QaoaOptions {
+                        anchor_candidates: Some(2),
+                        column_extension: Some(false),
+                    }))
+                );
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -711,13 +785,48 @@ mod tests {
         match parse_request(&qaoa).unwrap() {
             Request::Compile { request, .. } => {
                 assert_eq!(request.router(), RouterTag::Qaoa);
-                let Workload::Qaoa { edges, .. } = &request.workload else {
+                let Workload::Qaoa(q) = &request.workload else {
                     panic!("expected qaoa workload");
                 };
-                assert_eq!(edges.len(), 2);
+                assert_eq!(q.edges.len(), 2);
             }
             other => panic!("unexpected parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn auto_router_sniffs_the_workload_family() {
+        for (line, tag) in [
+            (
+                r#"{"op":"compile","router":"auto","circuit":{"num_qubits":2,"gates":[["cz",0,1]]}}"#,
+                RouterTag::Generic,
+            ),
+            (
+                r#"{"op":"compile","router":"auto","strings":["ZZ"],"theta":0.5}"#,
+                RouterTag::Qsim,
+            ),
+            (
+                r#"{"op":"compile","router":"auto","qubits":2,"edges":[[0,1]],"gamma":0.7}"#,
+                RouterTag::Qaoa,
+            ),
+        ] {
+            match parse_request(line).unwrap() {
+                Request::Compile { request, .. } => assert_eq!(request.router(), tag, "{line}"),
+                other => panic!("unexpected parse: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn store_stats_op_round_trips() {
+        let svc = service();
+        let handled = handle_line(&svc, r#"{"op":"store-stats"}"#);
+        let doc = json::parse(&handled.response).unwrap();
+        assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(doc.get("op").and_then(Value::as_str), Some("store-stats"));
+        assert_eq!(doc.get("configured").and_then(Value::as_bool), Some(false));
+        assert_eq!(doc.get("loaded").and_then(Value::as_u64), Some(0));
+        assert!(!handled.shutdown);
     }
 
     #[test]

@@ -197,6 +197,18 @@ impl ScheduleStore {
         self.recovery
     }
 
+    /// Blobs currently tracked by the index (recovered + persisted −
+    /// removed); failed writes are never indexed, so this is the true
+    /// on-disk mirror size, unlike the in-memory cache length.
+    pub fn len(&self) -> u64 {
+        self.index.lock().expect("store index lock").entries.len() as u64
+    }
+
+    /// Returns `true` when the index tracks no blobs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Blobs written since opening.
     pub fn persisted(&self) -> u64 {
         self.persisted.load(Ordering::Relaxed)
@@ -336,9 +348,8 @@ fn load_blob(path: &Path) -> Option<(Arc<str>, ScheduleStats)> {
 mod tests {
     use super::*;
     use qpilot_circuit::Circuit;
-    use qpilot_core::generic::GenericRouter;
     use qpilot_core::wire::schedule_to_json;
-    use qpilot_core::FpqaConfig;
+    use qpilot_core::{FpqaConfig, Workload};
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -354,9 +365,8 @@ mod tests {
         let mut c = Circuit::new(4);
         c.h(seed % 4);
         c.cz(0, 1).cz(2, 3);
-        let program = GenericRouter::new()
-            .route(&c, &FpqaConfig::square_for(4))
-            .unwrap();
+        let program =
+            qpilot_core::compile(&Workload::circuit(c), &FpqaConfig::square_for(4)).unwrap();
         let json: Arc<str> = schedule_to_json(program.schedule()).into();
         let mut key = [0u8; 16];
         key[0] = seed as u8;

@@ -4,9 +4,8 @@
 //!
 //! Run with: `cargo run --release --example design_space_exploration`
 
+use qpilot::core::compile::{compile, Workload};
 use qpilot::core::dse::{best_width, sweep_widths};
-use qpilot::core::qaoa::QaoaRouter;
-use qpilot::core::qsim::QsimRouter;
 use qpilot::workloads::graphs::erdos_renyi;
 use qpilot::workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
 
@@ -17,9 +16,8 @@ fn main() {
     // Workload A: QAOA on a random graph.
     let graph = erdos_renyi(n, 0.3, 7);
     let edges = graph.edges().to_vec();
-    let qaoa = sweep_widths(n, &widths, |cfg| {
-        QaoaRouter::new().route_edges(n, &edges, 0.7, cfg)
-    });
+    let workload = Workload::qaoa_cost_layer(n, edges.clone(), 0.7);
+    let qaoa = sweep_widths(n, &widths, |cfg| compile(&workload, cfg));
     println!("QAOA ({} edges) depth per array width:", edges.len());
     for r in &qaoa {
         println!(
@@ -40,9 +38,8 @@ fn main() {
         pauli_probability: 0.3,
         seed: 7,
     });
-    let qsim = sweep_widths(n, &widths, |cfg| {
-        QsimRouter::new().route_strings(&strings, 0.31, cfg)
-    });
+    let workload = Workload::pauli_strings(strings, 0.31);
+    let qsim = sweep_widths(n, &widths, |cfg| compile(&workload, cfg));
     println!("\nquantum simulation (30 strings, p = 0.3) depth per width:");
     for r in &qsim {
         println!(

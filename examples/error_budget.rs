@@ -5,17 +5,20 @@
 //! Run with: `cargo run --example error_budget`
 
 use qpilot::arch::PhysicalParams;
+use qpilot::core::compile::{compile, Workload};
 use qpilot::core::evaluator::evaluate;
-use qpilot::core::{qaoa::QaoaRouter, FpqaConfig};
+use qpilot::core::FpqaConfig;
 use qpilot::workloads::graphs::random_regular;
 
 fn main() {
     let n = 12u32;
     let graph = random_regular(n, 3, 3).expect("3-regular graph");
     let config = FpqaConfig::square_for(n);
-    let program = QaoaRouter::new()
-        .route_edges(n, graph.edges(), 0.7, &config)
-        .expect("routing");
+    let program = compile(
+        &Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7),
+        &config,
+    )
+    .expect("routing");
 
     println!(
         "QAOA {n}q, {} edges -> {} 2Q gates, depth {}",

@@ -5,9 +5,10 @@
 //! Run with: `cargo run --release --example mapping_search`
 
 use qpilot::circuit::Circuit;
+use qpilot::core::compile::{compile, Workload};
 use qpilot::core::mapper::{search_circuit_mapping, MappingSearchOptions};
 use qpilot::core::render::render_timeline;
-use qpilot::core::{generic::GenericRouter, FpqaConfig};
+use qpilot::core::FpqaConfig;
 
 fn main() {
     // A random sparse circuit: reading-order placement is rarely optimal,
@@ -26,9 +27,7 @@ fn main() {
     };
     let config = FpqaConfig::for_qubits(n, 4);
 
-    let identity = GenericRouter::new()
-        .route(&circuit, &config)
-        .expect("routing");
+    let identity = compile(&Workload::circuit(circuit.clone()), &config).expect("routing");
     println!(
         "reading-order mapping: depth {}, total movement {:.0} um",
         identity.stats().two_qubit_depth,

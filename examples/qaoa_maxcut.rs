@@ -7,8 +7,8 @@
 use qpilot::arch::devices;
 use qpilot::baselines::compile_to_device;
 use qpilot::circuit::Circuit;
-use qpilot::core::validate::validate_schedule;
-use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, FpqaConfig};
+use qpilot::core::compile::{compile, CompileOptions, Compiler, Workload};
+use qpilot::core::FpqaConfig;
 use qpilot::sim::equiv::verify_compiled;
 use qpilot::workloads::graphs::random_regular;
 
@@ -25,19 +25,21 @@ fn main() {
     let config = FpqaConfig::square_for(n);
 
     // 1) The QAOA-specific router: per-qubit ancillas, stage matching.
-    let specific = QaoaRouter::new()
-        .route_qaoa_round(n, graph.edges(), gamma, beta, &config)
-        .expect("qaoa routing");
-    validate_schedule(specific.schedule(), &config).expect("valid schedule");
+    // The workload family picks the router; validation rides along.
+    let specific = Compiler::with_options(CompileOptions::new().validate(true))
+        .compile(
+            &Workload::qaoa_round(n, graph.edges().to_vec(), gamma, beta),
+            &config,
+        )
+        .expect("qaoa routing")
+        .into_program();
 
     // 2) The generic router on the equivalent ZZ circuit.
     let mut zz_circuit = Circuit::new(n);
     for &(a, b) in graph.edges() {
         zz_circuit.zz(a, b, gamma);
     }
-    let generic = GenericRouter::new()
-        .route(&zz_circuit, &config)
-        .expect("generic routing");
+    let generic = compile(&Workload::circuit(zz_circuit), &config).expect("generic routing");
 
     // 3) A fixed-atom-array baseline with SWAP insertion.
     let reference = graph.qaoa_circuit(&[gamma], &[beta]);

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example quantum_simulation`
 
 use qpilot::circuit::Circuit;
-use qpilot::core::validate::validate_schedule;
-use qpilot::core::{qsim::QsimRouter, FpqaConfig};
+use qpilot::core::compile::{CompileOptions, Compiler, Workload};
+use qpilot::core::FpqaConfig;
 use qpilot::sim::equiv::verify_compiled;
 use qpilot::workloads::molecules::Molecule;
 
@@ -26,10 +26,13 @@ fn main() {
 
     let theta = 0.17; // one Trotter step angle
     let config = FpqaConfig::square_for(n);
-    let program = QsimRouter::new()
-        .route_strings(&strings, theta, &config)
-        .expect("routing");
-    validate_schedule(program.schedule(), &config).expect("valid schedule");
+    // The workload family selects the quantum-simulation router (Alg. 2);
+    // the validate toggle replays the geometry before the program is
+    // handed back.
+    let program = Compiler::with_options(CompileOptions::new().validate(true))
+        .compile(&Workload::pauli_strings(strings.clone(), theta), &config)
+        .expect("routing")
+        .into_program();
 
     let stats = program.stats();
     println!(

@@ -5,9 +5,9 @@
 //! Run with: `cargo run --example quickstart`
 
 use qpilot::circuit::Circuit;
+use qpilot::core::compile::{CompileOptions, Compiler, Workload};
 use qpilot::core::evaluator::evaluate;
-use qpilot::core::validate::validate_schedule;
-use qpilot::core::{generic::GenericRouter, FpqaConfig};
+use qpilot::core::FpqaConfig;
 use qpilot::sim::equiv::verify_compiled;
 
 fn main() {
@@ -25,15 +25,19 @@ fn main() {
     let config = FpqaConfig::for_qubits(6, 3);
     println!("machine: {config}");
 
-    // Route with the generic flying-ancilla router (Alg. 1).
-    let program = GenericRouter::new()
-        .route(&circuit, &config)
+    // One pipeline call: dispatch to the generic flying-ancilla router
+    // (Alg. 1, inferred from the workload family), validate the geometry,
+    // and lower to a simulation circuit.
+    let mut compiler = Compiler::with_options(CompileOptions::new().validate(true).lower(true));
+    let out = compiler
+        .compile(&Workload::circuit(circuit.clone()), &config)
         .expect("routing failed");
+    let program = &out.program;
     println!("{}", program.schedule());
 
-    // The validator independently replays the geometry: AOD lines never
+    // The validator independently replayed the geometry: AOD lines never
     // cross, and every Rydberg pulse couples exactly the intended pairs.
-    let report = validate_schedule(program.schedule(), &config).expect("schedule is valid");
+    let report = out.validation.as_ref().expect("validation ran");
     println!(
         "validated {} stages ({} Rydberg pulses), all ancillas recycled: {}",
         report.stages,
@@ -50,8 +54,8 @@ fn main() {
 
     // And the ground truth: the compiled program implements the original
     // unitary with every ancilla returned to |0>.
-    let compiled = program.schedule().to_circuit();
-    let result = verify_compiled(&compiled, &circuit);
+    let compiled = out.lowered.as_ref().expect("lowering ran");
+    let result = verify_compiled(compiled, &circuit);
     println!(
         "simulator check: equivalent = {} (max deviation {:.2e})",
         result.equivalent, result.max_deviation

@@ -14,14 +14,20 @@
 //!
 //! # Quickstart
 //!
+//! The front door is the unified compile pipeline in
+//! [`core::compile`](mod@qpilot_core::compile): wrap any workload family
+//! (circuit, Pauli strings, QAOA graph) in a `Workload` and compile —
+//! the router is inferred from the family.
+//!
 //! ```
 //! use qpilot::circuit::Circuit;
-//! use qpilot::core::{generic::GenericRouter, FpqaConfig};
+//! use qpilot::core::compile::{compile, Workload};
+//! use qpilot::core::FpqaConfig;
 //!
 //! let mut c = Circuit::new(4);
 //! c.cz(0, 1).cz(1, 2).cz(2, 3).cz(3, 0);
 //! let config = FpqaConfig::square(2); // 2x2 SLM array
-//! let program = GenericRouter::new().route(&c, &config).unwrap();
+//! let program = compile(&Workload::circuit(c), &config).unwrap();
 //! assert!(program.stats().two_qubit_gates >= 4);
 //! ```
 

@@ -10,8 +10,9 @@
 use std::f64::consts::FRAC_PI_2;
 
 use qpilot::circuit::Circuit;
+use qpilot::core::compile::{compile, Workload};
 use qpilot::core::validate::validate_schedule;
-use qpilot::core::{generic::GenericRouter, qaoa::QaoaRouter, qsim::QsimRouter, FpqaConfig};
+use qpilot::core::FpqaConfig;
 use qpilot::sim::stabilizer::clifford_verify_compiled;
 use qpilot::workloads::graphs::erdos_renyi;
 use qpilot::workloads::qec::SurfaceCode;
@@ -40,7 +41,7 @@ fn generic_router_100q_cz_circuit() {
         circuit.cz(a, b);
     }
     let cfg = FpqaConfig::square_for(n);
-    let program = GenericRouter::new().route(&circuit, &cfg).expect("routing");
+    let program = compile(&Workload::circuit(circuit.clone()), &cfg).expect("routing");
     validate_schedule(program.schedule(), &cfg).expect("valid schedule");
     assert_clifford_equivalent(&program.schedule().to_circuit(), &circuit);
 }
@@ -51,9 +52,11 @@ fn qaoa_router_100q_clifford_angle() {
     let n = 100u32;
     let graph = erdos_renyi(n, 0.15, 23);
     let cfg = FpqaConfig::square_for(n);
-    let program = QaoaRouter::new()
-        .route_edges(n, graph.edges(), FRAC_PI_2, &cfg)
-        .expect("routing");
+    let program = compile(
+        &Workload::qaoa_cost_layer(n, graph.edges().to_vec(), FRAC_PI_2),
+        &cfg,
+    )
+    .expect("routing");
     validate_schedule(program.schedule(), &cfg).expect("valid schedule");
     let mut reference = Circuit::new(n);
     for &(a, b) in graph.edges() {
@@ -73,9 +76,11 @@ fn qsim_router_64q_clifford_angle() {
     );
     assert_eq!(string.num_qubits(), 64);
     let cfg = FpqaConfig::square_for(n);
-    let program = QsimRouter::new()
-        .route_strings(std::slice::from_ref(&string), FRAC_PI_2, &cfg)
-        .expect("routing");
+    let program = compile(
+        &Workload::pauli_strings(vec![string.clone()], FRAC_PI_2),
+        &cfg,
+    )
+    .expect("routing");
     validate_schedule(program.schedule(), &cfg).expect("valid schedule");
     let reference = string.evolution_circuit(FRAC_PI_2).remapped(n, |q| q);
     assert_clifford_equivalent(&program.schedule().to_circuit(), &reference);
@@ -88,7 +93,7 @@ fn surface_code_d5_syndrome_round_verified_at_scale() {
     let code = SurfaceCode::new(5);
     let circuit = code.syndrome_circuit();
     let cfg = FpqaConfig::square_for(code.num_qubits());
-    let program = GenericRouter::new().route(&circuit, &cfg).expect("routing");
+    let program = compile(&Workload::circuit(circuit.clone()), &cfg).expect("routing");
     validate_schedule(program.schedule(), &cfg).expect("valid schedule");
     assert_clifford_equivalent(&program.schedule().to_circuit(), &circuit);
 }

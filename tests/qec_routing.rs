@@ -2,8 +2,9 @@
 //! small surface code, compiled with the generic router, must implement
 //! the reference circuit exactly (flying ancillas clean).
 
+use qpilot::core::compile::{compile, Workload};
 use qpilot::core::validate::validate_schedule;
-use qpilot::core::{generic::GenericRouter, FpqaConfig};
+use qpilot::core::FpqaConfig;
 use qpilot::sim::equiv::verify_compiled;
 use qpilot::workloads::qec::SurfaceCode;
 
@@ -14,7 +15,7 @@ fn distance2_syndrome_round_is_equivalent() {
     let code = SurfaceCode::new(2);
     let circuit = code.syndrome_circuit();
     let cfg = FpqaConfig::square_for(code.num_qubits());
-    let program = GenericRouter::new().route(&circuit, &cfg).expect("routing");
+    let program = compile(&Workload::circuit(circuit.clone()), &cfg).expect("routing");
     validate_schedule(program.schedule(), &cfg).expect("valid schedule");
     let res = verify_compiled(&program.schedule().to_circuit(), &circuit);
     assert!(res.equivalent, "{res:?}");
@@ -27,7 +28,7 @@ fn distance3_syndrome_round_validates() {
     let code = SurfaceCode::new(3);
     let circuit = code.syndrome_circuit();
     let cfg = FpqaConfig::square_for(code.num_qubits());
-    let program = GenericRouter::new().route(&circuit, &cfg).expect("routing");
+    let program = compile(&Workload::circuit(circuit.clone()), &cfg).expect("routing");
     let report = validate_schedule(program.schedule(), &cfg).expect("valid schedule");
     assert_eq!(report.leftover_ancillas, 0);
     assert_eq!(
