@@ -28,7 +28,11 @@
 //! * **burst** — `--clients` concurrent TCP connections each sending
 //!   `--per-client` compile requests (half shared, half distinct);
 //!   `dropped` counts requests without an `"ok":true` response and the
-//!   run fails if it is non-zero.
+//!   run fails if it is non-zero;
+//! * **resilience** — a drain started under concurrent compile load:
+//!   every accepted request must still get a definitive answer
+//!   (`hung_waiters` must be 0) and the pool must go idle within the
+//!   drain budget (`drain_ms`).
 //!
 //! CI smoke: `--qubits 10 --factor 3 --reps 2 --clients 4 --per-client 2`.
 //!
@@ -219,6 +223,58 @@ struct BurstResult {
     throughput_rps: f64,
 }
 
+struct ResilienceResult {
+    inflight_clients: usize,
+    answered: usize,
+    hung_waiters: usize,
+    drain_ms: f64,
+    drained_clean: bool,
+}
+
+/// Starts a drain while compiles are in flight: every request the
+/// service accepted must still get a definitive answer (success or a
+/// `shutting down` rejection — only silence counts as a hung waiter),
+/// and the pool must go idle within the drain budget.
+fn bench_resilience(config: &ServiceConfig, clients: usize, qubits: u32) -> ResilienceResult {
+    let service = Service::new(config.clone());
+    let clients = clients.max(2);
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    for c in 0..clients {
+        let service = service.clone();
+        let done = done_tx.clone();
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let circuit = random_circuit(&RandomCircuitConfig::paper(qubits, 3, 5000 + c as u64));
+            let request = CompileRequest::new(circuit);
+            barrier.wait();
+            let _ = done.send(service.compile(request).is_ok());
+        });
+    }
+    drop(done_tx);
+    barrier.wait();
+    // Let the burst reach the queue, then drain out from under it.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    service.begin_drain();
+    let t = Instant::now();
+    let drained_clean = service.drain(std::time::Duration::from_secs(30));
+    let drain_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut answered = 0usize;
+    while answered < clients {
+        match done_rx.recv_timeout(std::time::Duration::from_secs(5)) {
+            Ok(_) => answered += 1,
+            Err(_) => break,
+        }
+    }
+    ResilienceResult {
+        inflight_clients: clients,
+        answered,
+        hung_waiters: clients - answered,
+        drain_ms,
+        drained_clean,
+    }
+}
+
 /// Fires `clients` concurrent TCP connections at a fresh server, each
 /// sending `per_client` compile requests, and counts completions.
 fn bench_burst(service: Service, clients: usize, per_client: usize, qubits: u32) -> BurstResult {
@@ -244,8 +300,13 @@ fn bench_burst(service: Service, clients: usize, per_client: usize, qubits: u32)
                     // compile); odd clients are all distinct (misses).
                     let seed = if c % 2 == 0 { 7 } else { (c * 100 + r) as u64 };
                     let circuit = random_circuit(&RandomCircuitConfig::paper(qubits, 3, seed));
-                    let line =
-                        compile_request_line(&circuit_to_value_json(&circuit), None, None, false);
+                    let line = compile_request_line(
+                        &circuit_to_value_json(&circuit),
+                        None,
+                        None,
+                        None,
+                        false,
+                    );
                     if writer
                         .write_all(format!("{line}\n").as_bytes())
                         .and_then(|()| writer.flush())
@@ -297,7 +358,7 @@ fn main() {
         queue_capacity: 64,
         cache_capacity: 256,
         cache_shards: 16,
-        store_dir: None,
+        ..ServiceConfig::default()
     };
 
     // Warm/cold on a dedicated service so burst traffic cannot pollute
@@ -318,6 +379,7 @@ fn main() {
         per_client,
         qubits.min(20),
     );
+    let resilience = bench_resilience(&config, clients.min(8), qubits.min(20));
 
     let mut table = Table::new(&["metric", "value"]);
     table.row(vec![
@@ -369,6 +431,17 @@ fn main() {
         "burst throughput (req/s)".into(),
         format!("{:.0}", burst.throughput_rps),
     ]);
+    table.row(vec![
+        "drain under load (ms)".into(),
+        format!("{:.1}", resilience.drain_ms),
+    ]);
+    table.row(vec![
+        "hung waiters".into(),
+        format!(
+            "{}/{} answered, {} hung",
+            resilience.answered, resilience.inflight_clients, resilience.hung_waiters
+        ),
+    ]);
     println!("compilation service ({qubits}q x{factor} CZ, {workers} workers)");
     table.print();
 
@@ -419,7 +492,7 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"burst\": {{\"clients\": {}, \"per_client\": {}, \"sent\": {}, \"completed\": {}, \
-         \"dropped\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.1}}}",
+         \"dropped\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.1}}},",
         burst.clients,
         burst.per_client,
         burst.sent,
@@ -427,6 +500,16 @@ fn main() {
         burst.dropped,
         burst.wall_s,
         burst.throughput_rps
+    );
+    let _ = writeln!(
+        json,
+        "  \"resilience\": {{\"inflight_clients\": {}, \"answered\": {}, \"hung_waiters\": {}, \
+         \"drain_ms\": {:.3}, \"drained_clean\": {}}}",
+        resilience.inflight_clients,
+        resilience.answered,
+        resilience.hung_waiters,
+        resilience.drain_ms,
+        resilience.drained_clean
     );
     json.push_str("}\n");
 
@@ -447,6 +530,12 @@ fn main() {
     );
     assert!(coalescing.all_identical, "racing responses diverged");
     assert_eq!(burst.dropped, 0, "burst dropped {} requests", burst.dropped);
+    assert_eq!(
+        resilience.hung_waiters, 0,
+        "drain left {} waiter(s) without an answer",
+        resilience.hung_waiters
+    );
+    assert!(resilience.drained_clean, "drain did not go idle in budget");
 
     if let Some(path) = check_path {
         let thresholds = match check::load_thresholds(&path) {

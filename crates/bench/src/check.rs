@@ -221,6 +221,34 @@ pub fn check_service(report: &Value, thresholds: &Value) -> Vec<String> {
         None => violations.push("service report has no `burst.dropped` field".to_string()),
         _ => {}
     }
+    // Resilience gate: a drain must answer every request it accepted
+    // (no hung waiters) within its latency budget.
+    let resilience = report.get("resilience");
+    if let Some(max) = gates.get("max_hung_waiters").and_then(Value::as_u64) {
+        match resilience
+            .and_then(|r| r.get("hung_waiters"))
+            .and_then(Value::as_u64)
+        {
+            Some(h) if h > max => {
+                violations.push(format!("{h} waiter(s) left hanging (allowed: {max})"));
+            }
+            Some(_) => {}
+            None => {
+                violations.push("service report has no `resilience.hung_waiters` field".to_string())
+            }
+        }
+    }
+    if let Some(max) = num(gates, "max_drain_ms") {
+        match resilience.and_then(|r| num(r, "drain_ms")) {
+            Some(d) if d > max => {
+                violations.push(format!("drain took {d:.0} ms (allowed: {max:.0})"));
+            }
+            Some(_) => {}
+            None => {
+                violations.push("service report has no `resilience.drain_ms` field".to_string());
+            }
+        }
+    }
     violations
 }
 
@@ -264,7 +292,9 @@ mod tests {
                 "service":{"require_identical":true,"min_warm_speedup":10.0,
                            "min_restart_warm_speedup":5.0,
                            "max_duplicate_compiles":0,
-                           "max_dropped":0}}"#,
+                           "max_dropped":0,
+                           "max_hung_waiters":0,
+                           "max_drain_ms":5000.0}}"#,
         )
         .unwrap()
     }
@@ -337,7 +367,8 @@ mod tests {
                              "schedules_identical":{restart_identical}}},
                  "coalescing":{{"racers":8,"compiles":{c},
                                 "duplicate_compiles":{duplicate_compiles}}},
-                 "burst":{{"dropped":{dropped}}}}}"#,
+                 "burst":{{"dropped":{dropped}}},
+                 "resilience":{{"hung_waiters":0,"drain_ms":120.0}}}}"#,
             c = duplicate_compiles + 1
         ))
         .unwrap()
@@ -389,7 +420,25 @@ mod tests {
         )
         .unwrap();
         let violations = check_service(&report, &thresholds());
+        // restart + coalescing + resilience (hung_waiters, drain_ms)
+        assert_eq!(violations.len(), 4, "{violations:?}");
+    }
+
+    #[test]
+    fn hung_waiters_and_slow_drain_trip_the_wall() {
+        // A hung waiter and a drain far past its budget.
+        let report = json::parse(
+            r#"{"warm_cold":{"speedup":250.0,"schedules_identical":true},
+                "restart":{"speedup":80.0,"schedules_identical":true},
+                "coalescing":{"racers":8,"compiles":1,"duplicate_compiles":0},
+                "burst":{"dropped":0},
+                "resilience":{"hung_waiters":2,"drain_ms":60000.0}}"#,
+        )
+        .unwrap();
+        let violations = check_service(&report, &thresholds());
         assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("hanging"), "{violations:?}");
+        assert!(violations[1].contains("drain"), "{violations:?}");
     }
 
     #[test]

@@ -70,6 +70,7 @@ use std::fmt;
 
 use qpilot_circuit::{Circuit, Fingerprint, Pauli, PauliString, StableHasher};
 
+use crate::cancel::CancelToken;
 use crate::error::RouteError;
 use crate::generic::{GenericRouter, GenericRouterOptions};
 use crate::qaoa::{QaoaRouter, QaoaRouterOptions};
@@ -473,12 +474,23 @@ pub trait Router {
     /// options.
     fn configure(&mut self, options: Option<&RouterOptions>) -> Result<(), CompileError>;
 
+    /// Installs the cancellation token polled at stage boundaries during
+    /// [`Router::route`]. Called by the pipeline *after*
+    /// [`Router::configure`] (which resets the router to a fresh
+    /// configuration) and before routing. The default ignores the token,
+    /// so third-party routers keep compiling — they just don't cancel.
+    fn set_cancel(&mut self, cancel: CancelToken) {
+        let _ = cancel;
+    }
+
     /// Routes the workload onto the FPQA.
     ///
     /// # Errors
     ///
     /// [`CompileError::RouterMismatch`] on a foreign workload family,
-    /// [`CompileError::Route`] when routing itself fails.
+    /// [`CompileError::Route`] when routing itself fails — including
+    /// [`RouteError::Cancelled`] when the
+    /// installed [`CancelToken`] fires at a stage boundary.
     fn route(
         &mut self,
         workload: &Workload,
@@ -514,6 +526,10 @@ impl Router for GenericRouter {
         Ok(())
     }
 
+    fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
     fn route(
         &mut self,
         workload: &Workload,
@@ -540,6 +556,10 @@ impl Router for QsimRouter {
         Ok(())
     }
 
+    fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
     fn route(
         &mut self,
         workload: &Workload,
@@ -564,6 +584,10 @@ impl Router for QaoaRouter {
             Some(other) => return Err(options_mismatch(self.tag(), other)),
         };
         Ok(())
+    }
+
+    fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     fn route(
@@ -615,6 +639,11 @@ pub struct CompileOptions {
     /// Lower the schedule to a plain circuit over data ⊗ ancilla qubits
     /// (for simulation), returned in [`CompileOutput::lowered`].
     pub lower: bool,
+    /// Cancellation token polled at stage boundaries inside the routers;
+    /// the default token never fires. **Not** part of the request's
+    /// content identity: two requests that differ only in their token
+    /// share a fingerprint.
+    pub cancel: CancelToken,
 }
 
 impl CompileOptions {
@@ -645,6 +674,12 @@ impl CompileOptions {
     /// Toggles lowering to a simulation circuit.
     pub fn lower(mut self, on: bool) -> Self {
         self.lower = on;
+        self
+    }
+
+    /// Installs a cancellation token (deadline and/or explicit cancel).
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
         self
     }
 }
@@ -764,6 +799,10 @@ impl Compiler {
             return mismatch(resolved, workload);
         }
         router.configure(self.options.router_options.as_ref())?;
+        // After configure: configure replaces the router's state wholesale,
+        // which would wipe a token installed earlier.
+        router.set_cancel(self.options.cancel.clone());
+        self.options.cancel.check().map_err(CompileError::Route)?;
         let program = router.route(workload, config)?;
         let validation = if self.options.validate {
             Some(validate_schedule(program.schedule(), config)?)

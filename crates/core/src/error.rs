@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::cancel::CancelReason;
+
 /// Errors returned by the routers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RouteError {
@@ -32,6 +34,13 @@ pub enum RouteError {
         /// Second endpoint.
         b: u32,
     },
+    /// The compile was cancelled at a stage boundary via its
+    /// [`CancelToken`](crate::cancel::CancelToken) — over deadline,
+    /// superseded by a concurrent result, or shut down.
+    Cancelled {
+        /// Why the token fired.
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -54,6 +63,9 @@ impl fmt::Display for RouteError {
             }
             RouteError::InvalidEdge { a, b } => {
                 write!(f, "invalid interaction edge ({a}, {b})")
+            }
+            RouteError::Cancelled { reason } => {
+                write!(f, "compile cancelled: {reason}")
             }
         }
     }

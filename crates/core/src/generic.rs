@@ -28,6 +28,7 @@
 
 use qpilot_circuit::{decompose, Circuit, Gate, Operands, Qubit};
 
+use crate::cancel::CancelToken;
 use crate::error::RouteError;
 use crate::legality::{axis_ranks_into, greedy_max_subset_ids, GatePlacement, LegalitySet};
 use crate::motion::{axis_coords_active_into, park_col_base, park_row_base};
@@ -61,6 +62,8 @@ pub struct GenericRouterOptions {
 #[derive(Debug, Clone, Default)]
 pub struct GenericRouter {
     options: GenericRouterOptions,
+    /// Polled once per emitted stage; the default token never fires.
+    pub(crate) cancel: CancelToken,
 }
 
 impl GenericRouter {
@@ -71,7 +74,10 @@ impl GenericRouter {
 
     /// Creates a router with explicit options.
     pub fn with_options(options: GenericRouterOptions) -> Self {
-        GenericRouter { options }
+        GenericRouter {
+            options,
+            cancel: CancelToken::default(),
+        }
     }
 
     /// Routes `circuit` onto the FPQA, producing a validated-shape schedule.
@@ -162,6 +168,9 @@ impl GenericRouter {
         scratch.candidates.sort_by_key(|&id| keys[id]);
 
         loop {
+            // Stage boundary: a cancelled compile stops before emitting
+            // the next stage, never mid-stage.
+            self.cancel.check()?;
             // Drain ready 1Q gates onto the Raman laser, one stage per
             // wave (newly promoted 1Q gates form the next wave).
             while !scratch.ready_1q.is_empty() {

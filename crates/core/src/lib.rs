@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod compile;
 mod config;
 pub mod dse;
@@ -58,6 +59,7 @@ mod schedule;
 pub mod validate;
 pub mod wire;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use compile::{
     compile, CompileError, CompileOptions, CompileOutput, Compiler, QaoaOptions, QaoaWorkload,
     Router, RouterOptions, RouterTag, Workload,

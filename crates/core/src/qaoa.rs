@@ -26,6 +26,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use qpilot_arch::GridCoord;
 use qpilot_circuit::Gate;
 
+use crate::cancel::CancelToken;
 use crate::error::RouteError;
 use crate::legality::PairMatcher;
 use crate::motion::{axis_coords, park_col_base, park_row_base, OFFSET_MIN};
@@ -71,6 +72,9 @@ impl Default for QaoaRouterOptions {
 #[derive(Debug, Clone, Default)]
 pub struct QaoaRouter {
     options: QaoaRouterOptions,
+    /// Polled once per matching stage inside each cost layer; the default
+    /// token never fires.
+    pub(crate) cancel: CancelToken,
 }
 
 impl QaoaRouter {
@@ -81,7 +85,10 @@ impl QaoaRouter {
 
     /// Creates a router with explicit options.
     pub fn with_options(options: QaoaRouterOptions) -> Self {
-        QaoaRouter { options }
+        QaoaRouter {
+            options,
+            cancel: CancelToken::default(),
+        }
     }
 
     /// Routes one QAOA cost layer: `ZZ(γ)` on every edge, with per-qubit
@@ -245,6 +252,8 @@ impl QaoaRouter {
         // large graphs — see ROADMAP "Perf open items").
         let mut buckets = EdgeBuckets::build(&remaining, config);
         while !remaining.is_empty() {
+            // Stage boundary: stop cleanly before solving the next stage.
+            self.cancel.check()?;
             let solution = solve_stage(
                 &remaining,
                 &buckets,

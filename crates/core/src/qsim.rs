@@ -29,6 +29,7 @@
 use qpilot_arch::GridCoord;
 use qpilot_circuit::{Circuit, Gate, PauliString, Qubit};
 
+use crate::cancel::CancelToken;
 use crate::error::RouteError;
 use crate::motion::{
     anchored_coords, axis_coords, initial_coords, park_col_base, park_row_base, OFFSET_MIN,
@@ -61,6 +62,8 @@ pub struct QsimRouterOptions {
 #[derive(Debug, Clone, Default)]
 pub struct QsimRouter {
     options: QsimRouterOptions,
+    /// Polled once per Pauli string; the default token never fires.
+    pub(crate) cancel: CancelToken,
 }
 
 impl QsimRouter {
@@ -71,7 +74,10 @@ impl QsimRouter {
 
     /// Creates a router with explicit options.
     pub fn with_options(options: QsimRouterOptions) -> Self {
-        QsimRouter { options }
+        QsimRouter {
+            options,
+            cancel: CancelToken::default(),
+        }
     }
 
     /// Routes the evolution `Π_s exp(-i θ/2 P_s)` for a uniform angle.
@@ -119,6 +125,8 @@ impl QsimRouter {
             ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
         let cur = initial_coords(schedule.aod_rows, schedule.aod_cols, config);
         for (string, theta) in strings {
+            // String boundary = stage boundary for cancellation purposes.
+            self.cancel.check()?;
             self.append_string(&mut schedule, &cur, config, string, *theta, cap)?;
         }
         Ok(schedule.finish_program())

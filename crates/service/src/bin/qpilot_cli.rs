@@ -30,6 +30,7 @@
 //! shared compile options:
 //!   --cols N               SLM columns (default: square array)
 //!   --stage-cap N          generic-router stage cap
+//!   --deadline-ms N        client deadline (daemon may answer `deadline`)
 //!   --no-schedule          ask the daemon to omit the schedule body
 //!   --schedule-out FILE    write the schedule JSON to FILE
 //! ```
@@ -141,6 +142,14 @@ fn parse_opt_f64(flag: &str, default: f64) -> f64 {
     }
 }
 
+/// Parses the optional `--deadline-ms` client deadline.
+fn parse_deadline_ms() -> Option<u64> {
+    arg_value("--deadline-ms").map(|v| match v.parse() {
+        Ok(n) => n,
+        Err(_) => fail(&format!("--deadline-ms needs an integer, got `{v}`")),
+    })
+}
+
 /// Builds the qsim compile line from `--strings`/`--theta`.
 fn qsim_request(cols: Option<usize>, include_schedule: bool) -> String {
     let spec = arg_value("--strings")
@@ -159,6 +168,7 @@ fn qsim_request(cols: Option<usize>, include_schedule: bool) -> String {
         theta,
         parse_opt_usize("--max-copies"),
         cols,
+        parse_deadline_ms(),
         include_schedule,
     )
 }
@@ -221,6 +231,7 @@ fn qaoa_request(cols: Option<usize>, include_schedule: bool) -> String {
         parse_opt_usize("--anchors"),
         column_extension,
         cols,
+        parse_deadline_ms(),
         include_schedule,
     )
 }
@@ -259,6 +270,7 @@ fn main() {
                         &circuit_to_value_json(&circuit),
                         cols,
                         parse_opt_usize("--stage-cap"),
+                        parse_deadline_ms(),
                         include_schedule,
                     )
                 }

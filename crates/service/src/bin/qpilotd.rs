@@ -3,6 +3,8 @@
 //! ```text
 //! qpilotd [--listen HOST:PORT | --stdio] [--workers N] [--queue N]
 //!         [--cache N] [--shards N] [--store DIR]
+//!         [--store-max-bytes N] [--max-compile-ms N] [--hedge-ms N]
+//!         [--line-deadline-ms N] [--drain-ms N] [--faults SPEC]
 //! ```
 //!
 //! Default transport is `--listen 127.0.0.1:7878`. The daemon prints
@@ -16,8 +18,52 @@
 //! `SIGKILL`) recovers its working set from `DIR` before accepting
 //! connections, so previously compiled requests stay warm hits with
 //! byte-identical schedules. Corrupt or half-written blobs are skipped.
+//! `--store-max-bytes` caps the store; oldest blobs are evicted first.
+//!
+//! Resilience knobs: `--max-compile-ms` is a server-side cap applied to
+//! every compile (client `deadline_ms` values are clamped to it),
+//! `--hedge-ms` is how long a coalesced waiter tolerates its leader
+//! before launching a hedge compile, and `--line-deadline-ms` bounds
+//! how long one request line may trickle in over TCP.
+//!
+//! On `SIGTERM` the daemon drains: it stops accepting connections,
+//! answers every request already received (cache hits keep being
+//! served; new misses get a `shutting down` error), flushes the store
+//! index, and exits 0 — or 1 if the `--drain-ms` budget lapses first.
+//! A second `SIGTERM` forces an immediate exit.
+//!
+//! Fault injection (testing only): `--faults SPEC` or the
+//! `QPILOT_FAULTS` environment variable arm named fault sites, e.g.
+//! `worker-stall=400:1,store-write-fail:1`. See
+//! `qpilot_service::faults`.
 
-use qpilot_service::{serve_stdio, Service, ServiceConfig, TcpServer};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use qpilot_service::{serve_stdio, FaultSpec, ServerOptions, Service, ServiceConfig, TcpServer};
+
+/// SIGTERM arrivals, observed by the main poll loop. The handler only
+/// bumps the counter (async-signal-safe); all real work happens on the
+/// main thread.
+static SIGTERMS: AtomicU32 = AtomicU32::new(0);
+
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERMS.fetch_add(1, Ordering::SeqCst);
+}
+
+extern "C" {
+    // POSIX signal(2). Declared here rather than pulling in a libc
+    // dependency for one call; the handler type matches sighandler_t.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+fn install_sigterm_handler() {
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -32,6 +78,64 @@ fn arg_num<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+fn arg_opt_num<T: std::str::FromStr>(name: &str, default: Option<T>) -> Option<T> {
+    match arg_value(name) {
+        Some(v) => v.parse().ok(),
+        None => default,
+    }
+}
+
+/// `--faults SPEC` wins over `QPILOT_FAULTS`; both parse with the same
+/// grammar and a bad spec is a startup error, not a silent no-op.
+fn fault_spec() -> FaultSpec {
+    let parsed = match arg_value("--faults") {
+        Some(spec) => FaultSpec::parse(&spec),
+        None => FaultSpec::from_env(),
+    };
+    match parsed {
+        Ok(spec) => {
+            if !spec.is_empty() {
+                eprintln!("qpilotd: FAULT INJECTION ARMED: {spec}");
+            }
+            spec
+        }
+        Err(e) => {
+            eprintln!("qpilotd: bad fault spec: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Drains the daemon after SIGTERM: no new connections, all accepted
+/// requests answered, store index flushed. Never returns.
+fn drain_and_exit(server: &TcpServer, service: &Service, budget: Duration) -> ! {
+    eprintln!("qpilotd: SIGTERM received, draining");
+    server.begin_drain();
+    service.begin_drain();
+    let deadline = Instant::now() + budget;
+    let mut clean = false;
+    loop {
+        if SIGTERMS.load(Ordering::SeqCst) >= 2 {
+            eprintln!("qpilotd: second SIGTERM, forcing exit");
+            std::process::exit(1);
+        }
+        if server.drain_wait(Duration::from_millis(30)) && service.drain(Duration::from_millis(1)) {
+            clean = true;
+            break;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    service.flush_store();
+    if clean {
+        eprintln!("qpilotd: drain complete, exiting");
+        std::process::exit(0);
+    }
+    eprintln!("qpilotd: drain budget exceeded, exiting with work abandoned");
+    std::process::exit(1);
+}
+
 fn main() {
     let defaults = ServiceConfig::default();
     let store_dir = arg_value("--store").map(std::path::PathBuf::from);
@@ -41,6 +145,10 @@ fn main() {
         cache_capacity: arg_num("--cache", defaults.cache_capacity),
         cache_shards: arg_num("--shards", defaults.cache_shards),
         store_dir: store_dir.clone(),
+        max_compile_ms: arg_opt_num("--max-compile-ms", defaults.max_compile_ms),
+        hedge_after_ms: arg_num("--hedge-ms", defaults.hedge_after_ms),
+        store_max_bytes: arg_opt_num("--store-max-bytes", defaults.store_max_bytes),
+        faults: fault_spec(),
     };
     let service = match Service::try_new(config) {
         Ok(service) => service,
@@ -67,10 +175,15 @@ fn main() {
             eprintln!("qpilotd: stdio transport failed: {e}");
             std::process::exit(1);
         }
+        service.flush_store();
         return;
     }
+    install_sigterm_handler();
+    let options = ServerOptions {
+        line_deadline: Duration::from_millis(arg_num("--line-deadline-ms", 10_000u64)),
+    };
     let addr = arg_value("--listen").unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let server = match TcpServer::spawn(service, addr.as_str()) {
+    let server = match TcpServer::spawn_with(service.clone(), addr.as_str(), options) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("qpilotd: cannot listen on {addr}: {e}");
@@ -81,6 +194,16 @@ fn main() {
     println!("qpilotd listening on {}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    server.wait();
+    let drain_budget = Duration::from_millis(arg_num("--drain-ms", 5_000u64));
+    loop {
+        if SIGTERMS.load(Ordering::SeqCst) > 0 {
+            drain_and_exit(&server, &service, drain_budget);
+        }
+        if server.is_finished() {
+            break; // a client sent `shutdown`
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    service.flush_store();
     println!("qpilotd: shutdown requested, exiting");
 }

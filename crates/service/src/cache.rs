@@ -136,6 +136,17 @@ impl ScheduleCache {
             .sum()
     }
 
+    /// Total resident bytes of cached schedule JSON — the dominant
+    /// memory cost (keys and recency nodes are O(1) per entry). This is
+    /// what an operator sizes `--cache` against when tuning the
+    /// degradation ladder.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").resident_bytes())
+            .sum()
+    }
+
     /// Returns `true` if no entries are cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -186,6 +197,13 @@ impl LruShard {
             head: NIL,
             tail: NIL,
         }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.map
+            .values()
+            .map(|&idx| self.nodes[idx].value.schedule_json.len() as u64)
+            .sum()
     }
 
     fn unlink(&mut self, idx: NodeIdx) {
@@ -294,6 +312,18 @@ mod tests {
         assert!(cache.get(&key(2)).is_none());
         let c = cache.counters();
         assert_eq!((c.hits, c.misses, c.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn resident_bytes_track_inserts_and_evictions() {
+        let cache = ScheduleCache::new(2, 1);
+        assert_eq!(cache.bytes(), 0);
+        cache.insert(key(1), entry("aaaa"));
+        cache.insert(key(2), entry("bb"));
+        assert_eq!(cache.bytes(), 6);
+        // Capacity 2: the third insert evicts the oldest (4 bytes).
+        cache.insert(key(3), entry("ccc"));
+        assert_eq!(cache.bytes(), 5);
     }
 
     #[test]

@@ -57,12 +57,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
 pub use cache::{CacheCounters, CacheEntry, ScheduleCache};
+pub use faults::{FaultSpec, Faults};
 pub use pool::{
     CompileRequest, CompileResponse, Service, ServiceConfig, ServiceError, ServiceStats, StoreStats,
 };
@@ -73,5 +75,6 @@ pub use qpilot_core::compile::{
     CompileError, CompileOptions, Compiler, QaoaOptions, QaoaWorkload, RouterOptions, RouterTag,
     Workload,
 };
-pub use server::{serve_lines, serve_stdio, TcpServer, MAX_REQUEST_LINE_BYTES};
-pub use store::{RecoveryReport, ScheduleStore};
+pub use qpilot_core::{CancelReason, CancelToken};
+pub use server::{serve_lines, serve_stdio, ServerOptions, TcpServer, MAX_REQUEST_LINE_BYTES};
+pub use store::{RecoveryReport, ScheduleStore, StoreOptions};

@@ -35,23 +35,54 @@
 //! With `ServiceConfig::store_dir` set, the cache is mirrored to disk as
 //! fingerprint-named blobs of the canonical schedule JSON; a restarted
 //! service recovers its working set (in recency order) before serving.
+//!
+//! # Fault tolerance
+//!
+//! Serving survives slow and failing parts without hanging a client:
+//!
+//! * **Deadlines** — a request may carry `deadline_ms` (capped by
+//!   [`ServiceConfig::max_compile_ms`]). The effective deadline arms the
+//!   job's [`CancelToken`], checked at stage boundaries inside the
+//!   routers, so an over-deadline compile aborts cleanly with
+//!   [`ServiceError::Deadline`] instead of occupying a worker; the
+//!   submitter stops waiting at the same instant.
+//! * **Hedged coalescing** — a coalesced waiter whose leader has not
+//!   answered within [`ServiceConfig::hedge_after_ms`] launches one
+//!   hedge compile for the same fingerprint. First completion wins and
+//!   cancels the other token ([`CancelReason::Superseded`]); a
+//!   superseded compile resolves to the winner's cached bytes, so the
+//!   byte-identity contract holds across hedges.
+//! * **Degradation ladder** — under pressure the service sheds in
+//!   order: cache hits are *always* served; queue-full misses are
+//!   rejected with [`ServiceError::Overloaded`] carrying a
+//!   `retry_after_ms` backoff hint; after [`Service::begin_drain`] all
+//!   misses are rejected ([`ServiceError::ShuttingDown`]) while
+//!   in-flight work finishes ([`Service::drain`]).
+//! * **Fault injection** — [`crate::faults`] sites (worker stall,
+//!   poisoned compile; the store has its own) are compiled in and armed
+//!   via [`ServiceConfig::faults`], so the chaos suite exercises the
+//!   same binary CI ships.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qpilot_circuit::{Circuit, Fingerprint, PauliString};
 use qpilot_core::compile::{self, CompileOptions, Compiler};
 use qpilot_core::wire::schedule_to_json;
-use qpilot_core::{CompileError, FpqaConfig, RouterOptions, RouterTag, Workload};
+use qpilot_core::{
+    CancelReason, CancelToken, CompileError, FpqaConfig, RouteError, RouterOptions, RouterTag,
+    Workload,
+};
 
 use crate::cache::{CacheCounters, CacheEntry, ScheduleCache};
-use crate::store::{RecoveryReport, ScheduleStore};
+use crate::faults::{FaultSpec, Faults};
+use crate::store::{RecoveryReport, ScheduleStore, StoreOptions};
 
 /// One compilation request: the workload (which selects the router),
 /// optional per-router options, and the architecture shape. Equal
@@ -67,6 +98,11 @@ pub struct CompileRequest {
     /// SLM array columns (`None` = smallest square holding the register,
     /// exactly [`FpqaConfig::square_for`]).
     pub cols: Option<usize>,
+    /// Client deadline in milliseconds (`None` = no client deadline;
+    /// [`ServiceConfig::max_compile_ms`] still caps the compile). **Not**
+    /// part of the content fingerprint: the same workload with different
+    /// deadlines shares one cache entry.
+    pub deadline_ms: Option<u64>,
 }
 
 impl CompileRequest {
@@ -81,6 +117,7 @@ impl CompileRequest {
             workload,
             options: None,
             cols: None,
+            deadline_ms: None,
         }
     }
 
@@ -101,6 +138,13 @@ impl CompileRequest {
         self
     }
 
+    /// Attaches a client deadline in milliseconds (builder style).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
     /// The router this request dispatches to.
     pub fn router(&self) -> RouterTag {
         self.workload.router()
@@ -112,12 +156,14 @@ impl CompileRequest {
     }
 
     /// The per-request pipeline options handed to a worker's
-    /// [`Compiler`].
-    fn compile_options(&self) -> CompileOptions {
+    /// [`Compiler`], carrying the job's cancel token into the router's
+    /// stage loop.
+    fn compile_options(&self, cancel: CancelToken) -> CompileOptions {
         CompileOptions {
             router_options: self.options,
             ..CompileOptions::new()
         }
+        .cancel(cancel)
     }
 
     /// Request-level shape checks (workload shape plus options/workload
@@ -157,6 +203,21 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Persistent schedule-store directory (`None` = in-memory only).
     pub store_dir: Option<PathBuf>,
+    /// Hard server-side compile deadline in milliseconds, applied to
+    /// every request and capping any client `deadline_ms` (`None` = no
+    /// server-side deadline).
+    pub max_compile_ms: Option<u64>,
+    /// Milliseconds a coalesced waiter tolerates a silent leader before
+    /// launching one hedge compile. The default (1000 ms) sits far above
+    /// normal compile latency, so the default path never hedges and the
+    /// zero-duplicate-compile contract is undisturbed.
+    pub hedge_after_ms: u64,
+    /// Persistent-store byte budget: on insert, oldest blobs are evicted
+    /// until tracked bytes fit (`None` = unbounded).
+    pub store_max_bytes: Option<u64>,
+    /// Armed fault-injection sites (empty = all disarmed); see
+    /// [`crate::faults`].
+    pub faults: FaultSpec,
 }
 
 impl Default for ServiceConfig {
@@ -169,6 +230,10 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             cache_shards: 16,
             store_dir: None,
+            max_compile_ms: None,
+            hedge_after_ms: 1000,
+            store_max_bytes: None,
+            faults: FaultSpec::default(),
         }
     }
 }
@@ -180,8 +245,18 @@ pub enum ServiceError {
     /// router/options mismatch, or routing failure) — the unified
     /// [`CompileError`] from `qpilot_core::compile`.
     Compile(CompileError),
-    /// The job queue is full ([`Service::try_compile`] only).
-    Overloaded,
+    /// The job queue is full ([`Service::try_compile`] only); the hint
+    /// estimates when a retry is likely to be accepted.
+    Overloaded {
+        /// Suggested client backoff in milliseconds before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request's effective deadline passed before a schedule was
+    /// produced; the compile was cancelled at a stage boundary.
+    Deadline {
+        /// The effective deadline that was missed, in milliseconds.
+        deadline_ms: u64,
+    },
     /// The service is shutting down and the job was abandoned.
     ShuttingDown,
     /// The compilation panicked; the worker survived and reported it.
@@ -194,8 +269,16 @@ impl fmt::Display for ServiceError {
             // `CompileError` renders wire-stable messages (e.g.
             // `invalid request: …` for malformed workloads).
             ServiceError::Compile(e) => write!(f, "{e}"),
-            ServiceError::Overloaded => {
+            // Wire-stable prefix; the backoff hint travels as its own
+            // protocol field, not inside the message.
+            ServiceError::Overloaded { .. } => {
                 write!(f, "service overloaded: compile queue is full, retry later")
+            }
+            ServiceError::Deadline { deadline_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded: compile missed its {deadline_ms} ms deadline"
+                )
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Internal(m) => write!(f, "internal compiler error: {m}"),
@@ -236,10 +319,22 @@ pub struct ServiceStats {
     pub cache: CacheCounters,
     /// Currently cached entries.
     pub cache_entries: usize,
+    /// Resident bytes of cached schedule JSON.
+    pub cache_bytes: u64,
     /// Compilations executed by the worker pool.
     pub compiles: u64,
     /// Requests that attached to an in-flight identical compile.
     pub coalesced: u64,
+    /// Hedge compiles launched after a leader timeout.
+    pub hedged: u64,
+    /// Times a coalesced waiter's leader-timeout fired.
+    pub leader_timeouts: u64,
+    /// Requests shed with `Overloaded` by the degradation ladder.
+    pub shed: u64,
+    /// Requests that missed their effective deadline.
+    pub deadline_misses: u64,
+    /// `true` once [`Service::begin_drain`] was called.
+    pub draining: bool,
     /// Schedules spilled to the persistent store (0 without `--store`).
     pub store_persisted: u64,
     /// Schedules recovered from the persistent store at startup.
@@ -268,6 +363,14 @@ pub struct StoreStats {
     /// mirror size (failed writes are never indexed, so this can trail
     /// the in-memory cache).
     pub entries: u64,
+    /// Bytes currently tracked by the store index.
+    pub bytes: u64,
+    /// Blobs evicted to honour the byte budget (`--store-max-bytes`).
+    pub size_evictions: u64,
+    /// Journal lines appended since the last index snapshot.
+    pub journal_lines: u64,
+    /// Index compactions performed (recovery writes one).
+    pub compactions: u64,
 }
 
 type Reply = mpsc::Sender<Result<CompileResponse, ServiceError>>;
@@ -276,6 +379,22 @@ struct Job {
     request: CompileRequest,
     fingerprint: Fingerprint,
     reply: Reply,
+    /// Cancelled on deadline expiry (armed at enqueue), supersession
+    /// (another compile for this fingerprint won) or shutdown; the
+    /// routers check it at stage boundaries.
+    cancel: CancelToken,
+    /// The effective deadline, for rendering [`ServiceError::Deadline`].
+    deadline_ms: Option<u64>,
+}
+
+/// The in-flight record for one fingerprint: the coalesced waiters plus
+/// every live compile's cancel token (leader, and at most one hedge).
+struct Inflight {
+    waiters: Vec<Reply>,
+    cancels: Vec<CancelToken>,
+    /// `true` once a hedge was launched (or attempted) — at most one
+    /// hedge per fingerprint, no matter how many waiters time out.
+    hedged: bool,
 }
 
 /// State shared with worker threads.
@@ -284,28 +403,73 @@ struct WorkerCtx {
     latencies: LatencyWindow,
     compiles: AtomicU64,
     coalesced: AtomicU64,
+    hedged: AtomicU64,
+    leader_timeouts: AtomicU64,
+    shed: AtomicU64,
+    deadline_misses: AtomicU64,
     /// Fingerprints with a compile queued or running, mapping to the
-    /// reply channels of every coalesced waiter. Presence of a key —
-    /// even with no waiters yet — marks the fingerprint as in-flight.
-    inflight: Mutex<HashMap<Fingerprint, Vec<Reply>>>,
-    store: Option<ScheduleStore>,
+    /// reply channels of every coalesced waiter and the cancel tokens of
+    /// every live compile. Presence of a key — even with no waiters yet —
+    /// marks the fingerprint as in-flight.
+    inflight: Mutex<HashMap<Fingerprint, Inflight>>,
+    store: Option<Arc<ScheduleStore>>,
     store_loaded: u64,
+    faults: Arc<Faults>,
 }
 
 impl WorkerCtx {
-    fn take_waiters(&self, fingerprint: &Fingerprint) -> Vec<Reply> {
+    /// First completion wins: the worker that finishes first removes the
+    /// whole in-flight record (waiters *and* tokens); a later worker for
+    /// the same fingerprint gets `None` and answers only its own job.
+    fn take_inflight(&self, fingerprint: &Fingerprint) -> Option<Inflight> {
         self.inflight
             .lock()
             .expect("inflight lock")
             .remove(fingerprint)
-            .unwrap_or_default()
+    }
+
+    /// Resolves a cancelled compile. A superseded job lost a
+    /// first-completion race, so the winner's bytes are (almost always)
+    /// in the cache — serve them, preserving byte identity across
+    /// hedges. Deadline and shutdown cancellations map to their service
+    /// errors.
+    fn resolve_cancelled(
+        &self,
+        reason: CancelReason,
+        job: &Job,
+    ) -> Result<CompileResponse, ServiceError> {
+        if reason == CancelReason::Superseded {
+            if let Some(entry) = self.cache.get_untracked(&job.fingerprint) {
+                return Ok(CompileResponse {
+                    fingerprint: job.fingerprint,
+                    router: job.request.router(),
+                    cache_hit: true,
+                    coalesced: false,
+                    entry,
+                });
+            }
+        }
+        Err(match reason {
+            CancelReason::Deadline => ServiceError::Deadline {
+                deadline_ms: job.deadline_ms.unwrap_or(0),
+            },
+            CancelReason::Shutdown => ServiceError::ShuttingDown,
+            // The winner errored (its failure already reached the
+            // waiters) and evicted nothing into the cache.
+            CancelReason::Superseded => {
+                ServiceError::Internal("superseded compile found no winning result".to_string())
+            }
+        })
     }
 
     /// Compile-and-cache on a miss; double-checks the cache first so a
     /// request that raced past the waiter map (enqueued after the
-    /// previous leader finished) never compiles twice. The re-probe is
-    /// untracked: the request already counted its miss.
+    /// previous leader finished, or stalled behind a winning hedge)
+    /// never compiles twice. The re-probe is untracked: the request
+    /// already counted its miss.
     fn run(&self, compiler: &mut Compiler, job: &Job) -> Result<CompileResponse, ServiceError> {
+        // Chaos site: wedge this worker before it looks at the job.
+        self.faults.worker_stall();
         if let Some(entry) = self.cache.get_untracked(&job.fingerprint) {
             return Ok(CompileResponse {
                 fingerprint: job.fingerprint,
@@ -315,13 +479,24 @@ impl WorkerCtx {
                 entry,
             });
         }
+        // A job already over its deadline (or superseded while queued)
+        // aborts before costing any routing work.
+        if let Some(reason) = job.cancel.cancelled() {
+            return self.resolve_cancelled(reason, job);
+        }
+        if self.faults.poison_compile() {
+            panic!("injected fault: poisoned compile");
+        }
         let config = job.request.config();
         let started = Instant::now();
-        compiler.set_options(job.request.compile_options());
-        let program = compiler
-            .compile(&job.request.workload, &config)
-            .map_err(ServiceError::Compile)?
-            .into_program();
+        compiler.set_options(job.request.compile_options(job.cancel.clone()));
+        let program = match compiler.compile(&job.request.workload, &config) {
+            Ok(routed) => routed.into_program(),
+            Err(CompileError::Route(RouteError::Cancelled { reason })) => {
+                return self.resolve_cancelled(reason, job)
+            }
+            Err(e) => return Err(ServiceError::Compile(e)),
+        };
         let stats = *program.stats();
         let schedule_json: Arc<str> = schedule_to_json(program.schedule()).into();
         let compile_s = started.elapsed().as_secs_f64();
@@ -335,6 +510,13 @@ impl WorkerCtx {
             store.persist(job.fingerprint, &entry);
             if let Some(evicted) = evicted {
                 store.remove(&evicted);
+            }
+            // Incremental index maintenance: once the journal crosses
+            // its threshold, exactly one worker kicks off a background
+            // compaction; the claim keeps concurrent workers out.
+            if store.try_begin_compaction() {
+                let store = Arc::clone(store);
+                std::thread::spawn(move || store.compact_now());
             }
         }
         self.compiles.fetch_add(1, Ordering::Relaxed);
@@ -361,6 +543,12 @@ struct Shared {
     queue: Mutex<Option<mpsc::SyncSender<Job>>>,
     requests: AtomicU64,
     workers: usize,
+    queue_capacity: usize,
+    max_compile_ms: Option<u64>,
+    hedge_after_ms: u64,
+    /// Set by [`Service::begin_drain`]: reject new misses, keep serving
+    /// hits and finishing in-flight work.
+    draining: AtomicBool,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -393,11 +581,17 @@ impl Service {
     /// Store-directory creation/listing failures.
     pub fn try_new(config: ServiceConfig) -> std::io::Result<Self> {
         let workers = config.workers.max(1);
+        let faults = Arc::new(Faults::from_spec(&config.faults));
         let cache = ScheduleCache::new(config.cache_capacity, config.cache_shards);
         let (store, store_loaded) = match &config.store_dir {
             None => (None, 0),
             Some(dir) => {
-                let (store, recovered) = ScheduleStore::open(dir)?;
+                let options = StoreOptions {
+                    max_bytes: config.store_max_bytes,
+                    faults: Arc::clone(&faults),
+                    ..StoreOptions::default()
+                };
+                let (store, recovered) = ScheduleStore::open_with(dir, options)?;
                 let loaded = recovered.len() as u64;
                 // Replay oldest-first so in-memory recency matches the
                 // index; capacity overflow evicts (and unlinks) the
@@ -407,7 +601,7 @@ impl Service {
                         store.remove(&evicted);
                     }
                 }
-                (Some(store), loaded)
+                (Some(Arc::new(store)), loaded)
             }
         };
         let ctx = Arc::new(WorkerCtx {
@@ -415,9 +609,14 @@ impl Service {
             latencies: LatencyWindow::new(4096),
             compiles: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            hedged: AtomicU64::new(0),
+            leader_timeouts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
             store,
             store_loaded,
+            faults,
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -447,18 +646,40 @@ impl Service {
                                 .unwrap_or_else(|| "unknown panic".to_string());
                             Err(ServiceError::Internal(message))
                         });
-                        // Drain the coalesced waiters *after* the cache
-                        // insert (inside `run`): any submitter arriving
-                        // later either hits the cache or starts a fresh
-                        // in-flight entry. Waiters share the leader's
-                        // entry Arc and are marked coalesced.
-                        for waiter in ctx.take_waiters(&job.fingerprint) {
-                            let _ = waiter.send(result.clone().map(|r| CompileResponse {
-                                coalesced: true,
-                                ..r
-                            }));
+                        // First completion wins: whoever takes the
+                        // in-flight record answers the coalesced waiters
+                        // — *after* the cache insert (inside `run`), so
+                        // any submitter arriving later either hits the
+                        // cache or starts a fresh in-flight entry. A
+                        // loser (record already taken) answers only its
+                        // own submitter, usually with the winner's
+                        // cached bytes via the superseded path.
+                        match ctx.take_inflight(&job.fingerprint) {
+                            Some(inflight) => {
+                                // A winning result supersedes the other
+                                // live compiles for this fingerprint; a
+                                // failure lets them run on (fail-fast for
+                                // the waiters, but a late hedge may still
+                                // warm the cache for retries).
+                                if result.is_ok() {
+                                    for token in &inflight.cancels {
+                                        if token != &job.cancel {
+                                            token.cancel(CancelReason::Superseded);
+                                        }
+                                    }
+                                }
+                                for waiter in inflight.waiters {
+                                    let _ = waiter.send(result.clone().map(|r| CompileResponse {
+                                        coalesced: true,
+                                        ..r
+                                    }));
+                                }
+                                let _ = job.reply.send(result);
+                            }
+                            None => {
+                                let _ = job.reply.send(result);
+                            }
                         }
-                        let _ = job.reply.send(result);
                     }
                 })
             })
@@ -469,6 +690,10 @@ impl Service {
                 queue: Mutex::new(Some(tx)),
                 requests: AtomicU64::new(0),
                 workers,
+                queue_capacity: config.queue_capacity.max(1),
+                max_compile_ms: config.max_compile_ms,
+                hedge_after_ms: config.hedge_after_ms,
+                draining: AtomicBool::new(false),
                 handles: Mutex::new(handles),
             }),
         })
@@ -507,8 +732,9 @@ impl Service {
         request.validate().map_err(ServiceError::Compile)?;
         let fingerprint = request.fingerprint();
         let ctx = &self.shared.ctx;
-        // Fast path: serve hits from the caller thread; the worker pool
-        // only ever sees misses.
+        // Rung 0 of the degradation ladder: hits are served from the
+        // caller thread, always — even while overloaded or draining. The
+        // worker pool only ever sees misses.
         if let Some(entry) = ctx.cache.get(&fingerprint) {
             return Ok(CompileResponse {
                 fingerprint,
@@ -518,6 +744,17 @@ impl Service {
                 entry,
             });
         }
+        // Final rung: a draining service accepts no new compile work.
+        if self.shared.draining.load(Ordering::Relaxed) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        // The effective deadline: the client's, capped by the server's
+        // `--max-compile-ms` hard limit.
+        let deadline_ms = match (request.deadline_ms, self.shared.max_compile_ms) {
+            (Some(client), Some(cap)) => Some(client.min(cap)),
+            (client, cap) => client.or(cap),
+        };
+        let deadline_at = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let mut request = Some(request);
         loop {
             let (reply_tx, reply_rx) = mpsc::channel();
@@ -525,31 +762,55 @@ impl Service {
             // the leader (registers the in-flight entry, enqueues the one
             // job); every concurrent miss attaches its reply channel
             // instead.
+            let cancel = match deadline_at {
+                Some(at) => CancelToken::with_deadline(at),
+                None => CancelToken::new(),
+            };
             let is_leader = {
                 let mut inflight = ctx.inflight.lock().expect("inflight lock");
                 match inflight.entry(fingerprint) {
-                    Entry::Occupied(mut waiters) => {
-                        waiters.get_mut().push(reply_tx.clone());
+                    Entry::Occupied(mut slot) => {
+                        slot.get_mut().waiters.push(reply_tx.clone());
                         false
                     }
                     Entry::Vacant(slot) => {
-                        slot.insert(Vec::new());
+                        slot.insert(Inflight {
+                            waiters: Vec::new(),
+                            cancels: vec![cancel.clone()],
+                            hedged: false,
+                        });
                         true
                     }
                 }
             };
             if !is_leader {
                 ctx.coalesced.fetch_add(1, Ordering::Relaxed);
-                let result = reply_rx.recv().map_err(|_| ServiceError::ShuttingDown)?;
+                let req = request.as_ref().expect("unsent request");
+                let result = self.await_result(
+                    &reply_rx,
+                    &reply_tx,
+                    Some(req),
+                    fingerprint,
+                    deadline_at,
+                    deadline_ms,
+                )?;
                 // A blocking caller coalesced under a fail-fast leader
                 // can see that leader's `Overloaded`; its own contract is
                 // to block, so it re-submits (re-probing the cache and,
                 // if still cold, leading with a *blocking* enqueue).
-                if !fail_fast && matches!(result, Err(ServiceError::Overloaded)) {
+                let leaders_overload =
+                    !fail_fast && matches!(result, Err(ServiceError::Overloaded { .. }));
+                // Likewise a waiter can inherit the *leader's* deadline
+                // error from the broadcast; if its own deadline is
+                // longer (or absent) it re-submits and leads a compile
+                // under its own clock.
+                let leaders_deadline = matches!(result, Err(ServiceError::Deadline { .. }))
+                    && deadline_at.is_none_or(|d| Instant::now() < d);
+                if leaders_overload || leaders_deadline {
                     if let Some(entry) = ctx.cache.get_untracked(&fingerprint) {
                         return Ok(CompileResponse {
                             fingerprint,
-                            router: request.as_ref().expect("unsent request").router(),
+                            router: req.router(),
                             cache_hit: true,
                             coalesced: false,
                             entry,
@@ -562,19 +823,151 @@ impl Service {
             let job = Job {
                 request: request.take().expect("leader submits once"),
                 fingerprint,
-                reply: reply_tx,
+                reply: reply_tx.clone(),
+                cancel,
+                deadline_ms,
             };
             if let Err(e) = self.enqueue(job, fail_fast) {
                 // Leadership failed before a worker could take over: the
                 // waiters that attached in the window get the same error
                 // (blocking waiters retry above), or nobody would ever
                 // answer them.
-                for waiter in ctx.take_waiters(&fingerprint) {
-                    let _ = waiter.send(Err(e.clone()));
+                if let Some(inflight) = ctx.take_inflight(&fingerprint) {
+                    for waiter in inflight.waiters {
+                        let _ = waiter.send(Err(e.clone()));
+                    }
                 }
                 return Err(e);
             }
-            return reply_rx.recv().map_err(|_| ServiceError::ShuttingDown)?;
+            // The leader never hedges against itself: its own job is the
+            // one a hedge would duplicate.
+            return self.await_result(
+                &reply_rx,
+                &reply_tx,
+                None,
+                fingerprint,
+                deadline_at,
+                deadline_ms,
+            )?;
+        }
+    }
+
+    /// Waits on a reply channel with two timers: the request's effective
+    /// deadline (returns [`ServiceError::Deadline`] the moment it
+    /// passes; the armed token aborts the worker independently) and —
+    /// for coalesced waiters only — the hedge timer
+    /// ([`ServiceConfig::hedge_after_ms`]), which launches one hedge
+    /// compile and keeps waiting for whichever compile answers first.
+    ///
+    /// The outer `Result` is the transport (`Err` = pool shut down); the
+    /// inner one is the compile outcome, which `submit` may retry.
+    #[allow(clippy::type_complexity)]
+    fn await_result(
+        &self,
+        reply_rx: &mpsc::Receiver<Result<CompileResponse, ServiceError>>,
+        reply_tx: &Reply,
+        hedge: Option<&CompileRequest>,
+        fingerprint: Fingerprint,
+        deadline_at: Option<Instant>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Result<CompileResponse, ServiceError>, ServiceError> {
+        let ctx = &self.shared.ctx;
+        let mut hedge_at =
+            hedge.map(|_| Instant::now() + Duration::from_millis(self.shared.hedge_after_ms));
+        loop {
+            let wake = match (deadline_at, hedge_at) {
+                (Some(d), Some(h)) => Some(d.min(h)),
+                (d, h) => d.or(h),
+            };
+            let Some(wake) = wake else {
+                return reply_rx.recv().map_err(|_| ServiceError::ShuttingDown);
+            };
+            match reply_rx.recv_timeout(wake.saturating_duration_since(Instant::now())) {
+                Ok(result) => {
+                    if let Err(ServiceError::Deadline { .. }) = &result {
+                        // Count only this request's own expiry; an
+                        // inherited deadline error is retried upstream.
+                        if deadline_at.is_some_and(|d| Instant::now() >= d) {
+                            ctx.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    return Ok(result);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ServiceError::ShuttingDown)
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    if deadline_at.is_some_and(|d| now >= d) {
+                        // The token's deadline latch fires on its own in
+                        // the worker; the submitter stops waiting here.
+                        ctx.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Err(ServiceError::Deadline {
+                            deadline_ms: deadline_ms.unwrap_or(0),
+                        }));
+                    }
+                    if hedge_at.is_some_and(|h| now >= h) {
+                        hedge_at = None; // one hedge attempt per waiter
+                        if let Some(request) = hedge {
+                            self.try_hedge(
+                                request,
+                                fingerprint,
+                                deadline_at,
+                                deadline_ms,
+                                reply_tx,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Launches at most one hedge compile for an in-flight fingerprint
+    /// whose leader went quiet. The hedge enqueues fail-fast (it must
+    /// never add backpressure); its reply channel is the hedging
+    /// waiter's own, so whichever compile finishes first answers — the
+    /// waiter is also still on the waiter list, and `recv` takes the
+    /// first message.
+    fn try_hedge(
+        &self,
+        request: &CompileRequest,
+        fingerprint: Fingerprint,
+        deadline_at: Option<Instant>,
+        deadline_ms: Option<u64>,
+        reply: &Reply,
+    ) {
+        let ctx = &self.shared.ctx;
+        let cancel = match deadline_at {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::new(),
+        };
+        {
+            let mut inflight = ctx.inflight.lock().expect("inflight lock");
+            let Some(slot) = inflight.get_mut(&fingerprint) else {
+                return; // the compile just finished; its answer is en route
+            };
+            if slot.hedged {
+                return;
+            }
+            slot.hedged = true;
+            slot.cancels.push(cancel.clone());
+            ctx.leader_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        let job = Job {
+            request: request.clone(),
+            fingerprint,
+            reply: reply.clone(),
+            cancel,
+            deadline_ms,
+        };
+        let guard = self.shared.queue.lock().expect("queue lock");
+        if let Some(tx) = guard.as_ref() {
+            if tx.try_send(job).is_ok() {
+                ctx.hedged.fetch_add(1, Ordering::Relaxed);
+            }
+            // Queue full: the waiter simply keeps waiting for the
+            // original leader — a hedge is opportunistic, never owed.
         }
     }
 
@@ -584,7 +977,12 @@ impl Service {
         if fail_fast {
             match tx.try_send(job) {
                 Ok(()) => Ok(()),
-                Err(mpsc::TrySendError::Full(_)) => Err(ServiceError::Overloaded),
+                Err(mpsc::TrySendError::Full(_)) => {
+                    self.shared.ctx.shed.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::Overloaded {
+                        retry_after_ms: self.retry_after_ms(),
+                    })
+                }
                 Err(mpsc::TrySendError::Disconnected(_)) => Err(ServiceError::ShuttingDown),
             }
         } else {
@@ -593,6 +991,62 @@ impl Service {
             let tx = tx.clone();
             drop(guard);
             tx.send(job).map_err(|_| ServiceError::ShuttingDown)
+        }
+    }
+
+    /// The `Overloaded` backoff hint: roughly how long the full queue
+    /// needs to drain (median compile × depth ÷ workers), clamped to
+    /// [25 ms, 2000 ms] so cold services and pathological medians still
+    /// hint something sane.
+    fn retry_after_ms(&self) -> u64 {
+        let (p50, _) = self.shared.ctx.latencies.percentiles();
+        let estimate =
+            p50 * 1000.0 * self.shared.queue_capacity as f64 / self.shared.workers.max(1) as f64;
+        (estimate as u64).clamp(25, 2000)
+    }
+
+    /// Enters drain mode: new compile misses are rejected with
+    /// [`ServiceError::ShuttingDown`] while cache hits and already
+    /// accepted work keep being served. Idempotent.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`Service::begin_drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Waits until every accepted compile has been answered (the
+    /// in-flight map is empty), up to `timeout`. Returns `true` on a
+    /// clean drain, `false` if work was still pending at the deadline.
+    /// Call [`Service::begin_drain`] first or new work can starve this.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self
+                .shared
+                .ctx
+                .inflight
+                .lock()
+                .expect("inflight lock")
+                .is_empty()
+            {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Flushes the persistent store: compacts the index snapshot (and
+    /// truncates the journal) so a restart recovers without replay. A
+    /// no-op without a store.
+    pub fn flush_store(&self) {
+        if let Some(store) = &self.shared.ctx.store {
+            store.compact_now();
         }
     }
 
@@ -610,6 +1064,10 @@ impl Service {
                 persisted: store.persisted(),
                 removed: store.removed(),
                 entries: store.len(),
+                bytes: store.bytes(),
+                size_evictions: store.size_evicted(),
+                journal_lines: store.journal_lines(),
+                compactions: store.compactions(),
             },
         }
     }
@@ -622,9 +1080,15 @@ impl Service {
             requests: self.shared.requests.load(Ordering::Relaxed),
             cache: ctx.cache.counters(),
             cache_entries: ctx.cache.len(),
+            cache_bytes: ctx.cache.bytes(),
             compiles: ctx.compiles.load(Ordering::Relaxed),
             coalesced: ctx.coalesced.load(Ordering::Relaxed),
-            store_persisted: ctx.store.as_ref().map_or(0, ScheduleStore::persisted),
+            hedged: ctx.hedged.load(Ordering::Relaxed),
+            leader_timeouts: ctx.leader_timeouts.load(Ordering::Relaxed),
+            shed: ctx.shed.load(Ordering::Relaxed),
+            deadline_misses: ctx.deadline_misses.load(Ordering::Relaxed),
+            draining: self.shared.draining.load(Ordering::Relaxed),
+            store_persisted: ctx.store.as_ref().map_or(0, |s| s.persisted()),
             store_loaded: ctx.store_loaded,
             p50_compile_s: p50,
             p99_compile_s: p99,
@@ -710,7 +1174,7 @@ mod tests {
             queue_capacity: 4,
             cache_capacity: 32,
             cache_shards: 4,
-            store_dir: None,
+            ..ServiceConfig::default()
         }
     }
 
@@ -1025,6 +1489,7 @@ mod tests {
             cache_capacity: 2,
             cache_shards: 1,
             store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
         });
         for seed in 0..4 {
             svc.compile(CompileRequest::new(small_circuit(seed)))
@@ -1038,6 +1503,176 @@ mod tests {
             .count();
         assert_eq!(blobs, 2, "store mirrors the capacity-bounded cache");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_misses_are_reported_and_do_not_wedge_the_pool() {
+        // One worker, wedged 300 ms by an injected stall; a 50 ms
+        // deadline must come back as `Deadline` long before the stall
+        // clears, and the pool must stay healthy afterwards.
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            faults: FaultSpec::parse("worker-stall=300:1").unwrap(),
+            ..config()
+        });
+        let started = Instant::now();
+        let err = svc
+            .compile(CompileRequest::new(small_circuit(0)).with_deadline_ms(50))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Deadline { deadline_ms: 50 });
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "the submitter must not wait out the stall"
+        );
+        assert!(svc.stats().deadline_misses >= 1);
+        // The stalled worker recovers; fresh work compiles fine.
+        assert!(svc.compile(CompileRequest::new(small_circuit(1))).is_ok());
+    }
+
+    #[test]
+    fn server_side_cap_bounds_every_request() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            max_compile_ms: Some(40),
+            faults: FaultSpec::parse("worker-stall=300:1").unwrap(),
+            ..config()
+        });
+        // No client deadline: the server cap still applies.
+        let err = svc
+            .compile(CompileRequest::new(small_circuit(2)))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Deadline { deadline_ms: 40 });
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_immediately() {
+        let svc = service();
+        let err = svc
+            .compile(CompileRequest::new(small_circuit(3)).with_deadline_ms(0))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Deadline { deadline_ms: 0 });
+    }
+
+    #[test]
+    fn hedge_wins_past_a_stalled_leader_without_duplicate_compiles() {
+        // The leader's worker stalls 400 ms (once); the coalesced waiter
+        // hedges after 40 ms onto the second worker and both callers get
+        // byte-identical answers fast. The stalled worker wakes into a
+        // warm cache, so exactly one compile runs.
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            hedge_after_ms: 40,
+            faults: FaultSpec::parse("worker-stall=400:1").unwrap(),
+            ..config()
+        });
+        let request = CompileRequest::new(small_circuit(4));
+        let leader = {
+            let svc = svc.clone();
+            let request = request.clone();
+            std::thread::spawn(move || svc.compile(request))
+        };
+        // Let the leader win the election and its worker start stalling.
+        std::thread::sleep(Duration::from_millis(60));
+        let waiter = svc.compile(request).expect("hedged waiter");
+        let leader = leader.join().unwrap().expect("stalled leader");
+        assert_eq!(leader.entry.schedule_json, waiter.entry.schedule_json);
+        let stats = svc.stats();
+        assert_eq!(stats.compiles, 1, "the hedge must not duplicate work");
+        assert_eq!(stats.leader_timeouts, 1);
+        assert_eq!(stats.hedged, 1);
+    }
+
+    #[test]
+    fn overload_shedding_carries_a_backoff_hint() {
+        // One worker wedged long enough to fill the depth-1 queue: the
+        // third cold request must shed with a clamped retry hint.
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            faults: FaultSpec::parse("worker-stall=250:2").unwrap(),
+            ..config()
+        });
+        let background: Vec<_> = (0..2)
+            .map(|seed| {
+                let svc = svc.clone();
+                std::thread::spawn(move || svc.compile(CompileRequest::new(small_circuit(seed))))
+            })
+            .collect();
+        // Wait for the worker to hold one job and the queue the other.
+        std::thread::sleep(Duration::from_millis(100));
+        match svc.try_compile(CompileRequest::new(small_circuit(7))) {
+            Err(ServiceError::Overloaded { retry_after_ms }) => {
+                assert!((25..=2000).contains(&retry_after_ms));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(svc.stats().shed >= 1);
+        for h in background {
+            h.join().unwrap().expect("queued work still completes");
+        }
+    }
+
+    #[test]
+    fn draining_serves_hits_and_rejects_misses() {
+        let svc = service();
+        let warm = CompileRequest::new(small_circuit(5));
+        svc.compile(warm.clone()).unwrap();
+        assert!(!svc.stats().draining);
+        svc.begin_drain();
+        assert!(svc.is_draining());
+        // Rung 0 survives the drain; new work does not.
+        assert!(svc.compile(warm).unwrap().cache_hit);
+        assert!(matches!(
+            svc.compile(CompileRequest::new(small_circuit(6))),
+            Err(ServiceError::ShuttingDown)
+        ));
+        assert!(svc.stats().draining);
+        assert!(svc.drain(Duration::from_secs(1)), "nothing in flight");
+    }
+
+    #[test]
+    fn drain_waits_for_accepted_work() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            faults: FaultSpec::parse("worker-stall=150:1").unwrap(),
+            ..config()
+        });
+        let inflight = {
+            let svc = svc.clone();
+            std::thread::spawn(move || svc.compile(CompileRequest::new(small_circuit(8))))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        svc.begin_drain();
+        assert!(
+            !svc.drain(Duration::from_millis(10)),
+            "stalled work is still in flight"
+        );
+        assert!(svc.drain(Duration::from_secs(2)), "then it drains clean");
+        inflight.join().unwrap().expect("accepted work is answered");
+    }
+
+    #[test]
+    fn poisoned_compile_is_contained_and_retry_succeeds() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            faults: FaultSpec::parse("poison-compile:1").unwrap(),
+            ..config()
+        });
+        let request = CompileRequest::new(small_circuit(9));
+        match svc.compile(request.clone()) {
+            Err(ServiceError::Internal(m)) => assert!(m.contains("injected fault")),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        let retry = svc.compile(request).expect("retry after poison");
+        assert!(!retry.cache_hit);
+        assert_eq!(svc.stats().compiles, 1);
+    }
+
+    #[test]
+    fn deadline_is_not_part_of_the_fingerprint() {
+        let plain = CompileRequest::new(small_circuit(1));
+        let tight = plain.clone().with_deadline_ms(5);
+        assert_eq!(plain.fingerprint(), tight.fingerprint());
     }
 
     #[test]

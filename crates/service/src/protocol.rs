@@ -43,11 +43,13 @@
 //!
 //! Shared `compile` options: `"cols"` (SLM columns; default square),
 //! `"schedule":false` to omit the schedule body (fingerprint + stats
-//! only — useful for warming). The `"cache"` response field is `"miss"`,
-//! `"hit"`, or `"coalesced"` (attached to a concurrent identical
-//! compile). Errors come back as `{"ok":false,"error":"…"}` and never
-//! tear down the connection; the `"retry"` flag marks transient
-//! overload.
+//! only — useful for warming), `"deadline_ms"` (client deadline; the
+//! daemon's `--max-compile-ms` caps it). The `"cache"` response field is
+//! `"miss"`, `"hit"`, or `"coalesced"` (attached to a concurrent
+//! identical compile). Errors come back as `{"ok":false,"error":"…"}`
+//! and never tear down the connection; the `"retry"` flag marks
+//! transient conditions (`"retry_after_ms"` hints the backoff for
+//! overload), and `"deadline":true` marks a missed deadline.
 
 use qpilot_circuit::{Circuit, PauliString};
 use qpilot_core::generic::GenericRouterOptions;
@@ -131,11 +133,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => true,
                 Some(v) => v.as_bool().ok_or("`schedule` must be a boolean")?,
             };
+            let deadline_ms = match doc.get("deadline_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or("`deadline_ms` must be a non-negative integer")?,
+                ),
+            };
             Ok(Request::Compile {
                 request: CompileRequest {
                     workload,
                     options,
                     cols,
+                    deadline_ms,
                 },
                 include_schedule,
             })
@@ -351,6 +361,7 @@ pub fn compile_request_line(
     circuit_json: &str,
     cols: Option<usize>,
     stage_cap: Option<usize>,
+    deadline_ms: Option<u64>,
     include_schedule: bool,
 ) -> String {
     let mut out = String::from("{\"op\":\"compile\",\"circuit\":");
@@ -359,7 +370,7 @@ pub fn compile_request_line(
         out.push_str(",\"stage_cap\":");
         out.push_str(&cap.to_string());
     }
-    finish_compile_line(&mut out, cols, include_schedule);
+    finish_compile_line(&mut out, cols, deadline_ms, include_schedule);
     out
 }
 
@@ -369,6 +380,7 @@ pub fn qsim_request_line(
     theta: f64,
     max_copies: Option<usize>,
     cols: Option<usize>,
+    deadline_ms: Option<u64>,
     include_schedule: bool,
 ) -> String {
     let mut out = String::from("{\"op\":\"compile\",\"router\":\"qsim\",\"strings\":[");
@@ -384,7 +396,7 @@ pub fn qsim_request_line(
         out.push_str(",\"max_copies\":");
         out.push_str(&copies.to_string());
     }
-    finish_compile_line(&mut out, cols, include_schedule);
+    finish_compile_line(&mut out, cols, deadline_ms, include_schedule);
     out
 }
 
@@ -399,6 +411,7 @@ pub fn qaoa_request_line(
     anchors: Option<usize>,
     column_extension: Option<bool>,
     cols: Option<usize>,
+    deadline_ms: Option<u64>,
     include_schedule: bool,
 ) -> String {
     let mut out =
@@ -435,14 +448,23 @@ pub fn qaoa_request_line(
         out.push_str(",\"column_extension\":");
         out.push_str(if ext { "true" } else { "false" });
     }
-    finish_compile_line(&mut out, cols, include_schedule);
+    finish_compile_line(&mut out, cols, deadline_ms, include_schedule);
     out
 }
 
-fn finish_compile_line(out: &mut String, cols: Option<usize>, include_schedule: bool) {
+fn finish_compile_line(
+    out: &mut String,
+    cols: Option<usize>,
+    deadline_ms: Option<u64>,
+    include_schedule: bool,
+) {
     if let Some(cols) = cols {
         out.push_str(",\"cols\":");
         out.push_str(&cols.to_string());
+    }
+    if let Some(deadline) = deadline_ms {
+        out.push_str(",\"deadline_ms\":");
+        out.push_str(&deadline.to_string());
     }
     if !include_schedule {
         out.push_str(",\"schedule\":false");
@@ -513,10 +535,22 @@ pub fn render_stats_response(stats: &ServiceStats) -> String {
     out.push_str(&stats.cache.evictions.to_string());
     out.push_str(",\"cache_entries\":");
     out.push_str(&stats.cache_entries.to_string());
+    out.push_str(",\"cache_bytes\":");
+    out.push_str(&stats.cache_bytes.to_string());
     out.push_str(",\"compiles\":");
     out.push_str(&stats.compiles.to_string());
     out.push_str(",\"coalesced\":");
     out.push_str(&stats.coalesced.to_string());
+    out.push_str(",\"hedged\":");
+    out.push_str(&stats.hedged.to_string());
+    out.push_str(",\"leader_timeouts\":");
+    out.push_str(&stats.leader_timeouts.to_string());
+    out.push_str(",\"shed\":");
+    out.push_str(&stats.shed.to_string());
+    out.push_str(",\"deadline_misses\":");
+    out.push_str(&stats.deadline_misses.to_string());
+    out.push_str(",\"draining\":");
+    out.push_str(if stats.draining { "true" } else { "false" });
     out.push_str(",\"store_persisted\":");
     out.push_str(&stats.store_persisted.to_string());
     out.push_str(",\"store_loaded\":");
@@ -551,6 +585,14 @@ pub fn render_store_stats_response(stats: &StoreStats) -> String {
     out.push_str(&stats.removed.to_string());
     out.push_str(",\"entries\":");
     out.push_str(&stats.entries.to_string());
+    out.push_str(",\"bytes\":");
+    out.push_str(&stats.bytes.to_string());
+    out.push_str(",\"size_evictions\":");
+    out.push_str(&stats.size_evictions.to_string());
+    out.push_str(",\"journal_lines\":");
+    out.push_str(&stats.journal_lines.to_string());
+    out.push_str(",\"compactions\":");
+    out.push_str(&stats.compactions.to_string());
     out.push('}');
     out
 }
@@ -561,6 +603,28 @@ pub fn render_error(message: &str, retry: bool) -> String {
     out.push_str(&json_str(message));
     if retry {
         out.push_str(",\"retry\":true");
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a [`ServiceError`] into an error line with its
+/// machine-readable markers: `"retry":true` plus `"retry_after_ms"` for
+/// overload, `"retry":true` alone for a draining service, and
+/// `"deadline":true` for a missed deadline.
+pub fn render_service_error(error: &ServiceError) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    out.push_str(&json_str(&error.to_string()));
+    match error {
+        ServiceError::Overloaded { retry_after_ms } => {
+            out.push_str(",\"retry\":true,\"retry_after_ms\":");
+            out.push_str(&retry_after_ms.to_string());
+        }
+        // A drain elsewhere is transient for the client: another
+        // replica (or the restarted daemon) can serve the retry.
+        ServiceError::ShuttingDown => out.push_str(",\"retry\":true"),
+        ServiceError::Deadline { .. } => out.push_str(",\"deadline\":true"),
+        ServiceError::Compile(_) | ServiceError::Internal(_) => {}
     }
     out.push('}');
     out
@@ -614,13 +678,16 @@ pub fn handle_line(service: &Service, line: &str) -> Handled {
         Ok(Request::Compile {
             request,
             include_schedule,
-        }) => match service.compile(request) {
+        }) => match service.try_compile(request) {
+            // Shedding, not blocking: a full queue answers `Overloaded`
+            // (with a backoff hint) immediately instead of wedging the
+            // connection thread — the degradation-ladder contract.
             Ok(response) => Handled {
                 response: render_compile_response(&response, include_schedule),
                 shutdown: false,
             },
             Err(e) => Handled {
-                response: render_error(&e.to_string(), matches!(e, ServiceError::Overloaded)),
+                response: render_service_error(&e),
                 shutdown: false,
             },
         },
@@ -638,7 +705,7 @@ mod tests {
             queue_capacity: 4,
             cache_capacity: 16,
             cache_shards: 2,
-            store_dir: None,
+            ..ServiceConfig::default()
         })
     }
 
@@ -759,6 +826,7 @@ mod tests {
             0.4,
             Some(2),
             Some(3),
+            Some(250),
             false,
         );
         match parse_request(&qsim).unwrap() {
@@ -768,6 +836,7 @@ mod tests {
             } => {
                 assert_eq!(request.router(), RouterTag::Qsim);
                 assert_eq!(request.cols, Some(3));
+                assert_eq!(request.deadline_ms, Some(250));
                 assert!(!include_schedule);
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -779,6 +848,7 @@ mod tests {
             &[0.3],
             Some(1),
             Some(true),
+            None,
             None,
             true,
         );
@@ -968,6 +1038,73 @@ mod tests {
         let doc = json::parse(&handled.response).unwrap();
         assert!(doc.get("schedule").is_none());
         assert!(doc.get("fingerprint").is_some());
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_bad_values_are_rejected() {
+        let line =
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]},"deadline_ms":150}"#;
+        match parse_request(line).unwrap() {
+            Request::Compile { request, .. } => assert_eq!(request.deadline_ms, Some(150)),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let bad = r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[]},"deadline_ms":"soon"}"#;
+        assert!(parse_request(bad).is_err());
+    }
+
+    #[test]
+    fn service_errors_carry_machine_readable_markers() {
+        let overloaded = render_service_error(&ServiceError::Overloaded { retry_after_ms: 40 });
+        let doc = json::parse(&overloaded).unwrap();
+        assert_eq!(doc.get("retry").and_then(Value::as_bool), Some(true));
+        assert_eq!(doc.get("retry_after_ms").and_then(Value::as_u64), Some(40));
+        assert_eq!(
+            doc.get("error").and_then(Value::as_str),
+            Some("service overloaded: compile queue is full, retry later"),
+            "the overload message stays wire-stable"
+        );
+
+        let deadline = render_service_error(&ServiceError::Deadline { deadline_ms: 25 });
+        let doc = json::parse(&deadline).unwrap();
+        assert_eq!(doc.get("deadline").and_then(Value::as_bool), Some(true));
+        assert!(doc.get("retry").is_none());
+
+        let draining = render_service_error(&ServiceError::ShuttingDown);
+        let doc = json::parse(&draining).unwrap();
+        assert_eq!(doc.get("retry").and_then(Value::as_bool), Some(true));
+        assert!(doc.get("retry_after_ms").is_none());
+    }
+
+    #[test]
+    fn stats_expose_resilience_counters() {
+        let svc = service();
+        let stats = handle_line(&svc, "{\"op\":\"stats\"}");
+        let doc = json::parse(&stats.response).unwrap();
+        for key in ["hedged", "leader_timeouts", "shed", "deadline_misses"] {
+            assert_eq!(doc.get(key).and_then(Value::as_u64), Some(0), "{key}");
+        }
+        assert_eq!(doc.get("draining").and_then(Value::as_bool), Some(false));
+        let store = handle_line(&svc, "{\"op\":\"store-stats\"}");
+        let doc = json::parse(&store.response).unwrap();
+        for key in ["bytes", "size_evictions", "journal_lines", "compactions"] {
+            assert_eq!(doc.get(key).and_then(Value::as_u64), Some(0), "{key}");
+        }
+    }
+
+    #[test]
+    fn an_impossible_deadline_gets_a_deadline_error_line() {
+        let svc = service();
+        let line =
+            r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]},"deadline_ms":0}"#;
+        let handled = handle_line(&svc, line);
+        let doc = json::parse(&handled.response).unwrap();
+        assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(doc.get("deadline").and_then(Value::as_bool), Some(true));
+        // The daemon stays healthy for the next request.
+        let retry = r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]}}"#;
+        assert!(handle_line(&svc, retry)
+            .response
+            .starts_with("{\"ok\":true"));
     }
 
     #[test]

@@ -15,12 +15,23 @@
 //! daemon memory or poison its own connection. Invalid UTF-8 is replaced
 //! rather than trusted, so arbitrary bytes at worst produce a JSON parse
 //! error response.
+//!
+//! TCP reads also carry a per-line deadline
+//! ([`ServerOptions::line_deadline`]): the clock arms when the first
+//! byte of a request line arrives and resets at its newline, so a
+//! slow-loris client trickling one byte at a time cannot pin a
+//! connection thread forever — the daemon closes the connection when
+//! the deadline lapses mid-line. Idle connections (no line in progress)
+//! are not affected, except during a drain
+//! ([`TcpServer::begin_drain`]), when an idle connection is treated as
+//! end-of-stream after its buffered requests are answered.
 
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::pool::Service;
 use crate::protocol::{handle_line, render_error};
@@ -28,6 +39,129 @@ use crate::protocol::{handle_line, render_error};
 /// Upper bound on one request line (bytes, newline excluded). Generous:
 /// a 100-qubit, 1000-gate inline circuit is ~15 KB.
 pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// How often a blocked TCP read wakes to check the line deadline and
+/// the drain flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Tuning for [`TcpServer::spawn_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// A request line must arrive in full within this window of its
+    /// first byte, or the connection is closed (slow-loris defence).
+    pub line_deadline: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            line_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A [`BufRead`] over a [`TcpStream`] enforcing the per-line deadline.
+///
+/// The underlying socket runs with a short read timeout ([`READ_POLL`])
+/// so the reader can observe the deadline and the drain flag while
+/// blocked; callers never see those poll wakeups, only complete reads,
+/// deadline errors, or end-of-stream.
+struct LineDeadlineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+    filled: usize,
+    line_deadline: Duration,
+    /// Armed when the first byte of a line arrives; disarmed at its
+    /// newline (see [`BufRead::consume`]).
+    deadline: Option<Instant>,
+    drain: Arc<AtomicBool>,
+}
+
+impl LineDeadlineReader {
+    fn new(stream: TcpStream, line_deadline: Duration, drain: Arc<AtomicBool>) -> io::Result<Self> {
+        stream.set_read_timeout(Some(READ_POLL))?;
+        Ok(LineDeadlineReader {
+            stream,
+            buf: vec![0; 64 * 1024],
+            pos: 0,
+            filled: 0,
+            line_deadline,
+            deadline: None,
+            drain,
+        })
+    }
+}
+
+impl Read for LineDeadlineReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let chunk = self.fill_buf()?;
+        let n = chunk.len().min(out.len());
+        out[..n].copy_from_slice(&chunk[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for LineDeadlineReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos < self.filled {
+            // Buffered (possibly pipelined) bytes are served without
+            // touching the socket — a draining connection still answers
+            // every request it already received.
+            return Ok(&self.buf[self.pos..self.filled]);
+        }
+        loop {
+            match self.stream.read(&mut self.buf) {
+                Ok(0) => return Ok(&[]),
+                Ok(n) => {
+                    // First byte of a new line arms its deadline; bytes
+                    // continuing a line leave the armed clock running.
+                    if self.deadline.is_none() {
+                        self.deadline = Some(Instant::now() + self.line_deadline);
+                    }
+                    self.pos = 0;
+                    self.filled = n;
+                    return Ok(&self.buf[..n]);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Idle at a line boundary with nothing left in the
+                    // socket: a drain means no more requests will
+                    // arrive here, so report a clean end-of-stream. The
+                    // check sits *after* the read so requests already
+                    // in flight when the drain started are still
+                    // served.
+                    if self.deadline.is_none() && self.drain.load(Ordering::Relaxed) {
+                        return Ok(&[]);
+                    }
+                    if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "request line exceeded the read deadline",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn consume(&mut self, amt: usize) {
+        let end = (self.pos + amt).min(self.filled);
+        // A consumed newline completes the line and disarms its
+        // deadline; the next line's first *socket* byte re-arms it.
+        if self.buf[self.pos..end].contains(&b'\n') {
+            self.deadline = None;
+        }
+        self.pos = end;
+    }
+}
 
 /// One read-side event from the bounded line reader.
 enum LineEvent {
@@ -144,6 +278,8 @@ pub fn serve_stdio(service: &Service) -> io::Result<u64> {
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
     acceptor: Option<JoinHandle<()>>,
 }
 
@@ -155,16 +291,37 @@ impl TcpServer {
     ///
     /// Propagates bind failures.
     pub fn spawn(service: Service, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        TcpServer::spawn_with(service, addr, ServerOptions::default())
+    }
+
+    /// [`TcpServer::spawn`] with explicit [`ServerOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_with(
+        service: Service,
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
         let acceptor = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, service, addr, stop))
+            let drain = Arc::clone(&drain);
+            let active = Arc::clone(&active);
+            std::thread::spawn(move || {
+                accept_loop(listener, service, addr, stop, drain, active, options)
+            })
         };
         Ok(TcpServer {
             addr,
             stop,
+            drain,
+            active,
             acceptor: Some(acceptor),
         })
     }
@@ -172,6 +329,38 @@ impl TcpServer {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Starts a graceful drain: the acceptor stops taking connections
+    /// and each live connection finishes the requests it has already
+    /// received, then closes. Pair with [`TcpServer::drain_wait`].
+    pub fn begin_drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits up to `timeout` for every live connection to finish after
+    /// [`TcpServer::begin_drain`]. Returns `true` when the server went
+    /// idle in time.
+    pub fn drain_wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.active.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// `true` once the acceptor thread has exited (a client sent
+    /// `shutdown`, or a drain/shutdown was requested locally).
+    pub fn is_finished(&self) -> bool {
+        self.acceptor.as_ref().is_none_or(JoinHandle::is_finished)
     }
 
     /// Stops accepting and joins the acceptor thread. In-flight
@@ -193,7 +382,26 @@ impl TcpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, service: Service, addr: SocketAddr, stop: Arc<AtomicBool>) {
+/// Decrements the live-connection gauge when a connection thread exits,
+/// however it exits.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    service: Service,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    options: ServerOptions,
+) {
     loop {
         let (stream, _) = match listener.accept() {
             Ok(pair) => pair,
@@ -209,8 +417,15 @@ fn accept_loop(listener: TcpListener, service: Service, addr: SocketAddr, stop: 
         }
         let service = service.clone();
         let stop = Arc::clone(&stop);
+        let drain = Arc::clone(&drain);
+        // Count the connection before its thread exists so a drain that
+        // starts in between still waits for it.
+        active.fetch_add(1, Ordering::SeqCst);
+        let guard = ActiveGuard(Arc::clone(&active));
         std::thread::spawn(move || {
-            let shutdown_requested = serve_connection(&service, stream).unwrap_or(false);
+            let _guard = guard;
+            let shutdown_requested =
+                serve_connection(&service, stream, options, drain).unwrap_or(false);
             if shutdown_requested {
                 stop.store(true, Ordering::SeqCst);
                 // Unblock the acceptor so the flag is observed.
@@ -222,8 +437,13 @@ fn accept_loop(listener: TcpListener, service: Service, addr: SocketAddr, stop: 
 
 /// Serves one connection; returns `Ok(true)` if the client requested
 /// daemon shutdown.
-fn serve_connection(service: &Service, stream: TcpStream) -> io::Result<bool> {
-    let reader = BufReader::new(stream.try_clone()?);
+fn serve_connection(
+    service: &Service,
+    stream: TcpStream,
+    options: ServerOptions,
+    drain: Arc<AtomicBool>,
+) -> io::Result<bool> {
+    let reader = LineDeadlineReader::new(stream.try_clone()?, options.line_deadline, drain)?;
     let writer = BufWriter::new(stream);
     serve_loop(service, reader, writer).map(|(_, shutdown)| shutdown)
 }
@@ -232,7 +452,7 @@ fn serve_connection(service: &Service, stream: TcpStream) -> io::Result<bool> {
 mod tests {
     use super::*;
     use crate::pool::ServiceConfig;
-    use std::io::Cursor;
+    use std::io::{BufReader, Cursor};
 
     fn service() -> Service {
         Service::new(ServiceConfig {
@@ -240,7 +460,7 @@ mod tests {
             queue_capacity: 4,
             cache_capacity: 16,
             cache_shards: 2,
-            store_dir: None,
+            ..ServiceConfig::default()
         })
     }
 
@@ -308,6 +528,71 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("pong"));
         drop(writer);
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_answers_pipelined_requests_then_closes_the_connection() {
+        let server = TcpServer::spawn(service(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // A first round-trip guarantees the acceptor has handed this
+        // connection to its own thread before the drain begins.
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"));
+        writer
+            .write_all(b"{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        server.begin_drain();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"), "first pipelined request answered");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"), "second pipelined request answered");
+        line.clear();
+        let n = reader.read_line(&mut line).unwrap();
+        assert_eq!(n, 0, "drained connection reaches end-of-stream");
+        assert!(server.drain_wait(Duration::from_secs(5)), "server idles");
+        assert!(server.is_finished(), "acceptor exits on drain");
+    }
+
+    #[test]
+    fn a_trickling_request_line_is_cut_off_at_the_read_deadline() {
+        let options = ServerOptions {
+            line_deadline: Duration::from_millis(300),
+        };
+        let server = TcpServer::spawn_with(service(), "127.0.0.1:0", options).unwrap();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // Half a request, then silence: a slow-loris client.
+        writer.write_all(b"{\"op\":\"pi").unwrap();
+        writer.flush().unwrap();
+        let started = Instant::now();
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap_or(0);
+        assert_eq!(n, 0, "the daemon closes the connection, got {line:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "cut off near the deadline, not at some OS timeout"
+        );
+        // The server is still healthy for well-behaved clients.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"));
         server.shutdown();
     }
 

@@ -6,7 +6,22 @@
 //! content is exactly the cached `Arc<str>`. A small index file
 //! (`index.json`, schema `qpilot.store.index/v1`) records the entries in
 //! least→most recently inserted order plus the metadata the blob cannot
-//! carry (original compile seconds); it is rewritten on every mutation.
+//! carry (original compile seconds).
+//!
+//! Index maintenance is **incremental**: each insert/remove appends one
+//! line to a sidecar journal (`index.journal`) instead of rewriting the
+//! whole index, and once the journal passes a line threshold it is
+//! compacted — snapshot rewritten, journal truncated — off the write
+//! path (the worker that crossed the threshold spawns the compaction on
+//! a background thread via [`ScheduleStore::try_begin_compaction`]).
+//! Recovery reads the last snapshot and replays the journal over it; a
+//! torn final journal line (the crash shape) is skipped harmlessly.
+//!
+//! The store can also be **size-bounded** ([`StoreOptions::max_bytes`],
+//! `qpilotd --store-max-bytes`): on insert, the oldest blobs are evicted
+//! until the total tracked bytes fit the budget. This bound is
+//! independent of the in-memory LRU capacity — the cache answers "what
+//! is hot", the byte budget answers "what fits on this disk".
 //!
 //! Crash safety is rename-based: blobs and the index are written to a
 //! `.tmp` sibling and atomically renamed into place, so a `SIGKILL`
@@ -26,8 +41,9 @@
 //! [`CacheEntry`].
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use qpilot_circuit::Fingerprint;
@@ -36,12 +52,38 @@ use qpilot_core::wire::schedule_from_json;
 use qpilot_core::ScheduleStats;
 
 use crate::cache::CacheEntry;
+use crate::faults::Faults;
 
 /// Schema tag of the store index document.
 pub const STORE_INDEX_FORMAT: &str = "qpilot.store.index/v1";
 
 /// File-name suffix of schedule blobs.
 const BLOB_SUFFIX: &str = ".schedule.json";
+
+/// Sidecar journal of index mutations since the last snapshot.
+const JOURNAL_NAME: &str = "index.journal";
+
+/// Tuning and dependencies for [`ScheduleStore::open_with`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Evict oldest blobs on insert once tracked bytes exceed this
+    /// budget (`None` = unbounded).
+    pub max_bytes: Option<u64>,
+    /// Journal lines that trigger a compaction.
+    pub journal_threshold: u64,
+    /// Armed fault-injection sites (disarmed by default).
+    pub faults: Arc<Faults>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            max_bytes: None,
+            journal_threshold: 512,
+            faults: Arc::new(Faults::default()),
+        }
+    }
+}
 
 /// One recovered entry, in index (recency) order.
 #[derive(Debug)]
@@ -67,12 +109,18 @@ pub struct RecoveryReport {
 #[derive(Debug)]
 pub struct ScheduleStore {
     dir: PathBuf,
+    options: StoreOptions,
     /// `fingerprint → compile_s`, in insertion (recency) order maintained
     /// by a monotonic sequence number so the index file preserves LRU
     /// order across restarts.
     index: Mutex<IndexState>,
     persisted: AtomicU64,
     removed: AtomicU64,
+    size_evicted: AtomicU64,
+    compactions: AtomicU64,
+    /// Guards against concurrent background compactions; see
+    /// [`ScheduleStore::try_begin_compaction`].
+    compacting: AtomicBool,
     recovery: RecoveryReport,
 }
 
@@ -80,12 +128,23 @@ pub struct ScheduleStore {
 struct IndexState {
     entries: HashMap<Fingerprint, IndexEntry>,
     next_seq: u64,
+    /// Sum of tracked blob sizes (the size-bound accounting).
+    total_bytes: u64,
+    /// Journal lines appended since the last snapshot.
+    journal_lines: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct IndexEntry {
     compile_s: f64,
     seq: u64,
+    bytes: u64,
+}
+
+/// One replayed journal mutation.
+enum JournalOp {
+    Insert(Fingerprint, f64),
+    Remove(Fingerprint),
 }
 
 impl ScheduleStore {
@@ -99,13 +158,37 @@ impl ScheduleStore {
     /// content is repaired (deleted or adopted) and reported via
     /// [`ScheduleStore::recovery`].
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<(ScheduleStore, Vec<RecoveredEntry>)> {
+        ScheduleStore::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`ScheduleStore::open`] with explicit size budget, journal
+    /// threshold, and fault sites.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScheduleStore::open`].
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+    ) -> std::io::Result<(ScheduleStore, Vec<RecoveredEntry>)> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let mut report = RecoveryReport::default();
 
-        // The index gives recency order and compile times; absence or
-        // damage degrades to a plain directory scan.
-        let indexed = read_index(&dir.join("index.json"));
+        // The last snapshot gives recency order and compile times; the
+        // journal replays the mutations since. Absence or damage of
+        // either degrades to a plain directory scan.
+        let mut indexed = read_index(&dir.join("index.json"));
+        for op in read_journal(&dir.join(JOURNAL_NAME)) {
+            match op {
+                JournalOp::Insert(fp, compile_s) => {
+                    // Re-insert moves the row to the back (most recent).
+                    indexed.retain(|(i, _)| *i != fp);
+                    indexed.push((fp, compile_s));
+                }
+                JournalOp::Remove(fp) => indexed.retain(|(i, _)| *i != fp),
+            }
+        }
 
         // Every on-disk candidate, keyed by fingerprint.
         let mut on_disk: HashMap<Fingerprint, PathBuf> = HashMap::new();
@@ -163,7 +246,16 @@ impl ScheduleStore {
                     }
                     let seq = state.next_seq;
                     state.next_seq += 1;
-                    state.entries.insert(fp, IndexEntry { compile_s, seq });
+                    let bytes = entry_body.len() as u64;
+                    state.total_bytes += bytes;
+                    state.entries.insert(
+                        fp,
+                        IndexEntry {
+                            compile_s,
+                            seq,
+                            bytes,
+                        },
+                    );
                     recovered.push(RecoveredEntry {
                         fingerprint: fp,
                         entry: Arc::new(CacheEntry {
@@ -183,12 +275,18 @@ impl ScheduleStore {
 
         let store = ScheduleStore {
             dir,
+            options,
             index: Mutex::new(state),
             persisted: AtomicU64::new(0),
             removed: AtomicU64::new(0),
+            size_evicted: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            compacting: AtomicBool::new(false),
             recovery: report,
         };
-        store.rewrite_index();
+        // Recovery is itself a compaction: snapshot what survived, start
+        // with an empty journal.
+        store.compact_now();
         Ok((store, recovered))
     }
 
@@ -214,9 +312,29 @@ impl ScheduleStore {
         self.persisted.load(Ordering::Relaxed)
     }
 
-    /// Blobs deleted (evictions) since opening.
+    /// Blobs deleted on cache eviction since opening.
     pub fn removed(&self) -> u64 {
         self.removed.load(Ordering::Relaxed)
+    }
+
+    /// Blobs evicted by the byte budget since opening.
+    pub fn size_evicted(&self) -> u64 {
+        self.size_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Index snapshots written since opening (recovery writes one).
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of tracked blobs.
+    pub fn bytes(&self) -> u64 {
+        self.index.lock().expect("store index lock").total_bytes
+    }
+
+    /// Journal lines appended since the last snapshot.
+    pub fn journal_lines(&self) -> u64 {
+        self.index.lock().expect("store index lock").journal_lines
     }
 
     /// The store directory.
@@ -228,44 +346,128 @@ impl ScheduleStore {
         self.dir.join(format!("{fingerprint}{BLOB_SUFFIX}"))
     }
 
-    /// Spills one cache entry: atomic blob write, then index rewrite.
-    /// Failures are reported to stderr and swallowed — persistence is an
-    /// availability feature, never a reason to fail a compile.
+    /// Spills one cache entry: atomic blob write, then a one-line journal
+    /// append (the whole index is *not* rewritten — see the [module
+    /// docs](self)). When a byte budget is configured, the oldest blobs
+    /// are evicted until the insert fits. Failures are reported to stderr
+    /// and swallowed — persistence is an availability feature, never a
+    /// reason to fail a compile.
     pub fn persist(&self, fingerprint: Fingerprint, entry: &CacheEntry) {
+        self.options.faults.store_write_delay();
         let path = self.blob_path(&fingerprint);
+        if self.options.faults.store_write_fail() {
+            eprintln!(
+                "qpilot-service: store write {} failed: injected fault",
+                path.display()
+            );
+            return;
+        }
         if let Err(e) = write_atomic(&path, entry.schedule_json.as_bytes()) {
             eprintln!("qpilot-service: store write {} failed: {e}", path.display());
             return;
         }
-        let mut index = self.index.lock().expect("store index lock");
-        let seq = index.next_seq;
-        index.next_seq += 1;
-        index.entries.insert(
-            fingerprint,
-            IndexEntry {
-                compile_s: entry.compile_s,
-                seq,
-            },
-        );
+        let mut evicted: Vec<Fingerprint> = Vec::new();
+        {
+            let mut index = self.index.lock().expect("store index lock");
+            let seq = index.next_seq;
+            index.next_seq += 1;
+            let bytes = entry.schedule_json.len() as u64;
+            if let Some(old) = index.entries.insert(
+                fingerprint,
+                IndexEntry {
+                    compile_s: entry.compile_s,
+                    seq,
+                    bytes,
+                },
+            ) {
+                index.total_bytes -= old.bytes;
+            }
+            index.total_bytes += bytes;
+            self.append_journal(
+                &mut index,
+                &journal_insert_line(&fingerprint, entry.compile_s),
+            );
+            if let Some(max) = self.options.max_bytes {
+                // Oldest-first eviction; the just-inserted row (highest
+                // seq) is only ever the last candidate and is kept.
+                while index.total_bytes > max && index.entries.len() > 1 {
+                    let victim = index
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.seq)
+                        .map(|(fp, _)| *fp)
+                        .expect("non-empty index");
+                    if victim == fingerprint {
+                        break;
+                    }
+                    let old = index.entries.remove(&victim).expect("victim exists");
+                    index.total_bytes -= old.bytes;
+                    self.append_journal(&mut index, &journal_remove_line(&victim));
+                    evicted.push(victim);
+                }
+            }
+        }
         self.persisted.fetch_add(1, Ordering::Relaxed);
-        self.write_index_file(&index);
-    }
-
-    /// Drops an evicted entry's blob and index row.
-    pub fn remove(&self, fingerprint: &Fingerprint) {
-        let _ = std::fs::remove_file(self.blob_path(fingerprint));
-        let mut index = self.index.lock().expect("store index lock");
-        if index.entries.remove(fingerprint).is_some() {
-            self.removed.fetch_add(1, Ordering::Relaxed);
-            self.write_index_file(&index);
+        for victim in evicted {
+            let _ = std::fs::remove_file(self.blob_path(&victim));
+            self.size_evicted.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Serialises the index (entries in ascending recency) and renames it
-    /// into place.
-    fn rewrite_index(&self) {
-        let index = self.index.lock().expect("store index lock");
-        self.write_index_file(&index);
+    /// Drops an evicted entry's blob and index row (journal append, no
+    /// index rewrite).
+    pub fn remove(&self, fingerprint: &Fingerprint) {
+        let _ = std::fs::remove_file(self.blob_path(fingerprint));
+        let mut index = self.index.lock().expect("store index lock");
+        if let Some(old) = index.entries.remove(fingerprint) {
+            index.total_bytes -= old.bytes;
+            self.removed.fetch_add(1, Ordering::Relaxed);
+            self.append_journal(&mut index, &journal_remove_line(fingerprint));
+        }
+    }
+
+    /// Claims the right to run one compaction if the journal has crossed
+    /// its threshold. The caller that gets `true` must follow up with
+    /// [`ScheduleStore::compact_now`] (typically on a background thread —
+    /// this is how the write path keeps compaction off its latency).
+    pub fn try_begin_compaction(&self) -> bool {
+        if self.index.lock().expect("store index lock").journal_lines
+            < self.options.journal_threshold
+        {
+            return false;
+        }
+        !self.compacting.swap(true, Ordering::AcqRel)
+    }
+
+    /// Compacts synchronously: snapshots the index to `index.json` and
+    /// truncates the journal. Used by recovery, drain, and the background
+    /// thread armed by [`ScheduleStore::try_begin_compaction`].
+    pub fn compact_now(&self) {
+        {
+            let mut index = self.index.lock().expect("store index lock");
+            self.write_index_file(&index);
+            if let Err(e) = std::fs::write(self.dir.join(JOURNAL_NAME), b"") {
+                eprintln!("qpilot-service: journal truncate failed: {e}");
+            }
+            index.journal_lines = 0;
+        }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compacting.store(false, Ordering::Release);
+    }
+
+    /// Appends one mutation line to the journal while the caller holds
+    /// the index lock (which serialises appends).
+    fn append_journal(&self, index: &mut IndexState, line: &str) {
+        let path = self.dir.join(JOURNAL_NAME);
+        let result = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        match result {
+            Ok(()) => index.journal_lines += 1,
+            Err(e) => eprintln!("qpilot-service: journal append failed: {e}"),
+        }
     }
 
     /// Writes the index file while the caller holds the index lock: the
@@ -332,6 +534,50 @@ fn read_index(path: &Path) -> Vec<(Fingerprint, f64)> {
         rows.push((fp, compile_s));
     }
     rows
+}
+
+fn journal_insert_line(fingerprint: &Fingerprint, compile_s: f64) -> String {
+    format!(
+        "{{\"op\":\"insert\",\"fingerprint\":\"{fingerprint}\",\"compile_s\":{}}}\n",
+        json::fmt_f64(compile_s)
+    )
+}
+
+fn journal_remove_line(fingerprint: &Fingerprint) -> String {
+    format!("{{\"op\":\"remove\",\"fingerprint\":\"{fingerprint}\"}}\n")
+}
+
+/// Replays the journal in append order. Unparsable lines — in practice
+/// only a torn final line from a crash mid-append — are skipped, as is a
+/// missing journal.
+fn read_journal(path: &Path) -> Vec<JournalOp> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut ops = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(doc) = json::parse(line) else { continue };
+        let Some(fp) = doc
+            .get("fingerprint")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse::<Fingerprint>().ok())
+        else {
+            continue;
+        };
+        match doc.get("op").and_then(Value::as_str) {
+            Some("insert") => {
+                let compile_s = doc.get("compile_s").and_then(Value::as_f64).unwrap_or(0.0);
+                ops.push(JournalOp::Insert(fp, compile_s));
+            }
+            Some("remove") => ops.push(JournalOp::Remove(fp)),
+            _ => {}
+        }
+    }
+    ops
 }
 
 /// Reads a blob and verifies it parses as a schedule; `None` on any
@@ -443,9 +689,10 @@ mod tests {
         let (store, _) = ScheduleStore::open(&dir).unwrap();
         let (fp1, e1) = sample_entry(1);
         store.persist(fp1, &e1);
-        // Simulate a kill between blob rename and index rewrite: nuke the
-        // index but keep the blob.
+        // Simulate a kill between blob rename and journal append: nuke
+        // the snapshot *and* the journal but keep the blob.
         std::fs::remove_file(dir.join("index.json")).unwrap();
+        let _ = std::fs::remove_file(dir.join(JOURNAL_NAME));
         drop(store);
 
         let (store, recovered) = ScheduleStore::open(&dir).unwrap();
@@ -483,10 +730,160 @@ mod tests {
         let (fp1, e1) = sample_entry(1);
         store.persist(fp1, &e1);
         std::fs::write(dir.join("index.json"), "][ not json").unwrap();
+        // Kill the journal too: replay would otherwise paper over the
+        // snapshot damage this test is about.
+        std::fs::write(dir.join(JOURNAL_NAME), "").unwrap();
         drop(store);
         let (_, recovered) = ScheduleStore::open(&dir).unwrap();
         assert_eq!(recovered.len(), 1);
         assert_eq!(recovered[0].entry.schedule_json, e1.schedule_json);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inserts_append_journal_lines_instead_of_rewriting_the_index() {
+        let dir = temp_dir("journal");
+        let (store, _) = ScheduleStore::open(&dir).unwrap();
+        let snapshot_after_open = std::fs::read_to_string(dir.join("index.json")).unwrap();
+        let (fp1, e1) = sample_entry(1);
+        let (fp2, e2) = sample_entry(2);
+        store.persist(fp1, &e1);
+        store.persist(fp2, &e2);
+        store.remove(&fp1);
+        // Three mutations → three journal lines; the snapshot is untouched.
+        assert_eq!(store.journal_lines(), 3);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("index.json")).unwrap(),
+            snapshot_after_open,
+            "insert/remove must not rewrite the snapshot"
+        );
+
+        // Recovery = snapshot + journal replay.
+        drop(store);
+        let (store, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].fingerprint, fp2);
+        assert_eq!(recovered[0].entry.schedule_json, e2.schedule_json);
+        assert!(
+            (recovered[0].entry.compile_s - e2.compile_s).abs() < 1e-12,
+            "journal replay keeps compile_s"
+        );
+        // Recovery compacted: journal empty, snapshot has the survivor.
+        assert_eq!(store.journal_lines(), 0);
+        assert!(std::fs::read_to_string(dir.join("index.json"))
+            .unwrap()
+            .contains(&fp2.to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_skipped() {
+        let dir = temp_dir("torn");
+        let (store, _) = ScheduleStore::open(&dir).unwrap();
+        let (fp1, e1) = sample_entry(1);
+        store.persist(fp1, &e1);
+        drop(store);
+        // A crash mid-append leaves a half-written final line.
+        let journal = dir.join(JOURNAL_NAME);
+        let mut text = std::fs::read_to_string(&journal).unwrap();
+        text.push_str("{\"op\":\"remove\",\"fingerpr");
+        std::fs::write(&journal, text).unwrap();
+
+        let (store, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 1, "torn tail must not lose good rows");
+        assert_eq!(store.recovery().loaded, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crossing_the_journal_threshold_arms_exactly_one_compaction() {
+        let dir = temp_dir("compactgate");
+        let (store, _) = ScheduleStore::open_with(
+            &dir,
+            StoreOptions {
+                journal_threshold: 2,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let (fp1, e1) = sample_entry(1);
+        let (fp2, e2) = sample_entry(2);
+        assert!(!store.try_begin_compaction(), "below threshold");
+        store.persist(fp1, &e1);
+        store.persist(fp2, &e2);
+        assert!(store.try_begin_compaction());
+        assert!(
+            !store.try_begin_compaction(),
+            "second claimant must lose while a compaction is pending"
+        );
+        store.compact_now();
+        assert_eq!(store.journal_lines(), 0);
+        assert!(!store.try_begin_compaction(), "journal drained");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_blobs_on_insert() {
+        let dir = temp_dir("budget");
+        let (_, e) = sample_entry(1);
+        let blob_bytes = e.schedule_json.len() as u64;
+        // Room for two blobs, not three.
+        let (store, _) = ScheduleStore::open_with(
+            &dir,
+            StoreOptions {
+                max_bytes: Some(blob_bytes * 2 + blob_bytes / 2),
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let (fp1, e1) = sample_entry(1);
+        let (fp2, e2) = sample_entry(2);
+        let (fp3, e3) = sample_entry(3);
+        store.persist(fp1, &e1);
+        store.persist(fp2, &e2);
+        assert_eq!(store.size_evicted(), 0);
+        store.persist(fp3, &e3);
+        assert_eq!(store.size_evicted(), 1, "oldest blob evicted");
+        assert!(!store.blob_path(&fp1).exists());
+        assert!(store.blob_path(&fp2).exists());
+        assert!(store.blob_path(&fp3).exists());
+        assert!(store.bytes() <= blob_bytes * 2 + blob_bytes / 2);
+
+        // The budget holds across recovery too.
+        drop(store);
+        let (store, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].fingerprint, fp2);
+        assert_eq!(recovered[1].fingerprint, fp3);
+        assert_eq!(store.bytes(), blob_bytes * 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_failure_leaves_entry_unindexed() {
+        let dir = temp_dir("failwrite");
+        let (store, _) = ScheduleStore::open_with(
+            &dir,
+            StoreOptions {
+                faults: Arc::new(Faults::from_spec(
+                    &crate::faults::FaultSpec::parse("store-write-fail:1").unwrap(),
+                )),
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let (fp1, e1) = sample_entry(1);
+        let (fp2, e2) = sample_entry(2);
+        store.persist(fp1, &e1); // injected failure
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.persisted(), 0);
+        assert!(!store.blob_path(&fp1).exists());
+        store.persist(fp2, &e2); // fault budget exhausted → succeeds
+        assert_eq!(store.len(), 1);
+        drop(store);
+        let (_, recovered) = ScheduleStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].fingerprint, fp2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -20,7 +20,7 @@ fn test_service(workers: usize, queue: usize) -> Service {
         queue_capacity: queue,
         cache_capacity: 64,
         cache_shards: 4,
-        store_dir: None,
+        ..ServiceConfig::default()
     })
 }
 
@@ -69,7 +69,7 @@ fn tcp_compile_twice_hits_cache_with_byte_identical_schedule() {
     let mut client = Client::connect(server.local_addr());
 
     let circuit = random_circuit(&RandomCircuitConfig::paper(8, 3, 1));
-    let line = compile_request_line(&circuit_to_value_json(&circuit), None, None, true);
+    let line = compile_request_line(&circuit_to_value_json(&circuit), None, None, None, true);
 
     let first = client.request(&line);
     assert_eq!(first.get("ok"), Some(&Value::Bool(true)));
@@ -113,7 +113,8 @@ fn workloads_compile_identically_via_qasm_and_inline_circuit() {
             "{{\"op\":\"compile\",\"qasm\":{}}}",
             json_str(&circuit.to_qasm())
         );
-        let via_inline = compile_request_line(&circuit_to_value_json(&canonical), None, None, true);
+        let via_inline =
+            compile_request_line(&circuit_to_value_json(&canonical), None, None, None, true);
 
         let qasm_response = client.request(&via_qasm);
         assert_eq!(
@@ -153,7 +154,8 @@ fn racing_tcp_clients_on_one_cold_fingerprint_compile_exactly_once() {
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr);
                 let circuit = random_circuit(&RandomCircuitConfig::paper(12, 4, 4321));
-                let line = compile_request_line(&circuit_to_value_json(&circuit), None, None, true);
+                let line =
+                    compile_request_line(&circuit_to_value_json(&circuit), None, None, None, true);
                 barrier.wait();
                 let response = client.request(&line);
                 assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response:?}");
@@ -199,9 +201,11 @@ fn racing_tcp_clients_on_one_cold_fingerprint_compile_exactly_once() {
 }
 
 #[test]
-fn concurrent_burst_with_tiny_queue_drops_nothing() {
-    // 1 worker, queue depth 2: the 16-client burst must be absorbed by
-    // blocking backpressure, not by shedding requests.
+fn concurrent_burst_with_tiny_queue_loses_no_request() {
+    // 1 worker, queue depth 2: the 16-client burst is absorbed by a mix
+    // of coalescing and `Overloaded` shedding. Every rejection must
+    // carry a machine-readable `retry_after_ms` hint, and a client that
+    // honours it always lands.
     let server = TcpServer::spawn(test_service(1, 2), "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
     let handles: Vec<_> = (0..16)
@@ -213,9 +217,24 @@ fn concurrent_burst_with_tiny_queue_drops_nothing() {
                 let seed = if i % 2 == 0 { 1000 } else { i };
                 let circuit = random_circuit(&RandomCircuitConfig::paper(6, 2, seed));
                 let line =
-                    compile_request_line(&circuit_to_value_json(&circuit), None, None, false);
-                let response = client.request(&line);
-                assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response:?}");
+                    compile_request_line(&circuit_to_value_json(&circuit), None, None, None, false);
+                for _attempt in 0..100 {
+                    let response = client.request(&line);
+                    if response.get("ok") == Some(&Value::Bool(true)) {
+                        return;
+                    }
+                    assert_eq!(
+                        response.get("retry"),
+                        Some(&Value::Bool(true)),
+                        "only retryable rejections allowed: {response:?}"
+                    );
+                    let hint = response
+                        .get("retry_after_ms")
+                        .and_then(Value::as_u64)
+                        .expect("overload rejection carries a backoff hint");
+                    std::thread::sleep(std::time::Duration::from_millis(hint.min(50)));
+                }
+                panic!("request never served despite honouring backoff hints");
             })
         })
         .collect();
@@ -224,10 +243,9 @@ fn concurrent_burst_with_tiny_queue_drops_nothing() {
     }
     let mut client = Client::connect(addr);
     let stats = client.request("{\"op\":\"stats\"}");
-    assert_eq!(
-        stats.get("requests").and_then(Value::as_u64),
-        Some(16),
-        "all requests served: {stats:?}"
+    assert!(
+        stats.get("requests").and_then(Value::as_u64) >= Some(16),
+        "all requests reached the service: {stats:?}"
     );
     server.shutdown();
 }
@@ -242,7 +260,7 @@ fn in_process_api_matches_wire_results() {
 
     let server = TcpServer::spawn(service, "127.0.0.1:0").unwrap();
     let mut client = Client::connect(server.local_addr());
-    let line = compile_request_line(&circuit_to_value_json(&circuit), None, None, true);
+    let line = compile_request_line(&circuit_to_value_json(&circuit), None, None, None, true);
     let wire = client.request(&line);
     assert_eq!(wire.get("cache").and_then(Value::as_str), Some("hit"));
     assert_eq!(

@@ -13,11 +13,12 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use proptest::test_runner::ProptestConfig;
 use qpilot_core::json::{self, Value};
-use qpilot_service::{Service, ServiceConfig, TcpServer, MAX_REQUEST_LINE_BYTES};
+use qpilot_service::{ServerOptions, Service, ServiceConfig, TcpServer, MAX_REQUEST_LINE_BYTES};
 
 fn torture_service() -> Service {
     Service::new(ServiceConfig {
@@ -25,7 +26,7 @@ fn torture_service() -> Service {
         queue_capacity: 8,
         cache_capacity: 32,
         cache_shards: 4,
-        store_dir: None,
+        ..ServiceConfig::default()
     })
 }
 
@@ -249,6 +250,54 @@ fn client_disconnect_mid_line_leaves_daemon_healthy() {
     // Compiles still work after the half-request.
     let response = client.request(VALID_LINES[2]);
     assert!(response.starts_with("{\"ok\":true"), "{response}");
+    server.shutdown();
+}
+
+/// A slow-loris client: trickling *within* the per-line deadline is
+/// served; stalling mid-line past it gets the connection closed, and
+/// the daemon stays healthy for everyone else.
+#[test]
+fn slow_loris_trickle_is_cut_off_at_the_line_deadline() {
+    let options = ServerOptions {
+        line_deadline: Duration::from_millis(400),
+    };
+    let server = TcpServer::spawn_with(torture_service(), "127.0.0.1:0", options).unwrap();
+    let addr = server.local_addr();
+    // Trickling but finishing in time: still served.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for chunk in br#"{"op":"ping"}"#.chunks(3) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains("pong"), "{response}");
+    }
+    // Stalling mid-line: disconnected near the deadline.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(br#"{"op":"comp"#).unwrap();
+    stream.flush().unwrap();
+    let started = Instant::now();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    let n = reader.read_line(&mut response).unwrap_or(0);
+    assert_eq!(n, 0, "daemon must close the trickler, got {response:?}");
+    assert!(
+        started.elapsed() >= Duration::from_millis(300),
+        "cut off before the deadline"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "cut off long after the deadline"
+    );
+    // Well-behaved clients are unaffected.
+    let mut client = Client::connect(addr);
+    assert!(client.request(r#"{"op":"ping"}"#).contains("pong"));
     server.shutdown();
 }
 

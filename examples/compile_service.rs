@@ -53,7 +53,7 @@ fn main() {
     let stream = TcpStream::connect(server.local_addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = stream;
-    let line = compile_request_line(&circuit_to_value_json(&circuit), None, None, false);
+    let line = compile_request_line(&circuit_to_value_json(&circuit), None, None, None, false);
     writer
         .write_all(format!("{line}\n{}\n", "{\"op\":\"stats\"}").as_bytes())
         .expect("send");
