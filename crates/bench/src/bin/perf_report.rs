@@ -31,6 +31,7 @@ use qpilot_bench::{arg_num, arg_value, check, compile_batch, default_threads, Ta
 use qpilot_core::compile::{CompileOptions, Compiler, Workload};
 use qpilot_core::generic::GenericRouterOptions;
 use qpilot_core::generic_reference::route_reference;
+use qpilot_core::obs;
 use qpilot_core::{CompiledProgram, FpqaConfig};
 use qpilot_workloads::graphs::random_regular;
 use qpilot_workloads::pauli::{random_pauli_strings, PauliWorkloadConfig};
@@ -229,6 +230,123 @@ fn bench_qaoa(n: u32, reps: usize) -> AuxRow {
     aux_row("qaoa", n, "3_regular".into(), wall, &program)
 }
 
+/// One `stage_profile` report row: a router stage's median per-route
+/// cost and its share of the router's total instrumented time.
+struct StageRow {
+    router: &'static str,
+    stage: &'static str,
+    count: u64,
+    p50_ms: f64,
+    share: f64,
+}
+
+/// Populates the per-stage route histograms (`obs::ROUTE_STAGES`) with
+/// `reps` fresh compiles per router at size `n`, then snapshots them
+/// into report rows. Runs on reset histograms so earlier sweep sections
+/// cannot skew the medians.
+fn profile_stages(n: u32, factor: usize, reps: usize) -> Vec<StageRow> {
+    obs::reset_route_stages();
+    obs::set_enabled(true);
+    // Profile every route call here (serving processes sample 1-in-N).
+    obs::set_stage_sampling(1);
+    let config = FpqaConfig::square_for(n);
+    let mut compiler = Compiler::new();
+    let circuit = Workload::circuit(random_circuit(&RandomCircuitConfig::paper(n, factor, 1)));
+    let pauli = Workload::pauli_strings(
+        random_pauli_strings(&PauliWorkloadConfig {
+            num_qubits: n as usize,
+            num_strings: 20,
+            pauli_probability: 0.3,
+            seed: 2,
+        }),
+        0.4,
+    );
+    let graph = random_regular(n, 3, 4).expect("regular graph");
+    let qaoa = Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7);
+    for workload in [&circuit, &pauli, &qaoa] {
+        for _ in 0..reps.max(1) {
+            compiler
+                .compile(workload, &config)
+                .expect("profiled route")
+                .into_program();
+        }
+    }
+    obs::set_stage_sampling(obs::DEFAULT_STAGE_SAMPLING);
+    let totals: Vec<(&str, u64)> = ["generic", "qsim", "qaoa"]
+        .iter()
+        .map(|&router| {
+            let sum = obs::ROUTE_STAGES
+                .iter()
+                .filter(|s| s.router == router)
+                .map(|s| s.histogram.snapshot().sum_ns())
+                .sum();
+            (router, sum)
+        })
+        .collect();
+    obs::ROUTE_STAGES
+        .iter()
+        .map(|s| {
+            let snap = s.histogram.snapshot();
+            let total = totals
+                .iter()
+                .find(|(r, _)| *r == s.router)
+                .map_or(0, |&(_, t)| t);
+            StageRow {
+                router: s.router,
+                stage: s.stage,
+                count: snap.count(),
+                p50_ms: snap.percentile(0.50) as f64 * 1e-6,
+                share: if total == 0 {
+                    0.0
+                } else {
+                    snap.sum_ns() as f64 / total as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Steady-state instrumentation overhead of the route path, in percent
+/// of uninstrumented route wall-clock.
+///
+/// Measures the *fully profiled* route (stage sampling forced to 1)
+/// against the uninstrumented route and amortises the difference over
+/// the production sampling period — the exact cost a serving process
+/// pays per route on average. Both sides use the minimum over many
+/// interleaved single-route samples: the instrumentation cost is
+/// deterministic while scheduler and frequency noise only ever inflate
+/// a sample, so min-vs-min isolates the true cost where a median would
+/// drown it in machine noise. Residual jitter can still push the
+/// result slightly negative; the CI gate (`max_obs_overhead_pct`) only
+/// caps the positive direction.
+fn measure_obs_overhead(n: u32, factor: usize, reps: usize) -> f64 {
+    let config = FpqaConfig::square_for(n);
+    let workload = Workload::circuit(random_circuit(&RandomCircuitConfig::paper(n, factor, 1)));
+    let mut compiler = Compiler::new();
+    compiler
+        .compile(&workload, &config)
+        .expect("warm-up route")
+        .into_program();
+    obs::set_stage_sampling(1);
+    let mut route = |profiled: bool| {
+        obs::set_enabled(profiled);
+        let t = Instant::now();
+        compiler
+            .compile(&workload, &config)
+            .expect("overhead-probe route")
+            .into_program();
+        t.elapsed().as_secs_f64()
+    };
+    let (mut on, mut off) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..(4 * reps.max(5)) {
+        on = on.min(route(true));
+        off = off.min(route(false));
+    }
+    obs::set_enabled(true);
+    obs::set_stage_sampling(obs::DEFAULT_STAGE_SAMPLING);
+    ((on / off.max(1e-12)) - 1.0) * 100.0 / f64::from(obs::DEFAULT_STAGE_SAMPLING)
+}
+
 fn main() {
     let sizes: Vec<u32> = arg_value("--sizes")
         .map(|v| v.split(',').filter_map(|x| x.trim().parse().ok()).collect())
@@ -294,6 +412,24 @@ fn main() {
     println!("\nspecialised routers");
     aux.print();
 
+    // Per-stage route profile + instrumentation overhead, at the largest
+    // swept size (where stage costs are most visible).
+    let n_max = *sizes.iter().max().expect("nonempty sizes");
+    let stage_rows = profile_stages(n_max, factor, reps);
+    let obs_overhead_pct = measure_obs_overhead(n_max, factor, reps);
+    let mut prof = Table::new(&["router", "stage", "count", "p50_ms", "share"]);
+    for row in &stage_rows {
+        prof.row(vec![
+            row.router.to_string(),
+            row.stage.to_string(),
+            row.count.to_string(),
+            format!("{:.4}", row.p50_ms),
+            format!("{:.1}%", row.share * 100.0),
+        ]);
+    }
+    println!("\nper-stage route profile ({n_max}q, obs overhead {obs_overhead_pct:+.2}%)");
+    prof.print();
+
     let json = render_json(
         &sizes,
         factor,
@@ -302,6 +438,8 @@ fn main() {
         threads,
         &generic_rows,
         &aux_rows,
+        &stage_rows,
+        obs_overhead_pct,
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
@@ -327,6 +465,7 @@ fn main() {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     sizes: &[u32],
     factor: usize,
@@ -335,6 +474,8 @@ fn render_json(
     threads: usize,
     generic_rows: &[GenericRow],
     aux_rows: &[AuxRow],
+    stage_rows: &[StageRow],
+    obs_overhead_pct: f64,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -386,6 +527,22 @@ fn render_json(
         );
         s.push_str(if i + 1 < aux_rows.len() { ",\n" } else { "\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n  \"stage_profile\": [\n");
+    for (i, r) in stage_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"router\": \"{}\", \"stage\": \"{}\", \"count\": {}, \
+             \"p50_ms\": {:.6}, \"share\": {:.4}}}",
+            r.router, r.stage, r.count, r.p50_ms, r.share,
+        );
+        s.push_str(if i + 1 < stage_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"obs_overhead_pct\": {obs_overhead_pct:.3}");
+    s.push_str("}\n");
     s
 }

@@ -49,6 +49,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use qpilot_bench::{arg_num, arg_value, check, default_threads, Table};
+use qpilot_service::metrics::REQUEST_PATHS;
 use qpilot_service::protocol::{circuit_to_value_json, compile_request_line};
 use qpilot_service::{CompileRequest, Service, ServiceConfig, TcpServer};
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
@@ -381,6 +382,31 @@ fn main() {
     );
     let resilience = bench_resilience(&config, clients.min(8), qubits.min(20));
 
+    // Request-latency percentiles per serving path, from the obs layer's
+    // process-global histograms (every section above recorded into them
+    // through `Service::compile` / the TCP server).
+    struct PathRow {
+        path: &'static str,
+        count: u64,
+        p50_ms: f64,
+        p90_ms: f64,
+        p99_ms: f64,
+    }
+    let request_latency: Vec<PathRow> = REQUEST_PATHS
+        .iter()
+        .map(|&(path, hist)| {
+            let snap = hist.snapshot();
+            let ms = |q: f64| snap.percentile(q) as f64 * 1e-6;
+            PathRow {
+                path,
+                count: snap.count(),
+                p50_ms: ms(0.50),
+                p90_ms: ms(0.90),
+                p99_ms: ms(0.99),
+            }
+        })
+        .collect();
+
     let mut table = Table::new(&["metric", "value"]);
     table.row(vec![
         "cold request (ms)".into(),
@@ -423,6 +449,15 @@ fn main() {
         "p99 compile (ms)".into(),
         format!("{:.3}", stats.p99_compile_s * 1e3),
     ]);
+    for row in &request_latency {
+        if row.count == 0 {
+            continue;
+        }
+        table.row(vec![
+            format!("{} requests p50/p99 (ms)", row.path),
+            format!("{}x {:.4}/{:.4}", row.count, row.p50_ms, row.p99_ms),
+        ]);
+    }
     table.row(vec![
         "burst completed".into(),
         format!("{}/{}", burst.completed, burst.sent),
@@ -478,9 +513,25 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"latency\": {{\"p50_compile_s\": {:.9}, \"p99_compile_s\": {:.9}}},",
-        stats.p50_compile_s, stats.p99_compile_s
+        "  \"latency\": {{\"p50_compile_s\": {:.9}, \"p90_compile_s\": {:.9}, \
+         \"p99_compile_s\": {:.9}}},",
+        stats.p50_compile_s, stats.p90_compile_s, stats.p99_compile_s
     );
+    json.push_str("  \"request_latency\": [\n");
+    for (i, row) in request_latency.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"path\": \"{}\", \"count\": {}, \"p50_ms\": {:.6}, \
+             \"p90_ms\": {:.6}, \"p99_ms\": {:.6}}}",
+            row.path, row.count, row.p50_ms, row.p90_ms, row.p99_ms
+        );
+        json.push_str(if i + 1 < request_latency.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"evictions\": {}}},",

@@ -137,6 +137,20 @@ pub fn check_routing(report: &Value, thresholds: &Value) -> Vec<String> {
             }
         }
     }
+    // Observability gate: the instrumented route may not be more than
+    // `max_obs_overhead_pct` percent slower than the uninstrumented one.
+    // A gated thresholds file demands the measurement be present.
+    if let Some(max) = num(gates, "max_obs_overhead_pct") {
+        match num(report, "obs_overhead_pct") {
+            Some(got) if got > max => {
+                violations.push(format!("obs overhead {got:.2}% above ceiling {max:.2}%"))
+            }
+            Some(_) => {}
+            None => {
+                violations.push("routing report has no `obs_overhead_pct` field".to_string());
+            }
+        }
+    }
     violations
 }
 
@@ -347,6 +361,49 @@ mod tests {
     fn empty_report_is_a_violation() {
         let report = json::parse(r#"{"generic":[]}"#).unwrap();
         assert_eq!(check_routing(&report, &thresholds()).len(), 1);
+    }
+
+    fn obs_thresholds() -> Value {
+        json::parse(
+            r#"{"schema":"qpilot.bench.thresholds/v1",
+                "routing":{"sizes":[],"max_obs_overhead_pct":5.0}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn obs_overhead_within_the_ceiling_passes() {
+        // Negative overhead (timer noise favouring the instrumented run)
+        // must pass too — only the positive direction is capped.
+        let report = json::parse(
+            r#"{"generic":[{"qubits":100,"schedules_identical":true}],
+                "obs_overhead_pct":-0.3}"#,
+        )
+        .unwrap();
+        assert!(check_routing(&report, &obs_thresholds()).is_empty());
+    }
+
+    #[test]
+    fn excessive_obs_overhead_trips_the_wall() {
+        let report = json::parse(
+            r#"{"generic":[{"qubits":100,"schedules_identical":true}],
+                "obs_overhead_pct":9.5}"#,
+        )
+        .unwrap();
+        let violations = check_routing(&report, &obs_thresholds());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("obs overhead"), "{violations:?}");
+    }
+
+    #[test]
+    fn missing_obs_overhead_is_a_violation_when_gated() {
+        // An old-format report must not silently pass a thresholds file
+        // that gates instrumentation overhead.
+        let report =
+            json::parse(r#"{"generic":[{"qubits":100,"schedules_identical":true}]}"#).unwrap();
+        let violations = check_routing(&report, &obs_thresholds());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("obs_overhead_pct"), "{violations:?}");
     }
 
     fn service_report(speedup: f64, identical: bool, dropped: u64) -> Value {

@@ -92,6 +92,12 @@ impl GenericRouter {
         circuit: &Circuit,
         config: &FpqaConfig,
     ) -> Result<CompiledProgram, RouteError> {
+        // Stage attribution: one chained clock per route call, one local
+        // accumulator per stage, one histogram sample per stage on exit
+        // (see `obs::PhaseClock`). Disabled cost: one relaxed load.
+        let mut clock = crate::obs::PhaseClock::start();
+        let (mut t_setup, mut t_wave, mut t_select, mut t_emit, mut t_batch) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
         if circuit.num_qubits() > config.num_data() {
             return Err(RouteError::TooManyQubits {
                 required: circuit.num_qubits(),
@@ -166,6 +172,7 @@ impl GenericRouter {
             }
         }
         scratch.candidates.sort_by_key(|&id| keys[id]);
+        crate::obs::lap(&mut clock, &mut t_setup);
 
         loop {
             // Stage boundary: a cancelled compile stops before emitting
@@ -186,6 +193,7 @@ impl GenericRouter {
                 }
                 // Promotions arrive sorted, so `ready_1q` stays ascending.
             }
+            crate::obs::lap(&mut clock, &mut t_wave);
             if frontier.is_done() {
                 break;
             }
@@ -204,6 +212,7 @@ impl GenericRouter {
                 !scratch.subset.is_empty(),
                 "front layer gate must be schedulable alone"
             );
+            crate::obs::lap(&mut clock, &mut t_select);
 
             scratch.staged.clear();
             for &i in &scratch.subset {
@@ -220,6 +229,7 @@ impl GenericRouter {
                 });
             }
             emit_stage(&mut schedule, config, &scratch.staged, &mut scratch.emit);
+            crate::obs::lap(&mut clock, &mut t_emit);
 
             // Execute the subset in one batch and fold the promoted
             // successors into the two ready lists.
@@ -237,8 +247,16 @@ impl GenericRouter {
                     insert_candidate(&mut scratch.candidates, &keys, p);
                 }
             }
+            crate::obs::lap(&mut clock, &mut t_batch);
         }
         debug_assert!(scratch.candidates.is_empty());
+        if clock.is_some() {
+            crate::obs::GENERIC_SETUP.record_ns(t_setup);
+            crate::obs::GENERIC_WAVE_1Q.record_ns(t_wave);
+            crate::obs::GENERIC_SELECT.record_ns(t_select);
+            crate::obs::GENERIC_EMIT.record_ns(t_emit);
+            crate::obs::GENERIC_BATCH.record_ns(t_batch);
+        }
         Ok(schedule.finish_program())
     }
 }

@@ -52,6 +52,7 @@ pub mod legality;
 pub mod lower;
 pub mod mapper;
 mod motion;
+pub mod obs;
 pub mod qaoa;
 pub mod qsim;
 pub mod render;

@@ -109,7 +109,9 @@ impl QaoaRouter {
     ) -> Result<CompiledProgram, RouteError> {
         let mut schedule =
             ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
-        self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
+        let mut prof = QaoaProfile::start();
+        self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config, &mut prof)?;
+        prof.flush();
         Ok(schedule.finish_program())
     }
 
@@ -131,7 +133,9 @@ impl QaoaRouter {
         let mut schedule =
             ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
         schedule.raman((0..num_qubits).map(|q| Gate::H(qpilot_circuit::Qubit::new(q))));
-        self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
+        let mut prof = QaoaProfile::start();
+        self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config, &mut prof)?;
+        prof.flush();
         schedule.raman((0..num_qubits).map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta)));
         Ok(schedule.finish_program())
     }
@@ -161,10 +165,14 @@ impl QaoaRouter {
         let mut schedule =
             ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
         schedule.raman((0..num_qubits).map(|q| Gate::H(qpilot_circuit::Qubit::new(q))));
+        // One accumulator across all rounds: a single stage-time sample
+        // per route call, like the other routers.
+        let mut prof = QaoaProfile::start();
         for (&gamma, &beta) in gammas.iter().zip(betas) {
-            self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config)?;
+            self.append_cost_layer(&mut schedule, num_qubits, edges, gamma, config, &mut prof)?;
             schedule.raman((0..num_qubits).map(|q| Gate::Rx(qpilot_circuit::Qubit::new(q), beta)));
         }
+        prof.flush();
         Ok(schedule.finish_program())
     }
 
@@ -175,6 +183,7 @@ impl QaoaRouter {
         edges: &[(u32, u32)],
         gamma: f64,
         config: &FpqaConfig,
+        prof: &mut QaoaProfile,
     ) -> Result<(), RouteError> {
         if num_qubits > config.num_data() {
             return Err(RouteError::TooManyQubits {
@@ -251,6 +260,7 @@ impl QaoaRouter {
         // remaining edges every stage, which dominated routing time on
         // large graphs — see ROADMAP "Perf open items").
         let mut buckets = EdgeBuckets::build(&remaining, config);
+        prof.lap_setup();
         while !remaining.is_empty() {
             // Stage boundary: stop cleanly before solving the next stage.
             self.cancel.check()?;
@@ -269,6 +279,7 @@ impl QaoaRouter {
                 remaining.remove(&e);
                 buckets.remove(e.0, e.1, config);
             }
+            prof.lap_select();
             let (row_y, col_x) =
                 stage_coords(&solution, schedule.schedule(), config, used_rows, used_cols);
             schedule.move_stage(&row_y, &col_x);
@@ -279,6 +290,7 @@ impl QaoaRouter {
                     gamma,
                 )
             }));
+            prof.lap_emit();
         }
 
         // Recycle: fly home, uncopy, unload (pool copies of the create
@@ -293,7 +305,49 @@ impl QaoaRouter {
             col: home(q).col,
             load: false,
         }));
+        prof.lap_setup();
         Ok(())
+    }
+}
+
+/// Per-route stage-time accumulator (see [`crate::obs::PhaseClock`]):
+/// create/recycle and bucket maintenance count as `setup`, the matching
+/// search as `select`, coordinates/moves/pulses as `emit`. Flushed to
+/// the QAOA stage histograms once per public `route_*` call.
+#[derive(Debug, Default)]
+struct QaoaProfile {
+    clock: Option<crate::obs::PhaseClock>,
+    setup: u64,
+    select: u64,
+    emit: u64,
+}
+
+impl QaoaProfile {
+    fn start() -> QaoaProfile {
+        QaoaProfile {
+            clock: crate::obs::PhaseClock::start(),
+            ..QaoaProfile::default()
+        }
+    }
+
+    fn lap_setup(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.setup);
+    }
+
+    fn lap_select(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.select);
+    }
+
+    fn lap_emit(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.emit);
+    }
+
+    fn flush(&self) {
+        if self.clock.is_some() {
+            crate::obs::QAOA_SETUP.record_ns(self.setup);
+            crate::obs::QAOA_SELECT.record_ns(self.select);
+            crate::obs::QAOA_EMIT.record_ns(self.emit);
+        }
     }
 }
 

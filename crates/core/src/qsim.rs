@@ -107,6 +107,7 @@ impl QsimRouter {
         strings: &[(PauliString, f64)],
         config: &FpqaConfig,
     ) -> Result<CompiledProgram, RouteError> {
+        let mut prof = QsimProfile::start();
         for (s, _) in strings {
             if s.num_qubits() as u32 > config.num_data() {
                 return Err(RouteError::TooManyQubits {
@@ -124,14 +125,17 @@ impl QsimRouter {
         let mut schedule =
             ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
         let cur = initial_coords(schedule.aod_rows, schedule.aod_cols, config);
+        prof.lap_setup();
         for (string, theta) in strings {
             // String boundary = stage boundary for cancellation purposes.
             self.cancel.check()?;
-            self.append_string(&mut schedule, &cur, config, string, *theta, cap)?;
+            self.append_string(&mut schedule, &cur, config, string, *theta, cap, &mut prof)?;
         }
+        prof.flush();
         Ok(schedule.finish_program())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn append_string(
         &self,
         schedule: &mut ScheduleBuilder,
@@ -140,6 +144,7 @@ impl QsimRouter {
         string: &PauliString,
         theta: f64,
         cap: usize,
+        prof: &mut QsimProfile,
     ) -> Result<(), RouteError> {
         let support = string.support();
         if support.is_empty() {
@@ -152,12 +157,22 @@ impl QsimRouter {
         if !pre.is_empty() {
             schedule.raman(pre.gates().iter().copied());
         }
+        prof.lap_wave();
 
         let root = support[0];
         if support.len() == 1 {
             schedule.raman([Gate::Rz(root, theta)]);
         } else {
-            self.append_parity_rotation(schedule, cur, config, root, &support[1..], theta, cap);
+            self.append_parity_rotation(
+                schedule,
+                cur,
+                config,
+                root,
+                &support[1..],
+                theta,
+                cap,
+                prof,
+            );
         }
 
         let mut post = Circuit::new(config.num_data());
@@ -165,6 +180,7 @@ impl QsimRouter {
         if !post.is_empty() {
             schedule.raman(post.gates().iter().copied());
         }
+        prof.lap_wave();
         Ok(())
     }
 
@@ -186,10 +202,12 @@ impl QsimRouter {
         targets: &[Qubit],
         theta: f64,
         cap: usize,
+        prof: &mut QsimProfile,
     ) {
         let coords: Vec<GridCoord> = targets.iter().map(|q| config.coord_of(q.raw())).collect();
         let chains = chain_cover(&coords);
         let m = choose_copies(&chains, targets.len(), cap);
+        prof.lap_select();
 
         // All copies live on the AOD diagonal: copy k at cross (k, k).
         let copies: Vec<AncillaId> = (0..m).map(|_| schedule.fresh_ancilla()).collect();
@@ -206,6 +224,53 @@ impl QsimRouter {
         let rz = Gate::Rz(schedule.ancilla_qubit(copies[m - 1]), theta);
         schedule.raman([rz]);
         schedule.mirror_stages(start..end, (&cur.0, &cur.1));
+        prof.lap_emit();
+    }
+}
+
+/// Per-route stage-time accumulator (see [`crate::obs::PhaseClock`]):
+/// one chained clock, one `u64` per stage, flushed to the qsim stage
+/// histograms once per [`QsimRouter::route_weighted`] call.
+#[derive(Debug, Default)]
+struct QsimProfile {
+    clock: Option<crate::obs::PhaseClock>,
+    setup: u64,
+    wave_1q: u64,
+    select: u64,
+    emit: u64,
+}
+
+impl QsimProfile {
+    fn start() -> QsimProfile {
+        QsimProfile {
+            clock: crate::obs::PhaseClock::start(),
+            ..QsimProfile::default()
+        }
+    }
+
+    fn lap_setup(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.setup);
+    }
+
+    fn lap_wave(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.wave_1q);
+    }
+
+    fn lap_select(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.select);
+    }
+
+    fn lap_emit(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.emit);
+    }
+
+    fn flush(&self) {
+        if self.clock.is_some() {
+            crate::obs::QSIM_SETUP.record_ns(self.setup);
+            crate::obs::QSIM_WAVE_1Q.record_ns(self.wave_1q);
+            crate::obs::QSIM_SELECT.record_ns(self.select);
+            crate::obs::QSIM_EMIT.record_ns(self.emit);
+        }
     }
 }
 

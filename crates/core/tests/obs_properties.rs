@@ -1,0 +1,109 @@
+//! Property tests for the observability histogram math: bucket mapping,
+//! quantile correctness against a sorted-vector oracle, merge algebra
+//! and saturation at the bucket extremes.
+
+use proptest::prelude::*;
+use qpilot_core::obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record_ns(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The reported quantile lands in the same bucket as the exact
+    /// sorted-vector quantile (midpoint reporting bounds the relative
+    /// error by the 6.25% sub-bucket width).
+    #[test]
+    fn percentile_matches_sorted_oracle(
+        values in prop::collection::vec(0u64..(1u64 << 40), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let oracle = values[rank - 1];
+        let got = snap.percentile(q);
+        prop_assert_eq!(
+            bucket_index(got), bucket_index(oracle),
+            "q = {}, oracle = {}, got = {}", q, oracle, got
+        );
+    }
+
+    /// Bucket mapping round-trips through its bounds and is monotone.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in 0u64..u64::MAX, w in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v);
+        prop_assert!(v < hi || idx == BUCKETS - 1);
+        if v <= w {
+            prop_assert!(bucket_index(v) <= bucket_index(w));
+        }
+    }
+
+    /// Sub-bucket width bounds the relative error below the saturation
+    /// point.
+    #[test]
+    fn relative_bucket_width_is_bounded(v in 16u64..(1u64 << 40)) {
+        let idx = bucket_index(v);
+        if idx < BUCKETS - 1 {
+            // The last bucket is open-ended; every other one is within
+            // one sub-bucket of relative width.
+            let (lo, hi) = bucket_bounds(idx);
+            prop_assert!((hi - lo) as f64 / lo as f64 <= 1.0 / 16.0 + 1e-12);
+        }
+    }
+
+    /// Values at or beyond `2^40` ns saturate into the open-ended top
+    /// bucket, and the quantile of a saturated histogram reports the
+    /// exact observed max rather than a bucket midpoint.
+    #[test]
+    fn saturated_values_land_in_the_top_bucket(v in (1u64 << 40)..u64::MAX) {
+        prop_assert_eq!(bucket_index(v), BUCKETS - 1);
+        let snap = snapshot_of(&[v]);
+        prop_assert_eq!(snap.percentile(0.5), v);
+    }
+
+    /// Merging is associative and commutative, with the empty snapshot
+    /// as identity, and merging shard parts equals recording the
+    /// concatenation directly.
+    #[test]
+    fn merge_is_associative_commutative_and_lossless(
+        a in prop::collection::vec(0u64..(1u64 << 44), 0..60),
+        b in prop::collection::vec(0u64..(1u64 << 44), 0..60),
+        c in prop::collection::vec(0u64..(1u64 << 44), 0..60),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut ab_c = sa.clone();
+        ab_c.merge(&sb);
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_identity = HistogramSnapshot::empty();
+        with_identity.merge(&sa);
+        prop_assert_eq!(&with_identity, &sa);
+
+        let mut whole: Vec<u64> = a.clone();
+        whole.extend(&b);
+        whole.extend(&c);
+        prop_assert_eq!(&ab_c, &snapshot_of(&whole));
+    }
+}

@@ -1,9 +1,14 @@
 //! `qpilot-cli` — client for the `qpilotd` compilation daemon.
 //!
 //! ```text
-//! qpilot-cli <ping|stats|store-stats|shutdown> [--connect HOST:PORT]
+//! qpilot-cli <ping|stats|store-stats|metrics|shutdown> [--connect HOST:PORT]
+//! qpilot-cli stats --watch N     poll every N seconds and render a
+//!                                compact dashboard (N=0: render once)
 //! qpilot-cli compile [--connect HOST:PORT] [--router auto|generic|qsim|qaoa]
 //!                    <workload source> [options]
+//!
+//! `metrics` prints the daemon's Prometheus text exposition verbatim
+//! (the same bytes `--metrics-listen` serves over HTTP).
 //!
 //! `--router auto` infers the router from which workload flags are
 //! present (`--strings` -> qsim, `--graph`/`--edges` -> qaoa, else
@@ -236,14 +241,162 @@ fn qaoa_request(cols: Option<usize>, include_schedule: bool) -> String {
     )
 }
 
+/// One request/response round trip on a fresh connection; exits 1 on
+/// any transport failure.
+fn round_trip(addr: &str, request: &str) -> String {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qpilot-cli: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot clone connection: {e}")),
+    });
+    let mut writer = stream;
+    if writer
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        eprintln!("qpilot-cli: failed to send request to {addr}");
+        std::process::exit(1);
+    }
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) | Err(_) => {
+            eprintln!("qpilot-cli: daemon closed the connection without answering");
+            std::process::exit(1);
+        }
+        Ok(_) => {}
+    }
+    response.trim_end().to_string()
+}
+
+/// A `u64` field from a stats reply (0 when absent).
+fn stat_u64(doc: &Value, key: &str) -> u64 {
+    doc.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+/// An `f64` field from a stats reply (0.0 when absent).
+fn stat_f64(doc: &Value, key: &str) -> f64 {
+    doc.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// Renders one compact dashboard frame from a stats reply, with
+/// per-second deltas against the previous frame when one exists.
+fn render_dashboard(doc: &Value, prev: Option<&(std::time::Instant, Value)>) {
+    let rate = |key: &str| -> String {
+        match prev {
+            Some((at, old)) => {
+                let dt = at.elapsed().as_secs_f64().max(1e-9);
+                let delta = stat_u64(doc, key).saturating_sub(stat_u64(old, key));
+                format!(" ({:.1}/s)", delta as f64 / dt)
+            }
+            None => String::new(),
+        }
+    };
+    println!(
+        "requests {}{}  compiles {}{}  hit_rate {:.2}  draining {}",
+        stat_u64(doc, "requests"),
+        rate("requests"),
+        stat_u64(doc, "compiles"),
+        rate("compiles"),
+        stat_f64(doc, "hit_rate"),
+        doc.get("draining")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+    );
+    println!(
+        "hits {}  misses {}  coalesced {}  hedged {}  shed {}{}  deadline_misses {}",
+        stat_u64(doc, "hits"),
+        stat_u64(doc, "misses"),
+        stat_u64(doc, "coalesced"),
+        stat_u64(doc, "hedged"),
+        stat_u64(doc, "shed"),
+        rate("shed"),
+        stat_u64(doc, "deadline_misses"),
+    );
+    println!(
+        "cache {} entries / {} bytes  store persisted {} loaded {}  workers {}",
+        stat_u64(doc, "cache_entries"),
+        stat_u64(doc, "cache_bytes"),
+        stat_u64(doc, "store_persisted"),
+        stat_u64(doc, "store_loaded"),
+        stat_u64(doc, "workers"),
+    );
+    println!(
+        "compile_ms p50 {:.3}  p90 {:.3}  p99 {:.3}",
+        stat_f64(doc, "p50_compile_ms"),
+        stat_f64(doc, "p90_compile_ms"),
+        stat_f64(doc, "p99_compile_ms"),
+    );
+    if let Some(latency) = doc.get("latency") {
+        let mut line = String::from("request_ms");
+        for path in ["hit", "miss", "coalesced", "hedged", "shed"] {
+            let Some(row) = latency.get(path) else {
+                continue;
+            };
+            if stat_u64(row, "count") == 0 {
+                continue;
+            }
+            line.push_str(&format!(
+                "  {path} p50 {:.3} p99 {:.3} (n={})",
+                stat_f64(row, "p50_ms"),
+                stat_f64(row, "p99_ms"),
+                stat_u64(row, "count"),
+            ));
+        }
+        println!("{line}");
+    }
+}
+
+/// `stats --watch N`: poll the daemon every `N` seconds and render the
+/// dashboard until interrupted (`N = 0`: render one frame). Never
+/// returns; exits 1 the moment a poll fails.
+fn watch_stats(addr: &str, every_s: u64) -> ! {
+    let mut prev: Option<(std::time::Instant, Value)> = None;
+    loop {
+        let at = std::time::Instant::now();
+        let response = round_trip(addr, "{\"op\":\"stats\"}");
+        let doc = match json::parse(&response) {
+            Ok(doc) => doc,
+            Err(e) => fail(&format!("malformed stats response: {e}")),
+        };
+        if doc.get("ok").and_then(Value::as_bool) != Some(true) {
+            eprintln!("qpilot-cli: stats request failed: {response}");
+            std::process::exit(1);
+        }
+        render_dashboard(&doc, prev.as_ref());
+        if every_s == 0 {
+            std::process::exit(0);
+        }
+        println!();
+        prev = Some((at, doc));
+        std::thread::sleep(std::time::Duration::from_secs(every_s));
+    }
+}
+
 fn main() {
     let op = std::env::args().nth(1).unwrap_or_else(|| {
-        fail("usage: qpilot-cli <ping|stats|store-stats|shutdown|compile> [options]")
+        fail("usage: qpilot-cli <ping|stats|store-stats|metrics|shutdown|compile> [options]")
     });
+    let addr = arg_value("--connect").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    if op == "stats" {
+        if let Some(every) = arg_value("--watch") {
+            let every_s: u64 = every
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("--watch needs an integer, got `{every}`")));
+            watch_stats(&addr, every_s);
+        }
+    }
     let request = match op.as_str() {
         "ping" => "{\"op\":\"ping\"}".to_string(),
         "stats" => "{\"op\":\"stats\"}".to_string(),
         "store-stats" => "{\"op\":\"store-stats\"}".to_string(),
+        "metrics" => "{\"op\":\"metrics\"}".to_string(),
         "shutdown" => "{\"op\":\"shutdown\"}".to_string(),
         "compile" => {
             let cols = parse_opt_usize("--cols");
@@ -284,35 +437,23 @@ fn main() {
         other => fail(&format!("unknown operation `{other}`")),
     };
 
-    let addr = arg_value("--connect").unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let stream = match TcpStream::connect(&addr) {
-        Ok(s) => s,
-        Err(e) => fail(&format!("cannot connect to {addr}: {e}")),
-    };
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => fail(&format!("cannot clone connection: {e}")),
-    });
-    let mut writer = stream;
-    if writer
-        .write_all(format!("{request}\n").as_bytes())
-        .and_then(|()| writer.flush())
-        .is_err()
-    {
-        fail("failed to send request");
-    }
-    let mut response = String::new();
-    match reader.read_line(&mut response) {
-        Ok(0) | Err(_) => fail("daemon closed the connection without answering"),
-        Ok(_) => {}
-    }
-    let response = response.trim_end().to_string();
+    let response = round_trip(&addr, &request);
 
     let doc = match json::parse(&response) {
         Ok(doc) => doc,
         Err(e) => fail(&format!("malformed response: {e}")),
     };
     let ok = doc.get("ok").and_then(Value::as_bool).unwrap_or(false);
+
+    if op == "metrics" && ok {
+        // Print the exposition bytes verbatim — pipeable straight into
+        // promtool or a file, like an HTTP scrape.
+        match doc.get("exposition").and_then(Value::as_str) {
+            Some(text) => print!("{text}"),
+            None => fail("metrics response carries no exposition"),
+        }
+        std::process::exit(0);
+    }
 
     if let Some(path) = arg_value("--schedule-out") {
         match doc.get("schedule") {

@@ -5,6 +5,7 @@
 //!         [--cache N] [--shards N] [--store DIR]
 //!         [--store-max-bytes N] [--max-compile-ms N] [--hedge-ms N]
 //!         [--line-deadline-ms N] [--drain-ms N] [--faults SPEC]
+//!         [--metrics-listen HOST:PORT] [--log-json]
 //! ```
 //!
 //! Default transport is `--listen 127.0.0.1:7878`. The daemon prints
@@ -36,11 +37,21 @@
 //! `QPILOT_FAULTS` environment variable arm named fault sites, e.g.
 //! `worker-stall=400:1,store-write-fail:1`. See
 //! `qpilot_service::faults`.
+//!
+//! Observability: `--metrics-listen HOST:PORT` additionally serves the
+//! Prometheus text exposition over plain HTTP GET (the same bytes the
+//! `metrics` protocol op returns); the daemon prints `qpilotd metrics
+//! on ADDR` once that listener is up. `--log-json` (or `QPILOT_LOG=json`
+//! in the environment) turns on one-line JSON event logs on stderr; see
+//! `qpilot_service::events`.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
-use qpilot_service::{serve_stdio, FaultSpec, ServerOptions, Service, ServiceConfig, TcpServer};
+use qpilot_service::events::{self, Field};
+use qpilot_service::{
+    metrics, serve_stdio, FaultSpec, ServerOptions, Service, ServiceConfig, TcpServer,
+};
 
 /// SIGTERM arrivals, observed by the main poll loop. The handler only
 /// bumps the counter (async-signal-safe); all real work happens on the
@@ -110,6 +121,10 @@ fn fault_spec() -> FaultSpec {
 /// requests answered, store index flushed. Never returns.
 fn drain_and_exit(server: &TcpServer, service: &Service, budget: Duration) -> ! {
     eprintln!("qpilotd: SIGTERM received, draining");
+    events::emit(
+        "drain",
+        &[("budget_ms", Field::U64(budget.as_millis() as u64))],
+    );
     server.begin_drain();
     service.begin_drain();
     let deadline = Instant::now() + budget;
@@ -137,6 +152,11 @@ fn drain_and_exit(server: &TcpServer, service: &Service, budget: Duration) -> ! 
 }
 
 fn main() {
+    // JSON event logs: the flag wins; `QPILOT_LOG=json` works for
+    // wrappers that cannot alter the argv.
+    let log_json = std::env::args().any(|a| a == "--log-json")
+        || std::env::var("QPILOT_LOG").is_ok_and(|v| v == "json");
+    events::set_log_json(log_json);
     let defaults = ServiceConfig::default();
     let store_dir = arg_value("--store").map(std::path::PathBuf::from);
     let config = ServiceConfig {
@@ -192,8 +212,24 @@ fn main() {
     };
     // The readiness line scripts (CI, service_report) wait for.
     println!("qpilotd listening on {}", server.local_addr());
+    if let Some(addr) = arg_value("--metrics-listen") {
+        match metrics::serve_http(&addr, service.clone()) {
+            Ok(local) => println!("qpilotd metrics on {local}"),
+            Err(e) => {
+                eprintln!("qpilotd: cannot listen for metrics on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    events::emit(
+        "startup",
+        &[
+            ("addr", Field::Str(server.local_addr().to_string())),
+            ("workers", Field::U64(service.stats().workers as u64)),
+        ],
+    );
     let drain_budget = Duration::from_millis(arg_num("--drain-ms", 5_000u64));
     loop {
         if SIGTERMS.load(Ordering::SeqCst) > 0 {

@@ -57,7 +57,9 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod events;
 pub mod faults;
+pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod server;

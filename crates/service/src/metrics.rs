@@ -1,0 +1,423 @@
+//! Service-level metrics and the Prometheus wire surface.
+//!
+//! The histograms here cover the serving tier: end-to-end request
+//! latency labelled by serving path, and the service-side pipeline
+//! spans (`parse`, `fingerprint`, `cache_probe`, `store_write`). The
+//! router stage histograms live in [`qpilot_core::obs::ROUTE_STAGES`];
+//! [`render_exposition`] walks both registries plus the service
+//! counters and renders Prometheus **text exposition format v0.0.4** —
+//! the exact bytes served by the `metrics` protocol op and by
+//! `qpilotd --metrics-listen ADDR` over plain HTTP GET.
+//!
+//! Latency metrics are rendered as Prometheus *summaries* (p50/p90/p99
+//! quantiles plus `_sum`/`_count`) with values in seconds. Line order is
+//! deterministic — the golden tests in this module depend on it, and so
+//! may downstream scrape diffing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+use qpilot_core::json::fmt_f64;
+use qpilot_core::obs::{Histogram, HistogramSnapshot, ROUTE_STAGES};
+
+use crate::pool::{Service, ServiceStats};
+
+/// Request latency, served from cache (`path="hit"`).
+pub static REQUEST_HIT: Histogram = Histogram::new();
+/// Request latency, compiled as leader (`path="miss"`).
+pub static REQUEST_MISS: Histogram = Histogram::new();
+/// Request latency, attached to an in-flight compile
+/// (`path="coalesced"`).
+pub static REQUEST_COALESCED: Histogram = Histogram::new();
+/// Request latency, answered by a winning hedge compile
+/// (`path="hedged"`).
+pub static REQUEST_HEDGED: Histogram = Histogram::new();
+/// Request latency, shed with `Overloaded` (`path="shed"`).
+pub static REQUEST_SHED: Histogram = Histogram::new();
+/// Request latency, any other failure (`path="error"`).
+pub static REQUEST_ERROR: Histogram = Histogram::new();
+
+/// Every request-latency series, in exposition order.
+pub static REQUEST_PATHS: [(&str, &Histogram); 6] = [
+    ("hit", &REQUEST_HIT),
+    ("miss", &REQUEST_MISS),
+    ("coalesced", &REQUEST_COALESCED),
+    ("hedged", &REQUEST_HEDGED),
+    ("shed", &REQUEST_SHED),
+    ("error", &REQUEST_ERROR),
+];
+
+/// Time spent parsing a protocol line into a request.
+pub static STAGE_PARSE: Histogram = Histogram::new();
+/// Time spent computing the content fingerprint.
+pub static STAGE_FINGERPRINT: Histogram = Histogram::new();
+/// Time spent probing the schedule cache.
+pub static STAGE_CACHE_PROBE: Histogram = Histogram::new();
+/// Time spent persisting a compiled schedule to the store.
+pub static STAGE_STORE_WRITE: Histogram = Histogram::new();
+
+/// Every service-side pipeline span, in exposition order.
+pub static SERVICE_STAGES: [(&str, &Histogram); 4] = [
+    ("parse", &STAGE_PARSE),
+    ("fingerprint", &STAGE_FINGERPRINT),
+    ("cache_probe", &STAGE_CACHE_PROBE),
+    ("store_write", &STAGE_STORE_WRITE),
+];
+
+/// The request-latency histogram for a serving path name (as rendered
+/// in replies); unknown paths map to the `error` series.
+pub fn request_histogram(path: &str) -> &'static Histogram {
+    for (name, h) in REQUEST_PATHS {
+        if name == path {
+            return h;
+        }
+    }
+    &REQUEST_ERROR
+}
+
+const NS: f64 = 1e-9;
+
+fn seconds(ns: u64) -> String {
+    fmt_f64(ns as f64 * NS)
+}
+
+fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+fn push_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+fn push_summary_series(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    let (open, sep) = if labels.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (format!("{{{labels}}}"), format!("{{{labels},"))
+    };
+    for (q, v) in [
+        ("0.5", snap.percentile(0.50)),
+        ("0.9", snap.percentile(0.90)),
+        ("0.99", snap.percentile(0.99)),
+    ] {
+        if labels.is_empty() {
+            out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", seconds(v)));
+        } else {
+            out.push_str(&format!("{name}{sep}quantile=\"{q}\"}} {}\n", seconds(v)));
+        }
+    }
+    out.push_str(&format!("{name}_sum{open} {}\n", seconds(snap.sum_ns())));
+    out.push_str(&format!("{name}_count{open} {}\n", snap.count()));
+}
+
+fn push_summary_header(out: &mut String, name: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+}
+
+/// Renders the full Prometheus text exposition (format v0.0.4) for a
+/// service: counters and gauges from [`ServiceStats`], the compile
+/// latency summary, request latency by serving path, service pipeline
+/// spans, and one summary series per router stage from
+/// [`qpilot_core::obs::ROUTE_STAGES`]. Line order is deterministic.
+pub fn render_exposition(service: &Service) -> String {
+    let stats = service.stats();
+    let compile = service.compile_latency_snapshot();
+    render_exposition_parts(&stats, &compile)
+}
+
+/// [`render_exposition`] over pre-snapshotted parts (testable without a
+/// live worker pool).
+pub fn render_exposition_parts(stats: &ServiceStats, compile: &HistogramSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    push_counter(
+        &mut out,
+        "qpilot_requests_total",
+        "Compile requests handled (hits + misses).",
+        stats.requests,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_compiles_total",
+        "Compilations executed by the worker pool.",
+        stats.compiles,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_cache_hits_total",
+        "Requests served from the schedule cache.",
+        stats.cache.hits,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_cache_misses_total",
+        "Requests that missed the schedule cache.",
+        stats.cache.misses,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_coalesced_total",
+        "Requests attached to an in-flight identical compile.",
+        stats.coalesced,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_hedged_total",
+        "Hedge compiles launched after a leader timeout.",
+        stats.hedged,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_leader_timeouts_total",
+        "Coalesced-waiter leader timeouts fired.",
+        stats.leader_timeouts,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_shed_total",
+        "Requests shed with Overloaded by the degradation ladder.",
+        stats.shed,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_deadline_misses_total",
+        "Requests that missed their effective deadline.",
+        stats.deadline_misses,
+    );
+    push_counter(
+        &mut out,
+        "qpilot_store_persisted_total",
+        "Schedules spilled to the persistent store.",
+        stats.store_persisted,
+    );
+    push_gauge(
+        &mut out,
+        "qpilot_cache_entries",
+        "Currently cached schedules.",
+        stats.cache_entries as u64,
+    );
+    push_gauge(
+        &mut out,
+        "qpilot_cache_bytes",
+        "Resident bytes of cached schedule JSON.",
+        stats.cache_bytes,
+    );
+    push_gauge(
+        &mut out,
+        "qpilot_workers",
+        "Compilation worker threads.",
+        stats.workers as u64,
+    );
+
+    push_summary_header(
+        &mut out,
+        "qpilot_compile_seconds",
+        "Compile wall-clock per executed compilation.",
+    );
+    push_summary_series(&mut out, "qpilot_compile_seconds", "", compile);
+
+    push_summary_header(
+        &mut out,
+        "qpilot_request_seconds",
+        "End-to-end request latency by serving path.",
+    );
+    for (path, h) in REQUEST_PATHS {
+        push_summary_series(
+            &mut out,
+            "qpilot_request_seconds",
+            &format!("path=\"{path}\""),
+            &h.snapshot(),
+        );
+    }
+
+    push_summary_header(
+        &mut out,
+        "qpilot_service_stage_seconds",
+        "Service pipeline span latency by stage.",
+    );
+    for (stage, h) in SERVICE_STAGES {
+        push_summary_series(
+            &mut out,
+            "qpilot_service_stage_seconds",
+            &format!("stage=\"{stage}\""),
+            &h.snapshot(),
+        );
+    }
+
+    push_summary_header(
+        &mut out,
+        "qpilot_route_stage_seconds",
+        "Router stage time per route call, by router and stage.",
+    );
+    for s in &ROUTE_STAGES {
+        push_summary_series(
+            &mut out,
+            "qpilot_route_stage_seconds",
+            &format!("router=\"{}\",stage=\"{}\"", s.router, s.stage),
+            &s.histogram.snapshot(),
+        );
+    }
+    out
+}
+
+/// The Content-Type for the exposition bytes, on both wire surfaces.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Binds `addr` and serves the exposition over plain HTTP GET on a
+/// background thread (any path, `Connection: close`; the thread runs
+/// for the life of the process). Returns the bound address so the
+/// caller can print a readiness line.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_http(addr: &str, service: Service) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(
+        addr.to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("metrics address resolved to nothing"))?,
+    )?;
+    let local = listener.local_addr()?;
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            let service = service.clone();
+            // One short-lived thread per scrape: scrapes are rare and
+            // the handler must never block the accept loop.
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream);
+                // Drain the request head; the reply is the same for
+                // every path.
+                let mut line = String::new();
+                while reader.read_line(&mut line).is_ok() {
+                    if line == "\r\n" || line == "\n" || line.is_empty() {
+                        break;
+                    }
+                    line.clear();
+                }
+                let body = render_exposition(&service);
+                let head = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: {EXPOSITION_CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                );
+                let mut stream = reader.into_inner();
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(body.as_bytes());
+                let _ = stream.flush();
+            });
+        }
+    });
+    Ok(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpilot_core::obs::Histogram;
+
+    fn zero_stats() -> ServiceStats {
+        ServiceStats {
+            requests: 3,
+            cache: crate::cache::CacheCounters {
+                hits: 1,
+                misses: 2,
+                ..Default::default()
+            },
+            cache_entries: 2,
+            cache_bytes: 512,
+            compiles: 2,
+            coalesced: 0,
+            hedged: 0,
+            leader_timeouts: 0,
+            shed: 0,
+            deadline_misses: 0,
+            draining: false,
+            store_persisted: 0,
+            store_loaded: 0,
+            p50_compile_s: 0.001,
+            p90_compile_s: 0.002,
+            p99_compile_s: 0.003,
+            workers: 2,
+        }
+    }
+
+    /// Golden test: the exposition is line-order-stable and well formed.
+    /// (Uses only pre-snapshotted parts, so concurrent tests recording
+    /// into the global histograms cannot perturb it.)
+    #[test]
+    fn exposition_head_is_golden() {
+        let compile = Histogram::new();
+        compile.record_ns(1_000_000);
+        let text = render_exposition_parts(&zero_stats(), &compile.snapshot());
+        let expected_head = "\
+# HELP qpilot_requests_total Compile requests handled (hits + misses).
+# TYPE qpilot_requests_total counter
+qpilot_requests_total 3
+# HELP qpilot_compiles_total Compilations executed by the worker pool.
+# TYPE qpilot_compiles_total counter
+qpilot_compiles_total 2
+# HELP qpilot_cache_hits_total Requests served from the schedule cache.
+# TYPE qpilot_cache_hits_total counter
+qpilot_cache_hits_total 1
+";
+        assert!(
+            text.starts_with(expected_head),
+            "exposition head drifted:\n{}",
+            &text[..expected_head.len().min(text.len())]
+        );
+        // The compile summary reports the recorded millisecond sample.
+        assert!(text.contains("# TYPE qpilot_compile_seconds summary"));
+        assert!(text.contains("qpilot_compile_seconds_count 1"));
+        // Every quantile line parses as a float in seconds.
+        for line in text.lines() {
+            if line.starts_with("qpilot_compile_seconds{quantile=") {
+                let v: f64 = line.split(' ').next_back().unwrap().parse().unwrap();
+                assert!((0.0005..0.0015).contains(&v), "quantile {v}");
+            }
+        }
+    }
+
+    /// The full render is identical across calls on identical inputs
+    /// (line-order stability, satellite requirement).
+    #[test]
+    fn exposition_is_deterministic() {
+        let compile = Histogram::new();
+        compile.record_ns(42_000);
+        let snap = compile.snapshot();
+        let stats = zero_stats();
+        assert_eq!(
+            render_exposition_parts(&stats, &snap),
+            render_exposition_parts(&stats, &snap)
+        );
+    }
+
+    /// Every router/stage pair from the core registry appears as a
+    /// labelled series.
+    #[test]
+    fn exposition_covers_every_route_stage() {
+        let text = render_exposition_parts(&zero_stats(), &Histogram::new().snapshot());
+        for s in &qpilot_core::obs::ROUTE_STAGES {
+            let label = format!(
+                "qpilot_route_stage_seconds_count{{router=\"{}\",stage=\"{}\"}}",
+                s.router, s.stage
+            );
+            assert!(text.contains(&label), "missing series {label}");
+        }
+        for (stage, _) in SERVICE_STAGES {
+            assert!(text.contains(&format!("stage=\"{stage}\"")));
+        }
+        for (path, _) in REQUEST_PATHS {
+            assert!(text.contains(&format!("path=\"{path}\"")));
+        }
+    }
+
+    #[test]
+    fn request_histogram_maps_paths() {
+        assert!(std::ptr::eq(request_histogram("hit"), &REQUEST_HIT));
+        assert!(std::ptr::eq(request_histogram("shed"), &REQUEST_SHED));
+        assert!(std::ptr::eq(request_histogram("nonsense"), &REQUEST_ERROR));
+    }
+}

@@ -74,6 +74,7 @@ use std::time::{Duration, Instant};
 
 use qpilot_circuit::{Circuit, Fingerprint, PauliString};
 use qpilot_core::compile::{self, CompileOptions, Compiler};
+use qpilot_core::obs;
 use qpilot_core::wire::schedule_to_json;
 use qpilot_core::{
     CancelReason, CancelToken, CompileError, FpqaConfig, RouteError, RouterOptions, RouterTag,
@@ -103,6 +104,11 @@ pub struct CompileRequest {
     /// part of the content fingerprint: the same workload with different
     /// deadlines shares one cache entry.
     pub deadline_ms: Option<u64>,
+    /// Caller-chosen request id, echoed in every reply for this request
+    /// (`None` = the protocol layer assigns one). **Not** part of the
+    /// content fingerprint, and propagated unchanged through coalescing
+    /// and hedging.
+    pub request_id: Option<String>,
 }
 
 impl CompileRequest {
@@ -118,6 +124,7 @@ impl CompileRequest {
             options: None,
             cols: None,
             deadline_ms: None,
+            request_id: None,
         }
     }
 
@@ -142,6 +149,13 @@ impl CompileRequest {
     #[must_use]
     pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
         self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Attaches a caller-chosen request id (builder style).
+    #[must_use]
+    pub fn with_request_id(mut self, request_id: impl Into<String>) -> Self {
+        self.request_id = Some(request_id.into());
         self
     }
 
@@ -306,8 +320,29 @@ pub struct CompileResponse {
     /// `true` if this request attached to a concurrent identical
     /// compile instead of running its own.
     pub coalesced: bool,
+    /// `true` if the result came from a hedge compile launched after a
+    /// leader timeout.
+    pub hedged: bool,
     /// The cached entry (serialised schedule + stats).
     pub entry: Arc<CacheEntry>,
+}
+
+impl CompileResponse {
+    /// The serving path echoed in replies and used as the
+    /// request-latency metric label: `hedged` > `hit` > `coalesced` >
+    /// `miss` (the degradation-ladder failure paths `shed`/`error` come
+    /// from [`ServiceError`], not from a response).
+    pub fn path(&self) -> &'static str {
+        if self.hedged {
+            "hedged"
+        } else if self.cache_hit {
+            "hit"
+        } else if self.coalesced {
+            "coalesced"
+        } else {
+            "miss"
+        }
+    }
 }
 
 /// Aggregate service statistics for the `stats` protocol request.
@@ -339,8 +374,11 @@ pub struct ServiceStats {
     pub store_persisted: u64,
     /// Schedules recovered from the persistent store at startup.
     pub store_loaded: u64,
-    /// Median compile wall-clock (seconds) over the recent window.
+    /// Median compile wall-clock (seconds), from the compile-latency
+    /// histogram.
     pub p50_compile_s: f64,
+    /// 90th-percentile compile wall-clock (seconds).
+    pub p90_compile_s: f64,
     /// 99th-percentile compile wall-clock (seconds).
     pub p99_compile_s: f64,
     /// Worker threads.
@@ -385,6 +423,9 @@ struct Job {
     cancel: CancelToken,
     /// The effective deadline, for rendering [`ServiceError::Deadline`].
     deadline_ms: Option<u64>,
+    /// `true` for a hedge compile launched after a leader timeout; its
+    /// results are marked [`CompileResponse::hedged`].
+    hedged: bool,
 }
 
 /// The in-flight record for one fingerprint: the coalesced waiters plus
@@ -400,7 +441,10 @@ struct Inflight {
 /// State shared with worker threads.
 struct WorkerCtx {
     cache: ScheduleCache,
-    latencies: LatencyWindow,
+    /// Compile wall-clock per executed compilation (log-linear obs
+    /// histogram; feeds `stats`, the metrics exposition and the
+    /// backpressure hint).
+    latencies: obs::Histogram,
     compiles: AtomicU64,
     coalesced: AtomicU64,
     hedged: AtomicU64,
@@ -445,6 +489,7 @@ impl WorkerCtx {
                     router: job.request.router(),
                     cache_hit: true,
                     coalesced: false,
+                    hedged: false,
                     entry,
                 });
             }
@@ -476,6 +521,7 @@ impl WorkerCtx {
                 router: job.request.router(),
                 cache_hit: true,
                 coalesced: false,
+                hedged: false,
                 entry,
             });
         }
@@ -499,7 +545,8 @@ impl WorkerCtx {
         };
         let stats = *program.stats();
         let schedule_json: Arc<str> = schedule_to_json(program.schedule()).into();
-        let compile_s = started.elapsed().as_secs_f64();
+        let elapsed = started.elapsed();
+        let compile_s = elapsed.as_secs_f64();
         let entry = Arc::new(CacheEntry {
             schedule_json,
             stats,
@@ -507,7 +554,10 @@ impl WorkerCtx {
         });
         let evicted = self.cache.insert(job.fingerprint, Arc::clone(&entry));
         if let Some(store) = &self.store {
-            store.persist(job.fingerprint, &entry);
+            {
+                let _span = obs::Span::start(&crate::metrics::STAGE_STORE_WRITE);
+                store.persist(job.fingerprint, &entry);
+            }
             if let Some(evicted) = evicted {
                 store.remove(&evicted);
             }
@@ -520,12 +570,13 @@ impl WorkerCtx {
             }
         }
         self.compiles.fetch_add(1, Ordering::Relaxed);
-        self.latencies.record(compile_s);
+        self.latencies.observe(elapsed);
         Ok(CompileResponse {
             fingerprint: job.fingerprint,
             router: job.request.router(),
             cache_hit: false,
             coalesced: false,
+            hedged: false,
             entry,
         })
     }
@@ -606,7 +657,7 @@ impl Service {
         };
         let ctx = Arc::new(WorkerCtx {
             cache,
-            latencies: LatencyWindow::new(4096),
+            latencies: obs::Histogram::new(),
             compiles: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             hedged: AtomicU64::new(0),
@@ -668,6 +719,17 @@ impl Service {
                                         }
                                     }
                                 }
+                                // A winning hedge marks every reply it
+                                // serves, so clients (and the latency
+                                // metrics) can tell the recovery path
+                                // from a healthy leader.
+                                let result = match result {
+                                    Ok(mut r) if job.hedged => {
+                                        r.hedged = true;
+                                        Ok(r)
+                                    }
+                                    other => other,
+                                };
                                 for waiter in inflight.waiters {
                                     let _ = waiter.send(result.clone().map(|r| CompileResponse {
                                         coalesced: true,
@@ -723,24 +785,54 @@ impl Service {
         self.submit(request, true)
     }
 
+    /// [`Service::submit_inner`] wrapped in end-to-end latency
+    /// recording: one sample per request into the histogram matching
+    /// its serving path ([`CompileResponse::path`], or `shed`/`error`
+    /// for failures).
     fn submit(
+        &self,
+        request: CompileRequest,
+        fail_fast: bool,
+    ) -> Result<CompileResponse, ServiceError> {
+        let started = obs::enabled().then(Instant::now);
+        let result = self.submit_inner(request, fail_fast);
+        if let Some(started) = started {
+            let histogram = match &result {
+                Ok(response) => crate::metrics::request_histogram(response.path()),
+                Err(ServiceError::Overloaded { .. }) => &crate::metrics::REQUEST_SHED,
+                Err(_) => &crate::metrics::REQUEST_ERROR,
+            };
+            histogram.observe(started.elapsed());
+        }
+        result
+    }
+
+    fn submit_inner(
         &self,
         request: CompileRequest,
         fail_fast: bool,
     ) -> Result<CompileResponse, ServiceError> {
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
         request.validate().map_err(ServiceError::Compile)?;
-        let fingerprint = request.fingerprint();
+        let fingerprint = {
+            let _span = obs::Span::start(&crate::metrics::STAGE_FINGERPRINT);
+            request.fingerprint()
+        };
         let ctx = &self.shared.ctx;
         // Rung 0 of the degradation ladder: hits are served from the
         // caller thread, always — even while overloaded or draining. The
         // worker pool only ever sees misses.
-        if let Some(entry) = ctx.cache.get(&fingerprint) {
+        let probed = {
+            let _span = obs::Span::start(&crate::metrics::STAGE_CACHE_PROBE);
+            ctx.cache.get(&fingerprint)
+        };
+        if let Some(entry) = probed {
             return Ok(CompileResponse {
                 fingerprint,
                 router: request.router(),
                 cache_hit: true,
                 coalesced: false,
+                hedged: false,
                 entry,
             });
         }
@@ -813,6 +905,7 @@ impl Service {
                             router: req.router(),
                             cache_hit: true,
                             coalesced: false,
+                            hedged: false,
                             entry,
                         });
                     }
@@ -826,6 +919,7 @@ impl Service {
                 reply: reply_tx.clone(),
                 cancel,
                 deadline_ms,
+                hedged: false,
             };
             if let Err(e) = self.enqueue(job, fail_fast) {
                 // Leadership failed before a worker could take over: the
@@ -960,6 +1054,7 @@ impl Service {
             reply: reply.clone(),
             cancel,
             deadline_ms,
+            hedged: true,
         };
         let guard = self.shared.queue.lock().expect("queue lock");
         if let Some(tx) = guard.as_ref() {
@@ -999,7 +1094,7 @@ impl Service {
     /// [25 ms, 2000 ms] so cold services and pathological medians still
     /// hint something sane.
     fn retry_after_ms(&self) -> u64 {
-        let (p50, _) = self.shared.ctx.latencies.percentiles();
+        let p50 = self.shared.ctx.latencies.snapshot().percentile(0.50) as f64 * 1e-9;
         let estimate =
             p50 * 1000.0 * self.shared.queue_capacity as f64 / self.shared.workers.max(1) as f64;
         (estimate as u64).clamp(25, 2000)
@@ -1072,10 +1167,18 @@ impl Service {
         }
     }
 
+    /// A snapshot of the compile-latency histogram (one sample per
+    /// executed compilation), mergeable across services and rendered
+    /// into the metrics exposition.
+    pub fn compile_latency_snapshot(&self) -> obs::HistogramSnapshot {
+        self.shared.ctx.latencies.snapshot()
+    }
+
     /// A statistics snapshot.
     pub fn stats(&self) -> ServiceStats {
         let ctx = &self.shared.ctx;
-        let (p50, p99) = ctx.latencies.percentiles();
+        let latencies = ctx.latencies.snapshot();
+        let secs = |q: f64| latencies.percentile(q) as f64 * 1e-9;
         ServiceStats {
             requests: self.shared.requests.load(Ordering::Relaxed),
             cache: ctx.cache.counters(),
@@ -1090,65 +1193,11 @@ impl Service {
             draining: self.shared.draining.load(Ordering::Relaxed),
             store_persisted: ctx.store.as_ref().map_or(0, |s| s.persisted()),
             store_loaded: ctx.store_loaded,
-            p50_compile_s: p50,
-            p99_compile_s: p99,
+            p50_compile_s: secs(0.50),
+            p90_compile_s: secs(0.90),
+            p99_compile_s: secs(0.99),
             workers: self.shared.workers,
         }
-    }
-}
-
-/// A fixed-capacity ring of recent compile latencies; percentiles sort a
-/// snapshot on demand (stats requests are rare next to compiles).
-#[derive(Debug)]
-struct LatencyWindow {
-    samples: Mutex<Ring>,
-}
-
-#[derive(Debug)]
-struct Ring {
-    cap: usize,
-    buf: Vec<f64>,
-    next: usize,
-}
-
-impl LatencyWindow {
-    fn new(capacity: usize) -> Self {
-        let cap = capacity.max(1);
-        LatencyWindow {
-            samples: Mutex::new(Ring {
-                cap,
-                buf: Vec::with_capacity(cap),
-                next: 0,
-            }),
-        }
-    }
-
-    fn record(&self, seconds: f64) {
-        let mut ring = self.samples.lock().expect("latency lock");
-        if ring.buf.len() < ring.cap {
-            ring.buf.push(seconds);
-        } else {
-            let at = ring.next;
-            ring.buf[at] = seconds;
-        }
-        ring.next = (ring.next + 1) % ring.cap;
-    }
-
-    /// `(p50, p99)` over the window; zeros before any sample.
-    fn percentiles(&self) -> (f64, f64) {
-        let mut snapshot = {
-            let ring = self.samples.lock().expect("latency lock");
-            ring.buf.clone()
-        };
-        if snapshot.is_empty() {
-            return (0.0, 0.0);
-        }
-        snapshot.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let pick = |p: f64| -> f64 {
-            let idx = ((snapshot.len() as f64 - 1.0) * p).round() as usize;
-            snapshot[idx.min(snapshot.len() - 1)]
-        };
-        (pick(0.50), pick(0.99))
     }
 }
 
@@ -1676,15 +1725,26 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_wraps() {
-        let w = LatencyWindow::new(4);
-        for i in 0..10 {
-            w.record(i as f64);
-        }
-        let (p50, p99) = w.percentiles();
-        // Window holds 6..=9.
-        assert!(p50 >= 6.0);
-        assert!(p99 <= 9.0);
+    fn request_id_is_not_part_of_the_fingerprint() {
+        let plain = CompileRequest::new(small_circuit(1));
+        let tagged = plain.clone().with_request_id("r-test");
+        assert_eq!(plain.fingerprint(), tagged.fingerprint());
+        assert_eq!(tagged.request_id.as_deref(), Some("r-test"));
+    }
+
+    #[test]
+    fn response_paths_follow_the_precedence_order() {
+        let svc = service();
+        let cold = svc.compile(CompileRequest::new(small_circuit(9))).unwrap();
+        assert_eq!(cold.path(), "miss");
+        let warm = svc.compile(CompileRequest::new(small_circuit(9))).unwrap();
+        assert_eq!(warm.path(), "hit");
+        let mut synthetic = warm.clone();
+        synthetic.coalesced = true;
+        synthetic.cache_hit = false;
+        assert_eq!(synthetic.path(), "coalesced");
+        synthetic.hedged = true;
+        assert_eq!(synthetic.path(), "hedged");
     }
 
     #[test]

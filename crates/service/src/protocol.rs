@@ -23,9 +23,21 @@
 //! <- {"ok":true,"op":"store-stats","configured":true,"loaded":3,
 //!     "adopted":0,"discarded":1,"persisted":2,"removed":0,"entries":5}
 //!
+//! -> {"op":"metrics"}
+//! <- {"ok":true,"op":"metrics","request_id":"r-1","content_type":
+//!     "text/plain; version=0.0.4","exposition":"# HELP …"}
+//!
 //! -> {"op":"shutdown"}
 //! <- {"ok":true,"op":"shutdown"}
 //! ```
+//!
+//! Every request may carry a `"request_id"` string (≤ 128 bytes); the
+//! daemon assigns `r-<hex>` when absent. Every reply — success, error,
+//! shed or deadline miss — echoes it back as `"request_id"`, and it
+//! propagates unchanged through coalescing and hedging. Compile replies
+//! and all error replies additionally carry `"path"`: the serving path
+//! `hit` | `miss` | `coalesced` | `hedged` for successes, `shed` for
+//! overload, `error` otherwise.
 //!
 //! The `"router"` tag selects the workload shape (default `generic`;
 //! `auto` infers the family from the payload fields, mirroring
@@ -51,13 +63,18 @@
 //! transient conditions (`"retry_after_ms"` hints the backoff for
 //! overload), and `"deadline":true` marks a missed deadline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
 use qpilot_circuit::{Circuit, PauliString};
 use qpilot_core::generic::GenericRouterOptions;
 use qpilot_core::json::{self, json_str, Value};
+use qpilot_core::obs;
 use qpilot_core::qsim::QsimRouterOptions;
 use qpilot_core::wire::{gate_from_value, write_gate};
 use qpilot_core::{QaoaOptions, RouterOptions, RouterTag, ScheduleStats, Workload};
 
+use crate::events::{self, Field};
 use crate::pool::{
     CompileRequest, CompileResponse, Service, ServiceError, ServiceStats, StoreStats,
 };
@@ -78,8 +95,36 @@ pub enum Request {
     Stats,
     /// Persistent-store statistics (recovery report + counters).
     StoreStats,
+    /// The Prometheus text exposition, wrapped in a JSON line.
+    Metrics,
     /// Ask the daemon to exit cleanly.
     Shutdown,
+}
+
+/// Upper bound on a client-supplied `request_id`.
+pub const MAX_REQUEST_ID_BYTES: usize = 128;
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh daemon-assigned request id (`r-<hex>`, process-unique).
+pub fn next_request_id() -> String {
+    format!("r-{:x}", NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Extracts and validates an optional client-supplied `request_id`.
+fn request_id_from(doc: &Value) -> Result<Option<String>, String> {
+    match doc.get("request_id") {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => {
+            let s = v.as_str().ok_or("`request_id` must be a string")?;
+            if s.is_empty() || s.len() > MAX_REQUEST_ID_BYTES {
+                return Err(format!(
+                    "`request_id` must be 1..={MAX_REQUEST_ID_BYTES} bytes"
+                ));
+            }
+            Ok(Some(s.to_string()))
+        }
+    }
 }
 
 /// Parses one request line.
@@ -89,6 +134,13 @@ pub enum Request {
 /// A human-readable message destined for an `{"ok":false}` response.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let doc = json::parse(line).map_err(|e| e.to_string())?;
+    let request_id = request_id_from(&doc)?;
+    parse_request_doc(&doc, request_id)
+}
+
+/// [`parse_request`] over an already-parsed document; `request_id` is
+/// attached to compile requests so it survives coalescing and hedging.
+fn parse_request_doc(doc: &Value, request_id: Option<String>) -> Result<Request, String> {
     let op = doc
         .get("op")
         .and_then(Value::as_str)
@@ -97,6 +149,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "store-stats" => Ok(Request::StoreStats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "compile" => {
             let router = match doc.get("router") {
@@ -123,12 +176,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 tag => tag,
             };
             let (workload, options) = match router {
-                RouterTag::Generic => generic_workload(&doc)?,
-                RouterTag::Qsim => qsim_workload(&doc)?,
-                RouterTag::Qaoa => qaoa_workload(&doc)?,
+                RouterTag::Generic => generic_workload(doc)?,
+                RouterTag::Qsim => qsim_workload(doc)?,
+                RouterTag::Qaoa => qaoa_workload(doc)?,
                 RouterTag::Auto => unreachable!("auto resolved above"),
             };
-            let cols = opt_positive(&doc, "cols")?;
+            let cols = opt_positive(doc, "cols")?;
             let include_schedule = match doc.get("schedule") {
                 None => true,
                 Some(v) => v.as_bool().ok_or("`schedule` must be a boolean")?,
@@ -146,6 +199,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     options,
                     cols,
                     deadline_ms,
+                    request_id,
                 },
                 include_schedule,
             })
@@ -488,15 +542,26 @@ fn write_stats_obj(out: &mut String, stats: &ScheduleStats) {
     out.push('}');
 }
 
-/// Renders a compile response line.
-pub fn render_compile_response(response: &CompileResponse, include_schedule: bool) -> String {
+/// Renders a compile response line. `request_id` is the effective id
+/// for this request (client-supplied or daemon-assigned); `"path"` is
+/// [`CompileResponse::path`]. The pre-observability `"cache"` field
+/// stays unchanged for existing clients.
+pub fn render_compile_response(
+    response: &CompileResponse,
+    include_schedule: bool,
+    request_id: &str,
+) -> String {
     let entry = &response.entry;
     let mut out = String::with_capacity(if include_schedule {
-        entry.schedule_json.len() + 192
+        entry.schedule_json.len() + 256
     } else {
-        192
+        256
     });
-    out.push_str("{\"ok\":true,\"op\":\"compile\",\"router\":\"");
+    out.push_str("{\"ok\":true,\"op\":\"compile\",\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"path\":\"");
+    out.push_str(response.path());
+    out.push_str("\",\"router\":\"");
     out.push_str(response.router.as_str());
     out.push_str("\",\"fingerprint\":\"");
     out.push_str(&response.fingerprint.to_string());
@@ -520,10 +585,14 @@ pub fn render_compile_response(response: &CompileResponse, include_schedule: boo
     out
 }
 
-/// Renders a stats response line.
-pub fn render_stats_response(stats: &ServiceStats) -> String {
-    let mut out = String::with_capacity(256);
-    out.push_str("{\"ok\":true,\"op\":\"stats\",\"requests\":");
+/// Renders a stats response line: the service counters plus the
+/// per-path request-latency summaries from the process-wide obs
+/// histograms.
+pub fn render_stats_response(stats: &ServiceStats, request_id: &str) -> String {
+    let mut out = String::with_capacity(768);
+    out.push_str("{\"ok\":true,\"op\":\"stats\",\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"requests\":");
     out.push_str(&stats.requests.to_string());
     out.push_str(",\"hits\":");
     out.push_str(&stats.cache.hits.to_string());
@@ -557,10 +626,45 @@ pub fn render_stats_response(stats: &ServiceStats) -> String {
     out.push_str(&stats.store_loaded.to_string());
     out.push_str(",\"p50_compile_ms\":");
     out.push_str(&json::fmt_f64(round6(stats.p50_compile_s * 1e3)));
+    out.push_str(",\"p90_compile_ms\":");
+    out.push_str(&json::fmt_f64(round6(stats.p90_compile_s * 1e3)));
     out.push_str(",\"p99_compile_ms\":");
     out.push_str(&json::fmt_f64(round6(stats.p99_compile_s * 1e3)));
-    out.push_str(",\"workers\":");
+    out.push_str(",\"latency\":{");
+    for (i, (path, histogram)) in crate::metrics::REQUEST_PATHS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let snap = histogram.snapshot();
+        let ms = |q: f64| json::fmt_f64(round6(snap.percentile(q) as f64 * 1e-6));
+        out.push_str(&json_str(path));
+        out.push_str(":{\"count\":");
+        out.push_str(&snap.count().to_string());
+        out.push_str(",\"p50_ms\":");
+        out.push_str(&ms(0.50));
+        out.push_str(",\"p90_ms\":");
+        out.push_str(&ms(0.90));
+        out.push_str(",\"p99_ms\":");
+        out.push_str(&ms(0.99));
+        out.push('}');
+    }
+    out.push_str("},\"workers\":");
     out.push_str(&stats.workers.to_string());
+    out.push('}');
+    out
+}
+
+/// Renders a metrics response line: the Prometheus text exposition
+/// (identical bytes to the HTTP surface) JSON-escaped into one field.
+pub fn render_metrics_response(service: &Service, request_id: &str) -> String {
+    let exposition = crate::metrics::render_exposition(service);
+    let mut out = String::with_capacity(exposition.len() + 128);
+    out.push_str("{\"ok\":true,\"op\":\"metrics\",\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"content_type\":");
+    out.push_str(&json_str(crate::metrics::EXPOSITION_CONTENT_TYPE));
+    out.push_str(",\"exposition\":");
+    out.push_str(&json_str(&exposition));
     out.push('}');
     out
 }
@@ -569,9 +673,11 @@ pub fn render_stats_response(stats: &ServiceStats) -> String {
 /// (blobs loaded / adopted / discarded) plus lifetime persist/unlink
 /// counters. `configured` is `false` when the daemon runs without
 /// `--store` (all counters zero).
-pub fn render_store_stats_response(stats: &StoreStats) -> String {
-    let mut out = String::with_capacity(160);
-    out.push_str("{\"ok\":true,\"op\":\"store-stats\",\"configured\":");
+pub fn render_store_stats_response(stats: &StoreStats, request_id: &str) -> String {
+    let mut out = String::with_capacity(224);
+    out.push_str("{\"ok\":true,\"op\":\"store-stats\",\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"configured\":");
     out.push_str(if stats.configured { "true" } else { "false" });
     out.push_str(",\"loaded\":");
     out.push_str(&stats.recovery.loaded.to_string());
@@ -597,9 +703,21 @@ pub fn render_store_stats_response(stats: &StoreStats) -> String {
     out
 }
 
-/// Renders an error line. `retry` marks transient conditions (overload).
-pub fn render_error(message: &str, retry: bool) -> String {
-    let mut out = String::from("{\"ok\":false,\"error\":");
+/// The serving-path label for a failed request: `shed` for overload,
+/// `error` for everything else.
+pub fn error_path(error: &ServiceError) -> &'static str {
+    match error {
+        ServiceError::Overloaded { .. } => "shed",
+        _ => "error",
+    }
+}
+
+/// Renders an error line. `retry` marks transient conditions (overload);
+/// `request_id` is echoed so failed requests stay correlatable.
+pub fn render_error(message: &str, retry: bool, request_id: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"path\":\"error\",\"error\":");
     out.push_str(&json_str(message));
     if retry {
         out.push_str(",\"retry\":true");
@@ -611,9 +729,14 @@ pub fn render_error(message: &str, retry: bool) -> String {
 /// Renders a [`ServiceError`] into an error line with its
 /// machine-readable markers: `"retry":true` plus `"retry_after_ms"` for
 /// overload, `"retry":true` alone for a draining service, and
-/// `"deadline":true` for a missed deadline.
-pub fn render_service_error(error: &ServiceError) -> String {
-    let mut out = String::from("{\"ok\":false,\"error\":");
+/// `"deadline":true` for a missed deadline. Every line echoes
+/// `request_id` and carries its `"path"` ([`error_path`]).
+pub fn render_service_error(error: &ServiceError, request_id: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"path\":\"");
+    out.push_str(error_path(error));
+    out.push_str("\",\"error\":");
     out.push_str(&json_str(&error.to_string()));
     match error {
         ServiceError::Overloaded { retry_after_ms } => {
@@ -645,52 +768,108 @@ pub struct Handled {
 }
 
 /// Parses and executes one request line against `service`. Never panics
-/// on malformed input; every failure becomes an `{"ok":false}` line.
+/// on malformed input; every failure becomes an `{"ok":false}` line
+/// echoing the request id (the client's when one survived parsing, a
+/// daemon-assigned `r-<hex>` otherwise).
 pub fn handle_line(service: &Service, line: &str) -> Handled {
     let line = line.trim();
-    if line.is_empty() {
-        return Handled {
-            response: render_error("empty request line", false),
-            shutdown: false,
-        };
-    }
-    match parse_request(line) {
-        Err(message) => Handled {
-            response: render_error(&message, false),
+    let started = Instant::now();
+    // The parse span covers JSON decoding plus request construction; the
+    // error branch keeps any client id that survived far enough to read.
+    let parsed: Result<(Request, Option<String>), (String, Option<String>)> = {
+        let _span = obs::Span::start(&crate::metrics::STAGE_PARSE);
+        if line.is_empty() {
+            Err(("empty request line".to_string(), None))
+        } else {
+            match json::parse(line) {
+                Err(e) => Err((e.to_string(), None)),
+                Ok(doc) => match request_id_from(&doc) {
+                    Err(message) => Err((message, None)),
+                    Ok(rid) => match parse_request_doc(&doc, rid.clone()) {
+                        Ok(request) => Ok((request, rid)),
+                        Err(message) => Err((message, rid)),
+                    },
+                },
+            }
+        }
+    };
+    let (request, rid) = match parsed {
+        Err((message, rid)) => {
+            let rid = rid.unwrap_or_else(next_request_id);
+            events::emit(
+                "request",
+                &[
+                    ("request_id", Field::Str(rid.clone())),
+                    ("path", Field::Str("error".to_string())),
+                    ("ok", Field::Bool(false)),
+                ],
+            );
+            return Handled {
+                response: render_error(&message, false, &rid),
+                shutdown: false,
+            };
+        }
+        Ok((request, rid)) => (request, rid.unwrap_or_else(next_request_id)),
+    };
+    match request {
+        Request::Ping => Handled {
+            response: format!(
+                "{{\"ok\":true,\"op\":\"pong\",\"request_id\":{}}}",
+                json_str(&rid)
+            ),
             shutdown: false,
         },
-        Ok(Request::Ping) => Handled {
-            response: "{\"ok\":true,\"op\":\"pong\"}".to_string(),
+        Request::Stats => Handled {
+            response: render_stats_response(&service.stats(), &rid),
             shutdown: false,
         },
-        Ok(Request::Stats) => Handled {
-            response: render_stats_response(&service.stats()),
+        Request::StoreStats => Handled {
+            response: render_store_stats_response(&service.store_stats(), &rid),
             shutdown: false,
         },
-        Ok(Request::StoreStats) => Handled {
-            response: render_store_stats_response(&service.store_stats()),
+        Request::Metrics => Handled {
+            response: render_metrics_response(service, &rid),
             shutdown: false,
         },
-        Ok(Request::Shutdown) => Handled {
-            response: "{\"ok\":true,\"op\":\"shutdown\"}".to_string(),
+        Request::Shutdown => Handled {
+            response: format!(
+                "{{\"ok\":true,\"op\":\"shutdown\",\"request_id\":{}}}",
+                json_str(&rid)
+            ),
             shutdown: true,
         },
-        Ok(Request::Compile {
+        Request::Compile {
             request,
             include_schedule,
-        }) => match service.try_compile(request) {
+        } => {
             // Shedding, not blocking: a full queue answers `Overloaded`
             // (with a backoff hint) immediately instead of wedging the
             // connection thread — the degradation-ladder contract.
-            Ok(response) => Handled {
-                response: render_compile_response(&response, include_schedule),
-                shutdown: false,
-            },
-            Err(e) => Handled {
-                response: render_service_error(&e),
-                shutdown: false,
-            },
-        },
+            let result = service.try_compile(request);
+            let path = match &result {
+                Ok(response) => response.path(),
+                Err(e) => error_path(e),
+            };
+            events::emit(
+                "request",
+                &[
+                    ("request_id", Field::Str(rid.clone())),
+                    ("path", Field::Str(path.to_string())),
+                    ("ms", Field::F64(started.elapsed().as_secs_f64() * 1e3)),
+                    ("ok", Field::Bool(result.is_ok())),
+                ],
+            );
+            match result {
+                Ok(response) => Handled {
+                    response: render_compile_response(&response, include_schedule, &rid),
+                    shutdown: false,
+                },
+                Err(e) => Handled {
+                    response: render_service_error(&e, &rid),
+                    shutdown: false,
+                },
+            }
+        }
     }
 }
 
@@ -1054,25 +1233,133 @@ mod tests {
 
     #[test]
     fn service_errors_carry_machine_readable_markers() {
-        let overloaded = render_service_error(&ServiceError::Overloaded { retry_after_ms: 40 });
+        let overloaded =
+            render_service_error(&ServiceError::Overloaded { retry_after_ms: 40 }, "r-t1");
         let doc = json::parse(&overloaded).unwrap();
         assert_eq!(doc.get("retry").and_then(Value::as_bool), Some(true));
         assert_eq!(doc.get("retry_after_ms").and_then(Value::as_u64), Some(40));
+        assert_eq!(doc.get("request_id").and_then(Value::as_str), Some("r-t1"));
+        assert_eq!(doc.get("path").and_then(Value::as_str), Some("shed"));
         assert_eq!(
             doc.get("error").and_then(Value::as_str),
             Some("service overloaded: compile queue is full, retry later"),
             "the overload message stays wire-stable"
         );
 
-        let deadline = render_service_error(&ServiceError::Deadline { deadline_ms: 25 });
+        let deadline = render_service_error(&ServiceError::Deadline { deadline_ms: 25 }, "r-t2");
         let doc = json::parse(&deadline).unwrap();
         assert_eq!(doc.get("deadline").and_then(Value::as_bool), Some(true));
+        assert_eq!(doc.get("path").and_then(Value::as_str), Some("error"));
         assert!(doc.get("retry").is_none());
 
-        let draining = render_service_error(&ServiceError::ShuttingDown);
+        let draining = render_service_error(&ServiceError::ShuttingDown, "r-t3");
         let doc = json::parse(&draining).unwrap();
         assert_eq!(doc.get("retry").and_then(Value::as_bool), Some(true));
         assert!(doc.get("retry_after_ms").is_none());
+    }
+
+    #[test]
+    fn every_reply_echoes_a_request_id() {
+        let svc = service();
+        // Client-supplied ids come back verbatim, on every op.
+        for (line, op) in [
+            (r#"{"op":"ping","request_id":"cli-1"}"#, "pong"),
+            (r#"{"op":"stats","request_id":"cli-1"}"#, "stats"),
+            (
+                r#"{"op":"store-stats","request_id":"cli-1"}"#,
+                "store-stats",
+            ),
+            (r#"{"op":"metrics","request_id":"cli-1"}"#, "metrics"),
+            (
+                r#"{"op":"compile","request_id":"cli-1","circuit":{"num_qubits":2,"gates":[["cz",0,1]]}}"#,
+                "compile",
+            ),
+        ] {
+            let doc = json::parse(&handle_line(&svc, line).response).unwrap();
+            assert_eq!(doc.get("op").and_then(Value::as_str), Some(op), "{line}");
+            assert_eq!(
+                doc.get("request_id").and_then(Value::as_str),
+                Some("cli-1"),
+                "{line}"
+            );
+        }
+        // Absent ids get a daemon-assigned `r-<hex>`; errors echo too.
+        for line in ["{\"op\":\"ping\"}", "not json", "{\"op\":\"compile\"}"] {
+            let doc = json::parse(&handle_line(&svc, line).response).unwrap();
+            let rid = doc.get("request_id").and_then(Value::as_str).unwrap();
+            assert!(rid.starts_with("r-"), "{line} -> {rid}");
+        }
+        // A client id survives even when the rest of the request fails.
+        let bad = handle_line(&svc, r#"{"op":"compile","request_id":"cli-err"}"#);
+        let doc = json::parse(&bad.response).unwrap();
+        assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            doc.get("request_id").and_then(Value::as_str),
+            Some("cli-err")
+        );
+        assert_eq!(doc.get("path").and_then(Value::as_str), Some("error"));
+        // Oversized or mistyped ids are rejected loudly.
+        let long = format!(
+            r#"{{"op":"ping","request_id":"{}"}}"#,
+            "x".repeat(MAX_REQUEST_ID_BYTES + 1)
+        );
+        assert!(handle_line(&svc, &long)
+            .response
+            .starts_with("{\"ok\":false"));
+        assert!(handle_line(&svc, r#"{"op":"ping","request_id":7}"#)
+            .response
+            .starts_with("{\"ok\":false"));
+    }
+
+    #[test]
+    fn compile_replies_carry_the_serving_path() {
+        let svc = service();
+        let line = r#"{"op":"compile","circuit":{"num_qubits":3,"gates":[["cz",0,1],["cz",1,2]]}}"#;
+        let cold = json::parse(&handle_line(&svc, line).response).unwrap();
+        assert_eq!(cold.get("path").and_then(Value::as_str), Some("miss"));
+        assert_eq!(cold.get("cache").and_then(Value::as_str), Some("miss"));
+        let warm = json::parse(&handle_line(&svc, line).response).unwrap();
+        assert_eq!(warm.get("path").and_then(Value::as_str), Some("hit"));
+        assert_eq!(warm.get("cache").and_then(Value::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn metrics_op_returns_the_exposition() {
+        let svc = service();
+        let line = r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]}}"#;
+        handle_line(&svc, line);
+        let doc = json::parse(&handle_line(&svc, r#"{"op":"metrics"}"#).response).unwrap();
+        assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            doc.get("content_type").and_then(Value::as_str),
+            Some(crate::metrics::EXPOSITION_CONTENT_TYPE)
+        );
+        let text = doc.get("exposition").and_then(Value::as_str).unwrap();
+        assert!(text.contains("# TYPE qpilot_requests_total counter"));
+        assert!(text.contains("# TYPE qpilot_compile_seconds summary"));
+        assert!(text.contains("qpilot_route_stage_seconds"));
+        // The compile above left a nonzero compile histogram.
+        assert!(!text.contains("qpilot_compile_seconds_count 0"));
+    }
+
+    #[test]
+    fn stats_reply_includes_latency_summaries() {
+        let svc = service();
+        let line = r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["cz",0,1]]}}"#;
+        handle_line(&svc, line);
+        let doc = json::parse(&handle_line(&svc, r#"{"op":"stats"}"#).response).unwrap();
+        assert!(doc.get("p90_compile_ms").and_then(Value::as_f64).is_some());
+        let latency = doc.get("latency").expect("latency object");
+        for path in ["hit", "miss", "coalesced", "hedged", "shed", "error"] {
+            let row = latency.get(path).expect("per-path row");
+            assert!(row.get("count").and_then(Value::as_u64).is_some(), "{path}");
+            for key in ["p50_ms", "p90_ms", "p99_ms"] {
+                assert!(
+                    row.get(key).and_then(Value::as_f64).is_some(),
+                    "{path}.{key}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1111,8 +1398,8 @@ mod tests {
     fn ping_pongs() {
         let svc = service();
         assert_eq!(
-            handle_line(&svc, "{\"op\":\"ping\"}").response,
-            "{\"ok\":true,\"op\":\"pong\"}"
+            handle_line(&svc, r#"{"op":"ping","request_id":"p1"}"#).response,
+            "{\"ok\":true,\"op\":\"pong\",\"request_id\":\"p1\"}"
         );
     }
 }

@@ -225,9 +225,12 @@ fn serve_loop(
         match read_bounded_line(&mut input, &mut buf)? {
             LineEvent::Eof => return Ok((handled_count, false)),
             LineEvent::Oversized => {
+                // The line never parsed, so no client id exists to echo;
+                // a daemon-assigned one keeps the reply correlatable.
                 let error = render_error(
                     &format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
                     false,
+                    &crate::protocol::next_request_id(),
                 );
                 output.write_all(error.as_bytes())?;
                 output.write_all(b"\n")?;

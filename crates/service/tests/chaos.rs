@@ -92,6 +92,15 @@ fn stat(doc: &Value, key: &str) -> u64 {
         .unwrap_or_else(|| panic!("stats missing `{key}`: {doc:?}"))
 }
 
+/// Every reply — success or error — must carry a string `key`; returns
+/// it. Used for the `request_id` / `path` echo invariants.
+fn text(doc: &Value, key: &str) -> String {
+    doc.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("reply missing `{key}`: {doc:?}"))
+        .to_string()
+}
+
 /// One worker wedged by a stall; the hedge timer must launch a second
 /// compile that wins, both racing clients must get byte-identical
 /// schedules, and only one compile may *count* (the stalled loser is
@@ -135,6 +144,15 @@ fn hedge_outruns_a_stalled_leader_without_duplicate_compiles() {
         reference_schedule,
         "hedged bytes diverge from the fault-free run"
     );
+    // The reply that rode the hedge compile must say so, and both
+    // racing clients get request ids even though neither supplied one.
+    assert_eq!(text(&hedged, "path"), "hedged", "{hedged:?}");
+    assert!(!text(&hedged, "request_id").is_empty());
+    assert!(!text(&led, "request_id").is_empty());
+    assert!(
+        ["hit", "hedged", "coalesced"].contains(&text(&led, "path").as_str()),
+        "superseded leader must not claim a fresh miss: {led:?}"
+    );
     let stats = request(addr, r#"{"op":"stats"}"#);
     assert_eq!(stat(&stats, "leader_timeouts"), 1, "{stats:?}");
     assert_eq!(stat(&stats, "hedged"), 1, "{stats:?}");
@@ -172,12 +190,64 @@ fn deadline_cuts_a_stalled_compile_loose() {
         Some(&Value::Bool(true)),
         "deadline errors are marked: {response:?}"
     );
+    // Error replies carry the same observability envelope as successes.
+    assert!(!text(&response, "request_id").is_empty());
+    assert_eq!(text(&response, "path"), "error", "{response:?}");
     // Wait out the stall; the worker must have cleaned up, not wedged.
     std::thread::sleep(Duration::from_millis(700));
     let retry = request(daemon.addr, COMPILE);
     assert_eq!(retry.get("ok"), Some(&Value::Bool(true)), "{retry:?}");
     let stats = request(daemon.addr, r#"{"op":"stats"}"#);
     assert!(stat(&stats, "deadline_misses") >= 1, "{stats:?}");
+    shutdown(daemon);
+}
+
+/// Every reply on the wire — compile hit/miss, stats, parse errors —
+/// echoes a `request_id` (the client's verbatim when supplied, a
+/// daemon-minted `r-…` otherwise) and names its serving `path`.
+#[test]
+fn every_reply_carries_a_request_id_and_a_serving_path() {
+    let daemon = spawn_daemon(&["--workers", "1"]);
+
+    // Cold compile with a client-supplied id: echoed verbatim, miss.
+    let tagged = format!(
+        "{},\"request_id\":\"chaos-cold-1\"}}",
+        COMPILE.strip_suffix('}').unwrap()
+    );
+    let cold = request(daemon.addr, &tagged);
+    assert_eq!(cold.get("ok"), Some(&Value::Bool(true)), "{cold:?}");
+    assert_eq!(text(&cold, "request_id"), "chaos-cold-1");
+    assert_eq!(text(&cold, "path"), "miss", "{cold:?}");
+
+    // Warm repeat with a different id: new id echoed, served as a hit.
+    let tagged = format!(
+        "{},\"request_id\":\"chaos-warm-2\"}}",
+        COMPILE.strip_suffix('}').unwrap()
+    );
+    let warm = request(daemon.addr, &tagged);
+    assert_eq!(warm.get("ok"), Some(&Value::Bool(true)), "{warm:?}");
+    assert_eq!(text(&warm, "request_id"), "chaos-warm-2");
+    assert_eq!(text(&warm, "path"), "hit", "{warm:?}");
+
+    // No client id: the daemon mints one.
+    let minted = request(daemon.addr, COMPILE);
+    assert!(text(&minted, "request_id").starts_with("r-"), "{minted:?}");
+
+    // Even a malformed request keeps the client's id on the error line.
+    let garbage = request(
+        daemon.addr,
+        r#"{"op":"no-such-op","request_id":"chaos-bad-3"}"#,
+    );
+    assert_eq!(garbage.get("ok"), Some(&Value::Bool(false)), "{garbage:?}");
+    assert_eq!(text(&garbage, "request_id"), "chaos-bad-3");
+    assert_eq!(text(&garbage, "path"), "error", "{garbage:?}");
+
+    // Non-compile ops echo ids too.
+    let stats = request(
+        daemon.addr,
+        r#"{"op":"stats","request_id":"chaos-stats-4"}"#,
+    );
+    assert_eq!(text(&stats, "request_id"), "chaos-stats-4");
     shutdown(daemon);
 }
 
