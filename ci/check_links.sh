@@ -1,0 +1,46 @@
+#!/bin/sh
+# Offline docs-link checker: every relative markdown link in the
+# checked files must point at a file that exists in the repo. No
+# network, nothing beyond grep/sed — runs identically in CI and
+# locally:
+#
+#   sh ci/check_links.sh
+#
+# Checked: inline links `[text](target)` in README.md, docs/, and
+# vendor/README.md. Skipped: absolute URLs (http/https/mailto) and
+# pure in-page anchors (#…). A link with a fragment (file.md#section)
+# is checked for the file only — heading anchors are not resolved.
+
+set -u
+
+status=0
+
+for file in README.md docs/*.md vendor/README.md; do
+    if [ ! -f "$file" ]; then
+        echo "missing checked file: $file"
+        status=1
+        continue
+    fi
+    dir=$(dirname "$file")
+    # Every `](target)` occurrence, target only. Our docs never put
+    # spaces in link targets, so word-splitting the list is safe.
+    targets=$(grep -o ']([^)]*)' "$file" 2>/dev/null | sed 's/^](//; s/)$//')
+    for target in $targets; do
+        case "$target" in
+            http://* | https://* | mailto:* | '#'* | '') continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$file: broken link -> $target"
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "docs link check OK"
+else
+    echo "docs link check FAILED"
+fi
+exit "$status"

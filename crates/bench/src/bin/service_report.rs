@@ -7,6 +7,7 @@
 //! ```text
 //! service_report [--qubits 100] [--factor 10] [--reps 5] [--clients 32]
 //!                [--per-client 4] [--racers 8] [--workers N]
+//!                [--sustained-conns 256] [--sustained-per-conn 8]
 //!                [--out BENCH_service.json]
 //! ```
 //!
@@ -32,7 +33,14 @@
 //! * **resilience** — a drain started under concurrent compile load:
 //!   every accepted request must still get a definitive answer
 //!   (`hung_waiters` must be 0) and the pool must go idle within the
-//!   drain budget (`drain_ms`).
+//!   drain budget (`drain_ms`);
+//! * **sustained** — `--sustained-conns` (256 by default) TCP
+//!   connections held open *simultaneously* against one reactor-backed
+//!   server, each sending `--sustained-per-conn` requests; the section
+//!   reports aggregate throughput and per-request p50/p90/p99 latency,
+//!   and the run fails on any dropped request. This is the gate that a
+//!   thread-per-connection transport cannot pass without hundreds of
+//!   threads — the reactor serves all connections from one event loop.
 //!
 //! CI smoke: `--qubits 10 --factor 3 --reps 2 --clients 4 --per-client 2`.
 //!
@@ -343,6 +351,131 @@ fn bench_burst(service: Service, clients: usize, per_client: usize, qubits: u32)
     }
 }
 
+struct SustainedResult {
+    connections: usize,
+    per_connection: usize,
+    sent: usize,
+    completed: usize,
+    dropped: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Holds `connections` TCP connections open simultaneously against one
+/// server and measures sustained request/response throughput plus
+/// per-request latency percentiles. All connections are established
+/// *before* the first request is sent (a barrier lines them up), so the
+/// reactor really is juggling the full connection count at once.
+fn bench_sustained(
+    service: Service,
+    connections: usize,
+    per_connection: usize,
+    qubits: u32,
+) -> SustainedResult {
+    let server = TcpServer::spawn(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let connections = connections.max(1);
+    let per_connection = per_connection.max(1);
+    let sent = connections * per_connection;
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> (usize, Vec<f64>) {
+                let stream = match TcpStream::connect(addr) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        barrier.wait();
+                        return (0, Vec::new());
+                    }
+                };
+                let mut reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        barrier.wait();
+                        return (0, Vec::new());
+                    }
+                });
+                let mut writer = stream;
+                barrier.wait();
+                let mut ok = 0usize;
+                let mut latencies_ms = Vec::with_capacity(per_connection);
+                for r in 0..per_connection {
+                    // Even connections share one circuit (cache hits
+                    // after the first compile); odd ones are distinct.
+                    let seed = if c % 2 == 0 {
+                        11
+                    } else {
+                        (c * 1000 + r) as u64
+                    };
+                    let circuit = random_circuit(&RandomCircuitConfig::paper(qubits, 3, seed));
+                    let line = compile_request_line(
+                        &circuit_to_value_json(&circuit),
+                        None,
+                        None,
+                        None,
+                        false,
+                    );
+                    let t = Instant::now();
+                    if writer
+                        .write_all(format!("{line}\n").as_bytes())
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    let mut response = String::new();
+                    match reader.read_line(&mut response) {
+                        Ok(n) if n > 0 => {
+                            latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                            if response.contains("\"ok\":true") {
+                                ok += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                (ok, latencies_ms)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t = Instant::now();
+    let mut completed = 0usize;
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(sent);
+    for handle in handles {
+        let (ok, lats) = handle.join().unwrap_or((0, Vec::new()));
+        completed += ok;
+        latencies_ms.extend(lats);
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    SustainedResult {
+        connections,
+        per_connection,
+        sent,
+        completed,
+        dropped: sent - completed,
+        wall_s,
+        throughput_rps: completed as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p90_ms: percentile(&latencies_ms, 0.90),
+        p99_ms: percentile(&latencies_ms, 0.99),
+    }
+}
+
 fn main() {
     let qubits: u32 = arg_num("--qubits", 100);
     let factor: usize = arg_num("--factor", 10);
@@ -350,6 +483,8 @@ fn main() {
     let clients: usize = arg_num("--clients", 32);
     let per_client: usize = arg_num("--per-client", 4);
     let racers: usize = arg_num("--racers", 8);
+    let sustained_conns: usize = arg_num("--sustained-conns", 256);
+    let sustained_per_conn: usize = arg_num("--sustained-per-conn", 8);
     let workers: usize = arg_num("--workers", default_threads());
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_service.json".to_string());
     let check_path = arg_value("--check");
@@ -381,6 +516,12 @@ fn main() {
         qubits.min(20),
     );
     let resilience = bench_resilience(&config, clients.min(8), qubits.min(20));
+    let sustained = bench_sustained(
+        Service::new(config.clone()),
+        sustained_conns,
+        sustained_per_conn,
+        qubits.min(10),
+    );
 
     // Request-latency percentiles per serving path, from the obs layer's
     // process-global histograms (every section above recorded into them
@@ -467,6 +608,21 @@ fn main() {
         format!("{:.0}", burst.throughput_rps),
     ]);
     table.row(vec![
+        "sustained completed".into(),
+        format!(
+            "{}/{} over {} conns",
+            sustained.completed, sustained.sent, sustained.connections
+        ),
+    ]);
+    table.row(vec![
+        "sustained throughput (req/s)".into(),
+        format!("{:.0}", sustained.throughput_rps),
+    ]);
+    table.row(vec![
+        "sustained p50/p99 (ms)".into(),
+        format!("{:.3}/{:.3}", sustained.p50_ms, sustained.p99_ms),
+    ]);
+    table.row(vec![
         "drain under load (ms)".into(),
         format!("{:.1}", resilience.drain_ms),
     ]);
@@ -487,7 +643,8 @@ fn main() {
         json,
         "  \"config\": {{\"qubits\": {qubits}, \"factor\": {factor}, \"reps\": {reps}, \
          \"clients\": {clients}, \"per_client\": {per_client}, \"racers\": {racers}, \
-         \"workers\": {workers}}},"
+         \"sustained_conns\": {sustained_conns}, \
+         \"sustained_per_conn\": {sustained_per_conn}, \"workers\": {workers}}},"
     );
     let _ = writeln!(
         json,
@@ -554,6 +711,22 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"sustained\": {{\"connections\": {}, \"per_connection\": {}, \"sent\": {}, \
+         \"completed\": {}, \"dropped\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.1}, \
+         \"p50_ms\": {:.6}, \"p90_ms\": {:.6}, \"p99_ms\": {:.6}}},",
+        sustained.connections,
+        sustained.per_connection,
+        sustained.sent,
+        sustained.completed,
+        sustained.dropped,
+        sustained.wall_s,
+        sustained.throughput_rps,
+        sustained.p50_ms,
+        sustained.p90_ms,
+        sustained.p99_ms
+    );
+    let _ = writeln!(
+        json,
         "  \"resilience\": {{\"inflight_clients\": {}, \"answered\": {}, \"hung_waiters\": {}, \
          \"drain_ms\": {:.3}, \"drained_clean\": {}}}",
         resilience.inflight_clients,
@@ -581,6 +754,11 @@ fn main() {
     );
     assert!(coalescing.all_identical, "racing responses diverged");
     assert_eq!(burst.dropped, 0, "burst dropped {} requests", burst.dropped);
+    assert_eq!(
+        sustained.dropped, 0,
+        "sustained load dropped {} requests across {} connections",
+        sustained.dropped, sustained.connections
+    );
     assert_eq!(
         resilience.hung_waiters, 0,
         "drain left {} waiter(s) without an answer",

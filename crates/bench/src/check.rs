@@ -26,7 +26,9 @@
 //!   "service": {
 //!     "require_identical": true, "min_warm_speedup": 10.0,
 //!     "min_restart_warm_speedup": 10.0, "max_duplicate_compiles": 0,
-//!     "max_dropped": 0
+//!     "max_dropped": 0,
+//!     "min_sustained_connections": 256, "max_sustained_dropped": 0,
+//!     "min_sustained_rps": 200.0, "max_sustained_p99_ms": 2500.0
 //!   }
 //! }
 //! ```
@@ -36,7 +38,10 @@
 //! whenever the report carries a `restart` section) and
 //! `max_duplicate_compiles` (ceiling — normally 0 — on extra compiles
 //! triggered by racing identical requests) gate the persistent store and
-//! the exact-coalescing paths respectively.
+//! the exact-coalescing paths respectively. The `*_sustained_*` keys
+//! gate the reactor's sustained-concurrency section: the connection
+//! count actually held open, a drop ceiling (normally 0), a throughput
+//! floor and a p99 latency ceiling.
 //!
 //! Rows are matched by `qubits`; measured sizes without a thresholds
 //! entry are not gated (the full sweep and the CI smoke use different
@@ -263,6 +268,61 @@ pub fn check_service(report: &Value, thresholds: &Value) -> Vec<String> {
             }
         }
     }
+    // Sustained-concurrency gate: the reactor must hold the gated
+    // connection count open simultaneously, drop nothing, clear the
+    // throughput floor and stay under the tail-latency ceiling.
+    let sustained_gated = [
+        "min_sustained_connections",
+        "max_sustained_dropped",
+        "min_sustained_rps",
+        "max_sustained_p99_ms",
+    ]
+    .iter()
+    .any(|k| gates.get(k).is_some());
+    if let Some(sustained) = report.get("sustained") {
+        if let (Some(min), Some(got)) = (
+            gates
+                .get("min_sustained_connections")
+                .and_then(Value::as_u64),
+            sustained.get("connections").and_then(Value::as_u64),
+        ) {
+            if got < min {
+                violations.push(format!(
+                    "sustained section ran {got} connections (required: {min})"
+                ));
+            }
+        }
+        if let Some(max) = gates.get("max_sustained_dropped").and_then(Value::as_u64) {
+            match sustained.get("dropped").and_then(Value::as_u64) {
+                Some(d) if d > max => violations.push(format!(
+                    "sustained load dropped {d} requests (allowed: {max})"
+                )),
+                Some(_) => {}
+                None => {
+                    violations.push("service report has no `sustained.dropped` field".to_string())
+                }
+            }
+        }
+        if let (Some(min), Some(got)) = (
+            num(gates, "min_sustained_rps"),
+            num(sustained, "throughput_rps"),
+        ) {
+            if got < min {
+                violations.push(format!(
+                    "sustained throughput {got:.0} req/s below threshold {min:.0}"
+                ));
+            }
+        }
+        if let (Some(max), Some(got)) =
+            (num(gates, "max_sustained_p99_ms"), num(sustained, "p99_ms"))
+        {
+            if got > max {
+                violations.push(format!("sustained p99 {got:.1} ms above ceiling {max:.1}"));
+            }
+        }
+    } else if sustained_gated {
+        violations.push("service report has no `sustained` section".to_string());
+    }
     violations
 }
 
@@ -308,7 +368,11 @@ mod tests {
                            "max_duplicate_compiles":0,
                            "max_dropped":0,
                            "max_hung_waiters":0,
-                           "max_drain_ms":5000.0}}"#,
+                           "max_drain_ms":5000.0,
+                           "min_sustained_connections":256,
+                           "max_sustained_dropped":0,
+                           "min_sustained_rps":100.0,
+                           "max_sustained_p99_ms":2500.0}}"#,
         )
         .unwrap()
     }
@@ -425,6 +489,8 @@ mod tests {
                  "coalescing":{{"racers":8,"compiles":{c},
                                 "duplicate_compiles":{duplicate_compiles}}},
                  "burst":{{"dropped":{dropped}}},
+                 "sustained":{{"connections":256,"dropped":0,
+                               "throughput_rps":5000.0,"p99_ms":12.0}},
                  "resilience":{{"hung_waiters":0,"drain_ms":120.0}}}}"#,
             c = duplicate_compiles + 1
         ))
@@ -478,7 +544,34 @@ mod tests {
         .unwrap();
         let violations = check_service(&report, &thresholds());
         // restart + coalescing + resilience (hung_waiters, drain_ms)
+        // + sustained
+        assert_eq!(violations.len(), 5, "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.contains("`sustained` section")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn sustained_regression_trips_the_wall() {
+        // Fewer connections than gated, drops, throughput under the
+        // floor, p99 over the ceiling: four independent violations.
+        let report = json::parse(
+            r#"{"warm_cold":{"speedup":250.0,"schedules_identical":true},
+                "restart":{"speedup":80.0,"schedules_identical":true},
+                "coalescing":{"racers":8,"compiles":1,"duplicate_compiles":0},
+                "burst":{"dropped":0},
+                "sustained":{"connections":32,"dropped":7,
+                             "throughput_rps":40.0,"p99_ms":9000.0},
+                "resilience":{"hung_waiters":0,"drain_ms":120.0}}"#,
+        )
+        .unwrap();
+        let violations = check_service(&report, &thresholds());
         assert_eq!(violations.len(), 4, "{violations:?}");
+        assert!(violations[0].contains("connections"), "{violations:?}");
+        assert!(violations[1].contains("dropped"), "{violations:?}");
+        assert!(violations[2].contains("throughput"), "{violations:?}");
+        assert!(violations[3].contains("p99"), "{violations:?}");
     }
 
     #[test]
@@ -489,6 +582,8 @@ mod tests {
                 "restart":{"speedup":80.0,"schedules_identical":true},
                 "coalescing":{"racers":8,"compiles":1,"duplicate_compiles":0},
                 "burst":{"dropped":0},
+                "sustained":{"connections":256,"dropped":0,
+                             "throughput_rps":5000.0,"p99_ms":12.0},
                 "resilience":{"hung_waiters":2,"drain_ms":60000.0}}"#,
         )
         .unwrap();

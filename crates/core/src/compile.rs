@@ -143,6 +143,21 @@ pub struct QaoaWorkload {
 
 /// What to compile: the per-family payload. The workload family selects
 /// the router under [`RouterTag::Auto`] dispatch.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::Circuit;
+/// use qpilot_core::compile::{RouterTag, Workload};
+///
+/// let mut c = Circuit::new(2);
+/// c.cz(0, 1);
+/// assert_eq!(Workload::circuit(c).router(), RouterTag::Generic);
+///
+/// let qaoa = Workload::qaoa_round(4, vec![(0, 1), (2, 3)], 0.7, 0.3);
+/// assert_eq!(qaoa.router(), RouterTag::Qaoa);
+/// assert_eq!(qaoa.num_qubits(), 4);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Workload {
     /// An arbitrary circuit for the generic router.
@@ -718,6 +733,23 @@ impl std::ops::Deref for CompileOutput {
 /// by default) and dispatches each [`Workload`] per [`CompileOptions`].
 /// A `Compiler` is cheap to construct and reusable across requests of
 /// any family — the serving layer keeps one per worker thread.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_circuit::Circuit;
+/// use qpilot_core::compile::{CompileOptions, Compiler, Workload};
+/// use qpilot_core::FpqaConfig;
+///
+/// let mut compiler = Compiler::with_options(CompileOptions::new().validate(true));
+/// let mut c = Circuit::new(4);
+/// c.cz(0, 1).cz(2, 3);
+/// let out = compiler
+///     .compile(&Workload::circuit(c), &FpqaConfig::square(2))
+///     .unwrap();
+/// assert!(out.validation.is_some());
+/// assert!(!out.schedule().is_empty());
+/// ```
 pub struct Compiler {
     options: CompileOptions,
     routers: Vec<Box<dyn Router + Send>>,

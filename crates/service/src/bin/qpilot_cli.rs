@@ -7,6 +7,16 @@
 //! qpilot-cli compile [--connect HOST:PORT] [--router auto|generic|qsim|qaoa]
 //!                    <workload source> [options]
 //!
+//! sharded fleets (client-side shard map, no qpilot-router needed):
+//!   --shards ADDR1,ADDR2,…  compile requests go to the consistent-hash
+//!                           owner of their fingerprint; stats,
+//!                           store-stats and metrics fan out to every
+//!                           shard and print the fleet aggregate;
+//!                           shutdown stops every shard. The address
+//!                           list must match the fleet's router/client
+//!                           configuration verbatim — placement is a
+//!                           pure function of those strings.
+//!
 //! `metrics` prints the daemon's Prometheus text exposition verbatim
 //! (the same bytes `--metrics-listen` serves over HTTP).
 //!
@@ -45,16 +55,46 @@
 //! answered `"ok":true`.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use qpilot_circuit::Circuit;
 use qpilot_core::json::{self, Value};
 use qpilot_service::protocol::{
-    circuit_to_value_json, compile_request_line, qaoa_request_line, qsim_request_line,
+    circuit_to_value_json, compile_request_line, next_request_id, parse_request, qaoa_request_line,
+    qsim_request_line, Request,
 };
+use qpilot_service::shard::{aggregate_metrics, aggregate_stats, aggregate_store_stats, ShardRing};
 use qpilot_workloads::bv::bernstein_vazirani_random;
 use qpilot_workloads::graphs::erdos_renyi;
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
+
+const SIGINT: i32 = 2;
+
+extern "C" {
+    // POSIX signal(2)/write(2)/_exit(2), declared directly (as in
+    // qpilotd) rather than pulling in a libc dependency: the Ctrl-C
+    // handler below must stay async-signal-safe, so it can only call
+    // write and _exit anyway.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn _exit(status: i32) -> !;
+}
+
+/// `stats --watch` Ctrl-C handler: finish the interrupted dashboard
+/// line with a newline so the shell prompt lands on its own line, then
+/// exit cleanly.
+extern "C" fn on_sigint(_signum: i32) {
+    unsafe {
+        write(1, b"\n".as_ptr(), 1);
+        _exit(0);
+    }
+}
+
+fn install_watch_sigint_handler() {
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -241,9 +281,104 @@ fn qaoa_request(cols: Option<usize>, include_schedule: bool) -> String {
     )
 }
 
+/// Resolves a daemon address exactly once, up front — repeated
+/// operations (like `stats --watch`) must not re-query the resolver
+/// every tick.
+fn resolve(addr: &str) -> SocketAddr {
+    match addr.to_socket_addrs() {
+        Ok(mut candidates) => candidates
+            .next()
+            .unwrap_or_else(|| fail(&format!("{addr} resolves to no address"))),
+        Err(e) => fail(&format!("cannot resolve {addr}: {e}")),
+    }
+}
+
+/// Where requests go: one daemon, or a sharded fleet addressed through
+/// a client-side consistent-hash ring. The ring hashes the *configured
+/// address strings* (placement identity); the parallel `resolved` list
+/// carries the once-resolved socket addresses actually dialled.
+enum Target {
+    Single(SocketAddr),
+    Sharded {
+        ring: ShardRing,
+        resolved: Vec<SocketAddr>,
+    },
+}
+
+impl Target {
+    fn from_args() -> Target {
+        match arg_value("--shards") {
+            None => Target::Single(resolve(
+                &arg_value("--connect").unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+            )),
+            Some(spec) => {
+                let addrs: Vec<String> = spec
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if addrs.is_empty() {
+                    fail("--shards needs at least one address");
+                }
+                let resolved = addrs.iter().map(|a| resolve(a)).collect();
+                Target::Sharded {
+                    ring: ShardRing::new(&addrs),
+                    resolved,
+                }
+            }
+        }
+    }
+
+    /// Routes one request: single daemons take everything; a sharded
+    /// fleet routes compiles by fingerprint, fans observability ops out
+    /// to every shard (aggregating the responses), sends `shutdown`
+    /// everywhere, and probes the first shard for `ping`.
+    fn dispatch(&self, request: &str) -> String {
+        let (ring, resolved) = match self {
+            Target::Single(addr) => return round_trip(*addr, request),
+            Target::Sharded { ring, resolved } => (ring, resolved),
+        };
+        match parse_request(request) {
+            Ok(Request::Compile {
+                request: compile, ..
+            }) => round_trip(resolved[ring.index_for(&compile.fingerprint())], request),
+            Ok(Request::Stats) => self.fan_out_merged(request, aggregate_stats),
+            Ok(Request::StoreStats) => self.fan_out_merged(request, aggregate_store_stats),
+            Ok(Request::Metrics) => self.fan_out_merged(request, aggregate_metrics),
+            Ok(Request::Shutdown) => {
+                let mut last = String::new();
+                for &addr in resolved {
+                    last = round_trip(addr, request);
+                }
+                last
+            }
+            Ok(Request::Ping) | Err(_) => round_trip(resolved[0], request),
+        }
+    }
+
+    fn fan_out_merged(
+        &self,
+        request: &str,
+        merge: fn(&[String], &str) -> Result<String, String>,
+    ) -> String {
+        let Target::Sharded { resolved, .. } = self else {
+            unreachable!("fan-out is only dispatched for sharded targets");
+        };
+        let responses: Vec<String> = resolved
+            .iter()
+            .map(|&addr| round_trip(addr, request))
+            .collect();
+        match merge(&responses, &next_request_id()) {
+            Ok(merged) => merged,
+            Err(e) => fail(&format!("cannot aggregate shard responses: {e}")),
+        }
+    }
+}
+
 /// One request/response round trip on a fresh connection; exits 1 on
 /// any transport failure.
-fn round_trip(addr: &str, request: &str) -> String {
+fn round_trip(addr: SocketAddr, request: &str) -> String {
     let stream = match TcpStream::connect(addr) {
         Ok(s) => s,
         Err(e) => {
@@ -355,12 +490,15 @@ fn render_dashboard(doc: &Value, prev: Option<&(std::time::Instant, Value)>) {
 
 /// `stats --watch N`: poll the daemon every `N` seconds and render the
 /// dashboard until interrupted (`N = 0`: render one frame). Never
-/// returns; exits 1 the moment a poll fails.
-fn watch_stats(addr: &str, every_s: u64) -> ! {
+/// returns; exits 1 the moment a poll fails. The daemon address was
+/// resolved once before the loop, and Ctrl-C emits a final newline so
+/// the terminal is left clean.
+fn watch_stats(target: &Target, every_s: u64) -> ! {
+    install_watch_sigint_handler();
     let mut prev: Option<(std::time::Instant, Value)> = None;
     loop {
         let at = std::time::Instant::now();
-        let response = round_trip(addr, "{\"op\":\"stats\"}");
+        let response = target.dispatch("{\"op\":\"stats\"}");
         let doc = match json::parse(&response) {
             Ok(doc) => doc,
             Err(e) => fail(&format!("malformed stats response: {e}")),
@@ -383,13 +521,13 @@ fn main() {
     let op = std::env::args().nth(1).unwrap_or_else(|| {
         fail("usage: qpilot-cli <ping|stats|store-stats|metrics|shutdown|compile> [options]")
     });
-    let addr = arg_value("--connect").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let target = Target::from_args();
     if op == "stats" {
         if let Some(every) = arg_value("--watch") {
             let every_s: u64 = every
                 .parse()
                 .unwrap_or_else(|_| fail(&format!("--watch needs an integer, got `{every}`")));
-            watch_stats(&addr, every_s);
+            watch_stats(&target, every_s);
         }
     }
     let request = match op.as_str() {
@@ -437,7 +575,7 @@ fn main() {
         other => fail(&format!("unknown operation `{other}`")),
     };
 
-    let response = round_trip(&addr, &request);
+    let response = target.dispatch(&request);
 
     let doc = match json::parse(&response) {
         Ok(doc) => doc,

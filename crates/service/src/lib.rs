@@ -62,7 +62,9 @@ pub mod faults;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
+pub mod shard;
 pub mod store;
 
 pub use cache::{CacheCounters, CacheEntry, ScheduleCache};
@@ -78,5 +80,7 @@ pub use qpilot_core::compile::{
     Workload,
 };
 pub use qpilot_core::{CancelReason, CancelToken};
+pub use reactor::{LineHandler, ReactorOptions, ReactorServer};
 pub use server::{serve_lines, serve_stdio, ServerOptions, TcpServer, MAX_REQUEST_LINE_BYTES};
+pub use shard::ShardRing;
 pub use store::{RecoveryReport, ScheduleStore, StoreOptions};

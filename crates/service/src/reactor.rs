@@ -1,0 +1,746 @@
+//! A single-threaded readiness reactor for line-delimited protocols.
+//!
+//! This replaces the thread-per-connection accept loop: one reactor
+//! thread owns the listener and every connection through a
+//! [`netpoll::Poller`] (epoll on Linux), runs nonblocking per-connection
+//! read/write state machines, and hands complete request lines to a
+//! small pool of *dispatcher* threads. Dispatchers call the pluggable
+//! [`LineHandler`] — for `qpilotd` that is
+//! [`handle_line`](crate::protocol::handle_line) against the existing
+//! worker-pool [`Service`](crate::pool::Service), so responses stay
+//! byte-identical to the threaded transport — and push completions back
+//! over a channel, waking the reactor through a pipe
+//! ([`netpoll::Waker`]).
+//!
+//! The dispatcher pool exists because the service API is deliberately
+//! blocking: a compile miss parks its caller in the coalescing waiter
+//! map until the schedule lands. The reactor thread must never block on
+//! a request, so it only moves bytes; dispatchers absorb the blocking.
+//!
+//! Semantics preserved from the threaded transport, per connection:
+//!
+//! * one response line per request line, in request order (completions
+//!   may finish out of order; a sequence-numbered reorder buffer holds
+//!   them until their turn);
+//! * request lines over [`MAX_REQUEST_LINE_BYTES`] are discarded as
+//!   they stream in and answered with an error line, and the
+//!   connection continues;
+//! * blank lines are keep-alives, not requests;
+//! * the per-line read deadline arms at the first byte of a line and
+//!   disarms at its newline; a connection stalled mid-line past the
+//!   deadline is closed (slow-loris defence);
+//! * during a drain, a connection idle at a line boundary is closed
+//!   after its already-received requests are answered;
+//! * a `shutdown` response is flushed to its client, then the whole
+//!   reactor stops.
+//!
+//! Memory stays bounded without blocking the reactor: a connection with
+//! too many requests in flight or too large an unflushed write buffer
+//! has its read interest dropped (the bytes wait in the kernel socket
+//! buffer) until the backlog clears — level-triggered polling makes
+//! resumption free.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use netpoll::{Interest, Poller, Waker};
+
+use crate::protocol::{next_request_id, render_error, Handled};
+use crate::server::MAX_REQUEST_LINE_BYTES;
+
+/// The per-request callback: one request line in (newline stripped,
+/// never blank), one [`Handled`] out. Runs on a dispatcher thread, so
+/// it may block. `qpilotd` plugs in
+/// [`handle_line`](crate::protocol::handle_line); `qpilot-router`
+/// plugs in a forwarder that relays the raw line to a shard.
+pub type LineHandler = Arc<dyn Fn(&str) -> Handled + Send + Sync>;
+
+/// Tuning for [`ReactorServer::spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReactorOptions {
+    /// A request line must arrive in full within this window of its
+    /// first byte, or the connection is closed (slow-loris defence).
+    pub line_deadline: Duration,
+    /// Dispatcher threads calling the [`LineHandler`]. `0` sizes the
+    /// pool automatically (2× available parallelism, clamped to
+    /// [16, 64]).
+    pub dispatchers: usize,
+    /// Per-connection cap on requests dispatched but not yet written
+    /// back; a connection at the cap stops being read until responses
+    /// drain.
+    pub max_pipelined: usize,
+    /// Per-connection cap on unflushed response bytes; reads pause
+    /// above it.
+    pub max_write_buffer: usize,
+}
+
+impl Default for ReactorOptions {
+    fn default() -> Self {
+        ReactorOptions {
+            line_deadline: Duration::from_secs(10),
+            dispatchers: 0,
+            max_pipelined: 256,
+            max_write_buffer: 4 * 1024 * 1024,
+        }
+    }
+}
+
+fn auto_dispatchers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get() * 2)
+        .unwrap_or(16)
+        .clamp(16, 64)
+}
+
+/// Flags and counters shared between the handle and the reactor thread.
+struct Shared {
+    stop: AtomicBool,
+    drain: AtomicBool,
+    active: AtomicUsize,
+    waker: Waker,
+}
+
+/// A running reactor-based line server. Dropping the handle without
+/// calling [`ReactorServer::shutdown`] leaves the reactor running
+/// detached.
+///
+/// # Example
+///
+/// ```
+/// use std::io::{BufRead, BufReader, Write};
+/// use std::net::TcpStream;
+/// use std::sync::Arc;
+/// use qpilot_service::protocol::Handled;
+/// use qpilot_service::reactor::{ReactorOptions, ReactorServer};
+///
+/// // A toy handler: shout the request back. qpilotd plugs in
+/// // `protocol::handle_line`; qpilot-router plugs in a shard forwarder.
+/// let handler: qpilot_service::reactor::LineHandler = Arc::new(|line: &str| Handled {
+///     response: line.to_uppercase(),
+///     shutdown: false,
+/// });
+/// let server =
+///     ReactorServer::spawn("127.0.0.1:0", ReactorOptions::default(), handler).unwrap();
+/// let stream = TcpStream::connect(server.local_addr()).unwrap();
+/// let mut reader = BufReader::new(stream.try_clone().unwrap());
+/// let mut writer = stream;
+/// writer.write_all(b"hello\n").unwrap();
+/// let mut line = String::new();
+/// reader.read_line(&mut line).unwrap();
+/// assert_eq!(line, "HELLO\n");
+/// server.shutdown();
+/// ```
+pub struct ReactorServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), starts
+    /// the reactor thread and its dispatcher pool, and returns the
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and poller-creation failures.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        options: ReactorOptions,
+        handler: LineHandler,
+    ) -> io::Result<ReactorServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        let waker = Waker::new(&poller, TOKEN_WAKER)?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            waker,
+        });
+
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Completion>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let dispatchers = if options.dispatchers == 0 {
+            auto_dispatchers()
+        } else {
+            options.dispatchers
+        };
+        for _ in 0..dispatchers {
+            let job_rx = Arc::clone(&job_rx);
+            let done_tx = done_tx.clone();
+            let handler = Arc::clone(&handler);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatcher_loop(&job_rx, &done_tx, &handler, &shared));
+        }
+        drop(done_tx);
+
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                Reactor {
+                    poller,
+                    listener,
+                    shared,
+                    options,
+                    job_tx,
+                    done_rx,
+                    conns: HashMap::new(),
+                    next_token: TOKEN_FIRST_CONN,
+                    drain_swept: false,
+                }
+                .run();
+            })
+        };
+        Ok(ReactorServer {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: the reactor stops accepting and each
+    /// live connection finishes the requests it has already received,
+    /// then closes. Pair with [`ReactorServer::drain_wait`].
+    pub fn begin_drain(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = self.shared.waker.wake();
+    }
+
+    /// Waits up to `timeout` for the reactor to close every connection
+    /// and exit after [`ReactorServer::begin_drain`]. Returns `true`
+    /// when the server went idle in time.
+    pub fn drain_wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.active.load(Ordering::SeqCst) == 0 && self.is_finished() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// `true` once the reactor thread has exited (a client sent
+    /// `shutdown`, or a drain/shutdown was requested locally).
+    pub fn is_finished(&self) -> bool {
+        self.thread.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// Stops the reactor and joins its thread. Live connections are
+    /// closed; dispatcher threads finish their current request and
+    /// exit.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = self.shared.waker.wake();
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server stops (a client sent `shutdown`).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// One request line headed for a dispatcher.
+struct Job {
+    token: u64,
+    seq: u64,
+    line: String,
+}
+
+/// One handled response headed back to the reactor.
+struct Completion {
+    token: u64,
+    seq: u64,
+    handled: Handled,
+}
+
+fn dispatcher_loop(
+    job_rx: &Mutex<Receiver<Job>>,
+    done_tx: &Sender<Completion>,
+    handler: &LineHandler,
+    shared: &Shared,
+) {
+    loop {
+        // Hold the lock only for the recv, not for the handler call.
+        let job = match job_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let handled = handler(&job.line);
+        if done_tx
+            .send(Completion {
+                token: job.token,
+                seq: job.seq,
+                handled,
+            })
+            .is_err()
+        {
+            return; // reactor gone
+        }
+        let _ = shared.waker.wake();
+    }
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Partial tail of the line in progress (complete lines are
+    /// consumed as they arrive).
+    read_buf: Vec<u8>,
+    /// The line in progress blew past [`MAX_REQUEST_LINE_BYTES`]; its
+    /// bytes are being discarded until the newline.
+    oversized: bool,
+    /// Read side finished: peer EOF, shutdown response queued, or a
+    /// fatal socket error.
+    eof: bool,
+    /// Armed at the first byte of a line, disarmed at its newline.
+    deadline: Option<Instant>,
+    /// Next sequence number to assign to an incoming request.
+    next_seq: u64,
+    /// Next sequence number to write out (responses go in request
+    /// order).
+    next_write: u64,
+    /// Requests dispatched and not yet completed.
+    inflight: usize,
+    /// Completions that arrived out of order, keyed by sequence.
+    pending: BTreeMap<u64, Handled>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Flush the write buffer, then close the connection and stop the
+    /// whole reactor (a `shutdown` response is queued).
+    shutdown_after_flush: bool,
+    /// Fatal I/O error: close as soon as possible.
+    dead: bool,
+    /// Interest currently registered with the poller.
+    registered: Interest,
+    /// Copied from [`ReactorOptions::line_deadline`] at accept time.
+    line_deadline: Duration,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, line_deadline: Duration) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            oversized: false,
+            eof: false,
+            deadline: None,
+            next_seq: 0,
+            next_write: 0,
+            inflight: 0,
+            pending: BTreeMap::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            shutdown_after_flush: false,
+            dead: false,
+            registered: Interest::READABLE,
+            line_deadline,
+        }
+    }
+
+    fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// The connection has nothing queued in either direction.
+    fn quiescent(&self) -> bool {
+        self.inflight == 0 && self.pending.is_empty() && self.write_backlog() == 0
+    }
+
+    /// A line is partially received (which also means its deadline is
+    /// armed).
+    fn mid_line(&self) -> bool {
+        !self.read_buf.is_empty() || self.oversized
+    }
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    options: ReactorOptions,
+    job_tx: Sender<Job>,
+    done_rx: Receiver<Completion>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    drain_swept: bool,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        loop {
+            let stop = self.shared.stop.load(Ordering::SeqCst);
+            let drain = self.shared.drain.load(Ordering::SeqCst);
+            if stop && !drain {
+                break;
+            }
+            if drain && !self.drain_swept {
+                self.drain_swept = true;
+                // Consume whatever already sits in each kernel socket
+                // buffer so "requests received before the drain" is
+                // judged against the sockets, not just our userspace
+                // buffers.
+                let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                for token in tokens {
+                    self.handle_readable(token);
+                }
+            }
+            if drain && self.conns.is_empty() {
+                break;
+            }
+            let timeout = self.wait_timeout(drain);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            let mut touched: Vec<u64> = Vec::new();
+            for event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.shared.waker.drain(),
+                    token => {
+                        if event.readable || event.hangup {
+                            self.handle_readable(token);
+                        }
+                        if event.writable {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                flush_writes(conn);
+                            }
+                        }
+                        touched.push(token);
+                    }
+                }
+            }
+            let stopping = self.apply_completions(&mut touched);
+            self.sweep(&touched);
+            if stopping {
+                break;
+            }
+        }
+        // Reactor exit closes the listener and every remaining
+        // connection; dispatchers drain their queue and exit once the
+        // job channel disconnects.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close(token);
+        }
+    }
+
+    /// The poller timeout: the nearest armed line deadline, a modest
+    /// tick while draining (so idle-closure cannot stall on a missed
+    /// wake), or a coarse flag-check tick otherwise.
+    fn wait_timeout(&self, drain: bool) -> Option<Duration> {
+        let now = Instant::now();
+        let nearest = self
+            .conns
+            .values()
+            .filter_map(|c| c.deadline)
+            .min()
+            .map(|d| d.saturating_duration_since(now));
+        let ceiling = if drain {
+            Duration::from_millis(25)
+        } else {
+            Duration::from_secs(1)
+        };
+        Some(nearest.map_or(ceiling, |d| d.min(ceiling)))
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        drop(stream); // draining/stopping: no new work
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.shared.active.fetch_add(1, Ordering::SeqCst);
+                    self.conns
+                        .insert(token, Conn::new(stream, self.options.line_deadline));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Reads everything currently available on `token`, slicing the
+    /// bytes into request lines: blank lines are skipped, oversized
+    /// lines become inline error completions, and real lines are
+    /// dispatched. Stops early (leaving bytes in the kernel buffer)
+    /// when the connection hits its pipelining or write-buffer cap.
+    fn handle_readable(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.eof || conn.dead {
+            return;
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            if paused(conn, &self.options) {
+                break;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    // A final line without a trailing newline still
+                    // counts as a request (matching the threaded
+                    // transport's bounded reader).
+                    if conn.mid_line() {
+                        let tail = std::mem::take(&mut conn.read_buf);
+                        let oversized = std::mem::take(&mut conn.oversized);
+                        conn.deadline = None;
+                        finish_line(conn, &tail, oversized, &self.job_tx, token);
+                    }
+                    break;
+                }
+                Ok(n) => ingest(conn, &chunk[..n], &self.job_tx, token),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drains the completion channel into per-connection reorder
+    /// buffers and promotes in-order responses to write buffers.
+    /// Returns `true` when a `shutdown` response has fully flushed and
+    /// the reactor must stop.
+    fn apply_completions(&mut self, touched: &mut Vec<u64>) -> bool {
+        while let Ok(done) = self.done_rx.try_recv() {
+            if let Some(conn) = self.conns.get_mut(&done.token) {
+                conn.inflight = conn.inflight.saturating_sub(1);
+                conn.pending.insert(done.seq, done.handled);
+                touched.push(done.token);
+            }
+        }
+        let mut stopping = false;
+        for &token in touched.iter() {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            while let Some(handled) = conn.pending.remove(&conn.next_write) {
+                conn.next_write += 1;
+                conn.write_buf
+                    .extend_from_slice(handled.response.as_bytes());
+                conn.write_buf.push(b'\n');
+                if handled.shutdown {
+                    // Requests pipelined after a shutdown are not
+                    // served; the response flushes, then the whole
+                    // server stops.
+                    conn.pending.clear();
+                    conn.eof = true;
+                    conn.shutdown_after_flush = true;
+                    break;
+                }
+            }
+            flush_writes(conn);
+            if conn.shutdown_after_flush && conn.write_backlog() == 0 {
+                stopping = true;
+                self.shared.stop.store(true, Ordering::SeqCst);
+            }
+        }
+        stopping
+    }
+
+    /// Closes connections that are finished (EOF, dead, past their
+    /// line deadline, or idle during a drain) and refreshes poller
+    /// interest for the rest.
+    fn sweep(&mut self, touched: &[u64]) {
+        let now = Instant::now();
+        let drain = self.shared.drain.load(Ordering::SeqCst);
+        let mut to_close: Vec<u64> = Vec::new();
+        for (&token, conn) in &mut self.conns {
+            if conn.dead
+                || conn.deadline.is_some_and(|d| now >= d)
+                || (conn.eof && conn.quiescent())
+                || (drain && !conn.mid_line() && conn.quiescent())
+            {
+                to_close.push(token);
+            }
+        }
+        for token in to_close {
+            self.close(token);
+        }
+        for &token in touched {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            let want = Interest {
+                readable: !conn.eof && !conn.dead && !paused(conn, &self.options),
+                writable: conn.write_backlog() > 0,
+            };
+            if want != conn.registered
+                && self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), token, want)
+                    .is_ok()
+            {
+                conn.registered = want;
+            }
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(mut conn) = self.conns.remove(&token) {
+            // One last best-effort flush before the descriptor closes
+            // (e.g. responses queued behind a lapsed line deadline).
+            if conn.write_backlog() > 0 && !conn.dead {
+                let _ = conn.stream.write(&conn.write_buf[conn.write_pos..]);
+            }
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A connection over its pipelining or write-buffer cap stops being
+/// read until the backlog drains.
+fn paused(conn: &Conn, options: &ReactorOptions) -> bool {
+    conn.inflight + conn.pending.len() >= options.max_pipelined
+        || conn.write_backlog() >= options.max_write_buffer
+}
+
+fn flush_writes(conn: &mut Conn) {
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.write_pos == conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+}
+
+/// Slices a fresh chunk of socket bytes into lines, updating the
+/// partial-line tail, the oversize discard state, and the line
+/// deadline.
+fn ingest(conn: &mut Conn, mut chunk: &[u8], job_tx: &Sender<Job>, token: u64) {
+    while let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+        let (head, rest) = chunk.split_at(pos);
+        chunk = &rest[1..]; // past the newline
+        let oversized = conn.oversized || conn.read_buf.len() + head.len() > MAX_REQUEST_LINE_BYTES;
+        let line: Vec<u8> = if oversized {
+            Vec::new()
+        } else if conn.read_buf.is_empty() {
+            head.to_vec()
+        } else {
+            let mut full = std::mem::take(&mut conn.read_buf);
+            full.extend_from_slice(head);
+            full
+        };
+        conn.read_buf.clear();
+        conn.oversized = false;
+        conn.deadline = None; // the newline completes the line
+        finish_line(conn, &line, oversized, job_tx, token);
+    }
+    if !chunk.is_empty() {
+        if conn.oversized {
+            // Still discarding the current runaway line.
+        } else if conn.read_buf.len() + chunk.len() > MAX_REQUEST_LINE_BYTES {
+            conn.oversized = true;
+            conn.read_buf.clear();
+        } else {
+            conn.read_buf.extend_from_slice(chunk);
+        }
+    }
+    // A partial line is now in progress: arm its deadline if this is
+    // its first byte.
+    if conn.mid_line() && conn.deadline.is_none() {
+        conn.deadline = Some(Instant::now() + conn.line_deadline);
+    }
+}
+
+/// Emits the result of one complete line: skip blanks, answer
+/// oversized lines inline (no dispatcher round-trip, but still in
+/// sequence), dispatch the rest.
+fn finish_line(conn: &mut Conn, line: &[u8], oversized: bool, job_tx: &Sender<Job>, token: u64) {
+    if oversized {
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.pending.insert(
+            seq,
+            Handled {
+                // The line never parsed, so no client id exists to
+                // echo; a daemon-assigned one keeps the reply
+                // correlatable.
+                response: render_error(
+                    &format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+                    false,
+                    &next_request_id(),
+                ),
+                shutdown: false,
+            },
+        );
+        return;
+    }
+    let text = String::from_utf8_lossy(line);
+    if text.trim().is_empty() {
+        return; // blank keep-alive lines are not requests
+    }
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    conn.inflight += 1;
+    let _ = job_tx.send(Job {
+        token,
+        seq,
+        line: text.into_owned(),
+    });
+}

@@ -2,13 +2,14 @@
 //!
 //! Both transports are line-delimited: the daemon reads one request per
 //! line and writes exactly one response line, in order. TCP connections
-//! are handled thread-per-connection (connection counts here are
-//! operator-scale; the bounded compile queue, not the accept loop, is
-//! the concurrency limiter). A `shutdown` request stops the transport:
-//! stdio returns from [`serve_stdio`], TCP flips the listener's shutdown
-//! flag and unblocks the acceptor.
+//! are multiplexed onto a single epoll-based reactor thread
+//! ([`crate::reactor`]): nonblocking accept plus per-connection
+//! read/write state machines, with request handling on a dispatcher
+//! pool feeding the same bounded compile queue as before. A `shutdown`
+//! request stops the transport: stdio returns from [`serve_stdio`], TCP
+//! flushes the response and stops the reactor.
 //!
-//! Request lines are read through a bounded reader: a line longer than
+//! Request lines are bounded on both transports: a line longer than
 //! [`MAX_REQUEST_LINE_BYTES`] is discarded as it streams in (the daemon
 //! never buffers it whole), answered with an error line, and the
 //! connection continues — an oversized or hostile client cannot balloon
@@ -20,29 +21,24 @@
 //! ([`ServerOptions::line_deadline`]): the clock arms when the first
 //! byte of a request line arrives and resets at its newline, so a
 //! slow-loris client trickling one byte at a time cannot pin a
-//! connection thread forever — the daemon closes the connection when
+//! connection slot forever — the daemon closes the connection when
 //! the deadline lapses mid-line. Idle connections (no line in progress)
 //! are not affected, except during a drain
 //! ([`TcpServer::begin_drain`]), when an idle connection is treated as
 //! end-of-stream after its buffered requests are answered.
 
-use std::io::{self, BufRead, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::pool::Service;
 use crate::protocol::{handle_line, render_error};
+use crate::reactor::{ReactorOptions, ReactorServer};
 
 /// Upper bound on one request line (bytes, newline excluded). Generous:
 /// a 100-qubit, 1000-gate inline circuit is ~15 KB.
 pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024 * 1024;
-
-/// How often a blocked TCP read wakes to check the line deadline and
-/// the drain flag.
-const READ_POLL: Duration = Duration::from_millis(100);
 
 /// Tuning for [`TcpServer::spawn_with`].
 #[derive(Debug, Clone, Copy)]
@@ -57,109 +53,6 @@ impl Default for ServerOptions {
         ServerOptions {
             line_deadline: Duration::from_secs(10),
         }
-    }
-}
-
-/// A [`BufRead`] over a [`TcpStream`] enforcing the per-line deadline.
-///
-/// The underlying socket runs with a short read timeout ([`READ_POLL`])
-/// so the reader can observe the deadline and the drain flag while
-/// blocked; callers never see those poll wakeups, only complete reads,
-/// deadline errors, or end-of-stream.
-struct LineDeadlineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    pos: usize,
-    filled: usize,
-    line_deadline: Duration,
-    /// Armed when the first byte of a line arrives; disarmed at its
-    /// newline (see [`BufRead::consume`]).
-    deadline: Option<Instant>,
-    drain: Arc<AtomicBool>,
-}
-
-impl LineDeadlineReader {
-    fn new(stream: TcpStream, line_deadline: Duration, drain: Arc<AtomicBool>) -> io::Result<Self> {
-        stream.set_read_timeout(Some(READ_POLL))?;
-        Ok(LineDeadlineReader {
-            stream,
-            buf: vec![0; 64 * 1024],
-            pos: 0,
-            filled: 0,
-            line_deadline,
-            deadline: None,
-            drain,
-        })
-    }
-}
-
-impl Read for LineDeadlineReader {
-    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
-        let chunk = self.fill_buf()?;
-        let n = chunk.len().min(out.len());
-        out[..n].copy_from_slice(&chunk[..n]);
-        self.consume(n);
-        Ok(n)
-    }
-}
-
-impl BufRead for LineDeadlineReader {
-    fn fill_buf(&mut self) -> io::Result<&[u8]> {
-        if self.pos < self.filled {
-            // Buffered (possibly pipelined) bytes are served without
-            // touching the socket — a draining connection still answers
-            // every request it already received.
-            return Ok(&self.buf[self.pos..self.filled]);
-        }
-        loop {
-            match self.stream.read(&mut self.buf) {
-                Ok(0) => return Ok(&[]),
-                Ok(n) => {
-                    // First byte of a new line arms its deadline; bytes
-                    // continuing a line leave the armed clock running.
-                    if self.deadline.is_none() {
-                        self.deadline = Some(Instant::now() + self.line_deadline);
-                    }
-                    self.pos = 0;
-                    self.filled = n;
-                    return Ok(&self.buf[..n]);
-                }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    // Idle at a line boundary with nothing left in the
-                    // socket: a drain means no more requests will
-                    // arrive here, so report a clean end-of-stream. The
-                    // check sits *after* the read so requests already
-                    // in flight when the drain started are still
-                    // served.
-                    if self.deadline.is_none() && self.drain.load(Ordering::Relaxed) {
-                        return Ok(&[]);
-                    }
-                    if self.deadline.is_some_and(|d| Instant::now() >= d) {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "request line exceeded the read deadline",
-                        ));
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    fn consume(&mut self, amt: usize) {
-        let end = (self.pos + amt).min(self.filled);
-        // A consumed newline completes the line and disarms its
-        // deadline; the next line's first *socket* byte re-arms it.
-        if self.buf[self.pos..end].contains(&b'\n') {
-            self.deadline = None;
-        }
-        self.pos = end;
     }
 }
 
@@ -276,19 +169,17 @@ pub fn serve_stdio(service: &Service) -> io::Result<u64> {
     serve_lines(service, stdin.lock(), BufWriter::new(stdout.lock()))
 }
 
-/// A running TCP server. Dropping the handle without calling
-/// [`TcpServer::shutdown`] leaves the acceptor thread running detached.
+/// A running TCP server: the protocol served through the epoll reactor
+/// ([`crate::reactor::ReactorServer`]) with [`handle_line`] as its
+/// request handler. Dropping the handle without calling
+/// [`TcpServer::shutdown`] leaves the reactor thread running detached.
 pub struct TcpServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    drain: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
-    acceptor: Option<JoinHandle<()>>,
+    inner: ReactorServer,
 }
 
 impl TcpServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// accepting connections on a background thread.
+    /// serving connections on the reactor thread.
     ///
     /// # Errors
     ///
@@ -307,148 +198,53 @@ impl TcpServer {
         addr: impl ToSocketAddrs,
         options: ServerOptions,
     ) -> io::Result<TcpServer> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let drain = Arc::new(AtomicBool::new(false));
-        let active = Arc::new(AtomicUsize::new(0));
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            let drain = Arc::clone(&drain);
-            let active = Arc::clone(&active);
-            std::thread::spawn(move || {
-                accept_loop(listener, service, addr, stop, drain, active, options)
-            })
+        let reactor_options = ReactorOptions {
+            line_deadline: options.line_deadline,
+            ..ReactorOptions::default()
         };
-        Ok(TcpServer {
+        let inner = ReactorServer::spawn(
             addr,
-            stop,
-            drain,
-            active,
-            acceptor: Some(acceptor),
-        })
+            reactor_options,
+            Arc::new(move |line: &str| handle_line(&service, line)),
+        )?;
+        Ok(TcpServer { inner })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
-    /// Starts a graceful drain: the acceptor stops taking connections
-    /// and each live connection finishes the requests it has already
-    /// received, then closes. Pair with [`TcpServer::drain_wait`].
+    /// Starts a graceful drain: the reactor stops accepting and each
+    /// live connection finishes the requests it has already received,
+    /// then closes. Pair with [`TcpServer::drain_wait`].
     pub fn begin_drain(&self) {
-        self.drain.store(true, Ordering::SeqCst);
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.inner.begin_drain();
     }
 
     /// Waits up to `timeout` for every live connection to finish after
     /// [`TcpServer::begin_drain`]. Returns `true` when the server went
     /// idle in time.
     pub fn drain_wait(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        loop {
-            if self.active.load(Ordering::SeqCst) == 0 {
-                return true;
-            }
-            if Instant::now() >= deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        self.inner.drain_wait(timeout)
     }
 
-    /// `true` once the acceptor thread has exited (a client sent
+    /// `true` once the reactor thread has exited (a client sent
     /// `shutdown`, or a drain/shutdown was requested locally).
     pub fn is_finished(&self) -> bool {
-        self.acceptor.as_ref().is_none_or(JoinHandle::is_finished)
+        self.inner.is_finished()
     }
 
-    /// Stops accepting and joins the acceptor thread. In-flight
-    /// connections finish on their own threads.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
-        }
+    /// Stops the reactor and joins its thread. Live connections are
+    /// closed after a best-effort flush of completed responses.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
     }
 
     /// Blocks until the server stops (a client sent `shutdown`).
-    pub fn wait(mut self) {
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
-        }
+    pub fn wait(self) {
+        self.inner.wait();
     }
-}
-
-/// Decrements the live-connection gauge when a connection thread exits,
-/// however it exits.
-struct ActiveGuard(Arc<AtomicUsize>);
-
-impl Drop for ActiveGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn accept_loop(
-    listener: TcpListener,
-    service: Service,
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    drain: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
-    options: ServerOptions,
-) {
-    loop {
-        let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
-            Err(_) => {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
-            }
-        };
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let service = service.clone();
-        let stop = Arc::clone(&stop);
-        let drain = Arc::clone(&drain);
-        // Count the connection before its thread exists so a drain that
-        // starts in between still waits for it.
-        active.fetch_add(1, Ordering::SeqCst);
-        let guard = ActiveGuard(Arc::clone(&active));
-        std::thread::spawn(move || {
-            let _guard = guard;
-            let shutdown_requested =
-                serve_connection(&service, stream, options, drain).unwrap_or(false);
-            if shutdown_requested {
-                stop.store(true, Ordering::SeqCst);
-                // Unblock the acceptor so the flag is observed.
-                let _ = TcpStream::connect(addr);
-            }
-        });
-    }
-}
-
-/// Serves one connection; returns `Ok(true)` if the client requested
-/// daemon shutdown.
-fn serve_connection(
-    service: &Service,
-    stream: TcpStream,
-    options: ServerOptions,
-    drain: Arc<AtomicBool>,
-) -> io::Result<bool> {
-    let reader = LineDeadlineReader::new(stream.try_clone()?, options.line_deadline, drain)?;
-    let writer = BufWriter::new(stream);
-    serve_loop(service, reader, writer).map(|(_, shutdown)| shutdown)
 }
 
 #[cfg(test)]
@@ -456,6 +252,8 @@ mod tests {
     use super::*;
     use crate::pool::ServiceConfig;
     use std::io::{BufReader, Cursor};
+    use std::net::TcpStream;
+    use std::time::Instant;
 
     fn service() -> Service {
         Service::new(ServiceConfig {

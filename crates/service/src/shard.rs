@@ -1,0 +1,585 @@
+//! Horizontal shard fan-out: consistent-hash routing on the
+//! `qpilot.compile/v2` fingerprint, plus cross-shard aggregation of the
+//! observability ops.
+//!
+//! A shard is just a `qpilotd` daemon with its own cache and store; the
+//! fleet needs no coordination because compilation is a deterministic
+//! pure function of the request. Placement is the only shared
+//! agreement, and it is a pure function too: [`ShardRing`] hashes each
+//! shard address onto a ring of virtual points and assigns a
+//! fingerprint to the first point at or clockwise of its own hash.
+//! Every router and every `qpilot-cli --shards` client with the same
+//! address list computes the same ring, so a fingerprint's schedule is
+//! cached (and persisted) on exactly one shard, and adding or removing
+//! a shard only remaps the ~`1/n` of keys adjacent to its points
+//! instead of reshuffling the world.
+//!
+//! The hash is [`StableHasher`] (SipHash-2-4 with fixed keys) — the
+//! same platform-stable primitive behind the fingerprint itself — so
+//! placement survives process restarts, mixed architectures, and Rust
+//! upgrades.
+//!
+//! Fan-out ops: `stats`, `store-stats` and `metrics` are answered by
+//! every shard and merged by [`aggregate_stats`],
+//! [`aggregate_store_stats`] and [`aggregate_metrics`]: counters and
+//! sizes sum exactly; rates are recomputed from the summed counters;
+//! latency percentiles cannot be merged and take the worst (max) shard,
+//! which is the operator-conservative choice. Aggregated responses
+//! carry a `"shards":N` field so clients can tell them from single
+//! daemon answers.
+//!
+//! # Example
+//!
+//! ```
+//! use qpilot_service::shard::ShardRing;
+//! use qpilot_circuit::Circuit;
+//! use qpilot_service::CompileRequest;
+//!
+//! let ring = ShardRing::new(&[
+//!     "10.0.0.1:7878".to_string(),
+//!     "10.0.0.2:7878".to_string(),
+//! ]);
+//! let mut c = Circuit::new(3);
+//! c.cz(0, 1).cz(1, 2);
+//! let fp = CompileRequest::new(c).fingerprint();
+//! // Placement is deterministic: every client computes the same shard.
+//! assert_eq!(ring.shard_for(&fp), ring.shard_for(&fp));
+//! ```
+
+use qpilot_circuit::fingerprint::{Fingerprint, StableHasher};
+use qpilot_core::json::{self, json_str, Value};
+
+/// Virtual points per shard on the ring. More points smooth the load
+/// split (the relative imbalance shrinks like `1/sqrt(replicas)`) at
+/// the cost of a longer sorted array; 64 keeps a 16-shard fleet within
+/// a few percent of even.
+pub const RING_REPLICAS: u32 = 64;
+
+/// A consistent-hash ring over shard addresses.
+///
+/// Construction is deterministic in the address *set* (the input order
+/// does not matter) so independently configured clients agree on
+/// placement.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    addrs: Vec<String>,
+    /// `(ring point, index into addrs)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl ShardRing {
+    /// Builds the ring: [`RING_REPLICAS`] points per address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addrs` is empty — a fleet of zero shards cannot
+    /// route anything.
+    pub fn new(addrs: &[String]) -> ShardRing {
+        assert!(!addrs.is_empty(), "a shard ring needs at least one shard");
+        let mut points = Vec::with_capacity(addrs.len() * RING_REPLICAS as usize);
+        for (index, addr) in addrs.iter().enumerate() {
+            for replica in 0..RING_REPLICAS {
+                let mut h = StableHasher::new();
+                h.write_str(addr);
+                h.write_u32(replica);
+                points.push((h.finish().prefix_u64(), index));
+            }
+        }
+        // Ties (astronomically unlikely with 64-bit points) resolve by
+        // address index, keeping the sort — and thus placement —
+        // deterministic.
+        points.sort_unstable();
+        ShardRing {
+            addrs: addrs.to_vec(),
+            points,
+        }
+    }
+
+    /// The shard addresses, in construction order.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// `false`: the constructor rejects empty fleets.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The index (into [`ShardRing::addrs`]) owning `fingerprint`.
+    pub fn index_for(&self, fingerprint: &Fingerprint) -> usize {
+        let key = ring_key(fingerprint);
+        // First point clockwise of the key, wrapping to the start.
+        let at = self.points.partition_point(|&(p, _)| p < key);
+        let (_, index) = self.points[if at == self.points.len() { 0 } else { at }];
+        index
+    }
+
+    /// The address owning `fingerprint`.
+    pub fn shard_for(&self, fingerprint: &Fingerprint) -> &str {
+        &self.addrs[self.index_for(fingerprint)]
+    }
+}
+
+/// A fingerprint's position on the ring. The fingerprint is already a
+/// uniform 128-bit hash, but it is re-hashed here so the key-space and
+/// the shard-point space come from the same family while staying
+/// independent of each other.
+fn ring_key(fingerprint: &Fingerprint) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(&fingerprint.0);
+    h.finish().prefix_u64()
+}
+
+/// An integer counter summed across shard responses, tolerating a
+/// missing field as zero (a shard behind on the protocol should not
+/// poison the aggregate).
+fn sum_u64(docs: &[Value], key: &str) -> u64 {
+    docs.iter()
+        .filter_map(|d| d.get(key).and_then(Value::as_u64))
+        .sum()
+}
+
+fn max_f64(docs: &[Value], key: &str) -> f64 {
+    docs.iter()
+        .filter_map(|d| d.get(key).and_then(Value::as_f64))
+        .fold(0.0, f64::max)
+}
+
+fn any_true(docs: &[Value], key: &str) -> bool {
+    docs.iter()
+        .any(|d| d.get(key).and_then(Value::as_bool) == Some(true))
+}
+
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+/// Parses each shard's response line, failing on the first shard whose
+/// line is not an `{"ok":true,"op":<op>}` response (its error text is
+/// surfaced verbatim).
+fn parse_ok_docs(lines: &[String], op: &str) -> Result<Vec<Value>, String> {
+    let mut docs = Vec::with_capacity(lines.len());
+    for line in lines {
+        let doc = json::parse(line).map_err(|e| format!("shard response: {e}"))?;
+        if doc.get("ok").and_then(Value::as_bool) != Some(true) {
+            let detail = doc
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("not an ok response");
+            return Err(format!("shard {op} failed: {detail}"));
+        }
+        docs.push(doc);
+    }
+    if docs.is_empty() {
+        return Err(format!("no shard responses to aggregate for {op}"));
+    }
+    Ok(docs)
+}
+
+/// Merges per-shard `stats` response lines into one fleet-wide `stats`
+/// response: counters and sizes are exact sums, `hit_rate` is
+/// recomputed from the summed hit/miss counters, `draining` is true if
+/// any shard is draining, and latency percentiles take the worst
+/// shard. The response carries `"shards":N`.
+///
+/// # Errors
+///
+/// A human-readable message when a shard's line is not a successful
+/// `stats` response.
+pub fn aggregate_stats(lines: &[String], request_id: &str) -> Result<String, String> {
+    let docs = parse_ok_docs(lines, "stats")?;
+    let hits = sum_u64(&docs, "hits");
+    let misses = sum_u64(&docs, "misses");
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    let mut out = String::with_capacity(768);
+    out.push_str("{\"ok\":true,\"op\":\"stats\",\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"shards\":");
+    out.push_str(&docs.len().to_string());
+    for key in ["requests", "hits", "misses"] {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(&sum_u64(&docs, key).to_string());
+    }
+    out.push_str(",\"hit_rate\":");
+    out.push_str(&json::fmt_f64(round6(hit_rate)));
+    for key in [
+        "evictions",
+        "cache_entries",
+        "cache_bytes",
+        "compiles",
+        "coalesced",
+        "hedged",
+        "leader_timeouts",
+        "shed",
+        "deadline_misses",
+    ] {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(&sum_u64(&docs, key).to_string());
+    }
+    out.push_str(",\"draining\":");
+    out.push_str(if any_true(&docs, "draining") {
+        "true"
+    } else {
+        "false"
+    });
+    for key in ["store_persisted", "store_loaded"] {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(&sum_u64(&docs, key).to_string());
+    }
+    for key in ["p50_compile_ms", "p90_compile_ms", "p99_compile_ms"] {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(&json::fmt_f64(round6(max_f64(&docs, key))));
+    }
+    // Per-path latency: counts sum; percentiles take the worst shard.
+    out.push_str(",\"latency\":{");
+    let paths: Vec<&str> = docs
+        .first()
+        .and_then(|d| d.get("latency"))
+        .map(|l| match l {
+            Value::Obj(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        })
+        .unwrap_or_default();
+    for (i, path) in paths.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let per_path: Vec<Value> = docs
+            .iter()
+            .filter_map(|d| d.get("latency").and_then(|l| l.get(path)))
+            .cloned()
+            .collect();
+        out.push_str(&json_str(path));
+        out.push_str(":{\"count\":");
+        out.push_str(&sum_u64(&per_path, "count").to_string());
+        for key in ["p50_ms", "p90_ms", "p99_ms"] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            out.push_str(&json::fmt_f64(round6(max_f64(&per_path, key))));
+        }
+        out.push('}');
+    }
+    out.push_str("},\"workers\":");
+    out.push_str(&sum_u64(&docs, "workers").to_string());
+    out.push('}');
+    Ok(out)
+}
+
+/// Merges per-shard `store-stats` response lines: every counter sums,
+/// `configured` is true if any shard persists. The response carries
+/// `"shards":N`.
+///
+/// # Errors
+///
+/// A human-readable message when a shard's line is not a successful
+/// `store-stats` response.
+pub fn aggregate_store_stats(lines: &[String], request_id: &str) -> Result<String, String> {
+    let docs = parse_ok_docs(lines, "store-stats")?;
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"ok\":true,\"op\":\"store-stats\",\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"shards\":");
+    out.push_str(&docs.len().to_string());
+    out.push_str(",\"configured\":");
+    out.push_str(if any_true(&docs, "configured") {
+        "true"
+    } else {
+        "false"
+    });
+    for key in [
+        "loaded",
+        "adopted",
+        "discarded",
+        "persisted",
+        "removed",
+        "entries",
+        "bytes",
+        "size_evictions",
+        "journal_lines",
+        "compactions",
+    ] {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(&sum_u64(&docs, key).to_string());
+    }
+    out.push('}');
+    Ok(out)
+}
+
+/// Merges per-shard `metrics` response lines into one `metrics`
+/// response whose exposition is the fleet-wide merge
+/// ([`merge_expositions`]). The response carries `"shards":N`.
+///
+/// # Errors
+///
+/// A human-readable message when a shard's line is not a successful
+/// `metrics` response.
+pub fn aggregate_metrics(lines: &[String], request_id: &str) -> Result<String, String> {
+    let docs = parse_ok_docs(lines, "metrics")?;
+    let expositions: Vec<&str> = docs
+        .iter()
+        .filter_map(|d| d.get("exposition").and_then(Value::as_str))
+        .collect();
+    let merged = merge_expositions(&expositions);
+    let content_type = docs
+        .first()
+        .and_then(|d| d.get("content_type").and_then(Value::as_str))
+        .unwrap_or(crate::metrics::EXPOSITION_CONTENT_TYPE)
+        .to_string();
+    let mut out = String::with_capacity(merged.len() + 160);
+    out.push_str("{\"ok\":true,\"op\":\"metrics\",\"request_id\":");
+    out.push_str(&json_str(request_id));
+    out.push_str(",\"shards\":");
+    out.push_str(&docs.len().to_string());
+    out.push_str(",\"content_type\":");
+    out.push_str(&json_str(&content_type));
+    out.push_str(",\"exposition\":");
+    out.push_str(&json_str(&merged));
+    out.push('}');
+    Ok(out)
+}
+
+/// Merges Prometheus text expositions (v0.0.4) sample-wise: samples
+/// with the same `name{labels}` key sum across shards — correct for
+/// counters, gauges measuring sizes, and summary `_count`/`_sum`
+/// series — except `quantile`-labelled samples, which are not additive
+/// and take the max (the worst shard), matching how the stats
+/// aggregation treats percentiles. `# HELP`/`# TYPE` headers and the
+/// sample order come from the first exposition; samples only later
+/// shards know are appended at the end in their own order.
+pub fn merge_expositions(expositions: &[&str]) -> String {
+    // Key → (merged value, takes-max). Keys keep their first-seen
+    // order so the merged exposition is stable and diffable.
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut headers: Vec<String> = Vec::new();
+    let mut seen_headers: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for exposition in expositions {
+        for line in exposition.lines() {
+            if line.starts_with('#') {
+                // HELP/TYPE lines: keep the first shard's copy only
+                // (keyed by kind + metric so HELP and TYPE coexist).
+                let kind = line.split_whitespace().nth(1).unwrap_or("");
+                if seen_headers.insert(format!("{kind} {}", header_key(line))) {
+                    headers.push(line.to_string());
+                }
+                continue;
+            }
+            let Some((key, value)) = split_sample(line) else {
+                continue;
+            };
+            match merged.entry(key.to_string()) {
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    if is_quantile_sample(key) {
+                        let current = *slot.get();
+                        slot.insert(current.max(value));
+                    } else {
+                        *slot.get_mut() += value;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(value);
+                    order.push(key.to_string());
+                }
+            }
+        }
+    }
+    // Headers first (grouped as Prometheus expects), then samples in
+    // first-seen order.
+    let mut out = String::new();
+    let mut emitted: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for key in &order {
+        let metric = metric_family(key);
+        if emitted.insert(metric) {
+            for header in headers.iter().filter(|h| header_key(h) == metric) {
+                out.push_str(header);
+                out.push('\n');
+            }
+        }
+        out.push_str(key);
+        out.push(' ');
+        out.push_str(&json::fmt_f64(merged[key]));
+        out.push('\n');
+    }
+    out
+}
+
+/// The metric name a `# HELP`/`# TYPE` line describes (empty for
+/// malformed comment lines, which then merge as plain comments).
+fn header_key(line: &str) -> &str {
+    line.split_whitespace().nth(2).unwrap_or("")
+}
+
+/// Splits one exposition sample into `(name{labels}, value)`.
+fn split_sample(line: &str) -> Option<(&str, f64)> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let at = line.rfind(' ')?;
+    let value: f64 = line[at + 1..].parse().ok()?;
+    Some((line[..at].trim_end(), value))
+}
+
+/// `quantile`-labelled summary samples are not additive across shards.
+fn is_quantile_sample(key: &str) -> bool {
+    key.contains("quantile=")
+}
+
+/// The family name of a sample key: everything before the label block,
+/// with summary suffixes stripped so `_count`/`_sum` group under their
+/// family's headers.
+fn metric_family(key: &str) -> &str {
+    let name = key.split('{').next().unwrap_or(key);
+    for suffix in ["_count", "_sum", "_bucket"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_u64(n);
+        h.finish()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        let a = ShardRing::new(&["h1:1".into(), "h2:1".into(), "h3:1".into()]);
+        let b = ShardRing::new(&["h3:1".into(), "h1:1".into(), "h2:1".into()]);
+        for n in 0..500 {
+            let f = fp(n);
+            assert_eq!(a.shard_for(&f), b.shard_for(&f));
+            assert_eq!(a.shard_for(&f), a.shard_for(&f));
+        }
+    }
+
+    #[test]
+    fn load_splits_roughly_evenly() {
+        let ring = ShardRing::new(&["h1:1".into(), "h2:1".into(), "h3:1".into(), "h4:1".into()]);
+        let mut counts = [0usize; 4];
+        let total = 4000;
+        for n in 0..total {
+            counts[ring.index_for(&fp(n))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let share = c as f64 / total as f64;
+            assert!(
+                (0.10..=0.45).contains(&share),
+                "shard {i} holds {share:.3} of keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_own_keys() {
+        let four = ShardRing::new(&["h1:1".into(), "h2:1".into(), "h3:1".into(), "h4:1".into()]);
+        let three = ShardRing::new(&["h1:1".into(), "h2:1".into(), "h3:1".into()]);
+        let total = 4000;
+        let mut moved = 0;
+        for n in 0..total {
+            let f = fp(n);
+            let before = four.shard_for(&f);
+            let after = three.shard_for(&f);
+            if before == "h4:1" {
+                continue; // its keys must move somewhere
+            }
+            if before != after {
+                moved += 1;
+            }
+        }
+        assert_eq!(
+            moved, 0,
+            "keys not owned by the removed shard must stay put"
+        );
+    }
+
+    #[test]
+    fn merge_expositions_sums_counters_and_maxes_quantiles() {
+        let a = "# HELP qpilot_requests_total Requests.\n# TYPE qpilot_requests_total counter\nqpilot_requests_total 3\nqpilot_latency{quantile=\"0.99\"} 5\nqpilot_latency_count 10\n";
+        let b = "# HELP qpilot_requests_total Requests.\n# TYPE qpilot_requests_total counter\nqpilot_requests_total 4\nqpilot_latency{quantile=\"0.99\"} 2\nqpilot_latency_count 7\n";
+        let merged = merge_expositions(&[a, b]);
+        assert!(merged.contains("qpilot_requests_total 7"), "{merged}");
+        assert!(
+            merged.contains("qpilot_latency{quantile=\"0.99\"} 5"),
+            "{merged}"
+        );
+        assert!(merged.contains("qpilot_latency_count 17"), "{merged}");
+        assert_eq!(
+            merged.matches("# TYPE qpilot_requests_total").count(),
+            1,
+            "headers deduplicate: {merged}"
+        );
+    }
+
+    #[test]
+    fn aggregate_stats_sums_counters() {
+        let a = "{\"ok\":true,\"op\":\"stats\",\"request_id\":\"r-1\",\"requests\":5,\"hits\":3,\"misses\":2,\"hit_rate\":0.6,\"evictions\":0,\"cache_entries\":2,\"cache_bytes\":100,\"compiles\":2,\"coalesced\":0,\"hedged\":0,\"leader_timeouts\":0,\"shed\":0,\"deadline_misses\":0,\"draining\":false,\"store_persisted\":0,\"store_loaded\":0,\"p50_compile_ms\":1.5,\"p90_compile_ms\":2.0,\"p99_compile_ms\":2.5,\"latency\":{\"hit\":{\"count\":3,\"p50_ms\":0.1,\"p90_ms\":0.2,\"p99_ms\":0.3}},\"workers\":4}".to_string();
+        let b = "{\"ok\":true,\"op\":\"stats\",\"request_id\":\"r-2\",\"requests\":7,\"hits\":1,\"misses\":6,\"hit_rate\":0.142857,\"evictions\":1,\"cache_entries\":6,\"cache_bytes\":300,\"compiles\":6,\"coalesced\":1,\"hedged\":0,\"leader_timeouts\":0,\"shed\":2,\"deadline_misses\":0,\"draining\":true,\"store_persisted\":6,\"store_loaded\":0,\"p50_compile_ms\":1.0,\"p90_compile_ms\":3.0,\"p99_compile_ms\":4.0,\"latency\":{\"hit\":{\"count\":1,\"p50_ms\":0.4,\"p90_ms\":0.5,\"p99_ms\":0.6}},\"workers\":4}".to_string();
+        let merged = aggregate_stats(&[a, b], "agg-1").unwrap();
+        let doc = json::parse(&merged).unwrap();
+        assert_eq!(doc.get("requests").and_then(Value::as_u64), Some(12));
+        assert_eq!(doc.get("hits").and_then(Value::as_u64), Some(4));
+        assert_eq!(doc.get("misses").and_then(Value::as_u64), Some(8));
+        assert_eq!(doc.get("shed").and_then(Value::as_u64), Some(2));
+        assert_eq!(doc.get("workers").and_then(Value::as_u64), Some(8));
+        assert_eq!(doc.get("shards").and_then(Value::as_u64), Some(2));
+        assert_eq!(doc.get("draining").and_then(Value::as_bool), Some(true));
+        let rate = doc.get("hit_rate").and_then(Value::as_f64).unwrap();
+        assert!((rate - 4.0 / 12.0).abs() < 1e-6, "{rate}");
+        assert_eq!(
+            doc.get("p99_compile_ms").and_then(Value::as_f64),
+            Some(4.0),
+            "percentiles take the worst shard"
+        );
+        let hit = doc.get("latency").and_then(|l| l.get("hit")).unwrap();
+        assert_eq!(hit.get("count").and_then(Value::as_u64), Some(4));
+        assert_eq!(doc.get("request_id").and_then(Value::as_str), Some("agg-1"));
+    }
+
+    #[test]
+    fn aggregate_store_stats_sums_counters() {
+        let a = "{\"ok\":true,\"op\":\"store-stats\",\"request_id\":\"r-1\",\"configured\":true,\"loaded\":2,\"adopted\":0,\"discarded\":0,\"persisted\":5,\"removed\":1,\"entries\":6,\"bytes\":600,\"size_evictions\":0,\"journal_lines\":7,\"compactions\":1}".to_string();
+        let b = "{\"ok\":true,\"op\":\"store-stats\",\"request_id\":\"r-2\",\"configured\":false,\"loaded\":0,\"adopted\":0,\"discarded\":0,\"persisted\":0,\"removed\":0,\"entries\":0,\"bytes\":0,\"size_evictions\":0,\"journal_lines\":0,\"compactions\":0}".to_string();
+        let merged = aggregate_store_stats(&[a, b], "agg-2").unwrap();
+        let doc = json::parse(&merged).unwrap();
+        assert_eq!(doc.get("configured").and_then(Value::as_bool), Some(true));
+        assert_eq!(doc.get("persisted").and_then(Value::as_u64), Some(5));
+        assert_eq!(doc.get("entries").and_then(Value::as_u64), Some(6));
+        assert_eq!(doc.get("shards").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn aggregate_surfaces_shard_errors() {
+        let bad = "{\"ok\":false,\"request_id\":\"r-9\",\"path\":\"error\",\"error\":\"boom\"}"
+            .to_string();
+        let err = aggregate_stats(&[bad], "agg-3").unwrap_err();
+        assert!(err.contains("boom"), "{err}");
+    }
+}
