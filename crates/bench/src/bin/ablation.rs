@@ -74,6 +74,7 @@ fn main() {
             QaoaRouterOptions {
                 anchor_candidates: 1,
                 column_extension: false,
+                ..QaoaRouterOptions::default()
             },
         ),
     ];

@@ -189,6 +189,27 @@ fn aux_row(
     }
 }
 
+/// A `routers[]` row for the generic router measured through the same
+/// `Compiler` front door as the specialised ones, so the per-router CI
+/// ceilings (`routing.routers` in the thresholds file) gate all three
+/// routers on like-for-like end-to-end medians.
+fn bench_generic_aux(n: u32, factor: usize, reps: usize) -> AuxRow {
+    let config = FpqaConfig::square_for(n);
+    let workload = Workload::circuit(random_circuit(&RandomCircuitConfig::paper(n, factor, 1)));
+    let mut compiler = Compiler::new();
+    let wall = median_secs(reps, || {
+        compiler
+            .compile(&workload, &config)
+            .expect("generic routes")
+            .into_program()
+    });
+    let program = compiler
+        .compile(&workload, &config)
+        .expect("generic routes")
+        .into_program();
+    aux_row("generic", n, format!("paper_f{factor}"), wall, &program)
+}
+
 fn bench_qsim(n: u32, reps: usize) -> AuxRow {
     let strings = random_pauli_strings(&PauliWorkloadConfig {
         num_qubits: n as usize,
@@ -366,6 +387,7 @@ fn main() {
     let mut aux_rows = Vec::new();
     for &n in &sizes {
         generic_rows.push(bench_generic(n, factor, reps, batch, threads));
+        aux_rows.push(bench_generic_aux(n, factor, reps));
         aux_rows.push(bench_qsim(n, reps));
         aux_rows.push(bench_qaoa(n, reps));
     }

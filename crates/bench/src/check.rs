@@ -21,6 +21,9 @@
 //!     "sizes": [
 //!       {"qubits": 100, "min_speedup": 3.0, "min_alloc_ratio": 20.0,
 //!        "max_allocs_incremental": 1000}
+//!     ],
+//!     "routers": [
+//!       {"router": "qaoa", "qubits": 100, "max_ms": 2.0}
 //!     ]
 //!   },
 //!   "service": {
@@ -139,6 +142,53 @@ pub fn check_routing(report: &Value, thresholds: &Value) -> Vec<String> {
                 violations.push(format!(
                     "{qubits}q: allocs_incremental {got} above ceiling {max}"
                 ));
+            }
+        }
+    }
+    // Per-router latency ceilings (`routing.routers`): each gate names a
+    // router and size, and the report's matching `routers[]` row must
+    // keep its end-to-end median under `max_ms`. Violations name the
+    // router so a CI failure reads as "qaoa regressed", not just "the
+    // wall fell". A gated (router, qubits) pair missing from the report
+    // is itself a violation — a silently-skipped bench must not pass.
+    let router_gates: &[Value] = gates
+        .get("routers")
+        .and_then(Value::as_arr)
+        .unwrap_or_default();
+    if !router_gates.is_empty() {
+        let rows: &[Value] = report
+            .get("routers")
+            .and_then(Value::as_arr)
+            .unwrap_or_default();
+        for gate in router_gates {
+            let (Some(router), Some(qubits)) = (
+                gate.get("router").and_then(Value::as_str),
+                gate.get("qubits").and_then(Value::as_u64),
+            ) else {
+                violations.push("router gate without `router` and `qubits` fields".to_string());
+                continue;
+            };
+            let Some(max_ms) = num(gate, "max_ms") else {
+                continue;
+            };
+            let Some(row) = rows.iter().find(|r| {
+                r.get("router").and_then(Value::as_str) == Some(router)
+                    && r.get("qubits").and_then(Value::as_u64) == Some(qubits)
+            }) else {
+                violations.push(format!(
+                    "routing report has no `routers` row for `{router}` at {qubits}q"
+                ));
+                continue;
+            };
+            match num(row, "wall_s") {
+                Some(wall) if wall * 1e3 > max_ms => violations.push(format!(
+                    "router `{router}` {qubits}q: median {:.3} ms above ceiling {max_ms:.3} ms",
+                    wall * 1e3
+                )),
+                Some(_) => {}
+                None => violations.push(format!(
+                    "`routers` row for `{router}` at {qubits}q has no `wall_s`"
+                )),
             }
         }
     }
@@ -425,6 +475,91 @@ mod tests {
     fn empty_report_is_a_violation() {
         let report = json::parse(r#"{"generic":[]}"#).unwrap();
         assert_eq!(check_routing(&report, &thresholds()).len(), 1);
+    }
+
+    fn router_thresholds() -> Value {
+        json::parse(
+            r#"{"schema":"qpilot.bench.thresholds/v1",
+                "routing":{"require_identical":false,"sizes":[],
+                  "routers":[
+                    {"router":"qaoa","qubits":100,"max_ms":2.0},
+                    {"router":"generic","qubits":100,"max_ms":0.5},
+                    {"router":"qsim","qubits":100,"max_ms":0.25}]}}"#,
+        )
+        .unwrap()
+    }
+
+    fn router_report(qaoa_s: f64, generic_s: f64, qsim_s: f64) -> Value {
+        json::parse(&format!(
+            r#"{{"generic":[{{"qubits":100,"schedules_identical":true}}],
+                 "routers":[
+                   {{"router":"generic","qubits":100,"wall_s":{generic_s}}},
+                   {{"router":"qsim","qubits":100,"wall_s":{qsim_s}}},
+                   {{"router":"qaoa","qubits":100,"wall_s":{qaoa_s}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn router_medians_under_their_ceilings_pass() {
+        let report = router_report(0.0014, 0.0004, 0.0002);
+        assert!(check_routing(&report, &router_thresholds()).is_empty());
+    }
+
+    /// A regressed router trips the wall with a message naming it, so
+    /// the CI failure reads as "qaoa regressed", not just "wall fell".
+    #[test]
+    fn slow_router_trips_the_wall_and_is_named() {
+        let report = router_report(0.0093, 0.0004, 0.0002);
+        let violations = check_routing(&report, &router_thresholds());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("router `qaoa`"), "{violations:?}");
+        assert!(violations[0].contains("9.300 ms"), "{violations:?}");
+        assert!(violations[0].contains("2.000 ms"), "{violations:?}");
+    }
+
+    #[test]
+    fn every_regressed_router_is_reported_independently() {
+        let report = router_report(0.0093, 0.0009, 0.0008);
+        let violations = check_routing(&report, &router_thresholds());
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        for router in ["qaoa", "generic", "qsim"] {
+            assert!(
+                violations.iter().any(|v| v.contains(&format!("`{router}`"))),
+                "{violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_router_row_is_a_violation_when_gated() {
+        // A report that silently skipped the qaoa bench must not pass a
+        // thresholds file that gates it.
+        let report = json::parse(
+            r#"{"generic":[{"qubits":100,"schedules_identical":true}],
+                "routers":[
+                  {"router":"generic","qubits":100,"wall_s":0.0004},
+                  {"router":"qsim","qubits":100,"wall_s":0.0002}]}"#,
+        )
+        .unwrap();
+        let violations = check_routing(&report, &router_thresholds());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("`qaoa`"), "{violations:?}");
+    }
+
+    #[test]
+    fn ungated_router_sizes_are_not_checked() {
+        // 20q rows exist in the report but only 100q is gated.
+        let report = json::parse(
+            r#"{"generic":[{"qubits":100,"schedules_identical":true}],
+                "routers":[
+                  {"router":"qaoa","qubits":20,"wall_s":9.0},
+                  {"router":"generic","qubits":100,"wall_s":0.0004},
+                  {"router":"qsim","qubits":100,"wall_s":0.0002},
+                  {"router":"qaoa","qubits":100,"wall_s":0.0014}]}"#,
+        )
+        .unwrap();
+        assert!(check_routing(&report, &router_thresholds()).is_empty());
     }
 
     fn obs_thresholds() -> Value {

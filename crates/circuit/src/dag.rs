@@ -417,6 +417,60 @@ impl CompactFrontier {
         }
         promoted.sort_unstable();
     }
+
+    /// [`CompactFrontier::execute_batch`], with the promoted successors
+    /// partitioned by `left` as they surface: ids where `left` returns
+    /// `true` go to `promoted_left`, the rest to `promoted_right`, each
+    /// ascending. Routers keep separate 1Q/2Q ready lists, so splitting
+    /// here removes the re-scan (and the re-push of every promotion) from
+    /// the wave loop; two short sorts also beat one mixed sort. Promotion
+    /// order and contents are identical to `execute_batch` followed by a
+    /// partition (differentially tested against the frozen reference
+    /// router).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a gate is not ready or the batch is not
+    /// ascending.
+    #[inline]
+    pub fn execute_batch_split<F: Fn(GateId) -> bool>(
+        &mut self,
+        ids: &[GateId],
+        left: F,
+        promoted_left: &mut Vec<GateId>,
+        promoted_right: &mut Vec<GateId>,
+    ) {
+        promoted_left.clear();
+        promoted_right.clear();
+        if ids.is_empty() {
+            return;
+        }
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "batch must be ascending"
+        );
+        self.remaining -= ids.len();
+        for &id in ids {
+            debug_assert!(
+                self.pending[id] == 0 && !self.executed[id],
+                "gate executed out of dependency order"
+            );
+            self.executed[id] = true;
+            for k in 0..self.succ_len[id] as usize {
+                let s = self.succs[id][k];
+                self.pending[s] -= 1;
+                if self.pending[s] == 0 {
+                    if left(s) {
+                        promoted_left.push(s);
+                    } else {
+                        promoted_right.push(s);
+                    }
+                }
+            }
+        }
+        promoted_left.sort_unstable();
+        promoted_right.sort_unstable();
+    }
 }
 
 impl fmt::Display for Frontier {

@@ -12,6 +12,8 @@
 //! * `SWAP(a,b) = CX(a,b) · CX(b,a) · CX(a,b)`
 //! * `ZZ(θ)     = CX(a,b) · Rz(b,θ) · CX(a,b)` (when not kept native)
 
+use std::borrow::Cow;
+
 use crate::{Circuit, Gate};
 
 /// Options controlling [`to_native`].
@@ -56,6 +58,26 @@ pub fn to_native(circuit: &Circuit, opts: DecomposeOptions) -> Circuit {
 /// Decomposes with default options.
 pub fn to_cz_basis(circuit: &Circuit) -> Circuit {
     to_native(circuit, DecomposeOptions::default())
+}
+
+/// [`to_native`], borrowing the input when it is already native.
+///
+/// Routers lower every incoming circuit defensively, but most workloads
+/// (QAOA layers, Pauli-string circuits, anything produced by another
+/// router) are already in the native set — copying the full gate list
+/// just to change nothing was a measurable slice of small-circuit route
+/// time. The [`is_native`] scan is O(len) with no allocation.
+pub fn to_native_cow(circuit: &Circuit, opts: DecomposeOptions) -> Cow<'_, Circuit> {
+    if is_native(circuit, opts) {
+        Cow::Borrowed(circuit)
+    } else {
+        Cow::Owned(to_native(circuit, opts))
+    }
+}
+
+/// [`to_cz_basis`], borrowing the input when it is already native.
+pub fn to_cz_basis_cow(circuit: &Circuit) -> Cow<'_, Circuit> {
+    to_native_cow(circuit, DecomposeOptions::default())
 }
 
 fn lower_gate(out: &mut Circuit, g: &Gate, opts: DecomposeOptions) {

@@ -323,6 +323,10 @@ impl QaoaOptions {
         QaoaRouterOptions {
             anchor_candidates: self.anchor_candidates.unwrap_or(defaults.anchor_candidates),
             column_extension: self.column_extension.unwrap_or(defaults.column_extension),
+            // Search-execution knobs (threads, pruning) are not part of
+            // the request surface: they cannot change the schedule, so
+            // they stay out of the wire form and the options fingerprint.
+            ..defaults
         }
     }
 }

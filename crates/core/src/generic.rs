@@ -104,7 +104,11 @@ impl GenericRouter {
                 available: config.num_data(),
             });
         }
-        let native = decompose::to_cz_basis(circuit);
+        // Borrow the input when it is already native (QAOA layers, Pauli
+        // circuits, anything pre-lowered): the defensive full-circuit copy
+        // was pure overhead on those workloads.
+        let native = decompose::to_cz_basis_cow(circuit);
+        let native = native.as_ref();
         let cap_geom = config.aod_rows().min(config.aod_cols());
         if cap_geom == 0 && native.two_qubit_count() > 0 {
             return Err(RouteError::AodTooSmall {
@@ -121,7 +125,7 @@ impl GenericRouter {
 
         let mut schedule =
             ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
-        let mut frontier = qpilot_circuit::CompactFrontier::new(&native);
+        let mut frontier = qpilot_circuit::CompactFrontier::new(native);
         let gates = native.gates();
         let mut scratch = RouteScratch::new(config);
         schedule.reserve_stages(4 * native.len());
@@ -179,17 +183,21 @@ impl GenericRouter {
             // the next stage, never mid-stage.
             self.cancel.check()?;
             // Drain ready 1Q gates onto the Raman laser, one stage per
-            // wave (newly promoted 1Q gates form the next wave).
+            // wave (newly promoted 1Q gates form the next wave). The
+            // frontier partitions promotions by arity as they surface, so
+            // the wave loop never re-scans a mixed promotion list; the
+            // next wave is double-buffered by a pointer swap.
             while !scratch.ready_1q.is_empty() {
                 schedule.raman(scratch.ready_1q.iter().map(|&id| gates[id]));
-                frontier.execute_batch(&scratch.ready_1q, &mut scratch.promoted);
-                scratch.ready_1q.clear();
-                for &p in &scratch.promoted {
-                    if gates[p].is_single_qubit() {
-                        scratch.ready_1q.push(p);
-                    } else {
-                        insert_candidate(&mut scratch.candidates, &keys, p);
-                    }
+                frontier.execute_batch_split(
+                    &scratch.ready_1q,
+                    |id| gates[id].is_single_qubit(),
+                    &mut scratch.next_1q,
+                    &mut scratch.promoted_2q,
+                );
+                std::mem::swap(&mut scratch.ready_1q, &mut scratch.next_1q);
+                for &p in &scratch.promoted_2q {
+                    insert_candidate(&mut scratch.candidates, &keys, p);
                 }
                 // Promotions arrive sorted, so `ready_1q` stays ascending.
             }
@@ -239,13 +247,18 @@ impl GenericRouter {
                 .extend(scratch.subset.iter().map(|&i| scratch.candidates[i]));
             scratch.exec_ids.sort_unstable();
             remove_selected(&mut scratch.candidates, &scratch.subset);
-            frontier.execute_batch(&scratch.exec_ids, &mut scratch.promoted);
-            for &p in &scratch.promoted {
-                if gates[p].is_single_qubit() {
-                    scratch.ready_1q.push(p);
-                } else {
-                    insert_candidate(&mut scratch.candidates, &keys, p);
-                }
+            // `ready_1q` is empty here (the wave loop drained it), so the
+            // swap installs the promoted 1Q gates as the next wave.
+            frontier.execute_batch_split(
+                &scratch.exec_ids,
+                |id| gates[id].is_single_qubit(),
+                &mut scratch.next_1q,
+                &mut scratch.promoted_2q,
+            );
+            debug_assert!(scratch.ready_1q.is_empty());
+            std::mem::swap(&mut scratch.ready_1q, &mut scratch.next_1q);
+            for &p in &scratch.promoted_2q {
+                insert_candidate(&mut scratch.candidates, &keys, p);
             }
             crate::obs::lap(&mut clock, &mut t_batch);
         }
@@ -300,10 +313,12 @@ pub(crate) struct StagedGate {
 #[derive(Debug)]
 struct RouteScratch {
     ready_1q: Vec<usize>,
+    /// Swap partner for `ready_1q`: the 1Q side of each split promotion.
+    next_1q: Vec<usize>,
     candidates: Vec<usize>,
     subset: Vec<usize>,
     exec_ids: Vec<usize>,
-    promoted: Vec<usize>,
+    promoted_2q: Vec<usize>,
     staged: Vec<StagedGate>,
     legality: LegalitySet,
     emit: EmitScratch,
@@ -313,10 +328,11 @@ impl RouteScratch {
     fn new(config: &FpqaConfig) -> Self {
         RouteScratch {
             ready_1q: Vec::new(),
+            next_1q: Vec::new(),
             candidates: Vec::new(),
             subset: Vec::new(),
             exec_ids: Vec::new(),
-            promoted: Vec::new(),
+            promoted_2q: Vec::new(),
             staged: Vec::new(),
             legality: LegalitySet::new(config.slm().rows(), config.slm().cols()),
             emit: EmitScratch::for_config(config),

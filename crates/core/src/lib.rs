@@ -53,6 +53,7 @@ pub mod lower;
 pub mod mapper;
 mod motion;
 pub mod obs;
+pub mod par;
 pub mod qaoa;
 pub mod qsim;
 pub mod render;

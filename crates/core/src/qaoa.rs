@@ -45,6 +45,18 @@ pub struct QaoaRouterOptions {
     pub anchor_candidates: usize,
     /// Whether to grow the column pattern after the row sweep.
     pub column_extension: bool,
+    /// Worker threads for candidate-stage evaluation (the per-stage
+    /// argmax over anchors × seed modes). Purely an execution policy:
+    /// the argmax tie-breaks by candidate enumeration order regardless
+    /// of completion order, so any value produces byte-identical
+    /// schedules (differentially tested). Not part of the compile
+    /// fingerprint. Defaults to `1` (serial).
+    pub search_threads: usize,
+    /// Skip anchors whose bucket edge set is a subset of the current
+    /// best candidate's matched set (they seed no column pattern the
+    /// best stage does not already execute). Ablation knob; not part of
+    /// the compile fingerprint.
+    pub prune_dominated: bool,
 }
 
 impl Default for QaoaRouterOptions {
@@ -52,6 +64,8 @@ impl Default for QaoaRouterOptions {
         QaoaRouterOptions {
             anchor_candidates: 8,
             column_extension: true,
+            search_threads: 1,
+            prune_dominated: true,
         }
     }
 }
@@ -258,25 +272,43 @@ impl QaoaRouter {
         // Stage loop. Edge buckets are built once and maintained
         // incrementally as edges execute (the pre-PR code re-bucketed all
         // remaining edges every stage, which dominated routing time on
-        // large graphs — see ROADMAP "Perf open items").
+        // large graphs — see ROADMAP "Perf open items"). The bitset
+        // mirrors `remaining` for O(1) membership in the row-sweep inner
+        // loop; the memo carries first-row matchings across stages.
         let mut buckets = EdgeBuckets::build(&remaining, config);
+        let mut edge_bits = EdgeBits::new(num_qubits as usize);
+        for &(u, v) in &remaining {
+            edge_bits.insert(u, v);
+        }
+        let geom = Geometry::build(config, num_qubits);
+        let mut memo = FirstRowMemo::default();
+        let mut oriented_scratch: Vec<(u32, u32, u32, u32)> = Vec::new();
         prof.lap_setup();
         while !remaining.is_empty() {
             // Stage boundary: stop cleanly before solving the next stage.
             self.cancel.check()?;
-            let solution = solve_stage(
-                &remaining,
-                &buckets,
+            oriented_scratch.clear();
+            oriented_scratch.extend(buckets.oriented.iter().map(|&(src, tgt)| {
+                (src, tgt, geom.coord(src).1 as u32, geom.coord(tgt).1 as u32)
+            }));
+            let ctx = SearchContext {
+                remaining: &remaining,
+                edge_bits: &edge_bits,
+                buckets: &buckets,
+                geom: &geom,
+                oriented: &oriented_scratch,
                 config,
                 num_qubits,
                 used_rows,
-                used_cols,
-                &self.options,
-            );
+                slm_rows: config.slm().rows(),
+                options: &self.options,
+            };
+            let solution = solve_stage(&ctx, &mut memo);
             debug_assert!(!solution.matched.is_empty(), "stage must match >= 1 edge");
             for &(u, v) in &solution.matched {
                 let e = (u.min(v), u.max(v));
                 remaining.remove(&e);
+                edge_bits.remove(e.0, e.1);
                 buckets.remove(e.0, e.1, config);
             }
             prof.lap_select();
@@ -376,22 +408,35 @@ struct EdgeBuckets {
     /// column-extension candidate stream, maintained here so stage
     /// construction never re-collects and re-sorts the edge set.
     oriented: BTreeSet<(u32, u32)>,
+    /// For each ancilla home row, the SLM target rows with a live bucket,
+    /// sorted ascending. The row sweeps scan only these: a `(aod_row, y)`
+    /// placement can match an edge iff bucket `(aod_row, y)` is non-empty
+    /// (a matched edge's source sits on `aod_row` and its target on `y` —
+    /// exactly that bucket's signature), so skipping empty rows is
+    /// outcome-exact. Plain sorted `Vec`s: the sets are at most
+    /// `slm_rows` long, so ordered insert/remove beats tree overhead.
+    rows_of: HashMap<usize, Vec<usize>>,
+    /// Per-bucket modification stamps for [`FirstRowMemo`] invalidation.
+    mods: HashMap<(usize, usize), u64>,
+    tick: u64,
 }
 
 impl EdgeBuckets {
     /// Buckets every remaining (normalised) edge, both orientations.
     fn build(remaining: &BTreeSet<(u32, u32)>, config: &FpqaConfig) -> Self {
-        let mut map: HashMap<(usize, usize), BTreeSet<(u32, u32)>> = HashMap::new();
-        let mut oriented = BTreeSet::new();
+        let mut buckets = EdgeBuckets::default();
         for &(u, v) in remaining {
             for (src, tgt) in [(u, v), (v, u)] {
-                map.entry((config.coord_of(src).row, config.coord_of(tgt).row))
-                    .or_default()
-                    .insert((src, tgt));
-                oriented.insert((src, tgt));
+                let key = (config.coord_of(src).row, config.coord_of(tgt).row);
+                buckets.map.entry(key).or_default().insert((src, tgt));
+                let rows = buckets.rows_of.entry(key.0).or_default();
+                if let Err(i) = rows.binary_search(&key.1) {
+                    rows.insert(i, key.1);
+                }
+                buckets.oriented.insert((src, tgt));
             }
         }
-        EdgeBuckets { map, oriented }
+        buckets
     }
 
     /// Removes an executed edge's two orientations; empty buckets vanish
@@ -400,12 +445,235 @@ impl EdgeBuckets {
         for (src, tgt) in [(u, v), (v, u)] {
             let key = (config.coord_of(src).row, config.coord_of(tgt).row);
             if let Some(bucket) = self.map.get_mut(&key) {
-                bucket.remove(&(src, tgt));
+                if bucket.remove(&(src, tgt)) {
+                    self.tick += 1;
+                    self.mods.insert(key, self.tick);
+                }
                 if bucket.is_empty() {
                     self.map.remove(&key);
+                    if let Some(rows) = self.rows_of.get_mut(&key.0) {
+                        if let Ok(i) = rows.binary_search(&key.1) {
+                            rows.remove(i);
+                        }
+                        if rows.is_empty() {
+                            self.rows_of.remove(&key.0);
+                        }
+                    }
                 }
             }
             self.oriented.remove(&(src, tgt));
+        }
+    }
+
+    /// The bucket's modification stamp (0 = untouched since build).
+    fn stamp(&self, key: (usize, usize)) -> u64 {
+        self.mods.get(&key).copied().unwrap_or(0)
+    }
+}
+
+/// Normalised-edge membership bitset, used both for the long-lived
+/// mirror of the `remaining` set and for the per-candidate matched sets:
+/// the row sweeps and the column-extension legality scan test edge
+/// membership in their innermost loops, and a flat bit lookup beats the
+/// `BTreeSet` descent / SipHash `HashSet` probe that used to sit there.
+#[derive(Debug, Clone)]
+struct EdgeBits {
+    words: Vec<u64>,
+    stride: usize,
+}
+
+impl EdgeBits {
+    fn new(num_qubits: usize) -> Self {
+        EdgeBits {
+            words: vec![0; (num_qubits * num_qubits).div_ceil(64)],
+            stride: num_qubits,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `true` iff the edge is in `self` and not in `other` ("fresh"):
+    /// both bitsets share a stride, so the bit index is computed once for
+    /// the paired probe the sweep/extension inner loops make.
+    #[inline]
+    fn fresh(&self, other: &EdgeBits, u: u32, v: u32) -> bool {
+        debug_assert_eq!(self.stride, other.stride);
+        let (w, m) = self.bit(u, v);
+        self.words[w] & m != 0 && other.words[w] & m == 0
+    }
+
+    #[inline]
+    fn bit(&self, u: u32, v: u32) -> (usize, u64) {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let idx = a as usize * self.stride + b as usize;
+        (idx / 64, 1u64 << (idx % 64))
+    }
+
+    fn insert(&mut self, u: u32, v: u32) {
+        let (w, m) = self.bit(u, v);
+        self.words[w] |= m;
+    }
+
+    fn remove(&mut self, u: u32, v: u32) {
+        let (w, m) = self.bit(u, v);
+        self.words[w] &= !m;
+    }
+
+    #[inline]
+    fn contains(&self, u: u32, v: u32) -> bool {
+        let (w, m) = self.bit(u, v);
+        self.words[w] & m != 0
+    }
+}
+
+/// Flat per-route geometry cache: qubit → grid coordinate and site →
+/// qubit, replacing the division in [`FpqaConfig::coord_of`] and the
+/// asserted multiply in [`FpqaConfig::qubit_at`] on the per-cross hot
+/// path (both run once per occupied cross per scored row).
+struct Geometry {
+    /// `(row, col)` per data qubit.
+    coords: Vec<(usize, usize)>,
+    /// Row-major `slm_rows × slm_cols` grid; `u32::MAX` marks a site
+    /// with no data qubit.
+    grid: Vec<u32>,
+    cols: usize,
+}
+
+impl Geometry {
+    fn build(config: &FpqaConfig, num_qubits: u32) -> Self {
+        let (rows, cols) = (config.slm().rows(), config.slm().cols());
+        let mut grid = vec![u32::MAX; rows * cols];
+        let mut coords = Vec::with_capacity(num_qubits as usize);
+        for q in 0..num_qubits {
+            let c = config.coord_of(q);
+            coords.push((c.row, c.col));
+            grid[c.row * cols + c.col] = q;
+        }
+        Geometry { coords, grid, cols }
+    }
+
+    #[inline]
+    fn coord(&self, q: u32) -> (usize, usize) {
+        self.coords[q as usize]
+    }
+
+    /// Data qubit at `(row, col)`; rows/cols seen by the search always
+    /// come from live bucket keys or active column patterns, both inside
+    /// the grid.
+    #[inline]
+    fn qubit_at(&self, row: usize, col: usize) -> Option<u32> {
+        let q = self.grid[row * self.cols + col];
+        (q != u32::MAX).then_some(q)
+    }
+}
+
+/// Read-only state shared by every candidate evaluation of one stage.
+/// `Sync` by construction, so candidates can fan out across worker
+/// threads ([`crate::par::parallel_map`]).
+struct SearchContext<'a> {
+    remaining: &'a BTreeSet<(u32, u32)>,
+    edge_bits: &'a EdgeBits,
+    buckets: &'a EdgeBuckets,
+    geom: &'a Geometry,
+    /// The stage's column-extension candidate stream — `buckets.oriented`
+    /// flattened once per stage with each edge's `(home col, target col)`
+    /// precomputed, since every candidate of the stage walks the same
+    /// stream.
+    oriented: &'a [(u32, u32, u32, u32)],
+    config: &'a FpqaConfig,
+    num_qubits: u32,
+    used_rows: usize,
+    slm_rows: usize,
+    options: &'a QaoaRouterOptions,
+}
+
+/// First-row matchings memoised per anchor bucket across stages: the
+/// greedy column insertion depends only on the bucket's contents (sorted
+/// iteration) and static geometry, so it is recomputed only when the
+/// bucket's modification stamp moves — on a 3-regular graph most anchor
+/// buckets survive a committed stage untouched.
+#[derive(Debug, Default)]
+struct FirstRowMemo {
+    map: HashMap<(usize, usize), (u64, PairMatcher)>,
+}
+
+impl FirstRowMemo {
+    fn get(&mut self, buckets: &EdgeBuckets, config: &FpqaConfig, key: (usize, usize)) -> &PairMatcher {
+        let stamp = buckets.stamp(key);
+        let entry = self
+            .map
+            .entry(key)
+            .or_insert_with(|| (u64::MAX, PairMatcher::new()));
+        if entry.0 != stamp {
+            entry.1 = first_row_matching(&buckets.map[&key], config);
+            entry.0 = stamp;
+        }
+        &entry.1
+    }
+}
+
+/// The maximum greedy first-row matching over a bucket: column insertion
+/// in sorted edge order; each (normalised) edge may seed one orientation
+/// only — both at once would execute it twice in the same pulse.
+fn first_row_matching(bucket: &BTreeSet<(u32, u32)>, config: &FpqaConfig) -> PairMatcher {
+    let mut cols = PairMatcher::new();
+    let mut seeded: HashSet<(u32, u32)> = HashSet::new();
+    for &(src, tgt) in bucket {
+        let e = (src.min(tgt), src.max(tgt));
+        if seeded.contains(&e) {
+            continue;
+        }
+        if cols.insert(config.coord_of(src).col, config.coord_of(tgt).col) {
+            seeded.insert(e);
+        }
+    }
+    cols
+}
+
+/// The sparse seed: only the bucket's first edge opens the column
+/// pattern, which often lets *more rows* match on sparse graphs. (An
+/// empty matcher accepts any first pair, so this is exactly the
+/// `seed_all = false` prefix of the greedy scan.)
+fn sparse_first_row(bucket: &BTreeSet<(u32, u32)>, config: &FpqaConfig) -> PairMatcher {
+    let mut cols = PairMatcher::new();
+    if let Some(&(src, tgt)) = bucket.iter().next() {
+        let inserted = cols.insert(config.coord_of(src).col, config.coord_of(tgt).col);
+        debug_assert!(inserted, "empty matcher accepts any pair");
+    }
+    cols
+}
+
+/// One candidate of a stage's argmax: an anchor bucket plus a seed mode,
+/// carrying its pre-built first-row column pattern.
+struct StageCandidate {
+    r0: usize,
+    y0: usize,
+    seed_all: bool,
+    cols: PairMatcher,
+}
+
+/// Reusable per-candidate working buffers. The serial walk builds ~16
+/// candidates per stage; sharing one scratch across them (and across
+/// stages) keeps allocation out of the search. Parallel workers allocate
+/// their own — the contents never outlive one [`build_candidate`] call,
+/// so reuse is invisible to the result.
+struct CandidateScratch {
+    /// Edges matched by the candidate under construction.
+    stage_matched: EdgeBits,
+    /// Snapshot of `stage_matched` taken before column extension.
+    pre_extension: EdgeBits,
+    /// Column-pair evaluation stamps (`usize::MAX` = never evaluated).
+    evaluated: Vec<usize>,
+}
+
+impl CandidateScratch {
+    fn new(num_qubits: u32, slm_cols: usize) -> Self {
+        CandidateScratch {
+            stage_matched: EdgeBits::new(num_qubits as usize),
+            pre_extension: EdgeBits::new(num_qubits as usize),
+            evaluated: vec![usize::MAX; slm_cols * slm_cols],
         }
     }
 }
@@ -415,141 +683,192 @@ impl EdgeBuckets {
 /// row) buckets of remaining edges, build candidate stages (dense and
 /// sparse column seeds, plus a post-sweep column-extension pass) and keep
 /// the one executing the most edges.
-#[allow(clippy::too_many_arguments)]
-fn solve_stage(
-    remaining: &BTreeSet<(u32, u32)>,
-    buckets: &EdgeBuckets,
-    config: &FpqaConfig,
-    num_qubits: u32,
-    used_rows: usize,
-    used_cols: usize,
-    options: &QaoaRouterOptions,
-) -> StageSolution {
-    let coord = |q: u32| config.coord_of(q);
-
+///
+/// The search is a pure argmax over the candidate list, so three
+/// accelerations leave the chosen stage byte-identical (differentially
+/// tested against the pre-optimisation goldens):
+///
+/// * first-row matchings come from [`FirstRowMemo`] instead of being
+///   rebuilt per stage;
+/// * with [`QaoaRouterOptions::prune_dominated`], anchors whose bucket
+///   edge set is a subset of the current best candidate's matched set
+///   are skipped — the walk applies the same skip in every execution
+///   mode, so the selection stays deterministic;
+/// * with [`QaoaRouterOptions::search_threads`] > 1 candidates are
+///   evaluated by [`crate::par::parallel_map`] and the winner is chosen
+///   by a serial walk in enumeration order — ties break toward the
+///   earliest candidate exactly as the serial loop always did,
+///   regardless of completion order.
+fn solve_stage(ctx: &SearchContext<'_>, memo: &mut FirstRowMemo) -> StageSolution {
     // Candidate anchors: the densest buckets, plus the bucket holding the
     // globally smallest edge (the paper's e0) as a deterministic fallback.
-    let &(a0, b0) = remaining.iter().next().expect("non-empty edge set");
-    let mut keys: Vec<(usize, usize)> = buckets.map.keys().copied().collect();
-    keys.sort_by_key(|k| (std::cmp::Reverse(buckets.map[k].len()), k.0, k.1));
-    keys.truncate(options.anchor_candidates.max(1));
-    let e0_key = (coord(a0).row, coord(b0).row);
+    // Bucket sizes ride along in the sort key (one map pass) rather than
+    // being re-fetched inside the comparator.
+    let &(a0, b0) = ctx.remaining.iter().next().expect("non-empty edge set");
+    // Bounded selection instead of a full sort: one pass keeps the k
+    // smallest sort keys in a sorted scratch array (most entries lose a
+    // single comparison against the current k-th). The key order is
+    // total ((r, y) is unique per bucket), so the selected keys — and
+    // with them the argmax — are exactly the full sort's first k.
+    let k = ctx.options.anchor_candidates.max(1);
+    let mut keyed: Vec<(std::cmp::Reverse<usize>, usize, usize)> = Vec::with_capacity(k + 1);
+    for (key, bucket) in ctx.buckets.map.iter() {
+        let entry = (std::cmp::Reverse(bucket.len()), key.0, key.1);
+        if keyed.len() == k {
+            if entry >= *keyed.last().expect("k >= 1") {
+                continue;
+            }
+            keyed.pop();
+        }
+        let at = keyed.partition_point(|e| *e < entry);
+        keyed.insert(at, entry);
+    }
+    let mut keys: Vec<(usize, usize)> = keyed.into_iter().map(|(_, r, y)| (r, y)).collect();
+    let e0_key = (ctx.geom.coord(a0).0, ctx.geom.coord(b0).0);
     if !keys.contains(&e0_key) {
         keys.push(e0_key);
     }
 
+    // Enumerate candidates in the fixed argmax order: sorted keys × seed
+    // modes (dense first). The first-row patterns are resolved up front
+    // (memo access needs `&mut`, candidate evaluation is `&`-parallel).
+    let mut candidates: Vec<StageCandidate> = Vec::with_capacity(keys.len() * 2);
+    for &key in &keys {
+        let dense = memo.get(ctx.buckets, ctx.config, key).clone();
+        let sparse = sparse_first_row(&ctx.buckets.map[&key], ctx.config);
+        // A sparse seed equal to the dense one (single-insertion bucket)
+        // builds the identical candidate; under strict-improvement
+        // selection the later duplicate can never win, so it is skipped
+        // without changing the argmax.
+        let distinct = sparse.pairs() != dense.pairs();
+        candidates.push(StageCandidate {
+            r0: key.0,
+            y0: key.1,
+            seed_all: true,
+            cols: dense,
+        });
+        if distinct {
+            candidates.push(StageCandidate {
+                r0: key.0,
+                y0: key.1,
+                seed_all: false,
+                cols: sparse,
+            });
+        }
+    }
+
+    // Parallel mode solves every candidate eagerly (pruned ones waste a
+    // worker slot but cannot change the outcome); serial mode solves
+    // lazily inside the selection walk so pruning skips real work.
+    let threads = ctx.options.search_threads.max(1);
+    let slm_cols = ctx.config.slm().cols();
+    let mut solved: Vec<Option<StageSolution>> = if threads > 1 && candidates.len() > 1 {
+        crate::par::parallel_map(&candidates, threads, |c| {
+            let mut scratch = CandidateScratch::new(ctx.num_qubits, slm_cols);
+            Some(build_candidate(ctx, c.r0, c.y0, c.cols.clone(), &mut scratch))
+        })
+    } else {
+        candidates.iter().map(|_| None).collect()
+    };
+    let mut scratch = CandidateScratch::new(ctx.num_qubits, slm_cols);
+
+    // Selection walk, identical in every execution mode: anchors are
+    // visited in enumeration order, pruned anchors are skipped before
+    // their candidates are considered, and a candidate replaces the best
+    // only when strictly better (first-wins tie-breaking).
     let mut best: Option<StageSolution> = None;
-    for key in keys {
-        for seed_all in [true, false] {
-            let candidate = solve_stage_at(
-                remaining,
-                config,
-                num_qubits,
-                used_rows,
-                key.0,
-                key.1,
-                &buckets.map[&key],
-                &buckets.oriented,
-                seed_all,
-                options,
-            );
-            if best
-                .as_ref()
-                .map(|b| candidate.matched.len() > b.matched.len())
-                .unwrap_or(true)
-            {
-                best = Some(candidate);
+    let mut best_matched = EdgeBits::new(ctx.num_qubits as usize);
+    let mut anchor_pruned = false;
+    for (i, cand) in candidates.iter().enumerate() {
+        if cand.seed_all {
+            // Anchor boundary: decide the prune once per anchor, before
+            // either seed mode is considered.
+            anchor_pruned = ctx.options.prune_dominated
+                && best.is_some()
+                && ctx.buckets.map[&(cand.r0, cand.y0)]
+                    .iter()
+                    .all(|&(u, v)| best_matched.contains(u, v));
+        }
+        if anchor_pruned {
+            continue;
+        }
+        let candidate = solved[i].take().unwrap_or_else(|| {
+            build_candidate(ctx, cand.r0, cand.y0, cand.cols.clone(), &mut scratch)
+        });
+        if best
+            .as_ref()
+            .map(|b| candidate.matched.len() > b.matched.len())
+            .unwrap_or(true)
+        {
+            best_matched.clear();
+            for &(u, v) in &candidate.matched {
+                best_matched.insert(u, v);
             }
+            best = Some(candidate);
         }
     }
     let sol = best.expect("at least the e0 bucket yields a stage");
     debug_assert!(!sol.matched.is_empty());
-    let _ = used_cols;
     sol
 }
 
 /// Builds one candidate stage anchored at AOD row `r0` targeting SLM row
-/// `y0`. With `seed_all` the first row greedily takes every insertable
-/// bucket edge (maximum first-row matching); otherwise only the bucket's
-/// first edge seeds the column pattern, which often lets *more rows* match
-/// on sparse graphs. A final pass tries to grow the column pattern against
-/// the committed rows.
-#[allow(clippy::too_many_arguments)]
-fn solve_stage_at(
-    remaining: &BTreeSet<(u32, u32)>,
-    config: &FpqaConfig,
-    num_qubits: u32,
-    used_rows: usize,
+/// `y0`, from a pre-built first-row column pattern: commit the anchor
+/// row, sweep the remaining AOD rows down then up, then try to grow the
+/// column pattern against the committed rows.
+fn build_candidate(
+    ctx: &SearchContext<'_>,
     r0: usize,
     y0: usize,
-    bucket: &BTreeSet<(u32, u32)>,
-    oriented: &BTreeSet<(u32, u32)>,
-    seed_all: bool,
-    options: &QaoaRouterOptions,
+    active_cols: PairMatcher,
+    scratch: &mut CandidateScratch,
 ) -> StageSolution {
-    let coord = |q: u32| config.coord_of(q);
     let norm = |u: u32, v: u32| (u.min(v), u.max(v));
-    let qubit_at = |row: usize, col: usize| -> Option<u32> {
-        config
-            .qubit_at(GridCoord::new(row, col))
-            .filter(|&q| q < num_qubits)
+    let qubit_at = |row: usize, col: usize| -> Option<u32> { ctx.geom.qubit_at(row, col) };
+    let used_rows = ctx.used_rows;
+    let mut sol = StageSolution {
+        active_cols,
+        ..StageSolution::default()
     };
-    let mut sol = StageSolution::default();
 
-    // First-row matching: greedy column insertion over the bucket's edges
-    // in sorted order (`BTreeSet` iteration). Each (normalised) edge may
-    // seed one orientation only -- both at once would execute it twice in
-    // the same pulse.
-    let mut seeded: HashSet<(u32, u32)> = HashSet::new();
-    for &(src, tgt) in bucket {
-        let e = norm(src, tgt);
-        if seeded.contains(&e) {
-            continue;
-        }
-        let (hc, tc) = (coord(src).col, coord(tgt).col);
-        if sol.active_cols.insert(hc, tc) {
-            seeded.insert(e);
-            if !seed_all {
-                break;
-            }
-        }
-    }
-
-    // Row sweep. Matched set is tracked to reject double execution.
-    let mut stage_matched: HashSet<(u32, u32)> = HashSet::new();
+    // Row sweep. Matched set is tracked to reject double execution — as
+    // a bitset: the score closure probes it once per occupied cross in
+    // the innermost sweep loop.
+    let CandidateScratch {
+        stage_matched,
+        pre_extension,
+        evaluated,
+    } = scratch;
+    stage_matched.clear();
 
     // Commit the anchor row's matches.
     sol.active_rows.push((r0, y0));
     for &(hc, tc) in sol.active_cols.pairs() {
         if let (Some(u), Some(v)) = (qubit_at(r0, hc), qubit_at(y0, tc)) {
-            stage_matched.insert(norm(u, v));
+            stage_matched.insert(u, v);
             sol.matched.push((u, v));
         }
     }
 
-    let slm_rows = config.slm().rows();
+    let slm_rows = ctx.slm_rows;
     // Scores a candidate (aod_row, y) placement: Some(count) iff every
     // occupied cross is a fresh remaining edge.
-    let score = |aod_row: usize,
-                 y: usize,
-                 cols: &PairMatcher,
-                 matched: &HashSet<(u32, u32)>|
-     -> Option<usize> {
-        let mut count = 0usize;
-        for &(hc, tc) in cols.pairs() {
-            if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
-                let e = norm(u, v);
-                if remaining.contains(&e) && !matched.contains(&e) {
-                    count += 1;
-                } else {
-                    return None;
+    let score =
+        |aod_row: usize, y: usize, cols: &PairMatcher, matched: &EdgeBits| -> Option<usize> {
+            let mut count = 0usize;
+            for &(hc, tc) in cols.pairs() {
+                if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
+                    if ctx.edge_bits.fresh(matched, u, v) {
+                        count += 1;
+                    } else {
+                        return None;
+                    }
                 }
             }
-        }
-        Some(count)
-    };
+            Some(count)
+        };
     let commit = |sol: &mut StageSolution,
-                  matched: &mut HashSet<(u32, u32)>,
+                  matched: &mut EdgeBits,
                   aod_row: usize,
                   y: usize,
                   front: bool| {
@@ -560,27 +879,45 @@ fn solve_stage_at(
         }
         for &(hc, tc) in sol.active_cols.pairs() {
             if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
-                matched.insert(norm(u, v));
+                matched.insert(u, v);
                 sol.matched.push((u, v));
             }
         }
+    };
+
+    // The sweeps score only SLM rows with a live `(aod_row, y)` bucket: a
+    // placement matching `count > 0` edges needs an edge whose source
+    // home row is `aod_row` and target row is `y` — exactly that bucket's
+    // signature — so empty rows can only ever score 0 and never win over
+    // `None` under the strict `count > 0` guard.
+    let live_rows_of = |aod_row: usize| -> &[usize] {
+        ctx.buckets
+            .rows_of
+            .get(&aod_row)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     };
 
     // Downward sweep: AOD rows below the anchor map to SLM rows below y0.
     let mut last_y = y0;
     let mut parked_since = 0usize;
     for aod_row in (r0 + 1)..used_rows {
+        let live_rows = live_rows_of(aod_row);
         let min_y = last_y + parked_since.max(1);
+        let start = live_rows.partition_point(|&y| y < min_y);
         let mut best: Option<(usize, usize)> = None; // (count, y)
-        for y in min_y..slm_rows {
-            if let Some(count) = score(aod_row, y, &sol.active_cols, &stage_matched) {
+        for &y in &live_rows[start..] {
+            if y >= slm_rows {
+                break;
+            }
+            if let Some(count) = score(aod_row, y, &sol.active_cols, stage_matched) {
                 if count > 0 && best.map(|(c, _)| count > c).unwrap_or(true) {
                     best = Some((count, y));
                 }
             }
         }
         if let Some((_, y)) = best {
-            commit(&mut sol, &mut stage_matched, aod_row, y, false);
+            commit(&mut sol, stage_matched, aod_row, y, false);
             last_y = y;
             parked_since = 0;
         } else {
@@ -589,23 +926,27 @@ fn solve_stage_at(
     }
 
     // Upward sweep: AOD rows above the anchor map to SLM rows above y0,
-    // with the mirrored gap-capacity rule for parked rows.
+    // with the mirrored gap-capacity rule for parked rows. Ties must
+    // break toward the *largest* y (the old scan walked y downward), so
+    // the live-row slice is iterated in reverse.
     let mut first_y = y0 as isize;
     let mut parked_above = 0isize;
     for aod_row in (0..r0).rev() {
+        let live_rows = live_rows_of(aod_row);
         let max_y = first_y - parked_above.max(1);
         let mut best: Option<(usize, usize)> = None;
-        let mut y = max_y;
-        while y >= 0 {
-            if let Some(count) = score(aod_row, y as usize, &sol.active_cols, &stage_matched) {
-                if count > 0 && best.map(|(c, _)| count > c).unwrap_or(true) {
-                    best = Some((count, y as usize));
+        if max_y >= 0 {
+            let end = live_rows.partition_point(|&y| y <= max_y as usize);
+            for &y in live_rows[..end].iter().rev() {
+                if let Some(count) = score(aod_row, y, &sol.active_cols, stage_matched) {
+                    if count > 0 && best.map(|(c, _)| count > c).unwrap_or(true) {
+                        best = Some((count, y));
+                    }
                 }
             }
-            y -= 1;
         }
         if let Some((_, y)) = best {
-            commit(&mut sol, &mut stage_matched, aod_row, y, true);
+            commit(&mut sol, stage_matched, aod_row, y, true);
             first_y = y as isize;
             parked_above = 0;
         } else {
@@ -620,25 +961,46 @@ fn solve_stage_at(
     // snapshot keeps the original semantics (candidates were collected
     // against the pre-extension matched set, while per-row legality uses
     // the live one).
-    if !options.column_extension {
+    if !ctx.options.column_extension {
         return sol;
     }
-    let pre_extension = stage_matched.clone();
-    for &(src, tgt) in oriented {
-        if pre_extension.contains(&norm(src, tgt)) {
+    pre_extension.words.copy_from_slice(&stage_matched.words);
+    // Distinct oriented edges can map onto the same `(home col, target
+    // col)` pair; re-evaluating the pair with unchanged matcher state is
+    // a no-op, so evaluations are version-stamped by the committed column
+    // count (the only state — `active_cols` and `stage_matched` — that
+    // the legality scan reads moves exactly when a pair commits). The
+    // stamps live in a flat per-column-pair array: `usize::MAX` = never
+    // evaluated.
+    let slm_cols = ctx.config.slm().cols();
+    evaluated.fill(usize::MAX);
+    let mut version = sol.active_cols.pairs().len();
+    let mut new_matches: Vec<(u32, u32)> = Vec::new();
+    for &(src, tgt, hc, tc) in ctx.oriented {
+        // Stamp test first: it is one load and rejects every repeat of an
+        // already-evaluated pair, which is most of the stream. The order
+        // swap with the matched-edge test cannot change the outcome —
+        // the stamp is only *written* for unmatched proposing edges, so
+        // a pair still gets its evaluation at the first unmatched
+        // proposal, exactly as before.
+        let (hc, tc) = (hc as usize, tc as usize);
+        let stamp = &mut evaluated[hc * slm_cols + tc];
+        if *stamp == version {
             continue;
         }
-        let (hc, tc) = (coord(src).col, coord(tgt).col);
+        if pre_extension.contains(src, tgt) {
+            continue;
+        }
+        *stamp = version;
         if !sol.active_cols.can_insert(hc, tc) {
             continue;
         }
-        let mut new_matches: Vec<(u32, u32)> = Vec::new();
+        new_matches.clear();
         let mut ok = true;
         for &(aod_row, y) in &sol.active_rows {
             if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
                 let e = norm(u, v);
-                if remaining.contains(&e)
-                    && !stage_matched.contains(&e)
+                if ctx.edge_bits.fresh(stage_matched, u, v)
                     && !new_matches.iter().any(|&(a, b)| norm(a, b) == e)
                 {
                     new_matches.push((u, v));
@@ -651,8 +1013,9 @@ fn solve_stage_at(
         if ok && !new_matches.is_empty() {
             let inserted = sol.active_cols.insert(hc, tc);
             debug_assert!(inserted, "can_insert pre-checked");
+            version = sol.active_cols.pairs().len();
             for &(u, v) in &new_matches {
-                stage_matched.insert(norm(u, v));
+                stage_matched.insert(u, v);
                 sol.matched.push((u, v));
             }
         }

@@ -469,20 +469,29 @@ fn render_dashboard(doc: &Value, prev: Option<&(std::time::Instant, Value)>) {
         stat_f64(doc, "p99_compile_ms"),
     );
     if let Some(latency) = doc.get("latency") {
+        // The daemon omits rows for paths that never served a request,
+        // so the set of keys here varies frame to frame as paths see
+        // first traffic; render whatever is present and say so when
+        // nothing is, instead of printing a bare header or a 0 ms row.
         let mut line = String::from("request_ms");
-        for path in ["hit", "miss", "coalesced", "hedged", "shed"] {
+        let mut any = false;
+        for path in ["hit", "miss", "coalesced", "hedged", "shed", "error"] {
             let Some(row) = latency.get(path) else {
                 continue;
             };
             if stat_u64(row, "count") == 0 {
-                continue;
+                continue; // older daemons still send zero-count rows
             }
+            any = true;
             line.push_str(&format!(
                 "  {path} p50 {:.3} p99 {:.3} (n={})",
                 stat_f64(row, "p50_ms"),
                 stat_f64(row, "p99_ms"),
                 stat_u64(row, "count"),
             ));
+        }
+        if !any {
+            line.push_str("  (no requests served yet)");
         }
         println!("{line}");
     }

@@ -99,15 +99,22 @@ fn push_summary_series(out: &mut String, name: &str, labels: &str, snap: &Histog
     } else {
         (format!("{{{labels}}}"), format!("{{{labels},"))
     };
-    for (q, v) in [
-        ("0.5", snap.percentile(0.50)),
-        ("0.9", snap.percentile(0.90)),
-        ("0.99", snap.percentile(0.99)),
-    ] {
-        if labels.is_empty() {
-            out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", seconds(v)));
-        } else {
-            out.push_str(&format!("{name}{sep}quantile=\"{q}\"}} {}\n", seconds(v)));
+    // A series that has never recorded a sample has no percentiles; a
+    // fabricated `0` quantile would both mislead dashboards and (until
+    // the fleet merge learned to skip them) pin the fleet-wide max. The
+    // `_sum`/`_count` pair is still emitted so the series stays
+    // discoverable and scrape-to-scrape stable.
+    if snap.count() > 0 {
+        for (q, v) in [
+            ("0.5", snap.percentile(0.50)),
+            ("0.9", snap.percentile(0.90)),
+            ("0.99", snap.percentile(0.99)),
+        ] {
+            if labels.is_empty() {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", seconds(v)));
+            } else {
+                out.push_str(&format!("{name}{sep}quantile=\"{q}\"}} {}\n", seconds(v)));
+            }
         }
     }
     out.push_str(&format!("{name}_sum{open} {}\n", seconds(snap.sum_ns())));
@@ -412,6 +419,25 @@ qpilot_cache_hits_total 1
         for (path, _) in REQUEST_PATHS {
             assert!(text.contains(&format!("path=\"{path}\"")));
         }
+    }
+
+    /// A series with zero samples emits no quantile rows (there is no
+    /// percentile of nothing) but keeps `_sum`/`_count` so the series
+    /// set is stable scrape-to-scrape.
+    #[test]
+    fn empty_series_emit_no_quantile_rows() {
+        let empty = Histogram::new();
+        let mut out = String::new();
+        push_summary_series(&mut out, "qpilot_test_seconds", "path=\"idle\"", &empty.snapshot());
+        assert!(!out.contains("quantile"), "{out}");
+        assert!(out.contains("qpilot_test_seconds_sum{path=\"idle\"} 0"), "{out}");
+        assert!(out.contains("qpilot_test_seconds_count{path=\"idle\"} 0"), "{out}");
+
+        let live = Histogram::new();
+        live.record_ns(2_000_000);
+        let mut out = String::new();
+        push_summary_series(&mut out, "qpilot_test_seconds", "path=\"hit\"", &live.snapshot());
+        assert!(out.contains("quantile=\"0.99\""), "{out}");
     }
 
     #[test]

@@ -631,11 +631,19 @@ pub fn render_stats_response(stats: &ServiceStats, request_id: &str) -> String {
     out.push_str(",\"p99_compile_ms\":");
     out.push_str(&json::fmt_f64(round6(stats.p99_compile_s * 1e3)));
     out.push_str(",\"latency\":{");
-    for (i, (path, histogram)) in crate::metrics::REQUEST_PATHS.iter().enumerate() {
-        if i > 0 {
+    // Paths that never served a request are omitted entirely: an empty
+    // histogram has no percentiles, and a fabricated `p99_ms: 0` is
+    // indistinguishable from a genuinely sub-microsecond path.
+    let mut first = true;
+    for (path, histogram) in crate::metrics::REQUEST_PATHS.iter() {
+        let snap = histogram.snapshot();
+        if snap.count() == 0 {
+            continue;
+        }
+        if !first {
             out.push(',');
         }
-        let snap = histogram.snapshot();
+        first = false;
         let ms = |q: f64| json::fmt_f64(round6(snap.percentile(q) as f64 * 1e-6));
         out.push_str(&json_str(path));
         out.push_str(":{\"count\":");
@@ -1350,9 +1358,23 @@ mod tests {
         let doc = json::parse(&handle_line(&svc, r#"{"op":"stats"}"#).response).unwrap();
         assert!(doc.get("p90_compile_ms").and_then(Value::as_f64).is_some());
         let latency = doc.get("latency").expect("latency object");
+        // The compile above was a cache miss, so the `miss` path has
+        // recorded at least one sample and must be present.
+        let miss = latency.get("miss").expect("miss row after a compile");
+        assert!(miss.get("count").and_then(Value::as_u64).unwrap_or(0) > 0);
+        // Every row that *is* present carries a nonzero count plus the
+        // full percentile set — zero-count paths are omitted outright,
+        // never rendered as a fake 0 ms summary. (The path histograms
+        // are process-wide, so which other rows appear depends on what
+        // tests ran before this one; only the invariant is asserted.)
         for path in ["hit", "miss", "coalesced", "hedged", "shed", "error"] {
-            let row = latency.get(path).expect("per-path row");
-            assert!(row.get("count").and_then(Value::as_u64).is_some(), "{path}");
+            let Some(row) = latency.get(path) else {
+                continue;
+            };
+            assert!(
+                row.get("count").and_then(Value::as_u64).unwrap_or(0) > 0,
+                "zero-count row `{path}` should have been omitted"
+            );
             for key in ["p50_ms", "p90_ms", "p99_ms"] {
                 assert!(
                     row.get(key).and_then(Value::as_f64).is_some(),

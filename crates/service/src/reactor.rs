@@ -554,8 +554,28 @@ impl Reactor {
     /// the reactor must stop.
     fn apply_completions(&mut self, touched: &mut Vec<u64>) -> bool {
         while let Ok(done) = self.done_rx.try_recv() {
+            // Completions for connections that were closed or reset in
+            // the meantime miss the map (tokens are never reused) and
+            // are dropped here — that is the normal
+            // completion-after-reset path, not an error.
             if let Some(conn) = self.conns.get_mut(&done.token) {
-                conn.inflight = conn.inflight.saturating_sub(1);
+                // A completion for a live connection with nothing in
+                // flight would mean a dispatcher completed the same
+                // job twice: folding it in would both underflow the
+                // backpressure accounting (`paused` would read a wrong
+                // `inflight` forever) and inject a stale response into
+                // the reorder buffer. Fail loudly in debug builds and
+                // drop the stray completion in release.
+                debug_assert!(
+                    conn.inflight > 0,
+                    "duplicate completion for token {} seq {}",
+                    done.token,
+                    done.seq
+                );
+                if conn.inflight == 0 {
+                    continue;
+                }
+                conn.inflight -= 1;
                 conn.pending.insert(done.seq, done.handled);
                 touched.push(done.token);
             }
@@ -743,4 +763,58 @@ fn finish_line(conn: &mut Conn, line: &[u8], oversized: bool, job_tx: &Sender<Jo
         seq,
         line: text.into_owned(),
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    /// Regression test (completion-after-connection-reset): a client
+    /// that vanishes while requests are in flight must not corrupt the
+    /// reactor's per-connection accounting. The first completion's
+    /// response write provokes an RST from the closed peer, so the
+    /// connection is torn down with one request still dispatched; the
+    /// second completion then arrives for a token that no longer
+    /// exists and must be dropped — after which the reactor serves
+    /// fresh connections and drains to idle normally.
+    #[test]
+    fn completion_after_connection_reset_is_dropped() {
+        let handler: LineHandler = Arc::new(|line: &str| {
+            let ms = if line == "fast" { 30 } else { 400 };
+            std::thread::sleep(Duration::from_millis(ms));
+            Handled {
+                response: format!("done {line}"),
+                shutdown: false,
+            }
+        });
+        let server =
+            ReactorServer::spawn("127.0.0.1:0", ReactorOptions::default(), handler).unwrap();
+
+        {
+            let mut doomed = TcpStream::connect(server.local_addr()).unwrap();
+            doomed.write_all(b"fast\nslow\n").unwrap();
+            // Drop = close(2): once the reactor writes the "fast"
+            // response, the peer kernel answers with RST and the
+            // connection dies with "slow" still in flight.
+        }
+
+        // Wait out the slow completion; it lands after the teardown.
+        std::thread::sleep(Duration::from_millis(700));
+
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"fast\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "done fast\n");
+        drop(writer);
+        drop(reader);
+
+        // No connection state is left behind by the reset.
+        server.begin_drain();
+        assert!(server.drain_wait(Duration::from_secs(5)));
+    }
 }

@@ -364,9 +364,13 @@ pub fn aggregate_metrics(lines: &[String], request_id: &str) -> Result<String, S
 /// counters, gauges measuring sizes, and summary `_count`/`_sum`
 /// series — except `quantile`-labelled samples, which are not additive
 /// and take the max (the worst shard), matching how the stats
-/// aggregation treats percentiles. `# HELP`/`# TYPE` headers and the
-/// sample order come from the first exposition; samples only later
-/// shards know are appended at the end in their own order.
+/// aggregation treats percentiles. A quantile sample only participates
+/// when its shard's sibling `_count` series is non-zero: an idle or
+/// freshly restarted shard exposes default (or stale) percentiles for
+/// series it has never recorded into, and a max over those would skew
+/// the fleet p99. `# HELP`/`# TYPE` headers and the sample order come
+/// from the first exposition; samples only later shards know are
+/// appended at the end in their own order.
 pub fn merge_expositions(expositions: &[&str]) -> String {
     // Key → (merged value, takes-max). Keys keep their first-seen
     // order so the merged exposition is stable and diffable.
@@ -375,6 +379,19 @@ pub fn merge_expositions(expositions: &[&str]) -> String {
     let mut headers: Vec<String> = Vec::new();
     let mut seen_headers: std::collections::HashSet<String> = std::collections::HashSet::new();
     for exposition in expositions {
+        // First pass: this shard's `_count` series, so the second pass
+        // can tell a measured percentile from an idle shard's default.
+        let mut counts: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+        for line in exposition.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            if let Some((key, value)) = split_sample(line) {
+                if key.split('{').next().unwrap_or(key).ends_with("_count") {
+                    counts.insert(key, value);
+                }
+            }
+        }
         for line in exposition.lines() {
             if line.starts_with('#') {
                 // HELP/TYPE lines: keep the first shard's copy only
@@ -388,6 +405,12 @@ pub fn merge_expositions(expositions: &[&str]) -> String {
             let Some((key, value)) = split_sample(line) else {
                 continue;
             };
+            if is_quantile_sample(key)
+                && quantile_count_key(key)
+                    .is_some_and(|sibling| counts.get(sibling.as_str()) == Some(&0.0))
+            {
+                continue;
+            }
             match merged.entry(key.to_string()) {
                 std::collections::hash_map::Entry::Occupied(mut slot) => {
                     if is_quantile_sample(key) {
@@ -444,6 +467,25 @@ fn split_sample(line: &str) -> Option<(&str, f64)> {
 /// `quantile`-labelled summary samples are not additive across shards.
 fn is_quantile_sample(key: &str) -> bool {
     key.contains("quantile=")
+}
+
+/// The sibling `_count` series key of a quantile sample: the same
+/// family and label set minus the `quantile` label —
+/// `m{path="x",quantile="0.99"}` → `m_count{path="x"}`. `None` for
+/// keys that do not parse as `name{labels}`.
+fn quantile_count_key(key: &str) -> Option<String> {
+    let brace = key.find('{')?;
+    let name = &key[..brace];
+    let labels = key[brace + 1..].strip_suffix('}')?;
+    let kept: Vec<&str> = labels
+        .split(',')
+        .filter(|l| !l.trim_start().starts_with("quantile="))
+        .collect();
+    Some(if kept.is_empty() {
+        format!("{name}_count")
+    } else {
+        format!("{name}_count{{{}}}", kept.join(","))
+    })
 }
 
 /// The family name of a sample key: everything before the label block,

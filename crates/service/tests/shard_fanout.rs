@@ -22,7 +22,7 @@ use proptest::test_runner::ProptestConfig;
 use qpilot_circuit::{Fingerprint, StableHasher};
 use qpilot_core::json::{self, Value};
 use qpilot_service::protocol::{circuit_to_value_json, compile_request_line};
-use qpilot_service::shard::{aggregate_stats, ShardRing};
+use qpilot_service::shard::{aggregate_stats, merge_expositions, ShardRing};
 use qpilot_service::{Service, ServiceConfig, TcpServer};
 use qpilot_workloads::random::{random_circuit, RandomCircuitConfig};
 
@@ -228,4 +228,44 @@ fn fingerprint_of_line(line: &str) -> Fingerprint {
         Ok(Request::Compile { request, .. }) => request.fingerprint(),
         _ => panic!("not a compile line: {line}"),
     }
+}
+
+/// Regression test: an idle (or freshly restarted) shard whose summary
+/// series has `_count 0` must not contribute its default/stale quantile
+/// samples to the fleet-wide max — before the fix, a shard restarted
+/// with a stale exposition could pin the merged p99 forever.
+#[test]
+fn idle_shard_quantiles_do_not_skew_the_fleet_percentiles() {
+    let live = "# HELP qpilot_request_seconds End-to-end request latency by serving path.\n\
+                # TYPE qpilot_request_seconds summary\n\
+                qpilot_request_seconds{path=\"hit\",quantile=\"0.99\"} 0.004\n\
+                qpilot_request_seconds_sum{path=\"hit\"} 0.04\n\
+                qpilot_request_seconds_count{path=\"hit\"} 12\n";
+    // Stale exposition: nonzero quantiles left over from before a
+    // restart, but the histogram itself has recorded nothing.
+    let stale = "# HELP qpilot_request_seconds End-to-end request latency by serving path.\n\
+                 # TYPE qpilot_request_seconds summary\n\
+                 qpilot_request_seconds{path=\"hit\",quantile=\"0.99\"} 9.5\n\
+                 qpilot_request_seconds_sum{path=\"hit\"} 0\n\
+                 qpilot_request_seconds_count{path=\"hit\"} 0\n";
+    for order in [[live, stale], [stale, live]] {
+        let merged = merge_expositions(&order);
+        assert!(
+            merged.contains("qpilot_request_seconds{path=\"hit\",quantile=\"0.99\"} 0.004"),
+            "stale quantile skewed the merge (shard order {order:?}):\n{merged}"
+        );
+        // Additive series still sum across both shards.
+        assert!(
+            merged.contains("qpilot_request_seconds_count{path=\"hit\"} 12"),
+            "{merged}"
+        );
+    }
+    // A fleet where *every* shard is idle reports no quantile rows at
+    // all rather than a fabricated 0 ms percentile.
+    let all_idle = merge_expositions(&[stale, stale]);
+    assert!(!all_idle.contains("quantile"), "{all_idle}");
+    assert!(
+        all_idle.contains("qpilot_request_seconds_count{path=\"hit\"} 0"),
+        "{all_idle}"
+    );
 }

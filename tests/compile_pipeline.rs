@@ -115,6 +115,7 @@ fn qaoa_pipeline_matches_direct_router_bytes() {
     let router_options = QaoaRouterOptions {
         anchor_candidates: 1,
         column_extension: false,
+        ..QaoaRouterOptions::default()
     };
     let direct = QaoaRouter::with_options(router_options)
         .route_edges(5, &edges, 0.7, &cfg)
