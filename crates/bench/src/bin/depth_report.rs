@@ -1,0 +1,104 @@
+//! The paper's ancilla-vs-SWAP depth table as a standalone report:
+//! compile QFT / VQE / GHZ / surface-code syndrome extraction through
+//! the flying-ancilla FPQA pipeline and through the SABRE/SWAP baseline,
+//! and record the two-qubit depth ratio per `(family, size)`.
+//!
+//! ```text
+//! depth_report [--out BENCH_routing.json] [--check ci/perf_thresholds.json]
+//! ```
+//!
+//! The `families[]` section is merged into `--out`: when the file is an
+//! existing `qpilot.bench.routing/v1` report (the usual case — the full
+//! document is produced by `perf_report`, which embeds the same
+//! section), its `families` key is replaced in place and every other
+//! section is preserved; otherwise a minimal document holding only the
+//! fresh section is written. With `--check <thresholds.json>` the
+//! section is gated against the `routing.families` floors
+//! (`min_depth_ratio` per family and size — the paper's ≥2.8× headline
+//! claim as a CI wall), exiting non-zero on any violation.
+
+use std::fmt::Write as _;
+
+use qpilot_bench::{arg_value, check, depth};
+use qpilot_core::json::{self, Value};
+
+/// Replaces (or appends) the `families` key of a parsed routing report
+/// and re-renders the document with one top-level key per line, array
+/// elements on their own lines — the same overall shape `perf_report`
+/// writes, so a merged file stays diffable.
+fn merge_families(doc: &mut Value, families_array: &str) -> String {
+    let fresh = json::parse(&format!("{{\"families\": {families_array}}}"))
+        .expect("own families section is valid JSON");
+    let fresh_families = fresh.get("families").expect("families key").clone();
+    let Value::Obj(pairs) = doc else {
+        panic!("routing report is not a JSON object");
+    };
+    match pairs.iter_mut().find(|(k, _)| k == "families") {
+        Some((_, v)) => *v = fresh_families,
+        None => {
+            // Keep `obs_overhead_pct` last, matching perf_report's layout.
+            let at = pairs
+                .iter()
+                .position(|(k, _)| k == "obs_overhead_pct")
+                .unwrap_or(pairs.len());
+            pairs.insert(at, ("families".to_string(), fresh_families));
+        }
+    }
+    let mut s = String::from("{\n");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        let _ = write!(s, "  {}: ", json::json_str(k));
+        match v {
+            Value::Arr(items) if !items.is_empty() => {
+                s.push_str("[\n");
+                for (j, item) in items.iter().enumerate() {
+                    let _ = write!(s, "    {}", item.to_json());
+                    s.push_str(if j + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                s.push_str("  ]");
+            }
+            other => s.push_str(&other.to_json()),
+        }
+        s.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_routing.json".to_string());
+    let check_path = arg_value("--check");
+
+    let rows = depth::measure_families();
+    depth::print_families(&rows);
+    let families_array = depth::families_json_array(&rows);
+
+    let merged = match std::fs::read_to_string(&out_path) {
+        Ok(text) => match json::parse(&text) {
+            Ok(mut doc) => merge_families(&mut doc, &families_array),
+            Err(e) => {
+                eprintln!("error: {out_path} exists but is not valid JSON: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => format!(
+            "{{\n  \"schema\": \"qpilot.bench.routing/v1\",\n  \"families\": {families_array}\n}}\n"
+        ),
+    };
+    if let Err(e) = std::fs::write(&out_path, &merged) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote families section into {out_path}");
+
+    if let Some(path) = check_path {
+        let thresholds = match check::load_thresholds(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let report = json::parse(&merged).expect("own report is valid JSON");
+        check::enforce("depth", &check::check_families(&report, &thresholds));
+    }
+}

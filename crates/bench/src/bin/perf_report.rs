@@ -12,9 +12,16 @@
 //! heap-allocation counts, measured with a counting global allocator),
 //! schedule stats, a byte-identity check of the two serialised schedules
 //! (each through its own writer), and batch-compilation throughput on
-//! `--threads` workers. The qsim and QAOA routers get wall-clock/stats
-//! rows on their own workload families. Run
-//! `--sizes 10 --factor 3 --reps 2 --batch 2` as a CI smoke test.
+//! `--threads` workers. The qsim, QAOA and QEC routers get
+//! wall-clock/stats rows on their own workload families (the qec sweep
+//! uses the largest distance whose `d²` register fits each size), and a
+//! `families[]` section records the ancilla-vs-SWAP depth comparison
+//! (`qpilot_bench::depth`) at fixed family sizes. The `routers[]` rows
+//! report best-of-reps (`min_secs`) rather than medians: routing is
+//! deterministic, so noise only ever inflates a sample, and the CI
+//! ceilings should gate the code, not the load of a shared runner. Run
+//! `--sizes 10,100 --factor 3 --reps 7 --batch 2` as a CI smoke test
+//! (100 must be included: the per-router ceilings gate at 100q).
 //!
 //! With `--check <thresholds.json>` the freshly-written report is gated
 //! against `qpilot.bench.thresholds/v1` (see `qpilot_bench::check`):
@@ -27,7 +34,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use qpilot_bench::{arg_num, arg_value, check, compile_batch, default_threads, Table};
+use qpilot_bench::{arg_num, arg_value, check, compile_batch, default_threads, depth, Table};
 use qpilot_core::compile::{CompileOptions, Compiler, Workload};
 use qpilot_core::generic::GenericRouterOptions;
 use qpilot_core::generic_reference::route_reference;
@@ -81,6 +88,24 @@ fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     samples[samples.len() / 2]
+}
+
+/// Minimum wall-clock seconds over `reps` runs — the aggregation the
+/// per-router CI ceilings gate on. Routing is deterministic, so its true
+/// cost is a constant and scheduler/frequency noise only ever *inflates*
+/// a sample (the same argument `measure_obs_overhead` uses): the minimum
+/// estimates the router's achievable latency where a median would gate
+/// on the load of a shared CI runner instead of the code.
+fn min_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let out = f();
+            let dt = t.elapsed().as_secs_f64();
+            drop(out);
+            dt
+        })
+        .fold(f64::INFINITY, f64::min)
 }
 
 struct GenericRow {
@@ -197,7 +222,7 @@ fn bench_generic_aux(n: u32, factor: usize, reps: usize) -> AuxRow {
     let config = FpqaConfig::square_for(n);
     let workload = Workload::circuit(random_circuit(&RandomCircuitConfig::paper(n, factor, 1)));
     let mut compiler = Compiler::new();
-    let wall = median_secs(reps, || {
+    let wall = min_secs(reps, || {
         compiler
             .compile(&workload, &config)
             .expect("generic routes")
@@ -220,7 +245,7 @@ fn bench_qsim(n: u32, reps: usize) -> AuxRow {
     let config = FpqaConfig::square_for(n);
     let workload = Workload::pauli_strings(strings, 0.4);
     let mut compiler = Compiler::new();
-    let wall = median_secs(reps, || {
+    let wall = min_secs(reps, || {
         compiler
             .compile(&workload, &config)
             .expect("qsim routes")
@@ -238,7 +263,7 @@ fn bench_qaoa(n: u32, reps: usize) -> AuxRow {
     let config = FpqaConfig::square_for(n);
     let workload = Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7);
     let mut compiler = Compiler::new();
-    let wall = median_secs(reps, || {
+    let wall = min_secs(reps, || {
         compiler
             .compile(&workload, &config)
             .expect("qaoa routes")
@@ -249,6 +274,36 @@ fn bench_qaoa(n: u32, reps: usize) -> AuxRow {
         .expect("qaoa routes")
         .into_program();
     aux_row("qaoa", n, "3_regular".into(), wall, &program)
+}
+
+/// The largest surface-code distance whose `d²` data qubits fit in `n` —
+/// the qec sweep rides the same `--sizes` axis as the other routers
+/// (20 → d4, 50 → d7, 100 → d10), and the row's `qubits` field is the
+/// actual `d²` register so threshold gates match on real widths.
+fn qec_distance_for(n: u32) -> u32 {
+    let mut d = 2;
+    while (d + 1) * (d + 1) <= n {
+        d += 1;
+    }
+    d.max(2)
+}
+
+fn bench_qec(n: u32, reps: usize) -> AuxRow {
+    let d = qec_distance_for(n);
+    let workload = Workload::surface_code(d, 1, 0.37);
+    let config = workload.config(None);
+    let mut compiler = Compiler::new();
+    let wall = min_secs(reps, || {
+        compiler
+            .compile(&workload, &config)
+            .expect("qec routes")
+            .into_program()
+    });
+    let program = compiler
+        .compile(&workload, &config)
+        .expect("qec routes")
+        .into_program();
+    aux_row("qec", d * d, format!("surface_d{d}_r1"), wall, &program)
 }
 
 /// One `stage_profile` report row: a router stage's median per-route
@@ -284,16 +339,23 @@ fn profile_stages(n: u32, factor: usize, reps: usize) -> Vec<StageRow> {
     );
     let graph = random_regular(n, 3, 4).expect("regular graph");
     let qaoa = Workload::qaoa_cost_layer(n, graph.edges().to_vec(), 0.7);
-    for workload in [&circuit, &pauli, &qaoa] {
+    let qec = Workload::surface_code(qec_distance_for(n), 1, 0.37);
+    let qec_config = qec.config(None);
+    for (workload, config) in [
+        (&circuit, &config),
+        (&pauli, &config),
+        (&qaoa, &config),
+        (&qec, &qec_config),
+    ] {
         for _ in 0..reps.max(1) {
             compiler
-                .compile(workload, &config)
+                .compile(workload, config)
                 .expect("profiled route")
                 .into_program();
         }
     }
     obs::set_stage_sampling(obs::DEFAULT_STAGE_SAMPLING);
-    let totals: Vec<(&str, u64)> = ["generic", "qsim", "qaoa"]
+    let totals: Vec<(&str, u64)> = ["generic", "qsim", "qaoa", "qec"]
         .iter()
         .map(|&router| {
             let sum = obs::ROUTE_STAGES
@@ -390,6 +452,7 @@ fn main() {
         aux_rows.push(bench_generic_aux(n, factor, reps));
         aux_rows.push(bench_qsim(n, reps));
         aux_rows.push(bench_qaoa(n, reps));
+        aux_rows.push(bench_qec(n, reps));
     }
 
     let mut table = Table::new(&[
@@ -452,6 +515,12 @@ fn main() {
     println!("\nper-stage route profile ({n_max}q, obs overhead {obs_overhead_pct:+.2}%)");
     prof.print();
 
+    // The ancilla-vs-SWAP depth table (fixed family sizes, independent
+    // of --sizes, so the gated rows exist in smoke and full runs alike).
+    let family_rows = depth::measure_families();
+    println!();
+    depth::print_families(&family_rows);
+
     let json = render_json(
         &sizes,
         factor,
@@ -461,6 +530,7 @@ fn main() {
         &generic_rows,
         &aux_rows,
         &stage_rows,
+        &family_rows,
         obs_overhead_pct,
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -497,6 +567,7 @@ fn render_json(
     generic_rows: &[GenericRow],
     aux_rows: &[AuxRow],
     stage_rows: &[StageRow],
+    family_rows: &[depth::FamilyRow],
     obs_overhead_pct: f64,
 ) -> String {
     let mut s = String::new();
@@ -564,6 +635,11 @@ fn render_json(
         });
     }
     let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"families\": {},",
+        depth::families_json_array(family_rows)
+    );
     let _ = writeln!(s, "  \"obs_overhead_pct\": {obs_overhead_pct:.3}");
     s.push_str("}\n");
     s

@@ -24,6 +24,9 @@
 //!     ],
 //!     "routers": [
 //!       {"router": "qaoa", "qubits": 100, "max_ms": 2.0}
+//!     ],
+//!     "families": [
+//!       {"family": "qec", "qubits": 49, "min_depth_ratio": 2.8}
 //!     ]
 //!   },
 //!   "service": {
@@ -192,6 +195,7 @@ pub fn check_routing(report: &Value, thresholds: &Value) -> Vec<String> {
             }
         }
     }
+    violations.extend(check_families(report, thresholds));
     // Observability gate: the instrumented route may not be more than
     // `max_obs_overhead_pct` percent slower than the uninstrumented one.
     // A gated thresholds file demands the measurement be present.
@@ -204,6 +208,59 @@ pub fn check_routing(report: &Value, thresholds: &Value) -> Vec<String> {
             None => {
                 violations.push("routing report has no `obs_overhead_pct` field".to_string());
             }
+        }
+    }
+    violations
+}
+
+/// Checks the `families[]` depth-comparison section of a routing report
+/// against the `routing.families` gates (`min_depth_ratio` floors per
+/// `(family, qubits)` pair) — the paper's flying-ancilla vs SWAP-baseline
+/// depth-reduction claim as a CI wall. Called from [`check_routing`];
+/// also used standalone by `depth_report --check`, whose report carries
+/// only the `families` section.
+pub fn check_families(report: &Value, thresholds: &Value) -> Vec<String> {
+    let mut violations = Vec::new();
+    let family_gates: &[Value] = thresholds
+        .get("routing")
+        .and_then(|g| g.get("families"))
+        .and_then(Value::as_arr)
+        .unwrap_or_default();
+    if family_gates.is_empty() {
+        return violations;
+    }
+    let rows: &[Value] = report
+        .get("families")
+        .and_then(Value::as_arr)
+        .unwrap_or_default();
+    for gate in family_gates {
+        let (Some(family), Some(qubits)) = (
+            gate.get("family").and_then(Value::as_str),
+            gate.get("qubits").and_then(Value::as_u64),
+        ) else {
+            violations.push("family gate without `family` and `qubits` fields".to_string());
+            continue;
+        };
+        let Some(min) = num(gate, "min_depth_ratio") else {
+            continue;
+        };
+        let Some(row) = rows.iter().find(|r| {
+            r.get("family").and_then(Value::as_str) == Some(family)
+                && r.get("qubits").and_then(Value::as_u64) == Some(qubits)
+        }) else {
+            violations.push(format!(
+                "routing report has no `families` row for `{family}` at {qubits}q"
+            ));
+            continue;
+        };
+        match num(row, "depth_ratio") {
+            Some(got) if got < min => violations.push(format!(
+                "family `{family}` {qubits}q: depth ratio {got:.2}\u{d7} below floor {min:.2}\u{d7}"
+            )),
+            Some(_) => {}
+            None => violations.push(format!(
+                "`families` row for `{family}` at {qubits}q has no `depth_ratio`"
+            )),
         }
     }
     violations
@@ -525,7 +582,9 @@ mod tests {
         assert_eq!(violations.len(), 3, "{violations:?}");
         for router in ["qaoa", "generic", "qsim"] {
             assert!(
-                violations.iter().any(|v| v.contains(&format!("`{router}`"))),
+                violations
+                    .iter()
+                    .any(|v| v.contains(&format!("`{router}`"))),
                 "{violations:?}"
             );
         }
@@ -603,6 +662,72 @@ mod tests {
         let violations = check_routing(&report, &obs_thresholds());
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("obs_overhead_pct"), "{violations:?}");
+    }
+
+    fn family_thresholds() -> Value {
+        json::parse(
+            r#"{"schema":"qpilot.bench.thresholds/v1",
+                "routing":{"sizes":[],"families":[
+                  {"family":"qec","qubits":49,"min_depth_ratio":2.8},
+                  {"family":"qft","qubits":32,"min_depth_ratio":1.5}]}}"#,
+        )
+        .unwrap()
+    }
+
+    fn family_report(qec_ratio: f64, qft_ratio: f64) -> Value {
+        json::parse(&format!(
+            r#"{{"generic":[{{"qubits":100,"schedules_identical":true}}],
+                 "families":[
+                   {{"family":"qec","qubits":49,"depth_ratio":{qec_ratio}}},
+                   {{"family":"qec","qubits":9,"depth_ratio":0.1}},
+                   {{"family":"qft","qubits":32,"depth_ratio":{qft_ratio}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn depth_ratios_above_their_floors_pass() {
+        // The ungated 9q qec row may be arbitrarily bad.
+        let report = family_report(6.5, 2.0);
+        assert!(check_routing(&report, &family_thresholds()).is_empty());
+    }
+
+    /// The headline reproduction gate: a family whose flying-ancilla
+    /// depth advantage collapses trips the wall with a message naming
+    /// the family and size.
+    #[test]
+    fn collapsed_depth_ratio_trips_the_wall_and_is_named() {
+        let report = family_report(1.3, 2.0);
+        let violations = check_routing(&report, &family_thresholds());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("family `qec` 49q"), "{violations:?}");
+        assert!(violations[0].contains("below floor 2.80"), "{violations:?}");
+    }
+
+    #[test]
+    fn missing_family_row_is_a_violation_when_gated() {
+        // A report without the gated qft row must not silently pass.
+        let report = json::parse(
+            r#"{"generic":[{"qubits":100,"schedules_identical":true}],
+                "families":[{"family":"qec","qubits":49,"depth_ratio":6.5}]}"#,
+        )
+        .unwrap();
+        let violations = check_routing(&report, &family_thresholds());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("`qft`"), "{violations:?}");
+    }
+
+    #[test]
+    fn standalone_families_check_ignores_the_other_sections() {
+        // depth_report --check gates a families-only document: no
+        // generic rows, no routers — only the depth floors.
+        let report = json::parse(
+            r#"{"families":[
+                  {"family":"qec","qubits":49,"depth_ratio":6.5},
+                  {"family":"qft","qubits":32,"depth_ratio":2.0}]}"#,
+        )
+        .unwrap();
+        assert!(check_families(&report, &family_thresholds()).is_empty());
     }
 
     fn service_report(speedup: f64, identical: bool, dropped: u64) -> Value {

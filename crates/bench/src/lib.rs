@@ -10,6 +10,7 @@
 
 pub mod batch;
 pub mod check;
+pub mod depth;
 pub mod parallel;
 
 pub use batch::{

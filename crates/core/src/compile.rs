@@ -74,6 +74,7 @@ use crate::cancel::CancelToken;
 use crate::error::RouteError;
 use crate::generic::{GenericRouter, GenericRouterOptions};
 use crate::qaoa::{QaoaRouter, QaoaRouterOptions};
+use crate::qec::{QecRouter, QecRouterOptions};
 use crate::qsim::{QsimRouter, QsimRouterOptions};
 use crate::validate::{validate_schedule, ValidateError, ValidationReport};
 use crate::{CompiledProgram, FpqaConfig};
@@ -95,16 +96,19 @@ pub enum RouterTag {
     Qsim,
     /// The QAOA router (cost-layer graphs).
     Qaoa,
+    /// The QEC syndrome-extraction router (surface-code rounds).
+    Qec,
 }
 
 impl RouterTag {
-    /// The wire name (`auto` / `generic` / `qsim` / `qaoa`).
+    /// The wire name (`auto` / `generic` / `qsim` / `qaoa` / `qec`).
     pub fn as_str(self) -> &'static str {
         match self {
             RouterTag::Auto => "auto",
             RouterTag::Generic => "generic",
             RouterTag::Qsim => "qsim",
             RouterTag::Qaoa => "qaoa",
+            RouterTag::Qec => "qec",
         }
     }
 
@@ -115,6 +119,7 @@ impl RouterTag {
             "generic" => Some(RouterTag::Generic),
             "qsim" => Some(RouterTag::Qsim),
             "qaoa" => Some(RouterTag::Qaoa),
+            "qec" => Some(RouterTag::Qec),
             _ => None,
         }
     }
@@ -139,6 +144,20 @@ pub struct QaoaWorkload {
     /// layers, one per `gamma`) or the same length as `gammas` (route
     /// full rounds with Hadamard prologue and mixers).
     pub betas: Vec<f64>,
+}
+
+/// A QEC problem instance: `rounds` stabilizer-phase rounds of the
+/// distance-`d` rotated surface code, each round implementing
+/// `Π_s exp(-i θ/2 S_s)` over all `d² − 1` stabilizers `S_s` with one
+/// flying ancilla per check (see [`crate::qec`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QecWorkload {
+    /// Code distance (`≥ 2`); the data register is `d²` qubits.
+    pub distance: u32,
+    /// Number of syndrome-extraction rounds (`≥ 1`).
+    pub rounds: u32,
+    /// The per-stabilizer rotation angle `θ`.
+    pub theta: f64,
 }
 
 /// What to compile: the per-family payload. The workload family selects
@@ -167,6 +186,8 @@ pub enum Workload {
     Qsim(Vec<(PauliString, f64)>),
     /// A QAOA cost-layer problem for the QAOA router.
     Qaoa(QaoaWorkload),
+    /// A surface-code syndrome-extraction problem for the QEC router.
+    Qec(QecWorkload),
 }
 
 impl From<Circuit> for Workload {
@@ -226,6 +247,16 @@ impl Workload {
         })
     }
 
+    /// A QEC workload: `rounds` stabilizer-phase rounds of the
+    /// distance-`distance` rotated surface code at angle `theta`.
+    pub fn surface_code(distance: u32, rounds: u32, theta: f64) -> Self {
+        Workload::Qec(QecWorkload {
+            distance,
+            rounds,
+            theta,
+        })
+    }
+
     /// The router this workload resolves to under [`RouterTag::Auto`].
     /// Never returns [`RouterTag::Auto`].
     pub fn router(&self) -> RouterTag {
@@ -233,6 +264,7 @@ impl Workload {
             Workload::Generic(_) => RouterTag::Generic,
             Workload::Qsim(_) => RouterTag::Qsim,
             Workload::Qaoa(_) => RouterTag::Qaoa,
+            Workload::Qec(_) => RouterTag::Qec,
         }
     }
 
@@ -246,12 +278,22 @@ impl Workload {
                 .max()
                 .unwrap_or(1),
             Workload::Qaoa(q) => q.num_qubits,
+            Workload::Qec(q) => q.distance * q.distance,
         }
     }
 
     /// The FPQA configuration this workload resolves to: `cols` SLM
     /// columns, or the smallest square array holding the register.
+    ///
+    /// QEC workloads ignore `cols`: the surface-code grid is inherently a
+    /// `d×d` data array, and the parallel-wave scheduler needs a
+    /// `(d+1)×(d+1)` AOD grid (one cross per plaquette, plaquette rows and
+    /// columns span `−1..d−1`).
     pub fn config(&self, cols: Option<usize>) -> FpqaConfig {
+        if let Workload::Qec(q) = self {
+            let d = (q.distance as usize).max(1);
+            return FpqaConfig::square(d).with_aod_grid(d + 1, d + 1);
+        }
         let n = self.num_qubits().max(1);
         match cols {
             Some(cols) => FpqaConfig::for_qubits(n, cols.max(1)),
@@ -302,6 +344,21 @@ impl Workload {
                 }
                 Ok(())
             }
+            Workload::Qec(q) => {
+                if q.distance < 2 {
+                    return Err(CompileError::InvalidWorkload(format!(
+                        "qec distance must be at least 2, got {}",
+                        q.distance
+                    )));
+                }
+                if q.rounds == 0 {
+                    return invalid("qec request needs at least one round");
+                }
+                if !q.theta.is_finite() {
+                    return invalid("qec theta must be finite");
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -340,6 +397,35 @@ impl From<QaoaRouterOptions> for QaoaOptions {
     }
 }
 
+/// QEC options in *request* form: `None` fields defer to the router's
+/// defaults without baking the default values into cache fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QecOptions {
+    /// Parallel-wave scheduling toggle (`None` = router default, which is
+    /// on). When off — or when the AOD grid is too small — every check is
+    /// routed serially; the compiled schedule differs but the unitary is
+    /// identical.
+    pub parallel_waves: Option<bool>,
+}
+
+impl QecOptions {
+    /// Resolves against the router defaults.
+    pub fn resolve(self) -> QecRouterOptions {
+        let defaults = QecRouterOptions::default();
+        QecRouterOptions {
+            parallel_waves: self.parallel_waves.unwrap_or(defaults.parallel_waves),
+        }
+    }
+}
+
+impl From<QecRouterOptions> for QecOptions {
+    fn from(options: QecRouterOptions) -> Self {
+        QecOptions {
+            parallel_waves: Some(options.parallel_waves),
+        }
+    }
+}
+
 /// Per-router options as one typed enum — the single options channel of
 /// [`CompileOptions`] (and of service requests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -350,6 +436,8 @@ pub enum RouterOptions {
     Qsim(QsimRouterOptions),
     /// Options for the QAOA router (request form).
     Qaoa(QaoaOptions),
+    /// Options for the QEC router (request form).
+    Qec(QecOptions),
 }
 
 impl RouterOptions {
@@ -359,6 +447,7 @@ impl RouterOptions {
             RouterOptions::Generic(_) => RouterTag::Generic,
             RouterOptions::Qsim(_) => RouterTag::Qsim,
             RouterOptions::Qaoa(_) => RouterTag::Qaoa,
+            RouterOptions::Qec(_) => RouterTag::Qec,
         }
     }
 }
@@ -384,6 +473,18 @@ impl From<QaoaOptions> for RouterOptions {
 impl From<QaoaRouterOptions> for RouterOptions {
     fn from(options: QaoaRouterOptions) -> Self {
         RouterOptions::Qaoa(options.into())
+    }
+}
+
+impl From<QecOptions> for RouterOptions {
+    fn from(options: QecOptions) -> Self {
+        RouterOptions::Qec(options)
+    }
+}
+
+impl From<QecRouterOptions> for RouterOptions {
+    fn from(options: QecRouterOptions) -> Self {
+        RouterOptions::Qec(options.into())
     }
 }
 
@@ -633,6 +734,36 @@ impl Router for QaoaRouter {
     }
 }
 
+impl Router for QecRouter {
+    fn tag(&self) -> RouterTag {
+        RouterTag::Qec
+    }
+
+    fn configure(&mut self, options: Option<&RouterOptions>) -> Result<(), CompileError> {
+        *self = match options {
+            None => QecRouter::new(),
+            Some(RouterOptions::Qec(o)) => QecRouter::with_options(o.resolve()),
+            Some(other) => return Err(options_mismatch(self.tag(), other)),
+        };
+        Ok(())
+    }
+
+    fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    fn route(
+        &mut self,
+        workload: &Workload,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, CompileError> {
+        match workload {
+            Workload::Qec(q) => Ok(self.route_rounds(q, config)?),
+            _ => mismatch(self.tag(), workload),
+        }
+    }
+}
+
 /// Builder-style options for [`Compiler`].
 ///
 /// ```
@@ -766,12 +897,12 @@ impl Default for Compiler {
 }
 
 impl Compiler {
-    /// A compiler with default options and the three built-in routers.
+    /// A compiler with default options and the four built-in routers.
     pub fn new() -> Self {
         Compiler::with_options(CompileOptions::new())
     }
 
-    /// A compiler with explicit options and the three built-in routers.
+    /// A compiler with explicit options and the four built-in routers.
     pub fn with_options(options: CompileOptions) -> Self {
         Compiler {
             options,
@@ -779,6 +910,7 @@ impl Compiler {
                 Box::new(GenericRouter::new()),
                 Box::new(QsimRouter::new()),
                 Box::new(QaoaRouter::new()),
+                Box::new(QecRouter::new()),
             ],
         }
     }
@@ -957,6 +1089,21 @@ pub fn fingerprint(
                 Some(true) => h.write_u8(2),
             }
         }
+        Workload::Qec(q) => {
+            let opts = match options {
+                Some(RouterOptions::Qec(o)) => *o,
+                _ => QecOptions::default(),
+            };
+            h.write_u8(3);
+            h.write_u32(q.distance);
+            h.write_u32(q.rounds);
+            h.write_f64(q.theta);
+            match opts.parallel_waves {
+                None => h.write_u8(0),
+                Some(false) => h.write_u8(1),
+                Some(true) => h.write_u8(2),
+            }
+        }
     }
     h.finish()
 }
@@ -994,6 +1141,12 @@ mod tests {
             )
             .unwrap();
         assert!(qaoa.stats().two_qubit_gates > 0);
+        let qec_workload = Workload::surface_code(2, 1, 0.4);
+        let qec = compiler
+            .compile(&qec_workload, &qec_workload.config(None))
+            .unwrap();
+        assert!(qec.stats().two_qubit_gates > 0);
+        assert_eq!(qec.schedule().num_ancillas, 3);
     }
 
     #[test]
@@ -1101,6 +1254,12 @@ mod tests {
                 Workload::pauli_strings(vec!["ZZ".parse().unwrap()], f64::NAN),
                 "must be finite",
             ),
+            (Workload::surface_code(1, 1, 0.4), "at least 2"),
+            (Workload::surface_code(3, 0, 0.4), "at least one round"),
+            (
+                Workload::surface_code(3, 1, f64::INFINITY),
+                "must be finite",
+            ),
         ] {
             let err = compiler.compile(&workload, &cfg).unwrap_err();
             let CompileError::InvalidWorkload(m) = &err else {
@@ -1153,14 +1312,23 @@ mod tests {
         let generic = Workload::circuit(c);
         let qsim = Workload::pauli_strings(vec!["ZZ".parse().unwrap()], 0.5);
         let qaoa = Workload::qaoa_cost_layer(2, vec![(0, 1)], 0.5);
+        let qec = Workload::surface_code(2, 1, 0.5);
         let fps = [
             fingerprint(&generic, None, &cfg),
             fingerprint(&qsim, None, &cfg),
             fingerprint(&qaoa, None, &cfg),
+            fingerprint(&qec, None, &cfg),
         ];
-        assert_ne!(fps[0], fps[1]);
-        assert_ne!(fps[0], fps[2]);
-        assert_ne!(fps[1], fps[2]);
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "families {i} and {j} collide");
+            }
+        }
+        // Qec option states split keys within the family.
+        let waves_off = RouterOptions::Qec(QecOptions {
+            parallel_waves: Some(false),
+        });
+        assert_ne!(fingerprint(&qec, Some(&waves_off), &cfg), fps[3]);
         // Options split keys within a family.
         let capped = RouterOptions::Generic(GenericRouterOptions { stage_cap: Some(1) });
         assert_ne!(fingerprint(&generic, Some(&capped), &cfg), fps[0]);

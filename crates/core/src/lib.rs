@@ -20,7 +20,10 @@
 //! * [`qsim::QsimRouter`] — Alg. 2: per-Pauli-string root fan-out plus
 //!   longest-path chain absorption,
 //! * [`qaoa::QaoaRouter`] — Alg. 3: one persistent ancilla per qubit and
-//!   stage-wise row/column matching for ZZ edges.
+//!   stage-wise row/column matching for ZZ edges,
+//! * [`qec::QecRouter`] — the outlook's QEC domain: surface-code
+//!   syndrome extraction with one flying ancilla per stabiliser check,
+//!   scheduled as parallel ancilla waves with mirrored uncomputation.
 //!
 //! Every router emits a hardware-level [`Schedule`] (moves, atom transfers,
 //! Raman 1Q layers, Rydberg pulses) that can be
@@ -55,6 +58,7 @@ mod motion;
 pub mod obs;
 pub mod par;
 pub mod qaoa;
+pub mod qec;
 pub mod qsim;
 pub mod render;
 mod schedule;
@@ -64,7 +68,7 @@ pub mod wire;
 pub use cancel::{CancelReason, CancelToken};
 pub use compile::{
     compile, CompileError, CompileOptions, CompileOutput, Compiler, QaoaOptions, QaoaWorkload,
-    Router, RouterOptions, RouterTag, Workload,
+    QecOptions, QecWorkload, Router, RouterOptions, RouterTag, Workload,
 };
 pub use config::FpqaConfig;
 pub use error::RouteError;

@@ -463,11 +463,17 @@ pub static QAOA_SETUP: Histogram = Histogram::new();
 pub static QAOA_SELECT: Histogram = Histogram::new();
 /// QAOA router: stage coordinates, moves and Rydberg emission.
 pub static QAOA_EMIT: Histogram = Histogram::new();
+/// QEC router: check enumeration, ancilla allocation, builder seeding.
+pub static QEC_SETUP: Histogram = Histogram::new();
+/// QEC router: phase-block partitioning (Z / X check selection).
+pub static QEC_SELECT: Histogram = Histogram::new();
+/// QEC router: wave moves, Rydberg pulses and mirrored uncomputation.
+pub static QEC_EMIT: Histogram = Histogram::new();
 
 /// Every instrumented router stage, in exposition order (one row per
 /// stage in `BENCH_routing.json` and one labelled series in the
 /// Prometheus exposition).
-pub static ROUTE_STAGES: [StageProfile; 12] = [
+pub static ROUTE_STAGES: [StageProfile; 15] = [
     StageProfile {
         router: "generic",
         stage: "setup",
@@ -527,6 +533,21 @@ pub static ROUTE_STAGES: [StageProfile; 12] = [
         router: "qaoa",
         stage: "emit",
         histogram: &QAOA_EMIT,
+    },
+    StageProfile {
+        router: "qec",
+        stage: "setup",
+        histogram: &QEC_SETUP,
+    },
+    StageProfile {
+        router: "qec",
+        stage: "select",
+        histogram: &QEC_SELECT,
+    },
+    StageProfile {
+        router: "qec",
+        stage: "emit",
+        histogram: &QEC_EMIT,
     },
 ];
 

@@ -288,9 +288,11 @@ impl QaoaRouter {
             // Stage boundary: stop cleanly before solving the next stage.
             self.cancel.check()?;
             oriented_scratch.clear();
-            oriented_scratch.extend(buckets.oriented.iter().map(|&(src, tgt)| {
-                (src, tgt, geom.coord(src).1 as u32, geom.coord(tgt).1 as u32)
-            }));
+            oriented_scratch.extend(
+                buckets.oriented.iter().map(|&(src, tgt)| {
+                    (src, tgt, geom.coord(src).1 as u32, geom.coord(tgt).1 as u32)
+                }),
+            );
             let ctx = SearchContext {
                 remaining: &remaining,
                 edge_bits: &edge_bits,
@@ -600,7 +602,12 @@ struct FirstRowMemo {
 }
 
 impl FirstRowMemo {
-    fn get(&mut self, buckets: &EdgeBuckets, config: &FpqaConfig, key: (usize, usize)) -> &PairMatcher {
+    fn get(
+        &mut self,
+        buckets: &EdgeBuckets,
+        config: &FpqaConfig,
+        key: (usize, usize),
+    ) -> &PairMatcher {
         let stamp = buckets.stamp(key);
         let entry = self
             .map
@@ -765,7 +772,13 @@ fn solve_stage(ctx: &SearchContext<'_>, memo: &mut FirstRowMemo) -> StageSolutio
     let mut solved: Vec<Option<StageSolution>> = if threads > 1 && candidates.len() > 1 {
         crate::par::parallel_map(&candidates, threads, |c| {
             let mut scratch = CandidateScratch::new(ctx.num_qubits, slm_cols);
-            Some(build_candidate(ctx, c.r0, c.y0, c.cols.clone(), &mut scratch))
+            Some(build_candidate(
+                ctx,
+                c.r0,
+                c.y0,
+                c.cols.clone(),
+                &mut scratch,
+            ))
         })
     } else {
         candidates.iter().map(|_| None).collect()
@@ -867,23 +880,20 @@ fn build_candidate(
             }
             Some(count)
         };
-    let commit = |sol: &mut StageSolution,
-                  matched: &mut EdgeBits,
-                  aod_row: usize,
-                  y: usize,
-                  front: bool| {
-        if front {
-            sol.active_rows.insert(0, (aod_row, y));
-        } else {
-            sol.active_rows.push((aod_row, y));
-        }
-        for &(hc, tc) in sol.active_cols.pairs() {
-            if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
-                matched.insert(u, v);
-                sol.matched.push((u, v));
+    let commit =
+        |sol: &mut StageSolution, matched: &mut EdgeBits, aod_row: usize, y: usize, front: bool| {
+            if front {
+                sol.active_rows.insert(0, (aod_row, y));
+            } else {
+                sol.active_rows.push((aod_row, y));
             }
-        }
-    };
+            for &(hc, tc) in sol.active_cols.pairs() {
+                if let (Some(u), Some(v)) = (qubit_at(aod_row, hc), qubit_at(y, tc)) {
+                    matched.insert(u, v);
+                    sol.matched.push((u, v));
+                }
+            }
+        };
 
     // The sweeps score only SLM rows with a live `(aod_row, y)` bucket: a
     // placement matching `count > 0` edges needs an edge whose source

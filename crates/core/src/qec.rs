@@ -1,0 +1,606 @@
+//! The QEC syndrome-extraction router: one flying ancilla per
+//! stabiliser check.
+//!
+//! The paper's outlook (§6) names quantum-error-correction circuits as
+//! the next domain for FPQA compilation; this router compiles `rounds`
+//! stabilizer-phase rounds of the rotated surface code of distance `d`
+//! (the [`QecWorkload`] family). Because the schedule IR is unitary-only,
+//! a "round" is the measurement-free stabilizer evolution
+//! `Π_s exp(-i θ/2 S_s)` over all `d² − 1` stabilizers — each factor
+//! computed by parity-accumulating a check onto its own flying ancilla,
+//! rotating the ancilla by `Rz(θ)`, and uncomputing exactly via
+//! [`ScheduleBuilder::mirror_stages`].
+//!
+//! # Check → ancilla mapping
+//!
+//! Every check gets one dedicated ancilla for the whole program,
+//! pinned to the AOD cross `(plaquette_row + 1, plaquette_col + 1)` —
+//! plaquette coordinates span `−1 .. d−1`, so the full code needs a
+//! `(d+1)×(d+1)` AOD grid (the default [`Workload::config`] for QEC
+//! workloads provides exactly that).
+//!
+//! # Wave scheduling
+//!
+//! A round is two *phase blocks* — all Z-checks, then all X-checks
+//! (Hadamard-framed). Within a block every ancilla is loaded at once and
+//! the whole grid performs four **waves**, one per plaquette corner
+//! offset `(dr, dc) ∈ {0,1}²`: AOD row `i` moves to `(i−1+dr)·pitch`
+//! (plus a sub-blockade hover offset) and one global Rydberg pulse
+//! executes `CX(data → ancilla)` for every check whose corner
+//! `(pr+dr, pc+dc)` is a real data qubit. The surface-code geometry makes
+//! this legal by construction: a loaded ancilla hovering inside the array
+//! is *always* over a member of its own check, and out-of-range hovers
+//! (including negative coordinates past the array edge) stay ≥ 9 µm from
+//! every atom — far outside the 3.75 µm safety radius. Four pulses per
+//! block, eight per round, independent of `d`: the per-round 2Q depth is
+//! constant where a SWAP-based baseline grows with `d`.
+//!
+//! # Mirror uncomputation
+//!
+//! Each block's load/move/pulse prefix is reversed by
+//! [`ScheduleBuilder::mirror_stages`]: pulses repeat verbatim (CX layers
+//! are self-inverse), moves rewind, and the load flips into an unload at
+//! the exact point where the mirrored pulses have returned the ancillas
+//! to `|0⟩`. The validator's ancilla-discipline check and `qpilot-sim`'s
+//! `verify_compiled` both certify this.
+//!
+//! Setting [`QecRouterOptions::parallel_waves`] to `false` — or handing
+//! the router an FPQA whose SLM is not the `d×d` square or whose AOD grid
+//! is smaller than `(d+1)×(d+1)` — falls back to routing one check at a
+//! time (each ancilla visits its data qubits serially). The serial
+//! schedule is deeper but implements the same unitary; the test-suite
+//! pins that invariance through `qpilot-sim`.
+//!
+//! [`QecWorkload`]: crate::compile::QecWorkload
+//! [`Workload::config`]: crate::compile::Workload::config
+
+use qpilot_circuit::{Circuit, Gate, Qubit};
+
+use crate::cancel::CancelToken;
+use crate::compile::QecWorkload;
+use crate::error::RouteError;
+use crate::motion::{axis_coords, initial_coords, park_col_base, park_row_base, OFFSET_MIN};
+use crate::schedule::{
+    ancilla_register_qubit, AncillaId, AtomRef, CompiledProgram, RydbergOp, ScheduleBuilder,
+    TransferOp,
+};
+use crate::FpqaConfig;
+
+/// Options for [`QecRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QecRouterOptions {
+    /// Schedule all checks of a phase block as parallel ancilla waves
+    /// (default). When `false` every check is routed serially — same
+    /// unitary, deeper schedule, but no AOD-grid-size requirement.
+    pub parallel_waves: bool,
+}
+
+impl Default for QecRouterOptions {
+    fn default() -> Self {
+        QecRouterOptions {
+            parallel_waves: true,
+        }
+    }
+}
+
+/// One stabiliser check of the rotated surface code, in router form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// `true` for X-type (Hadamard-framed), `false` for Z-type.
+    pub is_x: bool,
+    /// Plaquette row in `−1 .. d−1`.
+    pub prow: i64,
+    /// Plaquette column in `−1 .. d−1`.
+    pub pcol: i64,
+    /// Data-qubit indices (reading order `r·d + c`), 2 or 4 of them.
+    pub data: Vec<u32>,
+}
+
+/// Enumerates the stabiliser checks of the distance-`d` rotated surface
+/// code: interior weight-4 plaquettes (X-type iff `prow + pcol` is odd),
+/// X half-plaquettes on the top/bottom boundary rows, Z half-plaquettes
+/// on the left/right boundary columns — `d² − 1` checks in total.
+pub fn surface_code_checks(d: u32) -> Vec<Check> {
+    let d = i64::from(d);
+    let mut checks = Vec::new();
+    for prow in -1..d {
+        for pcol in -1..d {
+            let interior = prow >= 0 && pcol >= 0 && prow < d - 1 && pcol < d - 1;
+            let is_x = (prow + pcol).rem_euclid(2) == 1;
+            let present = if interior {
+                true
+            } else if prow == -1 || prow == d - 1 {
+                is_x && pcol >= 0 && pcol < d - 1
+            } else if pcol == -1 || pcol == d - 1 {
+                !is_x && prow >= 0 && prow < d - 1
+            } else {
+                false
+            };
+            if !present {
+                continue;
+            }
+            let mut data = Vec::with_capacity(4);
+            for (dr, dc) in CORNERS {
+                let (r, c) = (prow + dr, pcol + dc);
+                if r >= 0 && r < d && c >= 0 && c < d {
+                    data.push((r * d + c) as u32);
+                }
+            }
+            checks.push(Check {
+                is_x,
+                prow,
+                pcol,
+                data,
+            });
+        }
+    }
+    checks
+}
+
+/// The plaquette corner offsets, in wave order.
+const CORNERS: [(i64, i64); 4] = [(0, 0), (0, 1), (1, 0), (1, 1)];
+
+/// The mathematically equivalent data-register circuit for a QEC
+/// workload: per round, per check, a CX parity ladder along the check's
+/// support into its last qubit, `Rz(θ)` there, and the unchain —
+/// Hadamard-framed for X-checks. Exactly `Π_s exp(-i θ/2 S_s)` per
+/// round; the differential tests compare the router's lowered schedule
+/// against this through `qpilot-sim`.
+pub fn reference_circuit(workload: &QecWorkload) -> Circuit {
+    let checks = surface_code_checks(workload.distance);
+    let n = workload.distance * workload.distance;
+    let mut c = Circuit::new(n);
+    for _ in 0..workload.rounds {
+        for check in &checks {
+            if check.is_x {
+                for &q in &check.data {
+                    c.h(q);
+                }
+            }
+            for w in check.data.windows(2) {
+                c.cx(w[0], w[1]);
+            }
+            c.rz(*check.data.last().expect("non-empty check"), workload.theta);
+            for w in check.data.windows(2).rev() {
+                c.cx(w[0], w[1]);
+            }
+            if check.is_x {
+                for &q in &check.data {
+                    c.h(q);
+                }
+            }
+        }
+    }
+    c
+}
+
+/// The QEC syndrome-extraction router.
+///
+/// # Example
+///
+/// ```
+/// use qpilot_core::compile::{QecWorkload, Workload};
+/// use qpilot_core::qec::QecRouter;
+///
+/// let w = QecWorkload { distance: 3, rounds: 1, theta: 0.5 };
+/// let config = Workload::Qec(w).config(None);
+/// let program = QecRouter::new().route_rounds(&w, &config).unwrap();
+/// // Two phase blocks × (≤4 waves forward + mirror) per round.
+/// assert!(program.stats().two_qubit_depth <= 16);
+/// assert_eq!(program.schedule().num_ancillas, 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QecRouter {
+    options: QecRouterOptions,
+    /// Polled at phase-block and wave boundaries; the default token
+    /// never fires.
+    pub(crate) cancel: CancelToken,
+}
+
+impl QecRouter {
+    /// Creates a router with default options.
+    pub fn new() -> Self {
+        QecRouter::default()
+    }
+
+    /// Creates a router with explicit options.
+    pub fn with_options(options: QecRouterOptions) -> Self {
+        QecRouter {
+            options,
+            cancel: CancelToken::default(),
+        }
+    }
+
+    /// Routes `workload.rounds` stabilizer-phase rounds onto the FPQA.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::TooManyQubits`] if the data register (`d²`) does
+    ///   not fit `config`.
+    /// * [`RouteError::Cancelled`] when the installed token fires at a
+    ///   block or wave boundary.
+    pub fn route_rounds(
+        &self,
+        workload: &QecWorkload,
+        config: &FpqaConfig,
+    ) -> Result<CompiledProgram, RouteError> {
+        let mut prof = QecProfile::start();
+        let d = workload.distance as usize;
+        let num_data = (d * d) as u32;
+        if num_data > config.num_data() {
+            return Err(RouteError::TooManyQubits {
+                required: num_data,
+                available: config.num_data(),
+            });
+        }
+        let checks = surface_code_checks(workload.distance);
+        let mut schedule =
+            ScheduleBuilder::new(config.num_data(), config.aod_rows(), config.aod_cols());
+        // One dedicated ancilla per check, for the program's lifetime.
+        let ancillas: Vec<AncillaId> = checks.iter().map(|_| schedule.fresh_ancilla()).collect();
+        let park = initial_coords(schedule.aod_rows, schedule.aod_cols, config);
+        // Parallel waves need the plaquette geometry to be physical: a
+        // d×d square SLM and an AOD cross per plaquette.
+        let parallel = self.options.parallel_waves
+            && config.slm().rows() == d
+            && config.slm().cols() == d
+            && config.num_data() == num_data
+            && config.aod_rows() > d
+            && config.aod_cols() > d;
+        prof.lap_setup();
+
+        for _ in 0..workload.rounds {
+            for want_x in [false, true] {
+                self.cancel.check()?;
+                let block: Vec<usize> = (0..checks.len())
+                    .filter(|&k| checks[k].is_x == want_x)
+                    .collect();
+                if block.is_empty() {
+                    continue;
+                }
+                prof.lap_select();
+                if parallel {
+                    self.emit_block_parallel(
+                        &mut schedule,
+                        config,
+                        &checks,
+                        &ancillas,
+                        &block,
+                        &park,
+                        workload.theta,
+                        d,
+                    )?;
+                } else {
+                    self.emit_block_serial(
+                        &mut schedule,
+                        config,
+                        &checks,
+                        &ancillas,
+                        &block,
+                        &park,
+                        workload.theta,
+                    )?;
+                }
+                prof.lap_emit();
+            }
+        }
+        prof.flush();
+        Ok(schedule.finish_program())
+    }
+
+    /// Emits one phase block (all checks of one Pauli type) as parallel
+    /// ancilla waves: load every ancilla, four corner waves, `Rz(θ)` on
+    /// every ancilla, mirrored uncomputation. X-blocks are framed by one
+    /// Hadamard layer over the union of their supports.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_block_parallel(
+        &self,
+        schedule: &mut ScheduleBuilder,
+        config: &FpqaConfig,
+        checks: &[Check],
+        ancillas: &[AncillaId],
+        block: &[usize],
+        park: &(Vec<f64>, Vec<f64>),
+        theta: f64,
+        d: usize,
+    ) -> Result<(), RouteError> {
+        let num_data = schedule.num_data;
+        let pitch = config.pitch_um();
+        let off = OFFSET_MIN + 0.35;
+        let is_x_block = checks[block[0]].is_x;
+        let frame = is_x_block.then(|| {
+            let gates = support_union(checks, block, num_data)
+                .into_iter()
+                .map(|q| Gate::H(Qubit::new(q)));
+            schedule.raman(gates)
+        });
+
+        let start = schedule.num_stages();
+        schedule.transfer(block.iter().map(|&k| TransferOp {
+            ancilla: ancillas[k],
+            row: (checks[k].prow + 1) as usize,
+            col: (checks[k].pcol + 1) as usize,
+            load: true,
+        }));
+        for (dr, dc) in CORNERS {
+            self.cancel.check()?;
+            let ops: Vec<RydbergOp> = block
+                .iter()
+                .filter_map(|&k| {
+                    let (r, c) = (checks[k].prow + dr, checks[k].pcol + dc);
+                    let in_range = r >= 0 && r < d as i64 && c >= 0 && c < d as i64;
+                    in_range.then(|| {
+                        let q = (r * d as i64 + c) as u32;
+                        RydbergOp::cx(AtomRef::Data(q), AtomRef::Ancilla(ancillas[k]))
+                    })
+                })
+                .collect();
+            if ops.is_empty() {
+                continue;
+            }
+            // AOD row i hovers over data row (i−1+dr); rows past the
+            // array extend upward at pitch intervals, columns likewise.
+            let rows: Vec<f64> = (0..schedule.aod_rows)
+                .map(|i| (i as i64 - 1 + dr) as f64 * pitch + off)
+                .collect();
+            let cols: Vec<f64> = (0..schedule.aod_cols)
+                .map(|j| (j as i64 - 1 + dc) as f64 * pitch + off)
+                .collect();
+            schedule.move_stage(&rows, &cols);
+            schedule.rydberg(ops);
+        }
+        let end = schedule.num_stages();
+
+        schedule.raman(
+            block
+                .iter()
+                .map(|&k| Gate::Rz(ancilla_register_qubit(num_data, ancillas[k]), theta)),
+        );
+        schedule.mirror_stages(start..end, (&park.0, &park.1));
+        if let Some(h) = frame {
+            schedule.repeat_stage(h);
+        }
+        Ok(())
+    }
+
+    /// Serial fallback: each check's ancilla is loaded at AOD cross
+    /// `(0, 0)` and visits its data qubits one pulse at a time. Works on
+    /// any FPQA that holds the data register; same unitary as the
+    /// parallel waves.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_block_serial(
+        &self,
+        schedule: &mut ScheduleBuilder,
+        config: &FpqaConfig,
+        checks: &[Check],
+        ancillas: &[AncillaId],
+        block: &[usize],
+        park: &(Vec<f64>, Vec<f64>),
+        theta: f64,
+    ) -> Result<(), RouteError> {
+        let num_data = schedule.num_data;
+        let pitch = config.pitch_um();
+        for &k in block {
+            self.cancel.check()?;
+            let check = &checks[k];
+            let frame = check
+                .is_x
+                .then(|| schedule.raman(check.data.iter().map(|&q| Gate::H(Qubit::new(q)))));
+            let start = schedule.num_stages();
+            schedule.transfer([TransferOp {
+                ancilla: ancillas[k],
+                row: 0,
+                col: 0,
+                load: true,
+            }]);
+            for &q in &check.data {
+                let coord = config.coord_of(q);
+                let rows = axis_coords(
+                    &[coord.row],
+                    schedule.aod_rows,
+                    pitch,
+                    park_row_base(config),
+                );
+                let cols = axis_coords(
+                    &[coord.col],
+                    schedule.aod_cols,
+                    pitch,
+                    park_col_base(config),
+                );
+                schedule.move_stage(&rows, &cols);
+                schedule.rydberg([RydbergOp::cx(
+                    AtomRef::Data(q),
+                    AtomRef::Ancilla(ancillas[k]),
+                )]);
+            }
+            let end = schedule.num_stages();
+            schedule.raman([Gate::Rz(
+                ancilla_register_qubit(num_data, ancillas[k]),
+                theta,
+            )]);
+            schedule.mirror_stages(start..end, (&park.0, &park.1));
+            if let Some(h) = frame {
+                schedule.repeat_stage(h);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The sorted union of the supports of `block`'s checks.
+fn support_union(checks: &[Check], block: &[usize], num_data: u32) -> Vec<u32> {
+    let mut in_support = vec![false; num_data as usize];
+    for &k in block {
+        for &q in &checks[k].data {
+            in_support[q as usize] = true;
+        }
+    }
+    (0..num_data).filter(|&q| in_support[q as usize]).collect()
+}
+
+/// Per-route stage-time accumulator (see [`crate::obs::PhaseClock`]),
+/// flushed to the qec stage histograms once per
+/// [`QecRouter::route_rounds`] call.
+#[derive(Debug, Default)]
+struct QecProfile {
+    clock: Option<crate::obs::PhaseClock>,
+    setup: u64,
+    select: u64,
+    emit: u64,
+}
+
+impl QecProfile {
+    fn start() -> QecProfile {
+        QecProfile {
+            clock: crate::obs::PhaseClock::start(),
+            ..QecProfile::default()
+        }
+    }
+
+    fn lap_setup(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.setup);
+    }
+
+    fn lap_select(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.select);
+    }
+
+    fn lap_emit(&mut self) {
+        crate::obs::lap(&mut self.clock, &mut self.emit);
+    }
+
+    fn flush(&self) {
+        if self.clock.is_some() {
+            crate::obs::QEC_SETUP.record_ns(self.setup);
+            crate::obs::QEC_SELECT.record_ns(self.select);
+            crate::obs::QEC_EMIT.record_ns(self.emit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Workload;
+    use crate::validate::validate_schedule;
+
+    fn workload(d: u32) -> QecWorkload {
+        QecWorkload {
+            distance: d,
+            rounds: 1,
+            theta: 0.37,
+        }
+    }
+
+    fn qec_config(d: u32) -> FpqaConfig {
+        Workload::Qec(workload(d)).config(None)
+    }
+
+    #[test]
+    fn check_enumeration_matches_the_code_structure() {
+        for d in [2u32, 3, 5, 7] {
+            let checks = surface_code_checks(d);
+            assert_eq!(checks.len(), (d * d - 1) as usize, "d = {d}");
+            for c in &checks {
+                assert!(c.data.len() == 2 || c.data.len() == 4);
+                assert!(c.data.iter().all(|&q| q < d * d));
+            }
+        }
+        // X and Z checks overlap on an even number of qubits (commute).
+        let checks = surface_code_checks(5);
+        for (i, a) in checks.iter().enumerate() {
+            for b in &checks[i + 1..] {
+                if a.is_x != b.is_x {
+                    let overlap = a.data.iter().filter(|q| b.data.contains(q)).count();
+                    assert_eq!(overlap % 2, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_schedule_is_valid_and_clean() {
+        for d in [2u32, 3, 5] {
+            let cfg = qec_config(d);
+            let p = QecRouter::new().route_rounds(&workload(d), &cfg).unwrap();
+            let report =
+                validate_schedule(p.schedule(), &cfg).unwrap_or_else(|e| panic!("d = {d}: {e}"));
+            assert_eq!(report.leftover_ancillas, 0, "d = {d}");
+            assert_eq!(p.schedule().num_ancillas, d * d - 1);
+            // 2 blocks × ≤4 waves, each mirrored: ≤ 16 pulses per round.
+            assert!(p.stats().two_qubit_depth <= 16, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn serial_schedule_is_valid_and_clean() {
+        for d in [2u32, 3] {
+            let cfg = qec_config(d);
+            let p = QecRouter::with_options(QecRouterOptions {
+                parallel_waves: false,
+            })
+            .route_rounds(&workload(d), &cfg)
+            .unwrap();
+            let report = validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+            assert_eq!(report.leftover_ancillas, 0);
+        }
+    }
+
+    #[test]
+    fn undersized_aod_grid_falls_back_to_serial() {
+        // A d×d AOD cannot host the (d+1)×(d+1) plaquette crosses; the
+        // router must still compile (serially) and validate.
+        let d = 3u32;
+        let cfg = FpqaConfig::square(3); // 3×3 AOD
+        let p = QecRouter::new().route_rounds(&workload(d), &cfg).unwrap();
+        validate_schedule(p.schedule(), &cfg).expect("valid schedule");
+        // Serial: one pulse per (check, qubit) forward + mirror.
+        let weight: usize = surface_code_checks(d).iter().map(|c| c.data.len()).sum();
+        assert_eq!(p.stats().two_qubit_depth, 2 * weight);
+    }
+
+    #[test]
+    fn depth_is_constant_in_distance_for_parallel_waves() {
+        let depth_at = |d: u32| {
+            QecRouter::new()
+                .route_rounds(&workload(d), &qec_config(d))
+                .unwrap()
+                .stats()
+                .two_qubit_depth
+        };
+        assert_eq!(depth_at(3), depth_at(7));
+    }
+
+    #[test]
+    fn rounds_scale_stage_counts() {
+        let cfg = qec_config(3);
+        let one = QecRouter::new().route_rounds(&workload(3), &cfg).unwrap();
+        let mut w3 = workload(3);
+        w3.rounds = 3;
+        let three = QecRouter::new().route_rounds(&w3, &cfg).unwrap();
+        assert_eq!(
+            three.stats().two_qubit_gates,
+            3 * one.stats().two_qubit_gates
+        );
+        validate_schedule(three.schedule(), &cfg).expect("valid schedule");
+    }
+
+    #[test]
+    fn too_small_array_is_rejected() {
+        let cfg = FpqaConfig::square(2);
+        let err = QecRouter::new()
+            .route_rounds(&workload(3), &cfg)
+            .unwrap_err();
+        assert!(matches!(err, RouteError::TooManyQubits { .. }));
+    }
+
+    #[test]
+    fn reference_circuit_shape() {
+        let w = workload(3);
+        let c = reference_circuit(&w);
+        assert_eq!(c.num_qubits(), 9);
+        let weight: usize = surface_code_checks(3).iter().map(|ch| ch.data.len()).sum();
+        // Chain + unchain per check: 2·(w−1) CX per check.
+        assert_eq!(c.two_qubit_count(), 2 * (weight - 8));
+    }
+}

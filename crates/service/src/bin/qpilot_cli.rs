@@ -4,7 +4,8 @@
 //! qpilot-cli <ping|stats|store-stats|metrics|shutdown> [--connect HOST:PORT]
 //! qpilot-cli stats --watch N     poll every N seconds and render a
 //!                                compact dashboard (N=0: render once)
-//! qpilot-cli compile [--connect HOST:PORT] [--router auto|generic|qsim|qaoa]
+//! qpilot-cli compile [--connect HOST:PORT]
+//!                    [--router auto|generic|qsim|qaoa|qec]
 //!                    <workload source> [options]
 //!
 //! sharded fleets (client-side shard map, no qpilot-router needed):
@@ -21,8 +22,8 @@
 //! (the same bytes `--metrics-listen` serves over HTTP).
 //!
 //! `--router auto` infers the router from which workload flags are
-//! present (`--strings` -> qsim, `--graph`/`--edges` -> qaoa, else
-//! generic); the default remains `generic`.
+//! present (`--strings` -> qsim, `--graph`/`--edges` -> qaoa,
+//! `--distance` -> qec, else generic); the default remains `generic`.
 //!
 //! generic workload source (exactly one):
 //!   --qasm FILE            OpenQASM 2.0 file (`-` for stdin)
@@ -41,6 +42,12 @@
 //!   --beta Y               mixer angle; omit to route bare cost layers
 //!   --anchors N            anchor-bucket search width
 //!   --no-column-extension  disable column extension
+//!
+//! qec workload (--router qec):
+//!   --distance D           surface-code distance (>= 2)
+//!   --rounds N             syndrome rounds (default 1)
+//!   --theta X              stabilizer-phase angle (default pi/4)
+//!   --serial               route one check at a time (no parallel waves)
 //!
 //! shared compile options:
 //!   --cols N               SLM columns (default: square array)
@@ -61,7 +68,7 @@ use qpilot_circuit::Circuit;
 use qpilot_core::json::{self, Value};
 use qpilot_service::protocol::{
     circuit_to_value_json, compile_request_line, next_request_id, parse_request, qaoa_request_line,
-    qsim_request_line, Request,
+    qec_request_line, qsim_request_line, Request, QEC_DEFAULT_THETA,
 };
 use qpilot_service::shard::{aggregate_metrics, aggregate_stats, aggregate_store_stats, ShardRing};
 use qpilot_workloads::bv::bernstein_vazirani_random;
@@ -275,6 +282,33 @@ fn qaoa_request(cols: Option<usize>, include_schedule: bool) -> String {
         &betas,
         parse_opt_usize("--anchors"),
         column_extension,
+        cols,
+        parse_deadline_ms(),
+        include_schedule,
+    )
+}
+
+/// Builds the qec compile line from `--distance`/`--rounds`/`--theta`.
+fn qec_request(cols: Option<usize>, include_schedule: bool) -> String {
+    let distance = arg_value("--distance")
+        .unwrap_or_else(|| fail("--router qec needs --distance D (surface-code distance >= 2)"));
+    let distance: u32 = match distance.parse() {
+        Ok(d) if d >= 2 => d,
+        _ => fail(&format!(
+            "--distance needs an integer >= 2, got `{distance}`"
+        )),
+    };
+    let rounds = parse_opt_usize("--rounds").unwrap_or(1);
+    if rounds == 0 {
+        fail("--rounds needs a positive integer");
+    }
+    let theta = parse_opt_f64("--theta", QEC_DEFAULT_THETA);
+    let parallel_waves = has_flag("--serial").then_some(false);
+    qec_request_line(
+        distance,
+        rounds as u32,
+        theta,
+        parallel_waves,
         cols,
         parse_deadline_ms(),
         include_schedule,
@@ -557,6 +591,8 @@ fn main() {
                         "qsim".to_string()
                     } else if arg_value("--graph").is_some() || arg_value("--edges").is_some() {
                         "qaoa".to_string()
+                    } else if arg_value("--distance").is_some() {
+                        "qec".to_string()
                     } else {
                         "generic".to_string()
                     }
@@ -576,8 +612,9 @@ fn main() {
                 }
                 "qsim" => qsim_request(cols, include_schedule),
                 "qaoa" => qaoa_request(cols, include_schedule),
+                "qec" => qec_request(cols, include_schedule),
                 other => fail(&format!(
-                    "unknown router `{other}` (auto|generic|qsim|qaoa)"
+                    "unknown router `{other}` (auto|generic|qsim|qaoa|qec)"
                 )),
             }
         }

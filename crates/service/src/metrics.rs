@@ -428,15 +428,31 @@ qpilot_cache_hits_total 1
     fn empty_series_emit_no_quantile_rows() {
         let empty = Histogram::new();
         let mut out = String::new();
-        push_summary_series(&mut out, "qpilot_test_seconds", "path=\"idle\"", &empty.snapshot());
+        push_summary_series(
+            &mut out,
+            "qpilot_test_seconds",
+            "path=\"idle\"",
+            &empty.snapshot(),
+        );
         assert!(!out.contains("quantile"), "{out}");
-        assert!(out.contains("qpilot_test_seconds_sum{path=\"idle\"} 0"), "{out}");
-        assert!(out.contains("qpilot_test_seconds_count{path=\"idle\"} 0"), "{out}");
+        assert!(
+            out.contains("qpilot_test_seconds_sum{path=\"idle\"} 0"),
+            "{out}"
+        );
+        assert!(
+            out.contains("qpilot_test_seconds_count{path=\"idle\"} 0"),
+            "{out}"
+        );
 
         let live = Histogram::new();
         live.record_ns(2_000_000);
         let mut out = String::new();
-        push_summary_series(&mut out, "qpilot_test_seconds", "path=\"hit\"", &live.snapshot());
+        push_summary_series(
+            &mut out,
+            "qpilot_test_seconds",
+            "path=\"hit\"",
+            &live.snapshot(),
+        );
         assert!(out.contains("quantile=\"0.99\""), "{out}");
     }
 

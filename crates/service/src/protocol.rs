@@ -40,8 +40,12 @@
 //! overload, `error` otherwise.
 //!
 //! The `"router"` tag selects the workload shape (default `generic`;
-//! `auto` infers the family from the payload fields, mirroring
-//! [`RouterTag::Auto`] dispatch in `qpilot_core::compile`):
+//! `auto` infers the family from the payload's marker fields,
+//! order-independently — `circuit`/`qasm` → generic, `strings` → qsim,
+//! `edges`/`qubits` → qaoa, `distance` → qec — and rejects requests
+//! whose markers point at more than one family, naming the conflicting
+//! fields, mirroring [`RouterTag::Auto`] dispatch in
+//! `qpilot_core::compile`):
 //!
 //! * `generic` — `"circuit"` object or `"qasm"` string (exactly one);
 //!   option `"stage_cap"`.
@@ -52,6 +56,9 @@
 //!   `"gamma"`/`"gammas"` and optionally `"beta"`/`"betas"` (absent
 //!   betas route bare cost layers); options `"anchors"`,
 //!   `"column_extension"`.
+//! * `qec` — `"distance"` (surface-code distance ≥ 2) with optional
+//!   `"rounds"` (default 1) and `"theta"` (stabilizer-phase angle,
+//!   default π/4); option `"parallel_waves"` (boolean).
 //!
 //! Shared `compile` options: `"cols"` (SLM columns; default square),
 //! `"schedule":false` to omit the schedule body (fingerprint + stats
@@ -72,7 +79,7 @@ use qpilot_core::json::{self, json_str, Value};
 use qpilot_core::obs;
 use qpilot_core::qsim::QsimRouterOptions;
 use qpilot_core::wire::{gate_from_value, write_gate};
-use qpilot_core::{QaoaOptions, RouterOptions, RouterTag, ScheduleStats, Workload};
+use qpilot_core::{QaoaOptions, QecOptions, RouterOptions, RouterTag, ScheduleStats, Workload};
 
 use crate::events::{self, Field};
 use crate::pool::{
@@ -157,28 +164,19 @@ fn parse_request_doc(doc: &Value, request_id: Option<String>) -> Result<Request,
                 Some(v) => {
                     let name = v.as_str().ok_or("`router` must be a string")?;
                     RouterTag::parse(name).ok_or_else(|| {
-                        format!("unknown router `{name}` (auto|generic|qsim|qaoa)")
+                        format!("unknown router `{name}` (auto|generic|qsim|qaoa|qec)")
                     })?
                 }
             };
-            // `auto` infers the workload family from the payload fields
-            // (mirroring `RouterTag::Auto` dispatch in the core API).
             let router = match router {
-                RouterTag::Auto => {
-                    if doc.get("strings").is_some() {
-                        RouterTag::Qsim
-                    } else if doc.get("edges").is_some() || doc.get("qubits").is_some() {
-                        RouterTag::Qaoa
-                    } else {
-                        RouterTag::Generic
-                    }
-                }
+                RouterTag::Auto => sniff_router(doc)?,
                 tag => tag,
             };
             let (workload, options) = match router {
                 RouterTag::Generic => generic_workload(doc)?,
                 RouterTag::Qsim => qsim_workload(doc)?,
                 RouterTag::Qaoa => qaoa_workload(doc)?,
+                RouterTag::Qec => qec_workload(doc)?,
                 RouterTag::Auto => unreachable!("auto resolved above"),
             };
             let cols = opt_positive(doc, "cols")?;
@@ -206,6 +204,47 @@ fn parse_request_doc(doc: &Value, request_id: Option<String>) -> Result<Request,
         }
         other => Err(format!("unknown op `{other}`")),
     }
+}
+
+/// The payload fields that mark a workload family for `router: "auto"`
+/// inference. Two markers of the *same* family (`circuit` + `qasm`) are
+/// left for the family parser to arbitrate; markers of *different*
+/// families make the request ambiguous.
+const FAMILY_MARKERS: [(&str, RouterTag); 6] = [
+    ("circuit", RouterTag::Generic),
+    ("qasm", RouterTag::Generic),
+    ("strings", RouterTag::Qsim),
+    ("edges", RouterTag::Qaoa),
+    ("qubits", RouterTag::Qaoa),
+    ("distance", RouterTag::Qec),
+];
+
+/// Infers the workload family from the payload's marker fields
+/// (mirroring `RouterTag::Auto` dispatch in the core API). The scan is
+/// order-independent: every marker is inspected, and a payload whose
+/// markers point at more than one family is rejected with both
+/// conflicting field names rather than silently compiling whichever
+/// family a fixed priority happened to prefer. A payload with no
+/// marker at all falls through to `generic`, whose parser reports the
+/// missing circuit.
+fn sniff_router(doc: &Value) -> Result<RouterTag, String> {
+    let mut inferred: Option<(RouterTag, &str)> = None;
+    for (key, tag) in FAMILY_MARKERS {
+        if doc.get(key).is_none() {
+            continue;
+        }
+        match inferred {
+            None => inferred = Some((tag, key)),
+            Some((first_tag, first_key)) if first_tag != tag => {
+                return Err(format!(
+                    "ambiguous `auto` compile: `{first_key}` implies the `{first_tag}` \
+                     router but `{key}` implies `{tag}`"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(inferred.map_or(RouterTag::Generic, |(tag, _)| tag))
 }
 
 /// Parses an optional positive-integer field.
@@ -360,6 +399,46 @@ fn qaoa_workload(doc: &Value) -> Result<ParsedWorkload, String> {
     ))
 }
 
+/// The wire default for the qec stabilizer-phase angle when `"theta"`
+/// is absent.
+pub const QEC_DEFAULT_THETA: f64 = std::f64::consts::FRAC_PI_4;
+
+fn qec_workload(doc: &Value) -> Result<ParsedWorkload, String> {
+    reject_foreign_fields(
+        doc,
+        RouterTag::Qec,
+        &["circuit", "qasm", "strings", "edges", "qubits"],
+    )?;
+    let distance = doc
+        .get("distance")
+        .and_then(Value::as_u32)
+        .ok_or("qec compile needs an integer `distance`")?;
+    if distance < 2 {
+        return Err(format!("qec distance must be at least 2, got {distance}"));
+    }
+    let rounds = match doc.get("rounds") {
+        None | Some(Value::Null) => 1,
+        Some(v) => v
+            .as_u32()
+            .filter(|&r| r > 0)
+            .ok_or("`rounds` must be a positive integer")?,
+    };
+    let theta = match doc.get("theta") {
+        None | Some(Value::Null) => QEC_DEFAULT_THETA,
+        Some(v) => v.as_f64().ok_or("`theta` must be a number")?,
+    };
+    if !theta.is_finite() {
+        return Err("qec theta must be finite".into());
+    }
+    let options = match doc.get("parallel_waves") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(RouterOptions::Qec(QecOptions {
+            parallel_waves: Some(v.as_bool().ok_or("`parallel_waves` must be a boolean")?),
+        })),
+    };
+    Ok((Workload::surface_code(distance, rounds, theta), options))
+}
+
 /// Extracts the circuit from a compile request: either an inline
 /// `"circuit"` object or a `"qasm"` source string (exactly one).
 fn circuit_from_request(doc: &Value) -> Result<Circuit, String> {
@@ -501,6 +580,28 @@ pub fn qaoa_request_line(
     if let Some(ext) = column_extension {
         out.push_str(",\"column_extension\":");
         out.push_str(if ext { "true" } else { "false" });
+    }
+    finish_compile_line(&mut out, cols, deadline_ms, include_schedule);
+    out
+}
+
+/// Builds a qec-router compile request line.
+pub fn qec_request_line(
+    distance: u32,
+    rounds: u32,
+    theta: f64,
+    parallel_waves: Option<bool>,
+    cols: Option<usize>,
+    deadline_ms: Option<u64>,
+    include_schedule: bool,
+) -> String {
+    let mut out = format!(
+        "{{\"op\":\"compile\",\"router\":\"qec\",\"distance\":{distance},\"rounds\":{rounds},\"theta\":{}",
+        json::fmt_f64(theta)
+    );
+    if let Some(waves) = parallel_waves {
+        out.push_str(",\"parallel_waves\":");
+        out.push_str(if waves { "true" } else { "false" });
     }
     finish_compile_line(&mut out, cols, deadline_ms, include_schedule);
     out
@@ -1007,6 +1108,42 @@ mod tests {
     }
 
     #[test]
+    fn parse_qec_compile() {
+        let line = r#"{"op":"compile","router":"qec","distance":3,"rounds":2,"theta":0.5,"parallel_waves":false}"#;
+        match parse_request(line).unwrap() {
+            Request::Compile { request, .. } => {
+                let Workload::Qec(q) = &request.workload else {
+                    panic!("expected qec workload");
+                };
+                assert_eq!(q.distance, 3);
+                assert_eq!(q.rounds, 2);
+                assert_eq!(q.theta, 0.5);
+                assert_eq!(
+                    request.options,
+                    Some(RouterOptions::Qec(QecOptions {
+                        parallel_waves: Some(false)
+                    }))
+                );
+                assert_eq!(request.router(), RouterTag::Qec);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        // Rounds and theta default (1 round, π/4).
+        let minimal = r#"{"op":"compile","router":"qec","distance":3}"#;
+        match parse_request(minimal).unwrap() {
+            Request::Compile { request, .. } => {
+                let Workload::Qec(q) = &request.workload else {
+                    panic!("expected qec workload");
+                };
+                assert_eq!(q.rounds, 1);
+                assert_eq!(q.theta, QEC_DEFAULT_THETA);
+                assert_eq!(request.options, None);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
     fn request_line_builders_round_trip() {
         let qsim = qsim_request_line(
             &["ZZI".to_string(), "IXX".to_string()],
@@ -1049,6 +1186,24 @@ mod tests {
             }
             other => panic!("unexpected parse: {other:?}"),
         }
+        let qec = qec_request_line(3, 2, 0.4, Some(true), None, Some(100), true);
+        match parse_request(&qec).unwrap() {
+            Request::Compile { request, .. } => {
+                assert_eq!(request.router(), RouterTag::Qec);
+                let Workload::Qec(q) = &request.workload else {
+                    panic!("expected qec workload");
+                };
+                assert_eq!((q.distance, q.rounds, q.theta), (3, 2, 0.4));
+                assert_eq!(request.deadline_ms, Some(100));
+                assert_eq!(
+                    request.options,
+                    Some(RouterOptions::Qec(QecOptions {
+                        parallel_waves: Some(true)
+                    }))
+                );
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
     }
 
     #[test]
@@ -1066,12 +1221,62 @@ mod tests {
                 r#"{"op":"compile","router":"auto","qubits":2,"edges":[[0,1]],"gamma":0.7}"#,
                 RouterTag::Qaoa,
             ),
+            (
+                r#"{"op":"compile","router":"auto","distance":3}"#,
+                RouterTag::Qec,
+            ),
+            // Non-marker fields never steer the inference, wherever they
+            // sit relative to the marker.
+            (
+                r#"{"op":"compile","router":"auto","theta":0.5,"strings":["ZZ"]}"#,
+                RouterTag::Qsim,
+            ),
+            (
+                r#"{"op":"compile","router":"auto","rounds":2,"distance":3,"theta":0.5}"#,
+                RouterTag::Qec,
+            ),
         ] {
             match parse_request(line).unwrap() {
                 Request::Compile { request, .. } => assert_eq!(request.router(), tag, "{line}"),
                 other => panic!("unexpected parse: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn auto_router_rejects_cross_family_payloads_naming_the_fields() {
+        for (line, first, second) in [
+            (
+                r#"{"op":"compile","router":"auto","circuit":{"num_qubits":2,"gates":[]},"strings":["ZZ"]}"#,
+                "circuit",
+                "strings",
+            ),
+            (
+                r#"{"op":"compile","router":"auto","strings":["ZZ"],"edges":[[0,1]]}"#,
+                "strings",
+                "edges",
+            ),
+            (
+                r#"{"op":"compile","router":"auto","distance":3,"qasm":"qreg q[2];"}"#,
+                "qasm",
+                "distance",
+            ),
+            (
+                r#"{"op":"compile","router":"auto","qubits":4,"distance":3}"#,
+                "qubits",
+                "distance",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains("ambiguous"), "{line} -> {err}");
+            assert!(err.contains(&format!("`{first}`")), "{line} -> {err}");
+            assert!(err.contains(&format!("`{second}`")), "{line} -> {err}");
+        }
+        // Same-family marker pairs are not ambiguous; the family parser
+        // arbitrates (and rejects circuit+qasm on its own terms).
+        let both = r#"{"op":"compile","router":"auto","circuit":{"num_qubits":2,"gates":[]},"qasm":"qreg q[2];"}"#;
+        let err = parse_request(both).unwrap_err();
+        assert!(err.contains("either `circuit` or `qasm`"), "{err}");
     }
 
     #[test]
@@ -1096,6 +1301,9 @@ mod tests {
             r#"{"op":"compile","router":"qsim","strings":["ZZ"],"theta":0.5,"qasm":"qreg q[2];"}"#,
             // qaoa request carrying strings
             r#"{"op":"compile","router":"qaoa","qubits":2,"edges":[[0,1]],"gamma":0.7,"strings":["ZZ"]}"#,
+            // qec request carrying a circuit or qaoa payload
+            r#"{"op":"compile","router":"qec","distance":3,"circuit":{"num_qubits":2,"gates":[]}}"#,
+            r#"{"op":"compile","router":"qec","distance":3,"edges":[[0,1]]}"#,
             // unknown router
             r#"{"op":"compile","router":"warp","circuit":{"num_qubits":2,"gates":[]}}"#,
         ] {
@@ -1144,6 +1352,12 @@ mod tests {
             r#"{"op":"compile","router":"qaoa","qubits":3,"edges":[[0]],"gamma":0.7}"#,
             r#"{"op":"compile","router":"qaoa","qubits":3,"edges":[[0,1]],"gammas":[0.1,0.2],"betas":[0.3]}"#,
             r#"{"op":"compile","router":"qaoa","qubits":3,"edges":[[1,1]],"gamma":0.7}"#,
+            // Malformed qec payloads.
+            r#"{"op":"compile","router":"qec"}"#,
+            r#"{"op":"compile","router":"qec","distance":1}"#,
+            r#"{"op":"compile","router":"qec","distance":3,"rounds":0}"#,
+            r#"{"op":"compile","router":"qec","distance":3,"theta":1e999}"#,
+            r#"{"op":"compile","router":"qec","distance":3,"parallel_waves":"yes"}"#,
         ] {
             let handled = handle_line(&svc, line);
             assert!(handled.response.starts_with("{\"ok\":false"), "{line}");
@@ -1189,9 +1403,10 @@ mod tests {
             r#"{"op":"compile","circuit":{"num_qubits":2,"gates":[["rzz",0,1,0.5]]}}"#,
             r#"{"op":"compile","router":"qsim","strings":["ZZ"],"theta":0.5}"#,
             r#"{"op":"compile","router":"qaoa","qubits":2,"edges":[[0,1]],"gamma":0.5}"#,
+            r#"{"op":"compile","router":"qec","distance":2,"theta":0.5}"#,
         ];
         let mut fingerprints = Vec::new();
-        for (line, router) in lines.iter().zip(["generic", "qsim", "qaoa"]) {
+        for (line, router) in lines.iter().zip(["generic", "qsim", "qaoa", "qec"]) {
             let handled = handle_line(&svc, line);
             let doc = json::parse(&handled.response).unwrap();
             assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true), "{line}");
@@ -1212,8 +1427,8 @@ mod tests {
         }
         fingerprints.sort();
         fingerprints.dedup();
-        assert_eq!(fingerprints.len(), 3, "no cross-router cache collisions");
-        assert_eq!(svc.stats().compiles, 3);
+        assert_eq!(fingerprints.len(), 4, "no cross-router cache collisions");
+        assert_eq!(svc.stats().compiles, 4);
     }
 
     #[test]

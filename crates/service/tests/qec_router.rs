@@ -1,0 +1,172 @@
+//! Semantic, golden and cache-key tests for the QEC syndrome-extraction
+//! router, driven from outside the core crate so the checks cover the
+//! same artefacts the serving tier caches and ships: the canonical wire
+//! bytes of `qpilot.schedule/v1` and the `qpilot.compile/v2` cache key.
+//!
+//! * physics: the lowered schedule implements `reference_circuit` on the
+//!   data register with clean ancillas (`verify_compiled` exhaustively at
+//!   d = 2; random-state fidelity plus leakage at d = 3),
+//! * invariance: serial and parallel-wave schedules realise the same
+//!   full-register unitary (the stabilizer-phase factors commute),
+//! * goldens: FNV-1a pins over the canonical wire bytes at d ∈ {3, 5}
+//!   catch any accidental change to the emitted stage stream,
+//! * cache keys: the qec option-hash domain is disjoint from the other
+//!   three router families on an identical array config.
+
+use qpilot_core::compile::{fingerprint, QecWorkload, Workload};
+use qpilot_core::qec::{reference_circuit, QecRouter, QecRouterOptions};
+use qpilot_core::wire::{schedule_from_json, schedule_to_json};
+use qpilot_core::FpqaConfig;
+use qpilot_sim::equiv::{ancilla_leakage, equal_up_to_global_phase, verify_compiled};
+use qpilot_sim::{Complex, StateVector};
+
+fn workload(distance: u32, rounds: u32) -> QecWorkload {
+    QecWorkload {
+        distance,
+        rounds,
+        theta: 0.37,
+    }
+}
+
+fn route(w: &QecWorkload, parallel_waves: bool) -> qpilot_core::CompiledProgram {
+    let config = Workload::Qec(*w).config(None);
+    QecRouter::with_options(QecRouterOptions { parallel_waves })
+        .route_rounds(w, &config)
+        .expect("route qec workload")
+}
+
+/// FNV-1a over the canonical wire bytes — the same stable-hash family
+/// the repo's other golden pins use.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn d2_schedule_is_exhaustively_equivalent_to_the_reference() {
+    for parallel in [true, false] {
+        let w = workload(2, 2);
+        let compiled = route(&w, parallel).schedule().to_circuit();
+        let result = verify_compiled(&compiled, &reference_circuit(&w));
+        assert!(
+            result.equivalent,
+            "parallel={parallel}: leakage {:.3e}, deviation {:.3e}",
+            result.max_ancilla_leakage, result.max_deviation
+        );
+    }
+}
+
+#[test]
+fn d3_schedule_matches_the_reference_on_random_states() {
+    let w = workload(3, 1);
+    let compiled = route(&w, true).schedule().to_circuit();
+    let num_data = 9u32;
+    let data_dim = 1usize << num_data;
+
+    for seed in [7u64, 8] {
+        // Random data state, ancillas |0⟩: padding the amplitude vector
+        // with zeros is exactly |ψ⟩ ⊗ |0…0⟩ in little-endian ordering.
+        let data_state = StateVector::random(num_data, seed);
+        let mut amps = data_state.amplitudes().to_vec();
+        amps.resize(1 << compiled.num_qubits(), Complex::ZERO);
+        let mut full = StateVector::from_amplitudes(amps);
+        full.apply_circuit(&compiled);
+        let leak = ancilla_leakage(&full, num_data);
+        assert!(leak < 1e-9, "seed {seed}: ancilla leakage {leak:.3e}");
+
+        let compiled_data = StateVector::from_amplitudes(full.amplitudes()[..data_dim].to_vec());
+        let mut ref_state = data_state;
+        ref_state.apply_circuit(&reference_circuit(&w));
+        assert!(
+            equal_up_to_global_phase(&compiled_data, &ref_state, 1e-9),
+            "seed {seed}: data-register states diverge"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_schedules_share_one_unitary() {
+    // Every stabilizer-phase factor commutes, so the wave grouping must
+    // not change the compiled unitary — checked on the *full* register
+    // (data ⊗ ancillas), which is stronger than data-only equivalence.
+    let w = workload(3, 1);
+    let parallel = route(&w, true).schedule().to_circuit();
+    let serial = route(&w, false).schedule().to_circuit();
+    assert_eq!(parallel.num_qubits(), serial.num_qubits());
+    let fidelity = qpilot_sim::equiv::random_state_fidelity(&parallel, &serial, 11);
+    assert!(fidelity > 1.0 - 1e-9, "fidelity {fidelity}");
+}
+
+#[test]
+fn wire_bytes_round_trip_exactly() {
+    for (d, parallel) in [(3u32, true), (3, false), (5, true)] {
+        let program = route(&workload(d, 1), parallel);
+        let json = schedule_to_json(program.schedule());
+        let back = schedule_from_json(&json).expect("wire bytes parse");
+        assert_eq!(
+            schedule_to_json(&back),
+            json,
+            "d={d} parallel={parallel}: canonical re-serialisation drifted"
+        );
+    }
+}
+
+#[test]
+fn golden_wire_byte_pins_at_d3_and_d5() {
+    // Byte-identity pins over the canonical schedule JSON. These freeze
+    // the router's emitted stage stream: any change to wave order,
+    // coordinates, mirroring or serialisation shows up here before it
+    // silently invalidates every persisted cache entry.
+    for (d, expected) in [(3u32, GOLDEN_D3), (5, GOLDEN_D5)] {
+        let program = route(&workload(d, 1), true);
+        let actual = fnv1a(schedule_to_json(program.schedule()).as_bytes());
+        assert_eq!(
+            actual, expected,
+            "d={d}: wire bytes changed (fnv1a {actual:#018x}); if intentional, re-pin"
+        );
+    }
+}
+
+const GOLDEN_D3: u64 = 0x1157_8aa8_864c_df42;
+const GOLDEN_D5: u64 = 0x6f11_3317_d980_b975;
+
+#[test]
+fn qec_fingerprints_are_disjoint_from_the_other_families() {
+    // Identical array config for all four families: only the workload
+    // domain separates the cache keys.
+    let cfg = FpqaConfig::square_for(4);
+    let mut circuit = qpilot_circuit::Circuit::new(4);
+    circuit.zz(0, 1, 0.37);
+    let fps = [
+        fingerprint(&Workload::circuit(circuit), None, &cfg),
+        fingerprint(
+            &Workload::pauli_strings(vec!["ZZII".parse().unwrap()], 0.37),
+            None,
+            &cfg,
+        ),
+        fingerprint(
+            &Workload::qaoa_cost_layer(4, vec![(0, 1)], 0.37),
+            None,
+            &cfg,
+        ),
+        fingerprint(&Workload::surface_code(2, 1, 0.37), None, &cfg),
+    ];
+    for i in 0..fps.len() {
+        for j in i + 1..fps.len() {
+            assert_ne!(fps[i], fps[j], "families {i} and {j} collide");
+        }
+    }
+    // And within qec: distance, rounds, theta and wave mode all key.
+    let base = fps[3];
+    for other in [
+        fingerprint(&Workload::surface_code(3, 1, 0.37), None, &cfg),
+        fingerprint(&Workload::surface_code(2, 2, 0.37), None, &cfg),
+        fingerprint(&Workload::surface_code(2, 1, 0.38), None, &cfg),
+    ] {
+        assert_ne!(base, other);
+    }
+}

@@ -181,3 +181,35 @@ fn qaoa_router_wire_path_is_physically_correct() {
     assert_equivalent("qaoa", &compiled, &reference);
     daemon.shutdown();
 }
+
+#[test]
+fn qec_router_wire_path_is_physically_correct() {
+    let daemon = spawn_daemon();
+    let args = [
+        "--router",
+        "qec",
+        "--distance",
+        "2",
+        "--rounds",
+        "1",
+        "--theta",
+        "0.4",
+    ];
+    let compiled = compile_via_cli(daemon.addr, "qec", &args);
+
+    // d = 2: 4 data qubits + 3 check ancillas; the reference is the
+    // router's own data-register stabilizer-phase circuit.
+    assert_eq!(compiled.num_qubits(), 7);
+    let reference = qpilot_core::qec::reference_circuit(&qpilot_core::QecWorkload {
+        distance: 2,
+        rounds: 1,
+        theta: 0.4,
+    });
+    assert_equivalent("qec", &compiled, &reference);
+
+    // Repeating the identical request must come back byte-identical
+    // from the cache (same fingerprint, same canonical schedule JSON).
+    let again = compile_via_cli(daemon.addr, "qec-again", &args);
+    assert_eq!(compiled, again, "cache round-trip changed the schedule");
+    daemon.shutdown();
+}

@@ -1,0 +1,138 @@
+//! Circuit-family generators for the ancilla-vs-SWAP depth comparison.
+//!
+//! quantum-navigator's `benchmark_ancilla_vs_swap.py` compares bus-mediated
+//! (flying-ancilla) routing against SWAP insertion across a fixed family
+//! set: QAOA, QFT, VQE, GHZ and random circuits. QAOA and random circuits
+//! already live in [`crate::graphs`] / [`crate::random`]; this module adds
+//! the remaining three:
+//!
+//! * [`qft`] — the quantum Fourier transform: controlled rotations on all
+//!   pairs `(i, j)` with `i < j`, so `O(n²)` two-qubit gates between
+//!   increasingly distant qubits — the worst case for SWAP routing,
+//! * [`vqe_ansatz`] — a hardware-efficient VQE ansatz: layers of `Ry`/`Rz`
+//!   rotations followed by a linear CX entangler chain,
+//! * [`ghz`] — GHZ-state preparation via a CX chain from qubit 0.
+//!
+//! All generators are deterministic; [`vqe_ansatz`] is seeded.
+
+use qpilot_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Appends a controlled-phase `CP(theta)` on `(control, target)` using the
+/// native gate set: `CP(θ) = Rz(c, θ/2) · Rz(t, θ/2) · ZZ(c, t, −θ/2)` up
+/// to global phase.
+fn controlled_phase(c: &mut Circuit, control: u32, target: u32, theta: f64) {
+    c.rz(control, theta / 2.0);
+    c.rz(target, theta / 2.0);
+    c.zz(control, target, -theta / 2.0);
+}
+
+/// The `n`-qubit quantum Fourier transform (without the final qubit
+/// reversal): `H` on each qubit followed by controlled rotations
+/// `CP(π/2^{j−i})` for every pair `i < j` — `n(n−1)/2` two-qubit gates.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qft(n: u32) -> Circuit {
+    assert!(n > 0, "qft needs at least one qubit");
+    let mut c = Circuit::with_capacity(n, (n as usize * (n as usize + 1)) / 2);
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            let theta = std::f64::consts::PI / f64::from(1u32 << (j - i).min(30));
+            controlled_phase(&mut c, j, i, theta);
+        }
+    }
+    c
+}
+
+/// A hardware-efficient VQE ansatz: `layers` repetitions of a per-qubit
+/// `Ry`/`Rz` rotation layer followed by a linear CX entangler chain
+/// (`0→1, 1→2, …`), closing with one final rotation layer. Angles are
+/// drawn deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn vqe_ansatz(n: u32, layers: usize, seed: u64) -> Circuit {
+    assert!(n > 0, "vqe ansatz needs at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_capacity(n, layers * 3 * n as usize + 2 * n as usize);
+    let rotation_layer = |c: &mut Circuit, rng: &mut StdRng| {
+        for q in 0..n {
+            c.ry(q, rng.gen_range(0.0..std::f64::consts::TAU));
+            c.rz(q, rng.gen_range(0.0..std::f64::consts::TAU));
+        }
+    };
+    for _ in 0..layers {
+        rotation_layer(&mut c, &mut rng);
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    rotation_layer(&mut c, &mut rng);
+    c
+}
+
+/// GHZ-state preparation: `H` on qubit 0, then a CX chain `0→1, 1→2, …` —
+/// `n − 1` two-qubit gates whose fixed-hardware depth is linear but whose
+/// flying-ancilla depth collapses via fan-out.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ghz(n: u32) -> Circuit {
+    assert!(n > 0, "ghz needs at least one qubit");
+    let mut c = Circuit::with_capacity(n, n as usize);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_has_all_pairs() {
+        let c = qft(6);
+        assert_eq!(c.two_qubit_count(), 15); // 6*5/2
+        assert_eq!(c.num_qubits(), 6);
+        // Every pair (i, j), i < j appears exactly once as a ZZ.
+        let mut pairs = std::collections::HashSet::new();
+        for g in c.iter() {
+            if let qpilot_circuit::Gate::Zz(a, b, _) = g {
+                assert!(pairs.insert((a.raw().min(b.raw()), a.raw().max(b.raw()))));
+            }
+        }
+        assert_eq!(pairs.len(), 15);
+    }
+
+    #[test]
+    fn qft_single_qubit_stays_trivial() {
+        let c = qft(1);
+        assert_eq!(c.two_qubit_count(), 0);
+        assert_eq!(c.single_qubit_count(), 1);
+    }
+
+    #[test]
+    fn vqe_is_deterministic_in_seed() {
+        assert_eq!(vqe_ansatz(8, 3, 7), vqe_ansatz(8, 3, 7));
+        assert_ne!(vqe_ansatz(8, 3, 7), vqe_ansatz(8, 3, 8));
+        let c = vqe_ansatz(8, 3, 7);
+        assert_eq!(c.two_qubit_count(), 3 * 7); // layers * (n-1)
+        assert_eq!(c.single_qubit_count(), 4 * 2 * 8); // (layers+1) rotation layers
+    }
+
+    #[test]
+    fn ghz_is_a_chain() {
+        let c = ghz(10);
+        assert_eq!(c.two_qubit_count(), 9);
+        assert_eq!(c.single_qubit_count(), 1);
+        assert_eq!(c.two_qubit_depth(), 9);
+    }
+}

@@ -12,12 +12,15 @@
 //! * [`graphs`] — Erdős–Rényi and d-regular graphs with QAOA circuit
 //!   construction (Fig. 13, Table 2),
 //! * [`bv`] — Bernstein–Vazirani circuits (Fig. 10's `BV-70`),
-//! * [`qec`] — surface-code syndrome extraction (the paper's §6 outlook).
+//! * [`qec`] — surface-code syndrome extraction (the paper's §6 outlook),
+//! * [`families`] — the QFT / VQE / GHZ family set from the
+//!   ancilla-vs-SWAP comparison (quantum-navigator's benchmark).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bv;
+pub mod families;
 pub mod graphs;
 pub mod molecules;
 pub mod pauli;

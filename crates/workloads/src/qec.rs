@@ -12,7 +12,34 @@
 //! the ancilla. Data qubits are indices `0..d²` (reading order); stabilizer
 //! ancilla `k` is qubit `d² + k`.
 
+use std::error::Error;
+use std::fmt;
+
 use qpilot_circuit::Circuit;
+
+/// A degenerate surface-code parameter was requested.
+///
+/// Distance 0 has no data qubits and distance 1 has no stabilizers — a
+/// "round" of syndrome extraction is meaningless for either, so the
+/// constructors reject them instead of emitting an empty circuit (or, as
+/// older versions did, panicking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidDistance {
+    /// The rejected distance.
+    pub distance: usize,
+}
+
+impl fmt::Display for InvalidDistance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "surface-code distance must be at least 2, got {}",
+            self.distance
+        )
+    }
+}
+
+impl Error for InvalidDistance {}
 
 /// A stabilizer of the rotated surface code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,10 +64,24 @@ impl SurfaceCode {
     ///
     /// # Panics
     ///
-    /// Panics unless `d` is odd and `>= 2` (distance 2 is allowed for
-    /// small-scale testing even though it only detects errors).
+    /// Panics on degenerate distances (`d < 2`); use [`SurfaceCode::try_new`]
+    /// to handle them as an error instead. Distance 2 is allowed for
+    /// small-scale testing even though it only detects errors.
     pub fn new(d: usize) -> Self {
-        assert!(d >= 2, "distance must be at least 2");
+        Self::try_new(d).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the distance-`d` rotated surface code, rejecting degenerate
+    /// distances (`d < 2`, which have no stabilizers to measure) with an
+    /// [`InvalidDistance`] error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDistance`] when `d < 2`.
+    pub fn try_new(d: usize) -> Result<Self, InvalidDistance> {
+        if d < 2 {
+            return Err(InvalidDistance { distance: d });
+        }
         let n_data = (d * d) as u32;
         let data_at = |r: i64, c: i64| -> u32 { (r as usize * d + c as usize) as u32 };
         let mut stabilizers = Vec::new();
@@ -82,10 +123,10 @@ impl SurfaceCode {
                 next_ancilla += 1;
             }
         }
-        SurfaceCode {
+        Ok(SurfaceCode {
             distance: d,
             stabilizers,
-        }
+        })
     }
 
     /// Code distance.
@@ -111,17 +152,29 @@ impl SurfaceCode {
     /// One syndrome-extraction round as a circuit over
     /// [`SurfaceCode::num_qubits`] qubits.
     pub fn syndrome_circuit(&self) -> Circuit {
+        self.syndrome_rounds(1)
+    }
+
+    /// `rounds` back-to-back syndrome-extraction rounds as one circuit over
+    /// [`SurfaceCode::num_qubits`] qubits.
+    ///
+    /// Each round measures every stabilizer once: X-stabilizers as
+    /// Hadamard-framed CNOT fans out of the ancilla, Z-stabilizers as CNOT
+    /// fans into the ancilla. `rounds == 0` yields an empty circuit.
+    pub fn syndrome_rounds(&self, rounds: usize) -> Circuit {
         let mut c = Circuit::new(self.num_qubits());
-        for s in &self.stabilizers {
-            if s.is_x {
-                c.h(s.ancilla);
-                for &q in &s.data {
-                    c.cx(s.ancilla, q);
-                }
-                c.h(s.ancilla);
-            } else {
-                for &q in &s.data {
-                    c.cx(q, s.ancilla);
+        for _ in 0..rounds {
+            for s in &self.stabilizers {
+                if s.is_x {
+                    c.h(s.ancilla);
+                    for &q in &s.data {
+                        c.cx(s.ancilla, q);
+                    }
+                    c.h(s.ancilla);
+                } else {
+                    for &q in &s.data {
+                        c.cx(q, s.ancilla);
+                    }
                 }
             }
         }
@@ -182,6 +235,25 @@ mod tests {
         assert_eq!(c.two_qubit_count(), total_weight);
         // 2 Hadamards per X stabilizer.
         assert_eq!(c.single_qubit_count(), 8);
+    }
+
+    #[test]
+    fn degenerate_distances_are_errors_not_panics() {
+        for d in [0usize, 1] {
+            let err = SurfaceCode::try_new(d).unwrap_err();
+            assert_eq!(err.distance, d);
+            assert!(err.to_string().contains("at least 2"), "{err}");
+        }
+        assert!(SurfaceCode::try_new(2).is_ok());
+    }
+
+    #[test]
+    fn syndrome_rounds_scale_gate_counts() {
+        let code = SurfaceCode::new(3);
+        let one = code.syndrome_circuit();
+        let three = code.syndrome_rounds(3);
+        assert_eq!(three.two_qubit_count(), 3 * one.two_qubit_count());
+        assert_eq!(code.syndrome_rounds(0).len(), 0);
     }
 
     #[test]
